@@ -1,0 +1,318 @@
+(* wdmnet: command-line interface to the WDM multicast switching toolkit.
+
+   Subcommands map to the paper's artifacts:
+     capacity  - Lemmas 1-3 for given N, k
+     cost      - Table 1 rows (crossbar) for given N, k
+     design    - crossbar vs three-stage recommendation (Table 2 workflow)
+     tables    - regenerate Tables 1 and 2
+     sweep     - theorem bounds / crossover / capacity growth series
+     fig10     - play the Fig. 10 scenario
+     simulate  - churn a three-stage network and report blocking *)
+
+open Cmdliner
+open Wdm_core
+open Wdm_multistage
+module An = Wdm_analysis
+
+(* --- shared args ------------------------------------------------------- *)
+
+let n_arg =
+  Arg.(value & opt int 16 & info [ "n"; "ports" ] ~docv:"N" ~doc:"Ports per side.")
+
+let k_arg =
+  Arg.(value & opt int 2 & info [ "k"; "wavelengths" ] ~docv:"K" ~doc:"Wavelengths per fiber.")
+
+let model_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Model.of_string s) in
+  Arg.conv (parse, Model.pp)
+
+let model_arg =
+  Arg.(value & opt model_conv Model.MAW & info [ "model" ] ~docv:"MODEL"
+         ~doc:"Multicast model: MSW, MSDW or MAW.")
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned text.")
+
+let emit csv table = print_string (if csv then An.Table.to_csv table else An.Table.render table)
+
+let check_dims n k =
+  if n < 1 || k < 1 then begin
+    prerr_endline "wdmnet: N and K must be >= 1";
+    exit 2
+  end
+
+(* --- capacity ---------------------------------------------------------- *)
+
+let capacity_cmd =
+  let run n k =
+    check_dims n k;
+    Format.printf "Multicast capacity of a %dx%d %d-wavelength WDM network:\n" n n k;
+    List.iter
+      (fun m ->
+        Format.printf "  %-4s  full: %a   any: %a\n" (Model.to_string m)
+          Wdm_bignum.Nat.pp_approx (Capacity.full m ~n ~k)
+          Wdm_bignum.Nat.pp_approx (Capacity.any m ~n ~k))
+      Model.all;
+    Format.printf "  (an %dx%d electronic network would offer %a full)\n" (n * k)
+      (n * k) Wdm_bignum.Nat.pp_approx
+      (Capacity.equivalent_electronic_full ~n ~k)
+  in
+  Cmd.v (Cmd.info "capacity" ~doc:"Multicast capacities (Lemmas 1-3).")
+    Term.(const run $ n_arg $ k_arg)
+
+(* --- cost -------------------------------------------------------------- *)
+
+let cost_cmd =
+  let run n k =
+    check_dims n k;
+    List.iter
+      (fun m -> Format.printf "%a\n" Wdm_core.Cost.pp_summary (Wdm_core.Cost.summarize m ~n ~k))
+      Model.all
+  in
+  Cmd.v (Cmd.info "cost" ~doc:"Crossbar cost (Table 1 rows).")
+    Term.(const run $ n_arg $ k_arg)
+
+(* --- design ------------------------------------------------------------ *)
+
+let design_cmd =
+  let run n k model =
+    check_dims n k;
+    let cb = Wdm_core.Cost.summarize model ~n ~k in
+    Format.printf "Crossbar: %a\n" Wdm_core.Cost.pp_summary cb;
+    match
+      Cost.recommended ~construction:Network.Msw_dominant ~output_model:model
+        ~big_n:n ~k
+    with
+    | Error e -> Format.printf "Three-stage: n/a (%s) -> use the crossbar\n" e
+    | Ok (topo, eval, b) ->
+      Format.printf "Three-stage: %a\n  Theorem 1: m > %.2f at x=%d -> m=%d\n  %a\n"
+        Topology.pp topo eval.Conditions.bound eval.Conditions.x
+        eval.Conditions.m_min Cost.pp_breakdown b;
+      Format.printf "Recommendation: %s\n"
+        (if b.Cost.total_crosspoints < cb.Wdm_core.Cost.crosspoints then
+           "three-stage (MSW-dominant)"
+         else "crossbar")
+  in
+  Cmd.v (Cmd.info "design" ~doc:"Compare crossbar vs three-stage designs.")
+    Term.(const run $ n_arg $ k_arg $ model_arg)
+
+(* --- tables ------------------------------------------------------------ *)
+
+let tables_cmd =
+  let run csv =
+    emit csv (An.Table1.symbolic ());
+    print_newline ();
+    emit csv (An.Table1.numeric [ (2, 2); (3, 2); (4, 2); (8, 4); (16, 8) ]);
+    print_newline ();
+    emit csv (An.Table2.symbolic ());
+    print_newline ();
+    emit csv (An.Table2.numeric ~big_ns:[ 16; 64; 256; 1024 ] ~ks:[ 2; 4 ])
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Regenerate Tables 1 and 2.")
+    Term.(const run $ csv_arg)
+
+(* --- sweep ------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let what_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("bounds", `Bounds); ("crossover", `Crossover); ("capacity", `Capacity) ])) None
+      & info [] ~docv:"WHAT" ~doc:"One of: bounds, crossover, capacity.")
+  in
+  let run what k model csv =
+    match what with
+    | `Bounds ->
+      emit csv
+        (An.Sweeps.theorem_bounds ~ns:[ 2; 4; 8; 16; 32; 64; 128 ] ~ks:[ 1; 2; 4; 8 ])
+    | `Crossover ->
+      emit csv (An.Sweeps.crossover ~output_model:model ~k ~max_big_n:1024)
+    | `Capacity ->
+      emit csv (An.Sweeps.capacity_growth ~k ~ns:[ 2; 4; 8; 16; 32; 64 ])
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Parameter sweeps (theorem bounds, crossover, capacity).")
+    Term.(const run $ what_arg $ k_arg $ model_arg $ csv_arg)
+
+(* --- fig10 ------------------------------------------------------------- *)
+
+let fig10_cmd =
+  let run () =
+    List.iter
+      (fun (c, name) ->
+        let o = Scenarios.fig10 c in
+        Format.printf "%-13s: prelude %d/3, probe %s\n" name o.Scenarios.admitted
+          (match o.Scenarios.probe_result with
+          | Ok r -> Format.asprintf "ROUTED (%a)" Network.pp_route r
+          | Error e -> Format.asprintf "BLOCKED (%a)" Network.pp_error e))
+      [ (Network.Msw_dominant, "MSW-dominant"); (Network.Maw_dominant, "MAW-dominant") ]
+  in
+  Cmd.v (Cmd.info "fig10" ~doc:"Play the Fig. 10 blocking scenario.")
+    Term.(const run $ const ())
+
+(* --- simulate ----------------------------------------------------------- *)
+
+let simulate_cmd =
+  let m_arg =
+    Arg.(value & opt (some int) None & info [ "m" ] ~docv:"M"
+           ~doc:"Middle modules; defaults to the theorem minimum.")
+  in
+  let r_arg =
+    Arg.(value & opt int 4 & info [ "r" ] ~docv:"R" ~doc:"Input/output modules.")
+  in
+  let n_local_arg =
+    Arg.(value & opt int 4 & info [ "n-local" ] ~docv:"NL"
+           ~doc:"Ports per input/output module.")
+  in
+  let construction_arg =
+    Arg.(
+      value
+      & opt (enum [ ("msw-dominant", Network.Msw_dominant); ("maw-dominant", Network.Maw_dominant) ])
+          Network.Msw_dominant
+      & info [ "construction" ] ~docv:"C" ~doc:"msw-dominant or maw-dominant.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 2000 & info [ "steps" ] ~docv:"STEPS" ~doc:"Churn events.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run n r k m construction model steps seed =
+    check_dims n k;
+    if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
+    let eval =
+      match construction with
+      | Network.Msw_dominant -> Conditions.msw_dominant ~n ~r
+      | Network.Maw_dominant -> Conditions.maw_dominant ~n ~r ~k
+    in
+    let m = Option.value ~default:eval.Conditions.m_min m in
+    let topo = Topology.make_exn ~n ~m ~r ~k in
+    Format.printf "topology: %a (theorem m_min = %d)\n" Topology.pp topo
+      eval.Conditions.m_min;
+    let net = Network.create ~construction ~output_model:model topo in
+    let sut =
+      {
+        Wdm_traffic.Churn.connect =
+          (fun c ->
+            match Network.connect net c with
+            | Ok route -> Ok route.Network.id
+            | Error e -> Error e);
+        disconnect = (fun id -> ignore (Network.disconnect net id));
+      }
+    in
+    let stats =
+      Wdm_traffic.Churn.run
+        (Random.State.make [| seed |])
+        ~spec:(Topology.spec topo) ~model
+        ~fanout:(Wdm_traffic.Fanout.Zipf { max = n * r; s = 1.1 })
+        ~steps ~teardown_bias:0.35 sut
+    in
+    Format.printf "%a\n" Wdm_traffic.Churn.pp_stats stats;
+    Format.printf "final utilization: %.1f%%\n" (100. *. Network.utilization net)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Churn a three-stage network and report blocking.")
+    Term.(const run $ n_local_arg $ r_arg $ k_arg $ m_arg $ construction_arg
+          $ model_arg $ steps_arg $ seed_arg)
+
+(* --- adversary ----------------------------------------------------------- *)
+
+let adversary_cmd =
+  let max_states_arg =
+    Arg.(value & opt int 100_000 & info [ "max-states" ] ~docv:"S"
+           ~doc:"State budget for the exhaustive search.")
+  in
+  let run n r k max_states =
+    check_dims n k;
+    Format.printf
+      "Exhaustive blocking-frontier search (MSW-dominant/MSW, n=%d r=%d k=%d)\n"
+      n r k;
+    Format.printf "Theorem 1 m_min = %d\n\n"
+      (Conditions.msw_dominant ~n ~r).Conditions.m_min;
+    List.iter
+      (fun (m, v) -> Format.printf "m=%d: %a\n" m An.Adversary.pp_verdict v)
+      (An.Adversary.frontier_exact ~max_states
+         ~construction:Network.Msw_dominant ~output_model:Model.MSW ~n ~r ~k ())
+  in
+  let n_local =
+    Arg.(value & opt int 2 & info [ "n-local" ] ~docv:"NL" ~doc:"Ports per module.")
+  in
+  let r_arg = Arg.(value & opt int 2 & info [ "r" ] ~docv:"R" ~doc:"Modules per side.") in
+  Cmd.v
+    (Cmd.info "adversary"
+       ~doc:"Exhaustive search for blocking witnesses (small instances).")
+    Term.(const run $ n_local $ r_arg $ k_arg $ max_states_arg)
+
+(* --- figures --------------------------------------------------------------- *)
+
+let figures_cmd =
+  let run n k =
+    check_dims n k;
+    print_endline (An.Diagram.fig1_network (Network_spec.make_exn ~n ~k));
+    print_endline (An.Diagram.fig2_models ());
+    print_endline (An.Diagram.fig5_space_crossbar ~n:(min n 6));
+    match Conditions.msw_dominant ~n:2 ~r:2 with
+    | eval ->
+      let topo = Topology.make_exn ~n:2 ~m:eval.Conditions.m_min ~r:2 ~k in
+      print_endline (An.Diagram.fig8_three_stage topo);
+      print_endline
+        (An.Diagram.fig9_construction ~construction:Network.Msw_dominant
+           ~output_model:Model.MAW topo)
+  in
+  Cmd.v (Cmd.info "figures" ~doc:"Render the construction figures as text.")
+    Term.(const run $ n_arg $ k_arg)
+
+(* --- deep (recursive designs) ---------------------------------------------- *)
+
+let deep_cmd =
+  let stages_arg =
+    Arg.(value & opt int 5 & info [ "stages" ] ~docv:"S" ~doc:"Odd stage count.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 2000 & info [ "steps" ] ~docv:"STEPS" ~doc:"Churn events (0: design only).")
+  in
+  let run stages n k steps =
+    check_dims n k;
+    match Recursive.design ~stages ~big_n:n ~k ~output_model:Model.MSW with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok d ->
+      Format.printf "%a\n" Recursive.pp d;
+      Format.printf "crosspoints: %d, converters: %d, m per level: %s\n"
+        (Recursive.crosspoints d) (Recursive.converters d)
+        (String.concat ","
+           (List.map string_of_int (Recursive.middle_modules_per_level d)));
+      if steps > 0 then begin
+        let t = Rnetwork.create ~construction:Network.Msw_dominant d in
+        let sut =
+          {
+            Wdm_traffic.Churn.connect =
+              (fun c ->
+                match Rnetwork.connect t c with
+                | Ok route -> Ok route.Rnetwork.base.Network.id
+                | Error e -> Error e);
+            disconnect = (fun id -> ignore (Rnetwork.disconnect t id));
+          }
+        in
+        let stats =
+          Wdm_traffic.Churn.run (Random.State.make [| 1 |])
+            ~spec:(Topology.spec (Rnetwork.topology t))
+            ~model:Model.MSW
+            ~fanout:(Wdm_traffic.Fanout.Zipf { max = n; s = 1.1 })
+            ~steps ~teardown_bias:0.35 sut
+        in
+        Format.printf "churn: %a\n" Wdm_traffic.Churn.pp_stats stats
+      end
+  in
+  Cmd.v
+    (Cmd.info "deep" ~doc:"Design and churn a recursive (5/7-stage) network.")
+    Term.(const run $ stages_arg $ n_arg $ k_arg $ steps_arg)
+
+let () =
+  let doc = "nonblocking WDM multicast switching networks (Yang-Wang-Qiao reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "wdmnet" ~version:"1.0.0" ~doc)
+          [
+            capacity_cmd; cost_cmd; design_cmd; tables_cmd; sweep_cmd;
+            fig10_cmd; simulate_cmd; adversary_cmd; figures_cmd; deep_cmd;
+          ]))

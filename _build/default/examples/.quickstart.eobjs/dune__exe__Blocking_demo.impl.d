@@ -1,0 +1,1 @@
+examples/blocking_demo.ml: Connection Format List Network Scenarios Topology Wdm_core Wdm_multistage

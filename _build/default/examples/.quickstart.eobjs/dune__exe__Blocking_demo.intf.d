@@ -1,0 +1,1 @@
+examples/blocking_demo.mli:

@@ -1,0 +1,1 @@
+examples/deep_fabric.ml: Connection Endpoint Format List Model Network Physical_recursive Printf Random Recursive Rnetwork String Topology Wdm_core Wdm_crossbar Wdm_multistage Wdm_traffic

@@ -1,0 +1,1 @@
+examples/figures.ml: Format List Model Network Network_spec Printf Result Scenarios Topology Wdm_analysis Wdm_core Wdm_crossbar Wdm_multistage

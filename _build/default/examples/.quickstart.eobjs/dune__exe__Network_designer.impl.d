@@ -1,0 +1,1 @@
+examples/network_designer.ml: Array Capacity Conditions Cost Format Model Network Sys Topology Wdm_bignum Wdm_core Wdm_multistage

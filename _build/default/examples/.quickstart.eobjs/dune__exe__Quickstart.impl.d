@@ -1,0 +1,1 @@
+examples/quickstart.ml: Assignment Capacity Connection Endpoint Format List Model Network_spec Printf Wdm_bignum Wdm_core Wdm_crossbar Wdm_optics

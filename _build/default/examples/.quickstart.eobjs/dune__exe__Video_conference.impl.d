@@ -1,0 +1,1 @@
+examples/video_conference.ml: Array Assignment Connection Endpoint Format List Model Network_spec Printf String Wdm_core Wdm_crossbar Wdm_optics

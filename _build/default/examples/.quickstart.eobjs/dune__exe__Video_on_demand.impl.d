@@ -1,0 +1,1 @@
+examples/video_on_demand.ml: Conditions Format List Model Network Physical Printf Random Topology Wdm_core Wdm_crossbar Wdm_multistage Wdm_optics Wdm_traffic

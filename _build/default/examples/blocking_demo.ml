@@ -1,0 +1,44 @@
+(* Fig. 10 walkthrough: why the MAW-dominant construction exists.
+
+   Plays the paper's blocking scenario step by step on two networks with
+   identical topology (n = r = k = 2, m = 2): one with MSW input/middle
+   modules, one with MAW.  The same three connections are admitted by
+   both; the fourth is blocked only where the middle stage cannot
+   convert wavelengths.
+
+   Run with: dune exec examples/blocking_demo.exe *)
+
+open Wdm_core
+open Wdm_multistage
+
+let () =
+  Format.printf "topology: %a\n\n" Topology.pp Scenarios.fig10_topology;
+  Format.printf "prelude connections (all on wavelength l1):\n";
+  List.iteri
+    (fun i c -> Format.printf "  %d. %a\n" (i + 1) Connection.pp c)
+    Scenarios.fig10_prelude;
+  Format.printf "probe: %a  (destination on l2 - needs conversion)\n\n"
+    Connection.pp Scenarios.fig10_probe;
+
+  List.iter
+    (fun (construction, name, modules) ->
+      Format.printf "--- %s construction (first two stages: %s modules) ---\n"
+        name modules;
+      let outcome = Scenarios.fig10 construction in
+      Format.printf "  prelude: %d/3 admitted\n" outcome.Scenarios.admitted;
+      (match outcome.Scenarios.probe_result with
+      | Ok route -> Format.printf "  probe: ROUTED - %a\n" Network.pp_route route
+      | Error e -> Format.printf "  probe: BLOCKED - %a\n" Network.pp_error e);
+      Format.print_newline ())
+    [
+      (Network.Msw_dominant, "MSW-dominant", "MSW");
+      (Network.Maw_dominant, "MAW-dominant", "MAW");
+    ];
+
+  print_endline
+    "Under MSW middles the probe's source wavelength l1 is pinned through\n\
+     the first two stages, and the prelude exhausted l1 on every link out\n\
+     of input module 1.  MAW middles may retune hop by hop, so the same\n\
+     request rides a free wavelength instead - exactly the advantage the\n\
+     paper illustrates in Fig. 10.  (Theorems 1 and 2 then show how large\n\
+     m must be so that, with the right construction, this never happens.)"

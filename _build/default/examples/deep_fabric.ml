@@ -1,0 +1,98 @@
+(* A 5-stage recursive fabric, end to end.
+
+   The paper notes a network "can have any odd number of stages and be
+   built in a recursive fashion".  This example designs a 5-stage N=27
+   network (every level at its own Theorem-1 minimum), routes live
+   traffic through it, realizes the surviving sessions on the actual
+   optical circuit, and shows the price of depth: the power budget
+   worsens with every extra stage of splitters and gates.
+
+   Run with: dune exec examples/deep_fabric.exe *)
+
+open Wdm_core
+open Wdm_multistage
+
+let () =
+  let design stages big_n =
+    match Recursive.design ~stages ~big_n ~k:2 ~output_model:Model.MSW with
+    | Ok d -> d
+    | Error e -> failwith e
+  in
+  (* cost of depth at fixed N = 4096 *)
+  print_endline "crosspoints at N=4096, k=2 (MSW):";
+  List.iter
+    (fun stages ->
+      let d = design stages 4096 in
+      Printf.printf "  %d stages: %9d crosspoints (m per level: %s)\n" stages
+        (Recursive.crosspoints d)
+        (String.concat ","
+           (List.map string_of_int (Recursive.middle_modules_per_level d))))
+    [ 3; 5; 7 ];
+
+  (* now run a 5-stage N=27 network for real *)
+  let d = design 5 27 in
+  Format.printf "\nbuilding and routing: %a\n" Recursive.pp d;
+  let net = Rnetwork.create ~construction:Network.Msw_dominant d in
+  let sut =
+    {
+      Wdm_traffic.Churn.connect =
+        (fun c ->
+          match Rnetwork.connect net c with
+          | Ok route -> Ok route.Rnetwork.base.Network.id
+          | Error e -> Error e);
+      disconnect = (fun id -> ignore (Rnetwork.disconnect net id));
+    }
+  in
+  let stats =
+    Wdm_traffic.Churn.run (Random.State.make [| 99 |])
+      ~spec:(Topology.spec (Rnetwork.topology net))
+      ~model:Model.MSW
+      ~fanout:(Wdm_traffic.Fanout.Zipf { max = 27; s = 1.2 })
+      ~steps:3000 ~teardown_bias:0.35 sut
+  in
+  Format.printf "churn: %a\n" Wdm_traffic.Churn.pp_stats stats;
+  assert (stats.Wdm_traffic.Churn.blocked = 0);
+
+  (* realize the live sessions optically on the 5-stage circuit *)
+  let phys = Physical_recursive.create ~construction:Network.Msw_dominant d in
+  let routes = Rnetwork.active_routes net in
+  Printf.printf "realizing %d live sessions on the %d-stage circuit (%d gates)...\n"
+    (List.length routes)
+    (Physical_recursive.stages phys)
+    (Physical_recursive.crosspoints phys);
+  (match Physical_recursive.realize phys routes with
+  | Ok outcome ->
+    (match Wdm_crossbar.Delivery.min_power_db outcome with
+    | Some p -> Printf.printf "worst delivered power (5 stages): %.1f dB\n" p
+    | None -> ());
+    (match Wdm_crossbar.Delivery.max_gates_passed outcome with
+    | Some g -> Printf.printf "crosspoints per path: %d (one per stage)\n" g
+    | None -> ())
+  | Error f ->
+    Format.printf "failed: %a\n" Wdm_crossbar.Delivery.pp_failure f;
+    exit 1);
+
+  (* the 3-stage comparison point at a comparable size *)
+  let d3 = design 3 25 in
+  let net3 = Rnetwork.create ~construction:Network.Msw_dominant d3 in
+  let c =
+    Connection.make_exn ~source:(Endpoint.make ~port:1 ~wl:1)
+      ~destinations:(List.init 25 (fun p -> Endpoint.make ~port:(p + 1) ~wl:1))
+  in
+  let phys3 = Physical_recursive.create ~construction:Network.Msw_dominant d3 in
+  (match Rnetwork.connect net3 c with
+  | Ok _ -> ()
+  | Error e -> failwith (Format.asprintf "%a" Network.pp_error e));
+  match Physical_recursive.realize phys3 (Rnetwork.active_routes net3) with
+  | Ok outcome ->
+    (match Wdm_crossbar.Delivery.min_power_db outcome with
+    | Some p ->
+      Printf.printf
+        "broadcast on a 3-stage N=25 fabric for comparison: %.1f dB\n\
+         -> every extra stage pair costs splitters, gates and combiners;\n\
+         \   the paper's log-depth trade-off is a real power trade-off.\n"
+        p
+    | None -> ())
+  | Error f ->
+    Format.printf "failed: %a\n" Wdm_crossbar.Delivery.pp_failure f;
+    exit 1

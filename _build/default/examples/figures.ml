@@ -1,0 +1,45 @@
+(* Textual reproductions of the paper's construction figures, generated
+   from the same constructors the simulators use.
+
+   Run with: dune exec examples/figures.exe *)
+
+open Wdm_core
+open Wdm_multistage
+module An = Wdm_analysis
+
+let () =
+  print_endline (An.Diagram.fig1_network (Network_spec.make_exn ~n:4 ~k:3));
+  print_endline (An.Diagram.fig2_models ());
+  print_endline (An.Diagram.fig5_space_crossbar ~n:3);
+
+  (* Figs. 4/6/7 as component inventories of the real circuits *)
+  print_endline "Figs. 4/6/7 - crossbar fabrics as built (N=3, k=2):\n";
+  List.iter
+    (fun model ->
+      let f = Wdm_crossbar.Fabric.create ~model (Network_spec.make_exn ~n:3 ~k:2) in
+      Printf.printf "  %-4s fabric: %3d SOA gates, %d converters\n"
+        (Model.to_string model)
+        (Wdm_crossbar.Fabric.crosspoints f)
+        (Wdm_crossbar.Fabric.converters f))
+    Model.all;
+  print_newline ();
+
+  let topo = Topology.make_exn ~n:2 ~m:4 ~r:2 ~k:2 in
+  print_endline (An.Diagram.fig8_three_stage topo);
+  print_endline
+    (An.Diagram.fig9_construction ~construction:Network.Msw_dominant
+       ~output_model:Model.MAW topo);
+  print_endline
+    (An.Diagram.fig9_construction ~construction:Network.Maw_dominant
+       ~output_model:Model.MAW topo);
+
+  (* Fig. 10 state, rendered from the live network *)
+  print_endline "Fig. 10 - the state that blocks MSW middles (see blocking_demo):\n";
+  let net =
+    Network.create ~x_limit:2 ~construction:Network.Msw_dominant
+      ~output_model:Model.MAW Scenarios.fig10_topology
+  in
+  List.iter
+    (fun c -> ignore (Result.get_ok (Network.connect net c)))
+    Scenarios.fig10_prelude;
+  Format.printf "%a@." Network.pp_state net

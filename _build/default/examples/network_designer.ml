@@ -1,0 +1,77 @@
+(* Network designer: pick the cheapest nonblocking WDM multicast switch.
+
+   Given target dimensions (N ports, k wavelengths) and a multicast
+   model, compares the crossbar design of Section 2 against the
+   MSW-dominant three-stage design of Section 3 and prints a bill of
+   materials for the winner — the cost-performance trade-off workflow
+   the paper's comparison tables support.
+
+   Run with: dune exec examples/network_designer.exe -- [N] [k] [MODEL]
+   (defaults: 64 4 MAW) *)
+
+open Wdm_core
+open Wdm_multistage
+
+let usage () =
+  prerr_endline "usage: network_designer [N] [k] [MSW|MSDW|MAW]";
+  exit 2
+
+let () =
+  let argv = Sys.argv in
+  let big_n = if Array.length argv > 1 then int_of_string argv.(1) else 64 in
+  let k = if Array.length argv > 2 then int_of_string argv.(2) else 4 in
+  let model =
+    if Array.length argv > 3 then
+      match Model.of_string argv.(3) with Ok m -> m | Error _ -> usage ()
+    else Model.MAW
+  in
+  if big_n < 1 || k < 1 then usage ();
+
+  Format.printf "Designing a nonblocking %dx%d k=%d WDM multicast switch (%a)\n\n"
+    big_n big_n k Model.pp model;
+
+  Format.printf "Capacity under %a: %a full / %a any multicast assignments\n\n"
+    Model.pp model Wdm_bignum.Nat.pp_approx
+    (Capacity.full model ~n:big_n ~k)
+    Wdm_bignum.Nat.pp_approx
+    (Capacity.any model ~n:big_n ~k);
+
+  (* Option A: crossbar *)
+  let cb = Wdm_core.Cost.summarize model ~n:big_n ~k in
+  Format.printf "Option A - crossbar (Section 2):\n  %a\n\n" Wdm_core.Cost.pp_summary cb;
+
+  (* Option B: three-stage MSW-dominant, if N is a perfect square *)
+  match
+    Cost.recommended ~construction:Network.Msw_dominant ~output_model:model
+      ~big_n ~k
+  with
+  | Error e ->
+    Format.printf "Option B - three-stage: not applicable (%s)\n" e;
+    Format.printf "\nRecommendation: crossbar.\n"
+  | Ok (topo, eval, b) ->
+    Format.printf
+      "Option B - three-stage MSW-dominant (Section 3):\n\
+      \  topology: %a\n\
+      \  Theorem 1: m > %.2f at x=%d -> m = %d\n\
+      \  %a\n\n"
+      Topology.pp topo eval.Conditions.bound eval.Conditions.x
+      eval.Conditions.m_min Cost.pp_breakdown b;
+    let winner_is_ms = b.Cost.total_crosspoints < cb.Wdm_core.Cost.crosspoints in
+    Format.printf "Recommendation: %s (%d vs %d crosspoints%s)\n"
+      (if winner_is_ms then "three-stage" else "crossbar")
+      (min b.Cost.total_crosspoints cb.Wdm_core.Cost.crosspoints)
+      (max b.Cost.total_crosspoints cb.Wdm_core.Cost.crosspoints)
+      (if model = Model.MSDW then
+         "; note Section 2.4: prefer MAW over MSDW - same cost, more capacity"
+       else "");
+    if winner_is_ms then begin
+      Format.printf "\nBill of materials (three-stage):\n";
+      Format.printf "  input stage : %d modules %dx%d\n" topo.Topology.r
+        topo.Topology.n topo.Topology.m;
+      Format.printf "  middle stage: %d modules %dx%d\n" topo.Topology.m
+        topo.Topology.r topo.Topology.r;
+      Format.printf "  output stage: %d modules %dx%d (%a)\n" topo.Topology.r
+        topo.Topology.m topo.Topology.n Model.pp model;
+      Format.printf "  SOA gates   : %d\n" b.Cost.total_crosspoints;
+      Format.printf "  converters  : %d\n" b.Cost.total_converters
+    end

@@ -1,0 +1,88 @@
+(* Video conferencing on a WDM multicast crossbar.
+
+   The paper motivates WDM multicast with bandwidth-hungry group
+   applications.  Here eight sites run several simultaneous video
+   conferences on one 8x8, k=4 MAW crossbar: each participant multicasts
+   its own camera stream to the other members of its conference, so a
+   site participating in two conferences receives several streams at
+   once on different wavelengths — impossible in a single-wavelength
+   electronic switch, where each destination receives at most one
+   message at a time.
+
+   Run with: dune exec examples/video_conference.exe *)
+
+open Wdm_core
+
+let n = 8
+let k = 4
+
+(* conference id -> member sites (1-based ports).  Sites 2 and 3 each
+   join two conferences; with k = 4 receiver wavelengths a site can
+   absorb at most four concurrent streams, so memberships are sized to
+   fit. *)
+let conferences = [ ("standup", [ 1; 2; 3 ]); ("board", [ 2; 4; 5 ]); ("ops", [ 3; 7; 8 ]) ]
+
+let () =
+  let spec = Network_spec.make_exn ~n ~k in
+  let fabric = Wdm_crossbar.Fabric.create ~model:Model.MAW spec in
+
+  (* Allocate endpoints: walk each conference, give every member one
+     transmitter wavelength for its outgoing stream and one receiver
+     wavelength per incoming stream.  A simple first-free allocator per
+     port suffices here. *)
+  let next_tx = Array.make (n + 1) 1 and next_rx = Array.make (n + 1) 1 in
+  let alloc arr port =
+    let wl = arr.(port) in
+    if wl > k then failwith (Printf.sprintf "port %d out of wavelengths" port);
+    arr.(port) <- wl + 1;
+    Endpoint.make ~port ~wl
+  in
+  let connections =
+    List.concat_map
+      (fun (conf, members) ->
+        List.map
+          (fun speaker ->
+            let listeners = List.filter (fun m -> m <> speaker) members in
+            let source = alloc next_tx speaker in
+            let destinations = List.map (alloc next_rx) listeners in
+            Printf.printf "[%s] site %d streams %s -> %s\n" conf speaker
+              (Endpoint.to_string source)
+              (String.concat ", " (List.map Endpoint.to_string destinations));
+            Connection.make_exn ~source ~destinations)
+          members)
+      conferences
+  in
+  let assignment = Assignment.make connections in
+  Printf.printf "\n%d simultaneous multicast connections, %d streams delivered\n"
+    (Assignment.size assignment)
+    (Assignment.total_fanout assignment);
+
+  match Wdm_crossbar.Fabric.realize fabric assignment with
+  | Error f ->
+    Format.printf "conference setup failed: %a\n" Wdm_crossbar.Delivery.pp_failure f;
+    exit 1
+  | Ok outcome ->
+    print_endline "all conferences up - per-site receive load:";
+    List.iter
+      (fun (sink, signals) ->
+        Printf.printf "  %s: %d concurrent streams\n" sink (List.length signals))
+      (List.sort compare outcome.Wdm_optics.Circuit.deliveries);
+    (* Sites 2 and 3 are each in two conferences: they must be
+       receiving from both at once. *)
+    let streams_at site =
+      match
+        List.assoc_opt (Wdm_crossbar.Labels.output_port site)
+          outcome.Wdm_optics.Circuit.deliveries
+      with
+      | Some s -> List.length s
+      | None -> 0
+    in
+    List.iter
+      (fun site ->
+        assert (streams_at site = 4)
+        (* two from each of its two conferences *))
+      [ 2; 3 ];
+    Printf.printf
+      "\nWDM advantage confirmed: the two-conference sites receive %d and %d \
+       streams concurrently.\n"
+      (streams_at 2) (streams_at 3)

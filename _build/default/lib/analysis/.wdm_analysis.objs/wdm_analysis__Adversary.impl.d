@@ -1,0 +1,1 @@
+lib/analysis/adversary.ml: Conditions Connection Endpoint Format Hashtbl Int List Model Network Network_spec Option Printf Queue Result String Topology Wdm_core Wdm_multistage

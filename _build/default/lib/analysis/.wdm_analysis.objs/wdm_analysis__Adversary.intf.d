@@ -1,0 +1,1 @@
+lib/analysis/adversary.mli: Connection Format Model Network Topology Wdm_core Wdm_multistage

@@ -1,0 +1,1 @@
+lib/analysis/blocking.ml: Conditions Format Int List Model Network Parallel Printf Random Stdlib Table Topology Wdm_core Wdm_multistage Wdm_traffic

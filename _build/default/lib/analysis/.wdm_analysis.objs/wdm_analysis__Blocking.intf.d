@@ -1,0 +1,1 @@
+lib/analysis/blocking.mli: Model Network Table Wdm_core Wdm_multistage Wdm_traffic

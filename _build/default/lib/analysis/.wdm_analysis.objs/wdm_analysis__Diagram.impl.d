@@ -1,0 +1,1 @@
+lib/analysis/diagram.ml: Buffer Connection Endpoint Format List Model Network Network_spec Printf Topology Wdm_core Wdm_multistage

@@ -1,0 +1,1 @@
+lib/analysis/diagram.mli: Model Network Network_spec Topology Wdm_core Wdm_multistage

@@ -1,0 +1,1 @@
+lib/analysis/parallel.ml: Array Atomic Domain List Option Stdlib

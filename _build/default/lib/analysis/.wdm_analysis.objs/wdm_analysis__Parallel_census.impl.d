@@ -1,0 +1,1 @@
+lib/analysis/parallel_census.ml: Enumerate List Parallel Wdm_core

@@ -1,0 +1,1 @@
+lib/analysis/parallel_census.mli: Enumerate Model Network_spec Wdm_core

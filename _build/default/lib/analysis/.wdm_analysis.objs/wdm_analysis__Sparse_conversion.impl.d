@@ -1,0 +1,1 @@
+lib/analysis/sparse_conversion.ml: Capacity Enumerate Fun List Model Network_spec Printf Table Wdm_bignum Wdm_core Wdm_crossbar

@@ -1,0 +1,1 @@
+lib/analysis/sparse_conversion.mli: Model Table Wdm_core

@@ -1,0 +1,1 @@
+lib/analysis/sweeps.ml: Capacity Conditions Cost Format List Model Network Printf Table Wdm_bignum Wdm_core Wdm_multistage

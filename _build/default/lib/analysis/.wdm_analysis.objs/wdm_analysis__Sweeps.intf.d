@@ -1,0 +1,1 @@
+lib/analysis/sweeps.mli: Table Wdm_core

@@ -1,0 +1,1 @@
+lib/analysis/table1.ml: Capacity Cost Enumerate Format List Model Nat Network_spec Printf Table Wdm_bignum Wdm_core

@@ -1,0 +1,1 @@
+lib/analysis/table2.ml: Conditions Cost List Model Network Printf Table Topology Wdm_core Wdm_multistage

@@ -1,0 +1,77 @@
+(** Exhaustive adversarial search for blocking witnesses.
+
+    Theorems 1-2 are sufficient conditions; the paper notes (citing its
+    reference [16]) that matching necessary conditions hold under the
+    usual routing strategies.  This module explores the {e entire}
+    reachable state space of a small three-stage network — every legal
+    connect and disconnect, breadth-first with state memoization — and
+    either produces a concrete {e blocking witness} (a reachable state
+    plus a legal request the router refuses) or proves that, under the
+    engine's deterministic routing, no request sequence whatsoever can
+    block the network.
+
+    This is far stronger than randomized churn: it certifies
+    nonblocking for concrete small instances and finds the true
+    blocking frontier, which randomized traffic only brackets.  It is
+    exponential, so it is meant for the small topologies where the
+    theorems' arithmetic is also exercised by hand. *)
+
+open Wdm_core
+open Wdm_multistage
+
+type step =
+  | Connect of Connection.t
+  | Disconnect of Connection.t
+      (** identified by its connection — a live source endpoint names
+          its route uniquely *)
+
+type witness = {
+  steps : step list;
+      (** the exact action sequence from the empty network; replaying
+          it is deterministic *)
+  probe : Connection.t;  (** the legal request the router then refused *)
+}
+
+type verdict =
+  | Blocking of witness
+  | Nonblocking_proved of { states_explored : int }
+      (** every reachable state admits every legal request *)
+  | Search_exhausted of { states_explored : int }
+      (** state budget hit before exploring everything *)
+
+val search :
+  ?max_states:int ->
+  ?max_fanout:int ->
+  construction:Network.construction ->
+  output_model:Model.t ->
+  Topology.t ->
+  verdict
+(** [max_states] bounds the explored state count (default [50_000]);
+    [max_fanout] caps the fanout of generated requests (default: no
+    cap).  Teardowns are explored as well as connects, so witnesses
+    needing churn are found. *)
+
+val frontier_exact :
+  ?max_states:int ->
+  construction:Network.construction ->
+  output_model:Model.t ->
+  n:int ->
+  r:int ->
+  k:int ->
+  unit ->
+  (int * verdict) list
+(** Runs {!search} for every [m] from the topological minimum to the
+    theorem's [m_min], returning the verdict per [m] — the exact
+    blocking frontier when all searches complete. *)
+
+val replay :
+  construction:Network.construction ->
+  output_model:Model.t ->
+  Topology.t ->
+  witness ->
+  bool
+(** Re-executes the witness on a fresh network and checks the probe is
+    indeed refused with [Blocked] (and every step succeeds) — witnesses
+    are independently checkable artifacts, not just search claims. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,124 @@
+open Wdm_core
+open Wdm_multistage
+
+let buf_with f =
+  let b = Buffer.create 512 in
+  f b;
+  Buffer.contents b
+
+let fig1_network (spec : Network_spec.t) =
+  let n = spec.n and k = spec.k in
+  buf_with (fun b ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "Fig. 1 - %dx%d WDM network, %d wavelengths per fiber\n\n" n n k);
+      Buffer.add_string b
+        (Printf.sprintf "  %d TX array         %d RX array\n" k k);
+      for p = 1 to n do
+        Buffer.add_string b
+          (Printf.sprintf
+             "  node %-2d >==(l1..l%d)==[in %-2d]   %dx%d WDM   [out %-2d]==(l1..l%d)==> node %-2d\n"
+             p k p n n p k p)
+      done;
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n  %d addressable endpoints per side; a node may take part in up to\n\
+           \  %d multicast connections at once (one per wavelength).\n"
+           (n * k) k))
+
+let fig2_models () =
+  let ep port wl = Endpoint.make ~port ~wl in
+  let cases =
+    [
+      ( "MSW : same wavelength end to end",
+        Connection.make_exn ~source:(ep 1 2) ~destinations:[ ep 2 2; ep 3 2 ] );
+      ( "MSDW: one destination wavelength, source may differ",
+        Connection.make_exn ~source:(ep 1 1) ~destinations:[ ep 2 3; ep 3 3 ] );
+      ( "MAW : every endpoint free",
+        Connection.make_exn ~source:(ep 1 1) ~destinations:[ ep 2 1; ep 3 2; ep 4 3 ] );
+    ]
+  in
+  buf_with (fun b ->
+      Buffer.add_string b "Fig. 2 - the three multicast models\n\n";
+      List.iter
+        (fun (label, conn) ->
+          Buffer.add_string b
+            (Format.asprintf "  %-50s %a\n" label Connection.pp conn);
+          Buffer.add_string b "      legal under:";
+          List.iter
+            (fun m ->
+              if Model.allows m conn then
+                Buffer.add_string b (" " ^ Model.to_string m))
+            Model.all;
+          Buffer.add_string b "\n")
+        cases)
+
+let fig5_space_crossbar ~n =
+  buf_with (fun b ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "Fig. 5 - %dx%d single-wavelength multicast space crossbar (%d crosspoints)\n\n"
+           n n (n * n));
+      Buffer.add_string b "            ";
+      for j = 1 to n do
+        Buffer.add_string b (Printf.sprintf " out%-3d" j)
+      done;
+      Buffer.add_string b "\n";
+      for i = 1 to n do
+        Buffer.add_string b (Printf.sprintf "  in%-2d-[1x%d]" i n);
+        for j = 1 to n do
+          Buffer.add_string b (Printf.sprintf " (g%d%d) " i j)
+        done;
+        Buffer.add_string b "\n"
+      done;
+      Buffer.add_string b "            ";
+      for _ = 1 to n do
+        Buffer.add_string b (Printf.sprintf " [%dx1] " n)
+      done;
+      Buffer.add_string b "\n";
+      Buffer.add_string b
+        "  rows: splitter copies; columns: combiner inputs; an on gate (gij)\n\
+        \  connects input i to output j; one on gate per column = no collision.\n")
+
+let stage_line b ~label ~count ~ins ~outs ~model_name =
+  Buffer.add_string b
+    (Printf.sprintf "  %-7s %2d modules of %2dx%-2d  [%s]\n" label count ins outs
+       model_name)
+
+let fig8_generic title note ~input_model ~middle_model ~output_model
+    (topo : Topology.t) =
+  let { Topology.n; m; r; k } = topo in
+  buf_with (fun b ->
+      Buffer.add_string b
+        (Printf.sprintf "%s: N = n*r = %d, k = %d\n\n" title (n * r) k);
+      Buffer.add_string b
+        (Printf.sprintf
+           "   in 1..%-4d      %d links        %d links       out 1..%d\n"
+           (n * r) (r * m) (m * r) (n * r));
+      stage_line b ~label:"input" ~count:r ~ins:n ~outs:m ~model_name:input_model;
+      stage_line b ~label:"middle" ~count:m ~ins:r ~outs:r ~model_name:middle_model;
+      stage_line b ~label:"output" ~count:r ~ins:m ~outs:n ~model_name:output_model;
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n  exactly one fiber (x%d wavelengths) between every module pair in\n\
+           \  consecutive stages.%s\n"
+           k note))
+
+let fig8_three_stage topo =
+  fig8_generic "Fig. 8 - three-stage switching network" "" ~input_model:"-"
+    ~middle_model:"-" ~output_model:"-" topo
+
+let fig9_construction ~construction ~output_model topo =
+  let inner, title =
+    match (construction : Network.construction) with
+    | Network.Msw_dominant -> ("MSW", "Fig. 9a - MSW-dominant construction")
+    | Network.Maw_dominant -> ("MAW", "Fig. 9b - MAW-dominant construction")
+  in
+  let note =
+    Printf.sprintf
+      "\n  The output stage's model (%s) is the network's multicast model;\n\
+      \  the first two stages are %s."
+      (Model.to_string output_model) inner
+  in
+  fig8_generic title note ~input_model:inner ~middle_model:inner
+    ~output_model:(Model.to_string output_model) topo

@@ -1,0 +1,30 @@
+(** Text renderings of the paper's construction figures.
+
+    The paper's Figs. 1-9 are structural diagrams; these renderers
+    reproduce them as annotated ASCII so the examples and docs can show
+    what was built without image output.  All content is derived from
+    the same constructors the simulators use, so a diagram is always in
+    sync with the code. *)
+
+open Wdm_core
+open Wdm_multistage
+
+val fig1_network : Network_spec.t -> string
+(** The [N x N] [k]-wavelength WDM network with its transmitter and
+    receiver arrays. *)
+
+val fig2_models : unit -> string
+(** The three multicast models on one example connection each, with
+    the per-model legality verdicts computed by {!Wdm_core.Model}. *)
+
+val fig5_space_crossbar : n:int -> string
+(** The single-wavelength multicast space crossbar: splitters, the
+    [N^2] gate grid, combiners. *)
+
+val fig8_three_stage : Topology.t -> string
+(** The three-stage topology with stage sizes and link counts. *)
+
+val fig9_construction :
+  construction:Network.construction -> output_model:Model.t -> Topology.t -> string
+(** Fig. 8 annotated with the module models of the chosen construction
+    (Fig. 9a: MSW-dominant, Fig. 9b: MAW-dominant). *)

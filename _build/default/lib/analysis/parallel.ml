@@ -1,0 +1,37 @@
+let available_domains () = Stdlib.max 1 (Domain.recommended_domain_count ())
+
+type 'b slot = Pending | Done of 'b | Failed of exn
+
+let map ?domains f xs =
+  let n = List.length xs in
+  let d = Stdlib.max 1 (Stdlib.min n (Option.value ~default:(available_domains ()) domains)) in
+  if n = 0 then []
+  else if d = 1 then List.map f xs
+  else begin
+    let inputs = Array.of_list xs in
+    let results = Array.make n Pending in
+    (* Work stealing via a shared counter: domains pull the next index
+       until exhausted.  Atomic is enough - indices are disjoint. *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+            (match f inputs.(i) with
+            | v -> Done v
+            | exception e -> Failed e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list results
+    |> List.map (function
+         | Done v -> v
+         | Failed e -> raise e
+         | Pending -> assert false)
+  end

@@ -1,0 +1,22 @@
+(** Multicore fan-out for embarrassingly parallel experiments.
+
+    OCaml 5 domains, no external dependency: a bounded pool evaluates
+    independent tasks and preserves input order.  Used to parallelize
+    the brute-force census ({!Wdm_core.Enumerate} partitions its search
+    on the first output endpoint's choice) and the seed sweeps of the
+    blocking experiments.
+
+    Tasks must not share mutable state: in this code base that rules
+    out concurrent calls into the memoized
+    {!Wdm_bignum.Combinatorics} tables (capacity formulas) but admits
+    census DFS, network churn and fabric propagation, which own all
+    their state. *)
+
+val available_domains : unit -> int
+(** [Domain.recommended_domain_count], at least 1. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] evaluates [f] over [xs] on up to [domains] (default
+    {!available_domains}) domains and returns results in input order.
+    The first raised exception is re-raised in the caller after all
+    domains join. *)

@@ -1,0 +1,13 @@
+open Wdm_core
+
+let census ?domains ?(budget = 4e8) spec model =
+  let parts =
+    Parallel.map ?domains
+      (fun branch -> Enumerate.census_branch ~budget spec model ~branch)
+      (Enumerate.branches spec)
+  in
+  List.fold_left
+    (fun acc (c : Enumerate.counts) ->
+      { Enumerate.full = acc.Enumerate.full + c.Enumerate.full; any = acc.Enumerate.any + c.Enumerate.any })
+    { Enumerate.full = 0; any = 0 }
+    parts

@@ -1,0 +1,18 @@
+(** Multicore brute-force census.
+
+    The census DFS of {!Wdm_core.Enumerate} partitions exactly along
+    the choice made for the first output endpoint ([Nk + 1] branches);
+    each branch owns all its state, so they fan out over domains with
+    {!Parallel.map} and the counts add up.  This pushes the feasible
+    cross-check boundary for Lemmas 1-3 roughly a core-count further. *)
+
+open Wdm_core
+
+val census :
+  ?domains:int ->
+  ?budget:float ->
+  Network_spec.t ->
+  Model.t ->
+  Enumerate.counts
+(** Equal to {!Wdm_core.Enumerate.census} (the tests check it), with a
+    default budget of [4e8] candidate maps instead of [2e7]. *)

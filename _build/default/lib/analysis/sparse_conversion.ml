@@ -1,0 +1,50 @@
+open Wdm_core
+
+type measurement = { range : int; realizable : int; total : int }
+
+let measure ?budget ~n ~k ~model ~range () =
+  let spec = Network_spec.make_exn ~n ~k in
+  let fabric = Wdm_crossbar.Fabric.create ~converter_range:range ~model spec in
+  let realizable = ref 0 and total = ref 0 in
+  Enumerate.iter_assignments ?budget spec model (fun a ->
+      incr total;
+      match Wdm_crossbar.Fabric.realize fabric a with
+      | Ok _ -> incr realizable
+      | Error _ -> ());
+  { range; realizable = !realizable; total = !total }
+
+let table ~n ~k =
+  let t =
+    Table.make
+      ~title:
+        (Printf.sprintf
+           "Realizable any-assignments with range-d converters (N=%d, k=%d)" n k)
+      ~header:[ "model"; "d"; "realizable"; "of total"; "fraction" ]
+      ()
+  in
+  List.iter
+    (fun model ->
+      List.iter
+        (fun range ->
+          let m = measure ~n ~k ~model ~range () in
+          Table.add_row t
+            [
+              Model.to_string model;
+              string_of_int range;
+              string_of_int m.realizable;
+              string_of_int m.total;
+              Printf.sprintf "%.4f"
+                (float_of_int m.realizable /. float_of_int m.total);
+            ])
+        (List.init k Fun.id);
+      Table.add_rule t)
+    [ Model.MSDW; Model.MAW ];
+  Table.add_row t
+    [
+      "(MSW baseline)";
+      "-";
+      Wdm_bignum.Nat.to_string (Capacity.msw_any ~n ~k);
+      "-";
+      "-";
+    ];
+  t

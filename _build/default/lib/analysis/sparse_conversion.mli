@@ -1,0 +1,29 @@
+(** Capacity under limited-range wavelength conversion.
+
+    The paper assumes full-range converters (any wavelength to any
+    wavelength).  Real converters of the period were range-limited, and
+    the natural question — how much multicast capacity survives with
+    range-[d] devices? — is answered here empirically: enumerate every
+    assignment legal under the model and count how many the fabric
+    still {e physically} realizes when its converters can shift at most
+    [d] positions.  [d = 0] collapses MSDW and MAW to MSW capacity;
+    [d = k-1] restores the full Table 1 numbers; between the two the
+    measured curve interpolates. *)
+
+open Wdm_core
+
+type measurement = {
+  range : int;
+  realizable : int;  (** assignments the range-limited fabric delivered *)
+  total : int;  (** assignments legal under the model *)
+}
+
+val measure :
+  ?budget:float -> n:int -> k:int -> model:Model.t -> range:int -> unit -> measurement
+(** Exhaustive over the model's any-assignments (subject to the census
+    budget); every candidate is realized optically, not just checked
+    symbolically. *)
+
+val table : n:int -> k:int -> Table.t
+(** Rows for MSDW and MAW at every range [0 .. k-1], with the MSW
+    baseline and full-range capacity called out. *)

@@ -1,0 +1,91 @@
+open Wdm_core
+open Wdm_multistage
+
+let theorem_bounds ~ns ~ks =
+  let t =
+    Table.make ~title:"Nonblocking m (n = r): Theorem 1 vs Theorem 2 vs asymptotic"
+      ~header:
+        ([ "n=r"; "x*"; "Thm1 m_min"; "3(n-1)logr/loglogr" ]
+        @ List.map (fun k -> Printf.sprintf "Thm2 m_min (k=%d)" k) ks)
+      ()
+  in
+  List.iter
+    (fun n ->
+      let e1 = Conditions.msw_dominant ~n ~r:n in
+      Table.add_row t
+        ([
+           string_of_int n;
+           string_of_int e1.Conditions.x;
+           string_of_int e1.Conditions.m_min;
+           Printf.sprintf "%.1f" (Conditions.asymptotic_bound ~n ~r:n);
+         ]
+        @ List.map
+            (fun k ->
+              string_of_int (Conditions.maw_dominant ~n ~r:n ~k).Conditions.m_min)
+            ks))
+    ns;
+  t
+
+let squares max_big_n =
+  let rec go i acc =
+    if i * i > max_big_n then List.rev acc
+    else go (i + 1) ((i * i) :: acc)
+  in
+  go 2 []
+
+let ms_crosspoints ~output_model ~big_n ~k =
+  match Cost.recommended ~construction:Network.Msw_dominant ~output_model ~big_n ~k with
+  | Ok (_, _, b) -> b.Cost.total_crosspoints
+  | Error e -> invalid_arg e
+
+let first_crossover ~output_model ~k ~max_big_n =
+  List.find_opt
+    (fun big_n ->
+      ms_crosspoints ~output_model ~big_n ~k
+      < Cost.crossbar_crosspoints ~output_model ~big_n ~k)
+    (squares max_big_n)
+
+let crossover ~output_model ~k ~max_big_n =
+  let t =
+    Table.make
+      ~title:
+        (Format.asprintf "Crossbar vs multistage crosspoints (%a, k=%d)"
+           Model.pp output_model k)
+      ~header:[ "N"; "CB xpts"; "MS xpts"; "winner" ]
+      ()
+  in
+  List.iter
+    (fun big_n ->
+      let cb = Cost.crossbar_crosspoints ~output_model ~big_n ~k in
+      let ms = ms_crosspoints ~output_model ~big_n ~k in
+      Table.add_row t
+        [
+          string_of_int big_n;
+          string_of_int cb;
+          string_of_int ms;
+          (if ms < cb then "MS" else "CB");
+        ])
+    (squares max_big_n);
+  t
+
+let capacity_growth ~k ~ns =
+  let t =
+    Table.make
+      ~title:(Printf.sprintf "log10 of full-multicast capacity (k=%d)" k)
+      ~header:[ "N"; "MSW"; "MSDW"; "MAW"; "(Nk)^(Nk) electronic" ]
+      ()
+  in
+  List.iter
+    (fun n ->
+      let l model = Wdm_bignum.Nat.log10 (Capacity.full model ~n ~k) in
+      Table.add_row t
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" (l Model.MSW);
+          Printf.sprintf "%.1f" (l Model.MSDW);
+          Printf.sprintf "%.1f" (l Model.MAW);
+          Printf.sprintf "%.1f"
+            (Wdm_bignum.Nat.log10 (Capacity.equivalent_electronic_full ~n ~k));
+        ])
+    ns;
+  t

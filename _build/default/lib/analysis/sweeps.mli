@@ -1,0 +1,19 @@
+(** Parameter sweeps behind the "figure-shaped" results: how the
+    Theorem 1/2 middle-stage requirement grows, where the multistage
+    design overtakes the crossbar, and how close the optimized bound
+    runs to the asymptotic [3(n-1) log r / log log r] expression. *)
+
+val theorem_bounds : ns:int list -> ks:int list -> Table.t
+(** For square topologies [n = r]: optimal [x], Theorem 1 [m_min],
+    Theorem 2 [m_min] per [k], and the asymptotic bound. *)
+
+val crossover : output_model:Wdm_core.Model.t -> k:int -> max_big_n:int -> Table.t
+(** Crosspoints CB vs MS over perfect-square [N] up to [max_big_n],
+    flagging the first [N] where the multistage network is cheaper. *)
+
+val first_crossover : output_model:Wdm_core.Model.t -> k:int -> max_big_n:int -> int option
+(** Just the crossover point. *)
+
+val capacity_growth : k:int -> ns:int list -> Table.t
+(** [log10] of the full-multicast capacity under each model — the
+    capacity ordering MSW < MSDW < MAW made quantitative. *)

@@ -1,0 +1,90 @@
+type align = Left | Right
+type row = Cells of string list | Rule
+
+type t = {
+  title : string option;
+  header : string list;
+  align : align list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let make ?title ~header ?align () =
+  let align =
+    match align with
+    | Some a ->
+      if List.length a <> List.length header then
+        invalid_arg "Table.make: align width mismatch";
+      a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  { title; header; align; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Table.add_row: width mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let widths t =
+  let base = List.map String.length t.header in
+  List.fold_left
+    (fun acc row ->
+      match row with
+      | Rule -> acc
+      | Cells cells -> List.map2 (fun w c -> Stdlib.max w (String.length c)) acc cells)
+    base (List.rev t.rows)
+
+let pad align width s =
+  let gap = width - String.length s in
+  if gap <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+
+let render t =
+  let ws = widths t in
+  let buf = Buffer.create 256 in
+  let line cells =
+    let padded = List.map2 (fun (w, a) c -> pad a w c)
+        (List.combine ws t.align) cells
+    in
+    Buffer.add_string buf (String.concat "  " padded);
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    Buffer.add_string buf
+      (String.concat "--" (List.map (fun w -> String.make w '-') ws));
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  line t.header;
+  rule ();
+  List.iter
+    (function Cells cells -> line cells | Rule -> rule ())
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let line cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape cells));
+    Buffer.add_char buf '\n'
+  in
+  line t.header;
+  List.iter (function Cells cells -> line cells | Rule -> ()) (List.rev t.rows);
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

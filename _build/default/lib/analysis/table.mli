@@ -1,0 +1,23 @@
+(** Minimal fixed-width text tables for experiment reports.
+
+    Every "regenerate Table N" harness in [bench/] renders through this
+    module so outputs line up and can be diffed between runs.  Also
+    emits CSV for downstream plotting. *)
+
+type align = Left | Right
+
+type t
+
+val make : ?title:string -> header:string list -> ?align:align list -> unit -> t
+(** [align] defaults to left for the first column, right for the rest. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_rule : t -> unit
+(** A horizontal separator between row groups. *)
+
+val render : t -> string
+val to_csv : t -> string
+val print : t -> unit
+(** [render] to stdout, followed by a blank line. *)

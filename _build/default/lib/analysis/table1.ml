@@ -1,0 +1,67 @@
+open Wdm_bignum
+open Wdm_core
+
+let symbolic () =
+  let t =
+    Table.make ~title:"Table 1 (symbolic): WDM multicast networks under different models"
+      ~header:[ "Model"; "Capacity (full)"; "Capacity (any)"; "#Crosspoints"; "#Converters" ]
+      ~align:[ Table.Left; Table.Left; Table.Left; Table.Left; Table.Left ]
+      ()
+  in
+  Table.add_row t
+    [ "MSW"; "N^(Nk)"; "(N+1)^(Nk)"; "k N^2"; "0" ];
+  Table.add_row t
+    [
+      "MSDW";
+      "sum P(Nk,sum j_i) prod S(N,j_i)";
+      "sum P(Nk,sum j_i) prod C(N,l_i) S(N-l_i,j_i)";
+      "k^2 N^2";
+      "k N";
+    ];
+  Table.add_row t
+    [ "MAW"; "[P(Nk,k)]^N"; "[sum_j P(Nk,k-j) C(k,j)]^N"; "k^2 N^2"; "k N" ];
+  t
+
+let approx = Format.asprintf "%a" Nat.pp_approx
+
+let numeric ?(with_census = true) cases =
+  let header =
+    [ "N"; "k"; "Model"; "Capacity(full)"; "Capacity(any)"; "Xpoints"; "Conv" ]
+    @ if with_census then [ "Census(full)"; "Census(any)" ] else []
+  in
+  let t = Table.make ~title:"Table 1 (numeric)" ~header () in
+  List.iter
+    (fun (n, k) ->
+      List.iter
+        (fun model ->
+          let spec = Network_spec.make_exn ~n ~k in
+          let census_cells =
+            if not with_census then []
+            else if Enumerate.feasible spec model then begin
+              let c = Enumerate.census spec model in
+              let mark count formula =
+                Printf.sprintf "%d%s" count
+                  (if Nat.equal (Nat.of_int count) formula then " =" else " !!")
+              in
+              [
+                mark c.Enumerate.full (Capacity.full model ~n ~k);
+                mark c.Enumerate.any (Capacity.any model ~n ~k);
+              ]
+            end
+            else [ "-"; "-" ]
+          in
+          Table.add_row t
+            ([
+               string_of_int n;
+               string_of_int k;
+               Model.to_string model;
+               approx (Capacity.full model ~n ~k);
+               approx (Capacity.any model ~n ~k);
+               string_of_int (Cost.crossbar_crosspoints model ~n ~k);
+               string_of_int (Cost.crossbar_converters model ~n ~k);
+             ]
+            @ census_cells))
+        Model.all;
+      Table.add_rule t)
+    cases;
+  t

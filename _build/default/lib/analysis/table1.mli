@@ -1,0 +1,13 @@
+(** Regenerates the paper's Table 1: multicast capacity, crosspoints and
+    wavelength converters of crossbar-based [N x N] [k]-wavelength
+    networks under the MSW, MSDW and MAW models, optionally cross-checked
+    against the brute-force census where feasible. *)
+
+val symbolic : unit -> Table.t
+(** The formulas exactly as Table 1 prints them. *)
+
+val numeric : ?with_census:bool -> (int * int) list -> Table.t
+(** One row per (N, k) per model, with exact capacities (approximated in
+    scientific notation past 12 digits), crosspoint and converter
+    counts.  With [with_census] (default true) adds census columns where
+    the enumeration is affordable and marks agreement. *)

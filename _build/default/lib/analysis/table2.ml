@@ -1,0 +1,58 @@
+open Wdm_core
+open Wdm_multistage
+
+let symbolic () =
+  let t =
+    Table.make
+      ~title:"Table 2 (symbolic): crossbar (CB) vs multistage (MS) WDM networks"
+      ~header:[ "Model/Net"; "#Crosspoints"; "#Converters" ]
+      ~align:[ Table.Left; Table.Left; Table.Left ] ()
+  in
+  Table.add_row t [ "MSW/CB"; "k N^2"; "0" ];
+  Table.add_row t [ "MSW/MS"; "O(k N^1.5 logN/loglogN)"; "0" ];
+  Table.add_row t [ "MSDW/CB"; "k^2 N^2"; "k N" ];
+  Table.add_row t [ "MSDW/MS"; "O(k^2 N^1.5 logN/loglogN)"; "O(k N logN/loglogN)" ];
+  Table.add_row t [ "MAW/CB"; "k^2 N^2"; "k N" ];
+  Table.add_row t [ "MAW/MS"; "O(k^2 N^1.5 logN/loglogN)"; "k N" ];
+  t
+
+let numeric ~big_ns ~ks =
+  let t =
+    Table.make ~title:"Table 2 (numeric, MSW-dominant MS with n=r=sqrt(N))"
+      ~header:
+        [ "N"; "k"; "Model"; "m"; "x"; "CB xpts"; "MS xpts"; "MS/CB"; "CB conv"; "MS conv" ]
+      ()
+  in
+  List.iter
+    (fun big_n ->
+      List.iter
+        (fun k ->
+          List.iter
+            (fun model ->
+              match
+                Cost.recommended ~construction:Network.Msw_dominant
+                  ~output_model:model ~big_n ~k
+              with
+              | Error e -> invalid_arg e
+              | Ok (topo, eval, b) ->
+                let cb_x = Cost.crossbar_crosspoints ~output_model:model ~big_n ~k in
+                let cb_c = Cost.crossbar_converters ~output_model:model ~big_n ~k in
+                Table.add_row t
+                  [
+                    string_of_int big_n;
+                    string_of_int k;
+                    Model.to_string model;
+                    string_of_int topo.Topology.m;
+                    string_of_int eval.Conditions.x;
+                    string_of_int cb_x;
+                    string_of_int b.Cost.total_crosspoints;
+                    Printf.sprintf "%.3f"
+                      (float_of_int b.Cost.total_crosspoints /. float_of_int cb_x);
+                    string_of_int cb_c;
+                    string_of_int b.Cost.total_converters;
+                  ])
+            Model.all;
+          Table.add_rule t)
+        ks)
+    big_ns;
+  t

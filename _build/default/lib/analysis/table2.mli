@@ -1,0 +1,10 @@
+(** Regenerates the paper's Table 2: crossbar (CB) vs three-stage
+    multistage (MS, MSW-dominant construction, [n = r = sqrt N],
+    Theorem 1 minimal [m]) cost for each multicast model. *)
+
+val symbolic : unit -> Table.t
+
+val numeric : big_ns:int list -> ks:int list -> Table.t
+(** One row per (N, k, model) pair of CB and MS entries; [big_ns] must
+    be perfect squares.  Includes the chosen [m], the optimal [x], and
+    the MS/CB crosspoint ratio, which exhibits the [O(sqrt N)] saving. *)

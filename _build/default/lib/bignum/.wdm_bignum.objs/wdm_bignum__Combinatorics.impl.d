@@ -1,0 +1,1 @@
+lib/bignum/combinatorics.ml: Hashtbl Nat

@@ -1,0 +1,1 @@
+lib/bignum/combinatorics.mli: Nat

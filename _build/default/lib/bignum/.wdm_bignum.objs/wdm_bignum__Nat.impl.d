@@ -1,0 +1,1 @@
+lib/bignum/nat.ml: Array Buffer Char Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,66 @@
+let factorial =
+  let cache : (int, Nat.t) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.add cache 0 Nat.one;
+  fun n ->
+    if n < 0 then invalid_arg "Combinatorics.factorial: negative";
+    match Hashtbl.find_opt cache n with
+    | Some v -> v
+    | None ->
+      (* Fill the cache upward from the largest computed entry. *)
+      let rec largest i = if Hashtbl.mem cache i then i else largest (i - 1) in
+      let start = largest n in
+      let acc = ref (Hashtbl.find cache start) in
+      for i = start + 1 to n do
+        acc := Nat.mul_int !acc i;
+        Hashtbl.replace cache i !acc
+      done;
+      !acc
+
+let falling x i =
+  if x < 0 || i < 0 then invalid_arg "Combinatorics.falling: negative";
+  if i > x then Nat.zero
+  else begin
+    let acc = ref Nat.one in
+    for j = 0 to i - 1 do
+      acc := Nat.mul_int !acc (x - j)
+    done;
+    !acc
+  end
+
+let binomial n r =
+  if n < 0 then invalid_arg "Combinatorics.binomial: negative n";
+  if r < 0 || r > n then Nat.zero
+  else begin
+    let r = if r > n - r then n - r else r in
+    Nat.divexact (falling n r) (factorial r)
+  end
+
+let stirling2 =
+  let cache : (int * int, Nat.t) Hashtbl.t = Hashtbl.create 256 in
+  let rec s n j =
+    if n < 0 || j < 0 then invalid_arg "Combinatorics.stirling2: negative";
+    if j > n then Nat.zero
+    else if n = 0 then Nat.one (* j = 0 here *)
+    else if j = 0 then Nat.zero
+    else
+      match Hashtbl.find_opt cache (n, j) with
+      | Some v -> v
+      | None ->
+        (* S(n,j) = j * S(n-1,j) + S(n-1,j-1) *)
+        let v = Nat.add (Nat.mul_int (s (n - 1) j) j) (s (n - 1) (j - 1)) in
+        Hashtbl.add cache (n, j) v;
+        v
+  in
+  s
+
+let power b e = Nat.pow (Nat.of_int b) e
+
+let int_pow_opt b e =
+  if b < 0 || e < 0 then None
+  else begin
+    let rec go acc e = if e = 0 then Some acc else
+      if acc > max_int / (if b = 0 then 1 else b) then None
+      else go (acc * b) (e - 1)
+    in
+    go 1 e
+  end

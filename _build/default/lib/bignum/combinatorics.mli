@@ -1,0 +1,31 @@
+(** Exact combinatorial quantities used throughout the capacity analysis
+    (Section 2.2 of the paper): falling factorials [P(x,i)], binomial
+    coefficients, factorials and Stirling numbers of the second kind
+    [S(n,j)].  All results are arbitrary-precision ({!Nat.t}); the
+    factorial and Stirling tables are memoized. *)
+
+val factorial : int -> Nat.t
+(** [factorial n] is [n!].  @raise Invalid_argument if [n < 0]. *)
+
+val falling : int -> int -> Nat.t
+(** [falling x i] is the falling factorial
+    [P(x,i) = x (x-1) ... (x-i+1)] with [falling x 0 = 1].  The paper
+    writes this [P(x,i)].  For [i > x] the product crosses zero and the
+    result is [0].  @raise Invalid_argument if [x < 0] or [i < 0]. *)
+
+val binomial : int -> int -> Nat.t
+(** [binomial n r] is [C(n,r)]; [0] when [r > n] or [r < 0].
+    @raise Invalid_argument if [n < 0]. *)
+
+val stirling2 : int -> int -> Nat.t
+(** [stirling2 n j] is [S(n,j)], the number of ways to partition [n]
+    labelled elements into [j] non-empty unlabelled groups.
+    [stirling2 0 0 = 1]; [stirling2 n 0 = 0] for [n > 0]; [0] when
+    [j > n].  @raise Invalid_argument on negative arguments. *)
+
+val power : int -> int -> Nat.t
+(** [power b e] is [b^e] for non-negative native [b] and [e]. *)
+
+val int_pow_opt : int -> int -> int option
+(** [int_pow_opt b e] is [Some (b^e)] when it fits a native int (used by
+    tests to cross-check small values), [None] on overflow. *)

@@ -1,0 +1,326 @@
+(* Unsigned bignum: little-endian limbs in base 2^30.  The invariant is
+   that the most-significant limb (last array cell) is non-zero; zero is
+   the empty array.  Base 2^30 keeps every intermediate product or
+   accumulation below 2^62, safely inside OCaml's 63-bit native ints. *)
+
+let limb_bits = 30
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let is_zero a = Array.length a = 0
+
+let of_int n =
+  if n < 0 then invalid_arg "Nat.of_int: negative";
+  if n = 0 then zero
+  else begin
+    let rec count acc v = if v = 0 then acc else count (acc + 1) (v lsr limb_bits) in
+    let len = count 0 n in
+    let a = Array.make len 0 in
+    let v = ref n in
+    for i = 0 to len - 1 do
+      a.(i) <- !v land limb_mask;
+      v := !v lsr limb_bits
+    done;
+    a
+  end
+
+let one = of_int 1
+let two = of_int 2
+
+let to_int_opt a =
+  (* 63-bit ints hold at most three 30-bit limbs, with the third limited. *)
+  let len = Array.length a in
+  if len > 3 then None
+  else begin
+    let rec fold i acc =
+      if i < 0 then Some acc
+      else
+        let acc' = (acc lsl limb_bits) lor a.(i) in
+        if acc' < 0 || acc' lsr limb_bits <> acc then None else fold (i - 1) acc'
+    in
+    if len = 0 then Some 0
+    else if len = 3 && a.(2) >= 1 lsl (62 - 2 * limb_bits) then None
+    else fold (len - 1) 0
+  end
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = Stdlib.max la lb in
+  let res = Array.make (l + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    res.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  res.(l) <- !carry;
+  normalize res
+
+let succ a = add a one
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Nat.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let res = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      res.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      res.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize res
+
+let pred a = sub a one
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let res = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let cur = res.(i + j) + (ai * b.(j)) + !carry in
+        res.(i + j) <- cur land limb_mask;
+        carry := cur lsr limb_bits
+      done;
+      (* Propagate the final carry, which may itself overflow one limb. *)
+      let p = ref (i + lb) in
+      let c = ref !carry in
+      while !c <> 0 do
+        let cur = res.(!p) + !c in
+        res.(!p) <- cur land limb_mask;
+        c := cur lsr limb_bits;
+        incr p
+      done
+    done;
+    normalize res
+  end
+
+let mul_int a m =
+  if m < 0 then invalid_arg "Nat.mul_int: negative"
+  else if m = 0 || is_zero a then zero
+  else if m < base then begin
+    let la = Array.length a in
+    let res = Array.make (la + 2) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let cur = (a.(i) * m) + !carry in
+      res.(i) <- cur land limb_mask;
+      carry := cur lsr limb_bits
+    done;
+    res.(la) <- !carry land limb_mask;
+    res.(la + 1) <- !carry lsr limb_bits;
+    normalize res
+  end
+  else mul a (of_int m)
+
+let pow b e =
+  if e < 0 then invalid_arg "Nat.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      let e = e lsr 1 in
+      if e = 0 then acc else go acc (mul b b) e
+    end
+  in
+  go one b e
+
+let num_bits a =
+  let len = Array.length a in
+  if len = 0 then 0
+  else begin
+    let top = a.(len - 1) in
+    let rec msb acc v = if v = 0 then acc else msb (acc + 1) (v lsr 1) in
+    ((len - 1) * limb_bits) + msb 0 top
+  end
+
+let get_bit a i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  if limb >= Array.length a then 0 else (a.(limb) lsr off) land 1
+
+let shift_left a s =
+  if s < 0 then invalid_arg "Nat.shift_left: negative";
+  if is_zero a || s = 0 then a
+  else begin
+    let limbs = s / limb_bits and off = s mod limb_bits in
+    let la = Array.length a in
+    let res = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl off in
+      res.(i + limbs) <- res.(i + limbs) lor (v land limb_mask);
+      res.(i + limbs + 1) <- v lsr limb_bits
+    done;
+    normalize res
+  end
+
+let shift_right a s =
+  if s < 0 then invalid_arg "Nat.shift_right: negative";
+  if is_zero a || s = 0 then a
+  else begin
+    let limbs = s / limb_bits and off = s mod limb_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else begin
+      let res = Array.make (la - limbs) 0 in
+      for i = 0 to la - limbs - 1 do
+        let lo = a.(i + limbs) lsr off in
+        let hi =
+          if off = 0 || i + limbs + 1 >= la then 0
+          else (a.(i + limbs + 1) lsl (limb_bits - off)) land limb_mask
+        in
+        res.(i) <- lo lor hi
+      done;
+      normalize res
+    end
+  end
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else begin
+    (* Schoolbook binary long division: scan the dividend bits from most
+       to least significant, maintaining the running remainder. *)
+    let nb = num_bits a in
+    let q = Array.make (Array.length a) 0 in
+    let r = ref zero in
+    for i = nb - 1 downto 0 do
+      let r2 = shift_left !r 1 in
+      let r2 = if get_bit a i = 1 then add r2 one else r2 in
+      if compare r2 b >= 0 then begin
+        r := sub r2 b;
+        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end
+      else r := r2
+    done;
+    (normalize q, !r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let divmod_int a d =
+  if d = 0 then raise Division_by_zero;
+  if d < 0 || d >= base then invalid_arg "Nat.divmod_int: out of range";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize q, !r)
+
+let divexact a b =
+  let q, r = divmod a b in
+  if not (is_zero r) then invalid_arg "Nat.divexact: inexact division";
+  q
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let sum l = List.fold_left add zero l
+let product l = List.fold_left mul one l
+
+let to_float a =
+  Array.to_list a
+  |> List.rev
+  |> List.fold_left (fun acc limb -> (acc *. float_of_int base) +. float_of_int limb) 0.
+
+let log10 a =
+  if is_zero a then neg_infinity
+  else begin
+    let nb = num_bits a in
+    if nb <= 52 then log10 (to_float a)
+    else begin
+      (* log10(a) = log10(top 52 bits) + (dropped bits) * log10(2). *)
+      let drop = nb - 52 in
+      let top = shift_right a drop in
+      log10 (to_float top) +. (float_of_int drop *. log10 2.)
+    end
+  end
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let groups = ref [] in
+    let cur = ref a in
+    while not (is_zero !cur) do
+      let q, r = divmod_int !cur 1_000_000_000 in
+      groups := r :: !groups;
+      cur := q
+    done;
+    (match !groups with
+    | [] -> assert false
+    | g :: rest ->
+      Buffer.add_string buf (string_of_int g);
+      List.iter (fun g -> Buffer.add_string buf (Printf.sprintf "%09d" g)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  if s = "" then invalid_arg "Nat.of_string: empty";
+  let acc = ref zero in
+  let seen_digit = ref false in
+  String.iter
+    (fun c ->
+      if c = '_' then ()
+      else if c >= '0' && c <= '9' then begin
+        seen_digit := true;
+        acc := add (mul_int !acc 10) (of_int (Char.code c - Char.code '0'))
+      end
+      else invalid_arg "Nat.of_string: invalid character")
+    s;
+  if not !seen_digit then invalid_arg "Nat.of_string: no digits";
+  !acc
+
+let num_digits a = String.length (to_string a)
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+let pp_approx ppf a =
+  let s = to_string a in
+  if String.length s <= 12 then Format.pp_print_string ppf s
+  else begin
+    let exponent = String.length s - 1 in
+    let mantissa = Printf.sprintf "%c.%s" s.[0] (String.sub s 1 3) in
+    Format.fprintf ppf "%se+%d" mantissa exponent
+  end
+
+let hash a = Hashtbl.hash (Array.to_list a)

@@ -1,0 +1,103 @@
+(** Arbitrary-precision natural numbers.
+
+    The multicast capacities of Lemmas 1-3 in the paper grow like [N^(Nk)]
+    and [P(Nk,k)^N], which overflow 63-bit integers already for tiny
+    networks (e.g. [N = 4], [k = 2] gives [4^8 = 65536] but [N = 8],
+    [k = 4] gives [8^32 ~ 7.9e28]).  The sealed build environment has no
+    zarith, so this module provides a small, well-tested bignum: unsigned
+    integers stored as little-endian limbs in base [2^30].
+
+    All functions are total on naturals; operations that would produce a
+    negative result (e.g. {!sub}) raise [Invalid_argument]. *)
+
+type t
+(** A natural number.  Values are immutable and structurally comparable
+    through {!compare} / {!equal} (do not rely on polymorphic compare). *)
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** [of_int n] converts a non-negative native integer.
+    @raise Invalid_argument if [n < 0]. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt n] is [Some i] when [n] fits in a native [int]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val add : t -> t -> t
+val succ : t -> t
+
+val sub : t -> t -> t
+(** [sub a b] is [a - b].  @raise Invalid_argument if [a < b]. *)
+
+val pred : t -> t
+(** @raise Invalid_argument on {!zero}. *)
+
+val mul : t -> t -> t
+
+val mul_int : t -> int -> t
+(** [mul_int a m] multiplies by a small non-negative native integer.
+    @raise Invalid_argument if [m < 0]. *)
+
+val pow : t -> int -> t
+(** [pow b e] is [b] raised to the non-negative exponent [e].
+    [pow zero 0 = one].  @raise Invalid_argument if [e < 0]. *)
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(a / b, a mod b)].  @raise Division_by_zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val divmod_int : t -> int -> t * int
+(** Division by a small positive native integer ([0 < d < 2^30]).
+    @raise Division_by_zero if [d = 0].
+    @raise Invalid_argument if [d < 0] or [d >= 2^30]. *)
+
+val divexact : t -> t -> t
+(** [divexact a b] is [a / b] and checks the division is exact.
+    @raise Invalid_argument if [b] does not divide [a]. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val sum : t list -> t
+val product : t list -> t
+
+val num_bits : t -> int
+(** Position of the highest set bit plus one; [num_bits zero = 0]. *)
+
+val num_digits : t -> int
+(** Number of decimal digits; [num_digits zero = 1]. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val to_float : t -> float
+(** Nearest-ish float; [infinity] when out of range. *)
+
+val log10 : t -> float
+(** Base-10 logarithm as a float; [neg_infinity] on {!zero}.  Accurate to
+    roughly double precision even for huge values (computed from the top
+    bits plus the bit length). *)
+
+val to_string : t -> string
+(** Decimal representation. *)
+
+val of_string : string -> t
+(** Parses a decimal string (optional [_] separators allowed).
+    @raise Invalid_argument on anything else. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the decimal representation. *)
+
+val pp_approx : Format.formatter -> t -> unit
+(** Prints small values exactly and large values as [d.ddde+NN], which is
+    how the capacity tables render astronomically large counts. *)
+
+val hash : t -> int

@@ -1,0 +1,1 @@
+lib/core/assignment.ml: Connection Endpoint Format List Map Model Network_spec Result Set

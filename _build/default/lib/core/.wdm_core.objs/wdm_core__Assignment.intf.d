@@ -1,0 +1,1 @@
+lib/core/assignment.mli: Connection Endpoint Format Model Network_spec

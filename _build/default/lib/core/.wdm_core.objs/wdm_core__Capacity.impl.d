@@ -1,0 +1,1 @@
+lib/core/capacity.ml: Array Combinatorics List Model Nat Wdm_bignum

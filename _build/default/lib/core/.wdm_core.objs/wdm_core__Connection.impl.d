@@ -1,0 +1,1 @@
+lib/core/connection.ml: Endpoint Format Int List

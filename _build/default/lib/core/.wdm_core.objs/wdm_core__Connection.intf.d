@@ -1,0 +1,1 @@
+lib/core/connection.mli: Endpoint Format

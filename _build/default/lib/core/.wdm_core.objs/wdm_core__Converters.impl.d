@@ -1,0 +1,1 @@
+lib/core/converters.ml: Assignment Connection Endpoint Format List Model

@@ -1,0 +1,1 @@
+lib/core/converters.mli: Assignment Format Model

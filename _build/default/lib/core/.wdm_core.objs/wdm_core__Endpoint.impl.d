@@ -1,0 +1,1 @@
+lib/core/endpoint.ml: Format Int List Printf Wavelength

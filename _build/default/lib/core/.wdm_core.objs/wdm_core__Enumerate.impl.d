@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Array Assignment Capacity Endpoint Format Fun Int List Model Network_spec Printf Wdm_bignum

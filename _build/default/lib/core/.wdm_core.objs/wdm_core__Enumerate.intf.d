@@ -1,0 +1,1 @@
+lib/core/enumerate.mli: Assignment Model Network_spec

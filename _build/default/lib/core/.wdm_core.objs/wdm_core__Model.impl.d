@@ -1,0 +1,1 @@
+lib/core/model.ml: Connection Endpoint Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/network_spec.ml: Endpoint Format Printf

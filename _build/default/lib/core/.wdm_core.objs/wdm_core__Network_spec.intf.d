@@ -1,0 +1,1 @@
+lib/core/network_spec.mli: Endpoint Format

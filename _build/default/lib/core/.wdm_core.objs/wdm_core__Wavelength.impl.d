@@ -1,0 +1,1 @@
+lib/core/wavelength.ml: Format List

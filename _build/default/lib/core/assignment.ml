@@ -1,0 +1,125 @@
+type t = { connections : Connection.t list }
+
+type error =
+  | Source_reused of Endpoint.t
+  | Destination_reused of Endpoint.t
+  | Source_out_of_range of Endpoint.t
+  | Destination_out_of_range of Endpoint.t
+  | Model_violation of { model : Model.t; connection : Connection.t }
+
+let empty = { connections = [] }
+let make connections = { connections }
+let size a = List.length a.connections
+let total_fanout a = List.fold_left (fun s c -> s + Connection.fanout c) 0 a.connections
+
+module Eset = Set.Make (Endpoint)
+
+let used_sources a = List.map (fun (c : Connection.t) -> c.source) a.connections
+
+let used_destinations a =
+  List.concat_map (fun (c : Connection.t) -> c.destinations) a.connections
+
+let rec first_error = function
+  | [] -> Ok ()
+  | f :: rest -> ( match f () with Ok () -> first_error rest | Error _ as e -> e)
+
+let validate spec model a =
+  let check_ranges () =
+    let rec go = function
+      | [] -> Ok ()
+      | (c : Connection.t) :: rest ->
+        if not (Network_spec.valid_endpoint spec c.source) then
+          Error (Source_out_of_range c.source)
+        else begin
+          match
+            List.find_opt
+              (fun d -> not (Network_spec.valid_endpoint spec d))
+              c.destinations
+          with
+          | Some d -> Error (Destination_out_of_range d)
+          | None -> go rest
+        end
+    in
+    go a.connections
+  in
+  let check_unique extract err () =
+    let rec go seen = function
+      | [] -> Ok ()
+      | e :: rest ->
+        if Eset.mem e seen then Error (err e) else go (Eset.add e seen) rest
+    in
+    go Eset.empty (extract a)
+  in
+  let check_model () =
+    match
+      List.find_opt (fun c -> not (Model.allows model c)) a.connections
+    with
+    | Some connection -> Error (Model_violation { model; connection })
+    | None -> Ok ()
+  in
+  first_error
+    [
+      check_ranges;
+      check_unique used_sources (fun e -> Source_reused e);
+      check_unique used_destinations (fun e -> Destination_reused e);
+      check_model;
+    ]
+
+let is_valid spec model a = Result.is_ok (validate spec model a)
+
+let is_full spec a =
+  let used = Eset.of_list (used_destinations a) in
+  List.for_all (fun o -> Eset.mem o used) (Network_spec.outputs spec)
+
+let source_of a out =
+  List.find_map
+    (fun (c : Connection.t) ->
+      if List.exists (Endpoint.equal out) c.destinations then Some c.source
+      else None)
+    a.connections
+
+module Emap = Map.Make (Endpoint)
+
+let of_pairs pairs =
+  let by_source =
+    List.fold_left
+      (fun m (out, src) ->
+        Emap.update src
+          (function None -> Some [ out ] | Some outs -> Some (out :: outs))
+          m)
+      Emap.empty pairs
+  in
+  let connections =
+    Emap.fold
+      (fun source destinations acc ->
+        Connection.make_exn ~source ~destinations :: acc)
+      by_source []
+  in
+  { connections = List.sort Connection.compare connections }
+
+let to_pairs a =
+  a.connections
+  |> List.concat_map (fun (c : Connection.t) ->
+         List.map (fun d -> (d, c.source)) c.destinations)
+  |> List.sort (fun (d1, _) (d2, _) -> Endpoint.compare d1 d2)
+
+let equal a b =
+  let norm x = List.sort Connection.compare x.connections in
+  List.equal Connection.equal (norm a) (norm b)
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list Connection.pp)
+    (List.sort Connection.compare a.connections)
+
+let pp_error ppf = function
+  | Source_reused e -> Format.fprintf ppf "source %a used twice" Endpoint.pp e
+  | Destination_reused e ->
+    Format.fprintf ppf "destination %a used twice" Endpoint.pp e
+  | Source_out_of_range e ->
+    Format.fprintf ppf "source %a out of range" Endpoint.pp e
+  | Destination_out_of_range e ->
+    Format.fprintf ppf "destination %a out of range" Endpoint.pp e
+  | Model_violation { model; connection } ->
+    Format.fprintf ppf "connection %a violates model %a" Connection.pp
+      connection Model.pp model

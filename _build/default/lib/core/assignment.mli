@@ -1,0 +1,55 @@
+(** Multicast assignments (Section 2).
+
+    A multicast assignment is a set of multicast connections in which no
+    input endpoint sources two connections and no output endpoint is the
+    destination of two connections.  An assignment is {e full} when every
+    output endpoint of the network is in use, and {e partial} otherwise;
+    "any-multicast-assignment" covers both.  A nonblocking network under
+    a model realizes every assignment legal under that model. *)
+
+type t = { connections : Connection.t list }
+
+type error =
+  | Source_reused of Endpoint.t
+  | Destination_reused of Endpoint.t
+  | Source_out_of_range of Endpoint.t
+  | Destination_out_of_range of Endpoint.t
+  | Model_violation of { model : Model.t; connection : Connection.t }
+
+val empty : t
+val make : Connection.t list -> t
+val size : t -> int
+val total_fanout : t -> int
+
+val validate : Network_spec.t -> Model.t -> t -> (unit, error) result
+(** Checks range of every endpoint, source/destination uniqueness across
+    connections, and the wavelength discipline of the model on each
+    connection.  [Ok ()] means the assignment is one the network must be
+    able to realize if it is nonblocking under [model]. *)
+
+val is_valid : Network_spec.t -> Model.t -> t -> bool
+
+val is_full : Network_spec.t -> t -> bool
+(** Every output endpoint of the network is a destination. *)
+
+val used_sources : t -> Endpoint.t list
+val used_destinations : t -> Endpoint.t list
+
+val source_of : t -> Endpoint.t -> Endpoint.t option
+(** [source_of a out] finds the source whose connection covers output
+    endpoint [out], if any. *)
+
+val of_pairs : (Endpoint.t * Endpoint.t) list -> t
+(** [of_pairs [(out, src); ...]] groups output endpoints by their source
+    endpoint into multicast connections.  Raises [Invalid_argument] if
+    grouping puts two destinations of one source on the same output port
+    (structurally impossible to express as a connection). *)
+
+val to_pairs : t -> (Endpoint.t * Endpoint.t) list
+(** The inverse view: [(destination, source)] pairs, sorted. *)
+
+val equal : t -> t -> bool
+(** Equality as a set of connections (order-insensitive). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_error : Format.formatter -> error -> unit

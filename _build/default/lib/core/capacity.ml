@@ -1,0 +1,93 @@
+open Wdm_bignum
+
+let check ~n ~k =
+  if n < 1 || k < 1 then invalid_arg "Capacity: n and k must be >= 1"
+
+(* Lemma 1. *)
+let msw_full ~n ~k =
+  check ~n ~k;
+  Combinatorics.power n (n * k)
+
+let msw_any ~n ~k =
+  check ~n ~k;
+  Combinatorics.power (n + 1) (n * k)
+
+(* Lemma 2. *)
+let maw_full ~n ~k =
+  check ~n ~k;
+  Nat.pow (Combinatorics.falling (n * k) k) n
+
+let maw_any ~n ~k =
+  check ~n ~k;
+  let per_port =
+    List.init (k + 1) (fun j ->
+        Nat.mul (Combinatorics.falling (n * k) (k - j)) (Combinatorics.binomial k j))
+    |> Nat.sum
+  in
+  Nat.pow per_port n
+
+(* Lemma 3.  The sum over tuples (j_1..j_k) of
+   P(Nk, sum j_i) * prod_i S(N, j_i) factors through the distribution of
+   s = sum j_i: convolve the per-wavelength vector v[j] k times to get
+   T[s] = sum over tuples with sum s of prod S(N, j_i), then contract
+   against P(Nk, s). *)
+
+let convolve a b =
+  let la = Array.length a and lb = Array.length b in
+  let res = Array.make (la + lb - 1) Nat.zero in
+  for i = 0 to la - 1 do
+    if not (Nat.is_zero a.(i)) then
+      for j = 0 to lb - 1 do
+        res.(i + j) <- Nat.add res.(i + j) (Nat.mul a.(i) b.(j))
+      done
+  done;
+  res
+
+let self_convolve v k =
+  let rec go acc i = if i = 0 then acc else go (convolve acc v) (i - 1) in
+  go v (k - 1)
+
+let contract_with_falling ~nk dist =
+  let acc = ref Nat.zero in
+  Array.iteri
+    (fun s coeff ->
+      if not (Nat.is_zero coeff) then
+        acc := Nat.add !acc (Nat.mul (Combinatorics.falling nk s) coeff))
+    dist;
+  !acc
+
+let msdw_full ~n ~k =
+  check ~n ~k;
+  (* v[j] = S(N, j) for j = 0..N, with j = 0 impossible in a full
+     assignment (v[0] = S(N,0) = 0 for N >= 1 already encodes that). *)
+  let v = Array.init (n + 1) (fun j -> Combinatorics.stirling2 n j) in
+  contract_with_falling ~nk:(n * k) (self_convolve v k)
+
+let msdw_any ~n ~k =
+  check ~n ~k;
+  (* w[s] = sum_(l=0..N) C(N,l) * S(N-l, s): l receivers of wavelength
+     lambda_i idle, the remaining N-l partitioned into s connections. *)
+  let w =
+    Array.init (n + 1) (fun s ->
+        List.init (n + 1) (fun l ->
+            Nat.mul (Combinatorics.binomial n l) (Combinatorics.stirling2 (n - l) s))
+        |> Nat.sum)
+  in
+  contract_with_falling ~nk:(n * k) (self_convolve w k)
+
+let full model ~n ~k =
+  match (model : Model.t) with
+  | MSW -> msw_full ~n ~k
+  | MSDW -> msdw_full ~n ~k
+  | MAW -> maw_full ~n ~k
+
+let any model ~n ~k =
+  match (model : Model.t) with
+  | MSW -> msw_any ~n ~k
+  | MSDW -> msdw_any ~n ~k
+  | MAW -> maw_any ~n ~k
+
+let electronic_full ~n = Combinatorics.power n n
+let electronic_any ~n = Combinatorics.power (n + 1) n
+let equivalent_electronic_full ~n ~k = Combinatorics.power (n * k) (n * k)
+let equivalent_electronic_any ~n ~k = Combinatorics.power ((n * k) + 1) (n * k)

@@ -1,0 +1,48 @@
+(** Exact multicast capacities (Section 2.2, Lemmas 1-3).
+
+    The multicast capacity of an [N x N] [k]-wavelength network under a
+    model is the number of multicast assignments legal under that model:
+    counted either over full assignments (every output endpoint used) or
+    over any-assignments (output endpoints may be idle).  All results are
+    arbitrary-precision naturals.
+
+    The closed forms:
+    - MSW (Lemma 1): [N^(Nk)] full, [(N+1)^(Nk)] any;
+    - MAW (Lemma 2): [P(Nk,k)^N] full,
+      [(sum_(j=0..k) P(Nk,k-j) C(k,j))^N] any;
+    - MSDW (Lemma 3):
+      [sum_(1<=j_1..j_k<=N) P(Nk, sum j_i) prod_i S(N, j_i)] full and the
+      [l_i]-augmented analogue for any-assignments.
+
+    The MSDW sums over [k]-tuples are evaluated by convolving the
+    per-wavelength generating vector [k] times, which reduces the tuple
+    sum to [O(k^2 N^2)] bignum operations. *)
+
+open Wdm_bignum
+
+val full : Model.t -> n:int -> k:int -> Nat.t
+(** Number of full-multicast-assignments. *)
+
+val any : Model.t -> n:int -> k:int -> Nat.t
+(** Number of any-multicast-assignments. *)
+
+val msw_full : n:int -> k:int -> Nat.t
+val msw_any : n:int -> k:int -> Nat.t
+val msdw_full : n:int -> k:int -> Nat.t
+val msdw_any : n:int -> k:int -> Nat.t
+val maw_full : n:int -> k:int -> Nat.t
+val maw_any : n:int -> k:int -> Nat.t
+
+val electronic_full : n:int -> Nat.t
+(** [N^N]: full-multicast capacity of an electronic [N x N] network. *)
+
+val electronic_any : n:int -> Nat.t
+(** [(N+1)^N]. *)
+
+val equivalent_electronic_full : n:int -> k:int -> Nat.t
+(** [(Nk)^(Nk)]: what an [Nk x Nk] electronic network would offer — the
+    paper stresses a [k]-wavelength WDM network is {e not} equivalent to
+    it when [k > 1]. *)
+
+val equivalent_electronic_any : n:int -> k:int -> Nat.t
+(** [(Nk+1)^(Nk)]. *)

@@ -1,0 +1,29 @@
+type placement = None_needed | Input_side | Output_side
+
+let placement = function
+  | Model.MSW -> None_needed
+  | Model.MSDW -> Input_side
+  | Model.MAW -> Output_side
+
+let provisioned model ~n ~k =
+  if n < 1 || k < 1 then invalid_arg "Converters.provisioned: n, k >= 1";
+  match (model : Model.t) with MSW -> 0 | MSDW | MAW -> n * k
+
+let used_by model (a : Assignment.t) =
+  match (model : Model.t) with
+  | MSW -> 0
+  | MSDW -> List.length a.connections
+  | MAW -> Assignment.total_fanout a
+
+let conversions_required (a : Assignment.t) =
+  List.fold_left
+    (fun acc (c : Connection.t) ->
+      acc
+      + List.length
+          (List.filter (fun (d : Endpoint.t) -> d.wl <> c.source.wl) c.destinations))
+    0 a.connections
+
+let pp_placement ppf = function
+  | None_needed -> Format.pp_print_string ppf "no converters needed"
+  | Input_side -> Format.pp_print_string ppf "input side, before the splitter"
+  | Output_side -> Format.pp_print_string ppf "output side, after the combiner"

@@ -1,0 +1,33 @@
+(** Wavelength-converter requirements and placement (Fig. 3, Sec. 2.3.2).
+
+    Converters are the expensive active devices, so the paper tracks
+    exactly how many each model needs and where they sit: none under
+    MSW; one per connection, in front of the splitter, under MSDW; one
+    per splitter output (i.e. per destination) under MAW.  At the
+    network level that becomes 0 / [Nk] / [Nk] provisioned units —
+    but the number actually {e exercised} by a given assignment differs
+    per model, which {!used_by} quantifies. *)
+
+type placement =
+  | None_needed  (** MSW: source wavelength survives end to end *)
+  | Input_side  (** MSDW: before the splitter, one per input wavelength *)
+  | Output_side  (** MAW: after the combiner, one per output wavelength *)
+
+val placement : Model.t -> placement
+
+val provisioned : Model.t -> n:int -> k:int -> int
+(** Converters a nonblocking crossbar network must install:
+    [0], [Nk], [Nk]. *)
+
+val used_by : Model.t -> Assignment.t -> int
+(** Converters actively converting for this assignment if it were
+    realized under the given model: [0] under MSW, one per connection
+    under MSDW, one per destination under MAW.  (Idle or pass-through
+    converters are not counted.) *)
+
+val conversions_required : Assignment.t -> int
+(** The number of endpoints whose wavelength differs from their
+    connection's source wavelength — a lower bound on active
+    conversions any placement must perform. *)
+
+val pp_placement : Format.formatter -> placement -> unit

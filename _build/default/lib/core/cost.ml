@@ -1,0 +1,47 @@
+let check ~n ~k = if n < 1 || k < 1 then invalid_arg "Cost: n and k must be >= 1"
+
+let crossbar_crosspoints model ~n ~k =
+  check ~n ~k;
+  match (model : Model.t) with
+  | MSW -> k * n * n
+  | MSDW | MAW -> k * k * n * n
+
+let crossbar_converters model ~n ~k =
+  check ~n ~k;
+  match (model : Model.t) with MSW -> 0 | MSDW | MAW -> n * k
+
+let crossbar_splitters _model ~n ~k =
+  check ~n ~k;
+  n * k
+
+let crossbar_combiners _model ~n ~k =
+  check ~n ~k;
+  n * k
+
+type summary = {
+  model : Model.t;
+  n : int;
+  k : int;
+  crosspoints : int;
+  converters : int;
+  splitters : int;
+  combiners : int;
+}
+
+let summarize model ~n ~k =
+  {
+    model;
+    n;
+    k;
+    crosspoints = crossbar_crosspoints model ~n ~k;
+    converters = crossbar_converters model ~n ~k;
+    splitters = crossbar_splitters model ~n ~k;
+    combiners = crossbar_combiners model ~n ~k;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%a crossbar %dx%d (k=%d): %d crosspoints, %d converters, %d splitters, \
+     %d combiners"
+    Model.pp s.model s.n s.n s.k s.crosspoints s.converters s.splitters
+    s.combiners

@@ -1,0 +1,35 @@
+(** Crossbar network cost (Section 2.3, summarized in Table 1).
+
+    Cost is measured in crosspoints (SOA gates or MEMS mirrors — a proxy
+    for hardware complexity, crosstalk and power loss) and in wavelength
+    converters (the expensive active devices).  Splitters and combiners
+    are passive glass and are counted separately for completeness. *)
+
+val crossbar_crosspoints : Model.t -> n:int -> k:int -> int
+(** [k N^2] under MSW (k parallel space crossbars, Fig. 4);
+    [k^2 N^2] under MSDW and MAW (any input wavelength to any output
+    wavelength, Figs. 6-7). *)
+
+val crossbar_converters : Model.t -> n:int -> k:int -> int
+(** [0] under MSW; [Nk] under MSDW (one per input wavelength, before the
+    splitter) and under MAW (one per output wavelength, after the
+    combiner). *)
+
+val crossbar_splitters : Model.t -> n:int -> k:int -> int
+(** One splitter per input wavelength: [Nk] under every model. *)
+
+val crossbar_combiners : Model.t -> n:int -> k:int -> int
+(** One combiner per output wavelength: [Nk] under every model. *)
+
+type summary = {
+  model : Model.t;
+  n : int;
+  k : int;
+  crosspoints : int;
+  converters : int;
+  splitters : int;
+  combiners : int;
+}
+
+val summarize : Model.t -> n:int -> k:int -> summary
+val pp_summary : Format.formatter -> summary -> unit

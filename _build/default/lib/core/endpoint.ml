@@ -1,0 +1,19 @@
+type t = { port : int; wl : Wavelength.t }
+
+let make ~port ~wl = { port; wl }
+let equal a b = a.port = b.port && a.wl = b.wl
+
+let compare a b =
+  let c = Int.compare a.port b.port in
+  if c <> 0 then c else Int.compare a.wl b.wl
+
+let valid ~n ~k e = e.port >= 1 && e.port <= n && Wavelength.valid ~k e.wl
+let index ~k e = ((e.port - 1) * k) + (e.wl - 1)
+
+let of_index ~k i =
+  if i < 0 then invalid_arg "Endpoint.of_index: negative";
+  { port = (i / k) + 1; wl = (i mod k) + 1 }
+
+let all ~n ~k = List.init (n * k) (of_index ~k)
+let to_string e = Printf.sprintf "(%d,%s)" e.port (Wavelength.to_string e.wl)
+let pp ppf e = Format.pp_print_string ppf (to_string e)

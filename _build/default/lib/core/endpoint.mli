@@ -1,0 +1,33 @@
+(** A network endpoint: one wavelength at one port.
+
+    The paper denotes an input wavelength [lambda_l] at input port [i] by
+    [(i, lambda_l)]; the same shape addresses output endpoints.  Whether
+    an endpoint is an input or an output is contextual (source vs
+    destination of a connection). *)
+
+type t = {
+  port : int;  (** 1-based port index on its side of the network *)
+  wl : Wavelength.t;  (** 1-based wavelength index *)
+}
+
+val make : port:int -> wl:Wavelength.t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val valid : n:int -> k:int -> t -> bool
+(** [valid ~n ~k e] checks [1 <= port <= n] and [1 <= wl <= k]. *)
+
+val index : k:int -> t -> int
+(** [index ~k e] linearizes endpoints port-major into [0 .. n*k-1]:
+    [(port-1) * k + (wl-1)].  Inverse of {!of_index}. *)
+
+val of_index : k:int -> int -> t
+(** @raise Invalid_argument on a negative index. *)
+
+val all : n:int -> k:int -> t list
+(** All [n*k] endpoints of one network side, in {!index} order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as ["(3,l2)"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,117 @@
+type counts = { full : int; any : int }
+
+let work_estimate (spec : Network_spec.t) model =
+  let { Network_spec.n; k } = spec in
+  Wdm_bignum.Nat.to_float (Capacity.any model ~n ~k)
+
+let feasible ?(budget = 5e7) spec model = work_estimate spec model <= budget
+
+let check_budget budget spec model =
+  if not (feasible ~budget spec model) then
+    invalid_arg
+      (Printf.sprintf
+         "Enumerate: census of %s under %s needs ~%.3g candidate maps (budget %.3g)"
+         (Format.asprintf "%a" Network_spec.pp spec)
+         (Model.to_string model)
+         (work_estimate spec model) budget)
+
+(* The DFS walks output endpoints in Endpoint.index order, assigning each
+   either "idle" or a source endpoint index, and maintains per-source
+   usage summaries sufficient to check every model's sharing discipline
+   in O(1): the wavelength first used on that source (for MSDW) and the
+   bitmask of output ports already reached (for MAW). *)
+let dfs ?(first_branch = fun _ -> true) (spec : Network_spec.t)
+    (model : Model.t) ~on_leaf =
+  let n = spec.n and k = spec.k in
+  let nk = n * k in
+  let outputs = Array.of_list (Endpoint.all ~n ~k) in
+  let choice = Array.make nk (-1) in
+  (* -1 = idle *)
+  let src_wl = Array.make nk 0 in
+  let src_ports = Array.make nk 0 in
+  let src_uses = Array.make nk 0 in
+  let compatible s (o : Endpoint.t) =
+    match model with
+    | MSW ->
+      (* Source wavelength must equal the output's wavelength; the caller
+         only proposes same-wavelength sources, so sharing is always
+         legal (same wavelength forces distinct ports). *)
+      true
+    | MSDW -> src_uses.(s) = 0 || src_wl.(s) = o.wl
+    | MAW -> src_ports.(s) land (1 lsl o.port) = 0
+  in
+  let take s (o : Endpoint.t) =
+    if src_uses.(s) = 0 then src_wl.(s) <- o.wl;
+    src_ports.(s) <- src_ports.(s) lor (1 lsl o.port);
+    src_uses.(s) <- src_uses.(s) + 1
+  in
+  let release s (o : Endpoint.t) =
+    src_uses.(s) <- src_uses.(s) - 1;
+    src_ports.(s) <- src_ports.(s) land lnot (1 lsl o.port);
+    if src_uses.(s) = 0 then src_wl.(s) <- 0
+  in
+  let candidate_sources (o : Endpoint.t) =
+    match model with
+    | MSW ->
+      (* Only sources on the output's own wavelength. *)
+      List.init n (fun i -> Endpoint.index ~k { port = i + 1; wl = o.wl })
+    | MSDW | MAW -> List.init nk Fun.id
+  in
+  let rec go i idle_count =
+    if i = nk then on_leaf choice ~is_full:(idle_count = 0)
+    else begin
+      let o = outputs.(i) in
+      let allowed c = i > 0 || first_branch c in
+      (* idle branch *)
+      if allowed (-1) then begin
+        choice.(i) <- -1;
+        go (i + 1) (idle_count + 1)
+      end;
+      List.iter
+        (fun s ->
+          if allowed s && compatible s o then begin
+            take s o;
+            choice.(i) <- s;
+            go (i + 1) idle_count;
+            choice.(i) <- -1;
+            release s o
+          end)
+        (candidate_sources o)
+    end
+  in
+  go 0 0
+
+let census ?(budget = 5e7) spec model =
+  check_budget budget spec model;
+  let full = ref 0 and any = ref 0 in
+  dfs spec model ~on_leaf:(fun _choice ~is_full ->
+      incr any;
+      if is_full then incr full);
+  { full = !full; any = !any }
+
+let branches (spec : Network_spec.t) =
+  -1 :: List.init (Network_spec.num_endpoints spec) Fun.id
+
+let census_branch ?(budget = 5e7) spec model ~branch =
+  check_budget budget spec model;
+  let full = ref 0 and any = ref 0 in
+  dfs ~first_branch:(Int.equal branch) spec model
+    ~on_leaf:(fun _choice ~is_full ->
+      incr any;
+      if is_full then incr full);
+  { full = !full; any = !any }
+
+let iter_assignments ?(budget = 5e7) ?(full_only = false) (spec : Network_spec.t)
+    model f =
+  check_budget budget spec model;
+  let k = spec.k in
+  dfs spec model ~on_leaf:(fun choice ~is_full ->
+      if is_full || not full_only then begin
+        let pairs = ref [] in
+        Array.iteri
+          (fun i s ->
+            if s >= 0 then
+              pairs := (Endpoint.of_index ~k i, Endpoint.of_index ~k s) :: !pairs)
+          choice;
+        f (Assignment.of_pairs !pairs)
+      end)

@@ -1,0 +1,54 @@
+(** Brute-force census of multicast assignments.
+
+    Ground truth for Lemmas 1-3: every multicast assignment of an
+    [N x N] [k]-wavelength network corresponds to exactly one map from
+    output endpoints to [source endpoint or idle] that satisfies the
+    model's sharing discipline (outputs mapped to the same source form
+    one multicast connection).  Enumerating those maps and counting them
+    must reproduce the closed-form capacities exactly — the strongest
+    possible mechanical check of the paper's combinatorics, feasible for
+    small [N, k] (the search space is [(Nk+1)^(Nk)]).
+
+    The per-model sharing disciplines:
+    - MSW: an output may only map to a source on its own wavelength;
+    - MSDW: outputs sharing a source must carry one common wavelength;
+    - MAW: outputs sharing a source must sit on distinct output ports. *)
+
+type counts = { full : int; any : int }
+
+val work_estimate : Network_spec.t -> Model.t -> float
+(** Estimated DFS work: the backtracking search only ever stands on
+    valid partial maps, so the leaf count — the any-multicast capacity
+    of Lemmas 1-3 — is the estimate (internal nodes add a small
+    constant factor). *)
+
+val feasible : ?budget:float -> Network_spec.t -> Model.t -> bool
+(** Whether a census stays under [budget] visited maps
+    (default [5e7]). *)
+
+val census : ?budget:float -> Network_spec.t -> Model.t -> counts
+(** Counts valid maps.  @raise Invalid_argument when the network exceeds
+    the work budget. *)
+
+val branches : Network_spec.t -> int list
+(** The choices for the first output endpoint: [-1] (idle) and each
+    source endpoint index.  The census partitions exactly along these,
+    which is how it is parallelized: summing {!census_branch} over
+    {!branches} equals {!census}. *)
+
+val census_branch :
+  ?budget:float -> Network_spec.t -> Model.t -> branch:int -> counts
+(** The census restricted to maps whose first output endpoint takes the
+    given choice.  Each branch owns all of its state, so distinct
+    branches may run on different domains concurrently. *)
+
+val iter_assignments :
+  ?budget:float ->
+  ?full_only:bool ->
+  Network_spec.t ->
+  Model.t ->
+  (Assignment.t -> unit) ->
+  unit
+(** Calls the function on every valid assignment (including the empty
+    one unless [full_only]).  Used to exhaustively exercise fabric
+    constructions on every assignment they must realize. *)

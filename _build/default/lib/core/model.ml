@@ -1,0 +1,31 @@
+type t = MSW | MSDW | MAW
+
+let all = [ MSW; MSDW; MAW ]
+
+let allows m (c : Connection.t) =
+  match m with
+  | MAW -> true
+  | MSDW -> (
+    match c.destinations with
+    | [] -> true
+    | d0 :: rest -> List.for_all (fun (d : Endpoint.t) -> d.wl = d0.wl) rest)
+  | MSW ->
+    List.for_all (fun (d : Endpoint.t) -> d.wl = c.source.wl) c.destinations
+
+let strength = function MSW -> 0 | MSDW -> 1 | MAW -> 2
+let subsumes stronger weaker = strength stronger >= strength weaker
+
+let converters_per_connection m ~fanout =
+  match m with MSW -> 0 | MSDW -> 1 | MAW -> fanout
+
+let equal a b = strength a = strength b
+let to_string = function MSW -> "MSW" | MSDW -> "MSDW" | MAW -> "MAW"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "MSW" -> Ok MSW
+  | "MSDW" -> Ok MSDW
+  | "MAW" -> Ok MAW
+  | _ -> Error (Printf.sprintf "unknown multicast model %S (expected MSW, MSDW or MAW)" s)
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)

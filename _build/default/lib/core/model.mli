@@ -1,0 +1,41 @@
+(** The three WDM multicast models of Section 2.1.
+
+    A multicast model specifies which wavelengths a connection may use at
+    its source and destinations:
+
+    - {!MSW} (Multicast with Same Wavelength): source and all
+      destinations use the same wavelength;
+    - {!MSDW} (Multicast with Same Destination Wavelength): all
+      destinations share one wavelength, possibly different from the
+      source's;
+    - {!MAW} (Multicast with Any Wavelength): no wavelength restriction.
+
+    MSW-legal connections are MSDW-legal, and MSDW-legal connections are
+    MAW-legal ({!strength} increases in that order).  A traditional
+    electronic switching network is the [k = 1] special case of MSW. *)
+
+type t = MSW | MSDW | MAW
+
+val all : t list
+(** In increasing strength: [[MSW; MSDW; MAW]]. *)
+
+val allows : t -> Connection.t -> bool
+(** [allows m c] checks the wavelength discipline of model [m] on
+    connection [c] (structural validity is [c]'s own invariant). *)
+
+val strength : t -> int
+(** [MSW -> 0], [MSDW -> 1], [MAW -> 2]; a connection legal under a model
+    is legal under every model of greater or equal strength. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes stronger weaker] is [strength stronger >= strength weaker]. *)
+
+val converters_per_connection : t -> fanout:int -> int
+(** Wavelength converters a single connection needs (Fig. 3): [0] under
+    MSW, [1] under MSDW (before the splitter), [fanout] under MAW (one at
+    each splitter output). *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+type t = { n : int; k : int }
+
+let make ~n ~k =
+  if n < 1 then Error "Network_spec.make: n must be >= 1"
+  else if k < 1 then Error "Network_spec.make: k must be >= 1"
+  else Ok { n; k }
+
+let make_exn ~n ~k =
+  match make ~n ~k with Ok t -> t | Error msg -> invalid_arg msg
+
+let num_endpoints t = t.n * t.k
+let inputs t = Endpoint.all ~n:t.n ~k:t.k
+let outputs t = Endpoint.all ~n:t.n ~k:t.k
+let valid_endpoint t e = Endpoint.valid ~n:t.n ~k:t.k e
+let equal a b = a.n = b.n && a.k = b.k
+let pp ppf t = Format.fprintf ppf "%dx%d network, %d wavelengths" t.n t.n t.k
+
+let describe t =
+  Printf.sprintf
+    "%dx%d WDM network: %d nodes per side, each attached by a fiber carrying \
+     %d wavelengths (l1..l%d) and equipped with an array of %d fixed-tuned \
+     transmitters/receivers; %d addressable endpoints per side."
+    t.n t.n t.n t.k t.k t.k (t.n * t.k)

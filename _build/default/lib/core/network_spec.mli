@@ -1,0 +1,26 @@
+(** The dimensions of an [N x N] [k]-wavelength WDM network (Fig. 1).
+
+    Each of the [N] nodes on the input (output) side connects to one
+    input (output) port through a fiber carrying [k] wavelengths, and is
+    equipped with an array of [k] fixed-tuned transmitters (receivers),
+    so a node can take part in up to [k] multicast connections at once. *)
+
+type t = private { n : int; k : int }
+
+val make : n:int -> k:int -> (t, string) result
+(** Requires [n >= 1] and [k >= 1]. *)
+
+val make_exn : n:int -> k:int -> t
+
+val num_endpoints : t -> int
+(** [n * k], the number of endpoints on each side. *)
+
+val inputs : t -> Endpoint.t list
+val outputs : t -> Endpoint.t list
+val valid_endpoint : t -> Endpoint.t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val describe : t -> string
+(** A short prose rendering of the Fig. 1 structure, used by examples. *)

@@ -1,0 +1,6 @@
+type t = int
+
+let valid ~k w = w >= 1 && w <= k
+let all ~k = List.init k (fun i -> i + 1)
+let to_string w = "l" ^ string_of_int w
+let pp ppf w = Format.pp_print_string ppf (to_string w)

@@ -1,0 +1,20 @@
+(** Wavelength indices.
+
+    A fiber link in an [N x N] [k]-wavelength WDM network carries
+    wavelengths [lambda_1 .. lambda_k]; we represent them by their 1-based
+    index.  The module exists to give wavelengths a distinct vocabulary
+    (and printer) from ports, which are also integers. *)
+
+type t = int
+(** 1-based wavelength index, [1 <= t <= k]. *)
+
+val valid : k:int -> t -> bool
+(** [valid ~k w] checks [1 <= w <= k]. *)
+
+val all : k:int -> t list
+(** [all ~k] is [[1; ...; k]]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as ["l3"] (for lambda_3). *)
+
+val to_string : t -> string

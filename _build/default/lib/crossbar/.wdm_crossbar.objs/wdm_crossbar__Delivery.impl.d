@@ -1,0 +1,1 @@
+lib/crossbar/delivery.ml: Assignment Connection Endpoint Float Format Labels List Map Seq Stdlib String Wdm_core Wdm_optics

@@ -1,0 +1,1 @@
+lib/crossbar/delivery.mli: Assignment Endpoint Format Wdm_core Wdm_optics

@@ -1,0 +1,1 @@
+lib/crossbar/fabric.ml: Array Assignment Connection Delivery Endpoint Labels List Model Module_fabric Network_spec Wdm_core Wdm_optics

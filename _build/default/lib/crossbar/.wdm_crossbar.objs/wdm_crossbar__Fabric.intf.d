@@ -1,0 +1,1 @@
+lib/crossbar/fabric.mli: Assignment Delivery Model Network_spec Wdm_core Wdm_optics

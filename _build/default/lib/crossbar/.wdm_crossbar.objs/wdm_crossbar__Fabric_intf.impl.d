@@ -1,0 +1,1 @@
+lib/crossbar/fabric_intf.ml: Delivery Wdm_core Wdm_optics

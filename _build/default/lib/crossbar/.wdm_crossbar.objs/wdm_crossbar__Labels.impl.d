@@ -1,0 +1,1 @@
+lib/crossbar/labels.ml: String Wdm_core

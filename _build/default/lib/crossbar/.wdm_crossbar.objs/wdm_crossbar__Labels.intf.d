@@ -1,0 +1,1 @@
+lib/crossbar/labels.mli: Wdm_core

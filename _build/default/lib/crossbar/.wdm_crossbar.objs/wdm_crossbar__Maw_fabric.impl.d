@@ -1,0 +1,1 @@
+lib/crossbar/maw_fabric.ml: Fabric Wdm_core

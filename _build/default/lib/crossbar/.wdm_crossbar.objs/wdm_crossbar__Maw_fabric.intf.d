@@ -1,0 +1,1 @@
+lib/crossbar/maw_fabric.mli: Fabric_intf

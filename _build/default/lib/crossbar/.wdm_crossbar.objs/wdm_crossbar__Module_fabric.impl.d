@@ -1,0 +1,1 @@
+lib/crossbar/module_fabric.ml: Array Int List Model Space_xbar Wdm_core Wdm_optics

@@ -1,0 +1,1 @@
+lib/crossbar/module_fabric.mli: Wdm_core Wdm_optics

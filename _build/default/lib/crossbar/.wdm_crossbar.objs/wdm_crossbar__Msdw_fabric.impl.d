@@ -1,0 +1,1 @@
+lib/crossbar/msdw_fabric.ml: Fabric Wdm_core

@@ -1,0 +1,1 @@
+lib/crossbar/msdw_fabric.mli: Fabric_intf

@@ -1,0 +1,1 @@
+lib/crossbar/msw_fabric.ml: Fabric Wdm_core

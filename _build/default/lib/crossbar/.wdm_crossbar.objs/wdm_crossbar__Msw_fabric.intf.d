@@ -1,0 +1,1 @@
+lib/crossbar/msw_fabric.mli: Fabric_intf

@@ -1,0 +1,1 @@
+lib/crossbar/space_xbar.ml: Array Wdm_optics

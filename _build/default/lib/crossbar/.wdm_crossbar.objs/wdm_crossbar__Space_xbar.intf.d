@@ -1,0 +1,1 @@
+lib/crossbar/space_xbar.mli: Wdm_optics

@@ -1,0 +1,132 @@
+open Wdm_core
+module C = Wdm_optics.Circuit
+
+type failure =
+  | Invalid of Assignment.error
+  | Optical of C.error list
+  | Missing of { destination : Endpoint.t; expected_origin : string }
+  | Wrong_origin of { destination : Endpoint.t; expected : string; got : string }
+  | Unexpected of { port : int; wl : int; origin : string }
+
+let verify assignment (outcome : C.outcome) =
+  if outcome.errors <> [] then Error (Optical outcome.errors)
+  else begin
+    (* expected: destination endpoint -> origin label of its source *)
+    let module Em = Map.Make (Endpoint) in
+    let expected =
+      List.fold_left
+        (fun m (c : Connection.t) ->
+          List.fold_left
+            (fun m d -> Em.add d (Labels.origin c.source) m)
+            m c.destinations)
+        Em.empty assignment.Assignment.connections
+    in
+    (* got: flatten deliveries into destination endpoint -> origin;
+       leakage is crosstalk noise, not payload, and is judged by
+       crosstalk margins instead *)
+    let got =
+      List.concat_map
+        (fun (label, signals) ->
+          match Labels.parse_output_port label with
+          | None -> []
+          | Some port ->
+            List.filter_map
+              (fun (s : Wdm_optics.Signal.t) ->
+                if s.leakage then None
+                else Some (Endpoint.make ~port ~wl:s.wl, s.origin))
+              signals)
+        outcome.deliveries
+    in
+    let rec check_got = function
+      | [] -> Ok ()
+      | (dest, origin) :: rest -> (
+        match Em.find_opt dest expected with
+        | None ->
+          Error (Unexpected { port = dest.Endpoint.port; wl = dest.Endpoint.wl; origin })
+        | Some want ->
+          if String.equal want origin then check_got rest
+          else Error (Wrong_origin { destination = dest; expected = want; got = origin }))
+    in
+    match check_got got with
+    | Error _ as e -> e
+    | Ok () ->
+      let got_set = List.map fst got in
+      let missing =
+        Em.to_seq expected
+        |> Seq.filter (fun (d, _) ->
+               not (List.exists (Endpoint.equal d) got_set))
+        |> Seq.uncons
+      in
+      (match missing with
+      | Some ((destination, expected_origin), _) ->
+        Error (Missing { destination; expected_origin })
+      | None -> Ok ())
+  end
+
+let delivered_signals (outcome : C.outcome) =
+  List.concat_map snd outcome.deliveries
+  |> List.filter (fun (s : Wdm_optics.Signal.t) -> not s.leakage)
+
+(* Worst-case ratio between a delivered payload signal and the summed
+   leakage power arriving at the same sink on the same wavelength. *)
+let worst_crosstalk_margin_db (outcome : C.outcome) =
+  let margins =
+    List.concat_map
+      (fun (_, signals) ->
+        let payload, noise =
+          List.partition (fun (s : Wdm_optics.Signal.t) -> not s.leakage) signals
+        in
+        List.filter_map
+          (fun (s : Wdm_optics.Signal.t) ->
+            let interferers =
+              List.filter (fun (x : Wdm_optics.Signal.t) -> x.wl = s.wl) noise
+            in
+            match interferers with
+            | [] -> None
+            | _ ->
+              let noise_linear =
+                List.fold_left
+                  (fun acc x -> acc +. Wdm_optics.Signal.linear_power x)
+                  0. interferers
+              in
+              Some (s.power_db -. (10. *. Float.log10 noise_linear)))
+          payload)
+      outcome.deliveries
+  in
+  match margins with
+  | [] -> None
+  | m :: rest -> Some (List.fold_left Float.min m rest)
+
+let min_power_db outcome =
+  match delivered_signals outcome with
+  | [] -> None
+  | s ->
+    Some
+      (List.fold_left
+         (fun acc (x : Wdm_optics.Signal.t) -> Float.min acc x.power_db)
+         infinity s)
+
+let max_gates_passed outcome =
+  match delivered_signals outcome with
+  | [] -> None
+  | s ->
+    Some
+      (List.fold_left
+         (fun acc (x : Wdm_optics.Signal.t) -> Stdlib.max acc x.gates_passed)
+         0 s)
+
+let pp_failure ppf = function
+  | Invalid e -> Format.fprintf ppf "invalid assignment: %a" Assignment.pp_error e
+  | Optical errs ->
+    Format.fprintf ppf "optical errors: %a"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space C.pp_error)
+      errs
+  | Missing { destination; expected_origin } ->
+    Format.fprintf ppf "nothing delivered to %a (expected signal from %s)"
+      Endpoint.pp destination expected_origin
+  | Wrong_origin { destination; expected; got } ->
+    Format.fprintf ppf "%a received %s, expected %s" Endpoint.pp destination got
+      expected
+  | Unexpected { port; wl; origin } ->
+    Format.fprintf ppf "stray signal from %s at output port %d on l%d" origin
+      port wl

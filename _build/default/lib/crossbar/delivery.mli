@@ -1,0 +1,40 @@
+(** Checking a propagation outcome against a multicast assignment.
+
+    A fabric realizes an assignment when (a) propagation raised no
+    optical errors (no combiner collisions, no wavelength clashes),
+    (b) every destination endpoint receives exactly the signal injected
+    by its connection's source, and (c) nothing else arrives anywhere.
+    This is the end-to-end acceptance criterion used by every fabric
+    test: routing decisions are only trusted once light actually lands
+    where the assignment says. *)
+
+open Wdm_core
+
+type failure =
+  | Invalid of Assignment.error  (** the assignment itself was rejected *)
+  | Optical of Wdm_optics.Circuit.error list
+  | Missing of { destination : Endpoint.t; expected_origin : string }
+  | Wrong_origin of { destination : Endpoint.t; expected : string; got : string }
+  | Unexpected of { port : int; wl : int; origin : string }
+      (** light arrived at an output endpoint no connection targets *)
+
+val verify :
+  Assignment.t -> Wdm_optics.Circuit.outcome -> (unit, failure) result
+(** Sinks must be labelled with {!Labels.output_port} and signal origins
+    with {!Labels.origin} of the source endpoint. *)
+
+val min_power_db : Wdm_optics.Circuit.outcome -> float option
+(** Worst delivered signal power, for power-budget reporting. *)
+
+val max_gates_passed : Wdm_optics.Circuit.outcome -> int option
+(** Largest number of crosspoints any delivered signal traversed — the
+    paper's crosstalk proxy. *)
+
+val worst_crosstalk_margin_db : Wdm_optics.Circuit.outcome -> float option
+(** With a leaky loss model ({!Wdm_optics.Loss_model.leaky}) off gates
+    pass attenuated crosstalk; this is the worst signal-to-crosstalk
+    ratio over all destinations (payload power minus the summed leakage
+    power on the same sink and wavelength).  [None] when no destination
+    sees any leakage (e.g. ideal gates). *)
+
+val pp_failure : Format.formatter -> failure -> unit

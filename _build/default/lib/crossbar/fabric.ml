@@ -1,0 +1,70 @@
+module C = Wdm_optics.Circuit
+open Wdm_core
+
+type t = {
+  model : Model.t;
+  spec : Network_spec.t;
+  circuit : C.t;
+  sources : C.node_id array;  (* per input port *)
+  core : Module_fabric.t;
+}
+
+let create ?loss ?converter_range ~model (spec : Network_spec.t) =
+  let n = spec.n and k = spec.k in
+  let c = C.create ?loss () in
+  let core = Module_fabric.build ?converter_range c ~model ~inputs:n ~outputs:n ~k in
+  let sources =
+    Array.init n (fun p ->
+        let src = C.add_source c (Labels.input_port (p + 1)) in
+        let node, slot = Module_fabric.entry core (p + 1) in
+        C.connect c src 0 node slot;
+        src)
+  in
+  for p = 1 to n do
+    let sink = C.add_sink c (Labels.output_port p) in
+    let node, slot = Module_fabric.exit core p in
+    C.connect c node slot sink 0
+  done;
+  { model; spec; circuit = c; sources; core }
+
+let model t = t.model
+let spec t = t.spec
+let circuit t = t.circuit
+
+let configure t (a : Assignment.t) =
+  match Assignment.validate t.spec t.model a with
+  | Error _ as e -> e
+  | Ok () ->
+    Module_fabric.clear t.circuit t.core;
+    List.iter
+      (fun (conn : Connection.t) ->
+        Module_fabric.set_path t.circuit t.core
+          ~src:(conn.source.port, conn.source.wl)
+          ~dests:
+            (List.map (fun (d : Endpoint.t) -> (d.port, d.wl)) conn.destinations))
+      a.connections;
+    Ok ()
+
+let inject_all t =
+  Array.iteri
+    (fun p src ->
+      let signals =
+        List.init t.spec.k (fun w ->
+            let e = Endpoint.make ~port:(p + 1) ~wl:(w + 1) in
+            Wdm_optics.Signal.inject ~origin:(Labels.origin e) ~wl:(w + 1))
+      in
+      C.inject t.circuit src signals)
+    t.sources
+
+let realize t a =
+  match configure t a with
+  | Error e -> Error (Delivery.Invalid e)
+  | Ok () ->
+    inject_all t;
+    let outcome = C.propagate t.circuit in
+    (match Delivery.verify a outcome with
+    | Ok () -> Ok outcome
+    | Error _ as e -> e)
+
+let crosspoints t = Module_fabric.crosspoints t.core
+let converters t = Module_fabric.converters t.core

@@ -1,0 +1,34 @@
+(** Standalone crossbar-based [N x N] [k]-wavelength WDM multicast
+    networks: one {!Module_fabric} wrapped with the transmitter and
+    receiver arrays of Fig. 1.  Instantiating [model] gives exactly the
+    fabrics of Fig. 4 (MSW), Fig. 6 (MSDW) and Fig. 7 (MAW); the
+    per-model aliases {!Msw_fabric}, {!Msdw_fabric} and {!Maw_fabric}
+    expose them through {!Fabric_intf.S}. *)
+
+open Wdm_core
+
+type t
+
+val create :
+  ?loss:Wdm_optics.Loss_model.t ->
+  ?converter_range:int ->
+  model:Model.t ->
+  Network_spec.t ->
+  t
+(** [converter_range]: see {!Module_fabric.build} — limits how far the
+    MSDW/MAW converters can retune, degrading realizable capacity. *)
+
+val model : t -> Model.t
+val spec : t -> Network_spec.t
+val circuit : t -> Wdm_optics.Circuit.t
+
+val configure : t -> Assignment.t -> (unit, Assignment.error) result
+(** Validate under the fabric's model, then translate every connection
+    into gate/converter settings. *)
+
+val realize :
+  t -> Assignment.t -> (Wdm_optics.Circuit.outcome, Delivery.failure) result
+(** {!configure}, light every transmitter, propagate, verify delivery. *)
+
+val crosspoints : t -> int
+val converters : t -> int

@@ -1,0 +1,39 @@
+(** The interface every crossbar fabric implements (Figs. 4, 6, 7).
+
+    A fabric is a physical realization of an [N x N] [k]-wavelength
+    nonblocking WDM multicast network under one model: [configure]
+    translates a multicast assignment into gate and converter settings;
+    [realize] additionally propagates light and verifies end-to-end
+    delivery.  Nonblocking means [realize] succeeds on {e every}
+    assignment that validates under the fabric's model — the crossbar
+    tests check that exhaustively for small networks. *)
+
+module type S = sig
+  type t
+
+  val model : Wdm_core.Model.t
+
+  val create : ?loss:Wdm_optics.Loss_model.t -> Wdm_core.Network_spec.t -> t
+  (** Builds the full fabric for the given dimensions. *)
+
+  val spec : t -> Wdm_core.Network_spec.t
+  val circuit : t -> Wdm_optics.Circuit.t
+
+  val configure :
+    t -> Wdm_core.Assignment.t -> (unit, Wdm_core.Assignment.error) result
+  (** Validates the assignment under the fabric's model, then sets every
+      gate and converter.  Leaves the fabric quiescent on error. *)
+
+  val realize :
+    t ->
+    Wdm_core.Assignment.t ->
+    (Wdm_optics.Circuit.outcome, Delivery.failure) result
+  (** [configure], inject the full transmitter load, propagate, and
+      check delivery; returns the outcome for power/crosstalk reports. *)
+
+  val crosspoints : t -> int
+  (** SOA gate count, censused from the built circuit (the tests compare
+      it to the paper's closed forms [kN^2] / [k^2N^2]). *)
+
+  val converters : t -> int
+end

@@ -1,0 +1,8 @@
+let input_port p = "in:" ^ string_of_int p
+let output_port p = "out:" ^ string_of_int p
+let origin = Wdm_core.Endpoint.to_string
+
+let parse_output_port s =
+  match String.split_on_char ':' s with
+  | [ "out"; p ] -> int_of_string_opt p
+  | _ -> None

@@ -1,0 +1,16 @@
+(** Naming conventions shared by every fabric.
+
+    Sources are labelled by input port, sinks by output port, and signal
+    origins by their input endpoint, so that a propagation outcome can be
+    checked against an {!Wdm_core.Assignment.t} mechanically. *)
+
+val input_port : int -> string
+(** ["in:3"] *)
+
+val output_port : int -> string
+(** ["out:3"] *)
+
+val origin : Wdm_core.Endpoint.t -> string
+(** ["(3,l2)"], the endpoint rendering used as a signal's origin tag. *)
+
+val parse_output_port : string -> int option

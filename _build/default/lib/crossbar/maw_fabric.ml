@@ -1,0 +1,14 @@
+(* The MAW crossbar network of Fig. 7 (output-side converters, full
+   (Nk)^2 gate matrix): a Module_fabric under MAW with the standard
+   transmitter/receiver wrapping. *)
+
+type t = Fabric.t
+
+let model = Wdm_core.Model.MAW
+let create ?loss spec = Fabric.create ?loss ~model spec
+let spec = Fabric.spec
+let circuit = Fabric.circuit
+let configure = Fabric.configure
+let realize = Fabric.realize
+let crosspoints = Fabric.crosspoints
+let converters = Fabric.converters

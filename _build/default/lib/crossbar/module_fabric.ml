@@ -1,0 +1,181 @@
+module C = Wdm_optics.Circuit
+open Wdm_core
+
+(* Endpoint linearization local to a module: (port, wl) with port in
+   1..size, wl in 1..k, index = (port-1)*k + (wl-1). *)
+let idx ~k port wl = ((port - 1) * k) + (wl - 1)
+
+type internals =
+  | Msw of { planes : Space_xbar.t array (* per wavelength *) }
+  | Msdw of {
+      input_converters : C.node_id array;  (* per input (port,wl) index *)
+      gates : C.node_id array array;  (* gates.(in_idx).(out_idx) *)
+    }
+  | Maw of {
+      output_converters : C.node_id array;  (* per output (port,wl) index *)
+      gates : C.node_id array array;
+    }
+
+type t = {
+  model : Model.t;
+  n_in : int;
+  n_out : int;
+  k : int;
+  demuxes : C.node_id array;  (* per input port *)
+  muxes : C.node_id array;  (* per output port *)
+  internals : internals;
+}
+
+let build ?converter_range c ~model ~inputs ~outputs ~k =
+  if inputs < 1 || outputs < 1 || k < 1 then
+    invalid_arg "Module_fabric.build: sizes and k must be >= 1";
+  let demuxes = Array.init inputs (fun _ -> C.add_demux c k) in
+  let muxes = Array.init outputs (fun _ -> C.add_mux c k) in
+  let internals =
+    match (model : Model.t) with
+    | MSW ->
+      let planes =
+        Array.init k (fun wi ->
+            let plane = Space_xbar.build c ~inputs ~outputs in
+            for p = 0 to inputs - 1 do
+              let node, slot = Space_xbar.entry plane p in
+              C.connect c demuxes.(p) wi node slot
+            done;
+            for p = 0 to outputs - 1 do
+              let node, slot = Space_xbar.exit plane p in
+              C.connect c node slot muxes.(p) wi
+            done;
+            plane)
+      in
+      Msw { planes }
+    | MSDW | MAW ->
+      let nik = inputs * k and nok = outputs * k in
+      (* Output side: one combiner per output (port, wl). *)
+      let combiners = Array.init nok (fun _ -> C.add_combiner c nik) in
+      (* Input side taps, optionally through converters (MSDW). *)
+      let input_converters =
+        if model = MSDW then
+          Array.init nik (fun ii ->
+              let port = (ii / k) + 1 and wi = ii mod k in
+              let conv = C.add_converter ?range:converter_range c in
+              C.connect c demuxes.(port - 1) wi conv 0;
+              conv)
+        else [||]
+      in
+      let splitters =
+        Array.init nik (fun ii ->
+            let spl = C.add_splitter c nok in
+            (match model with
+            | MSDW -> C.connect c input_converters.(ii) 0 spl 0
+            | MSW | MAW ->
+              let port = (ii / k) + 1 and wi = ii mod k in
+              C.connect c demuxes.(port - 1) wi spl 0);
+            spl)
+      in
+      let gates =
+        Array.init nik (fun ii ->
+            Array.init nok (fun oi ->
+                let g = C.add_gate c in
+                C.connect c splitters.(ii) oi g 0;
+                C.connect c g 0 combiners.(oi) ii;
+                g))
+      in
+      (match model with
+      | MSDW ->
+        (* combiner -> mux directly *)
+        Array.iteri
+          (fun oi comb ->
+            let port = (oi / k) + 1 and wi = oi mod k in
+            C.connect c comb 0 muxes.(port - 1) wi)
+          combiners;
+        Msdw { input_converters; gates }
+      | MAW ->
+        let output_converters =
+          Array.init nok (fun oi ->
+              let conv = C.add_converter ?range:converter_range c in
+              let port = (oi / k) + 1 and wi = oi mod k in
+              C.connect c combiners.(oi) 0 conv 0;
+              C.connect c conv 0 muxes.(port - 1) wi;
+              conv)
+        in
+        Maw { output_converters; gates }
+      | MSW -> assert false)
+  in
+  { model; n_in = inputs; n_out = outputs; k; demuxes; muxes; internals }
+
+let model t = t.model
+let inputs t = t.n_in
+let outputs t = t.n_out
+let k t = t.k
+
+let entry t p =
+  if p < 1 || p > t.n_in then invalid_arg "Module_fabric.entry: bad port";
+  (t.demuxes.(p - 1), 0)
+
+let exit t p =
+  if p < 1 || p > t.n_out then invalid_arg "Module_fabric.exit: bad port";
+  (t.muxes.(p - 1), 0)
+
+let check_endpoint t side (p, w) =
+  let limit = match side with `In -> t.n_in | `Out -> t.n_out in
+  if p < 1 || p > limit then invalid_arg "Module_fabric.set_path: bad port";
+  if w < 1 || w > t.k then invalid_arg "Module_fabric.set_path: bad wavelength"
+
+let set_path c t ~src ~dests =
+  check_endpoint t `In src;
+  List.iter (check_endpoint t `Out) dests;
+  if dests = [] then invalid_arg "Module_fabric.set_path: no destinations";
+  let ports = List.map fst dests in
+  if List.length (List.sort_uniq Int.compare ports) <> List.length ports then
+    invalid_arg "Module_fabric.set_path: repeated destination fiber";
+  let sp, sw = src in
+  match t.internals with
+  | Msw { planes } ->
+    if List.exists (fun (_, w) -> w <> sw) dests then
+      invalid_arg "Module_fabric.set_path: MSW module cannot convert wavelengths";
+    let plane = planes.(sw - 1) in
+    List.iter
+      (fun (p, _) -> Space_xbar.set c plane ~input:(sp - 1) ~output:(p - 1) true)
+      dests
+  | Msdw { input_converters; gates } ->
+    let wd = match dests with (_, w) :: _ -> w | [] -> assert false in
+    if List.exists (fun (_, w) -> w <> wd) dests then
+      invalid_arg
+        "Module_fabric.set_path: MSDW module needs one common destination \
+         wavelength";
+    let ii = idx ~k:t.k sp sw in
+    C.set_converter c input_converters.(ii) (Some wd);
+    List.iter
+      (fun (p, w) -> C.set_gate c gates.(ii).(idx ~k:t.k p w) true)
+      dests
+  | Maw { output_converters; gates } ->
+    let ii = idx ~k:t.k sp sw in
+    List.iter
+      (fun (p, w) ->
+        let oi = idx ~k:t.k p w in
+        C.set_gate c gates.(ii).(oi) true;
+        C.set_converter c output_converters.(oi) (Some w))
+      dests
+
+let clear c t =
+  match t.internals with
+  | Msw { planes } -> Array.iter (Space_xbar.clear c) planes
+  | Msdw { input_converters; gates } ->
+    Array.iter (fun row -> Array.iter (fun g -> C.set_gate c g false) row) gates;
+    Array.iter (fun conv -> C.set_converter c conv None) input_converters
+  | Maw { output_converters; gates } ->
+    Array.iter (fun row -> Array.iter (fun g -> C.set_gate c g false) row) gates;
+    Array.iter (fun conv -> C.set_converter c conv None) output_converters
+
+let crosspoints t =
+  match t.internals with
+  | Msw { planes } ->
+    Array.fold_left (fun acc plane -> acc + Space_xbar.crosspoints plane) 0 planes
+  | Msdw { gates; _ } | Maw { gates; _ } ->
+    Array.fold_left (fun acc row -> acc + Array.length row) 0 gates
+
+let converters t =
+  match t.internals with
+  | Msw _ -> 0
+  | Msdw { input_converters; _ } -> Array.length input_converters
+  | Maw { output_converters; _ } -> Array.length output_converters

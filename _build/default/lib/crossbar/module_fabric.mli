@@ -1,0 +1,62 @@
+(** A rectangular WDM multicast switching module, embedded in a circuit.
+
+    This is the universal building block of the paper: the [N x N]
+    crossbar networks of Figs. 4, 6 and 7 are square instances wrapped
+    with transmitters and receivers, and the three-stage networks of
+    Fig. 8 wire [n x m], [r x r] and [m x n] instances together.  Each
+    port is one fiber carrying [k] wavelengths; the module's model
+    decides its internals:
+
+    - MSW: input demultiplexers, [k] parallel space crossbars
+      (one per wavelength plane), output multiplexers —
+      [k * inputs * outputs] crosspoints, no converters;
+    - MSDW: a converter on each input wavelength, then a full
+      [(inputs k) x (outputs k)] gate matrix —
+      [k^2 * inputs * outputs] crosspoints, [inputs * k] converters;
+    - MAW: the same gate matrix with the converters moved behind the
+      output combiners — [k^2 * inputs * outputs] crosspoints,
+      [outputs * k] converters. *)
+
+module C := Wdm_optics.Circuit
+
+type t
+
+val build :
+  ?converter_range:int ->
+  C.t ->
+  model:Wdm_core.Model.t ->
+  inputs:int ->
+  outputs:int ->
+  k:int ->
+  t
+(** [converter_range] (default: unlimited) installs limited-range
+    wavelength converters: a range-[d] device only shifts a signal by
+    up to [d] wavelength positions.  A path needing a longer shift is
+    still configurable but fails at propagation time with
+    [Conversion_out_of_range] — which is how the capacity degradation
+    of sparse conversion is measured. *)
+
+val model : t -> Wdm_core.Model.t
+val inputs : t -> int
+val outputs : t -> int
+val k : t -> int
+
+val entry : t -> int -> C.node_id * int
+(** [entry t p]: where the parent connects input fiber [p] (1-based). *)
+
+val exit : t -> int -> C.node_id * int
+(** [exit t p]: the slot carrying output fiber [p] (1-based). *)
+
+val set_path : C.t -> t -> src:int * int -> dests:(int * int) list -> unit
+(** [set_path c t ~src:(p, w) ~dests] routes the signal arriving on
+    wavelength [w] of input fiber [p] to each [(p', w')] destination —
+    one multicast connection through the module.  Destinations must obey
+    the module's model (same wavelength under MSW, one common wavelength
+    under MSDW) and sit on distinct output fibers.
+    @raise Invalid_argument on a model violation or bad port/wavelength. *)
+
+val clear : C.t -> t -> unit
+(** All gates off, converters to pass-through. *)
+
+val crosspoints : t -> int
+val converters : t -> int

@@ -1,0 +1,14 @@
+(* The MSDW crossbar network of Fig. 6 (input-side converters, full
+   (Nk)^2 gate matrix): a Module_fabric under MSDW with the standard
+   transmitter/receiver wrapping. *)
+
+type t = Fabric.t
+
+let model = Wdm_core.Model.MSDW
+let create ?loss spec = Fabric.create ?loss ~model spec
+let spec = Fabric.spec
+let circuit = Fabric.circuit
+let configure = Fabric.configure
+let realize = Fabric.realize
+let crosspoints = Fabric.crosspoints
+let converters = Fabric.converters

@@ -1,0 +1,5 @@
+(** The MSDW crossbar network of Fig. 6 (input-side converters, full (Nk)^2 gate matrix),
+    exposed through {!Fabric_intf.S} so fabrics are interchangeable in
+    tests and benchmarks. *)
+
+include Fabric_intf.S

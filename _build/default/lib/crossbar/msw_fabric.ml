@@ -1,0 +1,14 @@
+(* The MSW crossbar network of Fig. 4 (k parallel space crossbars):
+   a Module_fabric under MSW with the standard transmitter/receiver
+   wrapping.  See Fabric for the mechanics. *)
+
+type t = Fabric.t
+
+let model = Wdm_core.Model.MSW
+let create ?loss spec = Fabric.create ?loss ~model spec
+let spec = Fabric.spec
+let circuit = Fabric.circuit
+let configure = Fabric.configure
+let realize = Fabric.realize
+let crosspoints = Fabric.crosspoints
+let converters = Fabric.converters

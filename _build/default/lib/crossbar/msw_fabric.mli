@@ -1,0 +1,5 @@
+(** The MSW crossbar network of Fig. 4 (k parallel space crossbars, no converters),
+    exposed through {!Fabric_intf.S} so fabrics are interchangeable in
+    tests and benchmarks. *)
+
+include Fabric_intf.S

@@ -1,0 +1,44 @@
+module C = Wdm_optics.Circuit
+
+type t = {
+  n_in : int;
+  n_out : int;
+  splitters : C.node_id array;  (* per input *)
+  combiners : C.node_id array;  (* per output *)
+  gates : C.node_id array array;  (* gates.(i).(j) : input i -> output j *)
+}
+
+let build c ~inputs ~outputs =
+  if inputs < 1 || outputs < 1 then invalid_arg "Space_xbar.build: size >= 1";
+  let splitters = Array.init inputs (fun _ -> C.add_splitter c outputs) in
+  let combiners = Array.init outputs (fun _ -> C.add_combiner c inputs) in
+  let gates =
+    Array.init inputs (fun i ->
+        Array.init outputs (fun j ->
+            let g = C.add_gate c in
+            C.connect c splitters.(i) j g 0;
+            C.connect c g 0 combiners.(j) i;
+            g))
+  in
+  { n_in = inputs; n_out = outputs; splitters; combiners; gates }
+
+let inputs t = t.n_in
+let outputs t = t.n_out
+
+let entry t i =
+  if i < 0 || i >= t.n_in then invalid_arg "Space_xbar.entry: bad input";
+  (t.splitters.(i), 0)
+
+let exit t j =
+  if j < 0 || j >= t.n_out then invalid_arg "Space_xbar.exit: bad output";
+  (t.combiners.(j), 0)
+
+let set c t ~input ~output on =
+  if input < 0 || input >= t.n_in then invalid_arg "Space_xbar.set: bad input";
+  if output < 0 || output >= t.n_out then invalid_arg "Space_xbar.set: bad output";
+  C.set_gate c t.gates.(input).(output) on
+
+let clear c t =
+  Array.iter (fun row -> Array.iter (fun g -> C.set_gate c g false) row) t.gates
+
+let crosspoints t = t.n_in * t.n_out

@@ -1,0 +1,36 @@
+(** The [N x N] single-wavelength multicast space crossbar of Fig. 5.
+
+    Each input feeds a [1 x N] splitter; splitter output [j] passes an
+    SOA gate and joins the [N x 1] combiner of output [j].  Turning gate
+    [(i, j)] on connects input [i] to output [j]; one input may reach any
+    set of outputs (multicast), while nonblocking requires at most one on
+    gate per output column.  Crosspoint count: [N^2].
+
+    The builder embeds the crossbar into an existing circuit and exposes
+    its boundary, so larger fabrics (the Fig. 4 planes, the multistage
+    modules of Section 3) wire it as a building block. *)
+
+type t
+
+val build : Wdm_optics.Circuit.t -> inputs:int -> outputs:int -> t
+(** [build c ~inputs ~outputs] creates an [inputs x outputs] crossbar
+    inside [c] (the paper's square case is [inputs = outputs], but the
+    multistage modules of Fig. 8 need rectangular [n x m] ones). *)
+
+val inputs : t -> int
+val outputs : t -> int
+
+val entry : t -> int -> Wdm_optics.Circuit.node_id * int
+(** [entry t i] is the (node, input-slot) where the parent circuit must
+    deliver input [i]'s light (0-based). *)
+
+val exit : t -> int -> Wdm_optics.Circuit.node_id * int
+(** [exit t j] is the (node, output-slot) carrying output [j]'s light. *)
+
+val set : Wdm_optics.Circuit.t -> t -> input:int -> output:int -> bool -> unit
+(** Switch one crosspoint. *)
+
+val clear : Wdm_optics.Circuit.t -> t -> unit
+(** All gates off. *)
+
+val crosspoints : t -> int

@@ -1,0 +1,1 @@
+lib/multistage/conditions.ml: Float Format Stdlib

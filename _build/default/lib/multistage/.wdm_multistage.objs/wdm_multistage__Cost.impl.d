@@ -1,0 +1,1 @@
+lib/multistage/cost.ml: Conditions Float Format Model Network Printf Topology Wdm_core

@@ -1,0 +1,1 @@
+lib/multistage/cost.mli: Conditions Format Model Network Topology Wdm_core

@@ -1,0 +1,1 @@
+lib/multistage/multiset.ml: Array Format List Printf Stdlib String

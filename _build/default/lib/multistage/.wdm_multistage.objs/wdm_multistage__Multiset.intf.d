@@ -1,0 +1,1 @@
+lib/multistage/multiset.mli: Format

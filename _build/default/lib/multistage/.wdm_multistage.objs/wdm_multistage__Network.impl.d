@@ -1,0 +1,1 @@
+lib/multistage/network.ml: Array Assignment Conditions Connection Endpoint Format Int List Map Model Multiset Option Printf Set String Topology Wdm_core

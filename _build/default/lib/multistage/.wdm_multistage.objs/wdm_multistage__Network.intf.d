@@ -1,0 +1,1 @@
+lib/multistage/network.mli: Assignment Connection Endpoint Format Model Multiset Topology Wdm_core

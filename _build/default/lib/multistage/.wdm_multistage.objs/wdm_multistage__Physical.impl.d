@@ -1,0 +1,1 @@
+lib/multistage/physical.ml: Array Assignment Connection Endpoint List Model Network Topology Wdm_core Wdm_crossbar Wdm_optics

@@ -1,0 +1,1 @@
+lib/multistage/physical.mli: Model Network Topology Wdm_core Wdm_crossbar Wdm_optics

@@ -1,0 +1,1 @@
+lib/multistage/physical_recursive.ml: Array Assignment Connection Endpoint List Model Network Recursive Rnetwork Topology Wdm_core Wdm_crossbar Wdm_optics

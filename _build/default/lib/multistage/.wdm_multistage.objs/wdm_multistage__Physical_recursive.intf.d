@@ -1,0 +1,1 @@
+lib/multistage/physical_recursive.mli: Network Recursive Rnetwork Wdm_crossbar Wdm_optics

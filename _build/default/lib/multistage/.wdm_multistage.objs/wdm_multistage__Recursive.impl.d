@@ -1,0 +1,1 @@
+lib/multistage/recursive.ml: Conditions Cost Float Format List Model Printf Result Wdm_core

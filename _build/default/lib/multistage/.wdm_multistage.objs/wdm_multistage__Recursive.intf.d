@@ -1,0 +1,1 @@
+lib/multistage/recursive.mli: Format Model Wdm_core

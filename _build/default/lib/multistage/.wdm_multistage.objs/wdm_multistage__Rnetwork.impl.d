@@ -1,0 +1,1 @@
+lib/multistage/rnetwork.ml: Array Connection Endpoint Hashtbl List Model Network Option Recursive Topology Wdm_core

@@ -1,0 +1,1 @@
+lib/multistage/rnetwork.mli: Connection Network Recursive Topology Wdm_core

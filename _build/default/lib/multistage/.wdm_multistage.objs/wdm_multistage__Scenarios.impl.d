@@ -1,0 +1,1 @@
+lib/multistage/scenarios.ml: Connection Endpoint Format List Model Network Topology Wdm_core

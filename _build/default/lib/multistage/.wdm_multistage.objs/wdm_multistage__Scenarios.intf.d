@@ -1,0 +1,1 @@
+lib/multistage/scenarios.mli: Connection Network Topology Wdm_core

@@ -1,0 +1,1 @@
+lib/multistage/scheduler.ml: Array Assignment Network Option Random Result Wdm_core

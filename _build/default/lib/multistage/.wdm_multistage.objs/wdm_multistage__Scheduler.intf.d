@@ -1,0 +1,1 @@
+lib/multistage/scheduler.mli: Assignment Network Wdm_core

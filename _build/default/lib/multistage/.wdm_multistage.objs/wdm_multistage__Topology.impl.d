@@ -1,0 +1,1 @@
+lib/multistage/topology.ml: Format Wdm_core

@@ -1,0 +1,1 @@
+lib/multistage/topology.mli: Format Wdm_core

@@ -1,0 +1,65 @@
+(** Network cost of three-stage WDM multicast networks (Section 3.4,
+    Table 2).
+
+    Per module: an MSW module of size [a x b] has [k a b] crosspoints
+    and no converters; an MSDW or MAW module has [k^2 a b] crosspoints
+    and [a k] (input-side) or [b k] (output-side) converters.  Summing
+    over the stages of Fig. 8 gives, for the MSW-dominant construction
+    with [n = r = sqrt N] and the Theorem-1 minimal [m]:
+
+    - MSW network: [k m r (2n + r) = O(k N^1.5 log N / log log N)]
+      crosspoints, no converters;
+    - MSDW: [k m r ((k+1) n + r)] crosspoints, [r m k] converters
+      (placed on the output modules' input side);
+    - MAW: same crosspoints, [r n k = N k] converters (output side) —
+      fewer than MSDW, which is why Section 3.4 calls MSDW undesirable. *)
+
+open Wdm_core
+
+type stage = { crosspoints : int; converters : int }
+
+type breakdown = {
+  input : stage;
+  middle : stage;
+  output : stage;
+  total_crosspoints : int;
+  total_converters : int;
+}
+
+val module_crosspoints : Model.t -> k:int -> ins:int -> outs:int -> int
+val module_converters : Model.t -> k:int -> ins:int -> outs:int -> int
+
+val breakdown :
+  construction:Network.construction -> output_model:Model.t -> Topology.t -> breakdown
+(** Exact totals for a topology under a construction and network model. *)
+
+val msdw_converters_input_side : Topology.t -> int
+(** [r * m * k]: MSDW converters at the output modules' input side, as
+    the paper first places them. *)
+
+val msdw_converters_optimized : Topology.t -> int
+(** [r * n * k = N k]: Section 3.4's remark — even with the better
+    placement (inside the [m x n] module) MSDW needs as many converters
+    as MAW, never fewer; with the naive placement it needs more.  The
+    tests check [optimized <= input_side] with equality iff [m = n]. *)
+
+val msw_dominant_crosspoints_closed_form : output_model:Model.t -> Topology.t -> int
+(** The paper's closed forms [k m r (2n + r)] (MSW) and
+    [k m r ((k+1) n + r)] (MSDW/MAW) — the tests check {!breakdown}
+    agrees with them. *)
+
+val recommended :
+  construction:Network.construction ->
+  output_model:Model.t ->
+  big_n:int ->
+  k:int ->
+  (Topology.t * Conditions.evaluation * breakdown, string) result
+(** The Section 3.4 design point: [n = r = sqrt big_n] (requires a
+    perfect square), [m] minimal for the construction's theorem. *)
+
+val crossbar_crosspoints : output_model:Model.t -> big_n:int -> k:int -> int
+(** Baseline single-crossbar cost for the same [N, k] (Table 1). *)
+
+val crossbar_converters : output_model:Model.t -> big_n:int -> k:int -> int
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

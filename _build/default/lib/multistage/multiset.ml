@@ -1,0 +1,69 @@
+type t = { k : int; counts : int array }
+
+let create ~r ~k =
+  if r < 1 || k < 1 then invalid_arg "Multiset.create: r and k must be >= 1";
+  { k; counts = Array.make r 0 }
+
+let r t = Array.length t.counts
+let k t = t.k
+
+let check_elem t p name =
+  if p < 1 || p > r t then invalid_arg ("Multiset." ^ name ^ ": element out of range")
+
+let multiplicity t p =
+  check_elem t p "multiplicity";
+  t.counts.(p - 1)
+
+let saturated t p = multiplicity t p = t.k
+
+let add t p =
+  check_elem t p "add";
+  if t.counts.(p - 1) >= t.k then invalid_arg "Multiset.add: element saturated";
+  let counts = Array.copy t.counts in
+  counts.(p - 1) <- counts.(p - 1) + 1;
+  { t with counts }
+
+let remove t p =
+  check_elem t p "remove";
+  if t.counts.(p - 1) = 0 then invalid_arg "Multiset.remove: element absent";
+  let counts = Array.copy t.counts in
+  counts.(p - 1) <- counts.(p - 1) - 1;
+  { t with counts }
+
+let of_list ~r ~k elems =
+  List.fold_left add (create ~r ~k) elems
+
+let inter a b =
+  if r a <> r b || a.k <> b.k then invalid_arg "Multiset.inter: dimension mismatch";
+  { a with counts = Array.map2 Stdlib.min a.counts b.counts }
+
+let cardinality t =
+  Array.fold_left (fun acc c -> if c = t.k then acc + 1 else acc) 0 t.counts
+
+let is_null t = cardinality t = 0
+
+let saturated_elements t =
+  let acc = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) = t.k then acc := (i + 1) :: !acc
+  done;
+  !acc
+
+let total t = Array.fold_left ( + ) 0 t.counts
+
+let restrict t elems =
+  let keep = Array.make (r t) false in
+  List.iter (fun p -> check_elem t p "restrict"; keep.(p - 1) <- true) elems;
+  { t with counts = Array.mapi (fun i c -> if keep.(i) then c else 0) t.counts }
+
+let equal a b = a.k = b.k && a.counts = b.counts
+
+let pp ppf t =
+  let elems =
+    Array.to_list t.counts
+    |> List.mapi (fun i c -> (i + 1, c))
+    |> List.filter (fun (_, c) -> c > 0)
+  in
+  Format.fprintf ppf "{%s}"
+    (String.concat ", "
+       (List.map (fun (p, c) -> Printf.sprintf "%d^%d" p c) elems))

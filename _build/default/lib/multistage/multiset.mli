@@ -1,0 +1,68 @@
+(** Destination multisets (Section 3.3, definitions (2)-(5)).
+
+    For a middle-stage module [j], the destination multiset [M_j]
+    records, for every output-stage module [p in {1..r}], how many
+    multicast connections currently run over the link [j -> p] — at most
+    [k], one per wavelength of the link.  The paper's operations:
+
+    - intersection (3): elementwise [min] of multiplicities;
+    - cardinality (4): the number of elements whose multiplicity has
+      reached [k] — i.e. output modules {e saturated} through [j];
+    - null (5): no saturated element.
+
+    A new connection can reach output module [p] through [j] iff [p] is
+    not saturated in [M_j]; [x] middle modules can jointly carry a
+    connection with fanout set [F] iff the intersection of their
+    multisets, restricted to [F], is null (Lemma 4 extended to
+    multisets).  With [k = 1] everything degenerates to the ordinary
+    destination sets of the electronic case. *)
+
+type t
+
+val create : r:int -> k:int -> t
+(** The empty multiset (all multiplicities 0). *)
+
+val of_list : r:int -> k:int -> int list -> t
+(** Multiset from element occurrences, e.g.
+    [of_list ~r:3 ~k:2 [1; 1; 3]] has multiplicities [2, 0, 1].
+    @raise Invalid_argument on out-of-range elements or multiplicity
+    beyond [k]. *)
+
+val r : t -> int
+val k : t -> int
+
+val multiplicity : t -> int -> int
+(** [multiplicity t p] for [p in 1..r]. *)
+
+val saturated : t -> int -> bool
+(** [multiplicity t p = k]. *)
+
+val add : t -> int -> t
+(** One more connection towards output module [p].
+    @raise Invalid_argument if [p] is already saturated. *)
+
+val remove : t -> int -> t
+(** @raise Invalid_argument if [multiplicity t p = 0]. *)
+
+val inter : t -> t -> t
+(** Elementwise minimum (definition (3)).
+    @raise Invalid_argument on mismatched dimensions. *)
+
+val cardinality : t -> int
+(** Number of saturated elements (definition (4)) — {e not} the total
+    multiplicity. *)
+
+val is_null : t -> bool
+(** Definition (5): cardinality 0. *)
+
+val saturated_elements : t -> int list
+val total : t -> int
+(** Sum of multiplicities (the number of connections through the module). *)
+
+val restrict : t -> int list -> t
+(** Zero out every element not in the given fanout set — used to apply
+    Lemma 4 to a specific connection request. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Paper notation, e.g. [{1^2, 3^1}]. *)

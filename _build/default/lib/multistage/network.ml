@@ -1,0 +1,505 @@
+open Wdm_core
+
+type construction = Msw_dominant | Maw_dominant
+type strategy = Min_intersection | First_fit | Exhaustive
+
+type hop = { middle : int; stage1_wl : int; serves : (int * int) list }
+
+type route = {
+  id : int;
+  connection : Connection.t;
+  input_switch : int;
+  hops : hop list;
+}
+
+type blocked_info = {
+  fanout_switches : int list;
+  available_middles : int list;
+  uncovered : int list;
+}
+
+type error =
+  | Invalid of Assignment.error
+  | Source_busy of Endpoint.t
+  | Destination_busy of Endpoint.t
+  | Blocked of blocked_info
+
+module Eset = Set.Make (Endpoint)
+module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
+
+type t = {
+  topo : Topology.t;
+  construction : construction;
+  output_model : Model.t;
+  x_limit : int;
+  strategy : strategy;
+  (* stage1.(i-1).(j-1).(w-1): wavelength w busy on link from input
+     module i to middle module j *)
+  stage1 : bool array array array;
+  (* stage2.(j-1).(p-1).(w-1): wavelength w busy on link from middle
+     module j to output module p *)
+  stage2 : bool array array array;
+  mutable busy_sources : Eset.t;
+  mutable busy_dests : Eset.t;
+  mutable next_id : int;
+  mutable routes : route Imap.t;
+  mutable failed : Iset.t;  (* middle modules out of service *)
+}
+
+let create ?(strategy = Min_intersection) ?x_limit ~construction ~output_model
+    (topo : Topology.t) =
+  let default_x () =
+    match construction with
+    | Msw_dominant -> (Conditions.msw_dominant ~n:topo.n ~r:topo.r).x
+    | Maw_dominant -> (Conditions.maw_dominant ~n:topo.n ~r:topo.r ~k:topo.k).x
+  in
+  let x_limit = match x_limit with Some x -> x | None -> default_x () in
+  if x_limit < 1 then invalid_arg "Network.create: x_limit must be >= 1";
+  {
+    topo;
+    construction;
+    output_model;
+    x_limit;
+    strategy;
+    stage1 =
+      Array.init topo.r (fun _ ->
+          Array.init topo.m (fun _ -> Array.make topo.k false));
+    stage2 =
+      Array.init topo.m (fun _ ->
+          Array.init topo.r (fun _ -> Array.make topo.k false));
+    busy_sources = Eset.empty;
+    busy_dests = Eset.empty;
+    next_id = 0;
+    routes = Imap.empty;
+    failed = Iset.empty;
+  }
+
+let topology t = t.topo
+let construction t = t.construction
+let output_model t = t.output_model
+let x_limit t = t.x_limit
+let strategy t = t.strategy
+
+(* ----- link-state helpers --------------------------------------------- *)
+
+let stage1_free_wl t ~input_switch ~middle ~wl =
+  not t.stage1.(input_switch - 1).(middle - 1).(wl - 1)
+
+let stage1_used_count t ~input_switch ~middle =
+  Array.fold_left
+    (fun acc b -> if b then acc + 1 else acc)
+    0
+    t.stage1.(input_switch - 1).(middle - 1)
+
+let stage1_any_free t ~input_switch ~middle =
+  stage1_used_count t ~input_switch ~middle < t.topo.k
+
+let stage2_free_wl t ~middle ~out_switch ~wl =
+  not t.stage2.(middle - 1).(out_switch - 1).(wl - 1)
+
+let stage2_any_free t ~middle ~out_switch =
+  Array.exists (fun b -> not b) t.stage2.(middle - 1).(out_switch - 1)
+
+let first_free plane =
+  let rec go i =
+    if i >= Array.length plane then None
+    else if not plane.(i) then Some (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+(* Whether middle [j] has a usable first-stage slot for a request sourced
+   at [input_switch] on wavelength [src_wl]. *)
+let middle_available t ~input_switch ~src_wl j =
+  (not (Iset.mem j t.failed))
+  &&
+  match t.construction with
+  | Msw_dominant -> stage1_free_wl t ~input_switch ~middle:j ~wl:src_wl
+  | Maw_dominant -> stage1_any_free t ~input_switch ~middle:j
+
+(* Whether middle [j] can reach output module [p] for this request. *)
+let middle_covers t ~src_wl j p =
+  match t.construction with
+  | Msw_dominant -> stage2_free_wl t ~middle:j ~out_switch:p ~wl:src_wl
+  | Maw_dominant -> (
+    match t.output_model with
+    | Model.MSW ->
+      (* MSW output modules cannot convert: the hop must arrive on the
+         destination wavelength, which under the MSW network model is
+         the source wavelength. *)
+      stage2_free_wl t ~middle:j ~out_switch:p ~wl:src_wl
+    | Model.MSDW | Model.MAW -> stage2_any_free t ~middle:j ~out_switch:p)
+
+(* ----- middle-module selection ---------------------------------------- *)
+
+(* Min-intersection greedy (the Lemma 5 argument): repeatedly take the
+   middle covering the most still-uncovered output modules, i.e.
+   minimizing the residual intersection. *)
+let select_min_intersection t ~src_wl available fanout =
+  let rec go chosen uncovered remaining picks_left =
+    if uncovered = [] then Some (List.rev chosen)
+    else if picks_left = 0 || remaining = [] then None
+    else begin
+      let scored =
+        List.map
+          (fun j ->
+            let covered =
+              List.filter (fun p -> middle_covers t ~src_wl j p) uncovered
+            in
+            (j, covered))
+          remaining
+      in
+      let best =
+        List.fold_left
+          (fun acc (j, covered) ->
+            match acc with
+            | None -> Some (j, covered)
+            | Some (_, best_cov) ->
+              if List.length covered > List.length best_cov then Some (j, covered)
+              else acc)
+          None scored
+      in
+      match best with
+      | None | Some (_, []) -> None
+      | Some (j, covered) ->
+        let uncovered' =
+          List.filter (fun p -> not (List.mem p covered)) uncovered
+        in
+        let remaining' = List.filter (fun j' -> j' <> j) remaining in
+        go ((j, covered) :: chosen) uncovered' remaining' (picks_left - 1)
+    end
+  in
+  go [] fanout available t.x_limit
+
+let select_first_fit t ~src_wl available fanout =
+  let rec go chosen uncovered remaining picks_left =
+    if uncovered = [] then Some (List.rev chosen)
+    else
+      match remaining with
+      | [] -> None
+      | j :: rest ->
+        if picks_left = 0 then None
+        else begin
+          let covered =
+            List.filter (fun p -> middle_covers t ~src_wl j p) uncovered
+          in
+          if covered = [] then go chosen uncovered rest picks_left
+          else begin
+            let uncovered' =
+              List.filter (fun p -> not (List.mem p covered)) uncovered
+            in
+            go ((j, covered) :: chosen) uncovered' rest (picks_left - 1)
+          end
+        end
+  in
+  go [] fanout available t.x_limit
+
+(* Exhaustive: subsets of increasing size; returns the first full cover. *)
+let select_exhaustive t ~src_wl available fanout =
+  let covers_of j = List.filter (fun p -> middle_covers t ~src_wl j p) fanout in
+  let rec subsets size = function
+    | [] -> if size = 0 then [ [] ] else []
+    | j :: rest ->
+      if size = 0 then [ [] ]
+      else
+        List.map (fun s -> j :: s) (subsets (size - 1) rest) @ subsets size rest
+  in
+  let try_size size =
+    List.find_map
+      (fun subset ->
+        (* greedily attribute each output module to the first member
+           that covers it *)
+        let attribution =
+          List.map (fun j -> (j, covers_of j)) subset
+        in
+        let rec assign uncovered acc = function
+          | [] -> if uncovered = [] then Some (List.rev acc) else None
+          | (j, cov) :: rest ->
+            let mine = List.filter (fun p -> List.mem p uncovered) cov in
+            let uncovered' = List.filter (fun p -> not (List.mem p mine)) uncovered in
+            assign uncovered' ((j, mine) :: acc) rest
+        in
+        assign fanout [] attribution)
+      (subsets size available)
+  in
+  let rec go size =
+    if size > t.x_limit then None
+    else match try_size size with Some s -> Some s | None -> go (size + 1)
+  in
+  go 1
+
+let select t ~src_wl available fanout =
+  let raw =
+    match t.strategy with
+    | Min_intersection -> select_min_intersection t ~src_wl available fanout
+    | First_fit -> select_first_fit t ~src_wl available fanout
+    | Exhaustive -> select_exhaustive t ~src_wl available fanout
+  in
+  (* Drop members that ended up serving nothing. *)
+  Option.map (List.filter (fun (_, serves) -> serves <> [])) raw
+
+(* ----- admission ------------------------------------------------------ *)
+
+let validate_request t (conn : Connection.t) =
+  let spec = Topology.spec t.topo in
+  match Assignment.validate spec t.output_model (Assignment.make [ conn ]) with
+  | Error e -> Error (Invalid e)
+  | Ok () ->
+    if Eset.mem conn.source t.busy_sources then Error (Source_busy conn.source)
+    else (
+      match
+        List.find_opt (fun d -> Eset.mem d t.busy_dests) conn.destinations
+      with
+      | Some d -> Error (Destination_busy d)
+      | None -> Ok ())
+
+let fanout_switches t (conn : Connection.t) =
+  conn.destinations
+  |> List.map (fun (d : Endpoint.t) -> fst (Topology.switch_of_port t.topo d.port))
+  |> List.sort_uniq Int.compare
+
+let connect t (conn : Connection.t) =
+  match validate_request t conn with
+  | Error _ as e -> e
+  | Ok () ->
+    let src_wl = conn.source.wl in
+    let input_switch = fst (Topology.switch_of_port t.topo conn.source.port) in
+    let fanout = fanout_switches t conn in
+    let available =
+      List.filter
+        (fun j -> middle_available t ~input_switch ~src_wl j)
+        (List.init t.topo.m (fun j -> j + 1))
+    in
+    (match select t ~src_wl available fanout with
+    | None ->
+      let covered_somewhere p =
+        List.exists (fun j -> middle_covers t ~src_wl j p) available
+      in
+      Error
+        (Blocked
+           {
+             fanout_switches = fanout;
+             available_middles = available;
+             uncovered = List.filter (fun p -> not (covered_somewhere p)) fanout;
+           })
+    | Some chosen ->
+      (* Allocate wavelengths hop by hop. *)
+      let hops =
+        List.map
+          (fun (j, serves) ->
+            let stage1_wl =
+              match t.construction with
+              | Msw_dominant -> src_wl
+              | Maw_dominant -> (
+                match first_free t.stage1.(input_switch - 1).(j - 1) with
+                | Some w -> w
+                | None -> assert false (* j was available *))
+            in
+            t.stage1.(input_switch - 1).(j - 1).(stage1_wl - 1) <- true;
+            let serves =
+              List.map
+                (fun p ->
+                  let w2 =
+                    match t.construction with
+                    | Msw_dominant -> src_wl
+                    | Maw_dominant -> (
+                      match t.output_model with
+                      | Model.MSW -> src_wl
+                      | Model.MSDW | Model.MAW -> (
+                        match first_free t.stage2.(j - 1).(p - 1) with
+                        | Some w -> w
+                        | None -> assert false (* p was coverable via j *)))
+                  in
+                  t.stage2.(j - 1).(p - 1).(w2 - 1) <- true;
+                  (p, w2))
+                serves
+            in
+            { middle = j; stage1_wl; serves })
+          chosen
+      in
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      let route = { id; connection = conn; input_switch; hops } in
+      t.routes <- Imap.add id route t.routes;
+      t.busy_sources <- Eset.add conn.source t.busy_sources;
+      t.busy_dests <-
+        List.fold_left (fun s d -> Eset.add d s) t.busy_dests conn.destinations;
+      Ok route)
+
+let release t (route : route) =
+  List.iter
+    (fun { middle = j; stage1_wl; serves } ->
+      t.stage1.(route.input_switch - 1).(j - 1).(stage1_wl - 1) <- false;
+      List.iter
+        (fun (p, w2) -> t.stage2.(j - 1).(p - 1).(w2 - 1) <- false)
+        serves)
+    route.hops;
+  t.busy_sources <- Eset.remove route.connection.source t.busy_sources;
+  t.busy_dests <-
+    List.fold_left
+      (fun s d -> Eset.remove d s)
+      t.busy_dests route.connection.destinations
+
+let disconnect t id =
+  match Imap.find_opt id t.routes with
+  | None -> Error (Printf.sprintf "Network.disconnect: no route %d" id)
+  | Some route ->
+    release t route;
+    t.routes <- Imap.remove id t.routes;
+    Ok route
+
+(* Re-mark exactly the resources of a previously released route (its
+   slots are known-free); used to roll back rearrangement attempts. *)
+let readmit t (route : route) =
+  List.iter
+    (fun { middle = j; stage1_wl; serves } ->
+      assert (not t.stage1.(route.input_switch - 1).(j - 1).(stage1_wl - 1));
+      t.stage1.(route.input_switch - 1).(j - 1).(stage1_wl - 1) <- true;
+      List.iter
+        (fun (p, w2) ->
+          assert (not t.stage2.(j - 1).(p - 1).(w2 - 1));
+          t.stage2.(j - 1).(p - 1).(w2 - 1) <- true)
+        serves)
+    route.hops;
+  t.busy_sources <- Eset.add route.connection.source t.busy_sources;
+  t.busy_dests <-
+    List.fold_left (fun s d -> Eset.add d s) t.busy_dests
+      route.connection.destinations;
+  t.routes <- Imap.add route.id route t.routes
+
+let connect_rearrangeable t (conn : Connection.t) =
+  match connect t conn with
+  | Ok route -> Ok (route, 0)
+  | Error (Blocked _ as blocked) ->
+    (* Try moving one existing connection out of the way: release it,
+       place the request, then re-route the victim on what remains. *)
+    let victims = Imap.bindings t.routes |> List.map snd in
+    let rec attempt = function
+      | [] -> Error blocked
+      | victim :: rest -> (
+        release t victim;
+        t.routes <- Imap.remove victim.id t.routes;
+        match connect t conn with
+        | Error _ ->
+          readmit t victim;
+          attempt rest
+        | Ok new_route -> (
+          match connect t victim.connection with
+          | Ok _ -> Ok (new_route, 1)
+          | Error _ ->
+            (* undo: drop the new route, restore the victim verbatim *)
+            release t new_route;
+            t.routes <- Imap.remove new_route.id t.routes;
+            readmit t victim;
+            attempt rest))
+    in
+    attempt victims
+  | Error _ as e -> e
+
+let active_routes t = Imap.bindings t.routes |> List.map snd
+let find_route t id = Imap.find_opt id t.routes
+
+let destination_multiset t j =
+  if j < 1 || j > t.topo.m then invalid_arg "Network.destination_multiset: bad middle";
+  let ms = ref (Multiset.create ~r:t.topo.r ~k:t.topo.k) in
+  Array.iteri
+    (fun p_minus1 plane ->
+      Array.iter (fun busy -> if busy then ms := Multiset.add !ms (p_minus1 + 1)) plane)
+    t.stage2.(j - 1);
+  !ms
+
+let destination_multiset_plane t ~middle ~wl =
+  if middle < 1 || middle > t.topo.m then
+    invalid_arg "Network.destination_multiset_plane: bad middle";
+  if wl < 1 || wl > t.topo.k then
+    invalid_arg "Network.destination_multiset_plane: bad wavelength";
+  let ms = ref (Multiset.create ~r:t.topo.r ~k:1) in
+  Array.iteri
+    (fun p_minus1 plane ->
+      if plane.(wl - 1) then ms := Multiset.add !ms (p_minus1 + 1))
+    t.stage2.(middle - 1);
+  !ms
+
+let stage1_in_use t ~input_switch ~middle =
+  if input_switch < 1 || input_switch > t.topo.r then
+    invalid_arg "Network.stage1_in_use: bad input switch";
+  if middle < 1 || middle > t.topo.m then
+    invalid_arg "Network.stage1_in_use: bad middle";
+  stage1_used_count t ~input_switch ~middle
+
+let fail_middle t j =
+  if j < 1 || j > t.topo.m then invalid_arg "Network.fail_middle: bad middle";
+  t.failed <- Iset.add j t.failed;
+  let victims =
+    Imap.bindings t.routes
+    |> List.map snd
+    |> List.filter (fun route ->
+           List.exists (fun h -> h.middle = j) route.hops)
+  in
+  List.iter
+    (fun route ->
+      release t route;
+      t.routes <- Imap.remove route.id t.routes)
+    victims;
+  List.map (fun route -> route.connection) victims
+
+let repair_middle t j =
+  if j < 1 || j > t.topo.m then invalid_arg "Network.repair_middle: bad middle";
+  t.failed <- Iset.remove j t.failed
+
+let failed_middles t = Iset.elements t.failed
+
+let utilization t =
+  float_of_int (Eset.cardinal t.busy_dests)
+  /. float_of_int (Topology.num_ports t.topo * t.topo.k)
+
+let clear t =
+  List.iter (fun (_, route) -> release t route) (Imap.bindings t.routes);
+  t.routes <- Imap.empty
+
+let copy t =
+  {
+    t with
+    stage1 = Array.map (Array.map Array.copy) t.stage1;
+    stage2 = Array.map (Array.map Array.copy) t.stage2;
+  }
+
+let pp_error ppf = function
+  | Invalid e -> Format.fprintf ppf "invalid request: %a" Assignment.pp_error e
+  | Source_busy e -> Format.fprintf ppf "source %a busy" Endpoint.pp e
+  | Destination_busy e -> Format.fprintf ppf "destination %a busy" Endpoint.pp e
+  | Blocked { fanout_switches; available_middles; uncovered } ->
+    Format.fprintf ppf
+      "blocked: fanout over output modules {%s}, %d available middles, \
+       uncoverable modules {%s}"
+      (String.concat "," (List.map string_of_int fanout_switches))
+      (List.length available_middles)
+      (String.concat "," (List.map string_of_int uncovered))
+
+let pp_state ppf t =
+  Format.fprintf ppf "@[<v>stage 1 (wavelengths used per input module x middle):@,";
+  for i = 1 to t.topo.r do
+    Format.fprintf ppf "  in%d:" i;
+    for j = 1 to t.topo.m do
+      Format.fprintf ppf " %d/%d" (stage1_used_count t ~input_switch:i ~middle:j) t.topo.k
+    done;
+    Format.pp_print_cut ppf ()
+  done;
+  Format.fprintf ppf "middle destination multisets:@,";
+  for j = 1 to t.topo.m do
+    Format.fprintf ppf "  M_%d = %a@," j Multiset.pp (destination_multiset t j)
+  done;
+  Format.fprintf ppf "active routes: %d, utilization %.1f%%@]"
+    (Imap.cardinal t.routes) (100. *. utilization t)
+
+let pp_route ppf route =
+  Format.fprintf ppf "route %d: %a via %a" route.id Connection.pp
+    route.connection
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+       (fun ppf { middle; stage1_wl; serves } ->
+         Format.fprintf ppf "m%d(in l%d; %s)" middle stage1_wl
+           (String.concat ","
+              (List.map (fun (p, w) -> Printf.sprintf "o%d:l%d" p w) serves))))
+    route.hops

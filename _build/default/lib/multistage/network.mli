@@ -1,0 +1,149 @@
+(** Connection-level state and routing for three-stage WDM multicast
+    networks (Section 3).
+
+    A network instance tracks, per fiber link of Fig. 8, which of its
+    [k] wavelengths are in use, plus the busy input/output endpoints.
+    {!connect} admits one multicast connection using at most [x_limit]
+    middle modules (the paper's routing strategy behind Theorems 1-2)
+    and {!disconnect} releases it — the dynamic, any-sequence setting in
+    which the nonblocking conditions are claimed.
+
+    The two constructions:
+    - {!Msw_dominant}: input- and middle-stage modules are MSW, so a
+      connection sourced on wavelength [lambda_s] rides the
+      [lambda_s]-plane through the first two stages;
+    - {!Maw_dominant}: input- and middle-stage modules are MAW, so every
+      link wavelength is fungible (converters retune hop by hop).
+
+    The output-stage model is the network's model: it decides which
+    destination wavelength patterns are legal, and — in the MAW-dominant
+    construction — whether the middle-to-output hop may land on any free
+    wavelength (MSDW/MAW output modules convert on entry) or must arrive
+    on the destination wavelength itself (MSW output modules cannot
+    convert). *)
+
+open Wdm_core
+
+type construction = Msw_dominant | Maw_dominant
+
+type strategy =
+  | Min_intersection
+      (** Lemma 5's argument made operational: repeatedly pick the
+          available middle module minimizing the residual intersection
+          (equivalently, covering the most still-uncovered output
+          modules).  Default. *)
+  | First_fit
+      (** Scan middle modules in index order, keep any that covers
+          something new. *)
+  | Exhaustive
+      (** Search all subsets of available middles of size [<= x_limit]
+          for a cover, smallest first.  Exponential; for ablation and
+          small fabrics only. *)
+
+type hop = {
+  middle : int;  (** middle module index, 1-based *)
+  stage1_wl : int;  (** wavelength on the input-module -> middle link *)
+  serves : (int * int) list;
+      (** (output module, wavelength on the middle -> output link) *)
+}
+
+type route = {
+  id : int;
+  connection : Connection.t;
+  input_switch : int;
+  hops : hop list;
+}
+
+type blocked_info = {
+  fanout_switches : int list;  (** output modules the request spans *)
+  available_middles : int list;  (** middles with a free stage-1 slot *)
+  uncovered : int list;  (** output modules no selected middle reaches *)
+}
+
+type error =
+  | Invalid of Assignment.error
+  | Source_busy of Endpoint.t
+  | Destination_busy of Endpoint.t
+  | Blocked of blocked_info
+
+type t
+
+val create :
+  ?strategy:strategy ->
+  ?x_limit:int ->
+  construction:construction ->
+  output_model:Model.t ->
+  Topology.t ->
+  t
+(** [x_limit] defaults to the optimal [x] of the construction's
+    nonblocking condition (Theorem 1 or 2) for the topology. *)
+
+val topology : t -> Topology.t
+val construction : t -> construction
+val output_model : t -> Model.t
+val x_limit : t -> int
+val strategy : t -> strategy
+
+val connect : t -> Connection.t -> (route, error) result
+val disconnect : t -> int -> (route, string) result
+(** Releases a route by id; returns it. *)
+
+val connect_rearrangeable : t -> Connection.t -> (route * int, error) result
+(** Like {!connect}, but when the request blocks, tries to admit it by
+    rerouting one existing connection (tear it down, place the request,
+    put the old connection back on fresh links).  Returns the route and
+    the number of connections that were rerouted (0 when plain
+    {!connect} sufficed).  On failure the network state is untouched.
+
+    Strict-sense nonblocking (Theorems 1-2) needs no rearrangement by
+    definition; this shows the classic trade-off — a smaller [m]
+    suffices when moving existing connections is acceptable.
+
+    Note: a rerouted victim is reinstalled under a fresh route id (its
+    old id is gone from {!active_routes}); identify persistent
+    connections by their source endpoint, which is unique while they
+    are up. *)
+
+val active_routes : t -> route list
+val find_route : t -> int -> route option
+
+val destination_multiset : t -> int -> Multiset.t
+(** [M_j]: connections per middle-to-output link (all wavelengths). *)
+
+val destination_multiset_plane : t -> middle:int -> wl:int -> Multiset.t
+(** The single-wavelength [M_j] of one plane ([k = 1] multiset), the
+    view relevant to the MSW-dominant construction. *)
+
+val stage1_in_use : t -> input_switch:int -> middle:int -> int
+(** Wavelengths in use on one first-stage link. *)
+
+val utilization : t -> float
+(** Fraction of busy output endpoints. *)
+
+val clear : t -> unit
+(** Tear down everything. *)
+
+val copy : t -> t
+(** An independent snapshot: connects/disconnects on the copy do not
+    affect the original.  Used by the exhaustive adversary search. *)
+
+val fail_middle : t -> int -> Connection.t list
+(** Take middle module [j] out of service: every route crossing it is
+    torn down (the lost connections are returned so the caller can
+    re-request them) and the selection logic stops considering [j].
+    Idempotent.  Since Theorems 1-2 bound the middles a worst case
+    needs, a network provisioned with [m_min + f] modules stays
+    nonblocking under [f] such faults — the fault-tolerance rule the
+    tests check. *)
+
+val repair_middle : t -> int -> unit
+val failed_middles : t -> int list
+
+val pp_error : Format.formatter -> error -> unit
+val pp_route : Format.formatter -> route -> unit
+
+val pp_state : Format.formatter -> t -> unit
+(** Renders the link occupancy: the input-module x middle-module
+    wavelength-use matrix and each middle module's destination multiset
+    — the state the Section 3 analysis reasons about, for demos and
+    debugging. *)

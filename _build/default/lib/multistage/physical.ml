@@ -1,0 +1,140 @@
+module C = Wdm_optics.Circuit
+module MF = Wdm_crossbar.Module_fabric
+module Labels = Wdm_crossbar.Labels
+open Wdm_core
+
+type t = {
+  topo : Topology.t;
+  circuit : C.t;
+  sources : C.node_id array;  (* per global input port, 0-based *)
+  input_mods : MF.t array;
+  middle_mods : MF.t array;
+  output_mods : MF.t array;
+}
+
+let create ?loss ~construction ~output_model (topo : Topology.t) =
+  let { Topology.n; m; r; k } = topo in
+  let inner_model =
+    match (construction : Network.construction) with
+    | Network.Msw_dominant -> Model.MSW
+    | Network.Maw_dominant -> Model.MAW
+  in
+  let c = C.create ?loss () in
+  let input_mods =
+    Array.init r (fun _ -> MF.build c ~model:inner_model ~inputs:n ~outputs:m ~k)
+  in
+  let middle_mods =
+    Array.init m (fun _ -> MF.build c ~model:inner_model ~inputs:r ~outputs:r ~k)
+  in
+  let output_mods =
+    Array.init r (fun _ -> MF.build c ~model:output_model ~inputs:m ~outputs:n ~k)
+  in
+  (* Transmitters: one source per global input port. *)
+  let sources =
+    Array.init (Topology.num_ports topo) (fun gp0 ->
+        let gp = gp0 + 1 in
+        let i, local = Topology.switch_of_port topo gp in
+        let src = C.add_source c (Labels.input_port gp) in
+        let node, slot = MF.entry input_mods.(i - 1) local in
+        C.connect c src 0 node slot;
+        src)
+  in
+  (* Inter-stage fibers. *)
+  for i = 1 to r do
+    for j = 1 to m do
+      let from_node, from_slot = MF.exit input_mods.(i - 1) j in
+      let to_node, to_slot = MF.entry middle_mods.(j - 1) i in
+      C.connect c from_node from_slot to_node to_slot
+    done
+  done;
+  for j = 1 to m do
+    for p = 1 to r do
+      let from_node, from_slot = MF.exit middle_mods.(j - 1) p in
+      let to_node, to_slot = MF.entry output_mods.(p - 1) j in
+      C.connect c from_node from_slot to_node to_slot
+    done
+  done;
+  (* Receivers: one sink per global output port. *)
+  for gp = 1 to Topology.num_ports topo do
+    let p, local = Topology.switch_of_port topo gp in
+    let sink = C.add_sink c (Labels.output_port gp) in
+    let node, slot = MF.exit output_mods.(p - 1) local in
+    C.connect c node slot sink 0
+  done;
+  { topo; circuit = c; sources; input_mods; middle_mods; output_mods }
+
+let topology t = t.topo
+let circuit t = t.circuit
+
+let quiesce t =
+  Array.iter (MF.clear t.circuit) t.input_mods;
+  Array.iter (MF.clear t.circuit) t.middle_mods;
+  Array.iter (MF.clear t.circuit) t.output_mods
+
+let apply_route t (route : Network.route) =
+  let conn = route.Network.connection in
+  let src_wl = conn.Connection.source.Endpoint.wl in
+  let i = route.Network.input_switch in
+  let _, local_src = Topology.switch_of_port t.topo conn.Connection.source.Endpoint.port in
+  (* Input module: local source endpoint to the used middle links. *)
+  MF.set_path t.circuit t.input_mods.(i - 1)
+    ~src:(local_src, src_wl)
+    ~dests:
+      (List.map
+         (fun (h : Network.hop) -> (h.Network.middle, h.Network.stage1_wl))
+         route.Network.hops);
+  (* Middle modules: one path per hop. *)
+  List.iter
+    (fun (h : Network.hop) ->
+      MF.set_path t.circuit t.middle_mods.(h.Network.middle - 1)
+        ~src:(i, h.Network.stage1_wl)
+        ~dests:h.Network.serves)
+    route.Network.hops;
+  (* Output modules: per output switch served, deliver to the local
+     destination endpoints. *)
+  List.iter
+    (fun (h : Network.hop) ->
+      List.iter
+        (fun (p, w2) ->
+          let local_dests =
+            List.filter_map
+              (fun (d : Endpoint.t) ->
+                let p', local = Topology.switch_of_port t.topo d.port in
+                if p' = p then Some (local, d.wl) else None)
+              conn.Connection.destinations
+          in
+          MF.set_path t.circuit t.output_mods.(p - 1)
+            ~src:(h.Network.middle, w2)
+            ~dests:local_dests)
+        h.Network.serves)
+    route.Network.hops
+
+let apply_routes t routes =
+  quiesce t;
+  List.iter (apply_route t) routes
+
+let inject_all t =
+  let k = t.topo.Topology.k in
+  Array.iteri
+    (fun gp0 src ->
+      let signals =
+        List.init k (fun w ->
+            let e = Endpoint.make ~port:(gp0 + 1) ~wl:(w + 1) in
+            Wdm_optics.Signal.inject ~origin:(Labels.origin e) ~wl:(w + 1))
+      in
+      C.inject t.circuit src signals)
+    t.sources
+
+let realize t routes =
+  apply_routes t routes;
+  inject_all t;
+  let outcome = C.propagate t.circuit in
+  let assignment =
+    Assignment.make (List.map (fun (r : Network.route) -> r.Network.connection) routes)
+  in
+  match Wdm_crossbar.Delivery.verify assignment outcome with
+  | Ok () -> Ok outcome
+  | Error _ as e -> e
+
+let crosspoints t = C.num_gates t.circuit
+let converters t = C.num_converters t.circuit

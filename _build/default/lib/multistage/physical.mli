@@ -1,0 +1,47 @@
+(** Physical realization of a three-stage network (Fig. 8, Fig. 9).
+
+    Builds the actual optical circuit — [r] input modules of size
+    [n x m], [m] middle modules of size [r x r], [r] output modules of
+    size [m x n], one [k]-wavelength fiber between every pair of modules
+    in consecutive stages — out of {!Wdm_crossbar.Module_fabric}
+    building blocks, with module models chosen by the construction
+    (Fig. 9a: MSW-dominant; Fig. 9b: MAW-dominant).
+
+    Given routes computed by {!Network}, {!realize} configures every
+    module, lights all transmitters and verifies by optical propagation
+    that exactly the requested multicast pattern is delivered.  This is
+    the end-to-end proof that the routing engine's link bookkeeping
+    corresponds to hardware that actually works. *)
+
+open Wdm_core
+
+type t
+
+val create :
+  ?loss:Wdm_optics.Loss_model.t ->
+  construction:Network.construction ->
+  output_model:Model.t ->
+  Topology.t ->
+  t
+
+val topology : t -> Topology.t
+val circuit : t -> Wdm_optics.Circuit.t
+
+val apply_routes : t -> Network.route list -> unit
+(** Quiesce every module, then program the paths of the given routes.
+    @raise Invalid_argument if a route violates a module's model — the
+    router never produces such routes. *)
+
+val realize :
+  t ->
+  Network.route list ->
+  (Wdm_optics.Circuit.outcome, Wdm_crossbar.Delivery.failure) result
+(** {!apply_routes}, inject the full transmitter load and check that
+    every connection's destinations (and nothing else) receive the
+    right signals. *)
+
+val crosspoints : t -> int
+(** Censused from the built circuit; the tests compare against
+    {!Cost.breakdown}. *)
+
+val converters : t -> int

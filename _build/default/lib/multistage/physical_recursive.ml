@@ -1,0 +1,190 @@
+module C = Wdm_optics.Circuit
+module MF = Wdm_crossbar.Module_fabric
+module Labels = Wdm_crossbar.Labels
+open Wdm_core
+
+(* A switch realized in the circuit: a crossbar block or a nested
+   three-stage fabric.  Both expose per-port entries and exits. *)
+type sw =
+  | Atomic of MF.t
+  | Clos of {
+      topo : Topology.t;
+      input_mods : MF.t array;
+      middles : sw array;
+      output_mods : MF.t array;
+    }
+
+type t = {
+  circuit : C.t;
+  k : int;
+  sources : C.node_id array;  (* per outermost global input port *)
+  top : sw;
+  stages : int;
+}
+
+let sw_entry sw port =
+  match sw with
+  | Atomic mf -> MF.entry mf port
+  | Clos { topo; input_mods; _ } ->
+    let i, local = Topology.switch_of_port topo port in
+    MF.entry input_mods.(i - 1) local
+
+let sw_exit sw port =
+  match sw with
+  | Atomic mf -> MF.exit mf port
+  | Clos { topo; output_mods; _ } ->
+    let p, local = Topology.switch_of_port topo port in
+    MF.exit output_mods.(p - 1) local
+
+let inner_model = function
+  | Network.Msw_dominant -> Model.MSW
+  | Network.Maw_dominant -> Model.MAW
+
+(* Build a switch of the given view.  [model] is the model this switch
+   presents at its output stage (the dominant model for every nested
+   level, the design's model at the outermost level). *)
+let rec build_sw c ~construction ~k ~output_model view =
+  let dominant = inner_model construction in
+  match (view : Recursive.view) with
+  | Recursive.Xbar s -> Atomic (MF.build c ~model:output_model ~inputs:s ~outputs:s ~k)
+  | Recursive.Clos { n; m; r; middle } ->
+    let topo = Topology.make_exn ~n ~m ~r ~k in
+    let input_mods =
+      Array.init r (fun _ -> MF.build c ~model:dominant ~inputs:n ~outputs:m ~k)
+    in
+    let middles =
+      Array.init m (fun _ ->
+          (* nested levels keep the dominant model end to end; an
+             atomic middle is a dominant-model crossbar block *)
+          build_sw c ~construction ~k ~output_model:dominant middle)
+    in
+    let output_mods =
+      Array.init r (fun _ -> MF.build c ~model:output_model ~inputs:m ~outputs:n ~k)
+    in
+    for i = 1 to r do
+      for j = 1 to m do
+        let fn, fs = MF.exit input_mods.(i - 1) j in
+        let tn, ts = sw_entry middles.(j - 1) i in
+        C.connect c fn fs tn ts
+      done
+    done;
+    for j = 1 to m do
+      for p = 1 to r do
+        let fn, fs = sw_exit middles.(j - 1) p in
+        let tn, ts = MF.entry output_mods.(p - 1) j in
+        C.connect c fn fs tn ts
+      done
+    done;
+    Clos { topo; input_mods; middles; output_mods }
+
+let rec sw_stages = function
+  | Atomic _ -> 1
+  | Clos { middles; _ } -> 2 + sw_stages middles.(0)
+
+let rec sw_clear c = function
+  | Atomic mf -> MF.clear c mf
+  | Clos { input_mods; middles; output_mods; _ } ->
+    Array.iter (MF.clear c) input_mods;
+    Array.iter (sw_clear c) middles;
+    Array.iter (MF.clear c) output_mods
+
+let create ?loss ~construction design =
+  let view = Recursive.view design in
+  (match view with
+  | Recursive.Xbar _ ->
+    invalid_arg "Physical_recursive.create: design must have at least 3 stages"
+  | Recursive.Clos _ -> ());
+  let k = Recursive.k design in
+  let c = C.create ?loss () in
+  let top =
+    build_sw c ~construction ~k ~output_model:(Recursive.output_model design) view
+  in
+  let ports =
+    match top with
+    | Clos { topo; _ } -> Topology.num_ports topo
+    | Atomic _ -> assert false
+  in
+  let sources =
+    Array.init ports (fun gp0 ->
+        let src = C.add_source c (Labels.input_port (gp0 + 1)) in
+        let node, slot = sw_entry top (gp0 + 1) in
+        C.connect c src 0 node slot;
+        src)
+  in
+  for gp = 1 to ports do
+    let sink = C.add_sink c (Labels.output_port gp) in
+    let node, slot = sw_exit top gp in
+    C.connect c node slot sink 0
+  done;
+  { circuit = c; k; sources; top; stages = sw_stages top }
+
+let circuit t = t.circuit
+let stages t = t.stages
+
+(* Program one route (and its nested routes) into a switch. *)
+let rec apply_sw_route circuit sw (route : Rnetwork.route) =
+  match sw with
+  | Atomic _ -> invalid_arg "Physical_recursive: route deeper than the fabric"
+  | Clos { topo; input_mods; middles; output_mods } ->
+    let conn = route.Rnetwork.base.Network.connection in
+    let src_wl = conn.Connection.source.Endpoint.wl in
+    let i = route.Rnetwork.base.Network.input_switch in
+    let _, local_src = Topology.switch_of_port topo conn.Connection.source.Endpoint.port in
+    MF.set_path circuit input_mods.(i - 1) ~src:(local_src, src_wl)
+      ~dests:
+        (List.map
+           (fun (h : Network.hop) -> (h.Network.middle, h.Network.stage1_wl))
+           route.Rnetwork.base.Network.hops);
+    List.iter
+      (fun (h : Network.hop) ->
+        (match middles.(h.Network.middle - 1) with
+        | Atomic mf ->
+          MF.set_path circuit mf ~src:(i, h.Network.stage1_wl) ~dests:h.Network.serves
+        | Clos _ as nested ->
+          let sub =
+            List.assoc h.Network.middle route.Rnetwork.subroutes
+          in
+          apply_sw_route circuit nested sub);
+        List.iter
+          (fun (p, w2) ->
+            let local_dests =
+              List.filter_map
+                (fun (d : Endpoint.t) ->
+                  let p', local = Topology.switch_of_port topo d.port in
+                  if p' = p then Some (local, d.wl) else None)
+                conn.Connection.destinations
+            in
+            MF.set_path circuit output_mods.(p - 1) ~src:(h.Network.middle, w2)
+              ~dests:local_dests)
+          h.Network.serves)
+      route.Rnetwork.base.Network.hops
+
+let apply_routes t routes =
+  sw_clear t.circuit t.top;
+  List.iter (apply_sw_route t.circuit t.top) routes
+
+let inject_all t =
+  Array.iteri
+    (fun gp0 src ->
+      C.inject t.circuit src
+        (List.init t.k (fun w ->
+             let e = Endpoint.make ~port:(gp0 + 1) ~wl:(w + 1) in
+             Wdm_optics.Signal.inject ~origin:(Labels.origin e) ~wl:(w + 1))))
+    t.sources
+
+let realize t routes =
+  apply_routes t routes;
+  inject_all t;
+  let outcome = C.propagate t.circuit in
+  let assignment =
+    Assignment.make
+      (List.map
+         (fun (r : Rnetwork.route) -> r.Rnetwork.base.Network.connection)
+         routes)
+  in
+  match Wdm_crossbar.Delivery.verify assignment outcome with
+  | Ok () -> Ok outcome
+  | Error _ as e -> e
+
+let crosspoints t = C.num_gates t.circuit
+let converters t = C.num_converters t.circuit

@@ -1,0 +1,37 @@
+(** Optical realization of recursively constructed networks.
+
+    Builds the full circuit of a 5-, 7-, ... stage design: input and
+    output stages are {!Wdm_crossbar.Module_fabric} blocks as in
+    {!Physical}, and each middle "module" is either a crossbar block or
+    a complete nested three-stage fabric one level down.  Routes from
+    {!Rnetwork} (whose shape mirrors the recursion) program every level;
+    {!realize} then lights all transmitters and verifies delivery — the
+    end-to-end check that the recursive construction carries multicast
+    in hardware, not just in bookkeeping. *)
+
+
+type t
+
+val create :
+  ?loss:Wdm_optics.Loss_model.t ->
+  construction:Network.construction ->
+  Recursive.t ->
+  t
+(** Same parameterization as {!Rnetwork.create}.
+    @raise Invalid_argument on a 1-stage design. *)
+
+val circuit : t -> Wdm_optics.Circuit.t
+val stages : t -> int
+
+val apply_routes : t -> Rnetwork.route list -> unit
+
+val realize :
+  t ->
+  Rnetwork.route list ->
+  (Wdm_optics.Circuit.outcome, Wdm_crossbar.Delivery.failure) result
+
+val crosspoints : t -> int
+(** Censused from the circuit; equals {!Recursive.crosspoints} of the
+    design (the tests check it). *)
+
+val converters : t -> int

@@ -1,0 +1,96 @@
+module Stage_cost = Cost
+open Wdm_core
+
+type view = Xbar of int | Clos of { n : int; m : int; r : int; middle : view }
+type node = view
+
+type t = { k : int; output_model : Model.t; root : node }
+
+(* Exact integer p-th root, if it exists. *)
+let iroot value p =
+  if value < 1 || p < 1 then None
+  else begin
+    let approx = int_of_float (Float.round (float_of_int value ** (1. /. float_of_int p))) in
+    let check b = if b >= 1 then
+        let rec pow acc i = if i = 0 then acc else pow (acc * b) (i - 1) in
+        pow 1 p = value
+      else false
+    in
+    List.find_opt check [ approx - 1; approx; approx + 1 ]
+  end
+
+let rec build ~stages ~size =
+  if stages = 1 then Ok (Xbar size)
+  else begin
+    let s = (stages - 1) / 2 in
+    match iroot size (s + 1) with
+    | None ->
+      Error
+        (Printf.sprintf
+           "Recursive.design: %d is not a perfect %d-th power (needed for %d stages)"
+           size (s + 1) stages)
+    | Some n ->
+      if n < 2 then
+        Error
+          (Printf.sprintf "Recursive.design: base %d too small for %d stages" n stages)
+      else begin
+        let r = size / n in
+        let m = (Conditions.msw_dominant ~n ~r).Conditions.m_min in
+        Result.map
+          (fun middle -> Clos { n; m; r; middle })
+          (build ~stages:(stages - 2) ~size:r)
+      end
+  end
+
+let design ~stages ~big_n ~k ~output_model =
+  if stages < 1 || stages mod 2 = 0 then
+    Error "Recursive.design: stages must be odd and >= 1"
+  else if big_n < 1 || k < 1 then Error "Recursive.design: N, k >= 1"
+  else Result.map (fun root -> { k; output_model; root }) (build ~stages ~size:big_n)
+
+let rec node_stages = function
+  | Xbar _ -> 1
+  | Clos { middle; _ } -> 2 + node_stages middle
+
+let stages t = node_stages t.root
+
+let node_ports = function
+  | Xbar s -> s
+  | Clos { n; r; _ } -> n * r
+
+let num_ports t = node_ports t.root
+
+(* Crosspoints/converters of a node acting as a full network under
+   [output_model]; inner middle networks are MSW end to end. *)
+let rec node_cost ~k ~output_model = function
+  | Xbar s ->
+    ( Stage_cost.module_crosspoints output_model ~k ~ins:s ~outs:s,
+      Stage_cost.module_converters output_model ~k ~ins:s ~outs:s )
+  | Clos { n; m; r; middle } ->
+    let input_x = r * Stage_cost.module_crosspoints Model.MSW ~k ~ins:n ~outs:m in
+    let mid_x, mid_c = node_cost ~k ~output_model:Model.MSW middle in
+    let output_x = r * Stage_cost.module_crosspoints output_model ~k ~ins:m ~outs:n in
+    let output_c = r * Stage_cost.module_converters output_model ~k ~ins:m ~outs:n in
+    (input_x + (m * mid_x) + output_x, (m * mid_c) + output_c)
+
+let crosspoints t = fst (node_cost ~k:t.k ~output_model:t.output_model t.root)
+let converters t = snd (node_cost ~k:t.k ~output_model:t.output_model t.root)
+
+let splitting_depth t = stages t
+
+let middle_modules_per_level t =
+  let rec go = function Xbar _ -> [] | Clos { m; middle; _ } -> m :: go middle in
+  go t.root
+
+let view t = t.root
+let k t = t.k
+let output_model t = t.output_model
+
+let rec pp_node ppf = function
+  | Xbar s -> Format.fprintf ppf "xbar %dx%d" s s
+  | Clos { n; m; r; middle } ->
+    Format.fprintf ppf "clos(n=%d, m=%d, r=%d; middle = %a)" n m r pp_node middle
+
+let pp ppf t =
+  Format.fprintf ppf "%d-stage N=%d k=%d (%a): %a" (stages t) (num_ports t) t.k
+    Model.pp t.output_model pp_node t.root

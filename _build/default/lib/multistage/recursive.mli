@@ -1,0 +1,51 @@
+(** Recursive multistage construction (Section 3, opening remarks).
+
+    "In general, a network can have any odd number of stages and be
+    built in a recursive fashion from these switching modules": the
+    [r x r] middle modules of a three-stage network are themselves
+    realized as three-stage networks, giving 5, 7, ... stages.  With
+    [2s+1] stages the natural symmetric decomposition is
+    [N = b^(s+1)] with [n = b] local ports per module at every level
+    ([r = b^s] shrinking by one factor of [b] per level), every level
+    provisioned with the Theorem-1 minimal [m] — each middle network is
+    then nonblocking for the traffic its parent offers it.
+
+    Deeper recursion trades crosspoints for stages (latency, loss): the
+    bench harness tabulates the trade-off.  The construction is
+    MSW-dominant: every module except the outermost output stage is
+    MSW. *)
+
+open Wdm_core
+
+type t
+
+val design :
+  stages:int -> big_n:int -> k:int -> output_model:Model.t -> (t, string) result
+(** [stages] must be odd and >= 1; [big_n] must be a perfect
+    [(stages+1)/2 + 1]-th power (e.g. a square for 3 stages, a cube for
+    5).  [stages = 1] is the flat crossbar of Table 1. *)
+
+val stages : t -> int
+val num_ports : t -> int
+val crosspoints : t -> int
+val converters : t -> int
+
+val splitting_depth : t -> int
+(** Number of switching modules a signal traverses end to end
+    ([stages]); a proxy for insertion loss and crosstalk accumulation. *)
+
+val middle_modules_per_level : t -> int list
+(** The Theorem-1 [m] chosen at each recursion level, outermost
+    first. *)
+
+type view = Xbar of int | Clos of { n : int; m : int; r : int; middle : view }
+
+val view : t -> view
+(** The design tree, for consumers that instantiate it —
+    {!Rnetwork} builds a live routed network from it and
+    {!Physical_recursive} an optical circuit. *)
+
+val k : t -> int
+val output_model : t -> Wdm_core.Model.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,121 @@
+open Wdm_core
+
+type middle = Atomic | Nested of t
+
+and t = {
+  net : Network.t;
+  middles : middle array;  (* indexed by middle module - 1 *)
+  stages : int;
+  (* outer route id -> nested routes, one per nested middle used *)
+  live_subroutes : (int, (int * route) list) Hashtbl.t;
+}
+
+and route = { base : Network.route; subroutes : (int * route) list }
+
+let inner_model = function
+  | Network.Msw_dominant -> Model.MSW
+  | Network.Maw_dominant -> Model.MAW
+
+let rec build ?strategy ~construction ~k ~output_model view =
+  match (view : Recursive.view) with
+  | Recursive.Xbar _ ->
+    invalid_arg "Rnetwork.create: design must have at least 3 stages"
+  | Recursive.Clos { n; m; r; middle } ->
+    let topo = Topology.make_exn ~n ~m ~r ~k in
+    let net = Network.create ?strategy ~construction ~output_model topo in
+    let middles =
+      Array.init m (fun _ ->
+          match middle with
+          | Recursive.Xbar _ -> Atomic
+          | Recursive.Clos _ ->
+            Nested
+              (build ?strategy ~construction ~k
+                 ~output_model:(inner_model construction) middle))
+    in
+    let stages =
+      let rec depth = function
+        | Recursive.Xbar _ -> 1
+        | Recursive.Clos { middle; _ } -> 2 + depth middle
+      in
+      depth view
+    in
+    { net; middles; stages; live_subroutes = Hashtbl.create 64 }
+
+let create ?strategy ~construction design =
+  build ?strategy ~construction ~k:(Recursive.k design)
+    ~output_model:(Recursive.output_model design)
+    (Recursive.view design)
+
+let stages t = t.stages
+let topology t = Network.topology t.net
+
+let rec connect t conn =
+  match Network.connect t.net conn with
+  | Error _ as e -> e
+  | Ok base ->
+    (* Drive every nested middle the outer route crosses. *)
+    let rec place done_subs = function
+      | [] -> Ok (List.rev done_subs)
+      | (hop : Network.hop) :: rest -> (
+        match t.middles.(hop.Network.middle - 1) with
+        | Atomic -> place done_subs rest
+        | Nested sub -> (
+          let inner_conn =
+            Connection.make_exn
+              ~source:
+                (Endpoint.make ~port:base.Network.input_switch
+                   ~wl:hop.Network.stage1_wl)
+              ~destinations:
+                (List.map
+                   (fun (p, w2) -> Endpoint.make ~port:p ~wl:w2)
+                   hop.Network.serves)
+          in
+          match connect sub inner_conn with
+          | Ok inner_route ->
+            place ((hop.Network.middle, inner_route) :: done_subs) rest
+          | Error _ as e ->
+            (* roll back the inner routes placed so far *)
+            List.iter
+              (fun (j, (r : route)) ->
+                match t.middles.(j - 1) with
+                | Nested sub' -> ignore (disconnect sub' r.base.Network.id)
+                | Atomic -> assert false)
+              done_subs;
+            e))
+    in
+    (match place [] base.Network.hops with
+    | Ok subroutes ->
+      if subroutes <> [] then
+        Hashtbl.replace t.live_subroutes base.Network.id subroutes;
+      Ok { base; subroutes }
+    | Error e ->
+      ignore (Network.disconnect t.net base.Network.id);
+      Error e)
+
+and disconnect t id =
+  match Network.disconnect t.net id with
+  | Error _ as e -> e
+  | Ok base ->
+    let subroutes =
+      Option.value ~default:[] (Hashtbl.find_opt t.live_subroutes id)
+    in
+    Hashtbl.remove t.live_subroutes id;
+    List.iter
+      (fun (j, (r : route)) ->
+        match t.middles.(j - 1) with
+        | Nested sub -> ignore (disconnect sub r.base.Network.id)
+        | Atomic -> assert false)
+      subroutes;
+    Ok { base; subroutes }
+
+let active_routes t =
+  Network.active_routes t.net
+  |> List.map (fun (base : Network.route) ->
+         {
+           base;
+           subroutes =
+             Option.value ~default:[]
+               (Hashtbl.find_opt t.live_subroutes base.Network.id);
+         })
+
+let utilization t = Network.utilization t.net

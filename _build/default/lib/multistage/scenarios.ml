@@ -1,0 +1,48 @@
+open Wdm_core
+
+type outcome = {
+  construction : Network.construction;
+  admitted : int;
+  probe_result : (Network.route, Network.error) result;
+}
+
+let fig10_topology = Topology.make_exn ~n:2 ~m:2 ~r:2 ~k:2
+
+let ep port wl = Endpoint.make ~port ~wl
+let conn src dests = Connection.make_exn ~source:src ~destinations:dests
+
+(* Global ports: 1-2 on input/output module 1, 3-4 on module 2.  The
+   three prelude connections all ride wavelength l1.  Under MSW middles
+   they exhaust l1 on links (in2 -> m1), (in2 -> m2) at stage one and on
+   (m1 -> o1), (m2 -> o2), (m1 -> o2), (m2 -> o1) at stage two; in
+   particular the third one must split across both middles, claiming l1
+   on both links out of input module 1. *)
+let fig10_prelude =
+  [
+    conn (ep 3 1) [ ep 1 1 ];
+    conn (ep 4 1) [ ep 3 1 ];
+    conn (ep 2 1) [ ep 4 1; ep 2 1 ];
+  ]
+
+(* Sourced on l1 at input module 1, destined to the still-free endpoint
+   (2, l2).  The MAW output module may convert, so the request is legal;
+   only the l1 plane of the first two stages stands in the way. *)
+let fig10_probe = conn (ep 1 1) [ ep 2 2 ]
+
+let fig10 construction =
+  let net =
+    Network.create ~x_limit:2 ~construction ~output_model:Model.MAW
+      fig10_topology
+  in
+  let admitted =
+    List.fold_left
+      (fun acc c ->
+        match Network.connect net c with
+        | Ok _ -> acc + 1
+        | Error e ->
+          invalid_arg
+            (Format.asprintf "Scenarios.fig10: prelude rejected: %a"
+               Network.pp_error e))
+      0 fig10_prelude
+  in
+  { construction; admitted; probe_result = Network.connect net fig10_probe }

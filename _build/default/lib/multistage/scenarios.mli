@@ -1,0 +1,32 @@
+(** Canonical scenarios from the paper.
+
+    {!fig10} reconstructs the situation of Fig. 10: with MSW middle
+    modules a multicast connection is blocked by the restricted
+    wavelength assignment of the first two stages, while MAW modules
+    (the MAW-dominant construction) route the very same sequence — the
+    motivation the paper gives for studying the MAW-dominant
+    construction at all. *)
+
+open Wdm_core
+
+type outcome = {
+  construction : Network.construction;
+  admitted : int;  (** connections admitted before the probe *)
+  probe_result : (Network.route, Network.error) result;
+}
+
+val fig10_topology : Topology.t
+(** [n = r = k = 2], [m = 2] — deliberately below the Theorem 1 bound,
+    as in the figure. *)
+
+val fig10_prelude : Connection.t list
+(** Three connections that, under the MSW-dominant construction, pin
+    wavelength [l1] on every link the probe could use. *)
+
+val fig10_probe : Connection.t
+(** The connection of interest: sourced on [l1], destined to a free
+    endpoint — routable in principle, blocked by MSW middles. *)
+
+val fig10 : Network.construction -> outcome
+(** Plays prelude then probe on a fresh network (network model MAW)
+    under the given construction. *)

@@ -1,0 +1,60 @@
+open Wdm_core
+
+type outcome = {
+  routes : Network.route list;
+  reroutes : int;
+  order_attempts : int;
+}
+
+let shuffle rng l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let place ~rearrange net conns =
+  let reroutes = ref 0 in
+  let rec go = function
+    | [] -> Ok ()
+    | c :: rest -> (
+      let result =
+        if rearrange then
+          Result.map
+            (fun (route, moved) ->
+              reroutes := !reroutes + moved;
+              route)
+            (Network.connect_rearrangeable net c)
+        else Network.connect net c
+      in
+      match result with
+      | Ok _ -> go rest
+      | Error e ->
+        Network.clear net;
+        Error e)
+  in
+  Result.map (fun () -> !reroutes) (go conns)
+
+let route_assignment ?(max_order_attempts = 8) ?(rearrange = false) ?(seed = 0)
+    net (a : Assignment.t) =
+  if Network.active_routes net <> [] then
+    invalid_arg "Scheduler.route_assignment: network not empty";
+  if max_order_attempts < 1 then
+    invalid_arg "Scheduler.route_assignment: need at least one attempt";
+  let rng = Random.State.make [| seed |] in
+  let rec attempt i order last_error =
+    if i > max_order_attempts then
+      Error (Option.get last_error)
+    else
+      match place ~rearrange net order with
+      | Ok reroutes ->
+        Ok { routes = Network.active_routes net; reroutes; order_attempts = i }
+      | Error e ->
+        attempt (i + 1) (shuffle rng a.Assignment.connections) (Some e)
+  in
+  match a.Assignment.connections with
+  | [] -> Ok { routes = []; reroutes = 0; order_attempts = 1 }
+  | conns -> attempt 1 conns None

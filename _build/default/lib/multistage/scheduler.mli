@@ -1,0 +1,31 @@
+(** Offline (batch) routing of whole multicast assignments.
+
+    The nonblocking theorems are about online arrival; an offline
+    scheduler knows the whole assignment up front and may (a) choose
+    the order in which connections are placed and (b) optionally move
+    already-placed connections ({!Network.connect_rearrangeable}).
+    On a Theorem-sized network neither degree of freedom is needed —
+    the tests check that — but below the bound they recover routability
+    for many assignments that a fixed-order online router loses. *)
+
+open Wdm_core
+
+type outcome = {
+  routes : Network.route list;
+  reroutes : int;  (** rearrangement moves performed *)
+  order_attempts : int;  (** placement orders tried (>= 1) *)
+}
+
+val route_assignment :
+  ?max_order_attempts:int ->
+  ?rearrange:bool ->
+  ?seed:int ->
+  Network.t ->
+  Assignment.t ->
+  (outcome, Network.error) result
+(** Places every connection of the assignment on the (empty) network.
+    Tries the given order first, then up to [max_order_attempts - 1]
+    seeded shuffles (default 8 total); with [rearrange] (default false)
+    each placement may move one existing connection.  On failure the
+    network is left empty; on success it holds exactly the assignment's
+    routes.  @raise Invalid_argument if the network is not empty. *)

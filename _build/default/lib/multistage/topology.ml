@@ -1,0 +1,33 @@
+type t = { n : int; m : int; r : int; k : int }
+
+let make ~n ~m ~r ~k =
+  if n < 1 then Error "Topology.make: n must be >= 1"
+  else if r < 1 then Error "Topology.make: r must be >= 1"
+  else if k < 1 then Error "Topology.make: k must be >= 1"
+  else if m < n then Error "Topology.make: m must be >= n"
+  else Ok { n; m; r; k }
+
+let make_exn ~n ~m ~r ~k =
+  match make ~n ~m ~r ~k with Ok t -> t | Error msg -> invalid_arg msg
+
+let num_ports t = t.n * t.r
+let spec t = Wdm_core.Network_spec.make_exn ~n:(num_ports t) ~k:t.k
+
+let switch_of_port t p =
+  if p < 1 || p > num_ports t then invalid_arg "Topology.switch_of_port: bad port";
+  (((p - 1) / t.n) + 1, ((p - 1) mod t.n) + 1)
+
+let port_of_switch t ~switch ~local =
+  if switch < 1 || switch > t.r then
+    invalid_arg "Topology.port_of_switch: bad switch";
+  if local < 1 || local > t.n then
+    invalid_arg "Topology.port_of_switch: bad local position";
+  ((switch - 1) * t.n) + local
+
+let square ~n ~k ~m = make_exn ~n ~m ~r:n ~k
+
+let equal a b = a.n = b.n && a.m = b.m && a.r = b.r && a.k = b.k
+
+let pp ppf t =
+  Format.fprintf ppf "3-stage N=%d (r=%d modules of %dx%d | %d of %dx%d | %d of %dx%d), k=%d"
+    (num_ports t) t.r t.n t.m t.m t.r t.r t.r t.m t.n t.k

@@ -1,0 +1,37 @@
+(** Three-stage network dimensions (Fig. 8).
+
+    An [N x N] three-stage network has [r] input-stage modules of size
+    [n x m], [m] middle-stage modules of size [r x r] and [r]
+    output-stage modules of size [m x n], with [N = n r] and exactly one
+    (WDM, [k]-wavelength) fiber between every pair of modules in
+    consecutive stages.  Global ports are numbered [1..N]; port [p]
+    lands on module [ceil(p / n)] at local position [((p-1) mod n) + 1]
+    on both sides. *)
+
+type t = private { n : int; m : int; r : int; k : int }
+
+val make : n:int -> m:int -> r:int -> k:int -> (t, string) result
+(** Requires [n, r, k >= 1] and [m >= n] (the paper assumes [m >= n];
+    fewer middle modules than local ports could not even carry a
+    permutation). *)
+
+val make_exn : n:int -> m:int -> r:int -> k:int -> t
+
+val num_ports : t -> int
+(** [N = n * r]. *)
+
+val spec : t -> Wdm_core.Network_spec.t
+(** The [N x N] [k]-wavelength network this topology implements. *)
+
+val switch_of_port : t -> int -> int * int
+(** [switch_of_port t p] is [(module_index, local_position)], both
+    1-based.  @raise Invalid_argument when [p] is out of range. *)
+
+val port_of_switch : t -> switch:int -> local:int -> int
+
+val square : n:int -> k:int -> m:int -> t
+(** The symmetric case [n = r] (so [N = n^2]) used throughout
+    Section 3.4. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/optics/circuit.ml: Array Buffer Format Hashtbl List Loss_model Option Printf Queue Signal String

@@ -1,0 +1,1 @@
+lib/optics/circuit.mli: Format Loss_model Signal

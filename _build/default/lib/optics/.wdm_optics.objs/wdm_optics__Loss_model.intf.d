@@ -1,0 +1,1 @@
+lib/optics/loss_model.mli:

@@ -1,0 +1,1 @@
+lib/optics/signal.ml: Bool Float Format String

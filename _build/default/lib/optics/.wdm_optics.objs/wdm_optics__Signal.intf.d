@@ -1,0 +1,1 @@
+lib/optics/signal.mli: Format

@@ -1,0 +1,377 @@
+type node_id = int
+
+type kind =
+  | Source of string
+  | Sink of string
+  | Splitter of int
+  | Combiner of int
+  | Gate
+  | Converter
+  | Demux of int
+  | Mux of int
+
+type error =
+  | Wavelength_clash of { node : node_id; wl : int; origins : string list }
+  | Combiner_collision of { node : node_id; origins : string list }
+  | Demux_out_of_range of { node : node_id; wl : int }
+  | Conversion_out_of_range of {
+      node : node_id;
+      from_wl : int;
+      to_wl : int;
+      range : int;
+    }
+
+type node = {
+  kind : kind;
+  outs : (node_id * int) option array;  (* per output slot: (dst, dst_in_slot) *)
+  in_degree : int;
+}
+
+type t = {
+  loss : Loss_model.t;
+  mutable nodes : node array;
+  mutable n : int;
+  gates : (node_id, bool) Hashtbl.t;
+  converters : (node_id, int) Hashtbl.t;
+  converter_ranges : (node_id, int) Hashtbl.t;  (* absent = unlimited *)
+  injected : (node_id, Signal.t list) Hashtbl.t;
+  (* (dst, dst_in_slot) already wired, to reject double connections *)
+  wired_inputs : (node_id * int, unit) Hashtbl.t;
+}
+
+let out_slots = function
+  | Source _ -> 1
+  | Sink _ -> 0
+  | Splitter f -> f
+  | Combiner _ -> 1
+  | Gate -> 1
+  | Converter -> 1
+  | Demux k -> k
+  | Mux _ -> 1
+
+let in_slots = function
+  | Source _ -> 0
+  | Sink _ -> 1
+  | Splitter _ -> 1
+  | Combiner f -> f
+  | Gate -> 1
+  | Converter -> 1
+  | Demux _ -> 1
+  | Mux k -> k
+
+let create ?(loss = Loss_model.default) () =
+  {
+    loss;
+    nodes = Array.make 16 { kind = Gate; outs = [||]; in_degree = 0 };
+    n = 0;
+    gates = Hashtbl.create 64;
+    converters = Hashtbl.create 16;
+    converter_ranges = Hashtbl.create 16;
+    injected = Hashtbl.create 16;
+    wired_inputs = Hashtbl.create 64;
+  }
+
+let add t kind =
+  (match kind with
+  | Splitter f | Combiner f | Demux f | Mux f ->
+    if f < 1 then invalid_arg "Circuit: component arity must be >= 1"
+  | Source _ | Sink _ | Gate | Converter -> ());
+  if t.n = Array.length t.nodes then begin
+    let bigger = Array.make (2 * t.n) t.nodes.(0) in
+    Array.blit t.nodes 0 bigger 0 t.n;
+    t.nodes <- bigger
+  end;
+  let id = t.n in
+  t.nodes.(id) <- { kind; outs = Array.make (out_slots kind) None; in_degree = 0 };
+  t.n <- t.n + 1;
+  id
+
+let add_source t label = add t (Source label)
+let add_sink t label = add t (Sink label)
+let add_splitter t f = add t (Splitter f)
+let add_combiner t f = add t (Combiner f)
+let add_gate t = add t Gate
+let add_converter ?range t =
+  let id = add t Converter in
+  (match range with
+  | Some d ->
+    if d < 0 then invalid_arg "Circuit.add_converter: negative range";
+    Hashtbl.replace t.converter_ranges id d
+  | None -> ());
+  id
+let add_demux t k = add t (Demux k)
+let add_mux t k = add t (Mux k)
+
+let check_id t id name =
+  if id < 0 || id >= t.n then invalid_arg ("Circuit: bad node id in " ^ name)
+
+let connect t a slot_a b slot_b =
+  check_id t a "connect";
+  check_id t b "connect";
+  let na = t.nodes.(a) and nb = t.nodes.(b) in
+  if slot_a < 0 || slot_a >= Array.length na.outs then
+    invalid_arg "Circuit.connect: bad output slot";
+  if slot_b < 0 || slot_b >= in_slots nb.kind then
+    invalid_arg "Circuit.connect: bad input slot";
+  if na.outs.(slot_a) <> None then
+    invalid_arg "Circuit.connect: output slot already wired";
+  if Hashtbl.mem t.wired_inputs (b, slot_b) then
+    invalid_arg "Circuit.connect: input slot already wired";
+  na.outs.(slot_a) <- Some (b, slot_b);
+  Hashtbl.add t.wired_inputs (b, slot_b) ();
+  t.nodes.(b) <- { nb with in_degree = nb.in_degree + 1 }
+
+let set_gate t id on =
+  check_id t id "set_gate";
+  (match t.nodes.(id).kind with
+  | Gate -> ()
+  | _ -> invalid_arg "Circuit.set_gate: not a gate");
+  if on then Hashtbl.replace t.gates id true else Hashtbl.remove t.gates id
+
+let set_converter t id target =
+  check_id t id "set_converter";
+  (match t.nodes.(id).kind with
+  | Converter -> ()
+  | _ -> invalid_arg "Circuit.set_converter: not a converter");
+  match target with
+  | Some wl ->
+    if wl < 1 then invalid_arg "Circuit.set_converter: wavelength must be >= 1";
+    Hashtbl.replace t.converters id wl
+  | None -> Hashtbl.remove t.converters id
+
+let inject t id signals =
+  check_id t id "inject";
+  (match t.nodes.(id).kind with
+  | Source _ -> ()
+  | _ -> invalid_arg "Circuit.inject: not a source");
+  Hashtbl.replace t.injected id signals
+
+let reset_configuration t =
+  Hashtbl.reset t.gates;
+  Hashtbl.reset t.converters;
+  Hashtbl.reset t.injected
+
+type outcome = { deliveries : (string * Signal.t list) list; errors : error list }
+
+let topological_order t =
+  let indeg = Array.make t.n 0 in
+  for id = 0 to t.n - 1 do
+    indeg.(id) <- t.nodes.(id).in_degree
+  done;
+  let queue = Queue.create () in
+  for id = 0 to t.n - 1 do
+    if indeg.(id) = 0 then Queue.add id queue
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order := id :: !order;
+    incr seen;
+    Array.iter
+      (function
+        | None -> ()
+        | Some (dst, _) ->
+          indeg.(dst) <- indeg.(dst) - 1;
+          if indeg.(dst) = 0 then Queue.add dst queue)
+      t.nodes.(id).outs
+  done;
+  if !seen <> t.n then invalid_arg "Circuit.propagate: circuit has a cycle";
+  List.rev !order
+
+let propagate t =
+  let order = topological_order t in
+  (* incoming.(id) = signals per input slot *)
+  let incoming = Array.init t.n (fun id -> Array.make (in_slots t.nodes.(id).kind) []) in
+  let errors = ref [] in
+  let deliveries = ref [] in
+  let send id slot signal =
+    match t.nodes.(id).outs.(slot) with
+    | None -> () (* dangling output: light leaves the fabric *)
+    | Some (dst, dst_slot) ->
+      incoming.(dst).(dst_slot) <- signal :: incoming.(dst).(dst_slot)
+  in
+  let check_clash id (signals : Signal.t list) =
+    (* No fiber (or component aperture) may carry two PAYLOAD signals on
+       one wavelength; leakage is low-power noise and may overlap. *)
+    let by_wl = Hashtbl.create 4 in
+    List.iter
+      (fun (s : Signal.t) ->
+        if not s.leakage then begin
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_wl s.wl) in
+          Hashtbl.replace by_wl s.wl (s.origin :: prev)
+        end)
+      signals;
+    Hashtbl.iter
+      (fun wl origins ->
+        if List.length origins > 1 then
+          errors := Wavelength_clash { node = id; wl; origins } :: !errors)
+      by_wl
+  in
+  List.iter
+    (fun id ->
+      let node = t.nodes.(id) in
+      let ins = incoming.(id) in
+      let all_in = Array.to_list ins |> List.concat in
+      match node.kind with
+      | Source _ ->
+        let signals = Option.value ~default:[] (Hashtbl.find_opt t.injected id) in
+        check_clash id signals;
+        List.iter (send id 0) signals
+      | Sink label ->
+        check_clash id all_in;
+        if all_in <> [] then deliveries := (label, all_in) :: !deliveries
+      | Splitter f ->
+        check_clash id all_in;
+        let loss = Loss_model.splitting_loss t.loss ~fanout:f in
+        List.iter
+          (fun s ->
+            let s = Signal.through_component s ~loss_db:loss in
+            for slot = 0 to f - 1 do
+              send id slot s
+            done)
+          all_in
+      | Combiner f ->
+        (* The paper's combiner: at most one input may carry a payload
+           signal at a time (leakage noise inevitably co-arrives). *)
+        (match List.filter (fun (s : Signal.t) -> not s.leakage) all_in with
+        | [] | [ _ ] -> ()
+        | payload ->
+          errors :=
+            Combiner_collision
+              { node = id; origins = List.map (fun (s : Signal.t) -> s.origin) payload }
+            :: !errors);
+        let loss = Loss_model.combining_loss t.loss ~fanin:f in
+        List.iter (fun s -> send id 0 (Signal.through_component s ~loss_db:loss)) all_in
+      | Gate ->
+        check_clash id all_in;
+        if Hashtbl.mem t.gates id then
+          List.iter
+            (fun s -> send id 0 (Signal.through_gate s ~loss_db:t.loss.gate_insertion_db))
+            all_in
+        else begin
+          (* an off gate absorbs, unless it has finite extinction, in
+             which case attenuated light leaks through as crosstalk *)
+          match t.loss.Loss_model.gate_extinction_db with
+          | None -> ()
+          | Some extinction ->
+            List.iter
+              (fun s ->
+                send id 0
+                  (Signal.as_leakage
+                     (Signal.through_gate s
+                        ~loss_db:(t.loss.gate_insertion_db +. extinction))))
+              all_in
+        end
+      | Converter ->
+        check_clash id all_in;
+        let target = Hashtbl.find_opt t.converters id in
+        let range = Hashtbl.find_opt t.converter_ranges id in
+        List.iter
+          (fun (s : Signal.t) ->
+            let s' = Signal.through_component s ~loss_db:t.loss.converter_db in
+            match target with
+            | None -> send id 0 s'
+            | Some wl -> (
+              match range with
+              | Some d when abs (s.wl - wl) > d ->
+                (* leakage noise out of range is silently lost; a
+                   payload signal is a configuration error *)
+                if not s.leakage then
+                  errors :=
+                    Conversion_out_of_range
+                      { node = id; from_wl = s.wl; to_wl = wl; range = d }
+                    :: !errors
+              | _ -> send id 0 (Signal.with_wl s' wl)))
+          all_in
+      | Demux k ->
+        check_clash id all_in;
+        List.iter
+          (fun (s : Signal.t) ->
+            if s.wl < 1 || s.wl > k then
+              errors := Demux_out_of_range { node = id; wl = s.wl } :: !errors
+            else
+              send id (s.wl - 1) (Signal.through_component s ~loss_db:t.loss.demux_db))
+          all_in
+      | Mux _ ->
+        check_clash id all_in;
+        List.iter
+          (fun s -> send id 0 (Signal.through_component s ~loss_db:t.loss.mux_db))
+          all_in)
+    order;
+  { deliveries = List.rev !deliveries; errors = List.rev !errors }
+
+let kind_of t id =
+  check_id t id "kind_of";
+  t.nodes.(id).kind
+
+let size t = t.n
+
+let count t pred =
+  let c = ref 0 in
+  for id = 0 to t.n - 1 do
+    if pred t.nodes.(id).kind then incr c
+  done;
+  !c
+
+let num_gates t = count t (function Gate -> true | _ -> false)
+let num_converters t = count t (function Converter -> true | _ -> false)
+let num_splitters t = count t (function Splitter _ -> true | _ -> false)
+let num_combiners t = count t (function Combiner _ -> true | _ -> false)
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph circuit {\n  rankdir=LR;\n  node [fontsize=9];\n";
+  for id = 0 to t.n - 1 do
+    let label, shape =
+      match t.nodes.(id).kind with
+      | Source s -> (Printf.sprintf "src %s" s, "rarrow")
+      | Sink s -> (Printf.sprintf "sink %s" s, "larrow")
+      | Splitter f -> (Printf.sprintf "1x%d split" f, "triangle")
+      | Combiner f -> (Printf.sprintf "%dx1 comb" f, "invtriangle")
+      | Gate ->
+        ((if Hashtbl.mem t.gates id then "gate ON" else "gate off"), "box")
+      | Converter -> (
+        ( (match Hashtbl.find_opt t.converters id with
+          | Some wl -> Printf.sprintf "conv->l%d" wl
+          | None -> "conv (pass)"),
+          "diamond" ))
+      | Demux k -> (Printf.sprintf "demux x%d" k, "house")
+      | Mux k -> (Printf.sprintf "mux x%d" k, "invhouse")
+    in
+    let style =
+      match t.nodes.(id).kind with
+      | Gate when Hashtbl.mem t.gates id -> ", style=filled, fillcolor=lightgreen"
+      | Gate -> ", style=filled, fillcolor=lightgray"
+      | _ -> ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\", shape=%s%s];\n" id label shape style)
+  done;
+  for id = 0 to t.n - 1 do
+    Array.iteri
+      (fun slot dst ->
+        match dst with
+        | None -> ()
+        | Some (to_id, to_slot) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [taillabel=\"%d\", headlabel=\"%d\", fontsize=7];\n"
+               id to_id slot to_slot))
+      t.nodes.(id).outs
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp_error ppf = function
+  | Wavelength_clash { node; wl; origins } ->
+    Format.fprintf ppf "wavelength clash at node %d on l%d (origins: %s)" node wl
+      (String.concat ", " origins)
+  | Combiner_collision { node; origins } ->
+    Format.fprintf ppf "combiner collision at node %d (origins: %s)" node
+      (String.concat ", " origins)
+  | Demux_out_of_range { node; wl } ->
+    Format.fprintf ppf "demux %d cannot route wavelength l%d" node wl
+  | Conversion_out_of_range { node; from_wl; to_wl; range } ->
+    Format.fprintf ppf
+      "converter %d (range %d) cannot shift l%d to l%d" node range from_wl
+      to_wl

@@ -1,0 +1,110 @@
+(** Optical circuits: directed graphs of WDM components.
+
+    A circuit is a DAG of typed components joined by fibers.  Build it
+    with the [add_*] functions and {!connect}, configure the active
+    elements ({!set_gate}, {!set_converter}, {!inject}), then
+    {!propagate} to push every injected signal through the fabric.
+
+    Propagation enforces the physical preconditions from Section 2.1 of
+    the paper:
+    - a fiber never carries two signals on the same wavelength
+      ({!error.Wavelength_clash});
+    - at most one input of a combiner carries a signal at a time
+      ({!error.Combiner_collision}) — combiners are not multiplexers;
+    - a demultiplexer only accepts wavelengths within its range.
+
+    Off gates absorb light; dangling outputs drop it (both silently —
+    that is what the hardware does). *)
+
+type t
+
+type node_id = private int
+
+type kind =
+  | Source of string  (** label; 1 output, emits injected signals *)
+  | Sink of string  (** label; 1 input, records arrivals *)
+  | Splitter of int  (** fanout f: 1 input, f outputs *)
+  | Combiner of int  (** fanin f: f inputs, 1 output *)
+  | Gate  (** SOA crosspoint: 1 in, 1 out; on/off *)
+  | Converter  (** 1 in, 1 out; maps wavelength *)
+  | Demux of int  (** 1 in, k outputs, routes by wavelength *)
+  | Mux of int  (** k inputs, 1 output *)
+
+type error =
+  | Wavelength_clash of { node : node_id; wl : int; origins : string list }
+      (** two signals on one wavelength entering the same component *)
+  | Combiner_collision of { node : node_id; origins : string list }
+  | Demux_out_of_range of { node : node_id; wl : int }
+  | Conversion_out_of_range of {
+      node : node_id;
+      from_wl : int;
+      to_wl : int;
+      range : int;
+    }
+      (** a limited-range converter was asked to shift further than it
+          can (Section 2.1 assumes full-range converters; this error
+          appears only when a fabric is built with [?converter_range]) *)
+
+val create : ?loss:Loss_model.t -> unit -> t
+
+val add_source : t -> string -> node_id
+val add_sink : t -> string -> node_id
+val add_splitter : t -> int -> node_id
+val add_combiner : t -> int -> node_id
+val add_gate : t -> node_id
+val add_converter : ?range:int -> t -> node_id
+(** [range] (default: unlimited) bounds the wavelength shift the device
+    can perform: a converter with range [d] maps [w] to targets within
+    [|w - target| <= d].  Shifting further is reported at propagation
+    time as {!error.Conversion_out_of_range}. *)
+
+val add_demux : t -> int -> node_id
+val add_mux : t -> int -> node_id
+
+val connect : t -> node_id -> int -> node_id -> int -> unit
+(** [connect t a slot_a b slot_b] runs a fiber from output slot [slot_a]
+    of [a] to input slot [slot_b] of [b].  Slots are 0-based.
+    @raise Invalid_argument on bad slots or double connection. *)
+
+val set_gate : t -> node_id -> bool -> unit
+(** Turn an SOA gate on (transparent) or off (absorbing; default). *)
+
+val set_converter : t -> node_id -> int option -> unit
+(** [Some wl] converts any passing signal to wavelength [wl];
+    [None] (default) passes signals through unchanged. *)
+
+val inject : t -> node_id -> Signal.t list -> unit
+(** Replace the signals a source emits. *)
+
+val reset_configuration : t -> unit
+(** All gates off, converters to pass-through, injected signals cleared
+    — the quiescent fabric.  The topology is untouched. *)
+
+type outcome = {
+  deliveries : (string * Signal.t list) list;
+      (** per sink label, the signals that arrived (any wavelengths) *)
+  errors : error list;
+}
+
+val propagate : t -> outcome
+(** Pushes all injected signals through the circuit in topological
+    order.  @raise Invalid_argument if the circuit has a cycle. *)
+
+val kind_of : t -> node_id -> kind
+val size : t -> int
+val count : t -> (kind -> bool) -> int
+
+val num_gates : t -> int
+(** The circuit's crosspoint count — the paper's cost measure. *)
+
+val num_converters : t -> int
+val num_splitters : t -> int
+val num_combiners : t -> int
+
+val pp_error : Format.formatter -> error -> unit
+
+val to_dot : t -> string
+(** Graphviz rendering of the circuit: component nodes (gates carry
+    their on/off state, converters their target wavelength) and fiber
+    edges.  Handy for inspecting small fabrics:
+    [dune exec ... | dot -Tsvg > fabric.svg]. *)

@@ -1,0 +1,38 @@
+type t = {
+  splitter_excess_db : float;
+  combiner_excess_db : float;
+  gate_insertion_db : float;
+  gate_extinction_db : float option;
+  converter_db : float;
+  mux_db : float;
+  demux_db : float;
+}
+
+let default =
+  {
+    splitter_excess_db = 0.5;
+    combiner_excess_db = 0.5;
+    gate_insertion_db = 1.0;
+    gate_extinction_db = None;
+    converter_db = 2.0;
+    mux_db = 1.5;
+    demux_db = 1.5;
+  }
+
+let leaky ?(extinction_db = 30.) () =
+  { default with gate_extinction_db = Some extinction_db }
+
+let lossless =
+  {
+    splitter_excess_db = 0.;
+    combiner_excess_db = 0.;
+    gate_insertion_db = 0.;
+    gate_extinction_db = None;
+    converter_db = 0.;
+    mux_db = 0.;
+    demux_db = 0.;
+  }
+
+let ratio_db n = if n <= 1 then 0. else 10. *. log10 (float_of_int n)
+let splitting_loss t ~fanout = ratio_db fanout +. t.splitter_excess_db
+let combining_loss t ~fanin = ratio_db fanin +. t.combiner_excess_db

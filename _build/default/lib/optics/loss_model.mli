@@ -1,0 +1,36 @@
+(** Insertion-loss parameters for the optical components.
+
+    Splitters and combiners are passive: an ideal [1 x f] splitter divides
+    power [f] ways ([10 log10 f] dB) plus an excess loss; an [f x 1]
+    combiner likewise.  SOA gates, converters and (de)multiplexers add
+    fixed insertion losses.  Defaults are representative values from the
+    literature of the period; they only affect reported power budgets,
+    never connectivity. *)
+
+type t = {
+  splitter_excess_db : float;
+  combiner_excess_db : float;
+  gate_insertion_db : float;  (** SOA gates typically provide gain; we
+                                  model net insertion loss, default 0 *)
+  gate_extinction_db : float option;
+      (** [Some x]: an off gate leaks light attenuated by a further
+          [x] dB (marked as crosstalk); [None] (the default): ideal
+          gates absorb completely.  SOA extinction ratios of 25-40 dB
+          are typical of the period. *)
+  converter_db : float;
+  mux_db : float;
+  demux_db : float;
+}
+
+val default : t
+val lossless : t
+(** All-zero losses: propagation then reports pure split/combine ratios. *)
+
+val leaky : ?extinction_db:float -> unit -> t
+(** {!default} with finite gate extinction (default 30 dB), enabling
+    crosstalk accounting. *)
+
+val splitting_loss : t -> fanout:int -> float
+(** [10 log10 fanout + excess], 0 when [fanout <= 1] plus excess. *)
+
+val combining_loss : t -> fanin:int -> float

@@ -1,0 +1,40 @@
+type t = {
+  origin : string;
+  wl : int;
+  power_db : float;
+  gates_passed : int;
+  hops : int;
+  leakage : bool;
+}
+
+let inject ~origin ~wl =
+  { origin; wl; power_db = 0.; gates_passed = 0; hops = 0; leakage = false }
+let attenuate s loss_db = { s with power_db = s.power_db -. loss_db }
+
+let through_gate s ~loss_db =
+  {
+    s with
+    power_db = s.power_db -. loss_db;
+    gates_passed = s.gates_passed + 1;
+    hops = s.hops + 1;
+  }
+
+let through_component s ~loss_db =
+  { s with power_db = s.power_db -. loss_db; hops = s.hops + 1 }
+
+let with_wl s wl = { s with wl }
+let as_leakage s = { s with leakage = true }
+let linear_power s = 10. ** (s.power_db /. 10.)
+
+let equal a b =
+  String.equal a.origin b.origin
+  && a.wl = b.wl
+  && Float.equal a.power_db b.power_db
+  && a.gates_passed = b.gates_passed
+  && a.hops = b.hops
+  && Bool.equal a.leakage b.leakage
+
+let pp ppf s =
+  Format.fprintf ppf "%s@l%d%s (%.2f dB, %d gates, %d hops)" s.origin s.wl
+    (if s.leakage then "~leak" else "")
+    s.power_db s.gates_passed s.hops

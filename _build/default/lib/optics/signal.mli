@@ -1,0 +1,40 @@
+(** Optical signals.
+
+    A signal is light on one wavelength carrying one message.  We track
+    where it was injected (an opaque origin label, e.g. the source
+    endpoint), its current wavelength (converters change it), its power
+    relative to injection, and how many crosspoints (SOA gates) and
+    components it has traversed — the paper uses the crosspoint count as
+    a proxy for crosstalk and power loss. *)
+
+type t = {
+  origin : string;  (** label of the injecting source endpoint *)
+  wl : int;  (** current wavelength, 1-based *)
+  power_db : float;  (** cumulative power relative to injection (<= 0) *)
+  gates_passed : int;  (** SOA gates traversed so far *)
+  hops : int;  (** total components traversed *)
+  leakage : bool;
+      (** true once the signal has crossed an {e off} gate with finite
+          extinction: it is crosstalk noise, not payload.  Leakage is
+          exempt from collision/clash checks and from delivery
+          verification, but contributes to crosstalk margins. *)
+}
+
+val inject : origin:string -> wl:int -> t
+(** A fresh (payload) signal at 0 dB. *)
+
+val attenuate : t -> float -> t
+(** [attenuate s loss_db] subtracts a non-negative loss. *)
+
+val through_gate : t -> loss_db:float -> t
+val through_component : t -> loss_db:float -> t
+val with_wl : t -> int -> t
+
+val as_leakage : t -> t
+(** Mark as crosstalk noise (monotone: never unset). *)
+
+val linear_power : t -> float
+(** [10^(power_db / 10)], for summing noise contributions. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/traffic/churn.ml: Connection Endpoint Float Format Generator List Network_spec Random Set Stdlib Wdm_core

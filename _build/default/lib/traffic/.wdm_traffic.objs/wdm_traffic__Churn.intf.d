@@ -1,0 +1,1 @@
+lib/traffic/churn.mli: Connection Fanout Format Model Network_spec Random Wdm_core

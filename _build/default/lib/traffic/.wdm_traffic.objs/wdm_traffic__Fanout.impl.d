@@ -1,0 +1,1 @@
+lib/traffic/fanout.ml: Array Format Random Stdlib

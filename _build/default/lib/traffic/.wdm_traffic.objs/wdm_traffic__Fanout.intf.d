@@ -1,0 +1,1 @@
+lib/traffic/fanout.mli: Format Random

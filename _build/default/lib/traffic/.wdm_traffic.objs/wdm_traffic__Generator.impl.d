@@ -1,0 +1,1 @@
+lib/traffic/generator.ml: Array Assignment Connection Endpoint Fanout Float Hashtbl Int List Model Network_spec Option Random Set Stdlib Wdm_core

@@ -1,0 +1,1 @@
+lib/traffic/generator.mli: Assignment Connection Endpoint Fanout Model Network_spec Random Wdm_core

@@ -1,0 +1,191 @@
+open Wdm_core
+
+type stats = {
+  attempts : int;
+  accepted : int;
+  blocked : int;
+  torn_down : int;
+  peak_active : int;
+}
+
+type ('id, 'err) sut = {
+  connect : Connection.t -> ('id, 'err) result;
+  disconnect : 'id -> unit;
+}
+
+module Eset = Set.Make (Endpoint)
+
+let run ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout ~steps
+    ~teardown_bias sut =
+  if teardown_bias < 0. || teardown_bias > 1. then
+    invalid_arg "Churn.run: teardown_bias must be in [0, 1]";
+  let all_sources = Network_spec.inputs spec in
+  let all_dests = Network_spec.outputs spec in
+  let active : ('id * Connection.t) list ref = ref [] in
+  let used_src = ref Eset.empty and used_dst = ref Eset.empty in
+  let stats = ref { attempts = 0; accepted = 0; blocked = 0; torn_down = 0; peak_active = 0 } in
+  let teardown () =
+    match !active with
+    | [] -> ()
+    | l ->
+      let i = Random.State.int rng (List.length l) in
+      let id, conn = List.nth l i in
+      sut.disconnect id;
+      active := List.filteri (fun j _ -> j <> i) l;
+      used_src := Eset.remove conn.Connection.source !used_src;
+      used_dst :=
+        List.fold_left (fun s d -> Eset.remove d s) !used_dst
+          conn.Connection.destinations;
+      stats := { !stats with torn_down = !stats.torn_down + 1 }
+  in
+  let setup () =
+    let free_sources = List.filter (fun e -> not (Eset.mem e !used_src)) all_sources in
+    let free_dests = List.filter (fun e -> not (Eset.mem e !used_dst)) all_dests in
+    match
+      Generator.random_connection rng spec model ~fanout ~free_sources ~free_dests
+    with
+    | None -> ()
+    | Some conn -> (
+      stats := { !stats with attempts = !stats.attempts + 1 };
+      match sut.connect conn with
+      | Ok id ->
+        active := (id, conn) :: !active;
+        used_src := Eset.add conn.Connection.source !used_src;
+        used_dst :=
+          List.fold_left (fun s d -> Eset.add d s) !used_dst
+            conn.Connection.destinations;
+        stats :=
+          {
+            !stats with
+            accepted = !stats.accepted + 1;
+            peak_active = Stdlib.max !stats.peak_active (List.length !active);
+          }
+      | Error err ->
+        on_blocked conn err;
+        stats := { !stats with blocked = !stats.blocked + 1 })
+  in
+  for _ = 1 to steps do
+    if !active <> [] && Random.State.float rng 1. < teardown_bias then teardown ()
+    else setup ()
+  done;
+  !stats
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d attempts, %d accepted, %d blocked, %d torn down, peak %d active"
+    s.attempts s.accepted s.blocked s.torn_down s.peak_active
+
+(* --- continuous time ---------------------------------------------------- *)
+
+type timed_stats = {
+  offered_erlangs : float;
+  t_attempts : int;
+  t_accepted : int;
+  t_blocked : int;
+  completed : int;
+  mean_active : float;
+}
+
+let exponential rng mean =
+  (* inverse CDF; guard against u = 0 *)
+  let u = 1. -. Random.State.float rng 1. in
+  -.mean *. Float.log u
+
+let run_timed ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout
+    ~arrival_rate ~mean_holding ~horizon sut =
+  if arrival_rate <= 0. || mean_holding <= 0. || horizon <= 0. then
+    invalid_arg "Churn.run_timed: rates and horizon must be positive";
+  let all_sources = Network_spec.inputs spec in
+  let all_dests = Network_spec.outputs spec in
+  (* departures: (time, id, conn), kept sorted by time ascending *)
+  let departures : (float * 'id * Connection.t) list ref = ref [] in
+  let used_src = ref Eset.empty and used_dst = ref Eset.empty in
+  let attempts = ref 0 and accepted = ref 0 and blocked = ref 0 in
+  let completed = ref 0 in
+  let active_area = ref 0. in
+  let now = ref 0. in
+  let active () = List.length !departures in
+  let advance_to t =
+    active_area := !active_area +. (float_of_int (active ()) *. (t -. !now));
+    now := t
+  in
+  let insert dep =
+    let rec go = function
+      | [] -> [ dep ]
+      | ((t', _, _) as hd) :: rest ->
+        let t, _, _ = dep in
+        if t < t' then dep :: hd :: rest else hd :: go rest
+    in
+    departures := go !departures
+  in
+  let depart (id, conn) =
+    sut.disconnect id;
+    incr completed;
+    used_src := Eset.remove conn.Connection.source !used_src;
+    used_dst :=
+      List.fold_left (fun s d -> Eset.remove d s) !used_dst
+        conn.Connection.destinations
+  in
+  let arrival t =
+    advance_to t;
+    let free_sources = List.filter (fun e -> not (Eset.mem e !used_src)) all_sources in
+    let free_dests = List.filter (fun e -> not (Eset.mem e !used_dst)) all_dests in
+    match Generator.random_connection rng spec model ~fanout ~free_sources ~free_dests with
+    | None -> () (* saturated: the offered call finds no idle terminals *)
+    | Some conn -> (
+      incr attempts;
+      match sut.connect conn with
+      | Ok id ->
+        incr accepted;
+        used_src := Eset.add conn.Connection.source !used_src;
+        used_dst :=
+          List.fold_left (fun s d -> Eset.add d s) !used_dst
+            conn.Connection.destinations;
+        insert (t +. exponential rng mean_holding, id, conn)
+      | Error err ->
+        on_blocked conn err;
+        incr blocked)
+  in
+  let rec loop next_arrival =
+    if next_arrival > horizon && !departures = [] then advance_to horizon
+    else
+      match !departures with
+      | (td, id, conn) :: rest when td <= next_arrival ->
+        if td > horizon then advance_to horizon
+        else begin
+          advance_to td;
+          departures := rest;
+          depart (id, conn);
+          loop next_arrival
+        end
+      | _ ->
+        if next_arrival > horizon then begin
+          (* drain remaining departures up to the horizon *)
+          match !departures with
+          | (td, id, conn) :: rest when td <= horizon ->
+            advance_to td;
+            departures := rest;
+            depart (id, conn);
+            loop next_arrival
+          | _ -> advance_to horizon
+        end
+        else begin
+          arrival next_arrival;
+          loop (next_arrival +. exponential rng (1. /. arrival_rate))
+        end
+  in
+  loop (exponential rng (1. /. arrival_rate));
+  {
+    offered_erlangs = arrival_rate *. mean_holding;
+    t_attempts = !attempts;
+    t_accepted = !accepted;
+    t_blocked = !blocked;
+    completed = !completed;
+    mean_active = !active_area /. horizon;
+  }
+
+let pp_timed_stats ppf s =
+  Format.fprintf ppf
+    "offered %.2f E: %d attempts, %d accepted, %d blocked, %d completed, mean %.2f active"
+    s.offered_erlangs s.t_attempts s.t_accepted s.t_blocked s.completed
+    s.mean_active

@@ -1,0 +1,75 @@
+(** Dynamic setup/teardown workloads.
+
+    The nonblocking claims of Theorems 1-2 are about {e any} sequence of
+    connection setups and teardowns, not just static assignments.  This
+    driver runs such a sequence against an abstract switch (anything
+    offering connect/disconnect), tracking which endpoints are free so
+    every generated request is one the network is obliged to admit. *)
+
+open Wdm_core
+
+type stats = {
+  attempts : int;  (** connection requests issued *)
+  accepted : int;
+  blocked : int;  (** rejections — must be 0 for a nonblocking switch *)
+  torn_down : int;
+  peak_active : int;
+}
+
+type ('id, 'err) sut = {
+  connect : Connection.t -> ('id, 'err) result;
+  disconnect : 'id -> unit;
+}
+
+val run :
+  ?on_blocked:(Connection.t -> 'err -> unit) ->
+  Random.State.t ->
+  spec:Network_spec.t ->
+  model:Model.t ->
+  fanout:Fanout.t ->
+  steps:int ->
+  teardown_bias:float ->
+  ('id, 'err) sut ->
+  stats
+(** Each step tears down a random active connection with probability
+    [teardown_bias] (when any exists), otherwise attempts a setup drawn
+    from the free endpoints.  [on_blocked] observes rejections (default:
+    count only). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Continuous-time traffic}
+
+    The discrete driver above alternates setups and teardowns by a
+    bias; classical switching evaluation instead offers Poisson
+    arrivals with exponential holding times and reports blocking
+    against the offered load in Erlangs.  {!run_timed} is that
+    methodology. *)
+
+type timed_stats = {
+  offered_erlangs : float;  (** [arrival_rate * mean_holding] *)
+  t_attempts : int;
+  t_accepted : int;
+  t_blocked : int;
+  completed : int;  (** connections that departed within the horizon *)
+  mean_active : float;  (** time-averaged concurrent connections *)
+}
+
+val run_timed :
+  ?on_blocked:(Connection.t -> 'err -> unit) ->
+  Random.State.t ->
+  spec:Network_spec.t ->
+  model:Model.t ->
+  fanout:Fanout.t ->
+  arrival_rate:float ->
+  mean_holding:float ->
+  horizon:float ->
+  ('id, 'err) sut ->
+  timed_stats
+(** Event-driven simulation on [0, horizon]: arrivals form a Poisson
+    process of the given rate; each accepted connection holds for an
+    independent exponential time.  With no blocking and light load,
+    [mean_active] approaches the offered load (Little's law), which the
+    tests check. *)
+
+val pp_timed_stats : Format.formatter -> timed_stats -> unit

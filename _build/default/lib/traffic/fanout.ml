@@ -1,0 +1,40 @@
+type t =
+  | Fixed of int
+  | Uniform of int * int
+  | Zipf of { max : int; s : float }
+  | Broadcast
+
+let clamp lo hi v = Stdlib.max lo (Stdlib.min hi v)
+
+let sample rng t ~max_available =
+  if max_available < 1 then invalid_arg "Fanout.sample: nothing available";
+  match t with
+  | Fixed f ->
+    if f < 1 then invalid_arg "Fanout.sample: Fixed fanout must be >= 1";
+    clamp 1 max_available f
+  | Uniform (lo, hi) ->
+    if lo < 1 || hi < lo then invalid_arg "Fanout.sample: bad Uniform bounds";
+    let lo = clamp 1 max_available lo and hi = clamp 1 max_available hi in
+    lo + Random.State.int rng (hi - lo + 1)
+  | Zipf { max; s } ->
+    if max < 1 then invalid_arg "Fanout.sample: Zipf max must be >= 1";
+    let max = clamp 1 max_available max in
+    (* inverse-CDF sampling over the discrete range *)
+    let weights = Array.init max (fun i -> 1. /. (float_of_int (i + 1) ** s)) in
+    let total = Array.fold_left ( +. ) 0. weights in
+    let u = Random.State.float rng total in
+    let rec pick i acc =
+      if i >= max - 1 then max
+      else begin
+        let acc = acc +. weights.(i) in
+        if u < acc then i + 1 else pick (i + 1) acc
+      end
+    in
+    pick 0 0.
+  | Broadcast -> max_available
+
+let pp ppf = function
+  | Fixed f -> Format.fprintf ppf "fixed(%d)" f
+  | Uniform (lo, hi) -> Format.fprintf ppf "uniform(%d..%d)" lo hi
+  | Zipf { max; s } -> Format.fprintf ppf "zipf(max=%d,s=%.2f)" max s
+  | Broadcast -> Format.pp_print_string ppf "broadcast"

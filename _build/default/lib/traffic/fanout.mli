@@ -1,0 +1,21 @@
+(** Fanout distributions for synthetic multicast workloads.
+
+    The paper's motivating applications differ sharply in fanout shape:
+    video conferencing produces small groups, video-on-demand produces a
+    few very large groups.  These distributions parameterize the
+    generators so experiments can sweep over both regimes. *)
+
+type t =
+  | Fixed of int
+  | Uniform of int * int  (** inclusive bounds *)
+  | Zipf of { max : int; s : float }
+      (** [P(f) ~ 1/f^s] over [1..max]; heavy head of unicasts with a
+          long multicast tail *)
+  | Broadcast  (** always the full port range offered *)
+
+val sample : Random.State.t -> t -> max_available:int -> int
+(** Draw a fanout, clamped to [1 .. max_available].
+    @raise Invalid_argument if [max_available < 1] or the distribution
+    is malformed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,166 @@
+open Wdm_core
+
+let shuffle rng l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let choice rng = function
+  | [] -> None
+  | l -> Some (List.nth l (Random.State.int rng (List.length l)))
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+(* Ports that still have a free endpoint usable by a connection sourced
+   at [src] under [model]; for each, the concrete endpoint to use.
+   Grouping goes through a Hashtbl: the churn drivers call this on every
+   arrival, and an association list would make each call quadratic in
+   the number of free endpoints. *)
+let destination_candidates rng model (src : Endpoint.t) free_dests =
+  let by_port : (int, Endpoint.t list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Endpoint.t) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_port d.port) in
+      Hashtbl.replace by_port d.port (d :: cur))
+    free_dests;
+  let ports_fold f init = Hashtbl.fold (fun _ dests acc -> f dests acc) by_port init in
+  match (model : Model.t) with
+  | MSW ->
+    ports_fold
+      (fun dests acc ->
+        match List.find_opt (fun (d : Endpoint.t) -> d.wl = src.wl) dests with
+        | Some d -> d :: acc
+        | None -> acc)
+      []
+  | MSDW -> (
+    (* choose a destination wavelength offered by as many ports as any *)
+    let coverage : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun _ dests ->
+        List.sort_uniq Int.compare (List.map (fun (d : Endpoint.t) -> d.wl) dests)
+        |> List.iter (fun w ->
+               Hashtbl.replace coverage w
+                 (1 + Option.value ~default:0 (Hashtbl.find_opt coverage w))))
+      by_port;
+    let best = Hashtbl.fold (fun _ c acc -> Stdlib.max c acc) coverage 0 in
+    let good =
+      Hashtbl.fold (fun w c acc -> if c = best then w :: acc else acc) coverage []
+      |> List.sort Int.compare
+    in
+    match choice rng good with
+    | None -> []
+    | Some wd ->
+      ports_fold
+        (fun dests acc ->
+          match List.find_opt (fun (d : Endpoint.t) -> d.wl = wd) dests with
+          | Some d -> d :: acc
+          | None -> acc)
+        [])
+  | MAW ->
+    ports_fold
+      (fun dests acc ->
+        match shuffle rng dests with d :: _ -> d :: acc | [] -> acc)
+      []
+
+let random_connection rng _spec model ~fanout ~free_sources ~free_dests =
+  if free_sources = [] || free_dests = [] then None
+  else begin
+    (* try a few sources; under MSW some may have no same-wavelength
+       destination left *)
+    let rec attempt tries =
+      if tries = 0 then None
+      else
+        match choice rng free_sources with
+        | None -> None
+        | Some src -> (
+          match destination_candidates rng model src free_dests with
+          | [] -> attempt (tries - 1)
+          | candidates ->
+            let f = Fanout.sample rng fanout ~max_available:(List.length candidates) in
+            let dests = take f (shuffle rng candidates) in
+            Some (Connection.make_exn ~source:src ~destinations:dests))
+    in
+    attempt 8
+  end
+
+module Eset = Set.Make (Endpoint)
+
+let random_assignment rng (spec : Network_spec.t) model ~fanout ~load =
+  if load < 0. || load > 1. then invalid_arg "Generator.random_assignment: load";
+  let total = Network_spec.num_endpoints spec in
+  let target = int_of_float (Float.round (load *. float_of_int total)) in
+  let rec go connections used_src used_dst misses =
+    if Eset.cardinal used_dst >= target || misses > 10 then
+      Assignment.make connections
+    else begin
+      let free_sources =
+        List.filter (fun e -> not (Eset.mem e used_src)) (Network_spec.inputs spec)
+      in
+      let free_dests =
+        List.filter (fun e -> not (Eset.mem e used_dst)) (Network_spec.outputs spec)
+      in
+      match random_connection rng spec model ~fanout ~free_sources ~free_dests with
+      | None -> go connections used_src used_dst (misses + 1)
+      | Some conn ->
+        (* cap the connection so we do not badly overshoot the target *)
+        let room = target - Eset.cardinal used_dst in
+        let conn =
+          if Connection.fanout conn <= room then conn
+          else
+            Connection.make_exn ~source:conn.Connection.source
+              ~destinations:(take room conn.Connection.destinations)
+        in
+        go (conn :: connections)
+          (Eset.add conn.Connection.source used_src)
+          (List.fold_left (fun s d -> Eset.add d s) used_dst conn.Connection.destinations)
+          misses
+    end
+  in
+  go [] Eset.empty Eset.empty 0
+
+(* Sequential random construction of a full assignment: walk the output
+   endpoints in random order, give each a compatible source.  For every
+   model the same-wavelength sources are always compatible, so the walk
+   never gets stuck (see the census disciplines in Wdm_core.Enumerate). *)
+let random_full_assignment rng (spec : Network_spec.t) model =
+  let outputs = shuffle rng (Network_spec.outputs spec) in
+  let sources = Network_spec.inputs spec in
+  (* usage per source: wavelengths and ports of outputs already mapped *)
+  let used : (Endpoint.t, int list * int list) Hashtbl.t = Hashtbl.create 64 in
+  let compatible (o : Endpoint.t) (s : Endpoint.t) =
+    match Hashtbl.find_opt used s with
+    | None -> (
+      match (model : Model.t) with MSW -> s.wl = o.wl | MSDW | MAW -> true)
+    | Some (wls, ports) -> (
+      match (model : Model.t) with
+      | MSW -> s.wl = o.wl
+      | MSDW -> List.for_all (fun w -> w = o.wl) wls
+      | MAW -> not (List.mem o.port ports))
+  in
+  let pairs =
+    List.map
+      (fun (o : Endpoint.t) ->
+        let candidates = List.filter (compatible o) sources in
+        let s =
+          match choice rng candidates with
+          | Some s -> s
+          | None ->
+            (* cannot happen (same-wavelength sources always qualify) *)
+            Endpoint.make ~port:o.port ~wl:o.wl
+        in
+        let wls, ports =
+          Option.value ~default:([], []) (Hashtbl.find_opt used s)
+        in
+        Hashtbl.replace used s (o.wl :: wls, o.port :: ports);
+        (o, s))
+      outputs
+  in
+  Assignment.of_pairs pairs

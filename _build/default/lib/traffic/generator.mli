@@ -1,0 +1,36 @@
+(** Random multicast workload generation.
+
+    All generators are deterministic functions of a [Random.State.t] so
+    experiments are reproducible from a seed.  Requests are generated
+    against the {e currently free} endpoints, which is how real traffic
+    behaves: a new multicast session can only claim idle receivers. *)
+
+open Wdm_core
+
+val random_connection :
+  Random.State.t ->
+  Network_spec.t ->
+  Model.t ->
+  fanout:Fanout.t ->
+  free_sources:Endpoint.t list ->
+  free_dests:Endpoint.t list ->
+  Connection.t option
+(** Draw one connection legal under the model whose source is one of
+    [free_sources] and whose destinations are among [free_dests] (at
+    most one per output port).  [None] when nothing can be built (e.g.
+    no free destination matches the source wavelength under MSW). *)
+
+val random_assignment :
+  Random.State.t ->
+  Network_spec.t ->
+  Model.t ->
+  fanout:Fanout.t ->
+  load:float ->
+  Assignment.t
+(** Build a valid assignment by repeatedly drawing connections until
+    roughly [load] (in [0..1]) of the output endpoints are used or no
+    further connection fits.  Always validates under the model. *)
+
+val random_full_assignment :
+  Random.State.t -> Network_spec.t -> Model.t -> Assignment.t
+(** A full-multicast-assignment: every output endpoint is covered. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Conditions Float Format Fun List Model Network Network_spec Printf String Wdm_analysis Wdm_core Wdm_multistage

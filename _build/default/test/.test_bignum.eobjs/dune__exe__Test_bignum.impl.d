@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Combinatorics Float Format Int List Nat QCheck QCheck_alcotest String Wdm_bignum

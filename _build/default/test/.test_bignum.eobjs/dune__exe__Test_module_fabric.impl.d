@@ -1,0 +1,1 @@
+test/test_module_fabric.ml: Alcotest Array Format List Model Module_fabric Printf Wdm_core Wdm_crossbar Wdm_optics

@@ -1,0 +1,1 @@
+test/test_multistage.ml: Alcotest Array Conditions Cost Float Format List Multiset Network Printf QCheck QCheck_alcotest Recursive Result Stdlib Topology Wdm_core Wdm_multistage

@@ -1,0 +1,1 @@
+test/test_optics.ml: Alcotest Float List Printf QCheck QCheck_alcotest String Wdm_optics

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Assignment Churn Connection Endpoint Fanout Float Format Generator Hashtbl List Model Network_spec Printf QCheck QCheck_alcotest Random Wdm_core Wdm_traffic

@@ -1,0 +1,310 @@
+(* Tests for the analysis layer: table rendering, the Table 1/2
+   generators, parameter sweeps and the blocking experiments. *)
+
+open Wdm_core
+open Wdm_multistage
+module An = Wdm_analysis
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+(* --- table renderer ------------------------------------------------------ *)
+
+let test_table_render () =
+  let t =
+    An.Table.make ~title:"T" ~header:[ "a"; "bb" ]
+      ~align:[ An.Table.Left; An.Table.Right ] ()
+  in
+  An.Table.add_row t [ "x"; "1" ];
+  An.Table.add_row t [ "yyy"; "22" ];
+  let out = An.Table.render t in
+  Alcotest.(check bool) "title" true (String.length out > 0 && out.[0] = 'T');
+  let lines =
+    String.split_on_char '\n' out |> List.filter (fun l -> l <> "")
+  in
+  (match lines with
+  | [ _title; _hdr; _rule; l1; l2 ] ->
+    Alcotest.(check int) "equal widths" (String.length l1) (String.length l2);
+    Alcotest.(check bool) "right align" true
+      (String.ends_with ~suffix:" 1" l1 && String.ends_with ~suffix:"22" l2)
+  | _ -> Alcotest.fail (Printf.sprintf "expected 5 lines, got %d" (List.length lines)));
+  Alcotest.check_raises "row width" (Invalid_argument "Table.add_row: width mismatch")
+    (fun () -> An.Table.add_row t [ "only one" ])
+
+let test_table_csv () =
+  let t = An.Table.make ~header:[ "a"; "b" ] () in
+  An.Table.add_row t [ "plain"; "has,comma" ];
+  An.Table.add_row t [ "has\"quote"; "x" ];
+  An.Table.add_rule t;
+  let csv = An.Table.to_csv t in
+  Alcotest.(check string) "csv"
+    "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",x\n" csv
+
+let test_table_align_default () =
+  let t = An.Table.make ~header:[ "name"; "value" ] () in
+  An.Table.add_row t [ "a"; "1" ];
+  Alcotest.(check bool) "renders" true (String.length (An.Table.render t) > 0);
+  Alcotest.check_raises "align width"
+    (Invalid_argument "Table.make: align width mismatch") (fun () ->
+      ignore (An.Table.make ~header:[ "a"; "b" ] ~align:[ An.Table.Left ] ()))
+
+(* --- Table 1 / Table 2 generators ---------------------------------------- *)
+
+let test_table1_census_agrees () =
+  (* every censused cell must be marked "=", never "!!" *)
+  let out = An.Table.render (An.Table1.numeric ~with_census:true [ (2, 2); (3, 1) ]) in
+  Alcotest.(check bool) "census mismatch marker absent" false (contains out "!!");
+  Alcotest.(check bool) "census match marker present" true (contains out " =")
+
+let test_table1_infeasible_census_dashes () =
+  let out = An.Table.render (An.Table1.numeric ~with_census:true [ (16, 8) ]) in
+  Alcotest.(check bool) "dashes" true (contains out "-");
+  Alcotest.(check bool) "big capacity approximated" true (contains out "e+")
+
+let test_table2_rows () =
+  let t = An.Table2.numeric ~big_ns:[ 16 ] ~ks:[ 2 ] in
+  let csv = An.Table.to_csv t in
+  (* three model rows with the Theorem-1 m = 13 for n = r = 4 *)
+  Alcotest.(check bool) "m=13 present" true (contains csv "16,2,MSW,13,2");
+  Alcotest.(check bool) "MSDW row" true (contains csv "16,2,MSDW,13");
+  Alcotest.(check bool) "MAW row" true (contains csv "16,2,MAW,13")
+
+(* --- sweeps --------------------------------------------------------------- *)
+
+let test_crossover_consistency () =
+  (* first_crossover must be the first "MS" row of the crossover table. *)
+  List.iter
+    (fun (model, k) ->
+      let first = An.Sweeps.first_crossover ~output_model:model ~k ~max_big_n:1024 in
+      let csv = An.Table.to_csv (An.Sweeps.crossover ~output_model:model ~k ~max_big_n:1024) in
+      let rows = String.split_on_char '\n' csv in
+      let first_ms =
+        List.find_map
+          (fun row ->
+            match String.split_on_char ',' row with
+            | [ n; _; _; "MS" ] -> int_of_string_opt n
+            | _ -> None)
+          rows
+      in
+      Alcotest.(check (option int))
+        (Format.asprintf "%a k=%d" Model.pp model k)
+        first first_ms)
+    [ (Model.MSW, 2); (Model.MAW, 2); (Model.MAW, 4) ]
+
+let test_crossover_earlier_for_maw () =
+  (* k^2 N^2 crossbars are beaten earlier than k N^2 ones. *)
+  let f model = An.Sweeps.first_crossover ~output_model:model ~k:2 ~max_big_n:4096 in
+  match (f Model.MSW, f Model.MAW) with
+  | Some msw, Some maw -> Alcotest.(check bool) "MAW first" true (maw <= msw)
+  | _ -> Alcotest.fail "expected crossovers below 4096"
+
+let test_theorem_bounds_table_shape () =
+  let csv = An.Table.to_csv (An.Sweeps.theorem_bounds ~ns:[ 4; 8 ] ~ks:[ 1; 2 ]) in
+  let rows = String.split_on_char '\n' csv |> List.filter (fun r -> r <> "") in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length rows);
+  (* Theorem 2 at k=1 must equal Theorem 1 column *)
+  List.iter
+    (fun row ->
+      match String.split_on_char ',' row with
+      | [ _n; _x; thm1; _asym; thm2k1; _thm2k2 ] when thm1 <> "Thm1 m_min" ->
+        Alcotest.(check string) "k=1 collapse" thm1 thm2k1
+      | _ -> ())
+    rows
+
+let test_capacity_growth_monotone () =
+  let csv = An.Table.to_csv (An.Sweeps.capacity_growth ~k:2 ~ns:[ 2; 4; 8 ]) in
+  let rows =
+    String.split_on_char '\n' csv
+    |> List.filter_map (fun row ->
+           match String.split_on_char ',' row with
+           | [ _n; msw; msdw; maw; elec ] when msw <> "MSW" ->
+             Some
+               ( float_of_string msw,
+                 float_of_string msdw,
+                 float_of_string maw,
+                 float_of_string elec )
+           | _ -> None)
+  in
+  Alcotest.(check int) "3 rows" 3 (List.length rows);
+  List.iter
+    (fun (msw, msdw, maw, elec) ->
+      Alcotest.(check bool) "ordering" true (msw <= msdw && msdw <= maw && maw <= elec))
+    rows
+
+(* --- blocking experiments -------------------------------------------------- *)
+
+let test_blocking_vs_m_math () =
+  let results =
+    An.Blocking.blocking_vs_m ~seeds:[ 1; 2 ] ~steps:150
+      ~construction:Network.Msw_dominant ~output_model:Model.MSW ~n:2 ~r:2
+      ~k:1 ~ms:[ 2; 4 ] ()
+  in
+  (match results with
+  | [ low; high ] ->
+    Alcotest.(check int) "m recorded" 2 low.An.Blocking.m;
+    Alcotest.(check bool) "probability consistent" true
+      (Float.abs
+         (low.An.Blocking.probability
+         -. float_of_int low.An.Blocking.blocked
+            /. float_of_int (max 1 low.An.Blocking.attempts))
+      < 1e-9);
+    Alcotest.(check int) "no blocking at theorem m" 0 high.An.Blocking.blocked
+  | _ -> Alcotest.fail "expected two measurements")
+
+let test_blocking_vs_load_zero_at_theorem_m () =
+  let m = (Conditions.msw_dominant ~n:2 ~r:2).Conditions.m_min in
+  let csv =
+    An.Table.to_csv
+      (An.Blocking.blocking_vs_load ~seeds:[ 3 ] ~steps:200
+         ~construction:Network.Msw_dominant ~output_model:Model.MSW ~n:2 ~r:2
+         ~k:1 ~m ())
+  in
+  String.split_on_char '\n' csv
+  |> List.iter (fun row ->
+         match String.split_on_char ',' row with
+         | [ _bias; _att; blocked; _p; _util ] when blocked <> "blocked" ->
+           Alcotest.(check string) "zero blocked" "0" blocked
+         | _ -> ())
+
+let test_strategy_ablation_table () =
+  let csv =
+    An.Table.to_csv
+      (An.Blocking.strategy_ablation ~construction:Network.Msw_dominant
+         ~output_model:Model.MSW ~n:2 ~r:2 ~k:1 ~m:4)
+  in
+  Alcotest.(check bool) "three strategies" true
+    (contains csv "min-intersection" && contains csv "first-fit"
+   && contains csv "exhaustive")
+
+(* --- parallel substrate ----------------------------------------------------- *)
+
+let test_parallel_map_order () =
+  let xs = List.init 57 Fun.id in
+  Alcotest.(check (list int)) "order preserved" (List.map (fun x -> x * x) xs)
+    (An.Parallel.map ~domains:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "empty" [] (An.Parallel.map (fun x -> x) []);
+  Alcotest.(check (list int)) "single domain" [ 2; 4 ]
+    (An.Parallel.map ~domains:1 (fun x -> 2 * x) [ 1; 2 ])
+
+let test_parallel_map_exception () =
+  Alcotest.check_raises "propagates" (Failure "boom") (fun () ->
+      ignore
+        (An.Parallel.map ~domains:3
+           (fun x -> if x = 5 then failwith "boom" else x)
+           (List.init 10 Fun.id)))
+
+let test_parallel_census_equals_sequential () =
+  List.iter
+    (fun (n, k) ->
+      let spec = Network_spec.make_exn ~n ~k in
+      List.iter
+        (fun model ->
+          let seq = Wdm_core.Enumerate.census spec model in
+          let par = An.Parallel_census.census ~domains:4 spec model in
+          Alcotest.(check int)
+            (Format.asprintf "full %a %d,%d" Model.pp model n k)
+            seq.Wdm_core.Enumerate.full par.Wdm_core.Enumerate.full;
+          Alcotest.(check int)
+            (Format.asprintf "any %a %d,%d" Model.pp model n k)
+            seq.Wdm_core.Enumerate.any par.Wdm_core.Enumerate.any)
+        Model.all)
+    [ (2, 2); (3, 1); (2, 3) ]
+
+let test_census_branches_partition () =
+  (* summing branch censuses = whole census, branch by branch *)
+  let spec = Network_spec.make_exn ~n:2 ~k:2 in
+  List.iter
+    (fun model ->
+      let whole = Wdm_core.Enumerate.census spec model in
+      let parts =
+        List.map
+          (fun branch -> Wdm_core.Enumerate.census_branch spec model ~branch)
+          (Wdm_core.Enumerate.branches spec)
+      in
+      let sum f = List.fold_left (fun acc c -> acc + f c) 0 parts in
+      Alcotest.(check int) "full sums" whole.Wdm_core.Enumerate.full
+        (sum (fun (c : Wdm_core.Enumerate.counts) -> c.Wdm_core.Enumerate.full));
+      Alcotest.(check int) "any sums" whole.Wdm_core.Enumerate.any
+        (sum (fun (c : Wdm_core.Enumerate.counts) -> c.Wdm_core.Enumerate.any)))
+    Model.all
+
+let () =
+  Alcotest.run "wdm_analysis"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "csv" `Quick test_table_csv;
+          Alcotest.test_case "align defaults" `Quick test_table_align_default;
+        ] );
+      ( "table1-table2",
+        [
+          Alcotest.test_case "census agrees" `Quick test_table1_census_agrees;
+          Alcotest.test_case "infeasible census" `Quick
+            test_table1_infeasible_census_dashes;
+          Alcotest.test_case "table2 rows" `Quick test_table2_rows;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "crossover consistency" `Quick test_crossover_consistency;
+          Alcotest.test_case "MAW crossover earlier" `Quick
+            test_crossover_earlier_for_maw;
+          Alcotest.test_case "theorem bounds shape" `Quick
+            test_theorem_bounds_table_shape;
+          Alcotest.test_case "capacity growth monotone" `Quick
+            test_capacity_growth_monotone;
+        ] );
+      ( "sparse-conversion",
+        [
+          Alcotest.test_case "d=0 collapses to MSW capacity" `Slow (fun () ->
+              List.iter
+                (fun model ->
+                  let m = An.Sparse_conversion.measure ~n:2 ~k:2 ~model ~range:0 () in
+                  Alcotest.(check int)
+                    (Format.asprintf "%a" Model.pp model)
+                    81 (* (N+1)^(Nk) = 3^4 *)
+                    m.An.Sparse_conversion.realizable)
+                [ Model.MSDW; Model.MAW ]);
+          Alcotest.test_case "d=k-1 restores full capacity" `Slow (fun () ->
+              List.iter
+                (fun (model, expected) ->
+                  let m = An.Sparse_conversion.measure ~n:2 ~k:2 ~model ~range:1 () in
+                  Alcotest.(check int)
+                    (Format.asprintf "%a" Model.pp model)
+                    expected m.An.Sparse_conversion.realizable;
+                  Alcotest.(check int) "totals" expected m.An.Sparse_conversion.total)
+                [ (Model.MSDW, 325); (Model.MAW, 441) ]);
+          Alcotest.test_case "monotone in d" `Slow (fun () ->
+              let frac d =
+                let m = An.Sparse_conversion.measure ~n:2 ~k:3 ~model:Model.MAW ~range:d () in
+                float_of_int m.An.Sparse_conversion.realizable
+                /. float_of_int m.An.Sparse_conversion.total
+              in
+              let f0 = frac 0 and f1 = frac 1 and f2 = frac 2 in
+              Alcotest.(check bool) "0 < 1" true (f0 < f1);
+              Alcotest.(check bool) "1 < 2" true (f1 < f2);
+              Alcotest.(check (float 1e-9)) "full range realizes all" 1.0 f2);
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "map order" `Quick test_parallel_map_order;
+          Alcotest.test_case "map exception" `Quick test_parallel_map_exception;
+          Alcotest.test_case "parallel census = sequential" `Slow
+            test_parallel_census_equals_sequential;
+          Alcotest.test_case "branches partition" `Quick test_census_branches_partition;
+        ] );
+      ( "blocking",
+        [
+          Alcotest.test_case "blocking_vs_m math" `Slow test_blocking_vs_m_math;
+          Alcotest.test_case "no blocking at theorem m" `Slow
+            test_blocking_vs_load_zero_at_theorem_m;
+          Alcotest.test_case "strategy ablation table" `Slow
+            test_strategy_ablation_table;
+        ] );
+    ]

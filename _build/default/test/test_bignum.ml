@@ -1,0 +1,306 @@
+(* Unit and property tests for the arbitrary-precision substrate. *)
+
+open Wdm_bignum
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+
+let check_nat = Alcotest.check nat
+let n = Nat.of_int
+
+(* --- unit tests ------------------------------------------------------ *)
+
+let test_of_to_int () =
+  List.iter
+    (fun i -> Alcotest.(check (option int)) "roundtrip" (Some i) (Nat.to_int_opt (n i)))
+    [ 0; 1; 2; 42; 1 lsl 29; (1 lsl 30) - 1; 1 lsl 30; 1 lsl 31; max_int ];
+  Alcotest.check_raises "negative" (Invalid_argument "Nat.of_int: negative")
+    (fun () -> ignore (Nat.of_int (-1)))
+
+let test_add_sub () =
+  check_nat "1+1" (n 2) (Nat.add Nat.one Nat.one);
+  check_nat "0+x" (n 77) (Nat.add Nat.zero (n 77));
+  check_nat "big add"
+    (Nat.of_string "2000000000000000000000")
+    (Nat.add (Nat.of_string "1999999999999999999999") Nat.one);
+  check_nat "sub" (n 5) (Nat.sub (n 12) (n 7));
+  check_nat "sub to zero" Nat.zero (Nat.sub (n 12) (n 12));
+  Alcotest.check_raises "negative sub"
+    (Invalid_argument "Nat.sub: negative result") (fun () ->
+      ignore (Nat.sub (n 3) (n 4)))
+
+let test_mul () =
+  check_nat "7*6" (n 42) (Nat.mul (n 7) (n 6));
+  check_nat "x*0" Nat.zero (Nat.mul (n 7) Nat.zero);
+  check_nat "big mul"
+    (Nat.of_string "123456789012345678901234567890000000000")
+    (Nat.mul (Nat.of_string "123456789012345678901234567890") (Nat.of_string "1000000000"));
+  check_nat "mul_int" (n 999_999_999_999) (Nat.mul_int (n 999_999_999) 1000 |> fun x -> Nat.add x (n 999))
+
+let test_pow () =
+  check_nat "2^10" (n 1024) (Nat.pow Nat.two 10);
+  check_nat "x^0" Nat.one (Nat.pow (n 999) 0);
+  check_nat "0^0" Nat.one (Nat.pow Nat.zero 0);
+  check_nat "0^5" Nat.zero (Nat.pow Nat.zero 5);
+  check_nat "10^30" (Nat.of_string ("1" ^ String.make 30 '0')) (Nat.pow (n 10) 30)
+
+let test_divmod () =
+  let q, r = Nat.divmod (n 1000) (n 7) in
+  check_nat "q" (n 142) q;
+  check_nat "r" (n 6) r;
+  let a = Nat.of_string "981234567890123456789012345678901234567" in
+  let b = Nat.of_string "123456789123456789" in
+  let q, r = Nat.divmod a b in
+  check_nat "recompose" a (Nat.add (Nat.mul q b) r);
+  Alcotest.(check bool) "r < b" true (Nat.compare r b < 0);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Nat.divmod (n 5) Nat.zero))
+
+let test_divmod_int () =
+  let q, r = Nat.divmod_int (Nat.of_string "12345678901234567890") 97 in
+  check_nat "q*97+r"
+    (Nat.of_string "12345678901234567890")
+    (Nat.add (Nat.mul_int q 97) (n r))
+
+let test_to_string () =
+  Alcotest.(check string) "zero" "0" (Nat.to_string Nat.zero);
+  Alcotest.(check string) "roundtrip" "98765432109876543210987654321"
+    (Nat.to_string (Nat.of_string "98765432109876543210987654321"));
+  Alcotest.(check string) "underscores" "1000000"
+    (Nat.to_string (Nat.of_string "1_000_000"))
+
+let test_shift () =
+  check_nat "shl" (n 4096) (Nat.shift_left Nat.one 12);
+  check_nat "shr" (n 1) (Nat.shift_right (n 4096) 12);
+  check_nat "shr underflow" Nat.zero (Nat.shift_right (n 4096) 13);
+  let big = Nat.pow Nat.two 200 in
+  check_nat "shl/shr inverse" big (Nat.shift_right (Nat.shift_left big 67) 67)
+
+let test_num_bits_digits () =
+  Alcotest.(check int) "bits 0" 0 (Nat.num_bits Nat.zero);
+  Alcotest.(check int) "bits 1" 1 (Nat.num_bits Nat.one);
+  Alcotest.(check int) "bits 1024" 11 (Nat.num_bits (n 1024));
+  Alcotest.(check int) "bits 2^100" 101 (Nat.num_bits (Nat.pow Nat.two 100));
+  Alcotest.(check int) "digits 0" 1 (Nat.num_digits Nat.zero);
+  Alcotest.(check int) "digits 10^30" 31 (Nat.num_digits (Nat.pow (n 10) 30))
+
+let test_log10 () =
+  let approx_eq a b = Float.abs (a -. b) < 1e-9 in
+  Alcotest.(check bool) "log10 1000" true (approx_eq (Nat.log10 (n 1000)) 3.);
+  let huge = Nat.pow (n 10) 500 in
+  Alcotest.(check bool) "log10 10^500" true
+    (Float.abs (Nat.log10 huge -. 500.) < 1e-6)
+
+let test_pp_approx () =
+  Alcotest.(check string) "small" "123456"
+    (Format.asprintf "%a" Nat.pp_approx (n 123456));
+  Alcotest.(check string) "large" "1.234e+15"
+    (Format.asprintf "%a" Nat.pp_approx (Nat.of_string "1234567890123456"))
+
+let test_limb_boundaries () =
+  (* adversarial carries/borrows around the 2^30 limb base *)
+  let b30 = Nat.pow Nat.two 30 in
+  let m = Nat.pred b30 in
+  (* (2^30-1)^2 = 2^60 - 2^31 + 1: full cross-limb carry *)
+  check_nat "max-limb square"
+    (Nat.add (Nat.sub (Nat.pow Nat.two 60) (Nat.pow Nat.two 31)) Nat.one)
+    (Nat.mul m m);
+  (* long borrow chain: 2^300 - 1 *)
+  let big = Nat.pow Nat.two 300 in
+  let bigm1 = Nat.pred big in
+  check_nat "borrow chain round trip" big (Nat.succ bigm1);
+  Alcotest.(check int) "2^300-1 has 300 bits" 300 (Nat.num_bits bigm1);
+  (* division identities *)
+  check_nat "x / 1" bigm1 (Nat.div bigm1 Nat.one);
+  check_nat "x / x" Nat.one (Nat.div bigm1 bigm1);
+  check_nat "x mod x" Nat.zero (Nat.rem bigm1 bigm1);
+  (* shifts at exact limb multiples *)
+  check_nat "shift at limb multiple" (Nat.pow Nat.two 90)
+    (Nat.shift_left Nat.one 90);
+  check_nat "shr at limb multiple" Nat.one
+    (Nat.shift_right (Nat.pow Nat.two 90) 90);
+  Alcotest.check_raises "divexact inexact"
+    (Invalid_argument "Nat.divexact: inexact division") (fun () ->
+      ignore (Nat.divexact (n 7) (n 2)))
+
+let test_min_max_sum_product () =
+  check_nat "min" (n 3) (Nat.min (n 3) (n 5));
+  check_nat "max" (n 5) (Nat.max (n 3) (n 5));
+  check_nat "sum" (n 10) (Nat.sum [ n 1; n 2; n 3; n 4 ]);
+  check_nat "sum empty" Nat.zero (Nat.sum []);
+  check_nat "product" (n 24) (Nat.product [ n 1; n 2; n 3; n 4 ]);
+  check_nat "product empty" Nat.one (Nat.product [])
+
+(* --- combinatorics ---------------------------------------------------- *)
+
+let test_factorial () =
+  check_nat "0!" Nat.one (Combinatorics.factorial 0);
+  check_nat "5!" (n 120) (Combinatorics.factorial 5);
+  check_nat "20!" (Nat.of_string "2432902008176640000") (Combinatorics.factorial 20);
+  check_nat "50!"
+    (Nat.of_string "30414093201713378043612608166064768844377641568960512000000000000")
+    (Combinatorics.factorial 50)
+
+let test_falling () =
+  check_nat "P(x,0)" Nat.one (Combinatorics.falling 5 0);
+  check_nat "P(5,2)" (n 20) (Combinatorics.falling 5 2);
+  check_nat "P(5,5)" (n 120) (Combinatorics.falling 5 5);
+  check_nat "P(5,6)=0" Nat.zero (Combinatorics.falling 5 6);
+  check_nat "P(0,0)" Nat.one (Combinatorics.falling 0 0)
+
+let test_binomial () =
+  check_nat "C(5,2)" (n 10) (Combinatorics.binomial 5 2);
+  check_nat "C(5,0)" Nat.one (Combinatorics.binomial 5 0);
+  check_nat "C(5,6)" Nat.zero (Combinatorics.binomial 5 6);
+  check_nat "C(50,25)" (Nat.of_string "126410606437752") (Combinatorics.binomial 50 25)
+
+let test_stirling2 () =
+  check_nat "S(0,0)" Nat.one (Combinatorics.stirling2 0 0);
+  check_nat "S(3,0)" Nat.zero (Combinatorics.stirling2 3 0);
+  check_nat "S(3,2)" (n 3) (Combinatorics.stirling2 3 2);
+  check_nat "S(4,2)" (n 7) (Combinatorics.stirling2 4 2);
+  check_nat "S(5,3)" (n 25) (Combinatorics.stirling2 5 3);
+  check_nat "S(10,5)" (n 42525) (Combinatorics.stirling2 10 5);
+  (* sum_j S(n,j) * P(n, j) = n^n: surjection decomposition used in the
+     paper's k = 1 sanity check of Lemma 3 *)
+  let lhs =
+    List.init 10 (fun j ->
+        Nat.mul (Combinatorics.stirling2 10 (j + 1)) (Combinatorics.falling 10 (j + 1)))
+    |> Nat.sum
+  in
+  check_nat "sum S*P = n^n" (Combinatorics.power 10 10) lhs
+
+(* --- properties ------------------------------------------------------- *)
+
+let small_int = QCheck.Gen.int_range 0 1_000_000
+
+let nat_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map Nat.of_int small_int);
+        ( 2,
+          map2 (fun a b -> Nat.mul (Nat.of_int a) (Nat.of_int b)) small_int small_int
+        );
+        ( 1,
+          map2 (fun a e -> Nat.pow (Nat.of_int (a + 2)) (e mod 40)) small_int
+            (int_range 0 40) );
+      ])
+
+let arb_nat = QCheck.make ~print:Nat.to_string nat_gen
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"add commutative" ~count:200 (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) -> Nat.equal (Nat.add a b) (Nat.add b a))
+
+let prop_add_assoc =
+  QCheck.Test.make ~name:"add associative" ~count:200
+    (QCheck.triple arb_nat arb_nat arb_nat) (fun (a, b, c) ->
+      Nat.equal (Nat.add a (Nat.add b c)) (Nat.add (Nat.add a b) c))
+
+let prop_mul_comm =
+  QCheck.Test.make ~name:"mul commutative" ~count:200 (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) -> Nat.equal (Nat.mul a b) (Nat.mul b a))
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"mul associative" ~count:100
+    (QCheck.triple arb_nat arb_nat arb_nat) (fun (a, b, c) ->
+      Nat.equal (Nat.mul a (Nat.mul b c)) (Nat.mul (Nat.mul a b) c))
+
+let prop_distrib =
+  QCheck.Test.make ~name:"mul distributes over add" ~count:100
+    (QCheck.triple arb_nat arb_nat arb_nat) (fun (a, b, c) ->
+      Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)))
+
+let prop_sub_add =
+  QCheck.Test.make ~name:"(a+b)-b = a" ~count:200 (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) -> Nat.equal a (Nat.sub (Nat.add a b) b))
+
+let prop_divmod =
+  QCheck.Test.make ~name:"divmod recomposition" ~count:200
+    (QCheck.pair arb_nat arb_nat) (fun (a, b) ->
+      QCheck.assume (not (Nat.is_zero b));
+      let q, r = Nat.divmod a b in
+      Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"to_string/of_string roundtrip" ~count:200 arb_nat
+    (fun a -> Nat.equal a (Nat.of_string (Nat.to_string a)))
+
+let prop_compare_int =
+  QCheck.Test.make ~name:"compare agrees with int compare" ~count:500
+    (QCheck.pair (QCheck.make small_int) (QCheck.make small_int)) (fun (a, b) ->
+      Int.compare a b = Nat.compare (Nat.of_int a) (Nat.of_int b))
+
+let prop_pow_matches_int =
+  QCheck.Test.make ~name:"pow agrees with int_pow_opt" ~count:200
+    (QCheck.pair (QCheck.make (QCheck.Gen.int_range 0 20))
+       (QCheck.make (QCheck.Gen.int_range 0 12))) (fun (b, e) ->
+      match Combinatorics.int_pow_opt b e with
+      | None -> true
+      | Some v -> Nat.equal (Nat.of_int v) (Nat.pow (Nat.of_int b) e))
+
+let prop_binomial_pascal =
+  QCheck.Test.make ~name:"Pascal's rule" ~count:200
+    (QCheck.pair (QCheck.make (QCheck.Gen.int_range 1 60))
+       (QCheck.make (QCheck.Gen.int_range 1 60))) (fun (n', r) ->
+      let open Combinatorics in
+      Nat.equal (binomial n' r)
+        (Nat.add (binomial (n' - 1) r) (binomial (n' - 1) (r - 1))))
+
+let prop_stirling_total =
+  QCheck.Test.make ~name:"sum_j S(n,j) j! C(x,j) identity at x=n" ~count:50
+    (QCheck.make (QCheck.Gen.int_range 1 12)) (fun m ->
+      (* n^n = sum_j P(n,j) S(n,j) *)
+      let lhs = Combinatorics.power m m in
+      let rhs =
+        List.init m (fun j ->
+            Nat.mul (Combinatorics.falling m (j + 1)) (Combinatorics.stirling2 m (j + 1)))
+        |> Nat.sum
+      in
+      Nat.equal lhs rhs)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_add_comm;
+      prop_add_assoc;
+      prop_mul_comm;
+      prop_mul_assoc;
+      prop_distrib;
+      prop_sub_add;
+      prop_divmod;
+      prop_string_roundtrip;
+      prop_compare_int;
+      prop_pow_matches_int;
+      prop_binomial_pascal;
+      prop_stirling_total;
+    ]
+
+let () =
+  Alcotest.run "wdm_bignum"
+    [
+      ( "nat-units",
+        [
+          Alcotest.test_case "of_int/to_int" `Quick test_of_to_int;
+          Alcotest.test_case "add/sub" `Quick test_add_sub;
+          Alcotest.test_case "mul" `Quick test_mul;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "divmod" `Quick test_divmod;
+          Alcotest.test_case "divmod_int" `Quick test_divmod_int;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "shift" `Quick test_shift;
+          Alcotest.test_case "num_bits/digits" `Quick test_num_bits_digits;
+          Alcotest.test_case "log10" `Quick test_log10;
+          Alcotest.test_case "pp_approx" `Quick test_pp_approx;
+          Alcotest.test_case "limb boundaries" `Quick test_limb_boundaries;
+          Alcotest.test_case "min/max/sum/product" `Quick test_min_max_sum_product;
+        ] );
+      ( "combinatorics",
+        [
+          Alcotest.test_case "factorial" `Quick test_factorial;
+          Alcotest.test_case "falling" `Quick test_falling;
+          Alcotest.test_case "binomial" `Quick test_binomial;
+          Alcotest.test_case "stirling2" `Quick test_stirling2;
+        ] );
+      ("properties", props);
+    ]

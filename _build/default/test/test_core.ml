@@ -1,0 +1,503 @@
+(* Tests for the core WDM model: endpoints, connections, models,
+   assignments, and — most importantly — the Lemma 1-3 capacity formulas
+   cross-checked against a brute-force census. *)
+
+open Wdm_bignum
+open Wdm_core
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+let ep port wl = Endpoint.make ~port ~wl
+let conn src dests = Connection.make_exn ~source:src ~destinations:dests
+let spec n k = Network_spec.make_exn ~n ~k
+
+(* --- endpoints -------------------------------------------------------- *)
+
+let test_endpoint_index () =
+  let k = 3 in
+  List.iteri
+    (fun i e ->
+      Alcotest.(check int) "index" i (Endpoint.index ~k e);
+      Alcotest.(check bool) "roundtrip" true
+        (Endpoint.equal e (Endpoint.of_index ~k i)))
+    (Endpoint.all ~n:4 ~k);
+  Alcotest.(check int) "count" 12 (List.length (Endpoint.all ~n:4 ~k))
+
+let test_endpoint_order () =
+  Alcotest.(check bool) "port major" true (Endpoint.compare (ep 1 3) (ep 2 1) < 0);
+  Alcotest.(check bool) "wl minor" true (Endpoint.compare (ep 2 1) (ep 2 2) < 0);
+  Alcotest.(check bool) "valid" true (Endpoint.valid ~n:2 ~k:2 (ep 2 2));
+  Alcotest.(check bool) "invalid port" false (Endpoint.valid ~n:2 ~k:2 (ep 3 1));
+  Alcotest.(check bool) "invalid wl" false (Endpoint.valid ~n:2 ~k:2 (ep 1 3))
+
+(* --- connections ------------------------------------------------------ *)
+
+let test_connection_make () =
+  (match Connection.make ~source:(ep 1 1) ~destinations:[] with
+  | Error Connection.Empty_destinations -> ()
+  | _ -> Alcotest.fail "expected Empty_destinations");
+  (match Connection.make ~source:(ep 1 1) ~destinations:[ ep 2 1; ep 2 2 ] with
+  | Error (Connection.Repeated_destination_port 2) -> ()
+  | _ -> Alcotest.fail "expected Repeated_destination_port 2");
+  let c = conn (ep 1 1) [ ep 3 2; ep 2 1 ] in
+  Alcotest.(check int) "fanout" 2 (Connection.fanout c);
+  Alcotest.(check (list int)) "sorted ports" [ 2; 3 ] (Connection.dest_ports c)
+
+let test_unicast () =
+  let c = Connection.unicast ~source:(ep 1 2) ~destination:(ep 4 1) in
+  Alcotest.(check int) "fanout 1" 1 (Connection.fanout c)
+
+(* --- models (Fig. 2) -------------------------------------------------- *)
+
+let test_model_allows () =
+  let same_wl = conn (ep 1 2) [ ep 2 2; ep 3 2 ] in
+  let same_dest_wl = conn (ep 1 1) [ ep 2 2; ep 3 2 ] in
+  let mixed = conn (ep 1 1) [ ep 2 1; ep 3 2 ] in
+  let check m c expected =
+    Alcotest.(check bool)
+      (Format.asprintf "%a / %a" Model.pp m Connection.pp c)
+      expected (Model.allows m c)
+  in
+  check Model.MSW same_wl true;
+  check Model.MSW same_dest_wl false;
+  check Model.MSW mixed false;
+  check Model.MSDW same_wl true;
+  check Model.MSDW same_dest_wl true;
+  check Model.MSDW mixed false;
+  check Model.MAW same_wl true;
+  check Model.MAW same_dest_wl true;
+  check Model.MAW mixed true
+
+let test_model_hierarchy () =
+  (* Every MSW-legal connection is MSDW-legal; every MSDW-legal one is
+     MAW-legal (Section 2.1). *)
+  let sp = spec 3 2 in
+  List.iter
+    (fun m ->
+      Enumerate.iter_assignments sp m (fun a ->
+          List.iter
+            (fun c ->
+              if Model.allows m c then begin
+                List.iter
+                  (fun m' ->
+                    if Model.subsumes m' m then
+                      Alcotest.(check bool) "subsumption" true (Model.allows m' c))
+                  Model.all
+              end)
+            a.Assignment.connections))
+    [ Model.MSW; Model.MSDW ]
+
+let test_model_strings () =
+  List.iter
+    (fun m ->
+      match Model.of_string (Model.to_string m) with
+      | Ok m' -> Alcotest.(check bool) "roundtrip" true (Model.equal m m')
+      | Error e -> Alcotest.fail e)
+    Model.all;
+  (match Model.of_string "msw" with
+  | Ok m -> Alcotest.(check bool) "case insensitive" true (Model.equal m Model.MSW)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "bad name" true (Result.is_error (Model.of_string "XYZ"))
+
+let test_converters_per_connection () =
+  Alcotest.(check int) "MSW" 0 (Model.converters_per_connection Model.MSW ~fanout:5);
+  Alcotest.(check int) "MSDW" 1 (Model.converters_per_connection Model.MSDW ~fanout:5);
+  Alcotest.(check int) "MAW" 5 (Model.converters_per_connection Model.MAW ~fanout:5)
+
+(* --- assignments ------------------------------------------------------ *)
+
+let test_assignment_validate () =
+  let sp = spec 3 2 in
+  let ok =
+    Assignment.make
+      [ conn (ep 1 1) [ ep 1 1; ep 2 1 ]; conn (ep 1 2) [ ep 3 2 ] ]
+  in
+  (match Assignment.validate sp Model.MSW ok with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Assignment.pp_error e));
+  let dup_src =
+    Assignment.make [ conn (ep 1 1) [ ep 1 1 ]; conn (ep 1 1) [ ep 2 1 ] ]
+  in
+  (match Assignment.validate sp Model.MSW dup_src with
+  | Error (Assignment.Source_reused e) ->
+    Alcotest.(check bool) "src" true (Endpoint.equal e (ep 1 1))
+  | _ -> Alcotest.fail "expected Source_reused");
+  let dup_dst =
+    Assignment.make [ conn (ep 1 1) [ ep 1 1 ]; conn (ep 2 1) [ ep 1 1 ] ]
+  in
+  (match Assignment.validate sp Model.MSW dup_dst with
+  | Error (Assignment.Destination_reused _) -> ()
+  | _ -> Alcotest.fail "expected Destination_reused");
+  let out_of_range = Assignment.make [ conn (ep 4 1) [ ep 1 1 ] ] in
+  (match Assignment.validate sp Model.MSW out_of_range with
+  | Error (Assignment.Source_out_of_range _) -> ()
+  | _ -> Alcotest.fail "expected Source_out_of_range");
+  let model_violation = Assignment.make [ conn (ep 1 1) [ ep 1 2 ] ] in
+  match Assignment.validate sp Model.MSW model_violation with
+  | Error (Assignment.Model_violation _) -> ()
+  | _ -> Alcotest.fail "expected Model_violation"
+
+let test_assignment_full () =
+  let sp = spec 2 2 in
+  let full =
+    Assignment.make
+      [
+        conn (ep 1 1) [ ep 1 1; ep 2 1 ];
+        conn (ep 1 2) [ ep 1 2; ep 2 2 ];
+      ]
+  in
+  Alcotest.(check bool) "full" true (Assignment.is_full sp full);
+  let partial = Assignment.make [ conn (ep 1 1) [ ep 1 1 ] ] in
+  Alcotest.(check bool) "partial" false (Assignment.is_full sp partial)
+
+let test_assignment_pairs_roundtrip () =
+  let a =
+    Assignment.make
+      [ conn (ep 1 1) [ ep 1 2; ep 2 1 ]; conn (ep 2 2) [ ep 1 1 ] ]
+  in
+  let b = Assignment.of_pairs (Assignment.to_pairs a) in
+  Alcotest.(check bool) "roundtrip" true (Assignment.equal a b)
+
+let test_source_of () =
+  let a = Assignment.make [ conn (ep 1 1) [ ep 1 2; ep 2 1 ] ] in
+  (match Assignment.source_of a (ep 2 1) with
+  | Some s -> Alcotest.(check bool) "found" true (Endpoint.equal s (ep 1 1))
+  | None -> Alcotest.fail "expected source");
+  Alcotest.(check bool) "absent" true (Assignment.source_of a (ep 2 2) = None)
+
+(* --- capacities: closed form vs census (Lemmas 1-3) ------------------- *)
+
+let census_cases =
+  (* Every (n, k) whose census stays under the work budget; the largest,
+     N=4 k=2 under MAW, walks ~2.8e7 valid maps. *)
+  [ (1, 1); (1, 2); (1, 3); (2, 1); (2, 2); (3, 1); (4, 1); (3, 2); (2, 3); (2, 4); (4, 2) ]
+
+let test_census_matches_formula model () =
+  List.iter
+    (fun (n, k) ->
+      let sp = spec n k in
+      let { Enumerate.full; any } = Enumerate.census sp model in
+      let label what =
+        Format.asprintf "%a N=%d k=%d %s" Model.pp model n k what
+      in
+      Alcotest.check nat (label "full") (Capacity.full model ~n ~k) (Nat.of_int full);
+      Alcotest.check nat (label "any") (Capacity.any model ~n ~k) (Nat.of_int any))
+    census_cases
+
+let test_capacity_k1_degenerates () =
+  (* With k = 1 every model reduces to the electronic network: N^N full,
+     (N+1)^N any (the paper's sanity check after Lemma 3). *)
+  List.iter
+    (fun n ->
+      List.iter
+        (fun m ->
+          Alcotest.check nat
+            (Format.asprintf "full %a N=%d" Model.pp m n)
+            (Capacity.electronic_full ~n) (Capacity.full m ~n ~k:1);
+          Alcotest.check nat
+            (Format.asprintf "any %a N=%d" Model.pp m n)
+            (Capacity.electronic_any ~n) (Capacity.any m ~n ~k:1))
+        Model.all)
+    [ 1; 2; 3; 5; 8 ]
+
+let test_capacity_known_values () =
+  (* Hand-computed values for N=2, k=2. *)
+  Alcotest.check nat "MSW full 2,2" (Nat.of_int 16) (Capacity.msw_full ~n:2 ~k:2);
+  Alcotest.check nat "MSW any 2,2" (Nat.of_int 81) (Capacity.msw_any ~n:2 ~k:2);
+  Alcotest.check nat "MAW full 2,2" (Nat.of_int 144) (Capacity.maw_full ~n:2 ~k:2);
+  (* per port: P(4,2) + P(4,1)C(2,1) + P(4,0)C(2,2) = 12+8+1 = 21; 21^2 *)
+  Alcotest.check nat "MAW any 2,2" (Nat.of_int 441) (Capacity.maw_any ~n:2 ~k:2);
+  (* MSDW full: j1,j2 in {1,2}: P(4,2)+2*P(4,3)+P(4,4) = 12+48+24 = 84 *)
+  Alcotest.check nat "MSDW full 2,2" (Nat.of_int 84) (Capacity.msdw_full ~n:2 ~k:2)
+
+let test_msdw_dp_equals_naive_tuple_sum () =
+  (* Lemma 3's sum over k-tuples (j_1..j_k) is evaluated in Capacity by
+     a k-fold convolution; check the optimization against the direct
+     nested-tuple sum for small parameters. *)
+  let naive_full n k =
+    let open Wdm_bignum in
+    let rec tuples i acc_sum acc_prod =
+      if i = k then
+        Nat.mul (Combinatorics.falling (n * k) acc_sum) acc_prod
+      else
+        List.init n (fun j -> j + 1)
+        |> List.map (fun j ->
+               tuples (i + 1) (acc_sum + j)
+                 (Nat.mul acc_prod (Combinatorics.stirling2 n j)))
+        |> Nat.sum
+    in
+    tuples 0 0 Nat.one
+  in
+  List.iter
+    (fun (n, k) ->
+      Alcotest.check nat
+        (Printf.sprintf "N=%d k=%d" n k)
+        (naive_full n k)
+        (Capacity.msdw_full ~n ~k))
+    [ (1, 1); (2, 2); (3, 2); (2, 3); (4, 2); (3, 3); (5, 2) ]
+
+let test_capacity_ordering () =
+  (* Stronger model => at least the capacity (strictly more for k > 1). *)
+  List.iter
+    (fun (n, k) ->
+      let f m = Capacity.full m ~n ~k and a m = Capacity.any m ~n ~k in
+      Alcotest.(check bool) "full MSW < MSDW" true
+        (Nat.compare (f Model.MSW) (f Model.MSDW) < 0);
+      Alcotest.(check bool) "full MSDW < MAW" true
+        (Nat.compare (f Model.MSDW) (f Model.MAW) < 0);
+      Alcotest.(check bool) "any MSW < MSDW" true
+        (Nat.compare (a Model.MSW) (a Model.MSDW) < 0);
+      Alcotest.(check bool) "any MSDW < MAW" true
+        (Nat.compare (a Model.MSDW) (a Model.MAW) < 0))
+    [ (2, 2); (3, 2); (2, 3); (4, 2); (5, 3); (8, 4) ]
+
+let test_capacity_below_electronic () =
+  (* A k-wavelength N x N WDM network is strictly weaker than an
+     Nk x Nk electronic network when k > 1 (Section 2.2). *)
+  List.iter
+    (fun (n, k) ->
+      List.iter
+        (fun m ->
+          Alcotest.(check bool)
+            (Format.asprintf "%a %d,%d" Model.pp m n k)
+            true
+            (Nat.compare (Capacity.full m ~n ~k)
+               (Capacity.equivalent_electronic_full ~n ~k)
+            < 0))
+        Model.all)
+    [ (2, 2); (3, 2); (4, 3) ]
+
+let test_census_budget () =
+  Alcotest.(check bool) "8,4 infeasible" false
+    (Enumerate.feasible (spec 8 4) Model.MSW);
+  Alcotest.(check bool) "4,2 feasible under MAW" true
+    (Enumerate.feasible (spec 4 2) Model.MAW);
+  Alcotest.check_raises "census raises"
+    (Invalid_argument
+       (Printf.sprintf
+          "Enumerate: census of %s under MSW needs ~%.3g candidate maps (budget %.3g)"
+          (Format.asprintf "%a" Network_spec.pp (spec 8 4))
+          (Enumerate.work_estimate (spec 8 4) Model.MSW)
+          5e7))
+    (fun () -> ignore (Enumerate.census (spec 8 4) Model.MSW))
+
+let test_enumerated_assignments_are_valid () =
+  (* Everything the census yields must pass the validator, and the full
+     ones must be recognized as full. *)
+  List.iter
+    (fun m ->
+      let sp = spec 2 2 in
+      let total = ref 0 and fulls = ref 0 in
+      Enumerate.iter_assignments sp m (fun a ->
+          incr total;
+          (match Assignment.validate sp m a with
+          | Ok () -> ()
+          | Error e ->
+            Alcotest.fail
+              (Format.asprintf "invalid enumerated assignment: %a@ %a"
+                 Assignment.pp_error e Assignment.pp a));
+          if Assignment.is_full sp a then incr fulls);
+      let { Enumerate.full; any } = Enumerate.census sp m in
+      Alcotest.(check int) "total matches census" any !total;
+      Alcotest.(check int) "fulls match census" full !fulls)
+    Model.all
+
+(* --- crossbar cost (Table 1) ------------------------------------------ *)
+
+let test_crossbar_cost () =
+  Alcotest.(check int) "MSW xpts" (2 * 9) (Cost.crossbar_crosspoints Model.MSW ~n:3 ~k:2);
+  Alcotest.(check int) "MSDW xpts" (4 * 9) (Cost.crossbar_crosspoints Model.MSDW ~n:3 ~k:2);
+  Alcotest.(check int) "MAW xpts" (4 * 9) (Cost.crossbar_crosspoints Model.MAW ~n:3 ~k:2);
+  Alcotest.(check int) "MSW conv" 0 (Cost.crossbar_converters Model.MSW ~n:3 ~k:2);
+  Alcotest.(check int) "MSDW conv" 6 (Cost.crossbar_converters Model.MSDW ~n:3 ~k:2);
+  Alcotest.(check int) "MAW conv" 6 (Cost.crossbar_converters Model.MAW ~n:3 ~k:2)
+
+(* --- converters (Fig. 3) ----------------------------------------------- *)
+
+let test_converter_placement () =
+  Alcotest.(check bool) "MSW" true (Converters.placement Model.MSW = Converters.None_needed);
+  Alcotest.(check bool) "MSDW" true (Converters.placement Model.MSDW = Converters.Input_side);
+  Alcotest.(check bool) "MAW" true (Converters.placement Model.MAW = Converters.Output_side);
+  Alcotest.(check int) "provisioned MSW" 0 (Converters.provisioned Model.MSW ~n:5 ~k:3);
+  Alcotest.(check int) "provisioned MSDW" 15 (Converters.provisioned Model.MSDW ~n:5 ~k:3);
+  Alcotest.(check int) "provisioned MAW" 15 (Converters.provisioned Model.MAW ~n:5 ~k:3)
+
+let test_converters_used_by () =
+  (* Two connections with total fanout 5. *)
+  let a =
+    Assignment.make
+      [
+        conn (ep 1 1) [ ep 1 1; ep 2 1; ep 3 1 ];
+        conn (ep 2 2) [ ep 1 2; ep 4 2 ];
+      ]
+  in
+  Alcotest.(check int) "MSW uses none" 0 (Converters.used_by Model.MSW a);
+  Alcotest.(check int) "MSDW one per connection" 2 (Converters.used_by Model.MSDW a);
+  Alcotest.(check int) "MAW one per destination" 5 (Converters.used_by Model.MAW a)
+
+let test_conversions_required () =
+  let a =
+    Assignment.make
+      [
+        (* source l1, dests l1/l2/l2: two conversions unavoidable *)
+        conn (ep 1 1) [ ep 1 1; ep 2 2; ep 3 2 ];
+        (* same-wavelength connection: none *)
+        conn (ep 2 2) [ ep 4 2 ];
+      ]
+  in
+  Alcotest.(check int) "lower bound" 2 (Converters.conversions_required a);
+  (* the bound never exceeds what MAW actually spends *)
+  Alcotest.(check bool) "MAW covers it" true
+    (Converters.conversions_required a <= Converters.used_by Model.MAW a)
+
+(* --- properties -------------------------------------------------------- *)
+
+let arb_nk =
+  QCheck.make
+    ~print:(fun (n, k) -> Printf.sprintf "N=%d k=%d" n k)
+    QCheck.Gen.(pair (int_range 1 6) (int_range 1 4))
+
+let prop_full_le_any =
+  QCheck.Test.make ~name:"full count <= any count" ~count:60 arb_nk
+    (fun (n, k) ->
+      List.for_all
+        (fun m -> Nat.compare (Capacity.full m ~n ~k) (Capacity.any m ~n ~k) <= 0)
+        Model.all)
+
+let prop_capacity_monotone_n =
+  QCheck.Test.make ~name:"capacity monotone in N" ~count:40 arb_nk
+    (fun (n, k) ->
+      List.for_all
+        (fun m ->
+          Nat.compare (Capacity.full m ~n ~k) (Capacity.full m ~n:(n + 1) ~k) < 0)
+        Model.all)
+
+let arb_nk_multi =
+  (* N >= 2: with a single port the MSW full capacity is 1 for every k. *)
+  QCheck.make
+    ~print:(fun (n, k) -> Printf.sprintf "N=%d k=%d" n k)
+    QCheck.Gen.(pair (int_range 2 6) (int_range 1 4))
+
+let prop_capacity_monotone_k =
+  QCheck.Test.make ~name:"capacity monotone in k" ~count:40 arb_nk_multi
+    (fun (n, k) ->
+      List.for_all
+        (fun m ->
+          Nat.compare (Capacity.full m ~n ~k) (Capacity.full m ~n ~k:(k + 1)) < 0)
+        Model.all)
+
+let arb_small_assignment =
+  (* Random subsets of output endpoints mapped to random sources for a
+     3x3, k=2 network: exercises of_pairs/validate against a reference
+     check. *)
+  let gen =
+    QCheck.Gen.(
+      let* pairs =
+        list_size (int_range 0 6)
+          (pair (pair (int_range 1 3) (int_range 1 2))
+             (pair (int_range 1 3) (int_range 1 2)))
+      in
+      return
+        (List.map
+           (fun ((op, ow), (ip, iw)) ->
+             (Endpoint.make ~port:op ~wl:ow, Endpoint.make ~port:ip ~wl:iw))
+           pairs))
+  in
+  QCheck.make gen
+
+let prop_of_pairs_preserves_mapping =
+  QCheck.Test.make ~name:"of_pairs preserves the destination map" ~count:200
+    arb_small_assignment (fun pairs ->
+      (* Deduplicate output endpoints (an output can appear once). *)
+      let module Em = Map.Make (Endpoint) in
+      let dedup =
+        List.fold_left (fun m (o, s) -> Em.add o s m) Em.empty pairs
+      in
+      let pairs = Em.bindings dedup in
+      (* Skip inputs that would put two destinations of one source on the
+         same output port: not expressible as a connection. *)
+      let clash =
+        List.exists
+          (fun ((o1 : Endpoint.t), s1) ->
+            List.exists
+              (fun ((o2 : Endpoint.t), s2) ->
+                Endpoint.equal s1 s2 && o1.port = o2.port
+                && not (Endpoint.equal o1 o2))
+              pairs)
+          pairs
+      in
+      QCheck.assume (not clash);
+      let a = Assignment.of_pairs pairs in
+      List.for_all
+        (fun (o, s) ->
+          match Assignment.source_of a o with
+          | Some s' -> Endpoint.equal s s'
+          | None -> false)
+        pairs)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_full_le_any;
+      prop_capacity_monotone_n;
+      prop_capacity_monotone_k;
+      prop_of_pairs_preserves_mapping;
+    ]
+
+let () =
+  Alcotest.run "wdm_core"
+    [
+      ( "endpoint",
+        [
+          Alcotest.test_case "index" `Quick test_endpoint_index;
+          Alcotest.test_case "ordering" `Quick test_endpoint_order;
+        ] );
+      ( "connection",
+        [
+          Alcotest.test_case "make" `Quick test_connection_make;
+          Alcotest.test_case "unicast" `Quick test_unicast;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "allows (Fig 2)" `Quick test_model_allows;
+          Alcotest.test_case "hierarchy" `Quick test_model_hierarchy;
+          Alcotest.test_case "strings" `Quick test_model_strings;
+          Alcotest.test_case "converters per connection" `Quick
+            test_converters_per_connection;
+        ] );
+      ( "assignment",
+        [
+          Alcotest.test_case "validate" `Quick test_assignment_validate;
+          Alcotest.test_case "full vs partial" `Quick test_assignment_full;
+          Alcotest.test_case "pairs roundtrip" `Quick test_assignment_pairs_roundtrip;
+          Alcotest.test_case "source_of" `Quick test_source_of;
+        ] );
+      ( "capacity-lemmas",
+        [
+          Alcotest.test_case "census = Lemma 1 (MSW)" `Slow
+            (test_census_matches_formula Model.MSW);
+          Alcotest.test_case "census = Lemma 3 (MSDW)" `Slow
+            (test_census_matches_formula Model.MSDW);
+          Alcotest.test_case "census = Lemma 2 (MAW)" `Slow
+            (test_census_matches_formula Model.MAW);
+          Alcotest.test_case "k=1 degenerates to electronic" `Quick
+            test_capacity_k1_degenerates;
+          Alcotest.test_case "known values" `Quick test_capacity_known_values;
+          Alcotest.test_case "MSDW convolution = naive tuple sum" `Quick
+            test_msdw_dp_equals_naive_tuple_sum;
+          Alcotest.test_case "model ordering" `Quick test_capacity_ordering;
+          Alcotest.test_case "below Nk x Nk electronic" `Quick
+            test_capacity_below_electronic;
+          Alcotest.test_case "census budget guard" `Quick test_census_budget;
+          Alcotest.test_case "enumerated assignments validate" `Quick
+            test_enumerated_assignments_are_valid;
+        ] );
+      ( "cost-table1",
+        [ Alcotest.test_case "crossbar cost" `Quick test_crossbar_cost ] );
+      ( "converters-fig3",
+        [
+          Alcotest.test_case "placement" `Quick test_converter_placement;
+          Alcotest.test_case "used by assignment" `Quick test_converters_used_by;
+          Alcotest.test_case "conversions required" `Quick test_conversions_required;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,423 @@
+(* Tests for the crossbar fabrics of Figs. 4-7.  The central check:
+   each fabric realizes EVERY multicast assignment that is legal under
+   its model (exhaustively enumerated for small networks) — i.e. the
+   fabric is nonblocking — and the built hardware matches the paper's
+   component counts (Table 1). *)
+
+open Wdm_core
+open Wdm_crossbar
+module C = Wdm_optics.Circuit
+
+let ep port wl = Endpoint.make ~port ~wl
+let conn src dests = Connection.make_exn ~source:src ~destinations:dests
+let spec n k = Network_spec.make_exn ~n ~k
+
+let fabrics : (module Fabric_intf.S) list =
+  [ (module Msw_fabric); (module Msdw_fabric); (module Maw_fabric) ]
+
+(* --- space crossbar (Fig. 5) ------------------------------------------ *)
+
+let test_space_xbar_unicast_permutations () =
+  (* Standalone wiring of a 3x3 space crossbar: every permutation
+     routes. *)
+  let n = 3 in
+  let c = C.create () in
+  let xb = Space_xbar.build c ~inputs:n ~outputs:n in
+  let sources = Array.init n (fun i -> C.add_source c (Printf.sprintf "in%d" i)) in
+  let sinks = Array.init n (fun j -> C.add_sink c (Printf.sprintf "out%d" j)) in
+  for i = 0 to n - 1 do
+    let node, slot = Space_xbar.entry xb i in
+    C.connect c sources.(i) 0 node slot;
+    let node, slot = Space_xbar.exit xb i in
+    C.connect c node slot sinks.(i) 0
+  done;
+  Array.iteri
+    (fun i src ->
+      C.inject c src [ Wdm_optics.Signal.inject ~origin:(Printf.sprintf "s%d" i) ~wl:1 ])
+    sources;
+  let perms = [ [| 0; 1; 2 |]; [| 1; 2; 0 |]; [| 2; 0; 1 |]; [| 2; 1; 0 |] ] in
+  List.iter
+    (fun perm ->
+      Space_xbar.clear c xb;
+      Array.iteri (fun i j -> Space_xbar.set c xb ~input:i ~output:j true) perm;
+      let { C.deliveries; errors } = C.propagate c in
+      Alcotest.(check int) "no errors" 0 (List.length errors);
+      Alcotest.(check int) "all delivered" 3 (List.length deliveries);
+      List.iter
+        (fun (label, signals) ->
+          match signals with
+          | [ s ] ->
+            let j = int_of_string (String.sub label 3 1) in
+            let expect_i =
+              let found = ref (-1) in
+              Array.iteri (fun i j' -> if j' = j then found := i) perm;
+              !found
+            in
+            Alcotest.(check string) "right source"
+              (Printf.sprintf "s%d" expect_i)
+              s.Wdm_optics.Signal.origin
+          | _ -> Alcotest.fail "one signal per output")
+        deliveries)
+    perms
+
+let test_space_xbar_multicast () =
+  let n = 4 in
+  let c = C.create () in
+  let xb = Space_xbar.build c ~inputs:n ~outputs:n in
+  let src = C.add_source c "in0" in
+  let node, slot = Space_xbar.entry xb 0 in
+  C.connect c src 0 node slot;
+  let sinks = Array.init n (fun j -> C.add_sink c (Printf.sprintf "out%d" j)) in
+  for j = 0 to n - 1 do
+    let node, slot = Space_xbar.exit xb j in
+    C.connect c node slot sinks.(j) 0
+  done;
+  C.inject c src [ Wdm_optics.Signal.inject ~origin:"s" ~wl:1 ];
+  (* broadcast: one input to all four outputs *)
+  for j = 0 to n - 1 do
+    Space_xbar.set c xb ~input:0 ~output:j true
+  done;
+  let { C.deliveries; errors } = C.propagate c in
+  Alcotest.(check int) "no errors" 0 (List.length errors);
+  Alcotest.(check int) "broadcast reaches all" 4 (List.length deliveries)
+
+let test_space_xbar_crosspoints () =
+  let c = C.create () in
+  let xb = Space_xbar.build c ~inputs:5 ~outputs:7 in
+  Alcotest.(check int) "5x7 crosspoints" 35 (Space_xbar.crosspoints xb);
+  Alcotest.(check int) "circuit gates" 35 (C.num_gates c)
+
+(* --- component counts vs Table 1 -------------------------------------- *)
+
+let test_fabric_counts () =
+  List.iter
+    (fun (module F : Fabric_intf.S) ->
+      List.iter
+        (fun (n, k) ->
+          let f = F.create (spec n k) in
+          let label what =
+            Format.asprintf "%a %d,%d %s" Model.pp F.model n k what
+          in
+          Alcotest.(check int) (label "crosspoints")
+            (Cost.crossbar_crosspoints F.model ~n ~k)
+            (F.crosspoints f);
+          Alcotest.(check int) (label "converters")
+            (Cost.crossbar_converters F.model ~n ~k)
+            (F.converters f))
+        [ (2, 2); (3, 2); (3, 3); (4, 2) ])
+    fabrics
+
+(* --- the paper's Fig. 6/7 example size -------------------------------- *)
+
+let test_fig6_fig7_gate_counts () =
+  let f6 = Msdw_fabric.create (spec 3 2) in
+  Alcotest.(check int) "Fig 6: 36 gates" 36 (Msdw_fabric.crosspoints f6);
+  Alcotest.(check int) "Fig 6: 6 converters" 6 (Msdw_fabric.converters f6);
+  let f7 = Maw_fabric.create (spec 3 2) in
+  Alcotest.(check int) "Fig 7: 36 gates" 36 (Maw_fabric.crosspoints f7);
+  Alcotest.(check int) "Fig 7: 6 converters" 6 (Maw_fabric.converters f7);
+  let f4 = Msw_fabric.create (spec 3 2) in
+  Alcotest.(check int) "Fig 4: 18 gates" 18 (Msw_fabric.crosspoints f4);
+  Alcotest.(check int) "Fig 4: no converters" 0 (Msw_fabric.converters f4)
+
+(* --- nonblocking: realize EVERY legal assignment ----------------------- *)
+
+let exhaustive_cases = [ (2, 2); (3, 1); (2, 1); (1, 2) ]
+
+let test_fabric_nonblocking (module F : Fabric_intf.S) () =
+  List.iter
+    (fun (n, k) ->
+      let sp = spec n k in
+      let fabric = F.create sp in
+      let count = ref 0 in
+      Enumerate.iter_assignments sp F.model (fun a ->
+          incr count;
+          match F.realize fabric a with
+          | Ok _ -> ()
+          | Error failure ->
+            Alcotest.fail
+              (Format.asprintf "%a N=%d k=%d failed on@ %a:@ %a" Model.pp
+                 F.model n k Assignment.pp a Delivery.pp_failure failure));
+      Alcotest.(check bool)
+        (Printf.sprintf "exercised assignments N=%d k=%d" n k)
+        true (!count > 1))
+    exhaustive_cases
+
+(* A larger spot-check: all full assignments for N=3, k=2 under MSW. *)
+let test_msw_full_3_2 () =
+  let sp = spec 3 2 in
+  let fabric = Msw_fabric.create sp in
+  Enumerate.iter_assignments ~full_only:true sp Model.MSW (fun a ->
+      match Msw_fabric.realize fabric a with
+      | Ok _ -> ()
+      | Error failure ->
+        Alcotest.fail
+          (Format.asprintf "failed on %a: %a" Assignment.pp a
+             Delivery.pp_failure failure))
+
+(* --- model enforcement ------------------------------------------------- *)
+
+let test_fabric_rejects_wrong_model () =
+  let sp = spec 3 2 in
+  (* (1,l1) -> (2,l2) changes wavelength: legal under MSDW/MAW only. *)
+  let a = Assignment.make [ conn (ep 1 1) [ ep 2 2 ] ] in
+  let msw = Msw_fabric.create sp in
+  (match Msw_fabric.realize msw a with
+  | Error (Delivery.Invalid (Assignment.Model_violation _)) -> ()
+  | _ -> Alcotest.fail "MSW fabric must reject wavelength conversion");
+  let msdw = Msdw_fabric.create sp in
+  (match Msdw_fabric.realize msdw a with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Delivery.pp_failure e));
+  (* mixed destination wavelengths: MAW only *)
+  let mixed = Assignment.make [ conn (ep 1 1) [ ep 2 1; ep 3 2 ] ] in
+  (match Msdw_fabric.realize msdw mixed with
+  | Error (Delivery.Invalid (Assignment.Model_violation _)) -> ()
+  | _ -> Alcotest.fail "MSDW fabric must reject mixed destination wavelengths");
+  let maw = Maw_fabric.create sp in
+  match Maw_fabric.realize maw mixed with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Delivery.pp_failure e)
+
+(* --- WDM-specific behaviours ------------------------------------------ *)
+
+let test_node_in_k_connections () =
+  (* One node can source k connections and one node can receive k
+     different messages at once — the WDM advantage from Section 1. *)
+  let sp = spec 2 2 in
+  let maw = Maw_fabric.create sp in
+  let a =
+    Assignment.make
+      [
+        conn (ep 1 1) [ ep 2 1 ];
+        conn (ep 1 2) [ ep 2 2 ];
+      ]
+  in
+  match Maw_fabric.realize maw a with
+  | Ok outcome ->
+    let to_port2 =
+      List.concat_map
+        (fun (label, ss) -> if label = "out:2" then ss else [])
+        outcome.C.deliveries
+    in
+    Alcotest.(check int) "port 2 receives two messages" 2 (List.length to_port2)
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Delivery.pp_failure e)
+
+let test_power_and_crosstalk_reporting () =
+  let sp = spec 3 2 in
+  let maw = Maw_fabric.create sp in
+  let a = Assignment.make [ conn (ep 1 1) [ ep 1 1; ep 2 1; ep 3 1 ] ] in
+  match Maw_fabric.realize maw a with
+  | Ok outcome ->
+    (match Delivery.min_power_db outcome with
+    | Some p -> Alcotest.(check bool) "loss accumulated" true (p < -5.)
+    | None -> Alcotest.fail "expected delivered power");
+    (match Delivery.max_gates_passed outcome with
+    | Some g -> Alcotest.(check int) "exactly one crosspoint per path" 1 g
+    | None -> Alcotest.fail "expected gate count")
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Delivery.pp_failure e)
+
+let test_crosstalk_margin_on_leaky_fabric () =
+  (* With 30 dB extinction gates the fabric still realizes assignments
+     (leakage is noise, not payload), and reports a positive but finite
+     signal-to-crosstalk margin that shrinks as the gate count grows. *)
+  let margin n =
+    let sp = spec n 2 in
+    let fabric =
+      Wdm_crossbar.Fabric.create
+        ~loss:(Wdm_optics.Loss_model.leaky ~extinction_db:30. ())
+        ~model:Model.MAW sp
+    in
+    let rng = Random.State.make [| 9 |] in
+    let a = Wdm_traffic.Generator.random_full_assignment rng sp Model.MAW in
+    match Wdm_crossbar.Fabric.realize fabric a with
+    | Error f -> Alcotest.fail (Format.asprintf "%a" Delivery.pp_failure f)
+    | Ok outcome -> (
+      match Delivery.worst_crosstalk_margin_db outcome with
+      | Some m -> m
+      | None -> Alcotest.fail "expected crosstalk on a full leaky fabric")
+  in
+  let m2 = margin 2 and m4 = margin 4 in
+  Alcotest.(check bool) "margin positive at N=2" true (m2 > 0.);
+  Alcotest.(check bool) "bigger fabric, worse margin" true (m4 < m2);
+  (* ideal gates: no crosstalk reported *)
+  let sp = spec 3 2 in
+  let fabric = Wdm_crossbar.Fabric.create ~model:Model.MAW sp in
+  let rng = Random.State.make [| 9 |] in
+  let a = Wdm_traffic.Generator.random_full_assignment rng sp Model.MAW in
+  match Wdm_crossbar.Fabric.realize fabric a with
+  | Ok outcome ->
+    Alcotest.(check bool) "no leakage with ideal gates" true
+      (Delivery.worst_crosstalk_margin_db outcome = None)
+  | Error f -> Alcotest.fail (Format.asprintf "%a" Delivery.pp_failure f)
+
+let test_quiescent_fabric_delivers_nothing () =
+  List.iter
+    (fun (module F : Fabric_intf.S) ->
+      let fabric = F.create (spec 2 2) in
+      match F.realize fabric Assignment.empty with
+      | Ok outcome ->
+        Alcotest.(check int)
+          (Format.asprintf "%a idle" Model.pp F.model)
+          0
+          (List.length outcome.C.deliveries)
+      | Error e -> Alcotest.fail (Format.asprintf "%a" Delivery.pp_failure e))
+    fabrics
+
+(* --- properties -------------------------------------------------------- *)
+
+(* Random valid MAW assignments realize on a 3x2 fabric. *)
+let arb_maw_assignment =
+  let gen =
+    QCheck.Gen.(
+      let* permsize = int_range 0 5 in
+      (* pick random (dest, src) pairs over distinct destinations *)
+      let all_dests = Endpoint.all ~n:3 ~k:2 in
+      let* dests = QCheck.Gen.shuffle_l all_dests in
+      let dests = List.filteri (fun i _ -> i < permsize) dests in
+      let* srcs =
+        flatten_l
+          (List.map
+             (fun _ -> pair (int_range 1 3) (int_range 1 2))
+             dests)
+      in
+      return
+        (List.map2
+           (fun d (p, w) -> (d, Endpoint.make ~port:p ~wl:w))
+           dests srcs))
+  in
+  QCheck.make
+    ~print:(fun pairs ->
+      String.concat ", "
+        (List.map
+           (fun (d, s) -> Endpoint.to_string d ^ "<-" ^ Endpoint.to_string s)
+           pairs))
+    gen
+
+let prop_random_maw_assignments_realize =
+  let sp = spec 3 2 in
+  let fabric = Maw_fabric.create sp in
+  QCheck.Test.make ~name:"random MAW assignments realize on Fig. 7 fabric"
+    ~count:300 arb_maw_assignment (fun pairs ->
+      (* keep only pairs not putting two dests of one source on a port *)
+      let ok_pairs =
+        List.filter
+          (fun ((d : Endpoint.t), s) ->
+            not
+              (List.exists
+                 (fun ((d' : Endpoint.t), s') ->
+                   Endpoint.equal s s' && d.port = d'.port
+                   && not (Endpoint.equal d d'))
+                 pairs))
+          pairs
+      in
+      let a = Assignment.of_pairs ok_pairs in
+      QCheck.assume (Assignment.is_valid sp Model.MAW a);
+      match Maw_fabric.realize fabric a with Ok _ -> true | Error _ -> false)
+
+let test_verifier_catches_misdelivery () =
+  (* A misprogrammed fabric (here: an extra connection configured beyond
+     what the acceptance criterion expects — the effect of a stuck-on
+     crosspoint) must be caught by the optical verifier. *)
+  let sp = spec 3 2 in
+  let fabric = Maw_fabric.create sp in
+  let wanted = Assignment.make [ conn (ep 1 1) [ ep 2 1 ] ] in
+  let programmed =
+    Assignment.make
+      [ conn (ep 1 1) [ ep 2 1 ]; conn (ep 3 2) [ ep 1 2 ] ]
+  in
+  match Maw_fabric.realize fabric programmed with
+  | Error f -> Alcotest.fail (Format.asprintf "%a" Delivery.pp_failure f)
+  | Ok outcome -> (
+    (* outcome contains the extra delivery; verifying against the
+       smaller intent must flag it *)
+    match Delivery.verify wanted outcome with
+    | Error (Delivery.Unexpected { port = 1; wl = 2; _ }) -> ()
+    | Error f ->
+      Alcotest.fail (Format.asprintf "wrong failure: %a" Delivery.pp_failure f)
+    | Ok () -> Alcotest.fail "verifier missed the stray delivery")
+
+(* Random valid assignments (any model) realize on the matching fabric;
+   the workload generator supplies model-legal traffic from a seed. *)
+let prop_generated_assignments_realize =
+  let sp = spec 3 2 in
+  let fabrics_by_model =
+    List.map (fun (module F : Fabric_intf.S) -> (F.model, (module F : Fabric_intf.S))) fabrics
+  in
+  QCheck.Test.make ~name:"generated assignments realize on every fabric" ~count:150
+    (QCheck.make
+       ~print:(fun (s, l) -> Printf.sprintf "seed=%d load=%.2f" s l)
+       QCheck.Gen.(pair (int_range 0 100000) (float_range 0.1 1.0)))
+    (fun (seed, load) ->
+      List.for_all
+        (fun (model, (module F : Fabric_intf.S)) ->
+          let rng = Random.State.make [| seed |] in
+          let a =
+            Wdm_traffic.Generator.random_assignment rng sp model
+              ~fanout:(Wdm_traffic.Fanout.Uniform (1, 3)) ~load
+          in
+          match F.realize (F.create sp) a with Ok _ -> true | Error _ -> false)
+        fabrics_by_model)
+
+(* Full assignments too (every output endpoint lit). *)
+let prop_full_assignments_realize =
+  let sp = spec 3 2 in
+  QCheck.Test.make ~name:"generated FULL assignments realize" ~count:100
+    (QCheck.make QCheck.Gen.(int_range 0 100000))
+    (fun seed ->
+      List.for_all
+        (fun (module F : Fabric_intf.S) ->
+          let rng = Random.State.make [| seed |] in
+          let a = Wdm_traffic.Generator.random_full_assignment rng sp F.model in
+          match F.realize (F.create sp) a with Ok _ -> true | Error _ -> false)
+        fabrics)
+
+let () =
+  Alcotest.run "wdm_crossbar"
+    [
+      ( "space-xbar",
+        [
+          Alcotest.test_case "unicast permutations" `Quick
+            test_space_xbar_unicast_permutations;
+          Alcotest.test_case "multicast broadcast" `Quick test_space_xbar_multicast;
+          Alcotest.test_case "crosspoints" `Quick test_space_xbar_crosspoints;
+        ] );
+      ( "component-counts",
+        [
+          Alcotest.test_case "Table 1 counts" `Quick test_fabric_counts;
+          Alcotest.test_case "Fig 4/6/7 sizes" `Quick test_fig6_fig7_gate_counts;
+        ] );
+      ( "nonblocking-exhaustive",
+        [
+          Alcotest.test_case "MSW realizes all assignments" `Slow
+            (test_fabric_nonblocking (module Msw_fabric));
+          Alcotest.test_case "MSDW realizes all assignments" `Slow
+            (test_fabric_nonblocking (module Msdw_fabric));
+          Alcotest.test_case "MAW realizes all assignments" `Slow
+            (test_fabric_nonblocking (module Maw_fabric));
+          Alcotest.test_case "MSW full assignments 3x3 k=2" `Slow test_msw_full_3_2;
+        ] );
+      ( "model-enforcement",
+        [
+          Alcotest.test_case "wrong model rejected" `Quick
+            test_fabric_rejects_wrong_model;
+          Alcotest.test_case "quiescent fabric dark" `Quick
+            test_quiescent_fabric_delivers_nothing;
+        ] );
+      ( "wdm-behaviour",
+        [
+          Alcotest.test_case "k connections per node" `Quick test_node_in_k_connections;
+          Alcotest.test_case "power & crosstalk reports" `Quick
+            test_power_and_crosstalk_reporting;
+          Alcotest.test_case "crosstalk margin (leaky gates)" `Quick
+            test_crosstalk_margin_on_leaky_fabric;
+          Alcotest.test_case "verifier catches misdelivery" `Quick
+            test_verifier_catches_misdelivery;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_random_maw_assignments_realize;
+          QCheck_alcotest.to_alcotest prop_generated_assignments_realize;
+          QCheck_alcotest.to_alcotest prop_full_assignments_realize;
+        ] );
+    ]

@@ -1,0 +1,189 @@
+(* Direct tests for Module_fabric, the universal WDM switching module:
+   rectangular shapes, per-model internals, set_path discipline, and
+   optical behaviour when embedded standalone. *)
+
+open Wdm_core
+open Wdm_crossbar
+module C = Wdm_optics.Circuit
+module MF = Module_fabric
+
+(* Wrap a module with sources and sinks so we can push light through. *)
+type rig = {
+  circuit : C.t;
+  core : MF.t;
+  sources : C.node_id array;  (* per input port *)
+}
+
+let rig ?loss ~model ~inputs ~outputs ~k () =
+  let c = C.create ?loss () in
+  let core = MF.build c ~model ~inputs ~outputs ~k in
+  let sources =
+    Array.init inputs (fun p ->
+        let src = C.add_source c (Printf.sprintf "src%d" (p + 1)) in
+        let node, slot = MF.entry core (p + 1) in
+        C.connect c src 0 node slot;
+        src)
+  in
+  for p = 1 to outputs do
+    let sink = C.add_sink c (Printf.sprintf "dst%d" p) in
+    let node, slot = MF.exit core p in
+    C.connect c node slot sink 0
+  done;
+  { circuit = c; core; sources }
+
+let light_up r ~k =
+  Array.iteri
+    (fun p src ->
+      C.inject r.circuit src
+        (List.init k (fun w ->
+             Wdm_optics.Signal.inject
+               ~origin:(Printf.sprintf "s%d.%d" (p + 1) (w + 1))
+               ~wl:(w + 1))))
+    r.sources
+
+let deliveries_of r =
+  (C.propagate r.circuit).C.deliveries
+  |> List.concat_map (fun (label, signals) ->
+         List.map
+           (fun (s : Wdm_optics.Signal.t) -> (label, s.wl, s.origin))
+           signals)
+  |> List.sort compare
+
+(* --- shape & counts ------------------------------------------------------- *)
+
+let test_rectangular_counts () =
+  List.iter
+    (fun (model, expected_x, expected_c) ->
+      let c = C.create () in
+      let m = MF.build c ~model ~inputs:3 ~outputs:5 ~k:2 in
+      Alcotest.(check int)
+        (Format.asprintf "%a crosspoints" Model.pp model)
+        expected_x (MF.crosspoints m);
+      Alcotest.(check int)
+        (Format.asprintf "%a converters" Model.pp model)
+        expected_c (MF.converters m);
+      Alcotest.(check int) "inputs" 3 (MF.inputs m);
+      Alcotest.(check int) "outputs" 5 (MF.outputs m);
+      Alcotest.(check int) "k" 2 (MF.k m))
+    [
+      (Model.MSW, 2 * 3 * 5, 0);
+      (Model.MSDW, 4 * 3 * 5, 3 * 2);
+      (Model.MAW, 4 * 3 * 5, 5 * 2);
+    ]
+
+let test_entry_exit_bounds () =
+  let c = C.create () in
+  let m = MF.build c ~model:Model.MSW ~inputs:2 ~outputs:3 ~k:1 in
+  Alcotest.check_raises "entry 0" (Invalid_argument "Module_fabric.entry: bad port")
+    (fun () -> ignore (MF.entry m 0));
+  Alcotest.check_raises "entry 3" (Invalid_argument "Module_fabric.entry: bad port")
+    (fun () -> ignore (MF.entry m 3));
+  Alcotest.check_raises "exit 4" (Invalid_argument "Module_fabric.exit: bad port")
+    (fun () -> ignore (MF.exit m 4))
+
+(* --- set_path discipline --------------------------------------------------- *)
+
+let test_set_path_model_violations () =
+  let c = C.create () in
+  let msw = MF.build c ~model:Model.MSW ~inputs:2 ~outputs:2 ~k:2 in
+  Alcotest.check_raises "MSW cannot convert"
+    (Invalid_argument "Module_fabric.set_path: MSW module cannot convert wavelengths")
+    (fun () -> MF.set_path c msw ~src:(1, 1) ~dests:[ (2, 2) ]);
+  let msdw = MF.build c ~model:Model.MSDW ~inputs:2 ~outputs:2 ~k:2 in
+  Alcotest.check_raises "MSDW needs common wavelength"
+    (Invalid_argument
+       "Module_fabric.set_path: MSDW module needs one common destination \
+        wavelength") (fun () ->
+      MF.set_path c msdw ~src:(1, 1) ~dests:[ (1, 1); (2, 2) ]);
+  let maw = MF.build c ~model:Model.MAW ~inputs:2 ~outputs:2 ~k:2 in
+  (* mixed wavelengths fine under MAW *)
+  MF.set_path c maw ~src:(1, 1) ~dests:[ (1, 1); (2, 2) ];
+  Alcotest.check_raises "repeated fiber"
+    (Invalid_argument "Module_fabric.set_path: repeated destination fiber")
+    (fun () -> MF.set_path c maw ~src:(1, 2) ~dests:[ (1, 1); (1, 2) ]);
+  Alcotest.check_raises "no destinations"
+    (Invalid_argument "Module_fabric.set_path: no destinations") (fun () ->
+      MF.set_path c maw ~src:(1, 1) ~dests:[]);
+  Alcotest.check_raises "bad wavelength"
+    (Invalid_argument "Module_fabric.set_path: bad wavelength") (fun () ->
+      MF.set_path c maw ~src:(1, 3) ~dests:[ (1, 1) ])
+
+(* --- optical behaviour ------------------------------------------------------ *)
+
+let test_msw_module_routes_by_plane () =
+  let r = rig ~model:Model.MSW ~inputs:2 ~outputs:3 ~k:2 () in
+  (* (1,l1) multicast to fibers 1 and 3 on l1; (2,l2) unicast to 2 on l2 *)
+  MF.set_path r.circuit r.core ~src:(1, 1) ~dests:[ (1, 1); (3, 1) ];
+  MF.set_path r.circuit r.core ~src:(2, 2) ~dests:[ (2, 2) ];
+  light_up r ~k:2;
+  Alcotest.(check (list (triple string int string)))
+    "deliveries"
+    [ ("dst1", 1, "s1.1"); ("dst2", 2, "s2.2"); ("dst3", 1, "s1.1") ]
+    (deliveries_of r)
+
+let test_msdw_module_converts_at_input () =
+  let r = rig ~model:Model.MSDW ~inputs:2 ~outputs:2 ~k:2 () in
+  (* source on l1, both destinations on l2 *)
+  MF.set_path r.circuit r.core ~src:(1, 1) ~dests:[ (1, 2); (2, 2) ];
+  light_up r ~k:2;
+  Alcotest.(check (list (triple string int string)))
+    "converted multicast"
+    [ ("dst1", 2, "s1.1"); ("dst2", 2, "s1.1") ]
+    (deliveries_of r)
+
+let test_maw_module_mixed_wavelengths () =
+  let r = rig ~model:Model.MAW ~inputs:2 ~outputs:3 ~k:2 () in
+  (* one connection fanning to three different wavelengths *)
+  MF.set_path r.circuit r.core ~src:(2, 2) ~dests:[ (1, 1); (2, 2); (3, 1) ];
+  light_up r ~k:2;
+  Alcotest.(check (list (triple string int string)))
+    "per-destination wavelengths"
+    [ ("dst1", 1, "s2.2"); ("dst2", 2, "s2.2"); ("dst3", 1, "s2.2") ]
+    (deliveries_of r)
+
+let test_clear_quiesces () =
+  let r = rig ~model:Model.MAW ~inputs:2 ~outputs:2 ~k:2 () in
+  MF.set_path r.circuit r.core ~src:(1, 1) ~dests:[ (1, 1); (2, 2) ];
+  MF.clear r.circuit r.core;
+  light_up r ~k:2;
+  Alcotest.(check int) "dark" 0 (List.length (deliveries_of r))
+
+let test_paths_accumulate () =
+  (* several set_path calls coexist, as the multistage modules need *)
+  let r = rig ~model:Model.MSW ~inputs:3 ~outputs:3 ~k:1 () in
+  MF.set_path r.circuit r.core ~src:(1, 1) ~dests:[ (2, 1) ];
+  MF.set_path r.circuit r.core ~src:(2, 1) ~dests:[ (3, 1) ];
+  MF.set_path r.circuit r.core ~src:(3, 1) ~dests:[ (1, 1) ];
+  light_up r ~k:1;
+  Alcotest.(check int) "three deliveries" 3 (List.length (deliveries_of r))
+
+let test_module_validation () =
+  let c = C.create () in
+  Alcotest.check_raises "sizes"
+    (Invalid_argument "Module_fabric.build: sizes and k must be >= 1") (fun () ->
+      ignore (MF.build c ~model:Model.MSW ~inputs:0 ~outputs:1 ~k:1))
+
+let () =
+  Alcotest.run "wdm_module_fabric"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "rectangular counts" `Quick test_rectangular_counts;
+          Alcotest.test_case "entry/exit bounds" `Quick test_entry_exit_bounds;
+          Alcotest.test_case "validation" `Quick test_module_validation;
+        ] );
+      ( "set_path",
+        [
+          Alcotest.test_case "model violations" `Quick test_set_path_model_violations;
+          Alcotest.test_case "paths accumulate" `Quick test_paths_accumulate;
+          Alcotest.test_case "clear quiesces" `Quick test_clear_quiesces;
+        ] );
+      ( "optical",
+        [
+          Alcotest.test_case "MSW planes" `Quick test_msw_module_routes_by_plane;
+          Alcotest.test_case "MSDW input conversion" `Quick
+            test_msdw_module_converts_at_input;
+          Alcotest.test_case "MAW mixed wavelengths" `Quick
+            test_maw_module_mixed_wavelengths;
+        ] );
+    ]

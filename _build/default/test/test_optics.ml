@@ -1,0 +1,384 @@
+(* Tests for the optical circuit simulator: component semantics, error
+   detection, topological propagation and loss accounting. *)
+
+module C = Wdm_optics.Circuit
+module S = Wdm_optics.Signal
+module L = Wdm_optics.Loss_model
+
+let signal ?(wl = 1) origin = S.inject ~origin ~wl
+
+let test_direct_wire () =
+  let c = C.create ~loss:L.lossless () in
+  let src = C.add_source c "a" in
+  let sink = C.add_sink c "z" in
+  C.connect c src 0 sink 0;
+  C.inject c src [ signal "a1" ];
+  let { C.deliveries; errors } = C.propagate c in
+  Alcotest.(check int) "no errors" 0 (List.length errors);
+  match deliveries with
+  | [ ("z", [ s ]) ] ->
+    Alcotest.(check string) "origin" "a1" s.S.origin;
+    Alcotest.(check (float 1e-9)) "no loss" 0. s.S.power_db
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_gate_blocks () =
+  let c = C.create () in
+  let src = C.add_source c "a" in
+  let g = C.add_gate c in
+  let sink = C.add_sink c "z" in
+  C.connect c src 0 g 0;
+  C.connect c g 0 sink 0;
+  C.inject c src [ signal "a1" ];
+  (* gate off: light absorbed *)
+  let { C.deliveries; errors } = C.propagate c in
+  Alcotest.(check int) "no errors" 0 (List.length errors);
+  Alcotest.(check int) "nothing delivered" 0 (List.length deliveries);
+  (* gate on: light passes, counted *)
+  C.set_gate c g true;
+  let { C.deliveries; _ } = C.propagate c in
+  match deliveries with
+  | [ ("z", [ s ]) ] -> Alcotest.(check int) "gate counted" 1 s.S.gates_passed
+  | _ -> Alcotest.fail "expected delivery through on gate"
+
+let test_splitter_broadcast () =
+  let c = C.create ~loss:L.lossless () in
+  let src = C.add_source c "a" in
+  let spl = C.add_splitter c 4 in
+  C.connect c src 0 spl 0;
+  let sinks = List.init 4 (fun i -> C.add_sink c (Printf.sprintf "z%d" i)) in
+  List.iteri (fun i s -> C.connect c spl i s 0) sinks;
+  C.inject c src [ signal "a1" ];
+  let { C.deliveries; errors } = C.propagate c in
+  Alcotest.(check int) "no errors" 0 (List.length errors);
+  Alcotest.(check int) "four copies" 4 (List.length deliveries);
+  List.iter
+    (fun (_, signals) ->
+      match signals with
+      | [ s ] ->
+        (* ideal 1x4 split = -6.02 dB *)
+        Alcotest.(check (float 0.01)) "quarter power" (-6.0206) s.S.power_db
+      | _ -> Alcotest.fail "one signal per sink")
+    deliveries
+
+let test_combiner_collision () =
+  let c = C.create () in
+  let a = C.add_source c "a" and b = C.add_source c "b" in
+  let comb = C.add_combiner c 2 in
+  let sink = C.add_sink c "z" in
+  C.connect c a 0 comb 0;
+  C.connect c b 0 comb 1;
+  C.connect c comb 0 sink 0;
+  C.inject c a [ signal ~wl:1 "a1" ];
+  C.inject c b [ signal ~wl:2 "b1" ];
+  (* even distinct wavelengths collide in a combiner: it is not a mux *)
+  let { C.errors; _ } = C.propagate c in
+  match errors with
+  | [ C.Combiner_collision { origins; _ } ] ->
+    Alcotest.(check (list string)) "both named" [ "a1"; "b1" ]
+      (List.sort String.compare origins)
+  | _ -> Alcotest.fail "expected combiner collision"
+
+let test_combiner_single_ok () =
+  let c = C.create () in
+  let a = C.add_source c "a" and b = C.add_source c "b" in
+  let comb = C.add_combiner c 2 in
+  let sink = C.add_sink c "z" in
+  C.connect c a 0 comb 0;
+  C.connect c b 0 comb 1;
+  C.connect c comb 0 sink 0;
+  C.inject c a [ signal "a1" ];
+  (* b silent *)
+  let { C.deliveries; errors } = C.propagate c in
+  Alcotest.(check int) "no errors" 0 (List.length errors);
+  Alcotest.(check int) "delivered" 1 (List.length deliveries)
+
+let test_mux_demux () =
+  let c = C.create ~loss:L.lossless () in
+  let src = C.add_source c "a" in
+  let dmx = C.add_demux c 3 in
+  let mux = C.add_mux c 3 in
+  let sink = C.add_sink c "z" in
+  C.connect c src 0 dmx 0;
+  for w = 0 to 2 do
+    C.connect c dmx w mux w
+  done;
+  C.connect c mux 0 sink 0;
+  C.inject c src [ signal ~wl:1 "s1"; signal ~wl:2 "s2"; signal ~wl:3 "s3" ];
+  let { C.deliveries; errors } = C.propagate c in
+  Alcotest.(check int) "no errors" 0 (List.length errors);
+  match deliveries with
+  | [ ("z", signals) ] -> Alcotest.(check int) "all three" 3 (List.length signals)
+  | _ -> Alcotest.fail "expected one sink with three signals"
+
+let test_demux_out_of_range () =
+  let c = C.create () in
+  let src = C.add_source c "a" in
+  let dmx = C.add_demux c 2 in
+  C.connect c src 0 dmx 0;
+  C.inject c src [ signal ~wl:5 "hot" ];
+  let { C.errors; _ } = C.propagate c in
+  match errors with
+  | [ C.Demux_out_of_range { wl = 5; _ } ] -> ()
+  | _ -> Alcotest.fail "expected demux range error"
+
+let test_wavelength_clash () =
+  let c = C.create () in
+  let a = C.add_source c "a" in
+  (* two signals on the same wavelength from one source *)
+  C.inject c a [ signal ~wl:1 "x"; signal ~wl:1 "y" ];
+  let { C.errors; _ } = C.propagate c in
+  match errors with
+  | [ C.Wavelength_clash { wl = 1; origins; _ } ] ->
+    Alcotest.(check int) "two origins" 2 (List.length origins)
+  | _ -> Alcotest.fail "expected wavelength clash"
+
+let test_converter () =
+  let c = C.create ~loss:L.lossless () in
+  let src = C.add_source c "a" in
+  let conv = C.add_converter c in
+  let sink = C.add_sink c "z" in
+  C.connect c src 0 conv 0;
+  C.connect c conv 0 sink 0;
+  C.inject c src [ signal ~wl:1 "a1" ];
+  C.set_converter c conv (Some 4);
+  let { C.deliveries; _ } = C.propagate c in
+  (match deliveries with
+  | [ (_, [ s ]) ] -> Alcotest.(check int) "retuned" 4 s.S.wl
+  | _ -> Alcotest.fail "expected delivery");
+  (* pass-through by default after reset *)
+  C.reset_configuration c;
+  C.inject c src [ signal ~wl:1 "a1" ];
+  let { C.deliveries; _ } = C.propagate c in
+  match deliveries with
+  | [ (_, [ s ]) ] -> Alcotest.(check int) "unchanged" 1 s.S.wl
+  | _ -> Alcotest.fail "expected delivery"
+
+let test_dangling_output_drops () =
+  let c = C.create () in
+  let src = C.add_source c "a" in
+  let spl = C.add_splitter c 2 in
+  let sink = C.add_sink c "z" in
+  C.connect c src 0 spl 0;
+  C.connect c spl 0 sink 0;
+  (* splitter slot 1 left dangling *)
+  C.inject c src [ signal "a1" ];
+  let { C.deliveries; errors } = C.propagate c in
+  Alcotest.(check int) "no errors" 0 (List.length errors);
+  Alcotest.(check int) "one delivery" 1 (List.length deliveries)
+
+let test_connect_validation () =
+  let c = C.create () in
+  let src = C.add_source c "a" in
+  let g = C.add_gate c in
+  C.connect c src 0 g 0;
+  Alcotest.check_raises "double output"
+    (Invalid_argument "Circuit.connect: output slot already wired") (fun () ->
+      C.connect c src 0 g 0);
+  let src2 = C.add_source c "b" in
+  Alcotest.check_raises "double input"
+    (Invalid_argument "Circuit.connect: input slot already wired") (fun () ->
+      C.connect c src2 0 g 0);
+  Alcotest.check_raises "bad slot" (Invalid_argument "Circuit.connect: bad output slot")
+    (fun () -> C.connect c src2 1 g 0)
+
+let test_counts () =
+  let c = C.create () in
+  ignore (C.add_source c "a");
+  ignore (C.add_gate c);
+  ignore (C.add_gate c);
+  ignore (C.add_converter c);
+  ignore (C.add_splitter c 3);
+  ignore (C.add_combiner c 3);
+  Alcotest.(check int) "gates" 2 (C.num_gates c);
+  Alcotest.(check int) "converters" 1 (C.num_converters c);
+  Alcotest.(check int) "splitters" 1 (C.num_splitters c);
+  Alcotest.(check int) "combiners" 1 (C.num_combiners c);
+  Alcotest.(check int) "size" 6 (C.size c)
+
+let test_grows_past_initial_capacity () =
+  let c = C.create () in
+  let nodes = List.init 100 (fun i -> C.add_source c (string_of_int i)) in
+  Alcotest.(check int) "100 nodes" 100 (C.size c);
+  List.iteri
+    (fun i id ->
+      match C.kind_of c id with
+      | C.Source s -> Alcotest.(check string) "label kept" (string_of_int i) s
+      | _ -> Alcotest.fail "expected source")
+    nodes
+
+let test_loss_model () =
+  Alcotest.(check (float 0.01)) "1x8 split" 9.53
+    (L.splitting_loss L.default ~fanout:8);
+  Alcotest.(check (float 0.01)) "fanout 1" L.default.L.splitter_excess_db
+    (L.splitting_loss L.default ~fanout:1);
+  Alcotest.(check (float 0.01)) "lossless" 0.
+    (L.splitting_loss L.lossless ~fanout:8 -. (10. *. Float.log10 8.))
+
+let test_gate_leakage () =
+  (* With finite extinction an off gate leaks attenuated crosstalk. *)
+  let c = C.create ~loss:(L.leaky ~extinction_db:30. ()) () in
+  let src = C.add_source c "a" in
+  let g = C.add_gate c in
+  let sink = C.add_sink c "z" in
+  C.connect c src 0 g 0;
+  C.connect c g 0 sink 0;
+  C.inject c src [ signal "a1" ];
+  let { C.deliveries; errors } = C.propagate c in
+  Alcotest.(check int) "no errors" 0 (List.length errors);
+  match deliveries with
+  | [ ("z", [ s ]) ] ->
+    Alcotest.(check bool) "marked leakage" true s.S.leakage;
+    Alcotest.(check (float 0.01)) "attenuated by extinction + insertion" (-31.)
+      s.S.power_db
+  | _ -> Alcotest.fail "expected one leaked signal"
+
+let test_leakage_exempt_from_collisions () =
+  (* A payload and a leakage signal meeting in a combiner is the normal
+     crosstalk situation, not a collision. *)
+  let c = C.create ~loss:(L.leaky ()) () in
+  let a = C.add_source c "a" and b = C.add_source c "b" in
+  let ga = C.add_gate c and gb = C.add_gate c in
+  let comb = C.add_combiner c 2 in
+  let sink = C.add_sink c "z" in
+  C.connect c a 0 ga 0;
+  C.connect c b 0 gb 0;
+  C.connect c ga 0 comb 0;
+  C.connect c gb 0 comb 1;
+  C.connect c comb 0 sink 0;
+  C.set_gate c ga true (* b's gate stays off: leaks *);
+  C.inject c a [ signal ~wl:1 "a1" ];
+  C.inject c b [ signal ~wl:1 "b1" ];
+  let { C.deliveries; errors } = C.propagate c in
+  Alcotest.(check int) "no collision error" 0 (List.length errors);
+  match deliveries with
+  | [ ("z", signals) ] ->
+    Alcotest.(check int) "payload + leak delivered" 2 (List.length signals);
+    Alcotest.(check int) "exactly one leak" 1
+      (List.length (List.filter (fun s -> s.S.leakage) signals))
+  | _ -> Alcotest.fail "expected both signals at the sink"
+
+let test_ideal_gates_do_not_leak () =
+  let c = C.create ~loss:L.default () in
+  let src = C.add_source c "a" in
+  let g = C.add_gate c in
+  let sink = C.add_sink c "z" in
+  C.connect c src 0 g 0;
+  C.connect c g 0 sink 0;
+  C.inject c src [ signal "a1" ];
+  Alcotest.(check int) "dark sink" 0 (List.length (C.propagate c).C.deliveries)
+
+(* Property: a chain of n on-gates delivers with gates_passed = n and
+   power = -n * insertion loss. *)
+let prop_gate_chain =
+  QCheck.Test.make ~name:"gate chain accounting" ~count:50
+    (QCheck.make (QCheck.Gen.int_range 1 30)) (fun n ->
+      let c = C.create () in
+      let src = C.add_source c "a" in
+      let sink = C.add_sink c "z" in
+      let rec chain prev i =
+        if i = n then C.connect c prev 0 sink 0
+        else begin
+          let g = C.add_gate c in
+          C.connect c prev 0 g 0;
+          C.set_gate c g true;
+          chain g (i + 1)
+        end
+      in
+      let g0 = C.add_gate c in
+      C.connect c src 0 g0 0;
+      C.set_gate c g0 true;
+      chain g0 1;
+      C.inject c src [ signal "a1" ];
+      match (C.propagate c).C.deliveries with
+      | [ (_, [ s ]) ] ->
+        s.S.gates_passed = n
+        && Float.abs (s.S.power_db +. (float_of_int n *. L.default.L.gate_insertion_db))
+           < 1e-9
+      | _ -> false)
+
+let () =
+  Alcotest.run "wdm_optics"
+    [
+      ( "components",
+        [
+          Alcotest.test_case "direct wire" `Quick test_direct_wire;
+          Alcotest.test_case "gate blocks/passes" `Quick test_gate_blocks;
+          Alcotest.test_case "splitter broadcast" `Quick test_splitter_broadcast;
+          Alcotest.test_case "combiner collision" `Quick test_combiner_collision;
+          Alcotest.test_case "combiner single ok" `Quick test_combiner_single_ok;
+          Alcotest.test_case "mux/demux" `Quick test_mux_demux;
+          Alcotest.test_case "demux range" `Quick test_demux_out_of_range;
+          Alcotest.test_case "wavelength clash" `Quick test_wavelength_clash;
+          Alcotest.test_case "converter" `Quick test_converter;
+          Alcotest.test_case "dangling output" `Quick test_dangling_output_drops;
+        ] );
+      ( "limited-range-conversion",
+        [
+          Alcotest.test_case "within range converts" `Quick (fun () ->
+              let c = C.create ~loss:L.lossless () in
+              let src = C.add_source c "a" in
+              let conv = C.add_converter ~range:1 c in
+              let sink = C.add_sink c "z" in
+              C.connect c src 0 conv 0;
+              C.connect c conv 0 sink 0;
+              C.set_converter c conv (Some 2);
+              C.inject c src [ signal ~wl:1 "a1" ];
+              match (C.propagate c).C.deliveries with
+              | [ (_, [ s ]) ] -> Alcotest.(check int) "shifted by 1" 2 s.S.wl
+              | _ -> Alcotest.fail "expected delivery");
+          Alcotest.test_case "beyond range errors" `Quick (fun () ->
+              let c = C.create () in
+              let src = C.add_source c "a" in
+              let conv = C.add_converter ~range:1 c in
+              let sink = C.add_sink c "z" in
+              C.connect c src 0 conv 0;
+              C.connect c conv 0 sink 0;
+              C.set_converter c conv (Some 3);
+              C.inject c src [ signal ~wl:1 "a1" ];
+              let { C.deliveries; errors } = C.propagate c in
+              Alcotest.(check int) "nothing delivered" 0 (List.length deliveries);
+              match errors with
+              | [ C.Conversion_out_of_range { from_wl = 1; to_wl = 3; range = 1; _ } ] -> ()
+              | _ -> Alcotest.fail "expected conversion range error");
+          Alcotest.test_case "negative range rejected" `Quick (fun () ->
+              let c = C.create () in
+              Alcotest.check_raises "negative"
+                (Invalid_argument "Circuit.add_converter: negative range")
+                (fun () -> ignore (C.add_converter ~range:(-1) c)));
+        ] );
+      ( "crosstalk-leakage",
+        [
+          Alcotest.test_case "off gate leaks" `Quick test_gate_leakage;
+          Alcotest.test_case "leakage exempt from collisions" `Quick
+            test_leakage_exempt_from_collisions;
+          Alcotest.test_case "ideal gates absorb" `Quick test_ideal_gates_do_not_leak;
+        ] );
+      ( "construction",
+        [
+          Alcotest.test_case "to_dot" `Quick (fun () ->
+              let c = C.create () in
+              let src = C.add_source c "a" in
+              let g = C.add_gate c in
+              let sink = C.add_sink c "z" in
+              C.connect c src 0 g 0;
+              C.connect c g 0 sink 0;
+              C.set_gate c g true;
+              let dot = C.to_dot c in
+              List.iter
+                (fun needle ->
+                  Alcotest.(check bool) needle true
+                    (let nh = String.length dot and nn = String.length needle in
+                     let rec go i =
+                       if i + nn > nh then false
+                       else if String.sub dot i nn = needle then true
+                       else go (i + 1)
+                     in
+                     go 0))
+                [ "digraph"; "gate ON"; "src a"; "sink z"; "n0 -> n1" ]);
+          Alcotest.test_case "connect validation" `Quick test_connect_validation;
+          Alcotest.test_case "component counts" `Quick test_counts;
+          Alcotest.test_case "arena growth" `Quick test_grows_past_initial_capacity;
+          Alcotest.test_case "loss model" `Quick test_loss_model;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_gate_chain ]);
+    ]

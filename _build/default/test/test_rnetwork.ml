@@ -1,0 +1,210 @@
+(* Tests for the recursive (5/7-stage) routed networks and their
+   optical realization: the paper's "built in a recursive fashion"
+   exercised end to end. *)
+
+open Wdm_core
+open Wdm_multistage
+
+let design ?(output_model = Model.MSW) ~stages ~big_n ~k () =
+  match Recursive.design ~stages ~big_n ~k ~output_model with
+  | Ok d -> d
+  | Error e -> Alcotest.fail e
+
+let churn_sut t =
+  {
+    Wdm_traffic.Churn.connect =
+      (fun c ->
+        match Rnetwork.connect t c with
+        | Ok route -> Ok route.Rnetwork.base.Network.id
+        | Error e -> Error e);
+    disconnect = (fun id -> ignore (Rnetwork.disconnect t id));
+  }
+
+let spec_of t = Topology.spec (Rnetwork.topology t)
+
+(* --- construction ---------------------------------------------------------- *)
+
+let test_create_five_stage () =
+  let d = design ~stages:5 ~big_n:8 ~k:2 () in
+  let t = Rnetwork.create ~construction:Network.Msw_dominant d in
+  Alcotest.(check int) "stages" 5 (Rnetwork.stages t);
+  Alcotest.(check int) "outer ports" 8 (Topology.num_ports (Rnetwork.topology t));
+  Alcotest.check_raises "1-stage rejected"
+    (Invalid_argument "Rnetwork.create: design must have at least 3 stages")
+    (fun () ->
+      ignore
+        (Rnetwork.create ~construction:Network.Msw_dominant
+           (design ~stages:1 ~big_n:8 ~k:2 ())))
+
+let test_three_stage_matches_network () =
+  (* With atomic middles the recursive engine must make exactly the
+     same decisions as the plain three-stage engine. *)
+  let d = design ~stages:3 ~big_n:9 ~k:2 () in
+  let rnet = Rnetwork.create ~construction:Network.Msw_dominant d in
+  let topo = Rnetwork.topology rnet in
+  let plain =
+    Network.create ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
+  in
+  let rng = Random.State.make [| 41 |] in
+  let spec = Topology.spec topo in
+  for _ = 1 to 300 do
+    match
+      Wdm_traffic.Generator.random_connection rng spec Model.MSW
+        ~fanout:(Wdm_traffic.Fanout.Uniform (1, 4))
+        ~free_sources:(Network_spec.inputs spec)
+        ~free_dests:(Network_spec.outputs spec)
+    with
+    | None -> ()
+    | Some conn -> (
+      let a = Rnetwork.connect rnet conn in
+      let b = Network.connect plain conn in
+      (match (a, b) with
+      | Ok ra, Ok rb ->
+        Alcotest.(check bool) "same hops" true
+          (List.map (fun (h : Network.hop) -> h.Network.middle)
+             ra.Rnetwork.base.Network.hops
+          = List.map (fun (h : Network.hop) -> h.Network.middle) rb.Network.hops)
+      | Error _, Error _ -> ()
+      | _ -> Alcotest.fail "recursive and plain engines disagree");
+      (* tear down immediately to keep exploring fresh states *)
+      match (a, b) with
+      | Ok ra, Ok rb ->
+        ignore (Rnetwork.disconnect rnet ra.Rnetwork.base.Network.id);
+        ignore (Network.disconnect plain rb.Network.id)
+      | _ -> ())
+  done
+
+(* --- nonblocking at per-level theorem bounds ------------------------------- *)
+
+let nonblocking_case ~stages ~big_n ~k ~output_model ~construction ~seed () =
+  let t =
+    Rnetwork.create ~construction (design ~output_model ~stages ~big_n ~k ())
+  in
+  let blocked_detail = ref None in
+  let stats =
+    Wdm_traffic.Churn.run
+      (Random.State.make [| seed |])
+      ~spec:(spec_of t) ~model:output_model
+      ~fanout:(Wdm_traffic.Fanout.Zipf { max = big_n; s = 1.1 })
+      ~steps:400 ~teardown_bias:0.35
+      ~on_blocked:(fun c e ->
+        if !blocked_detail = None then
+          blocked_detail :=
+            Some (Format.asprintf "%a: %a" Connection.pp c Network.pp_error e))
+      (churn_sut t)
+  in
+  (match !blocked_detail with
+  | Some d -> Alcotest.fail ("recursive network blocked: " ^ d)
+  | None -> ());
+  Alcotest.(check int) "no blocking" 0 stats.Wdm_traffic.Churn.blocked;
+  Alcotest.(check bool) "traffic flowed" true (stats.Wdm_traffic.Churn.accepted > 20)
+
+let nonblocking_suite =
+  [
+    Alcotest.test_case "5-stage N=8 k=1 MSW" `Slow
+      (nonblocking_case ~stages:5 ~big_n:8 ~k:1 ~output_model:Model.MSW
+         ~construction:Network.Msw_dominant ~seed:3);
+    Alcotest.test_case "5-stage N=8 k=2 MSW" `Slow
+      (nonblocking_case ~stages:5 ~big_n:8 ~k:2 ~output_model:Model.MSW
+         ~construction:Network.Msw_dominant ~seed:5);
+    Alcotest.test_case "5-stage N=8 k=2 MAW out" `Slow
+      (nonblocking_case ~stages:5 ~big_n:8 ~k:2 ~output_model:Model.MAW
+         ~construction:Network.Msw_dominant ~seed:7);
+    Alcotest.test_case "5-stage N=27 k=2 MSW" `Slow
+      (nonblocking_case ~stages:5 ~big_n:27 ~k:2 ~output_model:Model.MSW
+         ~construction:Network.Msw_dominant ~seed:9);
+    Alcotest.test_case "7-stage N=16 k=2 MSW" `Slow
+      (nonblocking_case ~stages:7 ~big_n:16 ~k:2 ~output_model:Model.MSW
+         ~construction:Network.Msw_dominant ~seed:11);
+    Alcotest.test_case "5-stage N=8 k=2 MAW-dominant" `Slow
+      (nonblocking_case ~stages:5 ~big_n:8 ~k:2 ~output_model:Model.MAW
+         ~construction:Network.Maw_dominant ~seed:13);
+  ]
+
+(* --- teardown hygiene -------------------------------------------------------- *)
+
+let test_disconnect_empties_all_levels () =
+  let t =
+    Rnetwork.create ~construction:Network.Msw_dominant
+      (design ~stages:5 ~big_n:8 ~k:2 ())
+  in
+  let _ =
+    Wdm_traffic.Churn.run (Random.State.make [| 17 |]) ~spec:(spec_of t)
+      ~model:Model.MSW
+      ~fanout:(Wdm_traffic.Fanout.Uniform (1, 4))
+      ~steps:200 ~teardown_bias:0.3 (churn_sut t)
+  in
+  List.iter
+    (fun (r : Rnetwork.route) ->
+      ignore (Result.get_ok (Rnetwork.disconnect t r.Rnetwork.base.Network.id)))
+    (Rnetwork.active_routes t);
+  Alcotest.(check int) "no active routes" 0 (List.length (Rnetwork.active_routes t));
+  Alcotest.(check (float 1e-9)) "utilization zero" 0. (Rnetwork.utilization t);
+  (* and it still accepts a broadcast afterwards *)
+  let all_dests =
+    List.init 8 (fun p -> Endpoint.make ~port:(p + 1) ~wl:1)
+  in
+  match
+    Rnetwork.connect t
+      (Connection.make_exn ~source:(Endpoint.make ~port:1 ~wl:1)
+         ~destinations:all_dests)
+  with
+  | Ok route ->
+    Alcotest.(check bool) "broadcast has nested hops" true
+      (route.Rnetwork.subroutes <> [])
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Network.pp_error e)
+
+(* --- physical realization ----------------------------------------------------- *)
+
+let physical_case ~stages ~big_n ~k ~output_model ~seed () =
+  let d = design ~output_model ~stages ~big_n ~k () in
+  let t = Rnetwork.create ~construction:Network.Msw_dominant d in
+  let phys = Physical_recursive.create ~construction:Network.Msw_dominant d in
+  Alcotest.(check int) "stages agree" stages (Physical_recursive.stages phys);
+  Alcotest.(check int) "crosspoints = design cost" (Recursive.crosspoints d)
+    (Physical_recursive.crosspoints phys);
+  Alcotest.(check int) "converters = design cost" (Recursive.converters d)
+    (Physical_recursive.converters phys);
+  let _ =
+    Wdm_traffic.Churn.run
+      (Random.State.make [| seed |])
+      ~spec:(spec_of t) ~model:output_model
+      ~fanout:(Wdm_traffic.Fanout.Uniform (1, 4))
+      ~steps:120 ~teardown_bias:0.3 (churn_sut t)
+  in
+  let routes = Rnetwork.active_routes t in
+  Alcotest.(check bool) "live routes" true (routes <> []);
+  match Physical_recursive.realize phys routes with
+  | Ok _ -> ()
+  | Error f ->
+    Alcotest.fail
+      (Format.asprintf "optical realization failed: %a"
+         Wdm_crossbar.Delivery.pp_failure f)
+
+let physical_suite =
+  [
+    Alcotest.test_case "5-stage N=8 k=1 optical" `Slow
+      (physical_case ~stages:5 ~big_n:8 ~k:1 ~output_model:Model.MSW ~seed:19);
+    Alcotest.test_case "5-stage N=8 k=2 optical" `Slow
+      (physical_case ~stages:5 ~big_n:8 ~k:2 ~output_model:Model.MSW ~seed:23);
+    Alcotest.test_case "5-stage N=8 k=2 MAW out optical" `Slow
+      (physical_case ~stages:5 ~big_n:8 ~k:2 ~output_model:Model.MAW ~seed:29);
+    Alcotest.test_case "7-stage N=16 k=1 optical" `Slow
+      (physical_case ~stages:7 ~big_n:16 ~k:1 ~output_model:Model.MSW ~seed:31);
+  ]
+
+let () =
+  Alcotest.run "wdm_rnetwork"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "5-stage create" `Quick test_create_five_stage;
+          Alcotest.test_case "3-stage = plain Network" `Slow
+            test_three_stage_matches_network;
+        ] );
+      ("nonblocking-per-level", nonblocking_suite);
+      ( "teardown",
+        [ Alcotest.test_case "empties all levels" `Quick test_disconnect_empties_all_levels ]
+      );
+      ("physical", physical_suite);
+    ]

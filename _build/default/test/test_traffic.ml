@@ -1,0 +1,341 @@
+(* Tests for the workload generators: distribution sanity, model
+   legality of everything generated, determinism from seeds, and the
+   churn driver's bookkeeping. *)
+
+open Wdm_core
+open Wdm_traffic
+
+let spec n k = Network_spec.make_exn ~n ~k
+let rng seed = Random.State.make [| seed |]
+
+(* --- fanout distributions ---------------------------------------------- *)
+
+let test_fanout_fixed () =
+  let r = rng 1 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "fixed" 3 (Fanout.sample r (Fanout.Fixed 3) ~max_available:10);
+    Alcotest.(check int) "clamped" 4 (Fanout.sample r (Fanout.Fixed 9) ~max_available:4)
+  done
+
+let test_fanout_uniform_bounds () =
+  let r = rng 2 in
+  for _ = 1 to 500 do
+    let f = Fanout.sample r (Fanout.Uniform (2, 5)) ~max_available:10 in
+    Alcotest.(check bool) "in bounds" true (f >= 2 && f <= 5)
+  done
+
+let test_fanout_zipf_shape () =
+  let r = rng 3 in
+  let counts = Array.make 8 0 in
+  for _ = 1 to 4000 do
+    let f = Fanout.sample r (Fanout.Zipf { max = 8; s = 1.5 }) ~max_available:8 in
+    counts.(f - 1) <- counts.(f - 1) + 1
+  done;
+  Alcotest.(check bool) "head heavier than tail" true (counts.(0) > counts.(7) * 4);
+  Alcotest.(check bool) "tail occurs" true (counts.(7) > 0)
+
+let test_fanout_broadcast () =
+  let r = rng 4 in
+  Alcotest.(check int) "broadcast" 7 (Fanout.sample r Fanout.Broadcast ~max_available:7)
+
+let test_fanout_validation () =
+  let r = rng 5 in
+  Alcotest.check_raises "no room" (Invalid_argument "Fanout.sample: nothing available")
+    (fun () -> ignore (Fanout.sample r (Fanout.Fixed 1) ~max_available:0))
+
+(* --- connection / assignment generation -------------------------------- *)
+
+let test_random_connection_legal () =
+  let sp = spec 4 3 in
+  List.iter
+    (fun model ->
+      let r = rng 10 in
+      for _ = 1 to 200 do
+        match
+          Generator.random_connection r sp model
+            ~fanout:(Fanout.Uniform (1, 4))
+            ~free_sources:(Network_spec.inputs sp)
+            ~free_dests:(Network_spec.outputs sp)
+        with
+        | None -> Alcotest.fail "expected a connection on an idle network"
+        | Some c ->
+          Alcotest.(check bool)
+            (Format.asprintf "legal under %a" Model.pp model)
+            true (Model.allows model c)
+      done)
+    Model.all
+
+let test_random_connection_respects_free_sets () =
+  let sp = spec 3 2 in
+  let r = rng 11 in
+  let free_sources = [ Endpoint.make ~port:2 ~wl:1 ] in
+  let free_dests =
+    [ Endpoint.make ~port:1 ~wl:1; Endpoint.make ~port:3 ~wl:1 ]
+  in
+  for _ = 1 to 100 do
+    match
+      Generator.random_connection r sp Model.MSW ~fanout:(Fanout.Uniform (1, 3))
+        ~free_sources ~free_dests
+    with
+    | None -> Alcotest.fail "should find the available pattern"
+    | Some c ->
+      Alcotest.(check bool) "source from free set" true
+        (Endpoint.equal c.Connection.source (List.hd free_sources));
+      List.iter
+        (fun d ->
+          Alcotest.(check bool) "dest from free set" true
+            (List.exists (Endpoint.equal d) free_dests))
+        c.Connection.destinations
+  done
+
+let test_random_connection_msw_starvation () =
+  (* Under MSW a source whose wavelength has no free destination cannot
+     form a connection. *)
+  let sp = spec 2 2 in
+  let r = rng 12 in
+  let free_sources = [ Endpoint.make ~port:1 ~wl:1 ] in
+  let free_dests = [ Endpoint.make ~port:1 ~wl:2 ] in
+  Alcotest.(check bool) "starved" true
+    (Generator.random_connection r sp Model.MSW ~fanout:(Fanout.Fixed 1)
+       ~free_sources ~free_dests
+    = None)
+
+let test_random_assignment_valid_and_loaded () =
+  List.iter
+    (fun model ->
+      let sp = spec 5 3 in
+      let r = rng 13 in
+      let a =
+        Generator.random_assignment r sp model ~fanout:(Fanout.Uniform (1, 4))
+          ~load:0.6
+      in
+      (match Assignment.validate sp model a with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Format.asprintf "%a" Assignment.pp_error e));
+      let used = List.length (Assignment.used_destinations a) in
+      let total = Network_spec.num_endpoints sp in
+      Alcotest.(check bool)
+        (Format.asprintf "%a load near target (%d/%d)" Model.pp model used total)
+        true
+        (float_of_int used >= 0.4 *. float_of_int total))
+    Model.all
+
+let test_random_full_assignment () =
+  List.iter
+    (fun model ->
+      List.iter
+        (fun (n, k) ->
+          let sp = spec n k in
+          let r = rng (100 + n + k) in
+          for _ = 1 to 20 do
+            let a = Generator.random_full_assignment r sp model in
+            (match Assignment.validate sp model a with
+            | Ok () -> ()
+            | Error e ->
+              Alcotest.fail
+                (Format.asprintf "%a n=%d k=%d: %a" Model.pp model n k
+                   Assignment.pp_error e));
+            Alcotest.(check bool)
+              (Format.asprintf "full %a n=%d k=%d" Model.pp model n k)
+              true (Assignment.is_full sp a)
+          done)
+        [ (2, 2); (3, 2); (4, 3); (5, 1) ])
+    Model.all
+
+let test_generator_determinism () =
+  let sp = spec 4 2 in
+  let gen seed =
+    Generator.random_full_assignment (rng seed) sp Model.MAW
+  in
+  Alcotest.(check bool) "same seed, same assignment" true
+    (Assignment.equal (gen 77) (gen 77));
+  Alcotest.(check bool) "different seeds differ" false
+    (Assignment.equal (gen 77) (gen 78))
+
+(* --- churn driver ------------------------------------------------------- *)
+
+let test_churn_against_ideal_switch () =
+  (* An ideal (always-accepting) switch: the driver must never generate
+     a request that double-books endpoints, so acceptance bookkeeping
+     must balance exactly. *)
+  let sp = spec 4 2 in
+  let active = Hashtbl.create 16 in
+  let next = ref 0 in
+  let busy_dests = ref [] in
+  let sut =
+    {
+      Churn.connect =
+        (fun c ->
+          (* verify no double-booking *)
+          List.iter
+            (fun d ->
+              if List.exists (Endpoint.equal d) !busy_dests then
+                Alcotest.fail "churn double-booked a destination")
+            c.Connection.destinations;
+          busy_dests := c.Connection.destinations @ !busy_dests;
+          let id = !next in
+          incr next;
+          Hashtbl.add active id c;
+          Ok id);
+      disconnect =
+        (fun id ->
+          let c = Hashtbl.find active id in
+          Hashtbl.remove active id;
+          busy_dests :=
+            List.filter
+              (fun d ->
+                not (List.exists (Endpoint.equal d) c.Connection.destinations))
+              !busy_dests);
+    }
+  in
+  let stats =
+    Churn.run (rng 21) ~spec:sp ~model:Model.MAW
+      ~fanout:(Fanout.Uniform (1, 3)) ~steps:500 ~teardown_bias:0.4 sut
+  in
+  Alcotest.(check int) "ideal switch never blocks" 0 stats.Churn.blocked;
+  Alcotest.(check int) "accepted = attempts" stats.Churn.attempts stats.Churn.accepted;
+  Alcotest.(check bool) "teardowns happened" true (stats.Churn.torn_down > 50);
+  Alcotest.(check bool) "peak tracked" true (stats.Churn.peak_active > 0)
+
+let test_churn_counts_blocking () =
+  (* A switch that rejects every third request. *)
+  let n = ref 0 in
+  let sut =
+    {
+      Churn.connect =
+        (fun _ ->
+          incr n;
+          if !n mod 3 = 0 then Error "no" else Ok !n);
+      disconnect = ignore;
+    }
+  in
+  let sp = spec 3 2 in
+  let stats =
+    Churn.run (rng 22) ~spec:sp ~model:Model.MAW ~fanout:(Fanout.Fixed 1)
+      ~steps:60 ~teardown_bias:0.0 sut
+  in
+  Alcotest.(check bool) "blocked counted" true (stats.Churn.blocked > 0);
+  Alcotest.(check int) "balance" stats.Churn.attempts
+    (stats.Churn.accepted + stats.Churn.blocked)
+
+let test_churn_validation () =
+  let sut = { Churn.connect = (fun _ -> Ok 0); disconnect = ignore } in
+  Alcotest.check_raises "bias range"
+    (Invalid_argument "Churn.run: teardown_bias must be in [0, 1]") (fun () ->
+      ignore
+        (Churn.run (rng 23) ~spec:(spec 2 1) ~model:Model.MSW
+           ~fanout:(Fanout.Fixed 1) ~steps:1 ~teardown_bias:1.5 sut))
+
+(* --- continuous-time churn ------------------------------------------------ *)
+
+let ideal_sut () =
+  let active = Hashtbl.create 16 in
+  let next = ref 0 in
+  {
+    Churn.connect =
+      (fun c ->
+        let id = !next in
+        incr next;
+        Hashtbl.add active id c;
+        Ok id);
+    disconnect = (fun id -> Hashtbl.remove active id);
+  }
+
+let test_timed_littles_law () =
+  (* On an unconstrained switch at light load, mean active connections
+     must approach the offered load (Little's law). *)
+  let sp = spec 16 4 in
+  let stats =
+    Churn.run_timed (rng 5) ~spec:sp ~model:Model.MAW ~fanout:(Fanout.Fixed 1)
+      ~arrival_rate:2.0 ~mean_holding:1.5 ~horizon:400. (ideal_sut ())
+  in
+  Alcotest.(check (float 1e-9)) "offered" 3.0 stats.Churn.offered_erlangs;
+  Alcotest.(check int) "ideal: no blocking" 0 stats.Churn.t_blocked;
+  Alcotest.(check bool)
+    (Printf.sprintf "Little's law: %.2f within 20%% of 3.0" stats.Churn.mean_active)
+    true
+    (Float.abs (stats.Churn.mean_active -. 3.0) < 0.6)
+
+let test_timed_accounting () =
+  let sp = spec 4 2 in
+  let stats =
+    Churn.run_timed (rng 6) ~spec:sp ~model:Model.MSW
+      ~fanout:(Fanout.Uniform (1, 2)) ~arrival_rate:1.0 ~mean_holding:2.0
+      ~horizon:200. (ideal_sut ())
+  in
+  Alcotest.(check int) "balance" stats.Churn.t_attempts
+    (stats.Churn.t_accepted + stats.Churn.t_blocked);
+  Alcotest.(check bool) "completions happened" true (stats.Churn.completed > 20);
+  Alcotest.(check bool) "completions <= accepted" true
+    (stats.Churn.completed <= stats.Churn.t_accepted)
+
+let test_timed_determinism () =
+  let sp = spec 4 2 in
+  let run seed =
+    Churn.run_timed (rng seed) ~spec:sp ~model:Model.MAW
+      ~fanout:(Fanout.Fixed 1) ~arrival_rate:1.0 ~mean_holding:1.0
+      ~horizon:100. (ideal_sut ())
+  in
+  Alcotest.(check bool) "same seed same run" true (run 7 = run 7);
+  Alcotest.(check bool) "different seed differs" true (run 7 <> run 8)
+
+let test_timed_validation () =
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Churn.run_timed: rates and horizon must be positive")
+    (fun () ->
+      ignore
+        (Churn.run_timed (rng 9) ~spec:(spec 2 1) ~model:Model.MSW
+           ~fanout:(Fanout.Fixed 1) ~arrival_rate:0. ~mean_holding:1.
+           ~horizon:1. (ideal_sut ())))
+
+(* --- properties --------------------------------------------------------- *)
+
+let prop_full_assignment_valid =
+  QCheck.Test.make ~name:"random full assignments always validate" ~count:100
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 1 5) (int_range 1 3) (int_range 0 1000)))
+    (fun (n, k, seed) ->
+      let sp = spec n k in
+      List.for_all
+        (fun model ->
+          let a = Generator.random_full_assignment (rng seed) sp model in
+          Assignment.is_valid sp model a && Assignment.is_full sp a)
+        Model.all)
+
+let () =
+  Alcotest.run "wdm_traffic"
+    [
+      ( "fanout",
+        [
+          Alcotest.test_case "fixed" `Quick test_fanout_fixed;
+          Alcotest.test_case "uniform bounds" `Quick test_fanout_uniform_bounds;
+          Alcotest.test_case "zipf shape" `Quick test_fanout_zipf_shape;
+          Alcotest.test_case "broadcast" `Quick test_fanout_broadcast;
+          Alcotest.test_case "validation" `Quick test_fanout_validation;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "connections legal" `Quick test_random_connection_legal;
+          Alcotest.test_case "free sets respected" `Quick
+            test_random_connection_respects_free_sets;
+          Alcotest.test_case "MSW starvation" `Quick test_random_connection_msw_starvation;
+          Alcotest.test_case "assignment valid & loaded" `Quick
+            test_random_assignment_valid_and_loaded;
+          Alcotest.test_case "full assignments" `Quick test_random_full_assignment;
+          Alcotest.test_case "determinism" `Quick test_generator_determinism;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "ideal switch" `Quick test_churn_against_ideal_switch;
+          Alcotest.test_case "blocking counted" `Quick test_churn_counts_blocking;
+          Alcotest.test_case "validation" `Quick test_churn_validation;
+        ] );
+      ( "timed-churn",
+        [
+          Alcotest.test_case "Little's law" `Slow test_timed_littles_law;
+          Alcotest.test_case "accounting" `Quick test_timed_accounting;
+          Alcotest.test_case "determinism" `Quick test_timed_determinism;
+          Alcotest.test_case "validation" `Quick test_timed_validation;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_full_assignment_valid ]);
+    ]
