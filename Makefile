@@ -1,0 +1,23 @@
+.PHONY: all build test bench fmt check
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# @fmt needs ocamlformat, which the sealed build environment may lack;
+# skip gracefully rather than failing the whole check.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not found; skipping format check"; \
+	fi
+
+check: build test fmt

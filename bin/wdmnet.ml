@@ -213,6 +213,154 @@ let simulate_cmd =
     Term.(const run $ n_local_arg $ r_arg $ k_arg $ m_arg $ construction_arg
           $ model_arg $ steps_arg $ seed_arg)
 
+(* --- faults -------------------------------------------------------------- *)
+
+let faults_cmd =
+  let open Wdm_faults in
+  let m_arg =
+    Arg.(value & opt (some int) None & info [ "m" ] ~docv:"M"
+           ~doc:"Base middle-module count; defaults to the theorem minimum.")
+  in
+  let r_arg =
+    Arg.(value & opt int 4 & info [ "r" ] ~docv:"R" ~doc:"Input/output modules.")
+  in
+  let n_local_arg =
+    Arg.(value & opt int 4 & info [ "n-local" ] ~docv:"NL"
+           ~doc:"Ports per input/output module.")
+  in
+  let construction_arg =
+    Arg.(
+      value
+      & opt (enum [ ("msw-dominant", Network.Msw_dominant); ("maw-dominant", Network.Maw_dominant) ])
+          Network.Msw_dominant
+      & info [ "construction" ] ~docv:"C" ~doc:"msw-dominant or maw-dominant.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 5000 & info [ "steps" ] ~docv:"STEPS" ~doc:"Churn events per row.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let mtbf_arg =
+    Arg.(value & opt float 1000. & info [ "mtbf" ] ~docv:"STEPS"
+           ~doc:"Mean steps between failures, per component.")
+  in
+  let mttr_arg =
+    Arg.(value & opt float 400. & info [ "mttr" ] ~docv:"STEPS"
+           ~doc:"Mean steps to repair a failed component.")
+  in
+  let slack_arg =
+    Arg.(value & opt int 2 & info [ "slack-max" ] ~docv:"F"
+           ~doc:"Rows for slack f = 0 .. F extra middle modules.")
+  in
+  let class_arg =
+    Arg.(
+      value
+      & opt (enum [ ("middle", `Middle); ("laser", `Laser); ("converter", `Converter);
+                    ("module", `Module); ("all", `All) ]) `Middle
+      & info [ "class" ] ~docv:"CLASS"
+          ~doc:"Fault classes drawn by the campaign: middle, laser, converter, module or all.")
+  in
+  let run n r k m construction model steps seed mtbf mttr slack_max klass csv =
+    check_dims n k;
+    if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
+    if slack_max < 0 then begin prerr_endline "wdmnet: slack-max must be >= 0"; exit 2 end;
+    if mtbf <= 0. || mttr <= 0. then begin
+      prerr_endline "wdmnet: mtbf and mttr must be positive"; exit 2
+    end;
+    if steps < 0 then begin prerr_endline "wdmnet: steps must be >= 0"; exit 2 end;
+    let eval =
+      match construction with
+      | Network.Msw_dominant -> Conditions.msw_dominant ~n ~r
+      | Network.Maw_dominant -> Conditions.maw_dominant ~n ~r ~k
+    in
+    let base_m = Option.value ~default:eval.Conditions.m_min m in
+    Format.printf
+      "Fault-injection campaign: n=%d r=%d k=%d, base m=%d (theorem m_min=%d), \
+       %d steps, mtbf=%.0f mttr=%.0f, seed %d\n"
+      n r k base_m eval.Conditions.m_min steps mtbf mttr seed;
+    let table =
+      An.Table.make ~title:"Degradation under component faults"
+        ~header:
+          [ "slack"; "m"; "injected"; "victims"; "repaired"; "dropped";
+            "blocked"; "degraded-blocked"; "degraded-rate" ]
+        ()
+    in
+    for f = 0 to slack_max do
+      let m = base_m + f in
+      let topo = Topology.make_exn ~n ~m ~r ~k in
+      let net = Network.create ~construction ~output_model:model topo in
+      let universe =
+        let keep fault =
+          match (klass, fault) with
+          | `All, _ -> true
+          | `Middle, Fault.Middle _ -> true
+          | `Laser, (Fault.Stage1_laser _ | Fault.Stage2_laser _) -> true
+          | `Converter, Fault.Converter _ -> true
+          | `Module, (Fault.Input_module _ | Fault.Output_module _) -> true
+          | _ -> false
+        in
+        List.filter keep (Fault.universe ~m ~r ~k)
+      in
+      let schedule =
+        Schedule.generate
+          ~rng:(Random.State.make [| seed; 0xfa; f |])
+          ~universe ~mtbf ~mttr ~steps
+        |> List.map (fun { Schedule.step; action } ->
+               match action with
+               | Schedule.Inject fault -> (step, `Inject fault)
+               | Schedule.Clear fault -> (step, `Clear fault))
+      in
+      let fsut =
+        {
+          Wdm_traffic.Churn.base =
+            {
+              Wdm_traffic.Churn.connect =
+                (fun c ->
+                  match Network.connect net c with
+                  | Ok route -> Ok route.Network.id
+                  | Error e -> Error e);
+              disconnect = (fun id -> ignore (Network.disconnect net id));
+            };
+          inject = Network.inject_fault net;
+          clear = Network.clear_fault net;
+          reconnect =
+            (fun c ->
+              match Network.connect_rearrangeable net c with
+              | Ok (route, _) -> Ok route.Network.id
+              | Error e -> Error e);
+        }
+      in
+      let s =
+        Wdm_traffic.Churn.run_with_faults
+          (Random.State.make [| seed |])
+          ~spec:(Topology.spec topo) ~model
+          ~fanout:(Wdm_traffic.Fanout.Zipf { max = n * r; s = 1.1 })
+          ~steps ~teardown_bias:0.35 ~schedule fsut
+      in
+      let open Wdm_traffic.Churn in
+      An.Table.add_row table
+        [
+          string_of_int f; string_of_int m; string_of_int s.injected;
+          string_of_int s.victims; string_of_int s.repaired;
+          string_of_int s.dropped; string_of_int s.churn.blocked;
+          string_of_int s.blocked_degraded;
+          (if s.degraded_attempts = 0 then "n/a"
+           else
+             Printf.sprintf "%.2f%%"
+               (100. *. float_of_int s.blocked_degraded
+               /. float_of_int s.degraded_attempts));
+        ]
+    done;
+    emit csv table
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Fault-injection campaign: degraded-mode blocking vs middle-stage slack.")
+    Term.(const run $ n_local_arg $ r_arg $ k_arg $ m_arg $ construction_arg
+          $ model_arg $ steps_arg $ seed_arg $ mtbf_arg $ mttr_arg $ slack_arg
+          $ class_arg $ csv_arg)
+
 (* --- adversary ----------------------------------------------------------- *)
 
 let adversary_cmd =
@@ -314,5 +462,6 @@ let () =
        (Cmd.group (Cmd.info "wdmnet" ~version:"1.0.0" ~doc)
           [
             capacity_cmd; cost_cmd; design_cmd; tables_cmd; sweep_cmd;
-            fig10_cmd; simulate_cmd; adversary_cmd; figures_cmd; deep_cmd;
+            fig10_cmd; simulate_cmd; faults_cmd; adversary_cmd; figures_cmd;
+            deep_cmd;
           ]))

@@ -77,7 +77,8 @@ let state_key net =
 
 (* --- search --------------------------------------------------------------- *)
 
-let search ?(max_states = 50_000) ?max_fanout ~construction ~output_model topo =
+let search ?(max_states = 50_000) ?max_fanout ?(prepare = fun (_ : Network.t) -> ())
+    ~construction ~output_model topo =
   let spec = Topology.spec topo in
   let max_fanout =
     Option.value ~default:(Wdm_core.Network_spec.num_endpoints spec) max_fanout
@@ -86,6 +87,7 @@ let search ?(max_states = 50_000) ?max_fanout ~construction ~output_model topo =
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
   let queue : (Network.t * step list) Queue.t = Queue.create () in
   let root = Network.create ~construction ~output_model topo in
+  prepare root;
   Hashtbl.add seen (state_key root) ();
   Queue.add (root, []) queue;
   let explored = ref 0 in
@@ -111,8 +113,10 @@ let search ?(max_states = 50_000) ?max_fanout ~construction ~output_model topo =
              raise Exit
            | Error
                ( Network.Invalid _ | Network.Source_busy _
-               | Network.Destination_busy _ ) ->
-             (* not a legal request in this state: no obligation *)
+               | Network.Destination_busy _ | Network.Unserviceable _ ) ->
+             (* not a legal request in this state: no obligation — an
+                unserviceable endpoint module means no switch at all
+                could carry the request *)
              ())
          universe;
        (* teardown successors *)

@@ -42,6 +42,7 @@ type verdict =
 val search :
   ?max_states:int ->
   ?max_fanout:int ->
+  ?prepare:(Network.t -> unit) ->
   construction:Network.construction ->
   output_model:Model.t ->
   Topology.t ->
@@ -49,7 +50,10 @@ val search :
 (** [max_states] bounds the explored state count (default [50_000]);
     [max_fanout] caps the fanout of generated requests (default: no
     cap).  Teardowns are explored as well as connects, so witnesses
-    needing churn are found. *)
+    needing churn are found.  [prepare] mutates the root (empty)
+    network before the search — e.g. injecting faults, so the search
+    certifies nonblocking operation of the {e degraded} fabric
+    ({!Fault_tolerance}). *)
 
 val frontier_exact :
   ?max_states:int ->

@@ -1,0 +1,71 @@
+(** The [m + f] slack rule and its adversarial verification.
+
+    Theorems 1-2 give a sufficient middle-module count [m_min] for
+    strictly nonblocking operation.  Middle modules are interchangeable
+    — the routing engine treats them symmetrically, and the theorems'
+    counting arguments only use how many are usable — so a fabric
+    provisioned with [m_min + f] middles that has lost {e any} [f] of
+    them is behaviourally a healthy fabric with [m_min] middles, and
+    stays strictly nonblocking.  That is the provisioning rule:
+
+    {e to tolerate [f] middle-module faults, provision [f] modules of
+    slack above the theorem bound.}
+
+    {!provision} computes the rule; {!verify_middle_slack} checks it
+    the hard way on small fabrics, by running the exhaustive
+    {!Adversary} search over the {e degraded} network for every way the
+    adversary can choose the [f] failed modules. *)
+
+open Wdm_core
+open Wdm_multistage
+
+type slack = {
+  eval : Conditions.evaluation;  (** the healthy-network theorem bound *)
+  f : int;  (** middle faults to tolerate *)
+  m_required : int;  (** [eval.m_min + f] *)
+}
+
+val provision :
+  construction:Network.construction -> n:int -> r:int -> k:int -> f:int -> slack
+(** @raise Invalid_argument if [f < 0]. *)
+
+val tolerates :
+  construction:Network.construction ->
+  n:int ->
+  r:int ->
+  k:int ->
+  m:int ->
+  f:int ->
+  bool
+(** [m - f >= m_min]: whether a fabric provisioned with [m] middles is
+    still theorem-nonblocking after losing [f] of them. *)
+
+type check = {
+  failed : int list;  (** the middle modules failed for this search *)
+  verdict : Adversary.verdict;
+}
+
+val verify_middle_slack :
+  ?max_states:int ->
+  ?max_fanout:int ->
+  ?all_subsets:bool ->
+  construction:Network.construction ->
+  output_model:Model.t ->
+  n:int ->
+  r:int ->
+  k:int ->
+  m:int ->
+  f:int ->
+  unit ->
+  check list
+(** Builds the [m]-middle fabric, fails [f] middles, and runs the
+    exhaustive adversarial search on what remains.  With [all_subsets]
+    (default [false]) every [C(m, f)] choice of failed modules is
+    searched — the full adversarial enumeration; by default only the
+    canonical prefix [{1..f}] is, which symmetry makes representative.
+    Expect [Nonblocking_proved] whenever {!tolerates} holds {e and}
+    [m - f] is at or above the fabric's exact (searched) frontier;
+    expect a [Blocking] witness when the degraded fabric falls below
+    the frontier. *)
+
+val pp_check : Format.formatter -> check -> unit

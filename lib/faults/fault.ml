@@ -1,0 +1,85 @@
+type t =
+  | Middle of int
+  | Input_module of int
+  | Output_module of int
+  | Stage1_laser of { input : int; middle : int; wl : int }
+  | Stage2_laser of { middle : int; output : int; wl : int }
+  | Converter of { middle : int; output : int }
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let check name lo hi v =
+  if v < lo || v > hi then
+    Error (Printf.sprintf "%s %d out of range [%d, %d]" name v lo hi)
+  else Ok ()
+
+let ( let* ) = Result.bind
+
+let validate ~m ~r ~k = function
+  | Middle j -> check "middle module" 1 m j
+  | Input_module i -> check "input module" 1 r i
+  | Output_module p -> check "output module" 1 r p
+  | Stage1_laser { input; middle; wl } ->
+    let* () = check "input module" 1 r input in
+    let* () = check "middle module" 1 m middle in
+    check "wavelength" 1 k wl
+  | Stage2_laser { middle; output; wl } ->
+    let* () = check "middle module" 1 m middle in
+    let* () = check "output module" 1 r output in
+    check "wavelength" 1 k wl
+  | Converter { middle; output } ->
+    let* () = check "middle module" 1 m middle in
+    check "output module" 1 r output
+
+let class_name = function
+  | Middle _ -> "middle"
+  | Input_module _ -> "input-module"
+  | Output_module _ -> "output-module"
+  | Stage1_laser _ -> "stage1-laser"
+  | Stage2_laser _ -> "stage2-laser"
+  | Converter _ -> "converter"
+
+let middles ~m = List.init m (fun j -> Middle (j + 1))
+
+let universe ~m ~r ~k =
+  let range n f = List.init n (fun i -> f (i + 1)) in
+  middles ~m
+  @ range r (fun i -> Input_module i)
+  @ range r (fun p -> Output_module p)
+  @ List.concat_map
+      (fun input ->
+        List.concat_map
+          (fun middle ->
+            range k (fun wl -> Stage1_laser { input; middle; wl }))
+          (range m Fun.id))
+      (range r Fun.id)
+  @ List.concat_map
+      (fun middle ->
+        List.concat_map
+          (fun output ->
+            range k (fun wl -> Stage2_laser { middle; output; wl }))
+          (range r Fun.id))
+      (range m Fun.id)
+  @ List.concat_map
+      (fun middle -> range r (fun output -> Converter { middle; output }))
+      (range m Fun.id)
+
+let pp ppf = function
+  | Middle j -> Format.fprintf ppf "middle m%d" j
+  | Input_module i -> Format.fprintf ppf "input module i%d" i
+  | Output_module p -> Format.fprintf ppf "output module o%d" p
+  | Stage1_laser { input; middle; wl } ->
+    Format.fprintf ppf "laser l%d on i%d->m%d" wl input middle
+  | Stage2_laser { middle; output; wl } ->
+    Format.fprintf ppf "laser l%d on m%d->o%d" wl middle output
+  | Converter { middle; output } ->
+    Format.fprintf ppf "converter m%d->o%d" middle output
+
+let to_string f = Format.asprintf "%a" pp f
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,56 @@
+(** Component faults of a three-stage WDM switching fabric.
+
+    The nonblocking theorems assume every resource of the Fig. 8
+    topology is healthy.  Real optical fabrics lose components in a few
+    characteristic ways — a whole module goes dark, one laser on one
+    fiber stops emitting a wavelength, one wavelength converter drifts
+    out of tune — and a production switch must keep routing around
+    whatever is left.  This module is the shared vocabulary for those
+    failure classes; {!Wdm_multistage.Network.inject_fault} gives them
+    routing semantics.
+
+    Indices are 1-based and follow {!Wdm_multistage.Topology}: [r]
+    input and output modules, [m] middle modules, [k] wavelengths per
+    fiber. *)
+
+type t =
+  | Middle of int  (** middle module entirely out of service *)
+  | Input_module of int
+      (** input module dark: nothing can be sourced through it *)
+  | Output_module of int
+      (** output module dark: none of its ports are reachable *)
+  | Stage1_laser of { input : int; middle : int; wl : int }
+      (** the transmitter for wavelength [wl] on the fiber from input
+          module [input] to middle module [middle] is dead; the other
+          [k - 1] wavelengths of that fiber still work *)
+  | Stage2_laser of { middle : int; output : int; wl : int }
+      (** same failure on a middle-to-output fiber *)
+  | Converter of { middle : int; output : int }
+      (** the wavelength converter driving middle module [middle]'s
+          port toward output module [output] is stuck: signals pass
+          through unconverted, so that hop can only carry its incoming
+          wavelength.  Only meaningful where the middle stage converts
+          (MSDW/MAW modules, i.e. the MAW-dominant construction); a
+          no-op for MSW middle modules, which never convert. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val validate : m:int -> r:int -> k:int -> t -> (unit, string) result
+(** Checks every index against the fabric dimensions. *)
+
+val class_name : t -> string
+(** Failure class for reporting: ["middle"], ["input-module"],
+    ["output-module"], ["stage1-laser"], ["stage2-laser"],
+    ["converter"]. *)
+
+val middles : m:int -> t list
+(** [Middle 1 .. Middle m]. *)
+
+val universe : m:int -> r:int -> k:int -> t list
+(** Every individual fault the fabric can suffer, all classes. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,42 @@
+type action = Inject of Fault.t | Clear of Fault.t
+
+type event = { step : int; action : action }
+
+type t = event list
+
+let of_events events =
+  List.stable_sort (fun a b -> Int.compare a.step b.step) events
+
+let exponential rng mean =
+  let u = 1. -. Random.State.float rng 1. in
+  -.mean *. Float.log u
+
+let generate ~rng ~universe ~mtbf ~mttr ~steps =
+  if mtbf <= 0. || mttr <= 0. then
+    invalid_arg "Schedule.generate: mtbf and mttr must be positive";
+  if steps < 0 then invalid_arg "Schedule.generate: steps must be >= 0";
+  let component fault =
+    (* alternate up (mean mtbf) / down (mean mttr) from time 0 *)
+    let rec go acc time up =
+      let dwell = exponential rng (if up then mtbf else mttr) in
+      let time = time +. dwell in
+      let step = int_of_float (Float.ceil time) in
+      if step > steps then List.rev acc
+      else
+        let action = if up then Inject fault else Clear fault in
+        go ({ step; action } :: acc) time (not up)
+    in
+    go [] 0. true
+  in
+  of_events (List.concat_map component universe)
+
+let injections t =
+  List.length (List.filter (fun e -> match e.action with Inject _ -> true | Clear _ -> false) t)
+
+let pp_event ppf { step; action } =
+  match action with
+  | Inject f -> Format.fprintf ppf "@%d inject %a" step Fault.pp f
+  | Clear f -> Format.fprintf ppf "@%d clear %a" step Fault.pp f
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_event ppf t

@@ -1,0 +1,38 @@
+(** Seedable fault schedules.
+
+    A schedule is a timeline of inject/clear events against a step-based
+    driver ({!Wdm_traffic.Churn.run_with_faults}): an event at step [s]
+    is applied just before the [s]-th churn step executes.
+
+    {!generate} draws one from the classic availability model: each
+    component alternates exponentially distributed uptimes (mean
+    [mtbf]) and downtimes (mean [mttr]), independently, starting
+    healthy.  Everything is driven by the supplied [Random.State], so a
+    campaign is reproducible from its seed. *)
+
+type action = Inject of Fault.t | Clear of Fault.t
+
+type event = { step : int; action : action }
+
+type t = event list
+(** Sorted by [step], ascending; for one component, inject and clear
+    events alternate. *)
+
+val of_events : event list -> t
+(** Sorts into schedule order (stable, so same-step events keep their
+    relative order). *)
+
+val generate :
+  rng:Random.State.t ->
+  universe:Fault.t list ->
+  mtbf:float ->
+  mttr:float ->
+  steps:int ->
+  t
+(** Failure/repair processes for every component of [universe] over
+    [steps] churn steps, [mtbf]/[mttr] in steps.  @raise
+    Invalid_argument unless [mtbf > 0.], [mttr > 0.] and [steps >= 0]. *)
+
+val injections : t -> int
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

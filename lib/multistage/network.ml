@@ -22,11 +22,19 @@ type error =
   | Invalid of Assignment.error
   | Source_busy of Endpoint.t
   | Destination_busy of Endpoint.t
+  | Unserviceable of Wdm_faults.Fault.t
   | Blocked of blocked_info
 
 module Eset = Set.Make (Endpoint)
 module Imap = Map.Make (Int)
 module Iset = Set.Make (Int)
+module Fault = Wdm_faults.Fault
+
+module Pset = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
 
 type t = {
   topo : Topology.t;
@@ -44,7 +52,14 @@ type t = {
   mutable busy_dests : Eset.t;
   mutable next_id : int;
   mutable routes : route Imap.t;
-  mutable failed : Iset.t;  (* middle modules out of service *)
+  mutable faults : Fault.Set.t;
+  (* derived views of [faults], rebuilt on every inject/clear *)
+  mutable failed_middles : Iset.t;
+  mutable failed_inputs : Iset.t;
+  mutable failed_outputs : Iset.t;
+  stage1_dead : bool array array array;  (* mirrors stage1: dead lasers *)
+  stage2_dead : bool array array array;
+  mutable dead_converters : Pset.t;  (* (middle, output) pass-through links *)
 }
 
 let create ?(strategy = Min_intersection) ?x_limit ~construction ~output_model
@@ -72,7 +87,17 @@ let create ?(strategy = Min_intersection) ?x_limit ~construction ~output_model
     busy_dests = Eset.empty;
     next_id = 0;
     routes = Imap.empty;
-    failed = Iset.empty;
+    faults = Fault.Set.empty;
+    failed_middles = Iset.empty;
+    failed_inputs = Iset.empty;
+    failed_outputs = Iset.empty;
+    stage1_dead =
+      Array.init topo.r (fun _ ->
+          Array.init topo.m (fun _ -> Array.make topo.k false));
+    stage2_dead =
+      Array.init topo.m (fun _ ->
+          Array.init topo.r (fun _ -> Array.make topo.k false));
+    dead_converters = Pset.empty;
   }
 
 let topology t = t.topo
@@ -83,8 +108,11 @@ let strategy t = t.strategy
 
 (* ----- link-state helpers --------------------------------------------- *)
 
+(* A wavelength slot is usable when it is neither busy nor served by a
+   dead laser. *)
 let stage1_free_wl t ~input_switch ~middle ~wl =
-  not t.stage1.(input_switch - 1).(middle - 1).(wl - 1)
+  (not t.stage1.(input_switch - 1).(middle - 1).(wl - 1))
+  && not t.stage1_dead.(input_switch - 1).(middle - 1).(wl - 1)
 
 let stage1_used_count t ~input_switch ~middle =
   Array.fold_left
@@ -92,51 +120,84 @@ let stage1_used_count t ~input_switch ~middle =
     0
     t.stage1.(input_switch - 1).(middle - 1)
 
-let stage1_any_free t ~input_switch ~middle =
-  stage1_used_count t ~input_switch ~middle < t.topo.k
-
-let stage2_free_wl t ~middle ~out_switch ~wl =
-  not t.stage2.(middle - 1).(out_switch - 1).(wl - 1)
-
-let stage2_any_free t ~middle ~out_switch =
-  Array.exists (fun b -> not b) t.stage2.(middle - 1).(out_switch - 1)
-
-let first_free plane =
+let first_live_free busy dead =
   let rec go i =
-    if i >= Array.length plane then None
-    else if not plane.(i) then Some (i + 1)
+    if i >= Array.length busy then None
+    else if (not busy.(i)) && not dead.(i) then Some (i + 1)
     else go (i + 1)
   in
   go 0
 
+let stage1_first_free t ~input_switch ~middle =
+  first_live_free
+    t.stage1.(input_switch - 1).(middle - 1)
+    t.stage1_dead.(input_switch - 1).(middle - 1)
+
+let stage1_any_free t ~input_switch ~middle =
+  stage1_first_free t ~input_switch ~middle <> None
+
+let stage2_free_wl t ~middle ~out_switch ~wl =
+  (not t.stage2.(middle - 1).(out_switch - 1).(wl - 1))
+  && not t.stage2_dead.(middle - 1).(out_switch - 1).(wl - 1)
+
+let stage2_first_free t ~middle ~out_switch =
+  first_live_free
+    t.stage2.(middle - 1).(out_switch - 1)
+    t.stage2_dead.(middle - 1).(out_switch - 1)
+
+let stage2_any_free t ~middle ~out_switch =
+  stage2_first_free t ~middle ~out_switch <> None
+
 (* Whether middle [j] has a usable first-stage slot for a request sourced
    at [input_switch] on wavelength [src_wl]. *)
 let middle_available t ~input_switch ~src_wl j =
-  (not (Iset.mem j t.failed))
+  (not (Iset.mem j t.failed_middles))
   &&
   match t.construction with
   | Msw_dominant -> stage1_free_wl t ~input_switch ~middle:j ~wl:src_wl
   | Maw_dominant -> stage1_any_free t ~input_switch ~middle:j
 
+(* The wavelength a hop through middle [j] would ride on its first-stage
+   link, given the current state.  Deterministic, so the coverage check
+   and the later allocation agree. *)
+let prospective_stage1_wl t ~input_switch ~src_wl j =
+  match t.construction with
+  | Msw_dominant -> Some src_wl
+  | Maw_dominant -> stage1_first_free t ~input_switch ~middle:j
+
 (* Whether middle [j] can reach output module [p] for this request. *)
-let middle_covers t ~src_wl j p =
+let middle_covers t ~input_switch ~src_wl j p =
+  (not (Iset.mem p t.failed_outputs))
+  &&
   match t.construction with
   | Msw_dominant -> stage2_free_wl t ~middle:j ~out_switch:p ~wl:src_wl
   | Maw_dominant -> (
+    let converter_dead = Pset.mem (j, p) t.dead_converters in
     match t.output_model with
     | Model.MSW ->
       (* MSW output modules cannot convert: the hop must arrive on the
          destination wavelength, which under the MSW network model is
-         the source wavelength. *)
+         the source wavelength.  A dead middle converter additionally
+         pins the hop to its incoming wavelength, so both must be the
+         source wavelength. *)
       stage2_free_wl t ~middle:j ~out_switch:p ~wl:src_wl
-    | Model.MSDW | Model.MAW -> stage2_any_free t ~middle:j ~out_switch:p)
+      && ((not converter_dead)
+         || prospective_stage1_wl t ~input_switch ~src_wl j = Some src_wl)
+    | Model.MSDW | Model.MAW ->
+      if converter_dead then
+        (* pass-through link: the hop leaves [j] on the wavelength it
+           arrived on *)
+        match prospective_stage1_wl t ~input_switch ~src_wl j with
+        | None -> false
+        | Some w1 -> stage2_free_wl t ~middle:j ~out_switch:p ~wl:w1
+      else stage2_any_free t ~middle:j ~out_switch:p)
 
 (* ----- middle-module selection ---------------------------------------- *)
 
 (* Min-intersection greedy (the Lemma 5 argument): repeatedly take the
    middle covering the most still-uncovered output modules, i.e.
    minimizing the residual intersection. *)
-let select_min_intersection t ~src_wl available fanout =
+let select_min_intersection t ~input_switch ~src_wl available fanout =
   let rec go chosen uncovered remaining picks_left =
     if uncovered = [] then Some (List.rev chosen)
     else if picks_left = 0 || remaining = [] then None
@@ -145,7 +206,7 @@ let select_min_intersection t ~src_wl available fanout =
         List.map
           (fun j ->
             let covered =
-              List.filter (fun p -> middle_covers t ~src_wl j p) uncovered
+              List.filter (fun p -> middle_covers t ~input_switch ~src_wl j p) uncovered
             in
             (j, covered))
           remaining
@@ -172,7 +233,7 @@ let select_min_intersection t ~src_wl available fanout =
   in
   go [] fanout available t.x_limit
 
-let select_first_fit t ~src_wl available fanout =
+let select_first_fit t ~input_switch ~src_wl available fanout =
   let rec go chosen uncovered remaining picks_left =
     if uncovered = [] then Some (List.rev chosen)
     else
@@ -182,7 +243,7 @@ let select_first_fit t ~src_wl available fanout =
         if picks_left = 0 then None
         else begin
           let covered =
-            List.filter (fun p -> middle_covers t ~src_wl j p) uncovered
+            List.filter (fun p -> middle_covers t ~input_switch ~src_wl j p) uncovered
           in
           if covered = [] then go chosen uncovered rest picks_left
           else begin
@@ -196,8 +257,8 @@ let select_first_fit t ~src_wl available fanout =
   go [] fanout available t.x_limit
 
 (* Exhaustive: subsets of increasing size; returns the first full cover. *)
-let select_exhaustive t ~src_wl available fanout =
-  let covers_of j = List.filter (fun p -> middle_covers t ~src_wl j p) fanout in
+let select_exhaustive t ~input_switch ~src_wl available fanout =
+  let covers_of j = List.filter (fun p -> middle_covers t ~input_switch ~src_wl j p) fanout in
   let rec subsets size = function
     | [] -> if size = 0 then [ [] ] else []
     | j :: rest ->
@@ -229,12 +290,12 @@ let select_exhaustive t ~src_wl available fanout =
   in
   go 1
 
-let select t ~src_wl available fanout =
+let select t ~input_switch ~src_wl available fanout =
   let raw =
     match t.strategy with
-    | Min_intersection -> select_min_intersection t ~src_wl available fanout
-    | First_fit -> select_first_fit t ~src_wl available fanout
-    | Exhaustive -> select_exhaustive t ~src_wl available fanout
+    | Min_intersection -> select_min_intersection t ~input_switch ~src_wl available fanout
+    | First_fit -> select_first_fit t ~input_switch ~src_wl available fanout
+    | Exhaustive -> select_exhaustive t ~input_switch ~src_wl available fanout
   in
   (* Drop members that ended up serving nothing. *)
   Option.map (List.filter (fun (_, serves) -> serves <> [])) raw
@@ -246,13 +307,28 @@ let validate_request t (conn : Connection.t) =
   match Assignment.validate spec t.output_model (Assignment.make [ conn ]) with
   | Error e -> Error (Invalid e)
   | Ok () ->
-    if Eset.mem conn.source t.busy_sources then Error (Source_busy conn.source)
+    let src_switch = fst (Topology.switch_of_port t.topo conn.source.port) in
+    if Iset.mem src_switch t.failed_inputs then
+      Error (Unserviceable (Fault.Input_module src_switch))
     else (
       match
-        List.find_opt (fun d -> Eset.mem d t.busy_dests) conn.destinations
+        List.find_opt
+          (fun (d : Endpoint.t) ->
+            Iset.mem (fst (Topology.switch_of_port t.topo d.port)) t.failed_outputs)
+          conn.destinations
       with
-      | Some d -> Error (Destination_busy d)
-      | None -> Ok ())
+      | Some d ->
+        Error
+          (Unserviceable
+             (Fault.Output_module (fst (Topology.switch_of_port t.topo d.port))))
+      | None ->
+        if Eset.mem conn.source t.busy_sources then Error (Source_busy conn.source)
+        else (
+          match
+            List.find_opt (fun d -> Eset.mem d t.busy_dests) conn.destinations
+          with
+          | Some d -> Error (Destination_busy d)
+          | None -> Ok ()))
 
 let fanout_switches t (conn : Connection.t) =
   conn.destinations
@@ -271,10 +347,10 @@ let connect t (conn : Connection.t) =
         (fun j -> middle_available t ~input_switch ~src_wl j)
         (List.init t.topo.m (fun j -> j + 1))
     in
-    (match select t ~src_wl available fanout with
+    (match select t ~input_switch ~src_wl available fanout with
     | None ->
       let covered_somewhere p =
-        List.exists (fun j -> middle_covers t ~src_wl j p) available
+        List.exists (fun j -> middle_covers t ~input_switch ~src_wl j p) available
       in
       Error
         (Blocked
@@ -292,7 +368,7 @@ let connect t (conn : Connection.t) =
               match t.construction with
               | Msw_dominant -> src_wl
               | Maw_dominant -> (
-                match first_free t.stage1.(input_switch - 1).(j - 1) with
+                match stage1_first_free t ~input_switch ~middle:j with
                 | Some w -> w
                 | None -> assert false (* j was available *))
             in
@@ -306,11 +382,16 @@ let connect t (conn : Connection.t) =
                     | Maw_dominant -> (
                       match t.output_model with
                       | Model.MSW -> src_wl
-                      | Model.MSDW | Model.MAW -> (
-                        match first_free t.stage2.(j - 1).(p - 1) with
-                        | Some w -> w
-                        | None -> assert false (* p was coverable via j *)))
+                      | Model.MSDW | Model.MAW ->
+                        if Pset.mem (j, p) t.dead_converters then
+                          (* pass-through: coverage checked this slot *)
+                          stage1_wl
+                        else (
+                          match stage2_first_free t ~middle:j ~out_switch:p with
+                          | Some w -> w
+                          | None -> assert false (* p was coverable via j *)))
                   in
+                  assert (not t.stage2.(j - 1).(p - 1).(w2 - 1));
                   t.stage2.(j - 1).(p - 1).(w2 - 1) <- true;
                   (p, w2))
                 serves
@@ -428,27 +509,94 @@ let stage1_in_use t ~input_switch ~middle =
     invalid_arg "Network.stage1_in_use: bad middle";
   stage1_used_count t ~input_switch ~middle
 
+(* ----- fault injection ------------------------------------------------- *)
+
+let rebuild_fault_state t =
+  t.failed_middles <- Iset.empty;
+  t.failed_inputs <- Iset.empty;
+  t.failed_outputs <- Iset.empty;
+  Array.iter (fun plane -> Array.iter (fun wls -> Array.fill wls 0 (Array.length wls) false) plane) t.stage1_dead;
+  Array.iter (fun plane -> Array.iter (fun wls -> Array.fill wls 0 (Array.length wls) false) plane) t.stage2_dead;
+  t.dead_converters <- Pset.empty;
+  Fault.Set.iter
+    (function
+      | Fault.Middle j -> t.failed_middles <- Iset.add j t.failed_middles
+      | Fault.Input_module i -> t.failed_inputs <- Iset.add i t.failed_inputs
+      | Fault.Output_module p -> t.failed_outputs <- Iset.add p t.failed_outputs
+      | Fault.Stage1_laser { input; middle; wl } ->
+        t.stage1_dead.(input - 1).(middle - 1).(wl - 1) <- true
+      | Fault.Stage2_laser { middle; output; wl } ->
+        t.stage2_dead.(middle - 1).(output - 1).(wl - 1) <- true
+      | Fault.Converter { middle; output } ->
+        t.dead_converters <- Pset.add (middle, output) t.dead_converters)
+    t.faults
+
+(* Whether a live route traverses the faulted component. *)
+let route_hit (route : route) = function
+  | Fault.Middle j -> List.exists (fun h -> h.middle = j) route.hops
+  | Fault.Input_module i -> route.input_switch = i
+  | Fault.Output_module p ->
+    List.exists (fun h -> List.mem_assoc p h.serves) route.hops
+  | Fault.Stage1_laser { input; middle; wl } ->
+    route.input_switch = input
+    && List.exists (fun h -> h.middle = middle && h.stage1_wl = wl) route.hops
+  | Fault.Stage2_laser { middle; output; wl } ->
+    List.exists
+      (fun h ->
+        h.middle = middle
+        && List.exists (fun (p, w) -> p = output && w = wl) h.serves)
+      route.hops
+  | Fault.Converter { middle; output } ->
+    (* only routes that actually relied on the converter: the hop
+       retuned between its two links.  MSW middle modules never
+       convert, so MSW-dominant routes are immune. *)
+    List.exists
+      (fun h ->
+        h.middle = middle
+        && List.exists (fun (p, w) -> p = output && w <> h.stage1_wl) h.serves)
+      route.hops
+
+let validate_fault t fn fault =
+  match Fault.validate ~m:t.topo.m ~r:t.topo.r ~k:t.topo.k fault with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Printf.sprintf "Network.%s: %s" fn e)
+
+let inject_fault t fault =
+  validate_fault t "inject_fault" fault;
+  if Fault.Set.mem fault t.faults then []
+  else begin
+    t.faults <- Fault.Set.add fault t.faults;
+    rebuild_fault_state t;
+    let victims =
+      Imap.bindings t.routes
+      |> List.map snd
+      |> List.filter (fun route -> route_hit route fault)
+    in
+    List.iter
+      (fun route ->
+        release t route;
+        t.routes <- Imap.remove route.id t.routes)
+      victims;
+    List.map (fun route -> route.connection) victims
+  end
+
+let clear_fault t fault =
+  validate_fault t "clear_fault" fault;
+  t.faults <- Fault.Set.remove fault t.faults;
+  rebuild_fault_state t
+
+let faults t = Fault.Set.elements t.faults
+let degraded t = not (Fault.Set.is_empty t.faults)
+
 let fail_middle t j =
   if j < 1 || j > t.topo.m then invalid_arg "Network.fail_middle: bad middle";
-  t.failed <- Iset.add j t.failed;
-  let victims =
-    Imap.bindings t.routes
-    |> List.map snd
-    |> List.filter (fun route ->
-           List.exists (fun h -> h.middle = j) route.hops)
-  in
-  List.iter
-    (fun route ->
-      release t route;
-      t.routes <- Imap.remove route.id t.routes)
-    victims;
-  List.map (fun route -> route.connection) victims
+  inject_fault t (Fault.Middle j)
 
 let repair_middle t j =
   if j < 1 || j > t.topo.m then invalid_arg "Network.repair_middle: bad middle";
-  t.failed <- Iset.remove j t.failed
+  clear_fault t (Fault.Middle j)
 
-let failed_middles t = Iset.elements t.failed
+let failed_middles t = Iset.elements t.failed_middles
 
 let utilization t =
   float_of_int (Eset.cardinal t.busy_dests)
@@ -463,12 +611,16 @@ let copy t =
     t with
     stage1 = Array.map (Array.map Array.copy) t.stage1;
     stage2 = Array.map (Array.map Array.copy) t.stage2;
+    stage1_dead = Array.map (Array.map Array.copy) t.stage1_dead;
+    stage2_dead = Array.map (Array.map Array.copy) t.stage2_dead;
   }
 
 let pp_error ppf = function
   | Invalid e -> Format.fprintf ppf "invalid request: %a" Assignment.pp_error e
   | Source_busy e -> Format.fprintf ppf "source %a busy" Endpoint.pp e
   | Destination_busy e -> Format.fprintf ppf "destination %a busy" Endpoint.pp e
+  | Unserviceable f ->
+    Format.fprintf ppf "unserviceable: %a is out of service" Fault.pp f
   | Blocked { fanout_switches; available_middles; uncovered } ->
     Format.fprintf ppf
       "blocked: fanout over output modules {%s}, %d available middles, \
@@ -490,6 +642,12 @@ let pp_state ppf t =
   for j = 1 to t.topo.m do
     Format.fprintf ppf "  M_%d = %a@," j Multiset.pp (destination_multiset t j)
   done;
+  if degraded t then
+    Format.fprintf ppf "faults: %a@,"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Fault.pp)
+      (faults t);
   Format.fprintf ppf "active routes: %d, utilization %.1f%%@]"
     (Imap.cardinal t.routes) (100. *. utilization t)
 

@@ -64,6 +64,9 @@ type error =
   | Invalid of Assignment.error
   | Source_busy of Endpoint.t
   | Destination_busy of Endpoint.t
+  | Unserviceable of Wdm_faults.Fault.t
+      (** an endpoint of the request sits on a failed input/output
+          module; no route can exist until the fault clears *)
   | Blocked of blocked_info
 
 type t
@@ -127,14 +130,42 @@ val copy : t -> t
 (** An independent snapshot: connects/disconnects on the copy do not
     affect the original.  Used by the exhaustive adversary search. *)
 
+(** {1 Fault injection}
+
+    Hardware faults ({!Wdm_faults.Fault.t}) degrade the network in
+    place: routing transparently avoids failed middles, dead lasers and
+    stuck converters, requests whose endpoints sit on a failed
+    input/output module are refused with {!Unserviceable}, and live
+    routes crossing a newly failed component are torn down (their
+    connections are returned so a repair pass —
+    {!Scheduler.repair} — can re-home them). *)
+
+val inject_fault : t -> Wdm_faults.Fault.t -> Connection.t list
+(** Take one component out of service.  Every live route traversing it
+    is torn down and its connection returned (endpoints freed, so the
+    caller may immediately re-request).  Idempotent: injecting a fault
+    already present returns [[]].  A [Converter] fault only claims the
+    routes that actually retuned on that link — MSW middle modules
+    never convert, so MSW-dominant routes are immune.
+    @raise Invalid_argument if the fault's indices exceed the topology. *)
+
+val clear_fault : t -> Wdm_faults.Fault.t -> unit
+(** Return the component to service (a no-op if it was healthy).
+    Routes lost to the fault are {e not} resurrected — re-request them
+    or run {!Scheduler.repair}. *)
+
+val faults : t -> Wdm_faults.Fault.t list
+(** Faults currently in force, in {!Wdm_faults.Fault.compare} order. *)
+
+val degraded : t -> bool
+(** [faults t <> []]. *)
+
 val fail_middle : t -> int -> Connection.t list
-(** Take middle module [j] out of service: every route crossing it is
-    torn down (the lost connections are returned so the caller can
-    re-request them) and the selection logic stops considering [j].
-    Idempotent.  Since Theorems 1-2 bound the middles a worst case
-    needs, a network provisioned with [m_min + f] modules stays
-    nonblocking under [f] such faults — the fault-tolerance rule the
-    tests check. *)
+(** [inject_fault t (Middle j)] with a legacy bounds message.  Since
+    Theorems 1-2 bound the middles a worst case needs, a network
+    provisioned with [m_min + f] modules stays nonblocking under [f]
+    such faults — the fault-tolerance rule
+    {!Wdm_analysis.Fault_tolerance} verifies. *)
 
 val repair_middle : t -> int -> unit
 val failed_middles : t -> int list

@@ -58,3 +58,43 @@ let route_assignment ?(max_order_attempts = 8) ?(rearrange = false) ?(seed = 0)
   match a.Assignment.connections with
   | [] -> Ok { routes = []; reroutes = 0; order_attempts = 1 }
   | conns -> attempt 1 conns None
+
+(* ----- connection repair ------------------------------------------------ *)
+
+type repair_outcome = {
+  repaired : (Connection.t * Network.route) list;
+  dropped : (Connection.t * Network.error) list;
+  repair_moves : int;
+}
+
+let repair ?(rearrange = true) net victims =
+  let outcome =
+    List.fold_left
+      (fun acc conn ->
+        let result =
+          if rearrange then
+            Result.map
+              (fun (route, moved) -> (route, moved))
+              (Network.connect_rearrangeable net conn)
+          else Result.map (fun route -> (route, 0)) (Network.connect net conn)
+        in
+        match result with
+        | Ok (route, moved) ->
+          {
+            acc with
+            repaired = (conn, route) :: acc.repaired;
+            repair_moves = acc.repair_moves + moved;
+          }
+        | Error e -> { acc with dropped = (conn, e) :: acc.dropped })
+      { repaired = []; dropped = []; repair_moves = 0 }
+      victims
+  in
+  {
+    outcome with
+    repaired = List.rev outcome.repaired;
+    dropped = List.rev outcome.dropped;
+  }
+
+let pp_repair_outcome ppf { repaired; dropped; repair_moves } =
+  Format.fprintf ppf "%d repaired (%d rearrangement moves), %d dropped"
+    (List.length repaired) repair_moves (List.length dropped)

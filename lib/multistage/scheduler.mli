@@ -29,3 +29,34 @@ val route_assignment :
     each placement may move one existing connection.  On failure the
     network is left empty; on success it holds exactly the assignment's
     routes.  @raise Invalid_argument if the network is not empty. *)
+
+(** {1 Connection repair}
+
+    When {!Network.inject_fault} tears down the routes crossing a
+    failed component, the torn connections are not gone — their
+    endpoints are still committed to each other and the fabric may
+    still have a path that avoids the fault.  {!repair} re-homes them
+    on the degraded network. *)
+
+type repair_outcome = {
+  repaired : (Connection.t * Network.route) list;
+      (** victims re-homed, with their new routes *)
+  dropped : (Connection.t * Network.error) list;
+      (** victims no degraded-mode route could serve, with the reason
+          (e.g. {!Network.Unserviceable} when an endpoint module is
+          down, {!Network.Blocked} when the survivors exhaust the
+          slack) *)
+  repair_moves : int;  (** rearrangement moves spent on re-homing *)
+}
+
+val repair :
+  ?rearrange:bool -> Network.t -> Connection.t list -> repair_outcome
+(** Attempts to re-route every victim connection on the current
+    (degraded) network, in the given order.  With [rearrange] (default
+    [true]) a re-home may move one surviving connection out of the way
+    ({!Network.connect_rearrangeable}) — the same machinery the offline
+    scheduler uses below the theorem bound.  Dropped victims leave the
+    network untouched, so callers may retry them after the next
+    {!Network.clear_fault}. *)
+
+val pp_repair_outcome : Format.formatter -> repair_outcome -> unit

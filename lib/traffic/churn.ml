@@ -15,15 +15,74 @@ type ('id, 'err) sut = {
 
 module Eset = Set.Make (Endpoint)
 
-let run ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout ~steps
-    ~teardown_bias sut =
-  if teardown_bias < 0. || teardown_bias > 1. then
-    invalid_arg "Churn.run: teardown_bias must be in [0, 1]";
+type ('id, 'err, 'fault) faulty_sut = {
+  base : ('id, 'err) sut;
+  inject : 'fault -> Connection.t list;
+  clear : 'fault -> unit;
+  reconnect : Connection.t -> ('id, 'err) result;
+}
+
+type fault_stats = {
+  churn : stats;
+  injected : int;
+  cleared : int;
+  victims : int;
+  repaired : int;
+  dropped : int;
+  degraded_attempts : int;
+  blocked_degraded : int;
+}
+
+(* Shared engine: [run] is the empty-schedule special case.  The RNG
+   draw sequence for a given seed is identical whether or not a
+   schedule is supplied (fault handling never consults the RNG), so
+   fault campaigns are comparable step-for-step with healthy runs. *)
+let engine ~on_blocked rng ~spec ~model ~fanout ~steps ~teardown_bias ~schedule
+    fsut =
+  let sut = fsut.base in
   let all_sources = Network_spec.inputs spec in
   let all_dests = Network_spec.outputs spec in
   let active : ('id * Connection.t) list ref = ref [] in
   let used_src = ref Eset.empty and used_dst = ref Eset.empty in
   let stats = ref { attempts = 0; accepted = 0; blocked = 0; torn_down = 0; peak_active = 0 } in
+  let injected = ref 0 and cleared = ref 0 in
+  let victims = ref 0 and repaired = ref 0 and dropped = ref 0 in
+  let degraded_attempts = ref 0 and blocked_degraded = ref 0 in
+  let in_force = ref [] in
+  let register id conn =
+    active := (id, conn) :: !active;
+    used_src := Eset.add conn.Connection.source !used_src;
+    used_dst :=
+      List.fold_left (fun s d -> Eset.add d s) !used_dst
+        conn.Connection.destinations
+  in
+  let unregister conn =
+    active := List.filter (fun (_, c) -> not (Connection.equal c conn)) !active;
+    used_src := Eset.remove conn.Connection.source !used_src;
+    used_dst :=
+      List.fold_left (fun s d -> Eset.remove d s) !used_dst
+        conn.Connection.destinations
+  in
+  let apply = function
+    | `Inject fault ->
+      incr injected;
+      if not (List.mem fault !in_force) then in_force := fault :: !in_force;
+      let torn = fsut.inject fault in
+      victims := !victims + List.length torn;
+      (* the network freed every victim at once; re-home them on what
+         is left, one by one *)
+      List.iter unregister torn;
+      List.iter
+        (fun conn ->
+          match fsut.reconnect conn with
+          | Ok id -> register id conn; incr repaired
+          | Error _ -> incr dropped)
+        torn
+    | `Clear fault ->
+      incr cleared;
+      in_force := List.filter (fun f -> f <> fault) !in_force;
+      fsut.clear fault
+  in
   let teardown () =
     match !active with
     | [] -> ()
@@ -47,13 +106,10 @@ let run ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout ~steps
     | None -> ()
     | Some conn -> (
       stats := { !stats with attempts = !stats.attempts + 1 };
+      if !in_force <> [] then incr degraded_attempts;
       match sut.connect conn with
       | Ok id ->
-        active := (id, conn) :: !active;
-        used_src := Eset.add conn.Connection.source !used_src;
-        used_dst :=
-          List.fold_left (fun s d -> Eset.add d s) !used_dst
-            conn.Connection.destinations;
+        register id conn;
         stats :=
           {
             !stats with
@@ -62,18 +118,71 @@ let run ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout ~steps
           }
       | Error err ->
         on_blocked conn err;
+        if !in_force <> [] then incr blocked_degraded;
         stats := { !stats with blocked = !stats.blocked + 1 })
   in
-  for _ = 1 to steps do
+  let pending = ref schedule in
+  for step = 1 to steps do
+    let rec drain () =
+      match !pending with
+      | (s, ev) :: rest when s <= step ->
+        pending := rest;
+        apply ev;
+        drain ()
+      | _ -> ()
+    in
+    drain ();
     if !active <> [] && Random.State.float rng 1. < teardown_bias then teardown ()
     else setup ()
   done;
-  !stats
+  {
+    churn = !stats;
+    injected = !injected;
+    cleared = !cleared;
+    victims = !victims;
+    repaired = !repaired;
+    dropped = !dropped;
+    degraded_attempts = !degraded_attempts;
+    blocked_degraded = !blocked_degraded;
+  }
+
+let run ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout ~steps
+    ~teardown_bias sut =
+  if teardown_bias < 0. || teardown_bias > 1. then
+    invalid_arg "Churn.run: teardown_bias must be in [0, 1]";
+  let fsut =
+    {
+      base = sut;
+      inject = (fun () -> []);
+      clear = ignore;
+      reconnect = (fun _ -> invalid_arg "Churn.run: no faults");
+    }
+  in
+  (engine ~on_blocked rng ~spec ~model ~fanout ~steps ~teardown_bias
+     ~schedule:[] fsut)
+    .churn
+
+let run_with_faults ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout
+    ~steps ~teardown_bias ~schedule fsut =
+  if teardown_bias < 0. || teardown_bias > 1. then
+    invalid_arg "Churn.run_with_faults: teardown_bias must be in [0, 1]";
+  let schedule =
+    List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) schedule
+  in
+  engine ~on_blocked rng ~spec ~model ~fanout ~steps ~teardown_bias ~schedule
+    fsut
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d attempts, %d accepted, %d blocked, %d torn down, peak %d active"
     s.attempts s.accepted s.blocked s.torn_down s.peak_active
+
+let pp_fault_stats ppf s =
+  Format.fprintf ppf
+    "%a; faults: %d injected, %d cleared, %d victims (%d repaired, %d \
+     dropped), degraded blocking %d/%d"
+    pp_stats s.churn s.injected s.cleared s.victims s.repaired s.dropped
+    s.blocked_degraded s.degraded_attempts
 
 (* --- continuous time ---------------------------------------------------- *)
 

@@ -38,6 +38,58 @@ val run :
 
 val pp_stats : Format.formatter -> stats -> unit
 
+(** {1 Churn under component faults}
+
+    A production fabric loses hardware mid-run.  {!run_with_faults}
+    drives the same setup/teardown workload while replaying a fault
+    schedule (typically {!Wdm_faults.Schedule.generate}, MTBF/MTTR
+    exponential processes): each injection tears down the routes
+    crossing the component, a repair pass immediately tries to re-home
+    the victims on the degraded fabric, and blocking is attributed to
+    degraded or healthy states.  The driver is polymorphic in the fault
+    type, so it works with any switch exposing inject/clear hooks. *)
+
+type ('id, 'err, 'fault) faulty_sut = {
+  base : ('id, 'err) sut;
+  inject : 'fault -> Connection.t list;
+      (** take the component down; return the torn-down connections *)
+  clear : 'fault -> unit;
+  reconnect : Connection.t -> ('id, 'err) result;
+      (** repair attempt for a victim (e.g.
+          {!Wdm_multistage.Network.connect_rearrangeable}) *)
+}
+
+type fault_stats = {
+  churn : stats;  (** the usual workload counters *)
+  injected : int;  (** fault injections applied *)
+  cleared : int;  (** fault clears applied *)
+  victims : int;  (** connections torn down by injections *)
+  repaired : int;  (** victims re-homed by the repair pass *)
+  dropped : int;  (** victims no degraded-mode route could carry *)
+  degraded_attempts : int;  (** setups attempted while >= 1 fault in force *)
+  blocked_degraded : int;  (** of [churn.blocked], those while degraded *)
+}
+
+val run_with_faults :
+  ?on_blocked:(Connection.t -> 'err -> unit) ->
+  Random.State.t ->
+  spec:Network_spec.t ->
+  model:Model.t ->
+  fanout:Fanout.t ->
+  steps:int ->
+  teardown_bias:float ->
+  schedule:(int * [ `Inject of 'fault | `Clear of 'fault ]) list ->
+  ('id, 'err, 'fault) faulty_sut ->
+  fault_stats
+(** Like {!run}, plus fault events: an event scheduled at step [s] is
+    applied just before step [s] executes (the schedule is sorted
+    internally; events beyond [steps] never fire).  The RNG draw
+    sequence matches {!run} for the same seed — fault handling never
+    consults the RNG — so degraded runs are step-for-step comparable
+    with healthy ones. *)
+
+val pp_fault_stats : Format.formatter -> fault_stats -> unit
+
 (** {1 Continuous-time traffic}
 
     The discrete driver above alternates setups and teardowns by a

@@ -680,6 +680,48 @@ let test_scheduler_rejects_unroutable_batch () =
     Alcotest.(check int) "routable at x=2" 3 (List.length outcome.Scheduler.routes)
   | Error e -> Alcotest.fail (Format.asprintf "%a" Network.pp_error e)
 
+let test_scheduler_rearrange_recovers_below_bound () =
+  (* Below the theorem bound a fixed-order First_fit pass loses some
+     full assignments that are merely order-blocked; rearrangement (one
+     move per placement) must recover a share of them, and every outright
+     failure must leave the network empty. *)
+  let topo = Topology.make_exn ~n:2 ~m:3 ~r:2 ~k:2 in
+  let spec = Topology.spec topo in
+  let mk () =
+    Network.create ~strategy:Network.First_fit
+      ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
+  in
+  let fixed_losses = ref 0 and recovered = ref 0 in
+  for seed = 1 to 60 do
+    let a =
+      Wdm_traffic.Generator.random_full_assignment
+        (Random.State.make [| seed |])
+        spec Model.MSW
+    in
+    let t = mk () in
+    match Scheduler.route_assignment ~max_order_attempts:1 ~rearrange:false t a with
+    | Ok _ -> ()
+    | Error _ ->
+      incr fixed_losses;
+      Alcotest.(check int) "empty after fixed-order failure" 0
+        (List.length (Network.active_routes t));
+      let t' = mk () in
+      (match Scheduler.route_assignment ~max_order_attempts:1 ~rearrange:true t' a with
+      | Ok outcome ->
+        incr recovered;
+        Alcotest.(check bool) "recovery used a rearrangement" true
+          (outcome.Scheduler.reroutes > 0);
+        Alcotest.(check int) "all connections placed" (Assignment.size a)
+          (List.length outcome.Scheduler.routes)
+      | Error _ ->
+        Alcotest.(check int) "empty after rearranged failure" 0
+          (List.length (Network.active_routes t')))
+  done;
+  Alcotest.(check bool) "fixed order lost some assignments" true
+    (!fixed_losses > 0);
+  Alcotest.(check bool) "rearrangement recovered some of them" true
+    (!recovered > 0)
+
 let test_scheduler_empty_and_validation () =
   let topo = Topology.make_exn ~n:2 ~m:4 ~r:2 ~k:1 in
   let t = Network.create ~construction:Network.Msw_dominant
@@ -832,6 +874,8 @@ let () =
             test_scheduler_routes_full_assignments_at_bound;
           Alcotest.test_case "unroutable batch rejected; x=2 routes it" `Quick
             test_scheduler_rejects_unroutable_batch;
+          Alcotest.test_case "rearrangement recovers below the bound" `Slow
+            test_scheduler_rearrange_recovers_below_bound;
           Alcotest.test_case "empty & validation" `Quick
             test_scheduler_empty_and_validation;
         ] );
