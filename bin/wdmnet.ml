@@ -320,7 +320,14 @@ let faults_cmd =
                   match Network.connect net c with
                   | Ok route -> Ok route.Network.id
                   | Error e -> Error e);
-              disconnect = (fun id -> ignore (Network.disconnect net id));
+              (* a teardown of an id the driver believes active must
+                 succeed; a stale id means leaked capacity and a
+                 corrupted degradation table, so fail the campaign *)
+              disconnect =
+                (fun id ->
+                  match Network.disconnect net id with
+                  | Ok _ -> ()
+                  | Error e -> failwith e);
             };
           inject = Network.inject_fault net;
           clear = Network.clear_fault net;

@@ -7,9 +7,14 @@ type t = event list
 let of_events events =
   List.stable_sort (fun a b -> Int.compare a.step b.step) events
 
-let exponential rng mean =
+(* Inverse-CDF exponential draw.  [Random.State.float rng 1.] can
+   return exactly 0., which would make [u = 1] and the dwell 0 — a
+   zero-length up/down period, i.e. an inject at step 0 or a same-step
+   inject/clear pair.  Resample so every period is strictly positive,
+   as the alternating renewal model promises. *)
+let rec exponential rng mean =
   let u = 1. -. Random.State.float rng 1. in
-  -.mean *. Float.log u
+  if u >= 1. then exponential rng mean else -.mean *. Float.log u
 
 let generate ~rng ~universe ~mtbf ~mttr ~steps =
   if mtbf <= 0. || mttr <= 0. then

@@ -467,7 +467,14 @@ let connect_rearrangeable t (conn : Connection.t) =
           attempt rest
         | Ok new_route -> (
           match connect t victim.connection with
-          | Ok _ -> Ok (new_route, 1)
+          | Ok moved ->
+            (* Re-key the moved route under the victim's original id:
+               callers track live connections by id, and a silent
+               renumbering would leave their handles stale. *)
+            t.routes <-
+              t.routes |> Imap.remove moved.id
+              |> Imap.add victim.id { moved with id = victim.id };
+            Ok (new_route, 1)
           | Error _ ->
             (* undo: drop the new route, restore the victim verbatim *)
             release t new_route;

@@ -102,10 +102,9 @@ val connect_rearrangeable : t -> Connection.t -> (route * int, error) result
     definition; this shows the classic trade-off — a smaller [m]
     suffices when moving existing connections is acceptable.
 
-    Note: a rerouted victim is reinstalled under a fresh route id (its
-    old id is gone from {!active_routes}); identify persistent
-    connections by their source endpoint, which is unique while they
-    are up. *)
+    A rerouted victim keeps its route id: only its hops change, so
+    handles held by callers (e.g. the churn driver's active list, or a
+    pending {!disconnect}) remain valid across the move. *)
 
 val active_routes : t -> route list
 val find_route : t -> int -> route option

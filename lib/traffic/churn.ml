@@ -33,10 +33,13 @@ type fault_stats = {
   blocked_degraded : int;
 }
 
-(* Shared engine: [run] is the empty-schedule special case.  The RNG
-   draw sequence for a given seed is identical whether or not a
-   schedule is supplied (fault handling never consults the RNG), so
-   fault campaigns are comparable step-for-step with healthy runs. *)
+(* Shared engine: [run] is the empty-schedule special case.  Fault
+   handling never consults the RNG, and the teardown/setup gate draws
+   its float unconditionally every step, so a fault campaign tracks a
+   healthy run of the same seed draw-for-draw until the first fault
+   event changes the active set or the free endpoints — after which the
+   per-step action draws (victim index, generated connection) diverge
+   by necessity. *)
 let engine ~on_blocked rng ~spec ~model ~fanout ~steps ~teardown_bias ~schedule
     fsut =
   let sut = fsut.base in
@@ -132,8 +135,10 @@ let engine ~on_blocked rng ~spec ~model ~fanout ~steps ~teardown_bias ~schedule
       | _ -> ()
     in
     drain ();
-    if !active <> [] && Random.State.float rng 1. < teardown_bias then teardown ()
-    else setup ()
+    (* draw the gate unconditionally: an empty active set must not
+       shift the RNG stream relative to a run where it was non-empty *)
+    let gate = Random.State.float rng 1. in
+    if !active <> [] && gate < teardown_bias then teardown () else setup ()
   done;
   {
     churn = !stats;

@@ -83,10 +83,13 @@ val run_with_faults :
   fault_stats
 (** Like {!run}, plus fault events: an event scheduled at step [s] is
     applied just before step [s] executes (the schedule is sorted
-    internally; events beyond [steps] never fire).  The RNG draw
-    sequence matches {!run} for the same seed — fault handling never
-    consults the RNG — so degraded runs are step-for-step comparable
-    with healthy ones. *)
+    internally; events beyond [steps] never fire).  Fault handling
+    never consults the RNG and the per-step teardown/setup gate is
+    drawn unconditionally, so for the same seed a degraded run tracks
+    the healthy run draw-for-draw until the first fault event alters
+    the active set or free endpoints; from then on the action draws
+    necessarily diverge, and comparisons should be made on aggregate
+    rates rather than individual steps. *)
 
 val pp_fault_stats : Format.formatter -> fault_stats -> unit
 

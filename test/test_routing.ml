@@ -558,11 +558,13 @@ let test_fail_middle_validation () =
 (* --- rearrangement -------------------------------------------------------- *)
 
 (* Under churn on an undersized network, some blocked requests are only
-   order-blocked and a single rearrangement admits them (most are
-   capacity-blocked and stay refused — rearrangement never lies). *)
+   order-blocked and a single rearrangement admits them (roughly half
+   here are capacity-blocked and stay refused — rearrangement never
+   lies).  Rearranged victims keep their route id, so the driver's
+   id-based teardowns keep succeeding across moves. *)
 let test_rearrangement_unblocks () =
   let t = net ~construction:Network.Msw_dominant ~output_model:Model.MSW
-      ~n:3 ~m:4 ~r:3 ~k:1 () in
+      ~n:3 ~m:3 ~r:3 ~k:1 () in
   let blocked = ref 0 and rescued = ref 0 in
   let sut =
     {
@@ -598,6 +600,51 @@ let test_rearrangement_noop_when_free () =
   match Network.connect_rearrangeable t (conn (ep 1 1) [ ep 1 1 ]) with
   | Ok (_, moved) -> Alcotest.(check int) "no moves needed" 0 moved
   | Error e -> Alcotest.fail (Format.asprintf "%a" Network.pp_error e)
+
+(* A rearrangement move must not renumber the victim: drivers (churn,
+   the faults campaign) track live connections by route id and tear
+   them down with {!Network.disconnect} later.  Before the id was
+   preserved, the moved route stayed allocated forever under a fresh
+   id while the driver's handle went stale — leaking capacity. *)
+let test_rearrangement_preserves_victim_id () =
+  let t = net ~x_limit:1 ~construction:Network.Msw_dominant
+      ~output_model:Model.MSW ~n:2 ~m:2 ~r:2 ~k:1 () in
+  (* a on middle 1: in-module 1 -> out-module 1 *)
+  let a = check_ok (Network.connect t (conn (ep 1 1) [ ep 1 1 ])) in
+  (* steer b onto middle 2 by occupying middle 1's in-module-2 link
+     with a temporary route, then releasing it *)
+  let tmp = check_ok (Network.connect t (conn (ep 4 1) [ ep 3 1 ])) in
+  let b = check_ok (Network.connect t (conn (ep 3 1) [ ep 4 1 ])) in
+  (match Network.disconnect t tmp.Network.id with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* probe in-module 1 -> out-module 2: middle 1's stage-1 link is
+     held by a, middle 2's stage-2 link by b — order-blocked until one
+     victim moves *)
+  match Network.connect_rearrangeable t (conn (ep 2 1) [ ep 3 1 ]) with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Network.pp_error e)
+  | Ok (probe, moved) ->
+    Alcotest.(check int) "one move" 1 moved;
+    (* the moved victim answers to its original id, on new hops *)
+    (match Network.find_route t a.Network.id with
+    | None -> Alcotest.fail "victim id vanished after rearrangement"
+    | Some a' ->
+      Alcotest.(check bool) "same connection" true
+        (Connection.equal a'.Network.connection a.Network.connection);
+      Alcotest.(check bool) "hops actually changed" true
+        (a'.Network.hops <> a.Network.hops));
+    (* an id-based teardown — what the churn driver does — still works *)
+    (match Network.disconnect t a.Network.id with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e);
+    let remaining =
+      List.map (fun (r : Network.route) -> r.Network.id) (Network.active_routes t)
+      |> List.sort Int.compare
+    in
+    Alcotest.(check (list int)) "only b and the probe remain"
+      (List.sort Int.compare [ b.Network.id; probe.Network.id ])
+      remaining;
+    reconstruct_occupancy t
 
 let test_rearrangement_failure_restores_state () =
   (* Saturate a 1-middle network so even rearrangement cannot help, and
@@ -865,6 +912,8 @@ let () =
           Alcotest.test_case "unblocks the m=2 witness" `Quick
             test_rearrangement_unblocks;
           Alcotest.test_case "noop when free" `Quick test_rearrangement_noop_when_free;
+          Alcotest.test_case "victim keeps its id" `Quick
+            test_rearrangement_preserves_victim_id;
           Alcotest.test_case "failure restores state" `Quick
             test_rearrangement_failure_restores_state;
         ] );
