@@ -524,51 +524,65 @@ let micro_benchmarks () =
   section "Micro-benchmarks (bechamel)";
   let open Bechamel in
   let open Toolkit in
+  (* Each entry carries the parameters the operation ran at, so the
+     machine-readable results identify the instance without parsing the
+     display name (schema: EXPERIMENTS.md). *)
   let tests =
     [
-      Test.make ~name:"capacity: MSDW any N=16 k=4"
-        (Staged.stage (fun () -> Capacity.msdw_any ~n:16 ~k:4));
-      Test.make ~name:"capacity: MAW full N=64 k=8"
-        (Staged.stage (fun () -> Capacity.maw_full ~n:64 ~k:8));
-      Test.make ~name:"census: MAW N=2 k=2"
-        (Staged.stage (fun () ->
-             Enumerate.census (Network_spec.make_exn ~n:2 ~k:2) Model.MAW));
-      (let topo = Topology.make_exn ~n:4 ~m:13 ~r:4 ~k:2 in
-       let net =
-         Network.create ~construction:Network.Msw_dominant ~output_model:Model.MSW
-           topo
-       in
-       let conn =
-         Connection.make_exn
-           ~source:(Endpoint.make ~port:1 ~wl:1)
-           ~destinations:
-             [
-               Endpoint.make ~port:1 ~wl:1;
-               Endpoint.make ~port:5 ~wl:1;
-               Endpoint.make ~port:9 ~wl:1;
-               Endpoint.make ~port:13 ~wl:1;
-             ]
-       in
-       Test.make ~name:"routing: connect+disconnect fanout-4 (N=16)"
-         (Staged.stage (fun () ->
-              match Network.connect net conn with
-              | Ok route -> ignore (Network.disconnect net route.Network.id)
-              | Error _ -> assert false)));
-      (let spec = Network_spec.make_exn ~n:4 ~k:2 in
-       let fabric = Wdm_crossbar.Fabric.create ~model:Model.MAW spec in
-       let rng = Random.State.make [| 7 |] in
-       let a = Wdm_traffic.Generator.random_full_assignment rng spec Model.MAW in
-       Test.make ~name:"fabric: realize full assignment (Fig 7, N=4 k=2)"
-         (Staged.stage (fun () ->
-              match Wdm_crossbar.Fabric.realize fabric a with
-              | Ok _ -> ()
-              | Error _ -> assert false)));
-      (let a = Multiset.of_list ~r:64 ~k:4 (List.init 64 (fun i -> (i mod 64) + 1)) in
-       let b = Multiset.of_list ~r:64 ~k:4 (List.init 32 (fun i -> (i mod 32) + 1)) in
-       Test.make ~name:"multiset: inter r=64"
-         (Staged.stage (fun () -> Multiset.inter a b)));
-      Test.make ~name:"conditions: Theorem 1 n=r=1024"
-        (Staged.stage (fun () -> Conditions.msw_dominant ~n:1024 ~r:1024));
+      ( [ ("n", 16); ("k", 4) ],
+        Test.make ~name:"capacity: MSDW any N=16 k=4"
+          (Staged.stage (fun () -> Capacity.msdw_any ~n:16 ~k:4)) );
+      ( [ ("n", 64); ("k", 8) ],
+        Test.make ~name:"capacity: MAW full N=64 k=8"
+          (Staged.stage (fun () -> Capacity.maw_full ~n:64 ~k:8)) );
+      ( [ ("n", 2); ("k", 2) ],
+        Test.make ~name:"census: MAW N=2 k=2"
+          (Staged.stage (fun () ->
+               Enumerate.census (Network_spec.make_exn ~n:2 ~k:2) Model.MAW)) );
+      ( [ ("n", 16); ("k", 2); ("m", 13) ],
+        let topo = Topology.make_exn ~n:4 ~m:13 ~r:4 ~k:2 in
+        let net =
+          Network.create ~construction:Network.Msw_dominant
+            ~output_model:Model.MSW topo
+        in
+        let conn =
+          Connection.make_exn
+            ~source:(Endpoint.make ~port:1 ~wl:1)
+            ~destinations:
+              [
+                Endpoint.make ~port:1 ~wl:1;
+                Endpoint.make ~port:5 ~wl:1;
+                Endpoint.make ~port:9 ~wl:1;
+                Endpoint.make ~port:13 ~wl:1;
+              ]
+        in
+        Test.make ~name:"routing: connect+disconnect fanout-4 (N=16)"
+          (Staged.stage (fun () ->
+               match Network.connect net conn with
+               | Ok route -> ignore (Network.disconnect net route.Network.id)
+               | Error _ -> assert false)) );
+      ( [ ("n", 4); ("k", 2) ],
+        let spec = Network_spec.make_exn ~n:4 ~k:2 in
+        let fabric = Wdm_crossbar.Fabric.create ~model:Model.MAW spec in
+        let rng = Random.State.make [| 7 |] in
+        let a = Wdm_traffic.Generator.random_full_assignment rng spec Model.MAW in
+        Test.make ~name:"fabric: realize full assignment (Fig 7, N=4 k=2)"
+          (Staged.stage (fun () ->
+               match Wdm_crossbar.Fabric.realize fabric a with
+               | Ok _ -> ()
+               | Error _ -> assert false)) );
+      ( [ ("n", 64); ("k", 4) ],
+        let a =
+          Multiset.of_list ~r:64 ~k:4 (List.init 64 (fun i -> (i mod 64) + 1))
+        in
+        let b =
+          Multiset.of_list ~r:64 ~k:4 (List.init 32 (fun i -> (i mod 32) + 1))
+        in
+        Test.make ~name:"multiset: inter r=64"
+          (Staged.stage (fun () -> Multiset.inter a b)) );
+      ( [ ("n", 1024) ],
+        Test.make ~name:"conditions: Theorem 1 n=r=1024"
+          (Staged.stage (fun () -> Conditions.msw_dominant ~n:1024 ~r:1024)) );
     ]
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -578,21 +592,59 @@ let micro_benchmarks () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances test in
-      let analyzed = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          let estimate =
-            match Analyze.OLS.estimates ols_result with
-            | Some [ e ] -> Printf.sprintf "%.1f ns/run" e
-            | _ -> "n/a"
-          in
-          Printf.printf "%-50s %s\n" name estimate)
-        analyzed)
-    tests;
-  print_newline ()
+  let rows =
+    List.concat_map
+      (fun (params, test) ->
+        let results = Benchmark.all cfg instances test in
+        let analyzed = Analyze.all ols Instance.monotonic_clock results in
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let mean_ns =
+              match Analyze.OLS.estimates ols_result with
+              | Some [ e ] -> Some e
+              | _ -> None
+            in
+            let iterations =
+              match Hashtbl.find_opt results name with
+              | Some (b : Benchmark.t) -> b.stats.samples
+              | None -> 0
+            in
+            Printf.printf "%-50s %s\n" name
+              (match mean_ns with
+              | Some e -> Printf.sprintf "%.1f ns/run" e
+              | None -> "n/a");
+            (name, params, mean_ns, iterations) :: acc)
+          analyzed []
+        |> List.rev)
+      tests
+  in
+  let module J = Wdm_telemetry.Json in
+  let json =
+    J.Obj
+      [
+        ( "benchmarks",
+          J.List
+            (List.map
+               (fun (name, params, mean_ns, iterations) ->
+                 J.Obj
+                   [
+                     ("name", J.String name);
+                     ( "params",
+                       J.Obj (List.map (fun (p, v) -> (p, J.Int v)) params) );
+                     ( "mean_ns",
+                       match mean_ns with
+                       | Some e -> J.Float e
+                       | None -> J.Null );
+                     ("iterations", J.Int iterations);
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_results.json" in
+  output_string oc (J.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_results.json (%d benchmarks)\n\n" (List.length rows)
 
 let () =
   table1 ();

@@ -13,8 +13,34 @@ open Cmdliner
 open Wdm_core
 open Wdm_multistage
 module An = Wdm_analysis
+module Tel = Wdm_telemetry
 
 (* --- shared args ------------------------------------------------------- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace_event file of the run (open in \
+               chrome://tracing or Perfetto).")
+
+(* A sink is created only when some surfacing flag asks for one, so the
+   default runs take the un-instrumented (telemetry-free) path. *)
+let make_sink ~want_metrics trace_file =
+  let trace = Option.map (fun _ -> Tel.Trace.create ()) trace_file in
+  let telemetry =
+    if want_metrics || trace_file <> None then Some (Tel.Sink.create ?trace ())
+    else None
+  in
+  (telemetry, trace)
+
+let dump_trace trace trace_file =
+  match (trace, trace_file) with
+  | Some tr, Some file -> write_file file (Tel.Trace.to_chrome tr)
+  | _ -> ()
 
 let n_arg =
   Arg.(value & opt int 16 & info [ "n"; "ports" ] ~docv:"N" ~doc:"Ports per side.")
@@ -176,7 +202,11 @@ let simulate_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  let run n r k m construction model steps seed =
+  let stats_json_arg =
+    Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Write the final metrics snapshot as JSON.")
+  in
+  let run n r k m construction model steps seed trace_file stats_json =
     check_dims n k;
     if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
     let eval =
@@ -188,7 +218,8 @@ let simulate_cmd =
     let topo = Topology.make_exn ~n ~m ~r ~k in
     Format.printf "topology: %a (theorem m_min = %d)\n" Topology.pp topo
       eval.Conditions.m_min;
-    let net = Network.create ~construction ~output_model:model topo in
+    let telemetry, trace = make_sink ~want_metrics:(stats_json <> None) trace_file in
+    let net = Network.create ?telemetry ~construction ~output_model:model topo in
     let sut =
       {
         Wdm_traffic.Churn.connect =
@@ -200,18 +231,24 @@ let simulate_cmd =
       }
     in
     let stats =
-      Wdm_traffic.Churn.run
+      Wdm_traffic.Churn.run ?telemetry
         (Random.State.make [| seed |])
         ~spec:(Topology.spec topo) ~model
         ~fanout:(Wdm_traffic.Fanout.Zipf { max = n * r; s = 1.1 })
         ~steps ~teardown_bias:0.35 sut
     in
     Format.printf "%a\n" Wdm_traffic.Churn.pp_stats stats;
-    Format.printf "final utilization: %.1f%%\n" (100. *. Network.utilization net)
+    Format.printf "final utilization: %.1f%%\n" (100. *. Network.utilization net);
+    (match (telemetry, stats_json) with
+    | Some sink, Some file ->
+      write_file file
+        (Tel.Json.to_string (Tel.Metrics.to_json (Tel.Sink.snapshot sink)))
+    | _ -> ());
+    dump_trace trace trace_file
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Churn a three-stage network and report blocking.")
     Term.(const run $ n_local_arg $ r_arg $ k_arg $ m_arg $ construction_arg
-          $ model_arg $ steps_arg $ seed_arg)
+          $ model_arg $ steps_arg $ seed_arg $ trace_arg $ stats_json_arg)
 
 (* --- faults -------------------------------------------------------------- *)
 
@@ -261,7 +298,8 @@ let faults_cmd =
       & info [ "class" ] ~docv:"CLASS"
           ~doc:"Fault classes drawn by the campaign: middle, laser, converter, module or all.")
   in
-  let run n r k m construction model steps seed mtbf mttr slack_max klass csv =
+  let run n r k m construction model steps seed mtbf mttr slack_max klass csv
+      trace_file =
     check_dims n k;
     if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
     if slack_max < 0 then begin prerr_endline "wdmnet: slack-max must be >= 0"; exit 2 end;
@@ -282,14 +320,20 @@ let faults_cmd =
     let table =
       An.Table.make ~title:"Degradation under component faults"
         ~header:
-          [ "slack"; "m"; "injected"; "victims"; "repaired"; "dropped";
-            "blocked"; "degraded-blocked"; "degraded-rate" ]
+          [ "slack"; "m"; "injected"; "teardowns"; "repaired"; "dropped";
+            "unserviceable"; "blocked"; "degraded-blocked"; "degraded-rate" ]
         ()
     in
+    (* One trace spans the whole campaign; each slack row gets a fresh
+       sink so its snapshot covers exactly that row's run. *)
+    let trace = Option.map (fun _ -> Tel.Trace.create ()) trace_file in
     for f = 0 to slack_max do
       let m = base_m + f in
       let topo = Topology.make_exn ~n ~m ~r ~k in
-      let net = Network.create ~construction ~output_model:model topo in
+      let sink = Tel.Sink.create ?trace () in
+      let net =
+        Network.create ~telemetry:sink ~construction ~output_model:model topo
+      in
       let universe =
         let keep fault =
           match (klass, fault) with
@@ -338,35 +382,175 @@ let faults_cmd =
               | Error e -> Error e);
         }
       in
-      let s =
-        Wdm_traffic.Churn.run_with_faults
+      let (_ : Wdm_traffic.Churn.fault_stats) =
+        Wdm_traffic.Churn.run_with_faults ~telemetry:sink
           (Random.State.make [| seed |])
           ~spec:(Topology.spec topo) ~model
           ~fanout:(Wdm_traffic.Fanout.Zipf { max = n * r; s = 1.1 })
           ~steps ~teardown_bias:0.35 ~schedule fsut
       in
-      let open Wdm_traffic.Churn in
+      (* The row is read back from the metrics snapshot: the driver's
+         tallies ARE the telemetry counters, so there is no second set
+         of books to keep in sync. *)
+      let snap = Tel.Sink.snapshot sink in
+      let c name = Option.value ~default:0 (Tel.Metrics.find_counter snap name) in
+      let degraded_attempts = c "churn_degraded_attempts_total" in
+      let blocked_degraded = c "churn_blocked_degraded_total" in
       An.Table.add_row table
         [
-          string_of_int f; string_of_int m; string_of_int s.injected;
-          string_of_int s.victims; string_of_int s.repaired;
-          string_of_int s.dropped; string_of_int s.churn.blocked;
-          string_of_int s.blocked_degraded;
-          (if s.degraded_attempts = 0 then "n/a"
+          string_of_int f; string_of_int m;
+          string_of_int (c "churn_faults_injected_total");
+          string_of_int (c "wdmnet_fault_teardowns_total");
+          string_of_int (c "churn_repaired_total");
+          string_of_int (c "churn_dropped_total");
+          string_of_int (c "wdmnet_connect_blocked_total{cause=\"unserviceable\"}");
+          string_of_int (c "churn_blocked_total");
+          string_of_int blocked_degraded;
+          (if degraded_attempts = 0 then "n/a"
            else
              Printf.sprintf "%.2f%%"
-               (100. *. float_of_int s.blocked_degraded
-               /. float_of_int s.degraded_attempts));
+               (100. *. float_of_int blocked_degraded
+               /. float_of_int degraded_attempts));
         ]
     done;
-    emit csv table
+    emit csv table;
+    dump_trace trace trace_file
   in
   Cmd.v
     (Cmd.info "faults"
        ~doc:"Fault-injection campaign: degraded-mode blocking vs middle-stage slack.")
     Term.(const run $ n_local_arg $ r_arg $ k_arg $ m_arg $ construction_arg
           $ model_arg $ steps_arg $ seed_arg $ mtbf_arg $ mttr_arg $ slack_arg
-          $ class_arg $ csv_arg)
+          $ class_arg $ csv_arg $ trace_arg)
+
+(* --- stats --------------------------------------------------------------- *)
+
+let stats_cmd =
+  let m_arg =
+    Arg.(value & opt (some int) None & info [ "m" ] ~docv:"M"
+           ~doc:"Middle modules; defaults to the theorem minimum.")
+  in
+  let r_arg =
+    Arg.(value & opt int 4 & info [ "r" ] ~docv:"R" ~doc:"Input/output modules.")
+  in
+  let n_local_arg =
+    Arg.(value & opt int 4 & info [ "n-local" ] ~docv:"NL"
+           ~doc:"Ports per input/output module.")
+  in
+  let construction_arg =
+    Arg.(
+      value
+      & opt (enum [ ("msw-dominant", Network.Msw_dominant); ("maw-dominant", Network.Maw_dominant) ])
+          Network.Msw_dominant
+      & info [ "construction" ] ~docv:"C" ~doc:"msw-dominant or maw-dominant.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 2000 & info [ "steps" ] ~docv:"STEPS" ~doc:"Churn events.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the snapshot as JSON.")
+  in
+  let prometheus_arg =
+    Arg.(value & flag & info [ "prometheus" ]
+           ~doc:"Emit the snapshot in Prometheus text exposition format.")
+  in
+  let faults_flag =
+    Arg.(value & flag & info [ "faults" ]
+           ~doc:"Drive the workload through the fault-injection campaign \
+                 (middle-module faults, mtbf 1000, mttr 400) instead of \
+                 plain churn, so the fault/repair counter families are \
+                 exercised too.")
+  in
+  let run n r k m construction model steps seed json prometheus with_faults
+      trace_file =
+    check_dims n k;
+    if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
+    if json && prometheus then begin
+      prerr_endline "wdmnet: --json and --prometheus are mutually exclusive";
+      exit 2
+    end;
+    let eval =
+      match construction with
+      | Network.Msw_dominant -> Conditions.msw_dominant ~n ~r
+      | Network.Maw_dominant -> Conditions.maw_dominant ~n ~r ~k
+    in
+    let m = Option.value ~default:eval.Conditions.m_min m in
+    let topo = Topology.make_exn ~n ~m ~r ~k in
+    let trace = Option.map (fun _ -> Tel.Trace.create ()) trace_file in
+    let sink = Tel.Sink.create ?trace () in
+    let net =
+      Network.create ~telemetry:sink ~construction ~output_model:model topo
+    in
+    let sut =
+      {
+        Wdm_traffic.Churn.connect =
+          (fun c ->
+            match Network.connect net c with
+            | Ok route -> Ok route.Network.id
+            | Error e -> Error e);
+        disconnect = (fun id -> ignore (Network.disconnect net id));
+      }
+    in
+    let fanout = Wdm_traffic.Fanout.Zipf { max = n * r; s = 1.1 } in
+    (if with_faults then begin
+       let open Wdm_faults in
+       let schedule =
+         Schedule.generate
+           ~rng:(Random.State.make [| seed; 0xfa |])
+           ~universe:
+             (List.filter
+                (function Fault.Middle _ -> true | _ -> false)
+                (Fault.universe ~m ~r ~k))
+           ~mtbf:1000. ~mttr:400. ~steps
+         |> List.map (fun { Schedule.step; action } ->
+                match action with
+                | Schedule.Inject fault -> (step, `Inject fault)
+                | Schedule.Clear fault -> (step, `Clear fault))
+       in
+       let fsut =
+         {
+           Wdm_traffic.Churn.base = sut;
+           inject = Network.inject_fault net;
+           clear = Network.clear_fault net;
+           reconnect =
+             (fun c ->
+               match Network.connect_rearrangeable net c with
+               | Ok (route, _) -> Ok route.Network.id
+               | Error e -> Error e);
+         }
+       in
+       let (_ : Wdm_traffic.Churn.fault_stats) =
+         Wdm_traffic.Churn.run_with_faults ~telemetry:sink
+           (Random.State.make [| seed |])
+           ~spec:(Topology.spec topo) ~model ~fanout ~steps ~teardown_bias:0.35
+           ~schedule fsut
+       in
+       ()
+     end
+     else
+       let (_ : Wdm_traffic.Churn.stats) =
+         Wdm_traffic.Churn.run ~telemetry:sink
+           (Random.State.make [| seed |])
+           ~spec:(Topology.spec topo) ~model ~fanout ~steps ~teardown_bias:0.35
+           sut
+       in
+       ());
+    let snap = Tel.Sink.snapshot sink in
+    if json then print_string (Tel.Json.to_string (Tel.Metrics.to_json snap))
+    else if prometheus then print_string (Tel.Metrics.to_prometheus snap)
+    else Format.printf "%a" Tel.Metrics.pp_text snap;
+    dump_trace trace trace_file
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a seeded workload and print the telemetry snapshot (text \
+             table, --json, or --prometheus).")
+    Term.(const run $ n_local_arg $ r_arg $ k_arg $ m_arg $ construction_arg
+          $ model_arg $ steps_arg $ seed_arg $ json_arg $ prometheus_arg
+          $ faults_flag $ trace_arg)
 
 (* --- adversary ----------------------------------------------------------- *)
 
@@ -469,6 +653,6 @@ let () =
        (Cmd.group (Cmd.info "wdmnet" ~version:"1.0.0" ~doc)
           [
             capacity_cmd; cost_cmd; design_cmd; tables_cmd; sweep_cmd;
-            fig10_cmd; simulate_cmd; faults_cmd; adversary_cmd; figures_cmd;
-            deep_cmd;
+            fig10_cmd; simulate_cmd; faults_cmd; stats_cmd; adversary_cmd;
+            figures_cmd; deep_cmd;
           ]))

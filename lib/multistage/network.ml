@@ -29,12 +29,38 @@ module Eset = Set.Make (Endpoint)
 module Imap = Map.Make (Int)
 module Iset = Set.Make (Int)
 module Fault = Wdm_faults.Fault
+module Tel = Wdm_telemetry
 
 module Pset = Set.Make (struct
   type t = int * int
 
   let compare = compare
 end)
+
+(* Pre-registered instruments: the name lookup happens once in
+   [create], so the hot paths touch fields directly. *)
+type instruments = {
+  sink : Tel.Sink.t;
+  attempts : Tel.Metrics.counter;
+  successes : Tel.Metrics.counter;
+  blocked_invalid : Tel.Metrics.counter;
+  blocked_source_busy : Tel.Metrics.counter;
+  blocked_destination_busy : Tel.Metrics.counter;
+  blocked_unserviceable : Tel.Metrics.counter;
+  blocked_no_route : Tel.Metrics.counter;
+  rearrange_moves : Tel.Metrics.counter;
+  faults_injected : Tel.Metrics.counter;
+  faults_cleared : Tel.Metrics.counter;
+  fault_teardowns : Tel.Metrics.counter;
+  g_utilization : Tel.Metrics.gauge;
+  g_input_utilization : Tel.Metrics.gauge;
+  g_active_routes : Tel.Metrics.gauge;
+  g_faults_in_force : Tel.Metrics.gauge;
+  g_stage1_occupancy : Tel.Metrics.gauge array;  (* index j-1 per middle *)
+  h_connect : Tel.Histogram.t;
+  h_connect_rearrangeable : Tel.Histogram.t;
+  h_disconnect : Tel.Histogram.t;
+}
 
 type t = {
   topo : Topology.t;
@@ -60,10 +86,67 @@ type t = {
   stage1_dead : bool array array array;  (* mirrors stage1: dead lasers *)
   stage2_dead : bool array array array;
   mutable dead_converters : Pset.t;  (* (middle, output) pass-through links *)
+  instruments : instruments option;
 }
 
-let create ?(strategy = Min_intersection) ?x_limit ~construction ~output_model
-    (topo : Topology.t) =
+let register_instruments (topo : Topology.t) (sink : Tel.Sink.t) =
+  let reg = sink.Tel.Sink.metrics in
+  let c help name = Tel.Metrics.counter reg ~help name in
+  {
+    sink;
+    attempts =
+      c "Connection requests (connect and connect_rearrangeable)"
+        "wdmnet_connect_attempts_total";
+    successes = c "Requests admitted" "wdmnet_connect_success_total";
+    blocked_invalid =
+      c "Requests refused by cause"
+        "wdmnet_connect_blocked_total{cause=\"invalid\"}";
+    blocked_source_busy =
+      c "" "wdmnet_connect_blocked_total{cause=\"source_busy\"}";
+    blocked_destination_busy =
+      c "" "wdmnet_connect_blocked_total{cause=\"destination_busy\"}";
+    blocked_unserviceable =
+      c "" "wdmnet_connect_blocked_total{cause=\"unserviceable\"}";
+    blocked_no_route = c "" "wdmnet_connect_blocked_total{cause=\"blocked\"}";
+    rearrange_moves =
+      c "Existing connections moved to admit a request"
+        "wdmnet_rearrange_moves_total";
+    faults_injected = c "Faults taken into force" "wdmnet_faults_injected_total";
+    faults_cleared = c "Faults cleared" "wdmnet_faults_cleared_total";
+    fault_teardowns =
+      c "Live routes torn down by fault injection"
+        "wdmnet_fault_teardowns_total";
+    g_utilization =
+      Tel.Metrics.gauge reg ~help:"Fraction of busy output endpoints"
+        "wdmnet_utilization";
+    g_input_utilization =
+      Tel.Metrics.gauge reg ~help:"Fraction of busy input endpoints"
+        "wdmnet_input_utilization";
+    g_active_routes =
+      Tel.Metrics.gauge reg ~help:"Connections currently routed"
+        "wdmnet_active_routes";
+    g_faults_in_force =
+      Tel.Metrics.gauge reg ~help:"Component faults currently in force"
+        "wdmnet_faults_in_force";
+    g_stage1_occupancy =
+      Array.init topo.m (fun j ->
+          Tel.Metrics.gauge reg
+            ~help:"Busy first-stage wavelength slots into this middle module"
+            (Printf.sprintf "wdmnet_stage1_occupancy{middle=\"%d\"}" (j + 1)));
+    h_connect =
+      Tel.Metrics.histogram reg ~help:"Latency of Network.connect"
+        "wdmnet_connect_latency_seconds";
+    h_connect_rearrangeable =
+      Tel.Metrics.histogram reg
+        ~help:"Latency of Network.connect_rearrangeable"
+        "wdmnet_connect_rearrangeable_latency_seconds";
+    h_disconnect =
+      Tel.Metrics.histogram reg ~help:"Latency of Network.disconnect"
+        "wdmnet_disconnect_latency_seconds";
+  }
+
+let create ?telemetry ?(strategy = Min_intersection) ?x_limit ~construction
+    ~output_model (topo : Topology.t) =
   let default_x () =
     match construction with
     | Msw_dominant -> (Conditions.msw_dominant ~n:topo.n ~r:topo.r).x
@@ -98,6 +181,7 @@ let create ?(strategy = Min_intersection) ?x_limit ~construction ~output_model
       Array.init topo.m (fun _ ->
           Array.init topo.r (fun _ -> Array.make topo.k false));
     dead_converters = Pset.empty;
+    instruments = Option.map (register_instruments topo) telemetry;
   }
 
 let topology t = t.topo
@@ -335,7 +419,71 @@ let fanout_switches t (conn : Connection.t) =
   |> List.map (fun (d : Endpoint.t) -> fst (Topology.switch_of_port t.topo d.port))
   |> List.sort_uniq Int.compare
 
-let connect t (conn : Connection.t) =
+(* ----- telemetry ------------------------------------------------------- *)
+
+let utilization t =
+  float_of_int (Eset.cardinal t.busy_dests)
+  /. float_of_int (Topology.num_ports t.topo * t.topo.k)
+
+let input_utilization t =
+  float_of_int (Eset.cardinal t.busy_sources)
+  /. float_of_int (Topology.num_ports t.topo * t.topo.k)
+
+let update_gauges t =
+  match t.instruments with
+  | None -> ()
+  | Some i ->
+    Tel.Metrics.set i.g_utilization (utilization t);
+    Tel.Metrics.set i.g_input_utilization (input_utilization t);
+    Tel.Metrics.set i.g_active_routes (float_of_int (Imap.cardinal t.routes));
+    Tel.Metrics.set i.g_faults_in_force
+      (float_of_int (Fault.Set.cardinal t.faults));
+    Array.iteri
+      (fun j_minus1 g ->
+        let occ = ref 0 in
+        for input_switch = 1 to t.topo.r do
+          occ := !occ + stage1_used_count t ~input_switch ~middle:(j_minus1 + 1)
+        done;
+        Tel.Metrics.set g (float_of_int !occ))
+      i.g_stage1_occupancy
+
+let error_cause = function
+  | Invalid _ -> "invalid"
+  | Source_busy _ -> "source_busy"
+  | Destination_busy _ -> "destination_busy"
+  | Unserviceable _ -> "unserviceable"
+  | Blocked _ -> "blocked"
+
+let blocked_counter i = function
+  | Invalid _ -> i.blocked_invalid
+  | Source_busy _ -> i.blocked_source_busy
+  | Destination_busy _ -> i.blocked_destination_busy
+  | Unserviceable _ -> i.blocked_unserviceable
+  | Blocked _ -> i.blocked_no_route
+
+let route_middles route = List.map (fun h -> h.middle) route.hops
+let route_stage1_wls route = List.map (fun h -> h.stage1_wl) route.hops
+
+(* Shared by connect and connect_rearrangeable, which differ only in
+   the histogram they feed and the moves they may report. *)
+let note_connect_outcome t i ~dur ~histogram ~moved result =
+  Tel.Metrics.inc i.attempts;
+  Tel.Histogram.observe histogram dur;
+  match result with
+  | Ok route ->
+    Tel.Metrics.inc i.successes;
+    if moved > 0 then Tel.Metrics.add i.rearrange_moves moved;
+    update_gauges t;
+    Tel.Sink.record i.sink ~dur ~route_id:route.id
+      ~middles:(route_middles route)
+      ~wavelengths:(route_stage1_wls route) Tel.Trace.Connect
+  | Error e ->
+    Tel.Metrics.inc (blocked_counter i e);
+    Tel.Sink.record i.sink ~dur
+      ~detail:[ ("cause", error_cause e) ]
+      Tel.Trace.Block
+
+let connect_raw t (conn : Connection.t) =
   match validate_request t conn with
   | Error _ as e -> e
   | Ok () ->
@@ -408,6 +556,16 @@ let connect t (conn : Connection.t) =
         List.fold_left (fun s d -> Eset.add d s) t.busy_dests conn.destinations;
       Ok route)
 
+let connect t (conn : Connection.t) =
+  match t.instruments with
+  | None -> connect_raw t conn
+  | Some i ->
+    let t0 = Tel.Sink.now i.sink in
+    let result = connect_raw t conn in
+    let dur = Tel.Sink.now i.sink -. t0 in
+    note_connect_outcome t i ~dur ~histogram:i.h_connect ~moved:0 result;
+    result
+
 let release t (route : route) =
   List.iter
     (fun { middle = j; stage1_wl; serves } ->
@@ -422,13 +580,30 @@ let release t (route : route) =
       (fun s d -> Eset.remove d s)
       t.busy_dests route.connection.destinations
 
-let disconnect t id =
+let disconnect_raw t id =
   match Imap.find_opt id t.routes with
   | None -> Error (Printf.sprintf "Network.disconnect: no route %d" id)
   | Some route ->
     release t route;
     t.routes <- Imap.remove id t.routes;
     Ok route
+
+let disconnect t id =
+  match t.instruments with
+  | None -> disconnect_raw t id
+  | Some i ->
+    let t0 = Tel.Sink.now i.sink in
+    let result = disconnect_raw t id in
+    let dur = Tel.Sink.now i.sink -. t0 in
+    Tel.Histogram.observe i.h_disconnect dur;
+    (match result with
+    | Ok route ->
+      update_gauges t;
+      Tel.Sink.record i.sink ~dur ~route_id:route.id
+        ~middles:(route_middles route)
+        ~wavelengths:(route_stage1_wls route) Tel.Trace.Disconnect
+    | Error _ -> ());
+    result
 
 (* Re-mark exactly the resources of a previously released route (its
    slots are known-free); used to roll back rearrangement attempts. *)
@@ -449,9 +624,12 @@ let readmit t (route : route) =
       route.connection.destinations;
   t.routes <- Imap.add route.id route t.routes
 
-let connect_rearrangeable t (conn : Connection.t) =
-  match connect t conn with
-  | Ok route -> Ok (route, 0)
+(* Returns the moved victim's new route (already re-keyed under its
+   original id) alongside the admitted route, so the telemetry wrapper
+   can report the move. *)
+let connect_rearrangeable_raw t (conn : Connection.t) =
+  match connect_raw t conn with
+  | Ok route -> Ok (route, None)
   | Error (Blocked _ as blocked) ->
     (* Try moving one existing connection out of the way: release it,
        place the request, then re-route the victim on what remains. *)
@@ -461,20 +639,20 @@ let connect_rearrangeable t (conn : Connection.t) =
       | victim :: rest -> (
         release t victim;
         t.routes <- Imap.remove victim.id t.routes;
-        match connect t conn with
+        match connect_raw t conn with
         | Error _ ->
           readmit t victim;
           attempt rest
         | Ok new_route -> (
-          match connect t victim.connection with
+          match connect_raw t victim.connection with
           | Ok moved ->
             (* Re-key the moved route under the victim's original id:
                callers track live connections by id, and a silent
                renumbering would leave their handles stale. *)
+            let rekeyed = { moved with id = victim.id } in
             t.routes <-
-              t.routes |> Imap.remove moved.id
-              |> Imap.add victim.id { moved with id = victim.id };
-            Ok (new_route, 1)
+              t.routes |> Imap.remove moved.id |> Imap.add victim.id rekeyed;
+            Ok (new_route, Some rekeyed)
           | Error _ ->
             (* undo: drop the new route, restore the victim verbatim *)
             release t new_route;
@@ -484,6 +662,28 @@ let connect_rearrangeable t (conn : Connection.t) =
     in
     attempt victims
   | Error _ as e -> e
+
+let connect_rearrangeable t (conn : Connection.t) =
+  match t.instruments with
+  | None ->
+    Result.map
+      (fun (route, moved) -> (route, if moved = None then 0 else 1))
+      (connect_rearrangeable_raw t conn)
+  | Some i ->
+    let t0 = Tel.Sink.now i.sink in
+    let result = connect_rearrangeable_raw t conn in
+    let dur = Tel.Sink.now i.sink -. t0 in
+    let moves = match result with Ok (_, Some _) -> 1 | _ -> 0 in
+    note_connect_outcome t i ~dur ~histogram:i.h_connect_rearrangeable
+      ~moved:moves
+      (Result.map fst result);
+    (match result with
+    | Ok (_, Some moved) ->
+      Tel.Sink.record i.sink ~route_id:moved.id
+        ~middles:(route_middles moved)
+        ~wavelengths:(route_stage1_wls moved) Tel.Trace.Rearrange
+    | _ -> ());
+    Result.map (fun (route, moved) -> (route, if moved = None then 0 else 1)) result
 
 let active_routes t = Imap.bindings t.routes |> List.map snd
 let find_route t id = Imap.find_opt id t.routes
@@ -568,6 +768,8 @@ let validate_fault t fn fault =
   | Ok () -> ()
   | Error e -> invalid_arg (Printf.sprintf "Network.%s: %s" fn e)
 
+let fault_detail fault = ("fault", Format.asprintf "%a" Fault.pp fault)
+
 let inject_fault t fault =
   validate_fault t "inject_fault" fault;
   if Fault.Set.mem fault t.faults then []
@@ -584,13 +786,34 @@ let inject_fault t fault =
         release t route;
         t.routes <- Imap.remove route.id t.routes)
       victims;
+    (match t.instruments with
+    | None -> ()
+    | Some i ->
+      Tel.Metrics.inc i.faults_injected;
+      Tel.Metrics.add i.fault_teardowns (List.length victims);
+      update_gauges t;
+      Tel.Sink.record i.sink
+        ~detail:
+          [ fault_detail fault;
+            ("victims", string_of_int (List.length victims)) ]
+        Tel.Trace.Fault_inject);
     List.map (fun route -> route.connection) victims
   end
 
 let clear_fault t fault =
   validate_fault t "clear_fault" fault;
+  let was_in_force = Fault.Set.mem fault t.faults in
   t.faults <- Fault.Set.remove fault t.faults;
-  rebuild_fault_state t
+  rebuild_fault_state t;
+  match t.instruments with
+  | None -> ()
+  | Some i ->
+    if was_in_force then begin
+      Tel.Metrics.inc i.faults_cleared;
+      update_gauges t;
+      Tel.Sink.record i.sink ~detail:[ fault_detail fault ]
+        Tel.Trace.Fault_clear
+    end
 
 let faults t = Fault.Set.elements t.faults
 let degraded t = not (Fault.Set.is_empty t.faults)
@@ -605,13 +828,10 @@ let repair_middle t j =
 
 let failed_middles t = Iset.elements t.failed_middles
 
-let utilization t =
-  float_of_int (Eset.cardinal t.busy_dests)
-  /. float_of_int (Topology.num_ports t.topo * t.topo.k)
-
 let clear t =
   List.iter (fun (_, route) -> release t route) (Imap.bindings t.routes);
-  t.routes <- Imap.empty
+  t.routes <- Imap.empty;
+  update_gauges t
 
 let copy t =
   {
@@ -620,6 +840,10 @@ let copy t =
     stage2 = Array.map (Array.map Array.copy) t.stage2;
     stage1_dead = Array.map (Array.map Array.copy) t.stage1_dead;
     stage2_dead = Array.map (Array.map Array.copy) t.stage2_dead;
+    (* a snapshot is for speculative search (the adversary's what-ifs);
+       letting it feed the original's instruments would corrupt the
+       production counters *)
+    instruments = None;
   }
 
 let pp_error ppf = function

@@ -72,6 +72,7 @@ type error =
 type t
 
 val create :
+  ?telemetry:Wdm_telemetry.Sink.t ->
   ?strategy:strategy ->
   ?x_limit:int ->
   construction:construction ->
@@ -79,7 +80,21 @@ val create :
   Topology.t ->
   t
 (** [x_limit] defaults to the optimal [x] of the construction's
-    nonblocking condition (Theorem 1 or 2) for the topology. *)
+    nonblocking condition (Theorem 1 or 2) for the topology.
+
+    [telemetry] (default: none, with zero per-operation overhead)
+    instruments the network: {!connect}, {!connect_rearrangeable} and
+    {!disconnect} feed counters ([wdmnet_connect_attempts_total],
+    [wdmnet_connect_success_total], a per-cause
+    [wdmnet_connect_blocked_total] family keyed by the {!error}
+    constructor, [wdmnet_rearrange_moves_total]) and latency
+    histograms; fault injection feeds
+    [wdmnet_faults_injected_total]/[wdmnet_faults_cleared_total]/
+    [wdmnet_fault_teardowns_total]; gauges track {!utilization},
+    {!input_utilization}, active routes, faults in force and
+    per-middle first-stage occupancy.  If the sink carries a
+    {!Wdm_telemetry.Trace.t}, every connect/block/disconnect/
+    rearrange/fault event is appended to it. *)
 
 val topology : t -> Topology.t
 val construction : t -> construction
@@ -120,14 +135,23 @@ val stage1_in_use : t -> input_switch:int -> middle:int -> int
 (** Wavelengths in use on one first-stage link. *)
 
 val utilization : t -> float
-(** Fraction of busy output endpoints. *)
+(** Fraction of busy {e output} endpoints: busy destinations over
+    [num_ports * k].  In a multicast network this is not the same as
+    {!input_utilization} — one busy source can light many
+    destinations. *)
+
+val input_utilization : t -> float
+(** Fraction of busy {e input} endpoints: busy sources over
+    [num_ports * k]. *)
 
 val clear : t -> unit
 (** Tear down everything. *)
 
 val copy : t -> t
 (** An independent snapshot: connects/disconnects on the copy do not
-    affect the original.  Used by the exhaustive adversary search. *)
+    affect the original.  Used by the exhaustive adversary search.
+    The copy is not instrumented — speculative operations on it must
+    not pollute the original's telemetry. *)
 
 (** {1 Fault injection}
 

@@ -67,18 +67,79 @@ type repair_outcome = {
   repair_moves : int;
 }
 
-let repair ?(rearrange = true) net victims =
+module Tel = Wdm_telemetry
+
+type repair_instruments = {
+  sink : Tel.Sink.t;
+  repaired_c : Tel.Metrics.counter;
+  dropped_c : Tel.Metrics.counter;
+  moves_c : Tel.Metrics.counter;
+  h_repair : Tel.Histogram.t;
+}
+
+let repair_instruments (sink : Tel.Sink.t) =
+  let reg = sink.Tel.Sink.metrics in
+  {
+    sink;
+    repaired_c =
+      Tel.Metrics.counter reg ~help:"Fault victims re-homed"
+        "scheduler_repairs_total";
+    dropped_c =
+      Tel.Metrics.counter reg
+        ~help:"Fault victims no degraded-mode route could carry"
+        "scheduler_repair_dropped_total";
+    moves_c =
+      Tel.Metrics.counter reg
+        ~help:"Rearrangement moves spent on re-homing"
+        "scheduler_repair_moves_total";
+    h_repair =
+      Tel.Metrics.histogram reg ~help:"Latency of one victim re-home attempt"
+        "scheduler_repair_latency_seconds";
+  }
+
+let repair ?telemetry ?(rearrange = true) net victims =
+  let instruments = Option.map repair_instruments telemetry in
+  let attempt conn =
+    if rearrange then Network.connect_rearrangeable net conn
+    else Result.map (fun route -> (route, 0)) (Network.connect net conn)
+  in
+  let attempt conn =
+    match instruments with
+    | None -> attempt conn
+    | Some i ->
+      let t0 = Tel.Sink.now i.sink in
+      let result = attempt conn in
+      let dur = Tel.Sink.now i.sink -. t0 in
+      Tel.Histogram.observe i.h_repair dur;
+      (match result with
+      | Ok (route, moved) ->
+        Tel.Metrics.inc i.repaired_c;
+        Tel.Metrics.add i.moves_c moved;
+        Tel.Sink.record i.sink ~dur ~route_id:route.Network.id
+          ~middles:(List.map (fun h -> h.Network.middle) route.Network.hops)
+          ~detail:[ ("outcome", "repaired") ]
+          Tel.Trace.Repair
+      | Error e ->
+        Tel.Metrics.inc i.dropped_c;
+        Tel.Sink.record i.sink ~dur
+          ~detail:
+            [
+              ("outcome", "dropped");
+              ( "cause",
+                match e with
+                | Network.Invalid _ -> "invalid"
+                | Network.Source_busy _ -> "source_busy"
+                | Network.Destination_busy _ -> "destination_busy"
+                | Network.Unserviceable _ -> "unserviceable"
+                | Network.Blocked _ -> "blocked" );
+            ]
+          Tel.Trace.Repair);
+      result
+  in
   let outcome =
     List.fold_left
       (fun acc conn ->
-        let result =
-          if rearrange then
-            Result.map
-              (fun (route, moved) -> (route, moved))
-              (Network.connect_rearrangeable net conn)
-          else Result.map (fun route -> (route, 0)) (Network.connect net conn)
-        in
-        match result with
+        match attempt conn with
         | Ok (route, moved) ->
           {
             acc with

@@ -50,13 +50,24 @@ type repair_outcome = {
 }
 
 val repair :
-  ?rearrange:bool -> Network.t -> Connection.t list -> repair_outcome
+  ?telemetry:Wdm_telemetry.Sink.t ->
+  ?rearrange:bool ->
+  Network.t ->
+  Connection.t list ->
+  repair_outcome
 (** Attempts to re-route every victim connection on the current
     (degraded) network, in the given order.  With [rearrange] (default
     [true]) a re-home may move one surviving connection out of the way
     ({!Network.connect_rearrangeable}) — the same machinery the offline
     scheduler uses below the theorem bound.  Dropped victims leave the
     network untouched, so callers may retry them after the next
-    {!Network.clear_fault}. *)
+    {!Network.clear_fault}.
+
+    [telemetry] counts re-homes, drops and rearrangement moves
+    ([scheduler_repairs_total], [scheduler_repair_dropped_total],
+    [scheduler_repair_moves_total]), observes per-victim latency
+    ([scheduler_repair_latency_seconds]) and emits one [Repair] trace
+    event per victim.  Independent of any sink the network itself
+    carries — pass the same sink to both to merge the streams. *)
 
 val pp_repair_outcome : Format.formatter -> repair_outcome -> unit

@@ -1,0 +1,74 @@
+type t = {
+  name : string;
+  bounds : float array;
+  counts : int array;  (* length = Array.length bounds + 1; last = overflow *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+let default_latency_bounds =
+  [|
+    2.5e-7; 5e-7; 1e-6; 2.5e-6; 5e-6; 1e-5; 2.5e-5; 5e-5; 1e-4; 2.5e-4; 5e-4;
+    1e-3; 2.5e-3; 5e-3; 1e-2; 1e-1;
+  |]
+
+let create ?(bounds = default_latency_bounds) name =
+  if Array.length bounds = 0 then
+    invalid_arg "Histogram.create: need at least one bound";
+  for i = 1 to Array.length bounds - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Histogram.create: bounds must be strictly increasing"
+  done;
+  {
+    name;
+    bounds = Array.copy bounds;
+    counts = Array.make (Array.length bounds + 1) 0;
+    sum = 0.;
+    count = 0;
+  }
+
+let name t = t.name
+
+let observe t v =
+  let n = Array.length t.bounds in
+  let rec bucket i = if i >= n then n else if v <= t.bounds.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.sum <- t.sum +. v;
+  t.count <- t.count + 1
+
+let count t = t.count
+let sum t = t.sum
+
+type snapshot = {
+  bounds : float array;
+  cumulative : int array;
+  sum : float;
+  count : int;
+}
+
+let snapshot t =
+  let cumulative = Array.make (Array.length t.counts) 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i c ->
+      acc := !acc + c;
+      cumulative.(i) <- !acc)
+    t.counts;
+  { bounds = Array.copy t.bounds; cumulative; sum = t.sum; count = t.count }
+
+let mean s = if s.count = 0 then None else Some (s.sum /. float_of_int s.count)
+
+let quantile s q =
+  if q < 0. || q > 1. then invalid_arg "Histogram.quantile: q must be in [0, 1]";
+  if s.count = 0 then None
+  else begin
+    let target = q *. float_of_int s.count in
+    let n = Array.length s.bounds in
+    let rec go i =
+      if i >= n then s.bounds.(n - 1)
+      else if float_of_int s.cumulative.(i) >= target then s.bounds.(i)
+      else go (i + 1)
+    in
+    Some (go 0)
+  end

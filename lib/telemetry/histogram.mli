@@ -1,0 +1,53 @@
+(** Fixed-bucket histograms for latency measurements.
+
+    Buckets are defined by a sorted array of upper bounds (in the unit
+    of the observed values — the routing hot paths observe seconds); an
+    implicit [+inf] bucket catches everything above the last bound.
+    Observation is O(number of buckets) with no allocation, so wrapping
+    the {!Wdm_multistage.Network.connect} hot path costs a clock read
+    and an array scan. *)
+
+type t
+
+val default_latency_bounds : float array
+(** Upper bounds in seconds, roughly logarithmic from 250 ns to 100 ms
+    — sized for the routing operations of a simulated fabric. *)
+
+val create : ?bounds:float array -> string -> t
+(** [create name] makes an empty histogram.  [bounds] (default
+    {!default_latency_bounds}) must be strictly increasing.
+    @raise Invalid_argument otherwise. *)
+
+val name : t -> string
+
+val observe : t -> float -> unit
+(** Adds one observation.  Values above the last bound land in the
+    implicit overflow bucket. *)
+
+val count : t -> int
+(** Total observations. *)
+
+val sum : t -> float
+(** Sum of all observed values. *)
+
+type snapshot = {
+  bounds : float array;  (** upper bounds, ascending *)
+  cumulative : int array;
+      (** [cumulative.(i)]: observations [<= bounds.(i)]; one extra
+          final entry equal to {!count} (the [+inf] bucket), so the
+          array is non-decreasing by construction of a correct
+          implementation — the tests check exactly that *)
+  sum : float;
+  count : int;
+}
+
+val snapshot : t -> snapshot
+
+val mean : snapshot -> float option
+(** [sum /. count]; [None] when empty. *)
+
+val quantile : snapshot -> float -> float option
+(** [quantile s q] estimates the [q]-quantile ([0 <= q <= 1]) as the
+    upper bound of the bucket where the cumulative count first reaches
+    [q * count].  [None] when empty; observations in the overflow
+    bucket report the last finite bound. *)

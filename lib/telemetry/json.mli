@@ -1,0 +1,39 @@
+(** A minimal JSON value, printer and parser.
+
+    The telemetry layer emits machine-readable artifacts (JSONL traces,
+    Chrome [trace_event] files, metrics snapshots) and the test suite
+    must round-trip them without external dependencies, so this module
+    implements just enough of RFC 8259: objects, arrays, strings with
+    the standard escapes, integers, floats, booleans and null.  It is
+    not a streaming parser and keeps whole documents in memory — fine
+    for traces of simulation runs, not for gigabyte logs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Floats use a round-trippable
+    format; NaN and infinities, which JSON cannot represent, are
+    rendered as [null]. *)
+
+val parse : string -> (t, string) result
+(** Parses one JSON document.  Trailing whitespace is allowed, trailing
+    garbage is an error.  Numbers with [.], [e] or [E] parse as
+    {!Float}, all others as {!Int}. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] looks up a key; [None] on missing key or
+    non-object. *)
+
+val to_int : t -> int option
+(** {!Int} directly, or a {!Float} with integral value. *)
+
+val to_float_opt : t -> float option
+val to_list : t -> t list option
+val to_string_opt : t -> string option

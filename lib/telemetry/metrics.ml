@@ -1,0 +1,185 @@
+type counter = { c_name : string; c_help : string; mutable c_value : int }
+type gauge = { g_name : string; g_help : string; mutable g_value : float }
+
+type t = {
+  mutable counters : counter list;  (* reverse registration order *)
+  mutable gauges : gauge list;
+  mutable histograms : (Histogram.t * string) list;  (* instrument, help *)
+}
+
+let create () = { counters = []; gauges = []; histograms = [] }
+
+let counter t ?(help = "") name =
+  match List.find_opt (fun c -> c.c_name = name) t.counters with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_help = help; c_value = 0 } in
+    t.counters <- c :: t.counters;
+    c
+
+let inc c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let gauge t ?(help = "") name =
+  match List.find_opt (fun g -> g.g_name = name) t.gauges with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g_help = help; g_value = 0. } in
+    t.gauges <- g :: t.gauges;
+    g
+
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let histogram t ?(help = "") ?bounds name =
+  match
+    List.find_opt (fun (h, _) -> Histogram.name h = name) t.histograms
+  with
+  | Some (h, _) -> h
+  | None ->
+    let h = Histogram.create ?bounds name in
+    t.histograms <- (h, help) :: t.histograms;
+    h
+
+type snapshot = {
+  counters : (string * string * int) list;
+  gauges : (string * string * float) list;
+  histograms : (string * string * Histogram.snapshot) list;
+}
+
+let snapshot (t : t) : snapshot =
+  {
+    counters =
+      List.rev_map (fun c -> (c.c_name, c.c_help, c.c_value)) t.counters;
+    gauges = List.rev_map (fun g -> (g.g_name, g.g_help, g.g_value)) t.gauges;
+    histograms =
+      List.rev_map
+        (fun (h, help) -> (Histogram.name h, help, Histogram.snapshot h))
+        t.histograms;
+  }
+
+let find_counter s name =
+  List.find_map (fun (n, _, v) -> if n = name then Some v else None) s.counters
+
+let find_gauge s name =
+  List.find_map (fun (n, _, v) -> if n = name then Some v else None) s.gauges
+
+let find_histogram s name =
+  List.find_map
+    (fun (n, _, v) -> if n = name then Some v else None)
+    s.histograms
+
+let sum_counters s ~prefix =
+  let starts_with p n =
+    String.length n >= String.length p && String.sub n 0 (String.length p) = p
+  in
+  List.fold_left
+    (fun acc (n, _, v) -> if starts_with prefix n then acc + v else acc)
+    0 s.counters
+
+let to_json s =
+  let hist (h : Histogram.snapshot) =
+    Json.Obj
+      [
+        ("bounds", Json.List (Array.to_list (Array.map (fun b -> Json.Float b) h.bounds)));
+        ( "cumulative",
+          Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.cumulative)) );
+        ("sum", Json.Float h.sum);
+        ("count", Json.Int h.count);
+      ]
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (n, _, v) -> (n, Json.Int v)) s.counters));
+      ("gauges", Json.Obj (List.map (fun (n, _, v) -> (n, Json.Float v)) s.gauges));
+      ( "histograms",
+        Json.Obj (List.map (fun (n, _, v) -> (n, hist v)) s.histograms) );
+    ]
+
+(* The family name is the part before any baked-in label set; TYPE and
+   HELP comments must name the family, while the sample line keeps the
+   labels. *)
+let family name =
+  match String.index_opt name '{' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let to_prometheus s =
+  let buf = Buffer.create 1024 in
+  let seen = Hashtbl.create 16 in
+  let header name help kind =
+    let fam = family name in
+    if not (Hashtbl.mem seen fam) then begin
+      Hashtbl.add seen fam ();
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" fam help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fam kind)
+    end
+  in
+  List.iter
+    (fun (n, help, v) ->
+      header n help "counter";
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" n v))
+    s.counters;
+  List.iter
+    (fun (n, help, v) ->
+      header n help "gauge";
+      Buffer.add_string buf (Printf.sprintf "%s %g\n" n v))
+    s.gauges;
+  List.iter
+    (fun (n, help, (h : Histogram.snapshot)) ->
+      header n help "histogram";
+      Array.iteri
+        (fun i b ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%g\"} %d\n" n b h.cumulative.(i)))
+        h.bounds;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.count);
+      Buffer.add_string buf (Printf.sprintf "%s_sum %.9g\n" n h.sum);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.count))
+    s.histograms;
+  Buffer.contents buf
+
+let pp_text ppf s =
+  let open Format in
+  let width =
+    List.fold_left
+      (fun acc n -> Stdlib.max acc (String.length n))
+      0
+      (List.map (fun (n, _, _) -> n) s.counters
+      @ List.map (fun (n, _, _) -> n) s.gauges
+      @ List.map (fun (n, _, _) -> n) s.histograms)
+  in
+  fprintf ppf "@[<v>";
+  if s.counters <> [] then begin
+    fprintf ppf "counters:@,";
+    List.iter
+      (fun (n, _, v) -> fprintf ppf "  %-*s %d@," width n v)
+      s.counters
+  end;
+  if s.gauges <> [] then begin
+    fprintf ppf "gauges:@,";
+    List.iter
+      (fun (n, _, v) -> fprintf ppf "  %-*s %.4f@," width n v)
+      s.gauges
+  end;
+  if s.histograms <> [] then begin
+    fprintf ppf "histograms:@,";
+    List.iter
+      (fun (n, _, (h : Histogram.snapshot)) ->
+        let mean =
+          match Histogram.mean h with
+          | Some m -> Printf.sprintf "%.2e s" m
+          | None -> "n/a"
+        in
+        let q p =
+          match Histogram.quantile h p with
+          | Some v -> Printf.sprintf "<=%.1e s" v
+          | None -> "n/a"
+        in
+        fprintf ppf "  %-*s count %d, mean %s, p50 %s, p99 %s@," width n
+          h.count mean (q 0.5) (q 0.99))
+      s.histograms
+  end;
+  fprintf ppf "@]"

@@ -1,0 +1,74 @@
+(** A registry of named counters, gauges and latency histograms.
+
+    Instrumented code registers its instruments once (at network or
+    driver creation) and then mutates them directly on the hot path —
+    registration does the name lookup, so an increment is a single
+    in-place field update with no hashing and no allocation.
+
+    Names follow the Prometheus convention ([snake_case], counters
+    suffixed [_total], base units in the name, e.g.
+    [wdmnet_connect_latency_seconds]); a per-middle or per-cause family
+    is registered as one instrument per member with the label baked
+    into the name ([wdmnet_connect_blocked_total{cause="blocked"}]),
+    which {!to_prometheus} passes through verbatim. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Instruments} *)
+
+type counter
+
+val counter : t -> ?help:string -> string -> counter
+(** Get-or-create by name: registering the same name twice returns the
+    same instrument, so a network and a driver sharing a sink can share
+    a counter. *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : t -> ?help:string -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : t -> ?help:string -> ?bounds:float array -> string -> Histogram.t
+(** Get-or-create; [bounds] is only consulted on first registration. *)
+
+(** {1 Snapshots}
+
+    A snapshot decouples exposition from the live registry: it is an
+    immutable copy, safe to render or serialize while the run
+    continues.  Instruments appear in registration order. *)
+
+type snapshot = {
+  counters : (string * string * int) list;  (** name, help, value *)
+  gauges : (string * string * float) list;
+  histograms : (string * string * Histogram.snapshot) list;
+}
+
+val snapshot : t -> snapshot
+
+val find_counter : snapshot -> string -> int option
+val find_gauge : snapshot -> string -> float option
+val find_histogram : snapshot -> string -> Histogram.snapshot option
+
+val sum_counters : snapshot -> prefix:string -> int
+(** Sum of every counter whose name starts with [prefix] — e.g. the
+    total blocks across the per-cause family. *)
+
+val to_json : snapshot -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}] with
+    histograms as [{"bounds": [...], "cumulative": [...], "sum": s,
+    "count": n}]. *)
+
+val to_prometheus : snapshot -> string
+(** Prometheus text exposition format (type comments, [_bucket]/
+    [_sum]/[_count] series per histogram with cumulative [le] labels). *)
+
+val pp_text : Format.formatter -> snapshot -> unit
+(** Human-readable aligned table: counters, gauges, then histograms
+    with count/mean/p50/p99. *)

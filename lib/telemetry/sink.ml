@@ -1,0 +1,20 @@
+type t = {
+  metrics : Metrics.t;
+  trace : Trace.t option;
+  clock : unit -> float;
+  origin : float;
+}
+
+let create ?trace ?(clock = Unix.gettimeofday) () =
+  { metrics = Metrics.create (); trace; clock; origin = clock () }
+
+let now t = t.clock () -. t.origin
+
+let record t ?dur ?route_id ?middles ?wavelengths ?detail kind =
+  match t.trace with
+  | None -> ()
+  | Some trace ->
+    Trace.record trace ~ts:(now t) ?dur ?route_id ?middles ?wavelengths
+      ?detail kind
+
+let snapshot t = Metrics.snapshot t.metrics

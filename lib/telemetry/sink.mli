@@ -1,0 +1,44 @@
+(** The telemetry sink instrumented code takes as [?telemetry].
+
+    One sink bundles a metrics registry, an optional trace, and a
+    clock.  Instrumented entry points ({!Wdm_multistage.Network.create},
+    {!Wdm_multistage.Scheduler.repair}, the {!Wdm_traffic.Churn}
+    drivers) accept [?telemetry:Sink.t]; when omitted the instrumented
+    code takes the [None] branch of a single [match] and touches
+    neither the clock nor any instrument — the disabled path allocates
+    nothing and existing call sites compile and behave unchanged.
+
+    Timestamps are seconds since the sink was created, from a wall
+    clock ([Unix.gettimeofday]) by default; {!Trace.record} clamps them
+    non-decreasing so the emitted trace is monotone even across a
+    clock step.  Pass [~clock] for deterministic traces (e.g. a step
+    counter in tests). *)
+
+type t = {
+  metrics : Metrics.t;
+  trace : Trace.t option;
+  clock : unit -> float;  (** absolute; {!now} subtracts the origin *)
+  origin : float;
+}
+
+val create : ?trace:Trace.t -> ?clock:(unit -> float) -> unit -> t
+(** A sink with a fresh registry.  [trace] (default: none) enables
+    event recording; share one {!Trace.t} across several sinks to
+    merge their events on one timeline. *)
+
+val now : t -> float
+(** Seconds since sink creation. *)
+
+val record :
+  t ->
+  ?dur:float ->
+  ?route_id:int ->
+  ?middles:int list ->
+  ?wavelengths:int list ->
+  ?detail:(string * string) list ->
+  Trace.kind ->
+  unit
+(** Appends a trace event stamped {!now}; no-op when the sink carries
+    no trace. *)
+
+val snapshot : t -> Metrics.snapshot

@@ -1,0 +1,172 @@
+type kind =
+  | Connect
+  | Disconnect
+  | Block
+  | Fault_inject
+  | Fault_clear
+  | Rearrange
+  | Repair
+
+let kind_to_string = function
+  | Connect -> "connect"
+  | Disconnect -> "disconnect"
+  | Block -> "block"
+  | Fault_inject -> "fault-inject"
+  | Fault_clear -> "fault-clear"
+  | Rearrange -> "rearrange"
+  | Repair -> "repair"
+
+let kind_of_string = function
+  | "connect" -> Some Connect
+  | "disconnect" -> Some Disconnect
+  | "block" -> Some Block
+  | "fault-inject" -> Some Fault_inject
+  | "fault-clear" -> Some Fault_clear
+  | "rearrange" -> Some Rearrange
+  | "repair" -> Some Repair
+  | _ -> None
+
+type event = {
+  ts : float;
+  dur : float option;
+  kind : kind;
+  route_id : int option;
+  middles : int list;
+  wavelengths : int list;
+  detail : (string * string) list;
+}
+
+type t = { mutable events : event list (* reversed *); mutable last_ts : float }
+
+let create () = { events = []; last_ts = 0. }
+
+let record t ~ts ?dur ?route_id ?(middles = []) ?(wavelengths = [])
+    ?(detail = []) kind =
+  let ts = if ts < t.last_ts then t.last_ts else ts in
+  t.last_ts <- ts;
+  t.events <-
+    { ts; dur; kind; route_id; middles; wavelengths; detail } :: t.events
+
+let events t = List.rev t.events
+let length t = List.length t.events
+
+(* ----- JSONL ----------------------------------------------------------- *)
+
+let event_to_json e =
+  let base =
+    [
+      ("ts", Json.Float e.ts);
+      ("kind", Json.String (kind_to_string e.kind));
+    ]
+  in
+  let opt name = function Some v -> [ (name, v) ] | None -> [] in
+  let ints name = function
+    | [] -> []
+    | l -> [ (name, Json.List (List.map (fun i -> Json.Int i) l)) ]
+  in
+  Json.Obj
+    (base
+    @ opt "dur" (Option.map (fun d -> Json.Float d) e.dur)
+    @ opt "route_id" (Option.map (fun i -> Json.Int i) e.route_id)
+    @ ints "middles" e.middles
+    @ ints "wavelengths" e.wavelengths
+    @
+    match e.detail with
+    | [] -> []
+    | d -> [ ("detail", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) d)) ]
+    )
+
+let event_of_json json =
+  let ( let* ) r f = Result.bind r f in
+  let require name conv =
+    match Option.bind (Json.member name json) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+  in
+  let* ts = require "ts" Json.to_float_opt in
+  let* kind_s = require "kind" Json.to_string_opt in
+  let* kind =
+    match kind_of_string kind_s with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "unknown event kind %S" kind_s)
+  in
+  let dur = Option.bind (Json.member "dur" json) Json.to_float_opt in
+  let route_id = Option.bind (Json.member "route_id" json) Json.to_int in
+  let int_list name =
+    match Option.bind (Json.member name json) Json.to_list with
+    | None -> []
+    | Some l -> List.filter_map Json.to_int l
+  in
+  let detail =
+    match Json.member "detail" json with
+    | Some (Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_string_opt v))
+        kvs
+    | _ -> []
+  in
+  Ok
+    {
+      ts;
+      dur;
+      kind;
+      route_id;
+      middles = int_list "middles";
+      wavelengths = int_list "wavelengths";
+      detail;
+    }
+
+let event_of_jsonl line =
+  match Json.parse line with
+  | Error e -> Error e
+  | Ok json -> event_of_json json
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.to_string (event_to_json e));
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+(* ----- Chrome trace_event ---------------------------------------------- *)
+
+let to_chrome t =
+  let us s = s *. 1e6 in
+  let args e =
+    let str_of_ints l = String.concat "," (List.map string_of_int l) in
+    (match e.route_id with
+    | Some id -> [ ("route_id", Json.Int id) ]
+    | None -> [])
+    @ (match e.middles with
+      | [] -> []
+      | l -> [ ("middles", Json.String (str_of_ints l)) ])
+    @ (match e.wavelengths with
+      | [] -> []
+      | l -> [ ("wavelengths", Json.String (str_of_ints l)) ])
+    @ List.map (fun (k, v) -> (k, Json.String v)) e.detail
+  in
+  let trace_event e =
+    let common =
+      [
+        ("name", Json.String (kind_to_string e.kind));
+        ("cat", Json.String "wdmnet");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+        ("ts", Json.Float (us e.ts));
+        ("args", Json.Obj (args e));
+      ]
+    in
+    match e.dur with
+    | Some d ->
+      Json.Obj (("ph", Json.String "X") :: ("dur", Json.Float (us d)) :: common)
+    | None ->
+      Json.Obj (("ph", Json.String "i") :: ("s", Json.String "t") :: common)
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.map trace_event (events t)));
+         ("displayTimeUnit", Json.String "ms");
+       ])

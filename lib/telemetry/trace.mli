@@ -1,0 +1,72 @@
+(** A structured event log of fabric activity.
+
+    Every consequential state change of a running network — a
+    connection routed, a request refused, a component failing, a repair
+    — is one {!event} with a monotone timestamp and the routing facts
+    (route id, middle modules used, first-stage wavelengths) that the
+    Section 3 analysis reasons about.  Two serializations:
+
+    - {!to_jsonl}: one JSON object per line, the machine-diffable form
+      ({!event_of_jsonl} parses it back — the tests round-trip);
+    - {!to_chrome}: the Chrome [trace_event] JSON format, loadable in
+      [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto} so a
+      churn run can be scrubbed on a timeline.  Events carrying a
+      duration render as spans ([ph = "X"]), the rest as instants. *)
+
+type kind =
+  | Connect  (** request admitted; carries the allocated route *)
+  | Disconnect
+  | Block  (** request refused; the cause is in [detail] *)
+  | Fault_inject
+  | Fault_clear
+  | Rearrange  (** an existing route moved to admit a request *)
+  | Repair  (** a fault victim re-homed (or dropped, per [detail]) *)
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+type event = {
+  ts : float;  (** seconds since trace start; non-decreasing *)
+  dur : float option;  (** span duration in seconds, when measured *)
+  kind : kind;
+  route_id : int option;
+  middles : int list;  (** middle modules the route rides *)
+  wavelengths : int list;  (** first-stage wavelength per hop *)
+  detail : (string * string) list;  (** free-form context, e.g. cause *)
+}
+
+type t
+
+val create : unit -> t
+
+val record :
+  t ->
+  ts:float ->
+  ?dur:float ->
+  ?route_id:int ->
+  ?middles:int list ->
+  ?wavelengths:int list ->
+  ?detail:(string * string) list ->
+  kind ->
+  unit
+(** Appends one event.  Timestamps are clamped to be non-decreasing
+    (a wall-clock step backwards cannot produce a disordered trace). *)
+
+val events : t -> event list
+(** In emission order. *)
+
+val length : t -> int
+
+val to_jsonl : t -> string
+(** One event per line. *)
+
+val event_to_json : event -> Json.t
+val event_of_json : Json.t -> (event, string) result
+
+val event_of_jsonl : string -> (event, string) result
+(** Parses one line of {!to_jsonl} output. *)
+
+val to_chrome : t -> string
+(** The whole trace as [{"traceEvents": [...], "displayTimeUnit":
+    "ms"}].  Timestamps convert to microseconds as the format
+    requires. *)

@@ -33,6 +33,64 @@ type fault_stats = {
   blocked_degraded : int;
 }
 
+module Tel = Wdm_telemetry
+
+(* The driver's tallies ARE telemetry counters: with [?telemetry] the
+   caller's sink sees them live (and keeps accumulating across runs);
+   without, a private sink backs the returned stats and is dropped.
+   Counters never touch the RNG, so the instrumented and plain paths
+   replay identically from the same seed — the telemetry tests check
+   that. *)
+type driver_instruments = {
+  sink : Tel.Sink.t;
+  attempts_c : Tel.Metrics.counter;
+  accepted_c : Tel.Metrics.counter;
+  blocked_c : Tel.Metrics.counter;
+  torn_down_c : Tel.Metrics.counter;
+  injected_c : Tel.Metrics.counter;
+  cleared_c : Tel.Metrics.counter;
+  victims_c : Tel.Metrics.counter;
+  repaired_c : Tel.Metrics.counter;
+  dropped_c : Tel.Metrics.counter;
+  degraded_attempts_c : Tel.Metrics.counter;
+  blocked_degraded_c : Tel.Metrics.counter;
+  g_active : Tel.Metrics.gauge;
+  g_peak : Tel.Metrics.gauge;
+}
+
+let driver_instruments telemetry =
+  let sink =
+    match telemetry with Some s -> s | None -> Tel.Sink.create ()
+  in
+  let reg = sink.Tel.Sink.metrics in
+  let c help name = Tel.Metrics.counter reg ~help name in
+  {
+    sink;
+    attempts_c = c "Setup attempts issued by the driver" "churn_attempts_total";
+    accepted_c = c "Setups the switch admitted" "churn_accepted_total";
+    blocked_c = c "Setups the switch refused" "churn_blocked_total";
+    torn_down_c = c "Voluntary teardowns" "churn_teardowns_total";
+    injected_c = c "Fault injections applied" "churn_faults_injected_total";
+    cleared_c = c "Fault clears applied" "churn_faults_cleared_total";
+    victims_c =
+      c "Connections torn down by fault injections" "churn_victims_total";
+    repaired_c = c "Victims re-homed by the repair pass" "churn_repaired_total";
+    dropped_c =
+      c "Victims no degraded-mode route could carry" "churn_dropped_total";
+    degraded_attempts_c =
+      c "Setups attempted while at least one fault was in force"
+        "churn_degraded_attempts_total";
+    blocked_degraded_c =
+      c "Refusals while at least one fault was in force"
+        "churn_blocked_degraded_total";
+    g_active =
+      Tel.Metrics.gauge reg ~help:"Connections currently held by the driver"
+        "churn_active_connections";
+    g_peak =
+      Tel.Metrics.gauge reg ~help:"Peak concurrent connections this run"
+        "churn_peak_active";
+  }
+
 (* Shared engine: [run] is the empty-schedule special case.  Fault
    handling never consults the RNG, and the teardown/setup gate draws
    its float unconditionally every step, so a fault campaign tracks a
@@ -40,18 +98,38 @@ type fault_stats = {
    event changes the active set or the free endpoints — after which the
    per-step action draws (victim index, generated connection) diverge
    by necessity. *)
-let engine ~on_blocked rng ~spec ~model ~fanout ~steps ~teardown_bias ~schedule
-    fsut =
+let engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps
+    ~teardown_bias ~schedule fsut =
   let sut = fsut.base in
+  let i = driver_instruments telemetry in
+  (* a reused sink keeps its cumulative counters; the returned stats
+     must cover this run only, so remember where we started *)
+  let base name_c = Tel.Metrics.counter_value name_c in
+  let b_attempts = base i.attempts_c
+  and b_accepted = base i.accepted_c
+  and b_blocked = base i.blocked_c
+  and b_torn_down = base i.torn_down_c
+  and b_injected = base i.injected_c
+  and b_cleared = base i.cleared_c
+  and b_victims = base i.victims_c
+  and b_repaired = base i.repaired_c
+  and b_dropped = base i.dropped_c
+  and b_degraded_attempts = base i.degraded_attempts_c
+  and b_blocked_degraded = base i.blocked_degraded_c in
   let all_sources = Network_spec.inputs spec in
   let all_dests = Network_spec.outputs spec in
   let active : ('id * Connection.t) list ref = ref [] in
+  let peak = ref 0 in
   let used_src = ref Eset.empty and used_dst = ref Eset.empty in
-  let stats = ref { attempts = 0; accepted = 0; blocked = 0; torn_down = 0; peak_active = 0 } in
-  let injected = ref 0 and cleared = ref 0 in
-  let victims = ref 0 and repaired = ref 0 and dropped = ref 0 in
-  let degraded_attempts = ref 0 and blocked_degraded = ref 0 in
   let in_force = ref [] in
+  let note_active () =
+    let n = List.length !active in
+    Tel.Metrics.set i.g_active (float_of_int n);
+    if n > !peak then begin
+      peak := n;
+      Tel.Metrics.set i.g_peak (float_of_int n)
+    end
+  in
   let register id conn =
     active := (id, conn) :: !active;
     used_src := Eset.add conn.Connection.source !used_src;
@@ -68,21 +146,24 @@ let engine ~on_blocked rng ~spec ~model ~fanout ~steps ~teardown_bias ~schedule
   in
   let apply = function
     | `Inject fault ->
-      incr injected;
+      Tel.Metrics.inc i.injected_c;
       if not (List.mem fault !in_force) then in_force := fault :: !in_force;
       let torn = fsut.inject fault in
-      victims := !victims + List.length torn;
+      Tel.Metrics.add i.victims_c (List.length torn);
       (* the network freed every victim at once; re-home them on what
          is left, one by one *)
       List.iter unregister torn;
       List.iter
         (fun conn ->
           match fsut.reconnect conn with
-          | Ok id -> register id conn; incr repaired
-          | Error _ -> incr dropped)
-        torn
+          | Ok id ->
+            register id conn;
+            Tel.Metrics.inc i.repaired_c
+          | Error _ -> Tel.Metrics.inc i.dropped_c)
+        torn;
+      note_active ()
     | `Clear fault ->
-      incr cleared;
+      Tel.Metrics.inc i.cleared_c;
       in_force := List.filter (fun f -> f <> fault) !in_force;
       fsut.clear fault
   in
@@ -90,15 +171,16 @@ let engine ~on_blocked rng ~spec ~model ~fanout ~steps ~teardown_bias ~schedule
     match !active with
     | [] -> ()
     | l ->
-      let i = Random.State.int rng (List.length l) in
-      let id, conn = List.nth l i in
+      let idx = Random.State.int rng (List.length l) in
+      let id, conn = List.nth l idx in
       sut.disconnect id;
-      active := List.filteri (fun j _ -> j <> i) l;
+      active := List.filteri (fun j _ -> j <> idx) l;
       used_src := Eset.remove conn.Connection.source !used_src;
       used_dst :=
         List.fold_left (fun s d -> Eset.remove d s) !used_dst
           conn.Connection.destinations;
-      stats := { !stats with torn_down = !stats.torn_down + 1 }
+      Tel.Metrics.inc i.torn_down_c;
+      note_active ()
   in
   let setup () =
     let free_sources = List.filter (fun e -> not (Eset.mem e !used_src)) all_sources in
@@ -108,21 +190,17 @@ let engine ~on_blocked rng ~spec ~model ~fanout ~steps ~teardown_bias ~schedule
     with
     | None -> ()
     | Some conn -> (
-      stats := { !stats with attempts = !stats.attempts + 1 };
-      if !in_force <> [] then incr degraded_attempts;
+      Tel.Metrics.inc i.attempts_c;
+      if !in_force <> [] then Tel.Metrics.inc i.degraded_attempts_c;
       match sut.connect conn with
       | Ok id ->
         register id conn;
-        stats :=
-          {
-            !stats with
-            accepted = !stats.accepted + 1;
-            peak_active = Stdlib.max !stats.peak_active (List.length !active);
-          }
+        Tel.Metrics.inc i.accepted_c;
+        note_active ()
       | Error err ->
         on_blocked conn err;
-        if !in_force <> [] then incr blocked_degraded;
-        stats := { !stats with blocked = !stats.blocked + 1 })
+        if !in_force <> [] then Tel.Metrics.inc i.blocked_degraded_c;
+        Tel.Metrics.inc i.blocked_c)
   in
   let pending = ref schedule in
   for step = 1 to steps do
@@ -140,19 +218,27 @@ let engine ~on_blocked rng ~spec ~model ~fanout ~steps ~teardown_bias ~schedule
     let gate = Random.State.float rng 1. in
     if !active <> [] && gate < teardown_bias then teardown () else setup ()
   done;
+  let since b c = Tel.Metrics.counter_value c - b in
   {
-    churn = !stats;
-    injected = !injected;
-    cleared = !cleared;
-    victims = !victims;
-    repaired = !repaired;
-    dropped = !dropped;
-    degraded_attempts = !degraded_attempts;
-    blocked_degraded = !blocked_degraded;
+    churn =
+      {
+        attempts = since b_attempts i.attempts_c;
+        accepted = since b_accepted i.accepted_c;
+        blocked = since b_blocked i.blocked_c;
+        torn_down = since b_torn_down i.torn_down_c;
+        peak_active = !peak;
+      };
+    injected = since b_injected i.injected_c;
+    cleared = since b_cleared i.cleared_c;
+    victims = since b_victims i.victims_c;
+    repaired = since b_repaired i.repaired_c;
+    dropped = since b_dropped i.dropped_c;
+    degraded_attempts = since b_degraded_attempts i.degraded_attempts_c;
+    blocked_degraded = since b_blocked_degraded i.blocked_degraded_c;
   }
 
-let run ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout ~steps
-    ~teardown_bias sut =
+let run ?telemetry ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout
+    ~steps ~teardown_bias sut =
   if teardown_bias < 0. || teardown_bias > 1. then
     invalid_arg "Churn.run: teardown_bias must be in [0, 1]";
   let fsut =
@@ -163,19 +249,19 @@ let run ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout ~steps
       reconnect = (fun _ -> invalid_arg "Churn.run: no faults");
     }
   in
-  (engine ~on_blocked rng ~spec ~model ~fanout ~steps ~teardown_bias
-     ~schedule:[] fsut)
+  (engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps
+     ~teardown_bias ~schedule:[] fsut)
     .churn
 
-let run_with_faults ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout
-    ~steps ~teardown_bias ~schedule fsut =
+let run_with_faults ?telemetry ?(on_blocked = fun _ _ -> ()) rng ~spec ~model
+    ~fanout ~steps ~teardown_bias ~schedule fsut =
   if teardown_bias < 0. || teardown_bias > 1. then
     invalid_arg "Churn.run_with_faults: teardown_bias must be in [0, 1]";
   let schedule =
     List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) schedule
   in
-  engine ~on_blocked rng ~spec ~model ~fanout ~steps ~teardown_bias ~schedule
-    fsut
+  engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps ~teardown_bias
+    ~schedule fsut
 
 let pp_stats ppf s =
   Format.fprintf ppf
@@ -205,17 +291,20 @@ let exponential rng mean =
   let u = 1. -. Random.State.float rng 1. in
   -.mean *. Float.log u
 
-let run_timed ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout
+let run_timed ?telemetry ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout
     ~arrival_rate ~mean_holding ~horizon sut =
   if arrival_rate <= 0. || mean_holding <= 0. || horizon <= 0. then
     invalid_arg "Churn.run_timed: rates and horizon must be positive";
+  let ti = driver_instruments telemetry in
+  let b_attempts = Tel.Metrics.counter_value ti.attempts_c
+  and b_accepted = Tel.Metrics.counter_value ti.accepted_c
+  and b_blocked = Tel.Metrics.counter_value ti.blocked_c
+  and b_completed = Tel.Metrics.counter_value ti.torn_down_c in
   let all_sources = Network_spec.inputs spec in
   let all_dests = Network_spec.outputs spec in
   (* departures: (time, id, conn), kept sorted by time ascending *)
   let departures : (float * 'id * Connection.t) list ref = ref [] in
   let used_src = ref Eset.empty and used_dst = ref Eset.empty in
-  let attempts = ref 0 and accepted = ref 0 and blocked = ref 0 in
-  let completed = ref 0 in
   let active_area = ref 0. in
   let now = ref 0. in
   let active () = List.length !departures in
@@ -234,11 +323,12 @@ let run_timed ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout
   in
   let depart (id, conn) =
     sut.disconnect id;
-    incr completed;
+    Tel.Metrics.inc ti.torn_down_c;
     used_src := Eset.remove conn.Connection.source !used_src;
     used_dst :=
       List.fold_left (fun s d -> Eset.remove d s) !used_dst
-        conn.Connection.destinations
+        conn.Connection.destinations;
+    Tel.Metrics.set ti.g_active (float_of_int (active ()))
   in
   let arrival t =
     advance_to t;
@@ -247,18 +337,19 @@ let run_timed ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout
     match Generator.random_connection rng spec model ~fanout ~free_sources ~free_dests with
     | None -> () (* saturated: the offered call finds no idle terminals *)
     | Some conn -> (
-      incr attempts;
+      Tel.Metrics.inc ti.attempts_c;
       match sut.connect conn with
       | Ok id ->
-        incr accepted;
+        Tel.Metrics.inc ti.accepted_c;
         used_src := Eset.add conn.Connection.source !used_src;
         used_dst :=
           List.fold_left (fun s d -> Eset.add d s) !used_dst
             conn.Connection.destinations;
-        insert (t +. exponential rng mean_holding, id, conn)
+        insert (t +. exponential rng mean_holding, id, conn);
+        Tel.Metrics.set ti.g_active (float_of_int (active ()))
       | Error err ->
         on_blocked conn err;
-        incr blocked)
+        Tel.Metrics.inc ti.blocked_c)
   in
   let rec loop next_arrival =
     if next_arrival > horizon && !departures = [] then advance_to horizon
@@ -289,12 +380,13 @@ let run_timed ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout
         end
   in
   loop (exponential rng (1. /. arrival_rate));
+  let since b c = Tel.Metrics.counter_value c - b in
   {
     offered_erlangs = arrival_rate *. mean_holding;
-    t_attempts = !attempts;
-    t_accepted = !accepted;
-    t_blocked = !blocked;
-    completed = !completed;
+    t_attempts = since b_attempts ti.attempts_c;
+    t_accepted = since b_accepted ti.accepted_c;
+    t_blocked = since b_blocked ti.blocked_c;
+    completed = since b_completed ti.torn_down_c;
     mean_active = !active_area /. horizon;
   }
 

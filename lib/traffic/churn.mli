@@ -22,6 +22,7 @@ type ('id, 'err) sut = {
 }
 
 val run :
+  ?telemetry:Wdm_telemetry.Sink.t ->
   ?on_blocked:(Connection.t -> 'err -> unit) ->
   Random.State.t ->
   spec:Network_spec.t ->
@@ -34,7 +35,16 @@ val run :
 (** Each step tears down a random active connection with probability
     [teardown_bias] (when any exists), otherwise attempts a setup drawn
     from the free endpoints.  [on_blocked] observes rejections (default:
-    count only). *)
+    count only).
+
+    The driver's tallies are telemetry counters ([churn_attempts_total],
+    [churn_accepted_total], [churn_blocked_total],
+    [churn_teardowns_total], and the fault family below) plus
+    [churn_active_connections]/[churn_peak_active] gauges.  With
+    [telemetry] they land in the caller's sink, where they accumulate
+    across runs; the returned {!stats} always cover this run only.
+    Telemetry never consults the RNG, so a run with a sink replays a
+    run without one draw-for-draw. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 
@@ -71,6 +81,7 @@ type fault_stats = {
 }
 
 val run_with_faults :
+  ?telemetry:Wdm_telemetry.Sink.t ->
   ?on_blocked:(Connection.t -> 'err -> unit) ->
   Random.State.t ->
   spec:Network_spec.t ->
@@ -111,6 +122,7 @@ type timed_stats = {
 }
 
 val run_timed :
+  ?telemetry:Wdm_telemetry.Sink.t ->
   ?on_blocked:(Connection.t -> 'err -> unit) ->
   Random.State.t ->
   spec:Network_spec.t ->

@@ -1,0 +1,339 @@
+(* Tests for the telemetry subsystem: the JSON codec, histogram
+   invariants, trace serialization round-trips, and — the load-bearing
+   property — that the counters a sink accumulates over a seeded churn
+   run exactly reconcile with the driver's own statistics, while the
+   un-instrumented path replays the same run unchanged. *)
+
+open Wdm_core
+open Wdm_multistage
+module Tel = Wdm_telemetry
+
+let ep port wl = Endpoint.make ~port ~wl
+let conn src dests = Connection.make_exn ~source:src ~destinations:dests
+
+let check_ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Network.pp_error e)
+
+let churn_sut t =
+  {
+    Wdm_traffic.Churn.connect =
+      (fun c ->
+        match Network.connect t c with
+        | Ok route -> Ok route.Network.id
+        | Error e -> Error e);
+    disconnect = (fun id -> ignore (Network.disconnect t id));
+  }
+
+(* A network sized below the Theorem-1 minimum, so churn produces a mix
+   of admissions and refusals — both counter families get exercised. *)
+let undersized_run ?telemetry ~seed ~steps () =
+  let topo = Topology.make_exn ~n:3 ~m:4 ~r:3 ~k:2 in
+  let net =
+    Network.create ?telemetry ~construction:Network.Msw_dominant
+      ~output_model:Model.MSW topo
+  in
+  let stats =
+    Wdm_traffic.Churn.run ?telemetry
+      (Random.State.make [| seed |])
+      ~spec:(Topology.spec topo) ~model:Model.MSW
+      ~fanout:(Wdm_traffic.Fanout.Zipf { max = 9; s = 1.0 })
+      ~steps ~teardown_bias:0.3 (churn_sut net)
+  in
+  (net, stats)
+
+(* --- json ---------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let open Tel.Json in
+  let v =
+    Obj
+      [
+        ("s", String "a \"quoted\" \\ line\nwith\tescapes");
+        ("i", Int (-42));
+        ("f", Float 1.5);
+        ("b", Bool true);
+        ("n", Null);
+        ("l", List [ Int 1; Int 2; Obj [ ("x", Float 0.25) ] ]);
+      ]
+  in
+  match parse (to_string v) with
+  | Error e -> Alcotest.fail e
+  | Ok v' -> Alcotest.(check bool) "roundtrip" true (v = v')
+
+let test_json_rejects_garbage () =
+  let bad s =
+    Alcotest.(check bool)
+      (Printf.sprintf "rejects %S" s)
+      true
+      (Result.is_error (Tel.Json.parse s))
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":1} trailing";
+  bad "\"unterminated"
+
+(* --- histograms ---------------------------------------------------------- *)
+
+let test_histogram_monotone () =
+  let h = Tel.Histogram.create "h" in
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 1000 do
+    Tel.Histogram.observe h (Random.State.float rng 0.2)
+  done;
+  let s = Tel.Histogram.snapshot h in
+  Alcotest.(check int) "count" 1000 s.Tel.Histogram.count;
+  let c = s.Tel.Histogram.cumulative in
+  Alcotest.(check int) "one entry per bound plus overflow"
+    (Array.length s.Tel.Histogram.bounds + 1)
+    (Array.length c);
+  for i = 1 to Array.length c - 1 do
+    Alcotest.(check bool) "cumulative non-decreasing" true (c.(i - 1) <= c.(i))
+  done;
+  Alcotest.(check int) "last bucket is the total" 1000 (c.(Array.length c - 1))
+
+let test_histogram_quantiles () =
+  let h = Tel.Histogram.create ~bounds:[| 1.; 2.; 4. |] "q" in
+  List.iter (Tel.Histogram.observe h) [ 0.5; 0.5; 1.5; 3.0 ];
+  let s = Tel.Histogram.snapshot h in
+  Alcotest.(check (option (float 1e-9))) "median bucket" (Some 1.)
+    (Tel.Histogram.quantile s 0.5);
+  Alcotest.(check (option (float 1e-9))) "p99 bucket" (Some 4.)
+    (Tel.Histogram.quantile s 0.99);
+  Alcotest.(check (option (float 1e-9))) "mean" (Some 1.375) (Tel.Histogram.mean s)
+
+(* --- trace --------------------------------------------------------------- *)
+
+(* A deterministic step clock makes the emitted timestamps exact. *)
+let step_clock () =
+  let t = ref 0. in
+  fun () ->
+    t := !t +. 1.;
+    !t
+
+let traced_run () =
+  let trace = Tel.Trace.create () in
+  let sink = Tel.Sink.create ~trace ~clock:(step_clock ()) () in
+  let topo = Topology.make_exn ~n:2 ~m:4 ~r:2 ~k:2 in
+  let net =
+    Network.create ~telemetry:sink ~construction:Network.Msw_dominant
+      ~output_model:Model.MSW topo
+  in
+  let r1 = check_ok (Network.connect net (conn (ep 1 1) [ ep 1 1; ep 3 1 ])) in
+  let _r2 = check_ok (Network.connect net (conn (ep 2 1) [ ep 2 1 ])) in
+  ignore (Network.disconnect net r1.Network.id);
+  ignore (Network.connect net (conn (ep 2 1) [ ep 4 1 ]));
+  (* source 2 wl 1 is still busy -> a Block event *)
+  trace
+
+let test_trace_jsonl_roundtrip () =
+  let trace = traced_run () in
+  let events = Tel.Trace.events trace in
+  Alcotest.(check bool) "some events" true (List.length events >= 4);
+  let lines =
+    Tel.Trace.to_jsonl trace |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one line per event" (List.length events)
+    (List.length lines);
+  List.iter2
+    (fun ev line ->
+      match Tel.Trace.event_of_jsonl line with
+      | Error e -> Alcotest.fail e
+      | Ok ev' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "event %s round-trips"
+             (Tel.Trace.kind_to_string ev.Tel.Trace.kind))
+          true (ev = ev'))
+    events lines
+
+let test_trace_monotone_and_kinds () =
+  let trace = traced_run () in
+  let events = Tel.Trace.events trace in
+  let rec check_sorted = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "timestamps non-decreasing" true
+        (a.Tel.Trace.ts <= b.Tel.Trace.ts);
+      check_sorted rest
+    | _ -> ()
+  in
+  check_sorted events;
+  let kinds = List.map (fun e -> e.Tel.Trace.kind) events in
+  Alcotest.(check bool) "has connect" true (List.mem Tel.Trace.Connect kinds);
+  Alcotest.(check bool) "has disconnect" true
+    (List.mem Tel.Trace.Disconnect kinds);
+  Alcotest.(check bool) "has block" true (List.mem Tel.Trace.Block kinds)
+
+let test_trace_chrome_parses () =
+  let trace = traced_run () in
+  match Tel.Json.parse (Tel.Trace.to_chrome trace) with
+  | Error e -> Alcotest.fail e
+  | Ok json ->
+    let events =
+      match Tel.Json.member "traceEvents" json with
+      | Some j -> Option.get (Tel.Json.to_list j)
+      | None -> Alcotest.fail "no traceEvents"
+    in
+    Alcotest.(check int) "one chrome event per trace event"
+      (Tel.Trace.length trace) (List.length events);
+    List.iter
+      (fun ev ->
+        let field name =
+          match Tel.Json.member name ev with
+          | Some (Tel.Json.String s) -> s
+          | _ -> Alcotest.fail (name ^ " missing")
+        in
+        Alcotest.(check bool) "ph is X or i" true
+          (List.mem (field "ph") [ "X"; "i" ]);
+        Alcotest.(check string) "cat" "wdmnet" (field "cat"))
+      events
+
+(* --- counters reconcile with the driver ---------------------------------- *)
+
+(* The acceptance criterion: over a seeded churn run, the per-cause
+   block counters must exactly explain the blocking rate the driver
+   reports — attempts = successes + sum of blocks by cause. *)
+let test_counters_reconcile () =
+  let sink = Tel.Sink.create () in
+  let _net, stats = undersized_run ~telemetry:sink ~seed:11 ~steps:3000 () in
+  let snap = Tel.Sink.snapshot sink in
+  let c name =
+    match Tel.Metrics.find_counter snap name with
+    | Some v -> v
+    | None -> Alcotest.fail ("missing counter " ^ name)
+  in
+  let blocked_by_cause =
+    Tel.Metrics.sum_counters snap ~prefix:"wdmnet_connect_blocked_total"
+  in
+  Alcotest.(check bool) "run produced blocks" true (stats.Wdm_traffic.Churn.blocked > 0);
+  Alcotest.(check int) "attempts" stats.Wdm_traffic.Churn.attempts
+    (c "wdmnet_connect_attempts_total");
+  Alcotest.(check int) "successes" stats.Wdm_traffic.Churn.accepted
+    (c "wdmnet_connect_success_total");
+  Alcotest.(check int) "blocks by cause sum to the refusals"
+    stats.Wdm_traffic.Churn.blocked blocked_by_cause;
+  Alcotest.(check int) "attempts = successes + blocks"
+    (c "wdmnet_connect_attempts_total")
+    (c "wdmnet_connect_success_total" + blocked_by_cause);
+  (* the driver's own tallies are counters too, and they agree *)
+  Alcotest.(check int) "churn attempts" stats.Wdm_traffic.Churn.attempts
+    (c "churn_attempts_total");
+  Alcotest.(check int) "churn accepted" stats.Wdm_traffic.Churn.accepted
+    (c "churn_accepted_total");
+  Alcotest.(check int) "churn blocked" stats.Wdm_traffic.Churn.blocked
+    (c "churn_blocked_total");
+  Alcotest.(check int) "churn teardowns" stats.Wdm_traffic.Churn.torn_down
+    (c "churn_teardowns_total");
+  (* the connect histogram saw every attempt *)
+  (match Tel.Metrics.find_histogram snap "wdmnet_connect_latency_seconds" with
+  | None -> Alcotest.fail "missing connect histogram"
+  | Some h ->
+    Alcotest.(check int) "histogram count = attempts"
+      stats.Wdm_traffic.Churn.attempts h.Tel.Histogram.count;
+    let cum = h.Tel.Histogram.cumulative in
+    for i = 1 to Array.length cum - 1 do
+      Alcotest.(check bool) "histogram monotone" true (cum.(i - 1) <= cum.(i))
+    done);
+  (* a reused sink accumulates; the next run's stats stay per-run *)
+  let _net, stats2 = undersized_run ~telemetry:sink ~seed:12 ~steps:1000 () in
+  let snap2 = Tel.Sink.snapshot sink in
+  let c2 name = Option.get (Tel.Metrics.find_counter snap2 name) in
+  Alcotest.(check int) "counters accumulate across runs"
+    (stats.Wdm_traffic.Churn.attempts + stats2.Wdm_traffic.Churn.attempts)
+    (c2 "wdmnet_connect_attempts_total")
+
+let test_disabled_path_identical () =
+  let _net, plain = undersized_run ~seed:11 ~steps:3000 () in
+  let sink = Tel.Sink.create ~trace:(Tel.Trace.create ()) () in
+  let _net, instrumented = undersized_run ~telemetry:sink ~seed:11 ~steps:3000 () in
+  Alcotest.(check bool) "instrumentation does not perturb the run" true
+    (plain = instrumented)
+
+(* --- gauges and utilization ---------------------------------------------- *)
+
+let test_utilization_gauges () =
+  let sink = Tel.Sink.create () in
+  let topo = Topology.make_exn ~n:4 ~m:13 ~r:4 ~k:2 in
+  let net =
+    Network.create ~telemetry:sink ~construction:Network.Msw_dominant
+      ~output_model:Model.MSW topo
+  in
+  (* fanout 3: one busy input endpoint, three busy output endpoints,
+     out of 16 ports x 2 wavelengths = 32 endpoints per side *)
+  let _r =
+    check_ok (Network.connect net (conn (ep 1 1) [ ep 1 1; ep 5 1; ep 9 1 ]))
+  in
+  Alcotest.(check (float 1e-9)) "output utilization" (3. /. 32.)
+    (Network.utilization net);
+  Alcotest.(check (float 1e-9)) "input utilization" (1. /. 32.)
+    (Network.input_utilization net);
+  let snap = Tel.Sink.snapshot sink in
+  let g name =
+    match Tel.Metrics.find_gauge snap name with
+    | Some v -> v
+    | None -> Alcotest.fail ("missing gauge " ^ name)
+  in
+  Alcotest.(check (float 1e-9)) "utilization gauge" (3. /. 32.)
+    (g "wdmnet_utilization");
+  Alcotest.(check (float 1e-9)) "input utilization gauge" (1. /. 32.)
+    (g "wdmnet_input_utilization");
+  Alcotest.(check (float 1e-9)) "active routes gauge" 1. (g "wdmnet_active_routes")
+
+(* --- prometheus exposition ----------------------------------------------- *)
+
+let test_prometheus_exposition () =
+  let sink = Tel.Sink.create () in
+  let _net, stats = undersized_run ~telemetry:sink ~seed:3 ~steps:500 () in
+  let text = Tel.Metrics.to_prometheus (Tel.Sink.snapshot sink) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let has s =
+    Alcotest.(check bool)
+      (Printf.sprintf "exposition mentions %s" s)
+      true (contains text s)
+  in
+  has
+    (Printf.sprintf "wdmnet_connect_attempts_total %d"
+       stats.Wdm_traffic.Churn.attempts);
+  has "# TYPE wdmnet_connect_attempts_total counter";
+  has "# TYPE wdmnet_connect_latency_seconds histogram";
+  has "wdmnet_connect_latency_seconds_bucket{le=\"+Inf\"}";
+  has "wdmnet_connect_latency_seconds_count";
+  has "wdmnet_connect_blocked_total{cause=\"blocked\"}"
+
+let () =
+  Alcotest.run "wdm_telemetry"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "cumulative monotone" `Quick test_histogram_monotone;
+          Alcotest.test_case "quantiles and mean" `Quick test_histogram_quantiles;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "jsonl roundtrip" `Quick test_trace_jsonl_roundtrip;
+          Alcotest.test_case "monotone, kinds present" `Quick
+            test_trace_monotone_and_kinds;
+          Alcotest.test_case "chrome trace parses" `Quick test_trace_chrome_parses;
+        ] );
+      ( "reconciliation",
+        [
+          Alcotest.test_case "counters explain the blocking rate" `Slow
+            test_counters_reconcile;
+          Alcotest.test_case "telemetry:None replays identically" `Slow
+            test_disabled_path_identical;
+        ] );
+      ( "gauges",
+        [ Alcotest.test_case "utilization both sides" `Quick test_utilization_gauges ] );
+      ( "prometheus",
+        [ Alcotest.test_case "text exposition" `Quick test_prometheus_exposition ] );
+    ]
