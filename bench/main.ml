@@ -482,45 +482,246 @@ let blocking_vs_load () =
 (* Routing throughput at scale                                        *)
 (* ----------------------------------------------------------------- *)
 
-let routing_throughput () =
-  section "Routing throughput at scale (N=1024 three-stage, Theorem-1 m)";
-  let n = 32 and r = 32 and k = 2 in
-  let eval = Conditions.msw_dominant ~n ~r in
-  let topo = Topology.make_exn ~n ~m:eval.Conditions.m_min ~r ~k in
+module J = Wdm_telemetry.Json
+
+(* A recorded network workload: the churn driver runs once against a
+   scratch network (so every request is admissible and the teardown ids
+   are real), and the op sequence is then replayed directly against
+   each link-state implementation with nothing but Network.connect /
+   Network.disconnect inside the timed loop.  That isolates the routing
+   engine from the generator, which otherwise dominates at N=1024. *)
+type trace_op = C of Connection.t | D of int
+
+let record_trace ~topo ~steps ~seed =
   let net =
-    Network.create ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
+    Network.create ~construction:Network.Msw_dominant ~output_model:Model.MSW
+      topo
   in
+  let ops = ref [] in
   let sut =
     {
       Wdm_traffic.Churn.connect =
         (fun c ->
+          ops := C c :: !ops;
           match Network.connect net c with
           | Ok route -> Ok route.Network.id
           | Error e -> Error e);
-      disconnect = (fun id -> ignore (Network.disconnect net id));
+      disconnect =
+        (fun id ->
+          ops := D id :: !ops;
+          ignore (Network.disconnect net id));
     }
   in
-  let steps = 20_000 in
-  let t0 = Unix.gettimeofday () in
-  let stats =
-    Wdm_traffic.Churn.run (Random.State.make [| 4242 |])
-      ~spec:(Topology.spec topo) ~model:Model.MSW
-      ~fanout:(Wdm_traffic.Fanout.Zipf { max = 64; s = 1.3 })
-      ~steps ~teardown_bias:0.35 sut
+  ignore
+    (Wdm_traffic.Churn.run
+       (Random.State.make [| seed |])
+       ~spec:(Topology.spec topo) ~model:Model.MSW
+       ~fanout:(Wdm_traffic.Fanout.Zipf { max = 64; s = 1.3 })
+       ~steps ~teardown_bias:0.35 sut);
+  Array.of_list (List.rev !ops)
+
+(* Replay, timing only the network calls; the running checksum over the
+   chosen hops is the byte-identical-routes check between the two
+   implementations (cheap, and paid equally by both sides).  Each
+   replay carries its own metrics sink, as instrumented production runs
+   do: gauge maintenance is part of the per-op cost under comparison
+   (O(1) on the packed path vs the pre-change full recomputation on the
+   reference path). *)
+let replay ~topo ~impl ops =
+  let net =
+    Network.create
+      ~telemetry:(Wdm_telemetry.Sink.create ())
+      ~link_impl:impl ~construction:Network.Msw_dominant
+      ~output_model:Model.MSW topo
   in
+  let accepted = ref 0 and checksum = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  Array.iter
+    (function
+      | C c -> (
+        match Network.connect net c with
+        | Ok route ->
+          incr accepted;
+          List.iter
+            (fun (h : Network.hop) ->
+              checksum :=
+                (!checksum * 131)
+                lxor (route.Network.id + (31 * h.Network.middle)
+                     + (7 * h.Network.stage1_wl)
+                     + List.fold_left (fun a (o, w) -> a + (o * 13) + w) 0
+                         h.Network.serves))
+            route.Network.hops
+        | Error _ -> ())
+      | D id -> ignore (Network.disconnect net id))
+    ops;
   let dt = Unix.gettimeofday () -. t0 in
+  (dt, !accepted, !checksum)
+
+let impl_name = function
+  | Network.Bitset -> "bitset"
+  | Network.Reference -> "reference"
+
+(* Rearrangement latency: churn an undersized switch until a request
+   blocks, snapshot the fabric at that instant, then repeatedly time
+   connect_rearrangeable against fresh copies of the snapshot (the call
+   mutates the fabric on success, so each sample gets its own copy;
+   the copies happen outside the timed region). *)
+let rearrangement_latency ~iters cases =
+  List.filter_map
+    (fun (n, k, m, strategy, sname) ->
+      let topo = Topology.make_exn ~n ~m ~r:n ~k in
+      let net =
+        Network.create ~strategy ~construction:Network.Msw_dominant
+          ~output_model:Model.MSW topo
+      in
+      let snapshot = ref None in
+      let on_blocked c _ =
+        if !snapshot = None then snapshot := Some (c, Network.copy net)
+      in
+      let sut =
+        {
+          Wdm_traffic.Churn.connect =
+            (fun c ->
+              match Network.connect net c with
+              | Ok route -> Ok route.Network.id
+              | Error e -> Error e);
+          disconnect = (fun id -> ignore (Network.disconnect net id));
+        }
+      in
+      ignore
+        (Wdm_traffic.Churn.run ~on_blocked
+           (Random.State.make [| 97 |])
+           ~spec:(Topology.spec topo) ~model:Model.MSW
+           ~fanout:(Wdm_traffic.Fanout.Uniform (1, n))
+           ~steps:2000 ~teardown_bias:0.2 sut);
+      match !snapshot with
+      | None -> None
+      | Some (probe, blocked_state) ->
+        let total = ref 0. and admitted = ref false and moves = ref 0 in
+        for _ = 1 to iters do
+          let c = Network.copy blocked_state in
+          let t0 = Unix.gettimeofday () in
+          let r = Network.connect_rearrangeable c probe in
+          total := !total +. (Unix.gettimeofday () -. t0);
+          match r with
+          | Ok (_, mv) ->
+            admitted := true;
+            moves := mv
+          | Error _ -> ()
+        done;
+        let mean_us = !total /. float_of_int iters *. 1e6 in
+        Some (n, k, m, sname, mean_us, !admitted, !moves))
+    cases
+
+let routing_throughput ~quick () =
+  section "Routing throughput at scale (N=1024 three-stage, Theorem-1 m)";
+  let n = 32 and r = 32 and k = 2 in
+  let eval = Conditions.msw_dominant ~n ~r in
+  let m = eval.Conditions.m_min in
+  let topo = Topology.make_exn ~n ~m ~r ~k in
+  let steps = if quick then 4_000 else 20_000 in
+  let ops = record_trace ~topo ~steps ~seed:4242 in
+  let connects =
+    Array.fold_left (fun a -> function C _ -> a + 1 | D _ -> a) 0 ops
+  in
   Printf.printf "topology: %s, m=%d (x*=%d)\n"
     (Format.asprintf "%a" Topology.pp topo)
-    eval.Conditions.m_min eval.Conditions.x;
-  Printf.printf "%s\n" (Format.asprintf "%a" Wdm_traffic.Churn.pp_stats stats);
-  Printf.printf "%d churn events in %.2f s = %.0f events/s (blocking: %d)\n\n"
-    steps dt (float_of_int steps /. dt) stats.Wdm_traffic.Churn.blocked
+    m eval.Conditions.x;
+  Printf.printf "trace: %d network ops (%d connects, %d disconnects)\n\n"
+    (Array.length ops) connects
+    (Array.length ops - connects);
+  let run impl =
+    let dt, accepted, checksum = replay ~topo ~impl ops in
+    let cps = float_of_int connects /. dt in
+    Printf.printf "%-9s: %6.3f s  %8.0f connects/s  %8.0f ops/s (%d accepted)\n"
+      (impl_name impl) dt cps
+      (float_of_int (Array.length ops) /. dt)
+      accepted;
+    (impl, dt, accepted, checksum, cps)
+  in
+  let results = [ run Network.Bitset; run Network.Reference ] in
+  let find impl =
+    List.find (fun (i, _, _, _, _) -> i = impl) results
+  in
+  let _, dt_bit, acc_bit, ck_bit, _ = find Network.Bitset in
+  let _, dt_ref, acc_ref, ck_ref, _ = find Network.Reference in
+  let identical = acc_bit = acc_ref && ck_bit = ck_ref in
+  let speedup = dt_ref /. dt_bit in
+  Printf.printf "\nspeedup (reference / bitset): %.2fx; identical routes: %b\n\n"
+    speedup identical;
+  if not identical then
+    failwith "routing_throughput: implementations chose different routes";
+  section "Rearrangement latency (undersized switch, blocked-probe snapshot)";
+  let rows =
+    rearrangement_latency
+      ~iters:(if quick then 100 else 1000)
+      [
+        (3, 1, 3, Network.Min_intersection, "min_intersection");
+        (3, 1, 3, Network.First_fit, "first_fit");
+        (4, 2, 8, Network.Min_intersection, "min_intersection");
+        (4, 2, 8, Network.First_fit, "first_fit");
+      ]
+  in
+  List.iter
+    (fun (n, k, m, sname, mean_us, admitted, moves) ->
+      Printf.printf
+        "N=%-3d k=%d m=%-2d %-17s %8.1f us/call  %s (moves: %d)\n" (n * n) k m
+        sname mean_us
+        (if admitted then "admitted" else "still blocked")
+        moves)
+    rows;
+  print_newline ();
+  ( "routing_throughput",
+    J.Obj
+      [
+        ( "params",
+          J.Obj
+            [
+              ("big_n", J.Int (n * r));
+              ("n", J.Int n);
+              ("r", J.Int r);
+              ("k", J.Int k);
+              ("m", J.Int m);
+              ("steps", J.Int steps);
+              ("connect_ops", J.Int connects);
+              ("total_ops", J.Int (Array.length ops));
+            ] );
+        ( "impls",
+          J.List
+            (List.map
+               (fun (impl, dt, accepted, _, cps) ->
+                 J.Obj
+                   [
+                     ("impl", J.String (impl_name impl));
+                     ("elapsed_s", J.Float dt);
+                     ("accepted", J.Int accepted);
+                     ("connects_per_s", J.Float cps);
+                   ])
+               results) );
+        ("routes_identical", J.Bool identical);
+        ("speedup", J.Float speedup);
+        ( "rearrangement",
+          J.List
+            (List.map
+               (fun (n, k, m, sname, mean_us, admitted, moves) ->
+                 J.Obj
+                   [
+                     ("n", J.Int n);
+                     ("k", J.Int k);
+                     ("m", J.Int m);
+                     ("strategy", J.String sname);
+                     ("mean_us", J.Float mean_us);
+                     ("admitted", J.Bool admitted);
+                     ("moves", J.Int moves);
+                   ])
+               rows) );
+      ] )
 
 (* ----------------------------------------------------------------- *)
 (* bechamel micro-benchmarks                                          *)
 (* ----------------------------------------------------------------- *)
 
-let micro_benchmarks () =
+let micro_benchmarks ~quick () =
   section "Micro-benchmarks (bechamel)";
   let open Bechamel in
   let open Toolkit in
@@ -587,7 +788,9 @@ let micro_benchmarks () =
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.1 else 0.5))
+      ~stabilize:true ()
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -618,35 +821,153 @@ let micro_benchmarks () =
         |> List.rev)
       tests
   in
-  let module J = Wdm_telemetry.Json in
-  let json =
-    J.Obj
-      [
-        ( "benchmarks",
-          J.List
-            (List.map
-               (fun (name, params, mean_ns, iterations) ->
-                 J.Obj
-                   [
-                     ("name", J.String name);
-                     ( "params",
-                       J.Obj (List.map (fun (p, v) -> (p, J.Int v)) params) );
-                     ( "mean_ns",
-                       match mean_ns with
-                       | Some e -> J.Float e
-                       | None -> J.Null );
-                     ("iterations", J.Int iterations);
-                   ])
-               rows) );
-      ]
-  in
+  Printf.printf "\n%d micro-benchmarks measured\n\n" (List.length rows);
+  ( "benchmarks",
+    J.List
+      (List.map
+         (fun (name, params, mean_ns, iterations) ->
+           J.Obj
+             [
+               ("name", J.String name);
+               ("params", J.Obj (List.map (fun (p, v) -> (p, J.Int v)) params));
+               ( "mean_ns",
+                 match mean_ns with Some e -> J.Float e | None -> J.Null );
+               ("iterations", J.Int iterations);
+             ])
+         rows) )
+
+let write_results fragments =
   let oc = open_out "BENCH_results.json" in
-  output_string oc (J.to_string json);
+  output_string oc (J.to_string (J.Obj fragments));
   output_string oc "\n";
   close_out oc;
-  Printf.printf "\nwrote BENCH_results.json (%d benchmarks)\n\n" (List.length rows)
+  Printf.printf "wrote BENCH_results.json (%s)\n"
+    (String.concat ", " (List.map fst fragments))
 
-let () =
+(* ----------------------------------------------------------------- *)
+(* Schema validation (CI gate on BENCH_results.json)                  *)
+(* ----------------------------------------------------------------- *)
+
+let validate_results path =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let ( let* ) = Result.bind in
+  let read () =
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  let require what = function Some v -> Ok v | None -> fail "missing %s" what in
+  let number what j =
+    match J.to_float_opt j with
+    | Some _ -> Ok ()
+    | None -> fail "%s is not a number" what
+  in
+  let check_benchmark i j =
+    let ctx = Printf.sprintf "benchmarks[%d]" i in
+    let* name = require (ctx ^ ".name") (J.member "name" j) in
+    let* _ =
+      match J.to_string_opt name with
+      | Some _ -> Ok ()
+      | None -> fail "%s.name is not a string" ctx
+    in
+    let* params = require (ctx ^ ".params") (J.member "params" j) in
+    let* _ =
+      match params with
+      | J.Obj _ -> Ok ()
+      | _ -> fail "%s.params is not an object" ctx
+    in
+    let* mean = require (ctx ^ ".mean_ns") (J.member "mean_ns" j) in
+    let* _ =
+      match mean with J.Null -> Ok () | j -> number (ctx ^ ".mean_ns") j
+    in
+    let* iters = require (ctx ^ ".iterations") (J.member "iterations" j) in
+    match J.to_int iters with
+    | Some _ -> Ok ()
+    | None -> fail "%s.iterations is not an int" ctx
+  in
+  let check_impl i j =
+    let ctx = Printf.sprintf "routing_throughput.impls[%d]" i in
+    let* impl = require (ctx ^ ".impl") (J.member "impl" j) in
+    let* _ =
+      match J.to_string_opt impl with
+      | Some ("bitset" | "reference") -> Ok ()
+      | Some other -> fail "%s.impl: unknown implementation %S" ctx other
+      | None -> fail "%s.impl is not a string" ctx
+    in
+    let* elapsed = require (ctx ^ ".elapsed_s") (J.member "elapsed_s" j) in
+    let* () = number (ctx ^ ".elapsed_s") elapsed in
+    let* cps = require (ctx ^ ".connects_per_s") (J.member "connects_per_s" j) in
+    number (ctx ^ ".connects_per_s") cps
+  in
+  let result =
+    let* doc =
+      match J.parse (read ()) with
+      | Ok d -> Ok d
+      | Error e -> fail "JSON parse error: %s" e
+    in
+    let* benches = require "benchmarks" (J.member "benchmarks" doc) in
+    let* benches =
+      require "benchmarks as a list" (J.to_list benches)
+    in
+    let* () =
+      List.fold_left
+        (fun acc (i, b) -> Result.bind acc (fun () -> check_benchmark i b))
+        (Ok ())
+        (List.mapi (fun i b -> (i, b)) benches)
+    in
+    let* rt = require "routing_throughput" (J.member "routing_throughput" doc) in
+    let* params = require "routing_throughput.params" (J.member "params" rt) in
+    let* () =
+      List.fold_left
+        (fun acc key ->
+          Result.bind acc (fun () ->
+              match Option.bind (J.member key params) J.to_int with
+              | Some _ -> Ok ()
+              | None -> fail "routing_throughput.params.%s missing" key))
+        (Ok ())
+        [ "big_n"; "n"; "r"; "k"; "m"; "connect_ops"; "total_ops" ]
+    in
+    let* impls = require "routing_throughput.impls" (J.member "impls" rt) in
+    let* impls = require "impls as a list" (J.to_list impls) in
+    let* () =
+      if List.length impls >= 2 then Ok ()
+      else fail "routing_throughput.impls must cover both implementations"
+    in
+    let* () =
+      List.fold_left
+        (fun acc (i, j) -> Result.bind acc (fun () -> check_impl i j))
+        (Ok ())
+        (List.mapi (fun i j -> (i, j)) impls)
+    in
+    let* identical =
+      require "routing_throughput.routes_identical"
+        (J.member "routes_identical" rt)
+    in
+    let* () =
+      match identical with
+      | J.Bool true -> Ok ()
+      | J.Bool false -> fail "routes_identical is false: implementations diverged"
+      | _ -> fail "routes_identical is not a bool"
+    in
+    let* speedup = require "routing_throughput.speedup" (J.member "speedup" rt) in
+    let* () = number "routing_throughput.speedup" speedup in
+    let* rearr =
+      require "routing_throughput.rearrangement" (J.member "rearrangement" rt)
+    in
+    let* _ = require "rearrangement as a list" (J.to_list rearr) in
+    Ok (List.length benches, List.length impls)
+  in
+  match result with
+  | Ok (nb, ni) ->
+    Printf.printf "%s: schema ok (%d micro-benchmarks, %d routing impls)\n" path
+      nb ni
+  | Error e ->
+    Printf.eprintf "%s: schema violation: %s\n" path e;
+    exit 1
+
+let full () =
   table1 ();
   table2 ();
   fabric_census ();
@@ -666,6 +987,23 @@ let () =
   frontier ();
   exact_frontier ();
   blocking_vs_load ();
-  routing_throughput ();
-  micro_benchmarks ();
+  let rt = routing_throughput ~quick:false () in
+  let micro = micro_benchmarks ~quick:false () in
+  write_results [ micro; rt ];
   print_endline "All reproduction sections completed."
+
+(* --quick runs just the machine-readable sections at reduced sizes —
+   the CI profile: fast enough for every push, still ends with a
+   BENCH_results.json that --validate can gate on. *)
+let quick () =
+  let rt = routing_throughput ~quick:true () in
+  let micro = micro_benchmarks ~quick:true () in
+  write_results [ micro; rt ];
+  print_endline "Quick bench profile completed."
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--quick" :: _ -> quick ()
+  | _ :: "--validate" :: path :: _ -> validate_results path
+  | _ :: "--validate" :: [] -> validate_results "BENCH_results.json"
+  | _ -> full ()

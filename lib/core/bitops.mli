@@ -1,0 +1,26 @@
+(** Bit tricks for packed wavelength planes and endpoint bitsets.
+
+    All functions treat an OCaml [int] as a word of up to 62 usable
+    bits, which bounds the packed representations built on top (one
+    wavelength plane needs [k <= 62] bits; larger universes use arrays
+    of words). *)
+
+val popcount : int -> int
+(** Number of set bits (SWAR, no lookup table, no branches). *)
+
+val ctz : int -> int
+(** 0-based index of the least-significant set bit.  [ctz 0 = 62] by
+    convention; callers must treat 0 specially. *)
+
+val mask : width:int -> int
+(** [mask ~width] has the low [width] bits set.
+    @raise Invalid_argument unless [0 <= width <= 62]. *)
+
+val lowest_clear : width:int -> int -> int option
+(** [lowest_clear ~width x] is the 0-based position of the first clear
+    bit among the low [width] bits of [x], or [None] when they are all
+    set.  This is the packed equivalent of a linear first-free scan. *)
+
+val iter_set : width:int -> (int -> unit) -> int -> unit
+(** [iter_set ~width f x] applies [f] to each set-bit position among
+    the low [width] bits of [x], in increasing order. *)

@@ -2,6 +2,7 @@ open Wdm_core
 
 type construction = Msw_dominant | Maw_dominant
 type strategy = Min_intersection | First_fit | Exhaustive
+type link_impl = Bitset | Reference
 
 type hop = { middle : int; stage1_wl : int; serves : (int * int) list }
 
@@ -34,8 +35,127 @@ module Tel = Wdm_telemetry
 module Pset = Set.Make (struct
   type t = int * int
 
-  let compare = compare
+  (* explicit comparator: [middle_covers] probes this set on the hot
+     path, and polymorphic compare is both slower and fragile should
+     the key ever grow beyond an int pair *)
+  let compare (m1, o1) (m2, o2) =
+    match Int.compare m1 m2 with 0 -> Int.compare o1 o2 | c -> c
 end)
+
+(* ----- link-state planes ----------------------------------------------- *)
+
+(* One stage's wavelength occupancy, busy and dead lasers side by side.
+   [SPacked] stores each link's k-slot plane as one int bitmask (bit
+   [w-1] = wavelength [w]); it requires [k <= 62].  [SWide] is the
+   original bool-array representation: it is both the fallback for
+   larger [k] and the retained reference implementation that the
+   equivalence property tests and the benchmark's before/after
+   comparison run against. *)
+type stage_state =
+  | SPacked of { busy : int array array; dead : int array array }
+  | SWide of { busy : bool array array array; dead : bool array array array }
+
+let max_packed_k = 62
+
+let make_stage impl ~rows ~cols ~k =
+  match impl with
+  | Bitset ->
+    SPacked
+      { busy = Array.make_matrix rows cols 0;
+        dead = Array.make_matrix rows cols 0 }
+  | Reference ->
+    SWide
+      {
+        busy =
+          Array.init rows (fun _ ->
+              Array.init cols (fun _ -> Array.make k false));
+        dead =
+          Array.init rows (fun _ ->
+              Array.init cols (fun _ -> Array.make k false));
+      }
+
+let first_live_free_wide busy dead =
+  let rec go i =
+    if i >= Array.length busy then None
+    else if (not busy.(i)) && not dead.(i) then Some (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+let slot_busy st ~row ~col ~wl =
+  match st with
+  | SPacked { busy; _ } -> busy.(row - 1).(col - 1) land (1 lsl (wl - 1)) <> 0
+  | SWide { busy; _ } -> busy.(row - 1).(col - 1).(wl - 1)
+
+(* usable = neither busy nor served by a dead laser *)
+let slot_live_free st ~row ~col ~wl =
+  match st with
+  | SPacked { busy; dead } ->
+    (busy.(row - 1).(col - 1) lor dead.(row - 1).(col - 1))
+    land (1 lsl (wl - 1))
+    = 0
+  | SWide { busy; dead } ->
+    (not busy.(row - 1).(col - 1).(wl - 1))
+    && not dead.(row - 1).(col - 1).(wl - 1)
+
+let slot_first_free st ~k ~row ~col =
+  match st with
+  | SPacked { busy; dead } -> (
+    match
+      Bitops.lowest_clear ~width:k
+        (busy.(row - 1).(col - 1) lor dead.(row - 1).(col - 1))
+    with
+    | Some b -> Some (b + 1)
+    | None -> None)
+  | SWide { busy; dead } ->
+    first_live_free_wide busy.(row - 1).(col - 1) dead.(row - 1).(col - 1)
+
+let slot_used_count st ~row ~col =
+  match st with
+  | SPacked { busy; _ } -> Bitops.popcount busy.(row - 1).(col - 1)
+  | SWide { busy; _ } ->
+    Array.fold_left
+      (fun acc b -> if b then acc + 1 else acc)
+      0
+      busy.(row - 1).(col - 1)
+
+let slot_set st ~row ~col ~wl =
+  match st with
+  | SPacked { busy; _ } ->
+    busy.(row - 1).(col - 1) <- busy.(row - 1).(col - 1) lor (1 lsl (wl - 1))
+  | SWide { busy; _ } -> busy.(row - 1).(col - 1).(wl - 1) <- true
+
+let slot_unset st ~row ~col ~wl =
+  match st with
+  | SPacked { busy; _ } ->
+    busy.(row - 1).(col - 1) <-
+      busy.(row - 1).(col - 1) land lnot (1 lsl (wl - 1))
+  | SWide { busy; _ } -> busy.(row - 1).(col - 1).(wl - 1) <- false
+
+let slot_dead_set st ~row ~col ~wl =
+  match st with
+  | SPacked { dead; _ } ->
+    dead.(row - 1).(col - 1) <- dead.(row - 1).(col - 1) lor (1 lsl (wl - 1))
+  | SWide { dead; _ } -> dead.(row - 1).(col - 1).(wl - 1) <- true
+
+let stage_reset_dead st =
+  match st with
+  | SPacked { dead; _ } ->
+    Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) dead
+  | SWide { dead; _ } ->
+    Array.iter
+      (fun row -> Array.iter (fun wls -> Array.fill wls 0 (Array.length wls) false) row)
+      dead
+
+let copy_stage = function
+  | SPacked { busy; dead } ->
+    SPacked { busy = Array.map Array.copy busy; dead = Array.map Array.copy dead }
+  | SWide { busy; dead } ->
+    SWide
+      {
+        busy = Array.map (Array.map Array.copy) busy;
+        dead = Array.map (Array.map Array.copy) dead;
+      }
 
 (* Pre-registered instruments: the name lookup happens once in
    [create], so the hot paths touch fields directly. *)
@@ -68,14 +188,20 @@ type t = {
   output_model : Model.t;
   x_limit : int;
   strategy : strategy;
-  (* stage1.(i-1).(j-1).(w-1): wavelength w busy on link from input
-     module i to middle module j *)
-  stage1 : bool array array array;
-  (* stage2.(j-1).(p-1).(w-1): wavelength w busy on link from middle
-     module j to output module p *)
-  stage2 : bool array array array;
+  impl : link_impl;
+  rearrange_limit : int;
+  (* stage1: link (input module i, middle j); stage2: (middle j, output
+     module p).  Rows/cols are 1-based at the API, 0-based inside. *)
+  stage1 : stage_state;
+  stage2 : stage_state;
   mutable busy_sources : Eset.t;
   mutable busy_dests : Eset.t;
+  (* incremental tallies: [Set.cardinal]/[Map.cardinal] are O(n), so
+     the gauges would otherwise rescan on every connect/disconnect *)
+  mutable n_busy_sources : int;
+  mutable n_busy_dests : int;
+  mutable n_routes : int;
+  middle_occ : int array;  (* busy stage-1 slots into middle j, index j-1 *)
   mutable next_id : int;
   mutable routes : route Imap.t;
   mutable faults : Fault.Set.t;
@@ -83,9 +209,10 @@ type t = {
   mutable failed_middles : Iset.t;
   mutable failed_inputs : Iset.t;
   mutable failed_outputs : Iset.t;
-  stage1_dead : bool array array array;  (* mirrors stage1: dead lasers *)
-  stage2_dead : bool array array array;
   mutable dead_converters : Pset.t;  (* (middle, output) pass-through links *)
+  (* scratch for the allocation-free selection loops; never observable
+     across calls *)
+  scratch_uncovered : int array;
   instruments : instruments option;
 }
 
@@ -145,8 +272,8 @@ let register_instruments (topo : Topology.t) (sink : Tel.Sink.t) =
         "wdmnet_disconnect_latency_seconds";
   }
 
-let create ?telemetry ?(strategy = Min_intersection) ?x_limit ~construction
-    ~output_model (topo : Topology.t) =
+let create ?telemetry ?(strategy = Min_intersection) ?x_limit ?link_impl
+    ?(rearrange_limit = 64) ~construction ~output_model (topo : Topology.t) =
   let default_x () =
     match construction with
     | Msw_dominant -> (Conditions.msw_dominant ~n:topo.n ~r:topo.r).x
@@ -154,33 +281,41 @@ let create ?telemetry ?(strategy = Min_intersection) ?x_limit ~construction
   in
   let x_limit = match x_limit with Some x -> x | None -> default_x () in
   if x_limit < 1 then invalid_arg "Network.create: x_limit must be >= 1";
+  if rearrange_limit < 1 then
+    invalid_arg "Network.create: rearrange_limit must be >= 1";
+  let impl =
+    match link_impl with
+    | Some Bitset when topo.k > max_packed_k ->
+      invalid_arg
+        (Printf.sprintf "Network.create: Bitset link state needs k <= %d"
+           max_packed_k)
+    | Some impl -> impl
+    | None -> if topo.k <= max_packed_k then Bitset else Reference
+  in
   {
     topo;
     construction;
     output_model;
     x_limit;
     strategy;
-    stage1 =
-      Array.init topo.r (fun _ ->
-          Array.init topo.m (fun _ -> Array.make topo.k false));
-    stage2 =
-      Array.init topo.m (fun _ ->
-          Array.init topo.r (fun _ -> Array.make topo.k false));
+    impl;
+    rearrange_limit;
+    stage1 = make_stage impl ~rows:topo.r ~cols:topo.m ~k:topo.k;
+    stage2 = make_stage impl ~rows:topo.m ~cols:topo.r ~k:topo.k;
     busy_sources = Eset.empty;
     busy_dests = Eset.empty;
+    n_busy_sources = 0;
+    n_busy_dests = 0;
+    n_routes = 0;
+    middle_occ = Array.make topo.m 0;
     next_id = 0;
     routes = Imap.empty;
     faults = Fault.Set.empty;
     failed_middles = Iset.empty;
     failed_inputs = Iset.empty;
     failed_outputs = Iset.empty;
-    stage1_dead =
-      Array.init topo.r (fun _ ->
-          Array.init topo.m (fun _ -> Array.make topo.k false));
-    stage2_dead =
-      Array.init topo.m (fun _ ->
-          Array.init topo.r (fun _ -> Array.make topo.k false));
     dead_converters = Pset.empty;
+    scratch_uncovered = Array.make topo.r 0;
     instruments = Option.map (register_instruments topo) telemetry;
   }
 
@@ -189,48 +324,46 @@ let construction t = t.construction
 let output_model t = t.output_model
 let x_limit t = t.x_limit
 let strategy t = t.strategy
+let link_impl t = t.impl
 
 (* ----- link-state helpers --------------------------------------------- *)
 
-(* A wavelength slot is usable when it is neither busy nor served by a
-   dead laser. *)
 let stage1_free_wl t ~input_switch ~middle ~wl =
-  (not t.stage1.(input_switch - 1).(middle - 1).(wl - 1))
-  && not t.stage1_dead.(input_switch - 1).(middle - 1).(wl - 1)
+  slot_live_free t.stage1 ~row:input_switch ~col:middle ~wl
 
 let stage1_used_count t ~input_switch ~middle =
-  Array.fold_left
-    (fun acc b -> if b then acc + 1 else acc)
-    0
-    t.stage1.(input_switch - 1).(middle - 1)
-
-let first_live_free busy dead =
-  let rec go i =
-    if i >= Array.length busy then None
-    else if (not busy.(i)) && not dead.(i) then Some (i + 1)
-    else go (i + 1)
-  in
-  go 0
+  slot_used_count t.stage1 ~row:input_switch ~col:middle
 
 let stage1_first_free t ~input_switch ~middle =
-  first_live_free
-    t.stage1.(input_switch - 1).(middle - 1)
-    t.stage1_dead.(input_switch - 1).(middle - 1)
+  slot_first_free t.stage1 ~k:t.topo.k ~row:input_switch ~col:middle
 
 let stage1_any_free t ~input_switch ~middle =
   stage1_first_free t ~input_switch ~middle <> None
 
 let stage2_free_wl t ~middle ~out_switch ~wl =
-  (not t.stage2.(middle - 1).(out_switch - 1).(wl - 1))
-  && not t.stage2_dead.(middle - 1).(out_switch - 1).(wl - 1)
+  slot_live_free t.stage2 ~row:middle ~col:out_switch ~wl
 
 let stage2_first_free t ~middle ~out_switch =
-  first_live_free
-    t.stage2.(middle - 1).(out_switch - 1)
-    t.stage2_dead.(middle - 1).(out_switch - 1)
+  slot_first_free t.stage2 ~k:t.topo.k ~row:middle ~col:out_switch
 
 let stage2_any_free t ~middle ~out_switch =
   stage2_first_free t ~middle ~out_switch <> None
+
+(* Busy-bit writes funnel through these so the per-middle occupancy
+   tally can never drift from the planes. *)
+let s1_occupy t ~input_switch ~middle ~wl =
+  slot_set t.stage1 ~row:input_switch ~col:middle ~wl;
+  t.middle_occ.(middle - 1) <- t.middle_occ.(middle - 1) + 1
+
+let s1_release t ~input_switch ~middle ~wl =
+  slot_unset t.stage1 ~row:input_switch ~col:middle ~wl;
+  t.middle_occ.(middle - 1) <- t.middle_occ.(middle - 1) - 1
+
+let s2_occupy t ~middle ~out_switch ~wl =
+  slot_set t.stage2 ~row:middle ~col:out_switch ~wl
+
+let s2_release t ~middle ~out_switch ~wl =
+  slot_unset t.stage2 ~row:middle ~col:out_switch ~wl
 
 (* Whether middle [j] has a usable first-stage slot for a request sourced
    at [input_switch] on wavelength [src_wl]. *)
@@ -276,12 +409,25 @@ let middle_covers t ~input_switch ~src_wl j p =
         | Some w1 -> stage2_free_wl t ~middle:j ~out_switch:p ~wl:w1
       else stage2_any_free t ~middle:j ~out_switch:p)
 
+let available_middles t ~input_switch ~src_wl =
+  List.filter
+    (fun j -> middle_available t ~input_switch ~src_wl j)
+    (List.init t.topo.m (fun j -> j + 1))
+
 (* ----- middle-module selection ---------------------------------------- *)
+
+(* Two families of selectors.  The [ref_*] versions are the original
+   list-based implementations, kept verbatim as the reference the
+   equivalence property test and the benchmark compare against (and as
+   the only implementation for [Reference]-mode networks).  The [fast_*]
+   versions score with a scratch array and per-link mask probes; they
+   must choose byte-identical routes — both scan middles in ascending
+   index order and break score ties toward the lower index. *)
 
 (* Min-intersection greedy (the Lemma 5 argument): repeatedly take the
    middle covering the most still-uncovered output modules, i.e.
    minimizing the residual intersection. *)
-let select_min_intersection t ~input_switch ~src_wl available fanout =
+let ref_min_intersection t ~input_switch ~src_wl available fanout =
   let rec go chosen uncovered remaining picks_left =
     if uncovered = [] then Some (List.rev chosen)
     else if picks_left = 0 || remaining = [] then None
@@ -317,7 +463,7 @@ let select_min_intersection t ~input_switch ~src_wl available fanout =
   in
   go [] fanout available t.x_limit
 
-let select_first_fit t ~input_switch ~src_wl available fanout =
+let ref_first_fit t ~input_switch ~src_wl available fanout =
   let rec go chosen uncovered remaining picks_left =
     if uncovered = [] then Some (List.rev chosen)
     else
@@ -340,7 +486,87 @@ let select_first_fit t ~input_switch ~src_wl available fanout =
   in
   go [] fanout available t.x_limit
 
-(* Exhaustive: subsets of increasing size; returns the first full cover. *)
+(* Fast path: the still-uncovered output modules live in a scratch
+   array that is compacted in place as a pick covers some of them, so a
+   selection round allocates nothing but the winner's covered list. *)
+let load_uncovered t fanout =
+  let unc = t.scratch_uncovered in
+  let n = ref 0 in
+  List.iter
+    (fun p ->
+      unc.(!n) <- p;
+      incr n)
+    fanout;
+  !n
+
+(* Split [unc.(0 .. n_unc-1)] on coverage by [j]: covered elements (in
+   order) are returned as a list, the rest are compacted to the front.
+   Returns (covered, new n_unc). *)
+let extract_covered t ~input_switch ~src_wl j n_unc =
+  let unc = t.scratch_uncovered in
+  let covered = ref [] in
+  let w = ref 0 in
+  for idx = 0 to n_unc - 1 do
+    let p = unc.(idx) in
+    if middle_covers t ~input_switch ~src_wl j p then covered := p :: !covered
+    else begin
+      unc.(!w) <- p;
+      incr w
+    end
+  done;
+  (List.rev !covered, !w)
+
+let fast_min_intersection t ~input_switch ~src_wl fanout =
+  let m = t.topo.m in
+  let unc = t.scratch_uncovered in
+  let rec pick chosen_rev chosen_js n_unc picks_left =
+    if n_unc = 0 then Some (List.rev chosen_rev)
+    else if picks_left = 0 then None
+    else begin
+      let best_j = ref 0 and best_cov = ref 0 in
+      for j = 1 to m do
+        if
+          (not (List.mem j chosen_js))
+          && middle_available t ~input_switch ~src_wl j
+        then begin
+          let c = ref 0 in
+          for idx = 0 to n_unc - 1 do
+            if middle_covers t ~input_switch ~src_wl j unc.(idx) then incr c
+          done;
+          if !c > !best_cov then begin
+            best_j := j;
+            best_cov := !c
+          end
+        end
+      done;
+      if !best_cov = 0 then None
+      else begin
+        let j = !best_j in
+        let covered, n_unc = extract_covered t ~input_switch ~src_wl j n_unc in
+        pick ((j, covered) :: chosen_rev) (j :: chosen_js) n_unc (picks_left - 1)
+      end
+    end
+  in
+  pick [] [] (load_uncovered t fanout) t.x_limit
+
+let fast_first_fit t ~input_switch ~src_wl fanout =
+  let m = t.topo.m in
+  let rec go chosen_rev n_unc picks_left j =
+    if n_unc = 0 then Some (List.rev chosen_rev)
+    else if j > m then None
+    else if not (middle_available t ~input_switch ~src_wl j) then
+      go chosen_rev n_unc picks_left (j + 1)
+    else if picks_left = 0 then None
+    else begin
+      let covered, n_unc' = extract_covered t ~input_switch ~src_wl j n_unc in
+      if covered = [] then go chosen_rev n_unc picks_left (j + 1)
+      else go ((j, covered) :: chosen_rev) n_unc' (picks_left - 1) (j + 1)
+    end
+  in
+  go [] (load_uncovered t fanout) t.x_limit 1
+
+(* Exhaustive: subsets of increasing size; returns the first full cover.
+   Ablation-only, so it shares the list implementation in both modes. *)
 let select_exhaustive t ~input_switch ~src_wl available fanout =
   let covers_of j = List.filter (fun p -> middle_covers t ~input_switch ~src_wl j p) fanout in
   let rec subsets size = function
@@ -374,12 +600,23 @@ let select_exhaustive t ~input_switch ~src_wl available fanout =
   in
   go 1
 
-let select t ~input_switch ~src_wl available fanout =
+let select t ~input_switch ~src_wl fanout =
   let raw =
-    match t.strategy with
-    | Min_intersection -> select_min_intersection t ~input_switch ~src_wl available fanout
-    | First_fit -> select_first_fit t ~input_switch ~src_wl available fanout
-    | Exhaustive -> select_exhaustive t ~input_switch ~src_wl available fanout
+    match (t.strategy, t.impl) with
+    | Min_intersection, Bitset -> fast_min_intersection t ~input_switch ~src_wl fanout
+    | First_fit, Bitset -> fast_first_fit t ~input_switch ~src_wl fanout
+    | Min_intersection, Reference ->
+      ref_min_intersection t ~input_switch ~src_wl
+        (available_middles t ~input_switch ~src_wl)
+        fanout
+    | First_fit, Reference ->
+      ref_first_fit t ~input_switch ~src_wl
+        (available_middles t ~input_switch ~src_wl)
+        fanout
+    | Exhaustive, _ ->
+      select_exhaustive t ~input_switch ~src_wl
+        (available_middles t ~input_switch ~src_wl)
+        fanout
   in
   (* Drop members that ended up serving nothing. *)
   Option.map (List.filter (fun (_, serves) -> serves <> [])) raw
@@ -422,30 +659,51 @@ let fanout_switches t (conn : Connection.t) =
 (* ----- telemetry ------------------------------------------------------- *)
 
 let utilization t =
-  float_of_int (Eset.cardinal t.busy_dests)
+  float_of_int t.n_busy_dests
   /. float_of_int (Topology.num_ports t.topo * t.topo.k)
 
 let input_utilization t =
-  float_of_int (Eset.cardinal t.busy_sources)
+  float_of_int t.n_busy_sources
   /. float_of_int (Topology.num_ports t.topo * t.topo.k)
 
+(* O(1) per gauge on the packed path: every tally is maintained
+   incrementally by the connect/release paths, so this never rescans
+   the planes.  The wide (Reference) path deliberately keeps the
+   pre-bitset recomputation — set cardinals and a full O(r*m*k) plane
+   scan per call — so differential benchmarks measure the retained
+   implementation at its original end-to-end cost.  Both paths set the
+   same values (the lockstep equivalence tests compare final states). *)
 let update_gauges t =
   match t.instruments with
   | None -> ()
-  | Some i ->
-    Tel.Metrics.set i.g_utilization (utilization t);
-    Tel.Metrics.set i.g_input_utilization (input_utilization t);
-    Tel.Metrics.set i.g_active_routes (float_of_int (Imap.cardinal t.routes));
+  | Some i -> (
     Tel.Metrics.set i.g_faults_in_force
       (float_of_int (Fault.Set.cardinal t.faults));
-    Array.iteri
-      (fun j_minus1 g ->
-        let occ = ref 0 in
-        for input_switch = 1 to t.topo.r do
-          occ := !occ + stage1_used_count t ~input_switch ~middle:(j_minus1 + 1)
-        done;
-        Tel.Metrics.set g (float_of_int !occ))
-      i.g_stage1_occupancy
+    match t.stage1 with
+    | SPacked _ ->
+      Tel.Metrics.set i.g_utilization (utilization t);
+      Tel.Metrics.set i.g_input_utilization (input_utilization t);
+      Tel.Metrics.set i.g_active_routes (float_of_int t.n_routes);
+      Array.iteri
+        (fun j_minus1 g ->
+          Tel.Metrics.set g (float_of_int t.middle_occ.(j_minus1)))
+        i.g_stage1_occupancy
+    | SWide _ ->
+      let ports = float_of_int (Topology.num_ports t.topo * t.topo.k) in
+      Tel.Metrics.set i.g_utilization
+        (float_of_int (Eset.cardinal t.busy_dests) /. ports);
+      Tel.Metrics.set i.g_input_utilization
+        (float_of_int (Eset.cardinal t.busy_sources) /. ports);
+      Tel.Metrics.set i.g_active_routes
+        (float_of_int (Imap.cardinal t.routes));
+      Array.iteri
+        (fun j_minus1 g ->
+          let occ = ref 0 in
+          for input_switch = 1 to t.topo.r do
+            occ := !occ + stage1_used_count t ~input_switch ~middle:(j_minus1 + 1)
+          done;
+          Tel.Metrics.set g (float_of_int !occ))
+        i.g_stage1_occupancy)
 
 let error_cause = function
   | Invalid _ -> "invalid"
@@ -483,6 +741,28 @@ let note_connect_outcome t i ~dur ~histogram ~moved result =
       ~detail:[ ("cause", error_cause e) ]
       Tel.Trace.Block
 
+let mark_endpoints_busy t (conn : Connection.t) =
+  t.busy_sources <- Eset.add conn.source t.busy_sources;
+  t.busy_dests <-
+    List.fold_left (fun s d -> Eset.add d s) t.busy_dests conn.destinations;
+  t.n_busy_sources <- t.n_busy_sources + 1;
+  t.n_busy_dests <- t.n_busy_dests + List.length conn.destinations
+
+let mark_endpoints_free t (conn : Connection.t) =
+  t.busy_sources <- Eset.remove conn.source t.busy_sources;
+  t.busy_dests <-
+    List.fold_left (fun s d -> Eset.remove d s) t.busy_dests conn.destinations;
+  t.n_busy_sources <- t.n_busy_sources - 1;
+  t.n_busy_dests <- t.n_busy_dests - List.length conn.destinations
+
+let add_route t route =
+  t.routes <- Imap.add route.id route t.routes;
+  t.n_routes <- t.n_routes + 1
+
+let remove_route t id =
+  t.routes <- Imap.remove id t.routes;
+  t.n_routes <- t.n_routes - 1
+
 let connect_raw t (conn : Connection.t) =
   match validate_request t conn with
   | Error _ as e -> e
@@ -490,13 +770,11 @@ let connect_raw t (conn : Connection.t) =
     let src_wl = conn.source.wl in
     let input_switch = fst (Topology.switch_of_port t.topo conn.source.port) in
     let fanout = fanout_switches t conn in
-    let available =
-      List.filter
-        (fun j -> middle_available t ~input_switch ~src_wl j)
-        (List.init t.topo.m (fun j -> j + 1))
-    in
-    (match select t ~input_switch ~src_wl available fanout with
+    (match select t ~input_switch ~src_wl fanout with
     | None ->
+      (* cold path: rebuild the availability/coverage picture only to
+         explain the refusal *)
+      let available = available_middles t ~input_switch ~src_wl in
       let covered_somewhere p =
         List.exists (fun j -> middle_covers t ~input_switch ~src_wl j p) available
       in
@@ -520,7 +798,7 @@ let connect_raw t (conn : Connection.t) =
                 | Some w -> w
                 | None -> assert false (* j was available *))
             in
-            t.stage1.(input_switch - 1).(j - 1).(stage1_wl - 1) <- true;
+            s1_occupy t ~input_switch ~middle:j ~wl:stage1_wl;
             let serves =
               List.map
                 (fun p ->
@@ -539,8 +817,8 @@ let connect_raw t (conn : Connection.t) =
                           | Some w -> w
                           | None -> assert false (* p was coverable via j *)))
                   in
-                  assert (not t.stage2.(j - 1).(p - 1).(w2 - 1));
-                  t.stage2.(j - 1).(p - 1).(w2 - 1) <- true;
+                  assert (not (slot_busy t.stage2 ~row:j ~col:p ~wl:w2));
+                  s2_occupy t ~middle:j ~out_switch:p ~wl:w2;
                   (p, w2))
                 serves
             in
@@ -550,10 +828,8 @@ let connect_raw t (conn : Connection.t) =
       let id = t.next_id in
       t.next_id <- id + 1;
       let route = { id; connection = conn; input_switch; hops } in
-      t.routes <- Imap.add id route t.routes;
-      t.busy_sources <- Eset.add conn.source t.busy_sources;
-      t.busy_dests <-
-        List.fold_left (fun s d -> Eset.add d s) t.busy_dests conn.destinations;
+      add_route t route;
+      mark_endpoints_busy t conn;
       Ok route)
 
 let connect t (conn : Connection.t) =
@@ -569,23 +845,17 @@ let connect t (conn : Connection.t) =
 let release t (route : route) =
   List.iter
     (fun { middle = j; stage1_wl; serves } ->
-      t.stage1.(route.input_switch - 1).(j - 1).(stage1_wl - 1) <- false;
-      List.iter
-        (fun (p, w2) -> t.stage2.(j - 1).(p - 1).(w2 - 1) <- false)
-        serves)
+      s1_release t ~input_switch:route.input_switch ~middle:j ~wl:stage1_wl;
+      List.iter (fun (p, w2) -> s2_release t ~middle:j ~out_switch:p ~wl:w2) serves)
     route.hops;
-  t.busy_sources <- Eset.remove route.connection.source t.busy_sources;
-  t.busy_dests <-
-    List.fold_left
-      (fun s d -> Eset.remove d s)
-      t.busy_dests route.connection.destinations
+  mark_endpoints_free t route.connection
 
 let disconnect_raw t id =
   match Imap.find_opt id t.routes with
   | None -> Error (Printf.sprintf "Network.disconnect: no route %d" id)
   | Some route ->
     release t route;
-    t.routes <- Imap.remove id t.routes;
+    remove_route t id;
     Ok route
 
 let disconnect t id =
@@ -610,19 +880,21 @@ let disconnect t id =
 let readmit t (route : route) =
   List.iter
     (fun { middle = j; stage1_wl; serves } ->
-      assert (not t.stage1.(route.input_switch - 1).(j - 1).(stage1_wl - 1));
-      t.stage1.(route.input_switch - 1).(j - 1).(stage1_wl - 1) <- true;
+      assert (not (slot_busy t.stage1 ~row:route.input_switch ~col:j ~wl:stage1_wl));
+      s1_occupy t ~input_switch:route.input_switch ~middle:j ~wl:stage1_wl;
       List.iter
         (fun (p, w2) ->
-          assert (not t.stage2.(j - 1).(p - 1).(w2 - 1));
-          t.stage2.(j - 1).(p - 1).(w2 - 1) <- true)
+          assert (not (slot_busy t.stage2 ~row:j ~col:p ~wl:w2));
+          s2_occupy t ~middle:j ~out_switch:p ~wl:w2)
         serves)
     route.hops;
-  t.busy_sources <- Eset.add route.connection.source t.busy_sources;
-  t.busy_dests <-
-    List.fold_left (fun s d -> Eset.add d s) t.busy_dests
-      route.connection.destinations;
-  t.routes <- Imap.add route.id route t.routes
+  mark_endpoints_busy t route.connection;
+  add_route t route
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
 
 (* Returns the moved victim's new route (already re-keyed under its
    original id) alongside the admitted route, so the telemetry wrapper
@@ -632,13 +904,26 @@ let connect_rearrangeable_raw t (conn : Connection.t) =
   | Ok route -> Ok (route, None)
   | Error (Blocked _ as blocked) ->
     (* Try moving one existing connection out of the way: release it,
-       place the request, then re-route the victim on what remains. *)
-    let victims = Imap.bindings t.routes |> List.map snd in
+       place the request, then re-route the victim on what remains.
+       Cheap victims first — a route spanning fewer middles frees fewer
+       resources but is far likelier to re-home — and the scan is
+       capped at [rearrange_limit] so a loaded fabric cannot turn one
+       admission into a full-population sweep. *)
+    let victims =
+      Imap.fold (fun _ route acc -> route :: acc) t.routes []
+      |> List.map (fun route -> (List.length route.hops, route))
+      |> List.sort (fun (ha, (a : route)) (hb, b) ->
+             match Int.compare ha hb with
+             | 0 -> Int.compare a.id b.id
+             | c -> c)
+      |> List.map snd
+      |> take t.rearrange_limit
+    in
     let rec attempt = function
       | [] -> Error blocked
       | victim :: rest -> (
         release t victim;
-        t.routes <- Imap.remove victim.id t.routes;
+        remove_route t victim.id;
         match connect_raw t conn with
         | Error _ ->
           readmit t victim;
@@ -650,13 +935,13 @@ let connect_rearrangeable_raw t (conn : Connection.t) =
                callers track live connections by id, and a silent
                renumbering would leave their handles stale. *)
             let rekeyed = { moved with id = victim.id } in
-            t.routes <-
-              t.routes |> Imap.remove moved.id |> Imap.add victim.id rekeyed;
+            remove_route t moved.id;
+            add_route t rekeyed;
             Ok (new_route, Some rekeyed)
           | Error _ ->
             (* undo: drop the new route, restore the victim verbatim *)
             release t new_route;
-            t.routes <- Imap.remove new_route.id t.routes;
+            remove_route t new_route.id;
             readmit t victim;
             attempt rest))
     in
@@ -691,10 +976,19 @@ let find_route t id = Imap.find_opt id t.routes
 let destination_multiset t j =
   if j < 1 || j > t.topo.m then invalid_arg "Network.destination_multiset: bad middle";
   let ms = ref (Multiset.create ~r:t.topo.r ~k:t.topo.k) in
-  Array.iteri
-    (fun p_minus1 plane ->
-      Array.iter (fun busy -> if busy then ms := Multiset.add !ms (p_minus1 + 1)) plane)
-    t.stage2.(j - 1);
+  (match t.stage2 with
+  | SPacked { busy; _ } ->
+    Array.iteri
+      (fun p_minus1 plane ->
+        Bitops.iter_set ~width:t.topo.k
+          (fun _ -> ms := Multiset.add !ms (p_minus1 + 1))
+          plane)
+      busy.(j - 1)
+  | SWide { busy; _ } ->
+    Array.iteri
+      (fun p_minus1 plane ->
+        Array.iter (fun b -> if b then ms := Multiset.add !ms (p_minus1 + 1)) plane)
+      busy.(j - 1));
   !ms
 
 let destination_multiset_plane t ~middle ~wl =
@@ -703,10 +997,10 @@ let destination_multiset_plane t ~middle ~wl =
   if wl < 1 || wl > t.topo.k then
     invalid_arg "Network.destination_multiset_plane: bad wavelength";
   let ms = ref (Multiset.create ~r:t.topo.r ~k:1) in
-  Array.iteri
-    (fun p_minus1 plane ->
-      if plane.(wl - 1) then ms := Multiset.add !ms (p_minus1 + 1))
-    t.stage2.(middle - 1);
+  for p = 1 to t.topo.r do
+    if slot_busy t.stage2 ~row:middle ~col:p ~wl then
+      ms := Multiset.add !ms p
+  done;
   !ms
 
 let stage1_in_use t ~input_switch ~middle =
@@ -722,8 +1016,8 @@ let rebuild_fault_state t =
   t.failed_middles <- Iset.empty;
   t.failed_inputs <- Iset.empty;
   t.failed_outputs <- Iset.empty;
-  Array.iter (fun plane -> Array.iter (fun wls -> Array.fill wls 0 (Array.length wls) false) plane) t.stage1_dead;
-  Array.iter (fun plane -> Array.iter (fun wls -> Array.fill wls 0 (Array.length wls) false) plane) t.stage2_dead;
+  stage_reset_dead t.stage1;
+  stage_reset_dead t.stage2;
   t.dead_converters <- Pset.empty;
   Fault.Set.iter
     (function
@@ -731,9 +1025,9 @@ let rebuild_fault_state t =
       | Fault.Input_module i -> t.failed_inputs <- Iset.add i t.failed_inputs
       | Fault.Output_module p -> t.failed_outputs <- Iset.add p t.failed_outputs
       | Fault.Stage1_laser { input; middle; wl } ->
-        t.stage1_dead.(input - 1).(middle - 1).(wl - 1) <- true
+        slot_dead_set t.stage1 ~row:input ~col:middle ~wl
       | Fault.Stage2_laser { middle; output; wl } ->
-        t.stage2_dead.(middle - 1).(output - 1).(wl - 1) <- true
+        slot_dead_set t.stage2 ~row:middle ~col:output ~wl
       | Fault.Converter { middle; output } ->
         t.dead_converters <- Pset.add (middle, output) t.dead_converters)
     t.faults
@@ -784,7 +1078,7 @@ let inject_fault t fault =
     List.iter
       (fun route ->
         release t route;
-        t.routes <- Imap.remove route.id t.routes)
+        remove_route t route.id)
       victims;
     (match t.instruments with
     | None -> ()
@@ -831,15 +1125,16 @@ let failed_middles t = Iset.elements t.failed_middles
 let clear t =
   List.iter (fun (_, route) -> release t route) (Imap.bindings t.routes);
   t.routes <- Imap.empty;
+  t.n_routes <- 0;
   update_gauges t
 
 let copy t =
   {
     t with
-    stage1 = Array.map (Array.map Array.copy) t.stage1;
-    stage2 = Array.map (Array.map Array.copy) t.stage2;
-    stage1_dead = Array.map (Array.map Array.copy) t.stage1_dead;
-    stage2_dead = Array.map (Array.map Array.copy) t.stage2_dead;
+    stage1 = copy_stage t.stage1;
+    stage2 = copy_stage t.stage2;
+    middle_occ = Array.copy t.middle_occ;
+    scratch_uncovered = Array.make t.topo.r 0;
     (* a snapshot is for speculative search (the adversary's what-ifs);
        letting it feed the original's instruments would corrupt the
        production counters *)
@@ -880,7 +1175,7 @@ let pp_state ppf t =
          Fault.pp)
       (faults t);
   Format.fprintf ppf "active routes: %d, utilization %.1f%%@]"
-    (Imap.cardinal t.routes) (100. *. utilization t)
+    t.n_routes (100. *. utilization t)
 
 let pp_route ppf route =
   Format.fprintf ppf "route %d: %a via %a" route.id Connection.pp

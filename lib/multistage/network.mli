@@ -26,6 +26,19 @@ open Wdm_core
 
 type construction = Msw_dominant | Maw_dominant
 
+type link_impl =
+  | Bitset
+      (** Pack each link's [k]-wavelength plane into one int bitmask
+          (bit [w-1] = wavelength [w]), so first-free / coverage probes
+          are single mask operations.  Requires [k <= 62].  Default
+          whenever it fits. *)
+  | Reference
+      (** The original bool-array planes and list-based selection.
+          Doubles as the fallback for [k > 62] and as the executable
+          specification: for any seeded workload both implementations
+          choose byte-identical routes (the equivalence property tests
+          pin this down). *)
+
 type strategy =
   | Min_intersection
       (** Lemma 5's argument made operational: repeatedly pick the
@@ -75,12 +88,23 @@ val create :
   ?telemetry:Wdm_telemetry.Sink.t ->
   ?strategy:strategy ->
   ?x_limit:int ->
+  ?link_impl:link_impl ->
+  ?rearrange_limit:int ->
   construction:construction ->
   output_model:Model.t ->
   Topology.t ->
   t
 (** [x_limit] defaults to the optimal [x] of the construction's
     nonblocking condition (Theorem 1 or 2) for the topology.
+
+    [link_impl] selects the link-state representation (default:
+    {!Bitset} when [k <= 62], {!Reference} otherwise).  Route choice is
+    identical either way.
+    @raise Invalid_argument for [Bitset] with [k > 62].
+
+    [rearrange_limit] (default 64) caps how many existing connections
+    {!connect_rearrangeable} will try to move aside for one blocked
+    request.
 
     [telemetry] (default: none, with zero per-operation overhead)
     instruments the network: {!connect}, {!connect_rearrangeable} and
@@ -101,6 +125,7 @@ val construction : t -> construction
 val output_model : t -> Model.t
 val x_limit : t -> int
 val strategy : t -> strategy
+val link_impl : t -> link_impl
 
 val connect : t -> Connection.t -> (route, error) result
 val disconnect : t -> int -> (route, string) result
@@ -119,7 +144,12 @@ val connect_rearrangeable : t -> Connection.t -> (route * int, error) result
 
     A rerouted victim keeps its route id: only its hops change, so
     handles held by callers (e.g. the churn driver's active list, or a
-    pending {!disconnect}) remain valid across the move. *)
+    pending {!disconnect}) remain valid across the move.
+
+    Victims are tried fewest-hops-first (ties by ascending id), and at
+    most [rearrange_limit] of them: a route spanning fewer middles is
+    the likeliest to re-home, and the cap keeps one admission from
+    degenerating into a sweep over the whole live population. *)
 
 val active_routes : t -> route list
 val find_route : t -> int -> route option

@@ -13,8 +13,6 @@ type ('id, 'err) sut = {
   disconnect : 'id -> unit;
 }
 
-module Eset = Set.Make (Endpoint)
-
 type ('id, 'err, 'fault) faulty_sut = {
   base : ('id, 'err) sut;
   inject : 'fault -> Connection.t list;
@@ -116,11 +114,13 @@ let engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps
   and b_dropped = base i.dropped_c
   and b_degraded_attempts = base i.degraded_attempts_c
   and b_blocked_degraded = base i.blocked_degraded_c in
-  let all_sources = Network_spec.inputs spec in
-  let all_dests = Network_spec.outputs spec in
+  (* incremental free-endpoint pools: claim/release is O(1), and
+     [Free_pool.to_list] reproduces the filtered universe the generator
+     used to receive, so the RNG draw stream is unchanged *)
+  let free_src = Free_pool.create (Network_spec.inputs spec) in
+  let free_dst = Free_pool.create (Network_spec.outputs spec) in
   let active : ('id * Connection.t) list ref = ref [] in
   let peak = ref 0 in
-  let used_src = ref Eset.empty and used_dst = ref Eset.empty in
   let in_force = ref [] in
   let note_active () =
     let n = List.length !active in
@@ -132,22 +132,24 @@ let engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps
   in
   let register id conn =
     active := (id, conn) :: !active;
-    used_src := Eset.add conn.Connection.source !used_src;
-    used_dst :=
-      List.fold_left (fun s d -> Eset.add d s) !used_dst
-        conn.Connection.destinations
+    Free_pool.remove free_src conn.Connection.source;
+    List.iter (Free_pool.remove free_dst) conn.Connection.destinations
   in
   let unregister conn =
     active := List.filter (fun (_, c) -> not (Connection.equal c conn)) !active;
-    used_src := Eset.remove conn.Connection.source !used_src;
-    used_dst :=
-      List.fold_left (fun s d -> Eset.remove d s) !used_dst
-        conn.Connection.destinations
+    Free_pool.add free_src conn.Connection.source;
+    List.iter (Free_pool.add free_dst) conn.Connection.destinations
   in
   let apply = function
     | `Inject fault ->
-      Tel.Metrics.inc i.injected_c;
-      if not (List.mem fault !in_force) then in_force := fault :: !in_force;
+      (* count the transition, not the event: the network treats
+         re-injecting a fault already in force as a no-op and leaves
+         wdmnet_faults_injected_total alone, so the driver counter must
+         stay reconcilable with it over schedules with duplicates *)
+      if not (List.mem fault !in_force) then begin
+        Tel.Metrics.inc i.injected_c;
+        in_force := fault :: !in_force
+      end;
       let torn = fsut.inject fault in
       Tel.Metrics.add i.victims_c (List.length torn);
       (* the network freed every victim at once; re-home them on what
@@ -163,8 +165,10 @@ let engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps
         torn;
       note_active ()
     | `Clear fault ->
-      Tel.Metrics.inc i.cleared_c;
-      in_force := List.filter (fun f -> f <> fault) !in_force;
+      if List.mem fault !in_force then begin
+        Tel.Metrics.inc i.cleared_c;
+        in_force := List.filter (fun f -> f <> fault) !in_force
+      end;
       fsut.clear fault
   in
   let teardown () =
@@ -175,18 +179,16 @@ let engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps
       let id, conn = List.nth l idx in
       sut.disconnect id;
       active := List.filteri (fun j _ -> j <> idx) l;
-      used_src := Eset.remove conn.Connection.source !used_src;
-      used_dst :=
-        List.fold_left (fun s d -> Eset.remove d s) !used_dst
-          conn.Connection.destinations;
+      Free_pool.add free_src conn.Connection.source;
+      List.iter (Free_pool.add free_dst) conn.Connection.destinations;
       Tel.Metrics.inc i.torn_down_c;
       note_active ()
   in
   let setup () =
-    let free_sources = List.filter (fun e -> not (Eset.mem e !used_src)) all_sources in
-    let free_dests = List.filter (fun e -> not (Eset.mem e !used_dst)) all_dests in
     match
-      Generator.random_connection rng spec model ~fanout ~free_sources ~free_dests
+      Generator.random_connection rng spec model ~fanout
+        ~free_sources:(Free_pool.to_list free_src)
+        ~free_dests:(Free_pool.to_list free_dst)
     with
     | None -> ()
     | Some conn -> (
@@ -300,86 +302,72 @@ let run_timed ?telemetry ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout
   and b_accepted = Tel.Metrics.counter_value ti.accepted_c
   and b_blocked = Tel.Metrics.counter_value ti.blocked_c
   and b_completed = Tel.Metrics.counter_value ti.torn_down_c in
-  let all_sources = Network_spec.inputs spec in
-  let all_dests = Network_spec.outputs spec in
-  (* departures: (time, id, conn), kept sorted by time ascending *)
-  let departures : (float * 'id * Connection.t) list ref = ref [] in
-  let used_src = ref Eset.empty and used_dst = ref Eset.empty in
+  (* departure queue: O(log n) push/pop, FIFO on equal times *)
+  let departures : ('id * Connection.t) Event_heap.t = Event_heap.create () in
+  let free_src = Free_pool.create (Network_spec.inputs spec) in
+  let free_dst = Free_pool.create (Network_spec.outputs spec) in
   let active_area = ref 0. in
   let now = ref 0. in
-  let active () = List.length !departures in
+  let active () = Event_heap.size departures in
   let advance_to t =
     active_area := !active_area +. (float_of_int (active ()) *. (t -. !now));
     now := t
   in
-  let insert dep =
-    let rec go = function
-      | [] -> [ dep ]
-      | ((t', _, _) as hd) :: rest ->
-        let t, _, _ = dep in
-        if t < t' then dep :: hd :: rest else hd :: go rest
-    in
-    departures := go !departures
-  in
   let depart (id, conn) =
     sut.disconnect id;
     Tel.Metrics.inc ti.torn_down_c;
-    used_src := Eset.remove conn.Connection.source !used_src;
-    used_dst :=
-      List.fold_left (fun s d -> Eset.remove d s) !used_dst
-        conn.Connection.destinations;
+    Free_pool.add free_src conn.Connection.source;
+    List.iter (Free_pool.add free_dst) conn.Connection.destinations;
     Tel.Metrics.set ti.g_active (float_of_int (active ()))
   in
   let arrival t =
     advance_to t;
-    let free_sources = List.filter (fun e -> not (Eset.mem e !used_src)) all_sources in
-    let free_dests = List.filter (fun e -> not (Eset.mem e !used_dst)) all_dests in
-    match Generator.random_connection rng spec model ~fanout ~free_sources ~free_dests with
+    match
+      Generator.random_connection rng spec model ~fanout
+        ~free_sources:(Free_pool.to_list free_src)
+        ~free_dests:(Free_pool.to_list free_dst)
+    with
     | None -> () (* saturated: the offered call finds no idle terminals *)
     | Some conn -> (
       Tel.Metrics.inc ti.attempts_c;
       match sut.connect conn with
       | Ok id ->
         Tel.Metrics.inc ti.accepted_c;
-        used_src := Eset.add conn.Connection.source !used_src;
-        used_dst :=
-          List.fold_left (fun s d -> Eset.add d s) !used_dst
-            conn.Connection.destinations;
-        insert (t +. exponential rng mean_holding, id, conn);
+        Free_pool.remove free_src conn.Connection.source;
+        List.iter (Free_pool.remove free_dst) conn.Connection.destinations;
+        Event_heap.push departures
+          ~time:(t +. exponential rng mean_holding)
+          (id, conn);
         Tel.Metrics.set ti.g_active (float_of_int (active ()))
       | Error err ->
         on_blocked conn err;
         Tel.Metrics.inc ti.blocked_c)
   in
+  (* A departure fires when it precedes both the next arrival (ties go
+     to the departure) and the horizon; otherwise the next event is
+     either an arrival within the horizon or the end of the run.  Note
+     a queued departure beyond the horizon is simply abandoned:
+     connections still held when the run ends are intentionally never
+     disconnected — the simulation stops mid-flight, it does not wind
+     the system down. *)
   let rec loop next_arrival =
-    if next_arrival > horizon && !departures = [] then advance_to horizon
-    else
-      match !departures with
-      | (td, id, conn) :: rest when td <= next_arrival ->
-        if td > horizon then advance_to horizon
-        else begin
-          advance_to td;
-          departures := rest;
-          depart (id, conn);
-          loop next_arrival
-        end
-      | _ ->
-        if next_arrival > horizon then begin
-          (* drain remaining departures up to the horizon *)
-          match !departures with
-          | (td, id, conn) :: rest when td <= horizon ->
-            advance_to td;
-            departures := rest;
-            depart (id, conn);
-            loop next_arrival
-          | _ -> advance_to horizon
-        end
-        else begin
-          arrival next_arrival;
-          loop (next_arrival +. exponential rng (1. /. arrival_rate))
-        end
+    match Event_heap.peek departures with
+    | Some (td, dep) when td <= next_arrival && td <= horizon ->
+      advance_to td;
+      ignore (Event_heap.pop departures);
+      depart dep;
+      loop next_arrival
+    | _ ->
+      if next_arrival > horizon then advance_to horizon
+      else begin
+        arrival next_arrival;
+        loop (next_arrival +. exponential rng (1. /. arrival_rate))
+      end
   in
   loop (exponential rng (1. /. arrival_rate));
+  (* the run is over: zero the gauge so a reused sink does not keep
+     reporting the connections abandoned at the horizon as active *)
+  Tel.Metrics.set ti.g_active 0.;
   let since b c = Tel.Metrics.counter_value c - b in
   {
     offered_erlangs = arrival_rate *. mean_holding;

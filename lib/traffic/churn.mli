@@ -94,7 +94,17 @@ val run_with_faults :
   fault_stats
 (** Like {!run}, plus fault events: an event scheduled at step [s] is
     applied just before step [s] executes (the schedule is sorted
-    internally; events beyond [steps] never fire).  Fault handling
+    internally; events beyond [steps] never fire).
+
+    Injection and clear counters follow network semantics: injecting a
+    fault already in force (or clearing one that is not) is a no-op for
+    [churn_faults_injected_total]/[churn_faults_cleared_total] and for
+    the returned {!fault_stats}, so over any schedule — duplicates
+    included — the driver's tallies reconcile with the network's
+    [wdmnet_faults_injected_total]/[wdmnet_faults_cleared_total].  The
+    [inject]/[clear] hooks themselves are still invoked on every event.
+
+    Fault handling
     never consults the RNG and the per-step teardown/setup gate is
     drawn unconditionally, so for the same seed a degraded run tracks
     the healthy run draw-for-draw until the first fault event alters
@@ -137,6 +147,14 @@ val run_timed :
     process of the given rate; each accepted connection holds for an
     independent exponential time.  With no blocking and light load,
     [mean_active] approaches the offered load (Little's law), which the
-    tests check. *)
+    tests check.
+
+    Connections still held when the horizon is reached are
+    intentionally never disconnected: the run stops mid-flight rather
+    than winding the system down, so [completed] counts only departures
+    within the horizon and the switch under test is left holding the
+    in-flight routes.  [churn_active_connections] is reset to 0 when
+    the run ends, so a reused sink does not keep reporting those
+    abandoned connections as active. *)
 
 val pp_timed_stats : Format.formatter -> timed_stats -> unit

@@ -1,0 +1,69 @@
+(* Array-backed binary min-heap of timestamped events.  Entries carry a
+   monotonically increasing sequence number so equal-time events pop in
+   insertion order — the same tie order the sorted-list queue it
+   replaced produced, which seeded-replay determinism relies on. *)
+
+type 'a t = {
+  mutable data : (float * int * 'a) array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+let size t = t.len
+
+let before (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && before t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.len && before t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~time v =
+  let entry = (time, t.next_seq, v) in
+  t.next_seq <- t.next_seq + 1;
+  if t.len = Array.length t.data then begin
+    let grown = Array.make (max 16 (2 * t.len)) entry in
+    Array.blit t.data 0 grown 0 t.len;
+    t.data <- grown
+  end;
+  t.data.(t.len) <- entry;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek t =
+  if t.len = 0 then None
+  else
+    let time, _, v = t.data.(0) in
+    Some (time, v)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let time, _, v = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some (time, v)
+  end

@@ -1,0 +1,19 @@
+(** Binary min-heap of timestamped events for the continuous-time
+    driver's departure queue: O(log n) push/pop against the O(n)
+    sorted-list insertion it replaced.
+
+    Equal-time events pop in insertion (FIFO) order, matching the
+    stable sorted-list semantics — seeded replays depend on the event
+    order, not just the event set. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val peek : 'a t -> (float * 'a) option
+(** Earliest event, without removing it. *)
+
+val pop : 'a t -> (float * 'a) option

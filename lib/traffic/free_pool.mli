@@ -1,0 +1,34 @@
+(** Incremental free-endpoint pool for the churn drivers.
+
+    A bitset over a fixed endpoint universe with O(1) claim/release,
+    replacing the per-event [List.filter] over the full endpoint list
+    (O(n log n) in set lookups) the drivers used to run.
+
+    Determinism contract: {!to_list} returns the free endpoints with
+    exactly the contents and order of
+    [List.filter (fun e -> not busy e) universe] — the traffic
+    generator's RNG draws depend on that list, so seeded runs replay
+    byte-identically against either bookkeeping scheme. *)
+
+open Wdm_core
+
+type t
+
+val create : Endpoint.t list -> t
+(** All of the universe starts free.  The list fixes the iteration
+    order {!to_list} preserves.
+    @raise Invalid_argument on duplicate endpoints. *)
+
+val is_free : t -> Endpoint.t -> bool
+
+val remove : t -> Endpoint.t -> unit
+(** Mark busy (no-op if already busy).
+    @raise Invalid_argument for endpoints outside the universe. *)
+
+val add : t -> Endpoint.t -> unit
+(** Mark free again (no-op if already free). *)
+
+val free_count : t -> int
+
+val to_list : t -> Endpoint.t list
+(** Free endpoints, in universe order. *)
