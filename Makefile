@@ -1,4 +1,4 @@
-.PHONY: all build test bench fmt check
+.PHONY: all build test bench bench-quick fmt check
 
 all: build
 
@@ -10,6 +10,13 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# the CI profile: trimmed iteration counts, then schema-check the
+# BENCH_results.json it wrote (routing throughput, WAL overhead,
+# snapshot/restore timings, recovery digest check)
+bench-quick:
+	dune exec bench/main.exe -- --quick
+	dune exec bench/main.exe -- --validate BENCH_results.json
 
 # @fmt needs ocamlformat, which the sealed build environment may lack;
 # skip gracefully rather than failing the whole check.

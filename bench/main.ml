@@ -484,14 +484,19 @@ let blocking_vs_load () =
 
 module J = Wdm_telemetry.Json
 
+module Op = Wdm_persist.Op
+module Store = Wdm_persist.Store
+module Wal = Wdm_persist.Wal
+
 (* A recorded network workload: the churn driver runs once against a
    scratch network (so every request is admissible and the teardown ids
    are real), and the op sequence is then replayed directly against
    each link-state implementation with nothing but Network.connect /
    Network.disconnect inside the timed loop.  That isolates the routing
-   engine from the generator, which otherwise dominates at N=1024. *)
-type trace_op = C of Connection.t | D of int
-
+   engine from the generator, which otherwise dominates at N=1024.
+   The ops are Wdm_persist.Op values — the same vocabulary the WAL
+   persists — so the recorded trace could equally be written to disk
+   and recovered. *)
 let record_trace ~topo ~steps ~seed =
   let net =
     Network.create ~construction:Network.Msw_dominant ~output_model:Model.MSW
@@ -502,13 +507,13 @@ let record_trace ~topo ~steps ~seed =
     {
       Wdm_traffic.Churn.connect =
         (fun c ->
-          ops := C c :: !ops;
+          ops := Op.Connect c :: !ops;
           match Network.connect net c with
           | Ok route -> Ok route.Network.id
           | Error e -> Error e);
       disconnect =
         (fun id ->
-          ops := D id :: !ops;
+          ops := Op.Disconnect id :: !ops;
           ignore (Network.disconnect net id));
     }
   in
@@ -521,12 +526,12 @@ let record_trace ~topo ~steps ~seed =
   Array.of_list (List.rev !ops)
 
 (* Replay, timing only the network calls; the running checksum over the
-   chosen hops is the byte-identical-routes check between the two
-   implementations (cheap, and paid equally by both sides).  Each
-   replay carries its own metrics sink, as instrumented production runs
-   do: gauge maintenance is part of the per-op cost under comparison
-   (O(1) on the packed path vs the pre-change full recomputation on the
-   reference path). *)
+   chosen hops (Op.route_checksum) is the byte-identical-routes check
+   between the two implementations (cheap, and paid equally by both
+   sides).  Each replay carries its own metrics sink, as instrumented
+   production runs do: gauge maintenance is part of the per-op cost
+   under comparison (O(1) on the packed path vs the pre-change full
+   recomputation on the reference path). *)
 let replay ~topo ~impl ops =
   let net =
     Network.create
@@ -538,21 +543,14 @@ let replay ~topo ~impl ops =
   let t0 = Unix.gettimeofday () in
   Array.iter
     (function
-      | C c -> (
+      | Op.Connect c -> (
         match Network.connect net c with
         | Ok route ->
           incr accepted;
-          List.iter
-            (fun (h : Network.hop) ->
-              checksum :=
-                (!checksum * 131)
-                lxor (route.Network.id + (31 * h.Network.middle)
-                     + (7 * h.Network.stage1_wl)
-                     + List.fold_left (fun a (o, w) -> a + (o * 13) + w) 0
-                         h.Network.serves))
-            route.Network.hops
+          checksum := Op.route_checksum !checksum route
         | Error _ -> ())
-      | D id -> ignore (Network.disconnect net id))
+      | Op.Disconnect id -> ignore (Network.disconnect net id)
+      | _ -> ())
     ops;
   let dt = Unix.gettimeofday () -. t0 in
   (dt, !accepted, !checksum)
@@ -622,7 +620,7 @@ let routing_throughput ~quick () =
   let steps = if quick then 4_000 else 20_000 in
   let ops = record_trace ~topo ~steps ~seed:4242 in
   let connects =
-    Array.fold_left (fun a -> function C _ -> a + 1 | D _ -> a) 0 ops
+    Array.fold_left (fun a -> function Op.Connect _ -> a + 1 | _ -> a) 0 ops
   in
   Printf.printf "topology: %s, m=%d (x*=%d)\n"
     (Format.asprintf "%a" Topology.pp topo)
@@ -671,9 +669,9 @@ let routing_throughput ~quick () =
         moves)
     rows;
   print_newline ();
-  ( "routing_throughput",
-    J.Obj
-      [
+  ( ( "routing_throughput",
+      J.Obj
+        [
         ( "params",
           J.Obj
             [
@@ -715,6 +713,115 @@ let routing_throughput ~quick () =
                      ("moves", J.Int moves);
                    ])
                rows) );
+      ] ),
+    (topo, ops, dt_bit) )
+
+(* ----------------------------------------------------------------- *)
+(* Persistence: WAL overhead, snapshot/restore throughput             *)
+(* ----------------------------------------------------------------- *)
+
+(* Replays the recorded trace once more (bitset) while logging every op
+   to a live Store session — the difference against the no-persist
+   replay is the WAL's per-op tax.  The final state then prices the
+   snapshot path (encode + write, decode + restore) and a full
+   record / recover cycle closes the loop: the recovered network must
+   fingerprint identically to the one that never crashed. *)
+let persistence_bench ~topo ~ops ~dt_baseline =
+  section "Persistence (WAL overhead, snapshot/restore throughput)";
+  let wal = "bench_wal.tmp" in
+  let cleanup () =
+    List.iter
+      (fun p -> if Sys.file_exists p then Sys.remove p)
+      (wal :: List.map (fun s -> Store.snapshot_path ~wal ~seq:s)
+                (List.init 16 Fun.id))
+  in
+  cleanup ();
+  (* same sink arrangement as the baseline replay, so the delta is the
+     WAL's tax alone *)
+  let net =
+    Network.create
+      ~telemetry:(Wdm_telemetry.Sink.create ())
+      ~link_impl:Network.Bitset ~construction:Network.Msw_dominant
+      ~output_model:Model.MSW topo
+  in
+  let store = Store.start ~wal net in
+  let t0 = Unix.gettimeofday () in
+  Array.iter
+    (fun op ->
+      Store.log store op;
+      ignore (Op.apply net op))
+    ops;
+  let dt_wal = Unix.gettimeofday () -. t0 in
+  Store.checkpoint store net;
+  let records = Store.wal_records store in
+  let wal_bytes = Store.wal_offset store in
+  let digest_live = Store.digest net in
+  Store.close store;
+  let overhead_pct = (dt_wal -. dt_baseline) /. dt_baseline *. 100. in
+  Printf.printf
+    "WAL: %d records, %d bytes; replay+log %.3f s vs %.3f s baseline \
+     (%.1f%% overhead)\n"
+    records wal_bytes dt_wal dt_baseline overhead_pct;
+  let snap = Network.snapshot net in
+  let state = Store.encode_state snap in
+  let iters = 20 in
+  let snap_tmp = wal ^ ".snapbench" in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    Store.write_snapshot ~path:snap_tmp ~seq:0 ~wal_offset:wal_bytes snap
+  done;
+  let write_ms = (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e3 in
+  Sys.remove snap_tmp;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    match Store.decode_state state with
+    | Ok s -> ignore (Network.restore s)
+    | Error e -> failwith e
+  done;
+  let restore_ms = (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e3 in
+  Printf.printf
+    "snapshot: %d bytes, %d routes; write %.2f ms, decode+restore %.2f ms\n"
+    (String.length state)
+    (List.length snap.Network.s_routes)
+    write_ms restore_ms;
+  let replayed, digest_match =
+    match Store.recover ~wal () with
+    | Ok r -> (r.Store.replayed, Store.digest r.Store.network = digest_live)
+    | Error e ->
+      cleanup ();
+      failwith (Format.asprintf "persistence_bench: %a" Store.pp_recovery_error e)
+  in
+  Printf.printf "recovery: %d ops replayed, digest match: %b\n\n" replayed
+    digest_match;
+  if not digest_match then begin
+    cleanup ();
+    failwith "persistence_bench: recovered network diverged from live state"
+  end;
+  cleanup ();
+  ( "persistence",
+    J.Obj
+      [
+        ( "wal",
+          J.Obj
+            [
+              ("records", J.Int records);
+              ("bytes", J.Int wal_bytes);
+              ("elapsed_s", J.Float dt_wal);
+              ("baseline_s", J.Float dt_baseline);
+              ("overhead_pct", J.Float overhead_pct);
+            ] );
+        ( "snapshot",
+          J.Obj
+            [
+              ("bytes", J.Int (String.length state));
+              ("routes", J.Int (List.length snap.Network.s_routes));
+              ("write_ms", J.Float write_ms);
+              ("restore_ms", J.Float restore_ms);
+            ] );
+        ( "recovery",
+          J.Obj
+            [ ("replayed", J.Int replayed); ("digest_match", J.Bool digest_match) ]
+        );
       ] )
 
 (* ----------------------------------------------------------------- *)
@@ -957,6 +1064,39 @@ let validate_results path =
       require "routing_throughput.rearrangement" (J.member "rearrangement" rt)
     in
     let* _ = require "rearrangement as a list" (J.to_list rearr) in
+    let* persist = require "persistence" (J.member "persistence" doc) in
+    let* wal = require "persistence.wal" (J.member "wal" persist) in
+    let* () =
+      List.fold_left
+        (fun acc key ->
+          Result.bind acc (fun () ->
+              match J.member key wal with
+              | Some j -> number (Printf.sprintf "persistence.wal.%s" key) j
+              | None -> fail "persistence.wal.%s missing" key))
+        (Ok ())
+        [ "records"; "bytes"; "elapsed_s"; "baseline_s"; "overhead_pct" ]
+    in
+    let* snap = require "persistence.snapshot" (J.member "snapshot" persist) in
+    let* () =
+      List.fold_left
+        (fun acc key ->
+          Result.bind acc (fun () ->
+              match J.member key snap with
+              | Some j -> number (Printf.sprintf "persistence.snapshot.%s" key) j
+              | None -> fail "persistence.snapshot.%s missing" key))
+        (Ok ())
+        [ "bytes"; "routes"; "write_ms"; "restore_ms" ]
+    in
+    let* recov = require "persistence.recovery" (J.member "recovery" persist) in
+    let* dm =
+      require "persistence.recovery.digest_match" (J.member "digest_match" recov)
+    in
+    let* () =
+      match dm with
+      | J.Bool true -> Ok ()
+      | J.Bool false -> fail "recovery.digest_match is false: recovery diverged"
+      | _ -> fail "recovery.digest_match is not a bool"
+    in
     Ok (List.length benches, List.length impls)
   in
   match result with
@@ -987,18 +1127,20 @@ let full () =
   frontier ();
   exact_frontier ();
   blocking_vs_load ();
-  let rt = routing_throughput ~quick:false () in
+  let rt, (topo, ops, dt_bit) = routing_throughput ~quick:false () in
+  let persist = persistence_bench ~topo ~ops ~dt_baseline:dt_bit in
   let micro = micro_benchmarks ~quick:false () in
-  write_results [ micro; rt ];
+  write_results [ micro; rt; persist ];
   print_endline "All reproduction sections completed."
 
 (* --quick runs just the machine-readable sections at reduced sizes —
    the CI profile: fast enough for every push, still ends with a
    BENCH_results.json that --validate can gate on. *)
 let quick () =
-  let rt = routing_throughput ~quick:true () in
+  let rt, (topo, ops, dt_bit) = routing_throughput ~quick:true () in
+  let persist = persistence_bench ~topo ~ops ~dt_baseline:dt_bit in
   let micro = micro_benchmarks ~quick:true () in
-  write_results [ micro; rt ];
+  write_results [ micro; rt; persist ];
   print_endline "Quick bench profile completed."
 
 let () =

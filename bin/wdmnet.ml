@@ -42,6 +42,74 @@ let dump_trace trace trace_file =
   | Some tr, Some file -> write_file file (Tel.Trace.to_chrome tr)
   | _ -> ()
 
+(* --- persistence ------------------------------------------------------- *)
+
+module Persist = Wdm_persist
+
+let wal_arg =
+  Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"FILE"
+         ~doc:"Record every network op to this write-ahead log, with \
+               periodic snapshots beside it ($(docv).snap.N), so the run \
+               can be recovered after a crash ($(b,wdmnet recover)).")
+
+let snapshot_every_arg =
+  Arg.(value & opt int 1000 & info [ "snapshot-every" ] ~docv:"OPS"
+         ~doc:"Checkpoint cadence, in network ops, when --wal is given.")
+
+let check_snapshot_every n =
+  if n < 1 then begin
+    prerr_endline "wdmnet: snapshot-every must be >= 1";
+    exit 2
+  end
+
+(* Wraps a SUT so every interaction is journalled: requests (connect,
+   disconnect, fault events) before they execute, repairs after, with
+   the observed outcome.  Replay re-derives everything else. *)
+let logged_sut store (sut : (int, 'err) Wdm_traffic.Churn.sut) =
+  {
+    Wdm_traffic.Churn.connect =
+      (fun c ->
+        Persist.Store.log store (Persist.Op.Connect c);
+        sut.Wdm_traffic.Churn.connect c);
+    disconnect =
+      (fun id ->
+        Persist.Store.log store (Persist.Op.Disconnect id);
+        sut.Wdm_traffic.Churn.disconnect id);
+  }
+
+let logged_fsut store (fsut : (int, 'err, _) Wdm_traffic.Churn.faulty_sut) =
+  {
+    Wdm_traffic.Churn.base = logged_sut store fsut.Wdm_traffic.Churn.base;
+    inject =
+      (fun f ->
+        Persist.Store.log store (Persist.Op.Inject_fault f);
+        fsut.Wdm_traffic.Churn.inject f);
+    clear =
+      (fun f ->
+        Persist.Store.log store (Persist.Op.Clear_fault f);
+        fsut.Wdm_traffic.Churn.clear f);
+    reconnect =
+      (fun c ->
+        let outcome = fsut.Wdm_traffic.Churn.reconnect c in
+        Persist.Store.log store
+          (Persist.Op.Repair
+             { connection = c; rehomed = Result.is_ok outcome });
+        outcome);
+  }
+
+let persist_hook store net ~snapshot_every =
+  {
+    Wdm_traffic.Churn.policy = Wdm_traffic.Churn.Every_n_ops snapshot_every;
+    checkpoint = (fun ~ops:_ -> Persist.Store.checkpoint store net);
+  }
+
+(* Final checkpoint + digest line; the digest is what `recover
+   --expect-digest` (and the CI smoke test) verify against. *)
+let finish_store store net =
+  Persist.Store.checkpoint store net;
+  Printf.printf "state digest: %d\n" (Persist.Store.digest net);
+  Persist.Store.close store
+
 let n_arg =
   Arg.(value & opt int 16 & info [ "n"; "ports" ] ~docv:"N" ~doc:"Ports per side.")
 
@@ -206,9 +274,11 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
            ~doc:"Write the final metrics snapshot as JSON.")
   in
-  let run n r k m construction model steps seed trace_file stats_json =
+  let run n r k m construction model steps seed trace_file stats_json wal
+      snapshot_every =
     check_dims n k;
     if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
+    check_snapshot_every snapshot_every;
     let eval =
       match construction with
       | Network.Msw_dominant -> Conditions.msw_dominant ~n ~r
@@ -230,8 +300,13 @@ let simulate_cmd =
         disconnect = (fun id -> ignore (Network.disconnect net id));
       }
     in
+    let store = Option.map (fun wal -> Persist.Store.start ?telemetry ~wal net) wal in
+    let sut = match store with None -> sut | Some st -> logged_sut st sut in
+    let persist =
+      Option.map (fun st -> persist_hook st net ~snapshot_every) store
+    in
     let stats =
-      Wdm_traffic.Churn.run ?telemetry
+      Wdm_traffic.Churn.run ?telemetry ?persist
         (Random.State.make [| seed |])
         ~spec:(Topology.spec topo) ~model
         ~fanout:(Wdm_traffic.Fanout.Zipf { max = n * r; s = 1.1 })
@@ -239,6 +314,7 @@ let simulate_cmd =
     in
     Format.printf "%a\n" Wdm_traffic.Churn.pp_stats stats;
     Format.printf "final utilization: %.1f%%\n" (100. *. Network.utilization net);
+    Option.iter (fun st -> finish_store st net) store;
     (match (telemetry, stats_json) with
     | Some sink, Some file ->
       write_file file
@@ -248,7 +324,8 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Churn a three-stage network and report blocking.")
     Term.(const run $ n_local_arg $ r_arg $ k_arg $ m_arg $ construction_arg
-          $ model_arg $ steps_arg $ seed_arg $ trace_arg $ stats_json_arg)
+          $ model_arg $ steps_arg $ seed_arg $ trace_arg $ stats_json_arg
+          $ wal_arg $ snapshot_every_arg)
 
 (* --- faults -------------------------------------------------------------- *)
 
@@ -299,9 +376,10 @@ let faults_cmd =
           ~doc:"Fault classes drawn by the campaign: middle, laser, converter, module or all.")
   in
   let run n r k m construction model steps seed mtbf mttr slack_max klass csv
-      trace_file =
+      trace_file wal snapshot_every =
     check_dims n k;
     if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
+    check_snapshot_every snapshot_every;
     if slack_max < 0 then begin prerr_endline "wdmnet: slack-max must be >= 0"; exit 2 end;
     if mtbf <= 0. || mttr <= 0. then begin
       prerr_endline "wdmnet: mtbf and mttr must be positive"; exit 2
@@ -382,13 +460,28 @@ let faults_cmd =
               | Error e -> Error e);
         }
       in
+      (* each slack row is an independent run, so it records into its
+         own WAL (and snapshot chain) under a .fN suffix *)
+      let store =
+        Option.map
+          (fun wal ->
+            Persist.Store.start ~telemetry:sink
+              ~wal:(Printf.sprintf "%s.f%d" wal f)
+              net)
+          wal
+      in
+      let fsut = match store with None -> fsut | Some st -> logged_fsut st fsut in
+      let persist =
+        Option.map (fun st -> persist_hook st net ~snapshot_every) store
+      in
       let (_ : Wdm_traffic.Churn.fault_stats) =
-        Wdm_traffic.Churn.run_with_faults ~telemetry:sink
+        Wdm_traffic.Churn.run_with_faults ~telemetry:sink ?persist
           (Random.State.make [| seed |])
           ~spec:(Topology.spec topo) ~model
           ~fanout:(Wdm_traffic.Fanout.Zipf { max = n * r; s = 1.1 })
           ~steps ~teardown_bias:0.35 ~schedule fsut
       in
+      Option.iter (fun st -> finish_store st net) store;
       (* The row is read back from the metrics snapshot: the driver's
          tallies ARE the telemetry counters, so there is no second set
          of books to keep in sync. *)
@@ -421,7 +514,7 @@ let faults_cmd =
        ~doc:"Fault-injection campaign: degraded-mode blocking vs middle-stage slack.")
     Term.(const run $ n_local_arg $ r_arg $ k_arg $ m_arg $ construction_arg
           $ model_arg $ steps_arg $ seed_arg $ mtbf_arg $ mttr_arg $ slack_arg
-          $ class_arg $ csv_arg $ trace_arg)
+          $ class_arg $ csv_arg $ trace_arg $ wal_arg $ snapshot_every_arg)
 
 (* --- stats --------------------------------------------------------------- *)
 
@@ -552,6 +645,201 @@ let stats_cmd =
           $ model_arg $ steps_arg $ seed_arg $ json_arg $ prometheus_arg
           $ faults_flag $ trace_arg)
 
+(* --- record / recover ---------------------------------------------------- *)
+
+let record_cmd =
+  let open Wdm_faults in
+  let m_arg =
+    Arg.(value & opt (some int) None & info [ "m" ] ~docv:"M"
+           ~doc:"Middle modules; defaults to the theorem minimum.")
+  in
+  let r_arg =
+    Arg.(value & opt int 4 & info [ "r" ] ~docv:"R" ~doc:"Input/output modules.")
+  in
+  let n_local_arg =
+    Arg.(value & opt int 4 & info [ "n-local" ] ~docv:"NL"
+           ~doc:"Ports per input/output module.")
+  in
+  let construction_arg =
+    Arg.(
+      value
+      & opt (enum [ ("msw-dominant", Network.Msw_dominant); ("maw-dominant", Network.Maw_dominant) ])
+          Network.Msw_dominant
+      & info [ "construction" ] ~docv:"C" ~doc:"msw-dominant or maw-dominant.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 2000 & info [ "steps" ] ~docv:"STEPS" ~doc:"Churn events.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let wal_req_arg =
+    Arg.(required & opt (some string) None & info [ "wal" ] ~docv:"FILE"
+           ~doc:"Write-ahead log to record into (snapshots land beside it \
+                 as $(docv).snap.N).")
+  in
+  let fsync_every_arg =
+    Arg.(value & opt (some int) None & info [ "fsync-every" ] ~docv:"N"
+           ~doc:"fsync the WAL every N records (default: flush to the OS \
+                 after every record, no fsync).")
+  in
+  let faults_flag =
+    Arg.(value & flag & info [ "with-faults" ]
+           ~doc:"Drive the workload through the fault-injection campaign \
+                 (middle-module faults, mtbf 1000, mttr 400), so the WAL \
+                 carries inject/clear/repair records too.")
+  in
+  let run n r k m construction model steps seed wal snapshot_every fsync_every
+      with_faults =
+    check_dims n k;
+    if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
+    check_snapshot_every snapshot_every;
+    let policy =
+      match fsync_every with
+      | None -> None
+      | Some fe ->
+        if fe < 1 then begin
+          prerr_endline "wdmnet: fsync-every must be >= 1";
+          exit 2
+        end;
+        Some (Persist.Wal.Fsync_every fe)
+    in
+    let eval =
+      match construction with
+      | Network.Msw_dominant -> Conditions.msw_dominant ~n ~r
+      | Network.Maw_dominant -> Conditions.maw_dominant ~n ~r ~k
+    in
+    let m = Option.value ~default:eval.Conditions.m_min m in
+    let topo = Topology.make_exn ~n ~m ~r ~k in
+    Format.printf "topology: %a, recording to %s\n" Topology.pp topo wal;
+    let net = Network.create ~construction ~output_model:model topo in
+    let store = Persist.Store.start ?policy ~wal net in
+    let sut =
+      logged_sut store
+        {
+          Wdm_traffic.Churn.connect =
+            (fun c ->
+              match Network.connect net c with
+              | Ok route -> Ok route.Network.id
+              | Error e -> Error e);
+          disconnect = (fun id -> ignore (Network.disconnect net id));
+        }
+    in
+    let persist = Some (persist_hook store net ~snapshot_every) in
+    let fanout = Wdm_traffic.Fanout.Zipf { max = n * r; s = 1.1 } in
+    let rng = Random.State.make [| seed |] in
+    (if with_faults then begin
+       let schedule =
+         Schedule.generate
+           ~rng:(Random.State.make [| seed; 0xfa |])
+           ~universe:
+             (List.filter
+                (function Fault.Middle _ -> true | _ -> false)
+                (Fault.universe ~m ~r ~k))
+           ~mtbf:1000. ~mttr:400. ~steps
+         |> List.map (fun { Schedule.step; action } ->
+                match action with
+                | Schedule.Inject fault -> (step, `Inject fault)
+                | Schedule.Clear fault -> (step, `Clear fault))
+       in
+       let fsut =
+         logged_fsut store
+           {
+             Wdm_traffic.Churn.base =
+               {
+                 Wdm_traffic.Churn.connect =
+                   (fun c ->
+                     match Network.connect net c with
+                     | Ok route -> Ok route.Network.id
+                     | Error e -> Error e);
+                 disconnect = (fun id -> ignore (Network.disconnect net id));
+               };
+             inject = Network.inject_fault net;
+             clear = Network.clear_fault net;
+             reconnect =
+               (fun c ->
+                 match Network.connect_rearrangeable net c with
+                 | Ok (route, _) -> Ok route.Network.id
+                 | Error e -> Error e);
+           }
+       in
+       let stats =
+         Wdm_traffic.Churn.run_with_faults ?persist rng
+           ~spec:(Topology.spec topo) ~model ~fanout ~steps ~teardown_bias:0.35
+           ~schedule fsut
+       in
+       Format.printf "%a\n" Wdm_traffic.Churn.pp_fault_stats stats
+     end
+     else
+       let stats =
+         Wdm_traffic.Churn.run ?persist rng ~spec:(Topology.spec topo) ~model
+           ~fanout ~steps ~teardown_bias:0.35 sut
+       in
+       Format.printf "%a\n" Wdm_traffic.Churn.pp_stats stats);
+    Printf.printf "wal: %d records, %d bytes\n"
+      (Persist.Store.wal_records store)
+      (Persist.Store.wal_offset store);
+    finish_store store net
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Churn a network while journalling every op to a WAL with \
+             periodic snapshots; the printed state digest is what \
+             $(b,wdmnet recover --expect-digest) verifies.")
+    Term.(const run $ n_local_arg $ r_arg $ k_arg $ m_arg $ construction_arg
+          $ model_arg $ steps_arg $ seed_arg $ wal_req_arg $ snapshot_every_arg
+          $ fsync_every_arg $ faults_flag)
+
+let recover_cmd =
+  let wal_req_arg =
+    Arg.(required & opt (some string) None & info [ "wal" ] ~docv:"FILE"
+           ~doc:"Write-ahead log to recover from (snapshots are found \
+                 beside it).")
+  in
+  let expect_arg =
+    Arg.(value & opt (some int) None & info [ "expect-digest" ] ~docv:"D"
+           ~doc:"Fail unless the recovered state digest equals $(docv) \
+                 (the value $(b,wdmnet record) printed).")
+  in
+  let keep_tear_arg =
+    Arg.(value & flag & info [ "keep-tear" ]
+           ~doc:"Report a torn trailing record but leave the file as-is \
+                 instead of truncating it.")
+  in
+  let run wal expect keep_tear =
+    match Persist.Store.recover ~truncate:(not keep_tear) ~wal () with
+    | Error e ->
+      Format.eprintf "wdmnet: recovery failed: %a@." Persist.Store.pp_recovery_error e;
+      exit 1
+    | Ok r ->
+      Printf.printf "recovered from snapshot %d (WAL offset %d), replayed %d ops\n"
+        r.Persist.Store.snapshot_seq r.Persist.Store.snapshot_offset
+        r.Persist.Store.replayed;
+      (match r.Persist.Store.tear with
+      | Some at ->
+        Printf.printf "torn trailing record at byte %d%s\n" at
+          (if keep_tear then " (kept)" else " (truncated)")
+      | None -> ());
+      let snap = Network.snapshot r.Persist.Store.network in
+      Printf.printf "active routes: %d, faults in force: %d\n"
+        (List.length snap.Network.s_routes)
+        (List.length snap.Network.s_faults);
+      let digest = Persist.Store.digest r.Persist.Store.network in
+      Printf.printf "state digest: %d\n" digest;
+      match expect with
+      | Some d when d <> digest ->
+        Printf.eprintf "wdmnet: state digest mismatch (expected %d, got %d)\n" d
+          digest;
+        exit 1
+      | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Rebuild a network from its newest valid snapshot plus the WAL \
+             tail, truncating a torn trailing record and failing loudly on \
+             corruption.")
+    Term.(const run $ wal_req_arg $ expect_arg $ keep_tear_arg)
+
 (* --- adversary ----------------------------------------------------------- *)
 
 let adversary_cmd =
@@ -653,6 +941,6 @@ let () =
        (Cmd.group (Cmd.info "wdmnet" ~version:"1.0.0" ~doc)
           [
             capacity_cmd; cost_cmd; design_cmd; tables_cmd; sweep_cmd;
-            fig10_cmd; simulate_cmd; faults_cmd; stats_cmd; adversary_cmd;
-            figures_cmd; deep_cmd;
+            fig10_cmd; simulate_cmd; faults_cmd; stats_cmd; record_cmd;
+            recover_cmd; adversary_cmd; figures_cmd; deep_cmd;
           ]))

@@ -1128,6 +1128,67 @@ let clear t =
   t.n_routes <- 0;
   update_gauges t
 
+(* ----- persistence ----------------------------------------------------- *)
+
+(* Everything below is the *minimal* state: busy planes, endpoint sets,
+   per-middle occupancy and the derived fault views are all rebuilt on
+   restore from the routes and the fault set, so a snapshot cannot
+   drift internally inconsistent — there is one source of truth. *)
+type snapshot = {
+  s_topology : Topology.t;
+  s_construction : construction;
+  s_output_model : Model.t;
+  s_x_limit : int;
+  s_strategy : strategy;
+  s_link_impl : link_impl;
+  s_rearrange_limit : int;
+  s_next_id : int;
+  s_routes : route list;
+  s_faults : Fault.t list;
+}
+
+let snapshot t =
+  {
+    s_topology = t.topo;
+    s_construction = t.construction;
+    s_output_model = t.output_model;
+    s_x_limit = t.x_limit;
+    s_strategy = t.strategy;
+    s_link_impl = t.impl;
+    s_rearrange_limit = t.rearrange_limit;
+    s_next_id = t.next_id;
+    s_routes = Imap.bindings t.routes |> List.map snd;
+    s_faults = Fault.Set.elements t.faults;
+  }
+
+let restore ?telemetry s =
+  let t =
+    create ?telemetry ~strategy:s.s_strategy ~x_limit:s.s_x_limit
+      ~link_impl:s.s_link_impl ~rearrange_limit:s.s_rearrange_limit
+      ~construction:s.s_construction ~output_model:s.s_output_model s.s_topology
+  in
+  if s.s_next_id < 0 then invalid_arg "Network.restore: negative next_id";
+  t.faults <-
+    List.fold_left
+      (fun acc f ->
+        validate_fault t "restore" f;
+        Fault.Set.add f acc)
+      Fault.Set.empty s.s_faults;
+  rebuild_fault_state t;
+  (* faults first: live routes never occupy a dead slot (injection tears
+     them down), so readmitting over the rebuilt dead planes is safe *)
+  List.iter
+    (fun route ->
+      if route.id >= s.s_next_id then
+        invalid_arg
+          (Printf.sprintf "Network.restore: route id %d >= next_id %d" route.id
+             s.s_next_id);
+      readmit t route)
+    s.s_routes;
+  t.next_id <- s.s_next_id;
+  update_gauges t;
+  t
+
 let copy t =
   {
     t with

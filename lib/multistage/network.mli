@@ -183,6 +183,45 @@ val copy : t -> t
     The copy is not instrumented — speculative operations on it must
     not pollute the original's telemetry. *)
 
+(** {1 Persistence}
+
+    {!snapshot} captures the minimal durable state of a network: its
+    construction parameters, the live routes (with their allocated
+    hops), the fault set, and the route-id allocator.  Everything else
+    — link-plane occupancy, busy endpoint sets, per-middle tallies, the
+    derived fault views — is re-derived by {!restore}, so a snapshot
+    has a single source of truth and cannot encode an internally
+    inconsistent state.  The on-disk binary encoding of this value
+    lives in [Wdm_persist.Store]; this layer is format-agnostic. *)
+
+type snapshot = {
+  s_topology : Topology.t;
+  s_construction : construction;
+  s_output_model : Model.t;
+  s_x_limit : int;
+  s_strategy : strategy;
+  s_link_impl : link_impl;
+  s_rearrange_limit : int;
+  s_next_id : int;  (** route-id allocator; ids are never reused *)
+  s_routes : route list;  (** ascending id *)
+  s_faults : Wdm_faults.Fault.t list;  (** {!Wdm_faults.Fault.compare} order *)
+}
+
+val snapshot : t -> snapshot
+
+val restore : ?telemetry:Wdm_telemetry.Sink.t -> snapshot -> t
+(** A network behaviorally indistinguishable from the one {!snapshot}
+    captured: both {!Bitset} and {!Reference} planes are rebuilt by
+    re-marking each route's hops, the fault views by re-applying the
+    fault set, so any operation sequence applied to the restored
+    network chooses byte-identical routes (and ids) to the original
+    continuing uninterrupted.  [telemetry] instruments the restored
+    network exactly as {!create} would — counters start at the sink's
+    current values (history is not replayed into them), gauges are set
+    to the restored state.
+    @raise Invalid_argument on an inconsistent snapshot (fault indices
+    outside the topology, a route id at or above [s_next_id]). *)
+
 (** {1 Fault injection}
 
     Hardware faults ({!Wdm_faults.Fault.t}) degrade the network in

@@ -1,0 +1,72 @@
+(** The network operation vocabulary and its binary codec.
+
+    One value of {!t} is one state-changing (or deliberately refused)
+    call against a {!Wdm_multistage.Network}: the bench harness records
+    them to measure routing throughput, the WAL persists them for crash
+    recovery, and the tests replay them to pin down determinism.  All
+    three share this codec, so a trace recorded anywhere replays
+    anywhere.
+
+    Replay correctness rests on the network's determinism contract
+    (DESIGN.md §6): connects are recorded as *requests*, not results —
+    re-executing the same request sequence against the same starting
+    state reallocates byte-identical routes and ids, which {!apply}
+    relies on and {!route_checksum} verifies. *)
+
+open Wdm_core
+module Network = Wdm_multistage.Network
+
+type t =
+  | Connect of Connection.t
+      (** a [Network.connect] request (recorded whether or not it was
+          admitted: refused requests leave no state but do advance
+          telemetry, and replaying them costs nothing) *)
+  | Disconnect of int  (** [Network.disconnect] by route id *)
+  | Inject_fault of Wdm_faults.Fault.t
+  | Clear_fault of Wdm_faults.Fault.t
+  | Repair of { connection : Connection.t; rehomed : bool }
+      (** a repair attempt for a fault victim via
+          [Network.connect_rearrangeable]; [rehomed] records the
+          original outcome so replay divergence is detectable *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {1 Codec}
+
+    [encode] appends the payload bytes of one op (tag byte, then the
+    op-specific fields); framing and CRC are {!Wire}'s job. *)
+
+val encode : Buffer.t -> t -> unit
+
+val encode_connection : Buffer.t -> Connection.t -> unit
+val decode_connection : Wire.reader -> Connection.t
+
+val encode_fault : Buffer.t -> Wdm_faults.Fault.t -> unit
+val decode_fault : Wire.reader -> Wdm_faults.Fault.t
+(** The connection and fault sub-codecs, shared with the snapshot
+    format ({!Store}) so a value serializes identically in both
+    files. *)
+
+val decode : Wire.reader -> t
+(** Consumes exactly one op.  @raise Wire.Decode_error on malformed
+    input (bad tag, out-of-range field, structurally invalid
+    connection). *)
+
+val decode_string : string -> (t, string) result
+(** Decodes a whole payload; trailing bytes are an error. *)
+
+(** {1 Replay} *)
+
+val apply : Network.t -> t -> (Network.route option, string) result
+(** Applies one op with the semantics the recorders use: [Connect] via
+    [Network.connect] ([Ok None] when refused — a refusal is a valid
+    recorded outcome), [Repair] via [Network.connect_rearrangeable],
+    [Disconnect] of an unknown id is an [Error] (the trace is
+    inconsistent with the state).  Returns the route a connect-like op
+    admitted, for checksumming. *)
+
+val route_checksum : int -> Network.route -> int
+(** Folds one admitted route into a running hop checksum (the bench
+    harness's byte-identical-routes check, promoted here so bench,
+    recovery tests and CI smoke checks agree on the formula). *)

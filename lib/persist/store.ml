@@ -1,0 +1,429 @@
+module Tel = Wdm_telemetry
+module Network = Wdm_multistage.Network
+module Topology = Wdm_multistage.Topology
+module Model = Wdm_core.Model
+
+(* ----- state codec ----------------------------------------------------- *)
+
+let construction_tag = function
+  | Network.Msw_dominant -> 0
+  | Network.Maw_dominant -> 1
+
+let strategy_tag = function
+  | Network.Min_intersection -> 0
+  | Network.First_fit -> 1
+  | Network.Exhaustive -> 2
+
+let link_impl_tag = function Network.Bitset -> 0 | Network.Reference -> 1
+let model_tag = function Model.MSW -> 0 | Model.MSDW -> 1 | Model.MAW -> 2
+
+let fail (r : Wire.reader) reason =
+  raise (Wire.Decode_error { offset = r.Wire.pos; reason })
+
+let put_route b (route : Network.route) =
+  Wire.put_int b route.Network.id;
+  Op.encode_connection b route.Network.connection;
+  Wire.put_u32 b route.Network.input_switch;
+  Wire.put_u32 b (List.length route.Network.hops);
+  List.iter
+    (fun (h : Network.hop) ->
+      Wire.put_u32 b h.Network.middle;
+      Wire.put_u32 b h.Network.stage1_wl;
+      Wire.put_u32 b (List.length h.Network.serves);
+      List.iter
+        (fun (o, w) ->
+          Wire.put_u32 b o;
+          Wire.put_u32 b w)
+        h.Network.serves)
+    route.Network.hops
+
+let get_route r : Network.route =
+  let id = Wire.get_int r in
+  if id < 0 then fail r "negative route id";
+  let connection = Op.decode_connection r in
+  let input_switch = Wire.get_u32 r in
+  let nhops = Wire.get_u32 r in
+  if nhops > 0xffff then fail r "implausible hop count";
+  let hops =
+    List.init nhops (fun _ ->
+        let middle = Wire.get_u32 r in
+        let stage1_wl = Wire.get_u32 r in
+        let nserves = Wire.get_u32 r in
+        if nserves > 0xffff then fail r "implausible serve count";
+        let serves =
+          List.init nserves (fun _ ->
+              let o = Wire.get_u32 r in
+              let w = Wire.get_u32 r in
+              (o, w))
+        in
+        { Network.middle; stage1_wl; serves })
+  in
+  { Network.id; connection; input_switch; hops }
+
+let encode_state (s : Network.snapshot) =
+  let b = Buffer.create 4096 in
+  let topo = s.Network.s_topology in
+  Wire.put_u32 b topo.Topology.n;
+  Wire.put_u32 b topo.Topology.m;
+  Wire.put_u32 b topo.Topology.r;
+  Wire.put_u32 b topo.Topology.k;
+  Wire.put_u8 b (construction_tag s.Network.s_construction);
+  Wire.put_u8 b (model_tag s.Network.s_output_model);
+  Wire.put_u32 b s.Network.s_x_limit;
+  Wire.put_u8 b (strategy_tag s.Network.s_strategy);
+  Wire.put_u8 b (link_impl_tag s.Network.s_link_impl);
+  Wire.put_u32 b s.Network.s_rearrange_limit;
+  Wire.put_int b s.Network.s_next_id;
+  Wire.put_u32 b (List.length s.Network.s_routes);
+  List.iter (put_route b) s.Network.s_routes;
+  Wire.put_u32 b (List.length s.Network.s_faults);
+  List.iter (Op.encode_fault b) s.Network.s_faults;
+  Buffer.contents b
+
+let decode_state_reader r : Network.snapshot =
+  let n = Wire.get_u32 r in
+  let m = Wire.get_u32 r in
+  let rr = Wire.get_u32 r in
+  let k = Wire.get_u32 r in
+  let s_topology =
+    match Topology.make ~n ~m ~r:rr ~k with
+    | Ok t -> t
+    | Error e -> fail r (Printf.sprintf "invalid topology: %s" e)
+  in
+  let s_construction =
+    match Wire.get_u8 r with
+    | 0 -> Network.Msw_dominant
+    | 1 -> Network.Maw_dominant
+    | t -> fail r (Printf.sprintf "unknown construction tag %d" t)
+  in
+  let s_output_model =
+    match Wire.get_u8 r with
+    | 0 -> Model.MSW
+    | 1 -> Model.MSDW
+    | 2 -> Model.MAW
+    | t -> fail r (Printf.sprintf "unknown model tag %d" t)
+  in
+  let s_x_limit = Wire.get_u32 r in
+  let s_strategy =
+    match Wire.get_u8 r with
+    | 0 -> Network.Min_intersection
+    | 1 -> Network.First_fit
+    | 2 -> Network.Exhaustive
+    | t -> fail r (Printf.sprintf "unknown strategy tag %d" t)
+  in
+  let s_link_impl =
+    match Wire.get_u8 r with
+    | 0 -> Network.Bitset
+    | 1 -> Network.Reference
+    | t -> fail r (Printf.sprintf "unknown link impl tag %d" t)
+  in
+  let s_rearrange_limit = Wire.get_u32 r in
+  let s_next_id = Wire.get_int r in
+  let nroutes = Wire.get_u32 r in
+  if nroutes > 0xffffff then fail r "implausible route count";
+  let s_routes = List.init nroutes (fun _ -> get_route r) in
+  let nfaults = Wire.get_u32 r in
+  if nfaults > 0xffffff then fail r "implausible fault count";
+  let s_faults = List.init nfaults (fun _ -> Op.decode_fault r) in
+  Wire.expect_end r;
+  {
+    Network.s_topology;
+    s_construction;
+    s_output_model;
+    s_x_limit;
+    s_strategy;
+    s_link_impl;
+    s_rearrange_limit;
+    s_next_id;
+    s_routes;
+    s_faults;
+  }
+
+let decode_state s =
+  match decode_state_reader (Wire.reader s) with
+  | snap -> Ok snap
+  | exception Wire.Decode_error { offset; reason } ->
+    Error (Printf.sprintf "%s at state offset %d" reason offset)
+
+let digest net = Crc32.string (encode_state (Network.snapshot net))
+
+(* ----- snapshot files -------------------------------------------------- *)
+
+let snapshot_path ~wal ~seq = Printf.sprintf "%s.snap.%d" wal seq
+
+let write_snapshot ~path ~seq ~wal_offset snap =
+  let b = Buffer.create 4096 in
+  Wire.put_u32 b seq;
+  Wire.put_int b wal_offset;
+  Buffer.add_string b (encode_state snap);
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Wire.header ~kind:'S');
+      output_string oc (Wire.frame (Buffer.contents b));
+      flush oc)
+
+let read_snapshot path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error e -> Error e
+  in
+  match contents with
+  | Error e -> Error (Printf.sprintf "cannot read snapshot: %s" e)
+  | Ok src -> (
+    match Wire.check_header ~kind:'S' src with
+    | Error e -> Error e
+    | Ok () -> (
+      match Wire.read_frame src ~pos:Wire.header_len with
+      | Wire.End -> Error "snapshot has no payload record"
+      | Wire.Torn at -> Error (Printf.sprintf "torn snapshot at byte %d" at)
+      | Wire.Corrupt { offset; reason } ->
+        Error (Printf.sprintf "%s at byte %d" reason offset)
+      | Wire.Frame { payload; next } ->
+        if next <> String.length src then
+          Error "trailing bytes after snapshot record"
+        else (
+          match
+            let r = Wire.reader payload in
+            let seq = Wire.get_u32 r in
+            let wal_offset = Wire.get_int r in
+            if wal_offset < Wire.header_len then
+              fail r "snapshot WAL offset inside the header";
+            let state = String.sub payload r.Wire.pos
+                (String.length payload - r.Wire.pos) in
+            (seq, wal_offset, state)
+          with
+          | seq, wal_offset, state -> (
+            match decode_state state with
+            | Ok snap -> Ok (seq, wal_offset, snap)
+            | Error e -> Error e)
+          | exception Wire.Decode_error { offset; reason } ->
+            Error (Printf.sprintf "%s at payload offset %d" reason offset))))
+
+let list_snapshots ~wal =
+  let dir = Filename.dirname wal in
+  let prefix = Filename.basename wal ^ ".snap." in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.to_list entries
+    |> List.filter_map (fun name ->
+           if String.length name > String.length prefix
+              && String.sub name 0 (String.length prefix) = prefix
+           then
+             let suffix =
+               String.sub name (String.length prefix)
+                 (String.length name - String.length prefix)
+             in
+             match int_of_string_opt suffix with
+             | Some seq when seq >= 0 -> Some (seq, Filename.concat dir name)
+             | _ -> None
+           else None)
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+let delete_snapshots ~wal ~keep_above =
+  List.iter
+    (fun (seq, path) ->
+      if seq < keep_above then try Sys.remove path with Sys_error _ -> ())
+    (list_snapshots ~wal)
+
+(* ----- recording session ----------------------------------------------- *)
+
+type instruments = {
+  c_snapshots : Tel.Metrics.counter;
+  h_snapshot : Tel.Histogram.t;
+  sink : Tel.Sink.t;
+}
+
+type t = {
+  wal_path : string;
+  writer : Wal.writer;
+  retain : int;
+  mutable seq : int;
+  instruments : instruments option;
+}
+
+let session_instruments (sink : Tel.Sink.t) =
+  let reg = sink.Tel.Sink.metrics in
+  {
+    c_snapshots =
+      Tel.Metrics.counter reg ~help:"Snapshots written"
+        "persist_snapshots_total";
+    h_snapshot =
+      Tel.Metrics.histogram reg ~help:"Latency of one snapshot write"
+        "persist_snapshot_latency_seconds";
+    sink;
+  }
+
+let take_snapshot t net =
+  let offset = Wal.tell t.writer in
+  let write () =
+    write_snapshot
+      ~path:(snapshot_path ~wal:t.wal_path ~seq:t.seq)
+      ~seq:t.seq ~wal_offset:offset (Network.snapshot net)
+  in
+  (match t.instruments with
+  | None -> write ()
+  | Some i ->
+    let t0 = Tel.Sink.now i.sink in
+    write ();
+    Tel.Histogram.observe i.h_snapshot (Tel.Sink.now i.sink -. t0);
+    Tel.Metrics.inc i.c_snapshots);
+  delete_snapshots ~wal:t.wal_path ~keep_above:(t.seq - t.retain + 1);
+  t.seq <- t.seq + 1
+
+let start ?telemetry ?policy ?(retain = 2) ~wal net =
+  if retain < 1 then invalid_arg "Store.start: retain must be >= 1";
+  delete_snapshots ~wal ~keep_above:max_int;
+  let writer = Wal.create ?telemetry ?policy wal in
+  let t =
+    {
+      wal_path = wal;
+      writer;
+      retain;
+      seq = 0;
+      instruments = Option.map session_instruments telemetry;
+    }
+  in
+  take_snapshot t net;
+  t
+
+let log t op = Wal.append t.writer op
+let checkpoint t net = take_snapshot t net
+let wal_records t = Wal.records t.writer
+let wal_offset t = Wal.tell t.writer
+let close t = Wal.close t.writer
+
+(* ----- recovery -------------------------------------------------------- *)
+
+type recovery = {
+  network : Network.t;
+  snapshot_seq : int;
+  snapshot_offset : int;
+  replayed : int;
+  tear : int option;
+}
+
+type recovery_error =
+  | No_snapshot of string
+  | Corrupt of { path : string; offset : int; reason : string }
+
+let pp_recovery_error ppf = function
+  | No_snapshot why -> Format.fprintf ppf "no usable snapshot: %s" why
+  | Corrupt { path; offset; reason } ->
+    Format.fprintf ppf "corrupt state in %s at byte %d: %s" path offset reason
+
+(* Wal.read reports mid-stream corruption as a formatted message; keep
+   the byte offset machine-readable by re-scanning here. *)
+let scan_wal path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error e -> Error (Corrupt { path; offset = 0; reason = e })
+  in
+  match contents with
+  | Error _ as e -> e
+  | Ok src -> (
+    match Wire.check_header ~kind:'W' src with
+    | Error reason -> Error (Corrupt { path; offset = 0; reason })
+    | Ok () ->
+      let rec scan pos acc =
+        match Wire.read_frame src ~pos with
+        | Wire.End -> Ok (List.rev acc, None, pos)
+        | Wire.Torn at -> Ok (List.rev acc, Some at, at)
+        | Wire.Corrupt { offset; reason } ->
+          Error (Corrupt { path; offset; reason })
+        | Wire.Frame { payload; next } -> (
+          match Op.decode_string payload with
+          | Ok op -> scan next ((pos, op) :: acc)
+          | Error reason -> Error (Corrupt { path; offset = pos; reason }))
+      in
+      scan Wire.header_len [])
+
+let recover ?telemetry ?(truncate = true) ~wal () =
+  match scan_wal wal with
+  | Error _ as e -> e
+  | Ok (ops, tear, valid_end) ->
+    (* A snapshot is usable only if its WAL offset is a record boundary
+       of the valid prefix — otherwise it describes a different file. *)
+    let boundary off =
+      off = Wire.header_len || off = valid_end
+      || List.exists (fun (pos, _) -> pos = off) ops
+    in
+    let candidates = list_snapshots ~wal in
+    let rec pick last_err = function
+      | [] ->
+        Error
+          (No_snapshot
+             (match last_err with
+             | Some e -> e
+             | None -> "no snapshot files found"))
+      | (seq, path) :: rest -> (
+        match read_snapshot path with
+        | Error e -> pick (Some (Printf.sprintf "%s: %s" path e)) rest
+        | Ok (file_seq, wal_off, snap) ->
+          if file_seq <> seq then
+            pick
+              (Some
+                 (Printf.sprintf "%s: sequence %d does not match filename"
+                    path file_seq))
+              rest
+          else if not (boundary wal_off) then
+            pick
+              (Some
+                 (Printf.sprintf
+                    "%s: WAL offset %d is not a record boundary" path wal_off))
+              rest
+          else Ok (seq, wal_off, snap))
+    in
+    (match pick None candidates with
+    | Error _ as e -> e
+    | Ok (snapshot_seq, snapshot_offset, snap) -> (
+      let t0 = Option.map (fun s -> Tel.Sink.now s) telemetry in
+      match Network.restore ?telemetry snap with
+      | exception Invalid_argument reason ->
+        Error
+          (Corrupt
+             {
+               path = snapshot_path ~wal ~seq:snapshot_seq;
+               offset = Wire.header_len;
+               reason;
+             })
+      | network ->
+        let tail = List.filter (fun (pos, _) -> pos >= snapshot_offset) ops in
+        let rec replay count = function
+          | [] -> Ok count
+          | (pos, op) :: rest -> (
+            match Op.apply network op with
+            | Ok _ -> replay (count + 1) rest
+            | Error reason -> Error (Corrupt { path = wal; offset = pos; reason })
+            | exception Invalid_argument reason ->
+              Error (Corrupt { path = wal; offset = pos; reason }))
+        in
+        (match replay 0 tail with
+        | Error _ as e -> e
+        | Ok replayed ->
+          (match (tear, truncate) with
+          | Some at, true -> Wal.truncate_at wal at
+          | _ -> ());
+          (match (telemetry, t0) with
+          | Some sink, Some t0 ->
+            let reg = sink.Tel.Sink.metrics in
+            Tel.Metrics.inc
+              (Tel.Metrics.counter reg ~help:"Completed recoveries"
+                 "persist_recoveries_total");
+            Tel.Histogram.observe
+              (Tel.Metrics.histogram reg
+                 ~help:"Latency of snapshot restore + WAL replay"
+                 "persist_restore_latency_seconds")
+              (Tel.Sink.now sink -. t0)
+          | _ -> ());
+          Ok { network; snapshot_seq; snapshot_offset; replayed; tear })))

@@ -1,0 +1,139 @@
+module Tel = Wdm_telemetry
+
+type flush_policy = Buffered | Flush_every of int | Fsync_every of int
+
+type instruments = {
+  c_records : Tel.Metrics.counter;
+  c_bytes : Tel.Metrics.counter;
+  h_fsync : Tel.Histogram.t;
+  sink : Tel.Sink.t;
+}
+
+type writer = {
+  oc : out_channel;
+  policy : flush_policy;
+  mutable records : int;
+  mutable unsynced : int;  (* records since the last fsync *)
+  instruments : instruments option;
+}
+
+let check_policy = function
+  | Buffered -> ()
+  | Flush_every n ->
+    if n < 1 then invalid_arg "Wal.create: Flush_every interval must be >= 1"
+  | Fsync_every n ->
+    if n < 1 then invalid_arg "Wal.create: Fsync_every interval must be >= 1"
+
+let instruments_of_sink (sink : Tel.Sink.t) =
+  let reg = sink.Tel.Sink.metrics in
+  {
+    c_records =
+      Tel.Metrics.counter reg ~help:"Operations appended to the WAL"
+        "persist_wal_records_total";
+    c_bytes =
+      Tel.Metrics.counter reg ~help:"Bytes appended to the WAL (incl. framing)"
+        "persist_wal_bytes_total";
+    h_fsync =
+      Tel.Metrics.histogram reg ~help:"Latency of one WAL fsync"
+        "persist_fsync_latency_seconds";
+    sink;
+  }
+
+let fsync w =
+  flush w.oc;
+  (match w.instruments with
+  | None -> (
+    try Unix.fsync (Unix.descr_of_out_channel w.oc)
+    with Unix.Unix_error _ -> ())
+  | Some i ->
+    let t0 = Tel.Sink.now i.sink in
+    (try Unix.fsync (Unix.descr_of_out_channel w.oc)
+     with Unix.Unix_error _ -> ());
+    Tel.Histogram.observe i.h_fsync (Tel.Sink.now i.sink -. t0));
+  w.unsynced <- 0
+
+let create ?telemetry ?(policy = Flush_every 1) path =
+  check_policy policy;
+  let oc = open_out_bin path in
+  output_string oc (Wire.header ~kind:'W');
+  let w =
+    {
+      oc;
+      policy;
+      records = 0;
+      unsynced = 0;
+      instruments = Option.map instruments_of_sink telemetry;
+    }
+  in
+  (match policy with Buffered -> () | Flush_every _ | Fsync_every _ -> flush oc);
+  w
+
+let append w op =
+  let b = Buffer.create 64 in
+  Op.encode b op;
+  let framed = Wire.frame (Buffer.contents b) in
+  output_string w.oc framed;
+  w.records <- w.records + 1;
+  w.unsynced <- w.unsynced + 1;
+  (match w.instruments with
+  | None -> ()
+  | Some i ->
+    Tel.Metrics.inc i.c_records;
+    Tel.Metrics.add i.c_bytes (String.length framed));
+  match w.policy with
+  | Buffered -> ()
+  | Flush_every n -> if w.records mod n = 0 then flush w.oc
+  | Fsync_every n ->
+    flush w.oc;
+    if w.unsynced >= n then fsync w
+
+let records w = w.records
+
+let tell w =
+  flush w.oc;
+  pos_out w.oc
+
+let sync w = fsync w
+
+let close w =
+  flush w.oc;
+  close_out w.oc
+
+(* ----- reading --------------------------------------------------------- *)
+
+type read_outcome = { ops : (int * Op.t) list; tear : int option }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read path =
+  match read_file path with
+  | exception Sys_error e -> Error (Printf.sprintf "cannot read WAL: %s" e)
+  | src -> (
+    match Wire.check_header ~kind:'W' src with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok () ->
+      let rec scan pos acc =
+        match Wire.read_frame src ~pos with
+        | Wire.End -> Ok { ops = List.rev acc; tear = None }
+        | Wire.Torn at -> Ok { ops = List.rev acc; tear = Some at }
+        | Wire.Corrupt { offset; reason } ->
+          Error (Printf.sprintf "%s: %s at byte %d" path reason offset)
+        | Wire.Frame { payload; next } -> (
+          match Op.decode_string payload with
+          | Ok op -> scan next ((pos, op) :: acc)
+          | Error e ->
+            Error (Printf.sprintf "%s: undecodable op at byte %d: %s" path pos e))
+      in
+      scan Wire.header_len [])
+
+let truncate_at path offset =
+  if offset < Wire.header_len then
+    invalid_arg "Wal.truncate_at: offset inside the header";
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> Unix.ftruncate fd offset)

@@ -1,0 +1,121 @@
+exception Decode_error of { offset : int; reason : string }
+
+(* ----- writing --------------------------------------------------------- *)
+
+let put_u8 b v =
+  if v < 0 || v > 0xff then invalid_arg "Wire.put_u8: out of range";
+  Buffer.add_char b (Char.chr v)
+
+let put_u32 b v =
+  if v < 0 || v > 0xffffffff then invalid_arg "Wire.put_u32: out of range";
+  Buffer.add_char b (Char.chr (v land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff))
+
+let int_limit = 1 lsl 55
+
+let put_int b v =
+  if v >= int_limit || v <= -int_limit then
+    invalid_arg "Wire.put_int: out of range";
+  for i = 0 to 7 do
+    Buffer.add_char b (Char.chr ((v asr (8 * i)) land 0xff))
+  done
+
+(* ----- reading --------------------------------------------------------- *)
+
+type reader = { src : string; mutable pos : int }
+
+let reader ?(pos = 0) src = { src; pos }
+
+let error r reason = raise (Decode_error { offset = r.pos; reason })
+
+let need r n =
+  if r.pos + n > String.length r.src then error r "truncated value"
+
+let byte r i = Char.code (String.unsafe_get r.src (r.pos + i))
+
+let get_u8 r =
+  need r 1;
+  let v = byte r 0 in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u32 r =
+  need r 4;
+  let v =
+    byte r 0 lor (byte r 1 lsl 8) lor (byte r 2 lsl 16) lor (byte r 3 lsl 24)
+  in
+  r.pos <- r.pos + 4;
+  v
+
+let get_int r =
+  need r 8;
+  let low = ref 0 in
+  for i = 0 to 6 do
+    low := !low lor (byte r i lsl (8 * i))
+  done;
+  let top = byte r 7 in
+  (* values are restricted to |v| < 2^55 on encode, so the top byte is
+     pure sign extension: anything else is corrupt input *)
+  if top <> 0 && top <> 0xff then error r "int out of range";
+  let v = if top = 0 then !low else !low lor (-1 lsl 56) in
+  r.pos <- r.pos + 8;
+  v
+
+let expect_end r =
+  if r.pos <> String.length r.src then error r "trailing bytes in record"
+
+(* ----- file header ----------------------------------------------------- *)
+
+let magic = "WDMP"
+let version = 1
+let header_len = 8
+
+let header ~kind = Printf.sprintf "%s%c%c\000\000" magic kind (Char.chr version)
+
+let check_header ~kind s =
+  if String.length s < header_len then Error "file shorter than its header"
+  else if String.sub s 0 4 <> magic then Error "bad magic"
+  else if s.[4] <> kind then
+    Error (Printf.sprintf "wrong file kind '%c' (want '%c')" s.[4] kind)
+  else if Char.code s.[5] <> version then
+    Error (Printf.sprintf "unsupported format version %d" (Char.code s.[5]))
+  else Ok ()
+
+(* ----- framing --------------------------------------------------------- *)
+
+let max_payload = 1 lsl 26
+
+let frame payload =
+  let b = Buffer.create (String.length payload + 8) in
+  put_u32 b (String.length payload);
+  put_u32 b (Crc32.string payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+type frame_result =
+  | Frame of { payload : string; next : int }
+  | Torn of int
+  | Corrupt of { offset : int; reason : string }
+  | End
+
+let read_frame src ~pos =
+  let total = String.length src in
+  if pos = total then End
+  else if pos + 8 > total then Torn pos
+  else begin
+    let r = reader ~pos src in
+    let len = get_u32 r in
+    let crc = get_u32 r in
+    if len = 0 || len > max_payload then
+      Corrupt
+        { offset = pos;
+          reason = Printf.sprintf "implausible record length %d" len }
+    else if pos + 8 + len > total then Torn pos
+    else
+      let payload = String.sub src (pos + 8) len in
+      if Crc32.string payload <> crc then
+        Corrupt { offset = pos; reason = "CRC mismatch" }
+      else Frame { payload; next = pos + 8 + len }
+  end

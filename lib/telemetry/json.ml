@@ -26,15 +26,21 @@ let escape_string buf s =
   Buffer.add_char buf '"'
 
 let float_to_string f =
-  if Float.is_nan f || Float.abs f = Float.infinity then "null"
-  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else Printf.sprintf "%.17g" f
 
 let rec emit buf = function
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f -> Buffer.add_string buf (float_to_string f)
+  | Float f ->
+    (* JSON has no non-finite literals; encode them as strings rather
+       than silently degrading to null, so a histogram bound of
+       infinity survives a round trip (to_float_opt maps them back) *)
+    if Float.is_nan f then Buffer.add_string buf "\"nan\""
+    else if f = Float.infinity then Buffer.add_string buf "\"inf\""
+    else if f = Float.neg_infinity then Buffer.add_string buf "\"-inf\""
+    else Buffer.add_string buf (float_to_string f)
   | String s -> escape_string buf s
   | List l ->
     Buffer.add_char buf '[';
@@ -256,6 +262,9 @@ let to_int = function
 let to_float_opt = function
   | Float f -> Some f
   | Int i -> Some (float_of_int i)
+  | String "nan" -> Some Float.nan
+  | String "inf" -> Some Float.infinity
+  | String "-inf" -> Some Float.neg_infinity
   | _ -> None
 
 let to_list = function List l -> Some l | _ -> None

@@ -19,8 +19,10 @@ type t =
 
 val to_string : t -> string
 (** Compact (single-line) rendering.  Floats use a round-trippable
-    format; NaN and infinities, which JSON cannot represent, are
-    rendered as [null]. *)
+    format; NaN and infinities, which JSON cannot represent as
+    numbers, are rendered as the strings ["nan"], ["inf"] and
+    ["-inf"] (not [null] — a histogram's [+inf] bucket bound must
+    survive a round trip).  {!to_float_opt} maps them back. *)
 
 val parse : string -> (t, string) result
 (** Parses one JSON document.  Trailing whitespace is allowed, trailing
@@ -35,5 +37,8 @@ val to_int : t -> int option
 (** {!Int} directly, or a {!Float} with integral value. *)
 
 val to_float_opt : t -> float option
+(** {!Float}, {!Int}, or one of the non-finite marker strings ["nan"],
+    ["inf"], ["-inf"]. *)
+
 val to_list : t -> t list option
 val to_string_opt : t -> string option

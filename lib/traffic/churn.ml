@@ -31,6 +31,9 @@ type fault_stats = {
   blocked_degraded : int;
 }
 
+type persist_policy = Every_n_ops of int | Every_seconds of float
+type persist = { policy : persist_policy; checkpoint : ops:int -> unit }
+
 module Tel = Wdm_telemetry
 
 (* The driver's tallies ARE telemetry counters: with [?telemetry] the
@@ -96,10 +99,42 @@ let driver_instruments telemetry =
    event changes the active set or the free endpoints — after which the
    per-step action draws (victim index, generated connection) diverge
    by necessity. *)
-let engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps
+let engine ?telemetry ?persist ~on_blocked rng ~spec ~model ~fanout ~steps
     ~teardown_bias ~schedule fsut =
   let sut = fsut.base in
   let i = driver_instruments telemetry in
+  (match persist with
+  | Some { policy = Every_n_ops n; _ } when n < 1 ->
+    invalid_arg "Churn: Every_n_ops interval must be >= 1"
+  | Some { policy = Every_seconds s; _ } when s <= 0. ->
+    invalid_arg "Churn: Every_seconds interval must be positive"
+  | _ -> ());
+  (* one "op" = one SUT interaction a WAL would carry: a setup attempt,
+     a teardown, a fault event, or a victim repair attempt.  The pacer
+     never consults the RNG (and Every_n_ops never reads the clock), so
+     a persisted run replays an unpersisted one draw-for-draw. *)
+  let ops = ref 0 in
+  let checkpoint_if_due =
+    match persist with
+    | None -> fun () -> ()
+    | Some p -> (
+      match p.policy with
+      | Every_n_ops n ->
+        let last = ref 0 in
+        fun () ->
+          if !ops - !last >= n then begin
+            last := !ops;
+            p.checkpoint ~ops:!ops
+          end
+      | Every_seconds s ->
+        let last = ref (Tel.Sink.now i.sink) in
+        fun () ->
+          let now = Tel.Sink.now i.sink in
+          if now -. !last >= s then begin
+            last := now;
+            p.checkpoint ~ops:!ops
+          end)
+  in
   (* a reused sink keeps its cumulative counters; the returned stats
      must cover this run only, so remember where we started *)
   let base name_c = Tel.Metrics.counter_value name_c in
@@ -150,6 +185,7 @@ let engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps
         Tel.Metrics.inc i.injected_c;
         in_force := fault :: !in_force
       end;
+      incr ops;
       let torn = fsut.inject fault in
       Tel.Metrics.add i.victims_c (List.length torn);
       (* the network freed every victim at once; re-home them on what
@@ -157,6 +193,7 @@ let engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps
       List.iter unregister torn;
       List.iter
         (fun conn ->
+          incr ops;
           match fsut.reconnect conn with
           | Ok id ->
             register id conn;
@@ -169,6 +206,7 @@ let engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps
         Tel.Metrics.inc i.cleared_c;
         in_force := List.filter (fun f -> f <> fault) !in_force
       end;
+      incr ops;
       fsut.clear fault
   in
   let teardown () =
@@ -177,6 +215,7 @@ let engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps
     | l ->
       let idx = Random.State.int rng (List.length l) in
       let id, conn = List.nth l idx in
+      incr ops;
       sut.disconnect id;
       active := List.filteri (fun j _ -> j <> idx) l;
       Free_pool.add free_src conn.Connection.source;
@@ -192,6 +231,7 @@ let engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps
     with
     | None -> ()
     | Some conn -> (
+      incr ops;
       Tel.Metrics.inc i.attempts_c;
       if !in_force <> [] then Tel.Metrics.inc i.degraded_attempts_c;
       match sut.connect conn with
@@ -218,7 +258,8 @@ let engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps
     (* draw the gate unconditionally: an empty active set must not
        shift the RNG stream relative to a run where it was non-empty *)
     let gate = Random.State.float rng 1. in
-    if !active <> [] && gate < teardown_bias then teardown () else setup ()
+    if !active <> [] && gate < teardown_bias then teardown () else setup ();
+    checkpoint_if_due ()
   done;
   let since b c = Tel.Metrics.counter_value c - b in
   {
@@ -239,8 +280,8 @@ let engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps
     blocked_degraded = since b_blocked_degraded i.blocked_degraded_c;
   }
 
-let run ?telemetry ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout
-    ~steps ~teardown_bias sut =
+let run ?telemetry ?persist ?(on_blocked = fun _ _ -> ()) rng ~spec ~model
+    ~fanout ~steps ~teardown_bias sut =
   if teardown_bias < 0. || teardown_bias > 1. then
     invalid_arg "Churn.run: teardown_bias must be in [0, 1]";
   let fsut =
@@ -251,19 +292,19 @@ let run ?telemetry ?(on_blocked = fun _ _ -> ()) rng ~spec ~model ~fanout
       reconnect = (fun _ -> invalid_arg "Churn.run: no faults");
     }
   in
-  (engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps
+  (engine ?telemetry ?persist ~on_blocked rng ~spec ~model ~fanout ~steps
      ~teardown_bias ~schedule:[] fsut)
     .churn
 
-let run_with_faults ?telemetry ?(on_blocked = fun _ _ -> ()) rng ~spec ~model
-    ~fanout ~steps ~teardown_bias ~schedule fsut =
+let run_with_faults ?telemetry ?persist ?(on_blocked = fun _ _ -> ()) rng ~spec
+    ~model ~fanout ~steps ~teardown_bias ~schedule fsut =
   if teardown_bias < 0. || teardown_bias > 1. then
     invalid_arg "Churn.run_with_faults: teardown_bias must be in [0, 1]";
   let schedule =
     List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) schedule
   in
-  engine ?telemetry ~on_blocked rng ~spec ~model ~fanout ~steps ~teardown_bias
-    ~schedule fsut
+  engine ?telemetry ?persist ~on_blocked rng ~spec ~model ~fanout ~steps
+    ~teardown_bias ~schedule fsut
 
 let pp_stats ppf s =
   Format.fprintf ppf

@@ -21,8 +21,32 @@ type ('id, 'err) sut = {
   disconnect : 'id -> unit;
 }
 
+(** {1 Checkpoint pacing}
+
+    Durable recording ([Wdm_persist.Store]) wants periodic snapshots;
+    the driver is where the op cadence is known, so it owns the pacing
+    and the caller owns the storage.  One "op" is one SUT interaction a
+    WAL would carry: a setup attempt (admitted or refused), a teardown,
+    a fault event, or a victim repair attempt.  The pacer never
+    consults the RNG ([Every_n_ops] never reads the clock either), so a
+    persisted run replays an unpersisted one draw-for-draw. *)
+
+type persist_policy =
+  | Every_n_ops of int  (** checkpoint when [n] ops have accrued *)
+  | Every_seconds of float
+      (** checkpoint when the sink's clock has advanced this far —
+          wall time by default, deterministic under a custom [~clock] *)
+
+type persist = {
+  policy : persist_policy;
+  checkpoint : ops:int -> unit;
+      (** called between steps with the ops applied so far; typically
+          [Wdm_persist.Store.checkpoint] partially applied *)
+}
+
 val run :
   ?telemetry:Wdm_telemetry.Sink.t ->
+  ?persist:persist ->
   ?on_blocked:(Connection.t -> 'err -> unit) ->
   Random.State.t ->
   spec:Network_spec.t ->
@@ -82,6 +106,7 @@ type fault_stats = {
 
 val run_with_faults :
   ?telemetry:Wdm_telemetry.Sink.t ->
+  ?persist:persist ->
   ?on_blocked:(Connection.t -> 'err -> unit) ->
   Random.State.t ->
   spec:Network_spec.t ->

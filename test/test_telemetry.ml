@@ -61,6 +61,80 @@ let test_json_roundtrip () =
   | Error e -> Alcotest.fail e
   | Ok v' -> Alcotest.(check bool) "roundtrip" true (v = v')
 
+let test_json_non_finite () =
+  let open Tel.Json in
+  (* non-finite floats cannot be JSON number literals; they are encoded
+     as marker strings so nothing is silently lost as null *)
+  Alcotest.(check string) "nan" "\"nan\"" (to_string (Float Float.nan));
+  Alcotest.(check string) "inf" "\"inf\"" (to_string (Float Float.infinity));
+  Alcotest.(check string) "-inf" "\"-inf\""
+    (to_string (Float Float.neg_infinity));
+  (match parse (to_string (Float Float.nan)) with
+  | Ok (String "nan") -> ()
+  | _ -> Alcotest.fail "nan marker did not parse back as its string");
+  let back s =
+    match to_float_opt (String s) with
+    | Some f -> f
+    | None -> Alcotest.failf "to_float_opt rejected %S" s
+  in
+  Alcotest.(check bool) "nan back" true (Float.is_nan (back "nan"));
+  Alcotest.(check (float 0.)) "inf back" Float.infinity (back "inf");
+  Alcotest.(check (float 0.)) "-inf back" Float.neg_infinity (back "-inf")
+
+(* Property: any value built from the constructors — full-byte-range
+   strings, 62-bit int extremes, finite floats, nesting — survives
+   to_string |> parse exactly. *)
+let prop_json_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let str =
+        (* bytes 0-255, leaning on escapes and control characters *)
+        string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 12)
+      in
+      let atom =
+        oneof
+          [
+            return Tel.Json.Null;
+            map (fun b -> Tel.Json.Bool b) bool;
+            map (fun i -> Tel.Json.Int i)
+              (oneof
+                 [
+                   small_signed_int;
+                   return max_int;
+                   return min_int;
+                   return ((1 lsl 61) - 1);
+                   return (-(1 lsl 61));
+                 ]);
+            map
+              (fun f ->
+                let f = if Float.is_finite f then f else 0. in
+                Tel.Json.Float f)
+              float;
+            map (fun s -> Tel.Json.String s) str;
+          ]
+      in
+      sized_size (int_bound 3) @@ fix (fun self depth ->
+          if depth = 0 then atom
+          else
+            frequency
+              [
+                (3, atom);
+                ( 1,
+                  map (fun l -> Tel.Json.List l)
+                    (list_size (int_bound 4) (self (depth - 1))) );
+                ( 1,
+                  map (fun kvs -> Tel.Json.Obj kvs)
+                    (list_size (int_bound 4)
+                       (pair str (self (depth - 1)))) );
+              ]))
+  in
+  QCheck.Test.make ~name:"json roundtrip property" ~count:1000
+    (QCheck.make ~print:Tel.Json.to_string gen)
+    (fun v ->
+      match Tel.Json.parse (Tel.Json.to_string v) with
+      | Ok v' -> v = v'
+      | Error _ -> false)
+
 let test_json_rejects_garbage () =
   let bad s =
     Alcotest.(check bool)
@@ -311,7 +385,9 @@ let () =
       ( "json",
         [
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "non-finite floats" `Quick test_json_non_finite;
           Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
         ] );
       ( "histogram",
         [
