@@ -249,8 +249,9 @@ let x_limit_ablation () =
     (fun x ->
       let topo = Topology.make_exn ~n:4 ~m:13 ~r:4 ~k:2 in
       let net =
-        Network.create ~x_limit:x ~construction:Network.Msw_dominant
-          ~output_model:Model.MSW topo
+        Network.create
+          ~config:{ Network.Config.default with x_limit = Some x }
+          ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
       in
       let sut =
         {
@@ -287,7 +288,7 @@ let fig10 () =
         outcome.Scenarios.admitted
         (match outcome.Scenarios.probe_result with
         | Ok route -> Format.asprintf "ROUTED (%a)" Network.pp_route route
-        | Error e -> Format.asprintf "BLOCKED (%a)" Network.pp_error e))
+        | Error e -> "BLOCKED (" ^ Network.Error.to_string e ^ ")"))
     [ (Network.Msw_dominant, "MSW-dominant"); (Network.Maw_dominant, "MAW-dominant") ];
   print_newline ()
 
@@ -487,6 +488,9 @@ module J = Wdm_telemetry.Json
 module Op = Wdm_persist.Op
 module Store = Wdm_persist.Store
 module Wal = Wdm_persist.Wal
+module Resp = Wdm_persist.Resp
+module Server = Wdm_server.Server
+module Client = Wdm_server.Client
 
 (* A recorded network workload: the churn driver runs once against a
    scratch network (so every request is admissible and the teardown ids
@@ -535,9 +539,13 @@ let record_trace ~topo ~steps ~seed =
 let replay ~topo ~impl ops =
   let net =
     Network.create
-      ~telemetry:(Wdm_telemetry.Sink.create ())
-      ~link_impl:impl ~construction:Network.Msw_dominant
-      ~output_model:Model.MSW topo
+      ~config:
+        {
+          Network.Config.default with
+          telemetry = Some (Wdm_telemetry.Sink.create ());
+          link_impl = Some impl;
+        }
+      ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
   in
   let accepted = ref 0 and checksum = ref 0 in
   let t0 = Unix.gettimeofday () in
@@ -569,8 +577,9 @@ let rearrangement_latency ~iters cases =
     (fun (n, k, m, strategy, sname) ->
       let topo = Topology.make_exn ~n ~m ~r:n ~k in
       let net =
-        Network.create ~strategy ~construction:Network.Msw_dominant
-          ~output_model:Model.MSW topo
+        Network.create
+          ~config:{ Network.Config.default with strategy }
+          ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
       in
       let snapshot = ref None in
       let on_blocked c _ =
@@ -740,9 +749,13 @@ let persistence_bench ~topo ~ops ~dt_baseline =
      WAL's tax alone *)
   let net =
     Network.create
-      ~telemetry:(Wdm_telemetry.Sink.create ())
-      ~link_impl:Network.Bitset ~construction:Network.Msw_dominant
-      ~output_model:Model.MSW topo
+      ~config:
+        {
+          Network.Config.default with
+          telemetry = Some (Wdm_telemetry.Sink.create ());
+          link_impl = Some Network.Bitset;
+        }
+      ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
   in
   let store = Store.start ~wal net in
   let t0 = Unix.gettimeofday () in
@@ -822,6 +835,82 @@ let persistence_bench ~topo ~ops ~dt_baseline =
           J.Obj
             [ ("replayed", J.Int replayed); ("digest_match", J.Bool digest_match) ]
         );
+      ] )
+
+(* ----------------------------------------------------------------- *)
+(* Control-plane serving: requests/s over a loopback socket           *)
+(* ----------------------------------------------------------------- *)
+
+(* The same recorded trace, driven through `wdmnet serve`'s machinery
+   over a unix socket by a single synchronous client — so the delta
+   against the in-process replay prices the whole control-plane stack
+   (framing, CRC, two context switches and the admission queue per
+   request).  The served network must land on the same state digest as
+   an in-process twin, which is the bench-level version of the
+   socket-vs-in-process equivalence test. *)
+let serving_bench ~topo ~ops ~dt_baseline =
+  section "Control-plane serving (unix socket, single client)";
+  let make () =
+    Network.create
+      ~config:
+        {
+          Network.Config.default with
+          telemetry = Some (Wdm_telemetry.Sink.create ());
+          link_impl = Some Network.Bitset;
+        }
+      ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
+  in
+  let net = make () in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wdm_bench_%d.sock" (Unix.getpid ()))
+  in
+  let srv = Server.start ~net (Server.Unix_socket sock) in
+  let client =
+    match Client.connect (Server.address srv) with
+    | Ok c -> c
+    | Error e ->
+      Server.stop srv;
+      failwith ("serving_bench: " ^ e)
+  in
+  let answered = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  Array.iter
+    (fun op ->
+      match Client.request client (Resp.Admit op) with
+      | Ok _ -> incr answered
+      | Error e -> failwith ("serving_bench: " ^ e))
+    ops;
+  let dt = Unix.gettimeofday () -. t0 in
+  let digest =
+    match Client.digest client with
+    | Ok d -> d
+    | Error e -> failwith ("serving_bench: " ^ e)
+  in
+  Client.close client;
+  Server.stop srv;
+  let twin = make () in
+  Array.iter (fun op -> ignore (Op.apply twin op)) ops;
+  let digest_match = Store.digest twin = digest in
+  let rps = float_of_int !answered /. dt in
+  let inproc = float_of_int (Array.length ops) /. dt_baseline in
+  Printf.printf
+    "served : %d requests in %.3f s  %8.0f requests/s\n" !answered dt rps;
+  Printf.printf
+    "inproc : %d ops      in %.3f s  %8.0f ops/s  (socket tax: %.1fx)\n"
+    (Array.length ops) dt_baseline inproc (inproc /. rps);
+  Printf.printf "digest match vs in-process twin: %b\n\n" digest_match;
+  if not digest_match then
+    failwith "serving_bench: served network diverged from in-process twin";
+  ( "serving",
+    J.Obj
+      [
+        ("requests", J.Int !answered);
+        ("elapsed_s", J.Float dt);
+        ("requests_per_s", J.Float rps);
+        ("inproc_ops_per_s", J.Float inproc);
+        ("slowdown", J.Float (inproc /. rps));
+        ("digest_match", J.Bool digest_match);
       ] )
 
 (* ----------------------------------------------------------------- *)
@@ -1097,6 +1186,25 @@ let validate_results path =
       | J.Bool false -> fail "recovery.digest_match is false: recovery diverged"
       | _ -> fail "recovery.digest_match is not a bool"
     in
+    let* serving = require "serving" (J.member "serving" doc) in
+    let* () =
+      List.fold_left
+        (fun acc key ->
+          Result.bind acc (fun () ->
+              match J.member key serving with
+              | Some j -> number (Printf.sprintf "serving.%s" key) j
+              | None -> fail "serving.%s missing" key))
+        (Ok ())
+        [ "requests"; "elapsed_s"; "requests_per_s"; "inproc_ops_per_s"; "slowdown" ]
+    in
+    let* sdm = require "serving.digest_match" (J.member "digest_match" serving) in
+    let* () =
+      match sdm with
+      | J.Bool true -> Ok ()
+      | J.Bool false ->
+        fail "serving.digest_match is false: served state diverged"
+      | _ -> fail "serving.digest_match is not a bool"
+    in
     Ok (List.length benches, List.length impls)
   in
   match result with
@@ -1129,8 +1237,9 @@ let full () =
   blocking_vs_load ();
   let rt, (topo, ops, dt_bit) = routing_throughput ~quick:false () in
   let persist = persistence_bench ~topo ~ops ~dt_baseline:dt_bit in
+  let serving = serving_bench ~topo ~ops ~dt_baseline:dt_bit in
   let micro = micro_benchmarks ~quick:false () in
-  write_results [ micro; rt; persist ];
+  write_results [ micro; rt; persist; serving ];
   print_endline "All reproduction sections completed."
 
 (* --quick runs just the machine-readable sections at reduced sizes —
@@ -1139,8 +1248,9 @@ let full () =
 let quick () =
   let rt, (topo, ops, dt_bit) = routing_throughput ~quick:true () in
   let persist = persistence_bench ~topo ~ops ~dt_baseline:dt_bit in
+  let serving = serving_bench ~topo ~ops ~dt_baseline:dt_bit in
   let micro = micro_benchmarks ~quick:true () in
-  write_results [ micro; rt; persist ];
+  write_results [ micro; rt; persist; serving ];
   print_endline "Quick bench profile completed."
 
 let () =

@@ -237,7 +237,7 @@ let fig10_cmd =
         Format.printf "%-13s: prelude %d/3, probe %s\n" name o.Scenarios.admitted
           (match o.Scenarios.probe_result with
           | Ok r -> Format.asprintf "ROUTED (%a)" Network.pp_route r
-          | Error e -> Format.asprintf "BLOCKED (%a)" Network.pp_error e))
+          | Error e -> "BLOCKED (" ^ Network.Error.to_string e ^ ")"))
       [ (Network.Msw_dominant, "MSW-dominant"); (Network.Maw_dominant, "MAW-dominant") ]
   in
   Cmd.v (Cmd.info "fig10" ~doc:"Play the Fig. 10 blocking scenario.")
@@ -289,7 +289,11 @@ let simulate_cmd =
     Format.printf "topology: %a (theorem m_min = %d)\n" Topology.pp topo
       eval.Conditions.m_min;
     let telemetry, trace = make_sink ~want_metrics:(stats_json <> None) trace_file in
-    let net = Network.create ?telemetry ~construction ~output_model:model topo in
+    let net =
+      Network.create
+        ~config:{ Network.Config.default with telemetry }
+        ~construction ~output_model:model topo
+    in
     let sut =
       {
         Wdm_traffic.Churn.connect =
@@ -410,7 +414,9 @@ let faults_cmd =
       let topo = Topology.make_exn ~n ~m ~r ~k in
       let sink = Tel.Sink.create ?trace () in
       let net =
-        Network.create ~telemetry:sink ~construction ~output_model:model topo
+        Network.create
+          ~config:{ Network.Config.default with telemetry = Some sink }
+          ~construction ~output_model:model topo
       in
       let universe =
         let keep fault =
@@ -449,7 +455,7 @@ let faults_cmd =
                 (fun id ->
                   match Network.disconnect net id with
                   | Ok _ -> ()
-                  | Error e -> failwith e);
+                  | Error e -> failwith (Network.Error.disconnect_to_string e));
             };
           inject = Network.inject_fault net;
           clear = Network.clear_fault net;
@@ -575,7 +581,9 @@ let stats_cmd =
     let trace = Option.map (fun _ -> Tel.Trace.create ()) trace_file in
     let sink = Tel.Sink.create ?trace () in
     let net =
-      Network.create ~telemetry:sink ~construction ~output_model:model topo
+      Network.create
+        ~config:{ Network.Config.default with telemetry = Some sink }
+        ~construction ~output_model:model topo
     in
     let sut =
       {
@@ -840,6 +848,235 @@ let recover_cmd =
              corruption.")
     Term.(const run $ wal_req_arg $ expect_arg $ keep_tear_arg)
 
+(* --- serve / client ------------------------------------------------------ *)
+
+module Server = Wdm_server.Server
+module Client = Wdm_server.Client
+
+let address_conv =
+  let parse s =
+    let starts_with prefix =
+      String.length s > String.length prefix
+      && String.sub s 0 (String.length prefix) = prefix
+    in
+    let after prefix =
+      String.sub s (String.length prefix) (String.length s - String.length prefix)
+    in
+    if starts_with "unix:" then Ok (Server.Unix_socket (after "unix:"))
+    else
+      let hostport = if starts_with "tcp:" then after "tcp:" else s in
+      match String.rindex_opt hostport ':' with
+      | None ->
+        Error (`Msg "expected unix:PATH, tcp:HOST:PORT or HOST:PORT")
+      | Some i -> (
+        let host = String.sub hostport 0 i in
+        let port = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+        match int_of_string_opt port with
+        | Some p when host <> "" && p >= 0 && p <= 65535 ->
+          Ok (Server.Tcp (host, p))
+        | _ -> Error (`Msg ("invalid address: " ^ s)))
+  in
+  Arg.conv (parse, Server.pp_address)
+
+let default_address = Server.Tcp ("127.0.0.1", 7878)
+
+let serve_cmd =
+  let n_local_arg =
+    Arg.(value & opt int 4 & info [ "n-local" ] ~docv:"NL"
+           ~doc:"Ports per input/output module.")
+  in
+  let r_arg =
+    Arg.(value & opt int 4 & info [ "r" ] ~docv:"R" ~doc:"Input/output modules.")
+  in
+  let m_arg =
+    Arg.(value & opt (some int) None & info [ "m" ] ~docv:"M"
+           ~doc:"Middle modules; defaults to the theorem minimum.")
+  in
+  let construction_arg =
+    Arg.(
+      value
+      & opt (enum [ ("msw-dominant", Network.Msw_dominant); ("maw-dominant", Network.Maw_dominant) ])
+          Network.Msw_dominant
+      & info [ "construction" ] ~docv:"C" ~doc:"msw-dominant or maw-dominant.")
+  in
+  let listen_arg =
+    Arg.(value & opt address_conv default_address & info [ "listen" ] ~docv:"ADDR"
+           ~doc:"Address to serve on: unix:PATH, tcp:HOST:PORT or HOST:PORT \
+                 (port 0 binds an ephemeral port).")
+  in
+  let fsync_every_arg =
+    Arg.(value & opt (some int) None & info [ "fsync-every" ] ~docv:"N"
+           ~doc:"fsync the WAL every N records (default: flush to the OS \
+                 after every record, no fsync).")
+  in
+  let queue_capacity_arg =
+    Arg.(value & opt int 256 & info [ "queue-capacity" ] ~docv:"Q"
+           ~doc:"Admission-queue bound; when full, reader threads stop \
+                 pulling bytes and TCP flow control holds the clients back.")
+  in
+  let batch_limit_arg =
+    Arg.(value & opt int 64 & info [ "batch-limit" ] ~docv:"B"
+           ~doc:"Requests the admission loop takes per drain.")
+  in
+  let run n r k m construction model listen wal fsync_every queue_capacity
+      batch_limit =
+    check_dims n k;
+    if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
+    if queue_capacity < 1 || batch_limit < 1 then begin
+      prerr_endline "wdmnet: queue-capacity and batch-limit must be >= 1";
+      exit 2
+    end;
+    let policy =
+      match fsync_every with
+      | None -> None
+      | Some fe ->
+        if fe < 1 then begin
+          prerr_endline "wdmnet: fsync-every must be >= 1";
+          exit 2
+        end;
+        Some (Persist.Wal.Fsync_every fe)
+    in
+    let eval =
+      match construction with
+      | Network.Msw_dominant -> Conditions.msw_dominant ~n ~r
+      | Network.Maw_dominant -> Conditions.maw_dominant ~n ~r ~k
+    in
+    let m = Option.value ~default:eval.Conditions.m_min m in
+    let topo = Topology.make_exn ~n ~m ~r ~k in
+    let sink = Tel.Sink.create () in
+    let net =
+      Network.create
+        ~config:{ Network.Config.default with telemetry = Some sink }
+        ~construction ~output_model:model topo
+    in
+    let store = Option.map (fun wal -> Persist.Store.start ?policy ~wal net) wal in
+    let srv =
+      Server.start ~telemetry:sink ?store ~queue_capacity ~batch_limit ~net
+        listen
+    in
+    Format.printf "topology: %a, model %a@." Topology.pp topo Model.pp model;
+    Format.printf "serving on %a@." Server.pp_address (Server.address srv);
+    Format.print_flush ();
+    (* Park until SIGINT/SIGTERM; the handler only flips the flag — all
+       shutdown work happens back here, outside signal context. *)
+    let stop_requested = ref false in
+    let request_stop _ = stop_requested := true in
+    List.iter
+      (fun s ->
+        try Sys.set_signal s (Sys.Signal_handle request_stop)
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigint; Sys.sigterm ];
+    while not !stop_requested do
+      Thread.delay 0.1
+    done;
+    prerr_endline "wdmnet: shutting down";
+    Server.stop srv;
+    Printf.printf "served %d requests\n" (Server.served srv);
+    match store with
+    | Some store -> finish_store store net
+    | None -> Printf.printf "state digest: %d\n" (Persist.Store.digest net)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a live network over a socket: requests are WAL-format \
+             ops, admitted by a single writer in batches; with $(b,--wal) \
+             the session crash-recovers like a recorded run.  SIGINT or \
+             SIGTERM shuts down gracefully and prints the state digest.")
+    Term.(const run $ n_local_arg $ r_arg $ k_arg $ m_arg $ construction_arg
+          $ model_arg $ listen_arg $ wal_arg $ fsync_every_arg
+          $ queue_capacity_arg $ batch_limit_arg)
+
+let client_cmd =
+  let connect_arg =
+    Arg.(value & opt address_conv default_address & info [ "connect" ] ~docv:"ADDR"
+           ~doc:"Server address: unix:PATH, tcp:HOST:PORT or HOST:PORT.")
+  in
+  let churn_flag =
+    Arg.(value & flag & info [ "churn" ]
+           ~doc:"Drive a seeded churn workload through the server (the \
+                 loadgen twin of $(b,wdmnet simulate)); dimensions must \
+                 match the served topology.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 1000 & info [ "ops" ] ~docv:"OPS"
+           ~doc:"Churn events to issue with --churn.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let n_local_arg =
+    Arg.(value & opt int 4 & info [ "n-local" ] ~docv:"NL"
+           ~doc:"Ports per input/output module of the served topology.")
+  in
+  let r_arg =
+    Arg.(value & opt int 4 & info [ "r" ] ~docv:"R"
+           ~doc:"Input/output modules of the served topology.")
+  in
+  let digest_flag =
+    Arg.(value & flag & info [ "digest" ]
+           ~doc:"Print the server's state digest (after --churn, if both).")
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print the server's telemetry snapshot as JSON.")
+  in
+  let run connect churn ops seed n r k model digest stats =
+    if not (churn || digest || stats) then begin
+      prerr_endline "wdmnet: nothing to do (pass --churn, --digest or --stats)";
+      exit 2
+    end;
+    match Client.connect connect with
+    | Error e ->
+      prerr_endline ("wdmnet: " ^ e);
+      exit 1
+    | Ok c ->
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let fail e =
+        prerr_endline ("wdmnet: " ^ e);
+        exit 1
+      in
+      if churn then begin
+        check_dims n k;
+        if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
+        if ops < 0 then begin prerr_endline "wdmnet: ops must be >= 0"; exit 2 end;
+        let spec = Network_spec.make_exn ~n:(n * r) ~k in
+        let sum = ref 0 in
+        let sut =
+          Client.churn_sut
+            ~on_admit:(fun route -> sum := Persist.Op.route_checksum !sum route)
+            c
+        in
+        match
+          Wdm_traffic.Churn.run
+            (Random.State.make [| seed |])
+            ~spec ~model
+            ~fanout:(Wdm_traffic.Fanout.Zipf { max = n * r; s = 1.1 })
+            ~steps:ops ~teardown_bias:0.35 sut
+        with
+        | exception Failure e -> fail e
+        | stats ->
+          Format.printf "%a@." Wdm_traffic.Churn.pp_stats stats;
+          Printf.printf "route checksum: %d\n" !sum
+      end;
+      if stats then begin
+        match Client.stats_json c with
+        | Ok js -> print_endline js
+        | Error e -> fail e
+      end;
+      if digest then begin
+        match Client.digest c with
+        | Ok d -> Printf.printf "state digest: %d\n" d
+        | Error e -> fail e
+      end
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a $(b,wdmnet serve) instance: drive a seeded churn \
+             workload ($(b,--churn)), fetch the state digest \
+             ($(b,--digest)) or the telemetry snapshot ($(b,--stats)).")
+    Term.(const run $ connect_arg $ churn_flag $ ops_arg $ seed_arg
+          $ n_local_arg $ r_arg $ k_arg $ model_arg $ digest_flag $ stats_flag)
+
 (* --- adversary ----------------------------------------------------------- *)
 
 let adversary_cmd =
@@ -942,5 +1179,6 @@ let () =
           [
             capacity_cmd; cost_cmd; design_cmd; tables_cmd; sweep_cmd;
             fig10_cmd; simulate_cmd; faults_cmd; stats_cmd; record_cmd;
-            recover_cmd; adversary_cmd; figures_cmd; deep_cmd;
+            recover_cmd; serve_cmd; client_cmd; adversary_cmd; figures_cmd;
+            deep_cmd;
           ]))

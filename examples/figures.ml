@@ -36,8 +36,10 @@ let () =
   (* Fig. 10 state, rendered from the live network *)
   print_endline "Fig. 10 - the state that blocks MSW middles (see blocking_demo):\n";
   let net =
-    Network.create ~x_limit:2 ~construction:Network.Msw_dominant
-      ~output_model:Model.MAW Scenarios.fig10_topology
+    Network.create
+      ~config:{ Network.Config.default with x_limit = Some 2 }
+      ~construction:Network.Msw_dominant ~output_model:Model.MAW
+      Scenarios.fig10_topology
   in
   List.iter
     (fun c -> ignore (Result.get_ok (Network.connect net c)))

@@ -299,7 +299,11 @@ let strategy_ablation ~construction ~output_model ~n ~r ~k ~m =
   List.iter
     (fun (strategy, name) ->
       let topo = Topology.make_exn ~n ~m ~r ~k in
-      let net = Network.create ~strategy ~construction ~output_model topo in
+      let net =
+        Network.create
+          ~config:{ Network.Config.default with strategy }
+          ~construction ~output_model topo
+      in
       let hops_total = ref 0 and routes_total = ref 0 in
       let sut =
         {

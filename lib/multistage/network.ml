@@ -26,6 +26,14 @@ type error =
   | Unserviceable of Wdm_faults.Fault.t
   | Blocked of blocked_info
 
+(* Route ids are allocated by a monotone counter and never reused, so
+   the two failure modes are distinguishable for free: an id the
+   allocator never handed out is [Unknown_route]; one it did hand out
+   but which is gone from the live map was torn down earlier
+   ([Already_released]) — by an explicit disconnect, a fault, or
+   [clear]. *)
+type disconnect_error = Unknown_route of int | Already_released of int
+
 module Eset = Set.Make (Endpoint)
 module Imap = Map.Make (Int)
 module Iset = Set.Make (Int)
@@ -272,8 +280,30 @@ let register_instruments (topo : Topology.t) (sink : Tel.Sink.t) =
         "wdmnet_disconnect_latency_seconds";
   }
 
-let create ?telemetry ?(strategy = Min_intersection) ?x_limit ?link_impl
-    ?(rearrange_limit = 64) ~construction ~output_model (topo : Topology.t) =
+module Config = struct
+  type t = {
+    strategy : strategy;
+    x_limit : int option;  (** [None]: Theorem 1/2 optimum for the topology *)
+    link_impl : link_impl option;  (** [None]: [Bitset] when it fits *)
+    rearrange_limit : int;
+    telemetry : Tel.Sink.t option;
+  }
+
+  let default =
+    {
+      strategy = Min_intersection;
+      x_limit = None;
+      link_impl = None;
+      rearrange_limit = 64;
+      telemetry = None;
+    }
+end
+
+let create ?(config = Config.default) ~construction ~output_model
+    (topo : Topology.t) =
+  let { Config.strategy; x_limit; link_impl; rearrange_limit; telemetry } =
+    config
+  in
   let default_x () =
     match construction with
     | Msw_dominant -> (Conditions.msw_dominant ~n:topo.n ~r:topo.r).x
@@ -318,6 +348,12 @@ let create ?telemetry ?(strategy = Min_intersection) ?x_limit ?link_impl
     scratch_uncovered = Array.make topo.r 0;
     instruments = Option.map (register_instruments topo) telemetry;
   }
+
+let create_legacy ?telemetry ?(strategy = Min_intersection) ?x_limit ?link_impl
+    ?(rearrange_limit = 64) ~construction ~output_model topo =
+  create
+    ~config:{ Config.strategy; x_limit; link_impl; rearrange_limit; telemetry }
+    ~construction ~output_model topo
 
 let topology t = t.topo
 let construction t = t.construction
@@ -712,6 +748,66 @@ let error_cause = function
   | Unserviceable _ -> "unserviceable"
   | Blocked _ -> "blocked"
 
+(* The one place refusals are rendered: the CLI, trace events, and the
+   control-plane wire responses all call through here, so a cause reads
+   identically in an interactive session, a trace dump, and a client's
+   error report. *)
+module Error = struct
+  type t = error
+
+  let cause = error_cause
+
+  let to_string = function
+    | Invalid e -> Format.asprintf "invalid request: %a" Assignment.pp_error e
+    | Source_busy e -> Format.asprintf "source %a busy" Endpoint.pp e
+    | Destination_busy e ->
+      Format.asprintf "destination %a busy" Endpoint.pp e
+    | Unserviceable f ->
+      Format.asprintf "unserviceable: %a is out of service" Fault.pp f
+    | Blocked { fanout_switches; available_middles; uncovered } ->
+      Printf.sprintf
+        "blocked: fanout over output modules {%s}, %d available middles, \
+         uncoverable modules {%s}"
+        (String.concat "," (List.map string_of_int fanout_switches))
+        (List.length available_middles)
+        (String.concat "," (List.map string_of_int uncovered))
+
+  let json_endpoint (e : Endpoint.t) =
+    Tel.Json.Obj [ ("port", Tel.Json.Int e.port); ("wl", Tel.Json.Int e.wl) ]
+
+  let to_json e =
+    let open Tel.Json in
+    let ints l = List (List.map (fun i -> Int i) l) in
+    Obj
+      (("cause", String (error_cause e))
+      ::
+      (match e with
+      | Invalid a ->
+        [ ("detail", String (Format.asprintf "%a" Assignment.pp_error a)) ]
+      | Source_busy ep | Destination_busy ep ->
+        [ ("endpoint", json_endpoint ep) ]
+      | Unserviceable f -> [ ("fault", String (Fault.to_string f)) ]
+      | Blocked { fanout_switches; available_middles; uncovered } ->
+        [
+          ("fanout_switches", ints fanout_switches);
+          ("available_middles", ints available_middles);
+          ("uncovered", ints uncovered);
+        ]))
+
+  let disconnect_cause = function
+    | Unknown_route _ -> "unknown_route"
+    | Already_released _ -> "already_released"
+
+  let disconnect_to_string = function
+    | Unknown_route id -> Printf.sprintf "no route %d was ever allocated" id
+    | Already_released id -> Printf.sprintf "route %d already released" id
+
+  let disconnect_to_json e =
+    let open Tel.Json in
+    let id = match e with Unknown_route id | Already_released id -> id in
+    Obj [ ("cause", String (disconnect_cause e)); ("id", Int id) ]
+end
+
 let blocked_counter i = function
   | Invalid _ -> i.blocked_invalid
   | Source_busy _ -> i.blocked_source_busy
@@ -738,7 +834,7 @@ let note_connect_outcome t i ~dur ~histogram ~moved result =
   | Error e ->
     Tel.Metrics.inc (blocked_counter i e);
     Tel.Sink.record i.sink ~dur
-      ~detail:[ ("cause", error_cause e) ]
+      ~detail:[ ("cause", error_cause e); ("error", Error.to_string e) ]
       Tel.Trace.Block
 
 let mark_endpoints_busy t (conn : Connection.t) =
@@ -852,7 +948,9 @@ let release t (route : route) =
 
 let disconnect_raw t id =
   match Imap.find_opt id t.routes with
-  | None -> Error (Printf.sprintf "Network.disconnect: no route %d" id)
+  | None ->
+    if id >= 0 && id < t.next_id then Error (Already_released id)
+    else Error (Unknown_route id)
   | Some route ->
     release t route;
     remove_route t id;
@@ -1163,8 +1261,15 @@ let snapshot t =
 
 let restore ?telemetry s =
   let t =
-    create ?telemetry ~strategy:s.s_strategy ~x_limit:s.s_x_limit
-      ~link_impl:s.s_link_impl ~rearrange_limit:s.s_rearrange_limit
+    create
+      ~config:
+        {
+          Config.strategy = s.s_strategy;
+          x_limit = Some s.s_x_limit;
+          link_impl = Some s.s_link_impl;
+          rearrange_limit = s.s_rearrange_limit;
+          telemetry;
+        }
       ~construction:s.s_construction ~output_model:s.s_output_model s.s_topology
   in
   if s.s_next_id < 0 then invalid_arg "Network.restore: negative next_id";
@@ -1202,19 +1307,9 @@ let copy t =
     instruments = None;
   }
 
-let pp_error ppf = function
-  | Invalid e -> Format.fprintf ppf "invalid request: %a" Assignment.pp_error e
-  | Source_busy e -> Format.fprintf ppf "source %a busy" Endpoint.pp e
-  | Destination_busy e -> Format.fprintf ppf "destination %a busy" Endpoint.pp e
-  | Unserviceable f ->
-    Format.fprintf ppf "unserviceable: %a is out of service" Fault.pp f
-  | Blocked { fanout_switches; available_middles; uncovered } ->
-    Format.fprintf ppf
-      "blocked: fanout over output modules {%s}, %d available middles, \
-       uncoverable modules {%s}"
-      (String.concat "," (List.map string_of_int fanout_switches))
-      (List.length available_middles)
-      (String.concat "," (List.map string_of_int uncovered))
+let pp_error ppf e = Format.pp_print_string ppf (Error.to_string e)
+let pp_disconnect_error ppf e =
+  Format.pp_print_string ppf (Error.disconnect_to_string e)
 
 let pp_state ppf t =
   Format.fprintf ppf "@[<v>stage 1 (wavelengths used per input module x middle):@,";

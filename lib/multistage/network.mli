@@ -82,33 +82,55 @@ type error =
           module; no route can exist until the fault clears *)
   | Blocked of blocked_info
 
+(** A typed reason a {!disconnect} was refused.  Route ids are never
+    reused, so the two cases are unambiguous: {!Unknown_route} means the
+    allocator never issued the id (a caller bug), {!Already_released}
+    means the route existed but was torn down earlier — by an explicit
+    disconnect, a fault, or {!clear} (often benign under churn). *)
+type disconnect_error = Unknown_route of int | Already_released of int
+
 type t
 
+(** Construction-time options gathered into one value, so call sites
+    name only what they override and new knobs do not ripple a sixth
+    optional argument through every signature that wraps {!create}. *)
+module Config : sig
+  type t = {
+    strategy : strategy;
+    x_limit : int option;
+        (** [None]: the optimal [x] of the construction's nonblocking
+            condition (Theorem 1 or 2) for the topology. *)
+    link_impl : link_impl option;
+        (** [None]: {!Bitset} when [k <= 62], {!Reference} otherwise.
+            Route choice is identical either way. *)
+    rearrange_limit : int;
+        (** Cap on how many existing connections
+            {!connect_rearrangeable} will try to move aside for one
+            blocked request. *)
+    telemetry : Wdm_telemetry.Sink.t option;
+        (** [None]: uninstrumented, with zero per-operation overhead. *)
+  }
+
+  val default : t
+  (** [Min_intersection], optimal [x_limit], auto [link_impl],
+      [rearrange_limit = 64], no telemetry. *)
+end
+
 val create :
-  ?telemetry:Wdm_telemetry.Sink.t ->
-  ?strategy:strategy ->
-  ?x_limit:int ->
-  ?link_impl:link_impl ->
-  ?rearrange_limit:int ->
+  ?config:Config.t ->
   construction:construction ->
   output_model:Model.t ->
   Topology.t ->
   t
-(** [x_limit] defaults to the optimal [x] of the construction's
-    nonblocking condition (Theorem 1 or 2) for the topology.
+(** [create ?config ~construction ~output_model topo] builds an empty
+    network; [config] defaults to {!Config.default}, and overrides read
+    as [{ Config.default with x_limit = Some 2 }].
+    @raise Invalid_argument for [Bitset] with [k > 62], or a
+    non-positive [x_limit] / [rearrange_limit].
 
-    [link_impl] selects the link-state representation (default:
-    {!Bitset} when [k <= 62], {!Reference} otherwise).  Route choice is
-    identical either way.
-    @raise Invalid_argument for [Bitset] with [k > 62].
-
-    [rearrange_limit] (default 64) caps how many existing connections
-    {!connect_rearrangeable} will try to move aside for one blocked
-    request.
-
-    [telemetry] (default: none, with zero per-operation overhead)
-    instruments the network: {!connect}, {!connect_rearrangeable} and
-    {!disconnect} feed counters ([wdmnet_connect_attempts_total],
+    When [config.telemetry] is set, the network is instrumented:
+    {!connect}, {!connect_rearrangeable} and {!disconnect} feed
+    counters ([wdmnet_connect_attempts_total],
     [wdmnet_connect_success_total], a per-cause
     [wdmnet_connect_blocked_total] family keyed by the {!error}
     constructor, [wdmnet_rearrange_moves_total]) and latency
@@ -120,6 +142,26 @@ val create :
     {!Wdm_telemetry.Trace.t}, every connect/block/disconnect/
     rearrange/fault event is appended to it. *)
 
+val create_legacy :
+  ?telemetry:Wdm_telemetry.Sink.t ->
+  ?strategy:strategy ->
+  ?x_limit:int ->
+  ?link_impl:link_impl ->
+  ?rearrange_limit:int ->
+  construction:construction ->
+  output_model:Model.t ->
+  Topology.t ->
+  t
+[@@alert
+  legacy
+    "the optional-argument create is deprecated; build a Network.Config.t \
+     and call Network.create ?config instead"]
+(** The pre-{!Config} calling convention, kept for one release so
+    downstream call sites can migrate incrementally.  Equivalent to
+    packing the optional arguments into a {!Config.t}.  Every use
+    trips the [legacy] alert at compile time; CI counts those alerts
+    to bound the remaining call sites. *)
+
 val topology : t -> Topology.t
 val construction : t -> construction
 val output_model : t -> Model.t
@@ -128,8 +170,11 @@ val strategy : t -> strategy
 val link_impl : t -> link_impl
 
 val connect : t -> Connection.t -> (route, error) result
-val disconnect : t -> int -> (route, string) result
-(** Releases a route by id; returns it. *)
+
+val disconnect : t -> int -> (route, disconnect_error) result
+(** Releases a route by id; returns it.  Refusals are typed (see
+    {!disconnect_error}) so callers branch on the constructor instead
+    of string-matching; render with {!Error.disconnect_to_string}. *)
 
 val connect_rearrangeable : t -> Connection.t -> (route * int, error) result
 (** Like {!connect}, but when the request blocks, tries to admit it by
@@ -262,7 +307,33 @@ val fail_middle : t -> int -> Connection.t list
 val repair_middle : t -> int -> unit
 val failed_middles : t -> int list
 
+(** The single rendering point for refusals.  The CLI, trace events,
+    and the control-plane wire responses all format errors through
+    this module, so a given cause reads identically everywhere it can
+    surface. *)
+module Error : sig
+  type nonrec t = error
+
+  val cause : t -> string
+  (** Short stable tag ([invalid], [source_busy], [destination_busy],
+      [unserviceable], [blocked]) — the same key that labels the
+      [wdmnet_connect_blocked_total] counter family and trace [Block]
+      events. *)
+
+  val to_string : t -> string
+
+  val to_json : t -> Wdm_telemetry.Json.t
+  (** [{"cause": ..., ...}] with per-constructor fields: the offending
+      endpoint, the fault, or the blocked-request picture
+      (fanout/available/uncovered module lists). *)
+
+  val disconnect_cause : disconnect_error -> string
+  val disconnect_to_string : disconnect_error -> string
+  val disconnect_to_json : disconnect_error -> Wdm_telemetry.Json.t
+end
+
 val pp_error : Format.formatter -> error -> unit
+val pp_disconnect_error : Format.formatter -> disconnect_error -> unit
 val pp_route : Format.formatter -> route -> unit
 
 val pp_state : Format.formatter -> t -> unit

@@ -22,7 +22,12 @@ let rec build ?strategy ~construction ~k ~output_model view =
     invalid_arg "Rnetwork.create: design must have at least 3 stages"
   | Recursive.Clos { n; m; r; middle } ->
     let topo = Topology.make_exn ~n ~m ~r ~k in
-    let net = Network.create ?strategy ~construction ~output_model topo in
+    let config =
+      match strategy with
+      | None -> Network.Config.default
+      | Some strategy -> { Network.Config.default with strategy }
+    in
+    let net = Network.create ~config ~construction ~output_model topo in
     let middles =
       Array.init m (fun _ ->
           match middle with

@@ -44,7 +44,7 @@ val topology : t -> Topology.t
 (** The outermost level's topology. *)
 
 val connect : t -> Connection.t -> (route, Network.error) result
-val disconnect : t -> int -> (route, string) result
+val disconnect : t -> int -> (route, Network.disconnect_error) result
 (** By the outer route id. *)
 
 val active_routes : t -> route list

@@ -31,8 +31,9 @@ let fig10_probe = conn (ep 1 1) [ ep 2 2 ]
 
 let fig10 construction =
   let net =
-    Network.create ~x_limit:2 ~construction ~output_model:Model.MAW
-      fig10_topology
+    Network.create
+      ~config:{ Network.Config.default with x_limit = Some 2 }
+      ~construction ~output_model:Model.MAW fig10_topology
   in
   let admitted =
     List.fold_left

@@ -144,6 +144,8 @@ let encode_connection = put_connection
 let decode_connection = get_connection
 let encode_fault = put_fault
 let decode_fault = get_fault
+let encode_endpoint = put_endpoint
+let decode_endpoint = get_endpoint
 
 let decode_string s =
   let r = Wire.reader s in
@@ -166,7 +168,7 @@ let apply net = function
   | Disconnect id -> (
     match Network.disconnect net id with
     | Ok _ -> Ok None
-    | Error e -> Error e)
+    | Error e -> Error (Network.Error.disconnect_to_string e))
   | Inject_fault f -> (
     match Network.inject_fault net f with
     | _victims -> Ok None

@@ -44,9 +44,12 @@ val decode_connection : Wire.reader -> Connection.t
 
 val encode_fault : Buffer.t -> Wdm_faults.Fault.t -> unit
 val decode_fault : Wire.reader -> Wdm_faults.Fault.t
-(** The connection and fault sub-codecs, shared with the snapshot
-    format ({!Store}) so a value serializes identically in both
-    files. *)
+
+val encode_endpoint : Buffer.t -> Wdm_core.Endpoint.t -> unit
+val decode_endpoint : Wire.reader -> Wdm_core.Endpoint.t
+(** The endpoint, connection and fault sub-codecs, shared with the
+    snapshot format ({!Store}) and the control-plane responses
+    ({!Resp}) so a value serializes identically everywhere. *)
 
 val decode : Wire.reader -> t
 (** Consumes exactly one op.  @raise Wire.Decode_error on malformed

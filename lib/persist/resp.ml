@@ -1,0 +1,257 @@
+open Wdm_core
+module Network = Wdm_multistage.Network
+module Fault = Wdm_faults.Fault
+
+(* ----- requests -------------------------------------------------------- *)
+
+(* Control tags live at the top of the byte range so the op vocabulary
+   (tags 1-5) can keep growing underneath them. *)
+let tag_digest = 0xF1
+let tag_stats = 0xF2
+
+type request = Admit of Op.t | Get_digest | Get_stats
+
+let encode_request b = function
+  | Admit op -> Op.encode b op
+  | Get_digest -> Wire.put_u8 b tag_digest
+  | Get_stats -> Wire.put_u8 b tag_stats
+
+let decode_request r =
+  (* peek: ops read their own tag byte *)
+  if r.Wire.pos >= String.length r.Wire.src then
+    raise (Wire.Decode_error { offset = r.Wire.pos; reason = "empty request" });
+  let tag = Char.code r.Wire.src.[r.Wire.pos] in
+  if tag = tag_digest then (
+    r.Wire.pos <- r.Wire.pos + 1;
+    Get_digest)
+  else if tag = tag_stats then (
+    r.Wire.pos <- r.Wire.pos + 1;
+    Get_stats)
+  else Admit (Op.decode r)
+
+(* ----- responses ------------------------------------------------------- *)
+
+type t =
+  | Admitted of { route : Network.route; moved : int }
+  | Refused of Network.error
+  | Released of Network.route
+  | Release_failed of Network.disconnect_error
+  | Fault_applied of { torn_down : int }
+  | Fault_cleared
+  | Digest_is of int
+  | Stats_json of string
+  | Server_error of string
+
+let fail (r : Wire.reader) reason =
+  raise (Wire.Decode_error { offset = r.Wire.pos; reason })
+
+let put_string b s =
+  Wire.put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let get_string r =
+  let n = Wire.get_u32 r in
+  if n > Wire.max_payload then fail r "implausible string length";
+  if r.Wire.pos + n > String.length r.Wire.src then fail r "truncated string";
+  let s = String.sub r.Wire.src r.Wire.pos n in
+  r.Wire.pos <- r.Wire.pos + n;
+  s
+
+let put_int_list b l =
+  Wire.put_u32 b (List.length l);
+  List.iter (Wire.put_u32 b) l
+
+let get_int_list r =
+  let n = Wire.get_u32 r in
+  if n > 0xffff then fail r "implausible list length";
+  List.init n (fun _ -> Wire.get_u32 r)
+
+let model_tag = function Model.MSW -> 0 | Model.MSDW -> 1 | Model.MAW -> 2
+
+let get_model r =
+  match Wire.get_u8 r with
+  | 0 -> Model.MSW
+  | 1 -> Model.MSDW
+  | 2 -> Model.MAW
+  | tag -> fail r (Printf.sprintf "unknown model tag %d" tag)
+
+let put_assignment_error b = function
+  | Assignment.Source_reused e ->
+    Wire.put_u8 b 0;
+    Op.encode_endpoint b e
+  | Assignment.Destination_reused e ->
+    Wire.put_u8 b 1;
+    Op.encode_endpoint b e
+  | Assignment.Source_out_of_range e ->
+    Wire.put_u8 b 2;
+    Op.encode_endpoint b e
+  | Assignment.Destination_out_of_range e ->
+    Wire.put_u8 b 3;
+    Op.encode_endpoint b e
+  | Assignment.Model_violation { model; connection } ->
+    Wire.put_u8 b 4;
+    Wire.put_u8 b (model_tag model);
+    Op.encode_connection b connection
+
+let get_assignment_error r =
+  match Wire.get_u8 r with
+  | 0 -> Assignment.Source_reused (Op.decode_endpoint r)
+  | 1 -> Assignment.Destination_reused (Op.decode_endpoint r)
+  | 2 -> Assignment.Source_out_of_range (Op.decode_endpoint r)
+  | 3 -> Assignment.Destination_out_of_range (Op.decode_endpoint r)
+  | 4 ->
+    let model = get_model r in
+    let connection = Op.decode_connection r in
+    Assignment.Model_violation { model; connection }
+  | tag -> fail r (Printf.sprintf "unknown assignment error tag %d" tag)
+
+let put_error b = function
+  | Network.Invalid e ->
+    Wire.put_u8 b 0;
+    put_assignment_error b e
+  | Network.Source_busy e ->
+    Wire.put_u8 b 1;
+    Op.encode_endpoint b e
+  | Network.Destination_busy e ->
+    Wire.put_u8 b 2;
+    Op.encode_endpoint b e
+  | Network.Unserviceable f ->
+    Wire.put_u8 b 3;
+    Op.encode_fault b f
+  | Network.Blocked { fanout_switches; available_middles; uncovered } ->
+    Wire.put_u8 b 4;
+    put_int_list b fanout_switches;
+    put_int_list b available_middles;
+    put_int_list b uncovered
+
+let get_error r =
+  match Wire.get_u8 r with
+  | 0 -> Network.Invalid (get_assignment_error r)
+  | 1 -> Network.Source_busy (Op.decode_endpoint r)
+  | 2 -> Network.Destination_busy (Op.decode_endpoint r)
+  | 3 -> Network.Unserviceable (Op.decode_fault r)
+  | 4 ->
+    let fanout_switches = get_int_list r in
+    let available_middles = get_int_list r in
+    let uncovered = get_int_list r in
+    Network.Blocked { fanout_switches; available_middles; uncovered }
+  | tag -> fail r (Printf.sprintf "unknown error tag %d" tag)
+
+let encode b = function
+  | Admitted { route; moved } ->
+    Wire.put_u8 b 1;
+    Wire.put_u32 b moved;
+    Store.encode_route b route
+  | Refused e ->
+    Wire.put_u8 b 2;
+    put_error b e
+  | Released route ->
+    Wire.put_u8 b 3;
+    Store.encode_route b route
+  | Release_failed e ->
+    Wire.put_u8 b 4;
+    (match e with
+    | Network.Unknown_route id ->
+      Wire.put_u8 b 0;
+      Wire.put_int b id
+    | Network.Already_released id ->
+      Wire.put_u8 b 1;
+      Wire.put_int b id)
+  | Fault_applied { torn_down } ->
+    Wire.put_u8 b 5;
+    Wire.put_u32 b torn_down
+  | Fault_cleared -> Wire.put_u8 b 6
+  | Digest_is d ->
+    Wire.put_u8 b 7;
+    Wire.put_int b d
+  | Stats_json s ->
+    Wire.put_u8 b 8;
+    put_string b s
+  | Server_error s ->
+    Wire.put_u8 b 9;
+    put_string b s
+
+let decode r =
+  match Wire.get_u8 r with
+  | 1 ->
+    let moved = Wire.get_u32 r in
+    let route = Store.decode_route r in
+    Admitted { route; moved }
+  | 2 -> Refused (get_error r)
+  | 3 -> Released (Store.decode_route r)
+  | 4 -> (
+    match Wire.get_u8 r with
+    | 0 -> Release_failed (Network.Unknown_route (Wire.get_int r))
+    | 1 -> Release_failed (Network.Already_released (Wire.get_int r))
+    | tag -> fail r (Printf.sprintf "unknown disconnect error tag %d" tag))
+  | 5 -> Fault_applied { torn_down = Wire.get_u32 r }
+  | 6 -> Fault_cleared
+  | 7 -> Digest_is (Wire.get_int r)
+  | 8 -> Stats_json (get_string r)
+  | 9 -> Server_error (get_string r)
+  | tag -> fail r (Printf.sprintf "unknown response tag %d" tag)
+
+let decode_string s =
+  let r = Wire.reader s in
+  match
+    let resp = decode r in
+    Wire.expect_end r;
+    resp
+  with
+  | resp -> Ok resp
+  | exception Wire.Decode_error { offset; reason } ->
+    Error (Printf.sprintf "%s at payload offset %d" reason offset)
+
+let equal a b =
+  match (a, b) with
+  | Admitted a, Admitted b -> a.moved = b.moved && a.route = b.route
+  | Refused a, Refused b -> a = b
+  | Released a, Released b -> a = b
+  | Release_failed a, Release_failed b -> a = b
+  | Fault_applied a, Fault_applied b -> a.torn_down = b.torn_down
+  | Fault_cleared, Fault_cleared -> true
+  | Digest_is a, Digest_is b -> a = b
+  | Stats_json a, Stats_json b | Server_error a, Server_error b -> a = b
+  | _ -> false
+
+let pp ppf = function
+  | Admitted { route; moved } ->
+    Format.fprintf ppf "admitted(moved %d) %a" moved Network.pp_route route
+  | Refused e -> Format.fprintf ppf "refused: %a" Network.pp_error e
+  | Released route -> Format.fprintf ppf "released %a" Network.pp_route route
+  | Release_failed e ->
+    Format.fprintf ppf "release failed: %a" Network.pp_disconnect_error e
+  | Fault_applied { torn_down } ->
+    Format.fprintf ppf "fault applied, %d routes torn down" torn_down
+  | Fault_cleared -> Format.pp_print_string ppf "fault cleared"
+  | Digest_is d -> Format.fprintf ppf "digest %d" d
+  | Stats_json s -> Format.fprintf ppf "stats %s" s
+  | Server_error s -> Format.fprintf ppf "server error: %s" s
+
+(* ----- execution ------------------------------------------------------- *)
+
+let execute ?(stats = fun () -> "{}") net = function
+  | Get_digest -> Digest_is (Store.digest net)
+  | Get_stats -> Stats_json (stats ())
+  | Admit op -> (
+    match op with
+    | Op.Connect c -> (
+      match Network.connect net c with
+      | Ok route -> Admitted { route; moved = 0 }
+      | Error e -> Refused e)
+    | Op.Disconnect id -> (
+      match Network.disconnect net id with
+      | Ok route -> Released route
+      | Error e -> Release_failed e)
+    | Op.Inject_fault f -> (
+      match Network.inject_fault net f with
+      | victims -> Fault_applied { torn_down = List.length victims }
+      | exception Invalid_argument e -> Server_error e)
+    | Op.Clear_fault f -> (
+      match Network.clear_fault net f with
+      | () -> Fault_cleared
+      | exception Invalid_argument e -> Server_error e)
+    | Op.Repair { connection; rehomed = _ } -> (
+      match Network.connect_rearrangeable net connection with
+      | Ok (route, moved) -> Admitted { route; moved }
+      | Error e -> Refused e))

@@ -1,0 +1,78 @@
+(** Control-plane requests and responses, in the WAL's dialect.
+
+    The server speaks the persistence layer's language: a request is
+    one CRC32-framed {!Op} payload (plus two read-only control
+    requests in a reserved tag range), a response is one framed value
+    of {!t}.  Reusing the {!Op} and {!Store} sub-codecs means a bench
+    trace, a WAL record and a network request are interchangeable
+    byte strings — anything that can replay a WAL can drive a server,
+    and vice versa.
+
+    DESIGN.md §9 documents the full wire exchange (header handshake,
+    frame layout, batching semantics). *)
+
+module Network = Wdm_multistage.Network
+
+(** {1 Requests} *)
+
+type request =
+  | Admit of Op.t
+      (** a state-changing op, encoded exactly as in the WAL
+          (tags 1-5) *)
+  | Get_digest
+      (** whole-state fingerprint ({!Store.digest}) of the live
+          network — tag [0xF1] *)
+  | Get_stats
+      (** server-side telemetry snapshot as JSON — tag [0xF2] *)
+
+val encode_request : Buffer.t -> request -> unit
+
+val decode_request : Wire.reader -> request
+(** Consumes exactly one request.  @raise Wire.Decode_error on
+    malformed input. *)
+
+(** {1 Responses} *)
+
+type t =
+  | Admitted of { route : Network.route; moved : int }
+      (** a connect-like op was admitted; [moved] is the number of
+          existing connections rerouted to make room (always [0] for
+          plain [Connect]) *)
+  | Refused of Network.error  (** a connect-like op was refused *)
+  | Released of Network.route  (** a disconnect succeeded *)
+  | Release_failed of Network.disconnect_error
+  | Fault_applied of { torn_down : int }
+      (** an [Inject_fault] took effect; [torn_down] live routes were
+          lost to it *)
+  | Fault_cleared  (** a [Clear_fault] took effect *)
+  | Digest_is of int
+  | Stats_json of string
+  | Server_error of string
+      (** the request could not be executed at all (malformed frame,
+          out-of-range fault indices, ...); the payload is
+          human-readable *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val encode : Buffer.t -> t -> unit
+
+val decode : Wire.reader -> t
+(** @raise Wire.Decode_error on malformed input. *)
+
+val decode_string : string -> (t, string) result
+(** Decodes a whole payload; trailing bytes are an error. *)
+
+(** {1 Execution} *)
+
+val execute : ?stats:(unit -> string) -> Network.t -> request -> t
+(** The one place request semantics live, shared by the server's
+    admission loop and the loopback equivalence tests: [Connect] and
+    [Repair] map to {!Network.connect} / {!Network.connect_rearrangeable}
+    and answer [Admitted]/[Refused]; [Disconnect] answers
+    [Released]/[Release_failed]; fault ops answer
+    [Fault_applied]/[Fault_cleared]; [Get_digest] answers with
+    {!Store.digest}.  [Get_stats] answers with [stats ()] (default:
+    ["{}"] — the server passes its metrics renderer).
+    [Invalid_argument] from fault validation is caught and answered as
+    [Server_error] — a bad request must not take the server down. *)

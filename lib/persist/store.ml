@@ -60,6 +60,9 @@ let get_route r : Network.route =
   in
   { Network.id; connection; input_switch; hops }
 
+let encode_route = put_route
+let decode_route = get_route
+
 let encode_state (s : Network.snapshot) =
   let b = Buffer.create 4096 in
   let topo = s.Network.s_topology in

@@ -20,6 +20,13 @@ val encode_state : Network.snapshot -> string
 
 val decode_state : string -> (Network.snapshot, string) result
 
+val encode_route : Buffer.t -> Network.route -> unit
+val decode_route : Wire.reader -> Network.route
+(** The allocated-route sub-codec of the snapshot format, also reused
+    by {!Resp} for wire responses, so a route serializes identically
+    in a snapshot file and on a control-plane socket.
+    [decode_route] @raise Wire.Decode_error on malformed input. *)
+
 val digest : Network.t -> int
 (** CRC32 of {!encode_state} of the network's snapshot — a cheap
     whole-state fingerprint for "did recovery reproduce the same

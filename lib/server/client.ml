@@ -1,0 +1,108 @@
+module Network = Wdm_multistage.Network
+module P = Wdm_persist
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let sockaddr_of = function
+  | Server.Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+  | Server.Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+
+let connect addr =
+  match
+    let domain, sockaddr = sockaddr_of addr in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd sockaddr
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+  with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error
+      (Format.asprintf "cannot connect to %a: %s" Server.pp_address addr
+         (Unix.error_message err))
+  | exception Not_found ->
+    Error (Format.asprintf "cannot resolve %a" Server.pp_address addr)
+  | fd -> (
+    match
+      Protocol.write_all fd Protocol.client_hello;
+      Protocol.read_exactly fd P.Wire.header_len
+    with
+    | exception (Unix.Unix_error _ | Failure _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error "handshake failed: server closed the connection"
+    | None ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error "handshake failed: no server hello"
+    | Some hello -> (
+      match Protocol.check_server_hello hello with
+      | Ok () -> Ok { fd; closed = false }
+      | Error e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error ("handshake failed: " ^ e)))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let request t req =
+  if t.closed then Error "client is closed"
+  else
+    let b = Buffer.create 64 in
+    P.Resp.encode_request b req;
+    match Protocol.send_frame t.fd (Buffer.contents b) with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error ("send failed: " ^ Unix.error_message err)
+    | () -> (
+      match Protocol.recv_frame t.fd with
+      | exception Unix.Unix_error (err, _, _) ->
+        Error ("receive failed: " ^ Unix.error_message err)
+      | Protocol.Eof -> Error "server closed the connection"
+      | Protocol.Bad reason -> Error ("bad response frame: " ^ reason)
+      | Protocol.Frame payload -> P.Resp.decode_string payload)
+
+let digest t =
+  match request t P.Resp.Get_digest with
+  | Ok (P.Resp.Digest_is d) -> Ok d
+  | Ok (P.Resp.Server_error e) -> Error e
+  | Ok resp -> Error (Format.asprintf "unexpected response: %a" P.Resp.pp resp)
+  | Error _ as e -> e
+
+let stats_json t =
+  match request t P.Resp.Get_stats with
+  | Ok (P.Resp.Stats_json s) -> Ok s
+  | Ok (P.Resp.Server_error e) -> Error e
+  | Ok resp -> Error (Format.asprintf "unexpected response: %a" P.Resp.pp resp)
+  | Error _ as e -> e
+
+let churn_sut ?(on_admit = fun _ -> ()) t =
+  {
+    Wdm_traffic.Churn.connect =
+      (fun conn ->
+        match request t (P.Resp.Admit (P.Op.Connect conn)) with
+        | Ok (P.Resp.Admitted { route; _ }) ->
+          on_admit route;
+          Ok route.Network.id
+        | Ok (P.Resp.Refused e) -> Error e
+        | Ok resp ->
+          failwith
+            (Format.asprintf "Client.churn_sut: unexpected response: %a"
+               P.Resp.pp resp)
+        | Error e -> failwith ("Client.churn_sut: " ^ e));
+    disconnect =
+      (fun id ->
+        match request t (P.Resp.Admit (P.Op.Disconnect id)) with
+        | Ok (P.Resp.Released _) -> ()
+        | Ok resp ->
+          failwith
+            (Format.asprintf "Client.churn_sut: unexpected response: %a"
+               P.Resp.pp resp)
+        | Error e -> failwith ("Client.churn_sut: " ^ e));
+  }

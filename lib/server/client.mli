@@ -1,0 +1,39 @@
+(** Synchronous control-plane client: one request, one framed
+    response, in order, over a {!Server.address}.
+
+    Transport failures (connection refused, server gone mid-exchange,
+    undecodable response) are [Error _]; a request the server
+    {e answered} — even with a refusal — is [Ok _] carrying the typed
+    {!Wdm_persist.Resp.t}. *)
+
+module Network = Wdm_multistage.Network
+
+type t
+
+val connect : Server.address -> (t, string) result
+(** Dials and performs the hello handshake. *)
+
+val close : t -> unit
+
+val request : t -> Wdm_persist.Resp.request -> (Wdm_persist.Resp.t, string) result
+
+val digest : t -> (int, string) result
+(** [request (Get_digest)] narrowed to its payload. *)
+
+val stats_json : t -> (string, string) result
+(** [request (Get_stats)] narrowed to its payload. *)
+
+val churn_sut :
+  ?on_admit:(Network.route -> unit) ->
+  t ->
+  (int, Network.error) Wdm_traffic.Churn.sut
+(** The traffic generator's switch-under-test interface served over
+    the socket, so a seeded {!Wdm_traffic.Churn.run} drives a remote
+    network exactly as it would an in-process one: [connect] maps to
+    an [Admit (Connect _)] request (admitted → [Ok id], refused →
+    [Error e] with the same typed {!Network.error} the in-process call
+    returns), [disconnect] to [Admit (Disconnect _)].  [on_admit]
+    observes every admitted route (e.g. to fold
+    {!Wdm_persist.Op.route_checksum} for equivalence checks).
+    Transport failures and protocol violations raise [Failure] — a
+    loadgen run against a dead server must abort, not tally refusals. *)

@@ -1,0 +1,50 @@
+module Wire = Wdm_persist.Wire
+module Crc32 = Wdm_persist.Crc32
+
+let client_hello = Wire.header ~kind:'C'
+let server_hello = Wire.header ~kind:'R'
+let check_client_hello s = Wire.check_header ~kind:'C' s
+let check_server_hello s = Wire.check_header ~kind:'R' s
+
+let write_all fd s =
+  let n = String.length s in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write_substring fd s !written (n - !written)
+  done
+
+let read_exactly fd n =
+  let buf = Bytes.create n in
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < n do
+    match Unix.read fd buf !got (n - !got) with
+    | 0 -> eof := true
+    | r -> got := !got + r
+  done;
+  if !got = n then Some (Bytes.unsafe_to_string buf)
+  else if !got = 0 then None
+  else failwith "Protocol.read_exactly: EOF mid-value"
+
+let send_frame fd payload = write_all fd (Wire.frame payload)
+
+type recv = Frame of string | Eof | Bad of string
+
+(* The socket variant of [Wire.read_frame]: same 4-byte length + 4-byte
+   CRC prelude, but a torn tail here means the peer died mid-frame —
+   there is no file to truncate, so it is reported as damage. *)
+let recv_frame fd =
+  match read_exactly fd 8 with
+  | None -> Eof
+  | exception Failure _ -> Bad "peer closed mid-frame-header"
+  | Some prelude -> (
+    let r = Wire.reader prelude in
+    let len = Wire.get_u32 r in
+    let crc = Wire.get_u32 r in
+    if len = 0 || len > Wire.max_payload then
+      Bad (Printf.sprintf "implausible record length %d" len)
+    else
+      match read_exactly fd len with
+      | None | (exception Failure _) -> Bad "peer closed mid-payload"
+      | Some payload ->
+        if Crc32.string payload <> crc then Bad "CRC mismatch" else Frame payload)

@@ -1,0 +1,32 @@
+(** Socket-side framing for the control plane.
+
+    The on-wire format is the persistence layer's: after an 8-byte
+    header handshake (client hello kind ['C'], server hello kind
+    ['R'] — same magic and version byte as the WAL's), each direction
+    carries {!Wdm_persist.Wire} CRC32-framed records.  A request
+    payload is one {!Wdm_persist.Resp.request}, a response payload one
+    {!Wdm_persist.Resp.t}.  This module only moves and validates
+    frames; what is inside them is {!Wdm_persist.Resp}'s business. *)
+
+val client_hello : string
+val server_hello : string
+
+val check_client_hello : string -> (unit, string) result
+val check_server_hello : string -> (unit, string) result
+
+val write_all : Unix.file_descr -> string -> unit
+(** Loops over short writes.  @raise Unix.Unix_error as [Unix.write]. *)
+
+val read_exactly : Unix.file_descr -> int -> string option
+(** [None] on EOF before any byte arrives; @raise Failure on EOF
+    mid-value (the peer died inside a frame). *)
+
+val send_frame : Unix.file_descr -> string -> unit
+(** Frames ({!Wdm_persist.Wire.frame}) and writes one payload. *)
+
+type recv = Frame of string | Eof | Bad of string
+
+val recv_frame : Unix.file_descr -> recv
+(** Reads one frame off the socket: [Eof] at a clean record boundary,
+    [Bad] on an implausible length, a CRC mismatch, or a peer that
+    died mid-frame — the stream is unrecoverable past a [Bad]. *)

@@ -1,0 +1,401 @@
+module Network = Wdm_multistage.Network
+module P = Wdm_persist
+module Tel = Wdm_telemetry
+
+type address = Tcp of string * int | Unix_socket of string
+
+let pp_address ppf = function
+  | Tcp (host, port) -> Format.fprintf ppf "tcp:%s:%d" host port
+  | Unix_socket path -> Format.fprintf ppf "unix:%s" path
+
+type client = {
+  cid : int;
+  fd : Unix.file_descr;
+  mutable open_ : bool;  (** guarded by the server mutex *)
+  c_requests : Tel.Metrics.counter option;
+}
+
+type item =
+  | Request of { client : client; req : P.Resp.request; enqueued : float }
+  | Malformed of { client : client; reason : string }
+  | Gone of client
+
+type instruments = {
+  sink : Tel.Sink.t;
+  requests : Tel.Metrics.counter;
+  responses : Tel.Metrics.counter;
+  malformed : Tel.Metrics.counter;
+  clients_total : Tel.Metrics.counter;
+  batches : Tel.Metrics.counter;
+  g_clients_active : Tel.Metrics.gauge;
+  g_queue_depth : Tel.Metrics.gauge;
+  h_batch_size : Tel.Histogram.t;
+  h_latency : Tel.Histogram.t;
+}
+
+type t = {
+  net : Network.t;
+  store : P.Store.t option;
+  ins : instruments option;
+  listen_fd : Unix.file_descr;
+  mutable bound : address;
+  queue : item Queue.t;
+  capacity : int;
+  batch_limit : int;
+  mu : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  mutable next_cid : int;
+  mutable clients : client list;
+  mutable served_count : int;
+  mutable accept_thread : Thread.t option;
+  mutable admit_thread : Thread.t option;
+}
+
+let register_instruments sink =
+  let reg = sink.Tel.Sink.metrics in
+  let c help name = Tel.Metrics.counter reg ~help name in
+  {
+    sink;
+    requests = c "Requests admitted to the queue" "server_requests_total";
+    responses = c "Responses written back" "server_responses_total";
+    malformed = c "Undecodable frames received" "server_malformed_total";
+    clients_total = c "Client connections accepted" "server_clients_total";
+    batches = c "Admission-loop drains" "server_batches_total";
+    g_clients_active =
+      Tel.Metrics.gauge reg ~help:"Clients currently connected"
+        "server_clients_active";
+    g_queue_depth =
+      Tel.Metrics.gauge reg ~help:"Requests waiting for admission"
+        "server_queue_depth";
+    h_batch_size =
+      Tel.Metrics.histogram reg ~help:"Requests taken per drain"
+        ~bounds:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |]
+        "server_batch_size";
+    h_latency =
+      Tel.Metrics.histogram reg
+        ~help:"Enqueue-to-response-written latency of one request"
+        "server_request_latency_seconds";
+  }
+
+let now t = match t.ins with Some i -> Tel.Sink.now i.sink | None -> 0.
+
+(* ----- bounded queue --------------------------------------------------- *)
+
+let set_depth t =
+  match t.ins with
+  | Some i -> Tel.Metrics.set i.g_queue_depth (float_of_int (Queue.length t.queue))
+  | None -> ()
+
+(* Reader-thread side.  Blocking here when the queue is full is the
+   backpressure mechanism: the reader stops pulling bytes off its
+   socket, the kernel's receive window fills, and the client's sends
+   stall.  During shutdown the capacity check is waived so readers can
+   always deposit their final [Gone] and exit. *)
+let push t item =
+  Mutex.lock t.mu;
+  while Queue.length t.queue >= t.capacity && not t.stopping do
+    Condition.wait t.not_full t.mu
+  done;
+  Queue.add item t.queue;
+  set_depth t;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.mu
+
+(* Admission side: take up to [batch_limit] items in one lock hold. *)
+let drain_batch t =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.not_empty t.mu
+  done;
+  let batch = ref [] in
+  let n = ref 0 in
+  while !n < t.batch_limit && not (Queue.is_empty t.queue) do
+    batch := Queue.pop t.queue :: !batch;
+    incr n
+  done;
+  set_depth t;
+  Condition.broadcast t.not_full;
+  let finished = t.stopping && Queue.is_empty t.queue && !batch = [] in
+  Mutex.unlock t.mu;
+  if finished then None else Some (List.rev !batch)
+
+(* ----- per-client plumbing --------------------------------------------- *)
+
+let close_client t client =
+  Mutex.lock t.mu;
+  let was_open = client.open_ in
+  if was_open then begin
+    client.open_ <- false;
+    t.clients <- List.filter (fun c -> c.cid <> client.cid) t.clients;
+    (match t.ins with
+    | Some i ->
+      Tel.Metrics.set i.g_clients_active (float_of_int (List.length t.clients))
+    | None -> ())
+  end;
+  Mutex.unlock t.mu;
+  if was_open then try Unix.close client.fd with Unix.Unix_error _ -> ()
+
+let reader_loop t client =
+  let stop_reading = ref false in
+  while not !stop_reading do
+    match Protocol.recv_frame client.fd with
+    | exception Unix.Unix_error _ ->
+      push t (Gone client);
+      stop_reading := true
+    | Protocol.Eof ->
+      push t (Gone client);
+      stop_reading := true
+    | Protocol.Bad reason ->
+      push t (Malformed { client; reason });
+      stop_reading := true
+    | Protocol.Frame payload -> (
+      let r = P.Wire.reader payload in
+      match
+        let req = P.Resp.decode_request r in
+        P.Wire.expect_end r;
+        req
+      with
+      | req ->
+        Option.iter (fun c -> Tel.Metrics.inc c) client.c_requests;
+        (match t.ins with Some i -> Tel.Metrics.inc i.requests | None -> ());
+        push t (Request { client; req; enqueued = now t })
+      | exception P.Wire.Decode_error { offset; reason } ->
+        push t
+          (Malformed
+             {
+               client;
+               reason = Printf.sprintf "%s at payload offset %d" reason offset;
+             });
+        stop_reading := true)
+  done
+
+(* ----- admission loop -------------------------------------------------- *)
+
+let send_response t client resp =
+  let b = Buffer.create 64 in
+  P.Resp.encode b resp;
+  match Protocol.send_frame client.fd (Buffer.contents b) with
+  | () -> (match t.ins with Some i -> Tel.Metrics.inc i.responses | None -> ())
+  | exception (Unix.Unix_error _ | Sys_error _) ->
+    (* the client is gone; its reader thread will deliver the [Gone] *)
+    ()
+
+let stats_renderer t () =
+  match t.ins with
+  | None -> "{}"
+  | Some i ->
+    (* under the server mutex: reader threads may be registering
+       per-client counters in the same registry concurrently *)
+    Mutex.lock t.mu;
+    let snap = Tel.Sink.snapshot i.sink in
+    Mutex.unlock t.mu;
+    Tel.Json.to_string (Tel.Metrics.to_json snap)
+
+(* Log after execution so a [Repair] record carries the outcome this
+   server actually produced, keeping WAL divergence detection honest. *)
+let log_op t req resp =
+  match (t.store, req) with
+  | None, _ | _, (P.Resp.Get_digest | P.Resp.Get_stats) -> ()
+  | Some store, P.Resp.Admit op ->
+    let op =
+      match (op, resp) with
+      | P.Op.Repair { connection; _ }, P.Resp.Admitted _ ->
+        P.Op.Repair { connection; rehomed = true }
+      | P.Op.Repair { connection; _ }, _ ->
+        P.Op.Repair { connection; rehomed = false }
+      | _ -> op
+    in
+    P.Store.log store op
+
+let admit_loop t =
+  let continue = ref true in
+  while !continue do
+    match drain_batch t with
+    | None -> continue := false
+    | Some batch ->
+      (match t.ins with
+      | Some i ->
+        Tel.Metrics.inc i.batches;
+        Tel.Histogram.observe i.h_batch_size (float_of_int (List.length batch))
+      | None -> ());
+      List.iter
+        (fun item ->
+          match item with
+          | Gone client -> close_client t client
+          | Malformed { client; reason } ->
+            (match t.ins with
+            | Some i -> Tel.Metrics.inc i.malformed
+            | None -> ());
+            send_response t client (P.Resp.Server_error reason);
+            close_client t client
+          | Request { client; req; enqueued } ->
+            let resp = P.Resp.execute ~stats:(stats_renderer t) t.net req in
+            log_op t req resp;
+            send_response t client resp;
+            t.served_count <- t.served_count + 1;
+            (match t.ins with
+            | Some i -> Tel.Histogram.observe i.h_latency (now t -. enqueued)
+            | None -> ()))
+        batch
+  done
+
+(* ----- accept loop ----------------------------------------------------- *)
+
+let handshake fd =
+  match Protocol.read_exactly fd P.Wire.header_len with
+  | None -> false
+  | exception (Unix.Unix_error _ | Failure _) -> false
+  | Some hello -> (
+    match Protocol.check_client_hello hello with
+    | Error _ -> false
+    | Ok () -> (
+      match Protocol.write_all fd Protocol.server_hello with
+      | () -> true
+      | exception Unix.Unix_error _ -> false))
+
+let accept_loop t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error _ -> if t.stopping then continue := false
+    | fd, _peer ->
+      if t.stopping then begin
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        continue := false
+      end
+      else if not (handshake fd) then (
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      else begin
+        Mutex.lock t.mu;
+        let cid = t.next_cid in
+        t.next_cid <- cid + 1;
+        let c_requests =
+          Option.map
+            (fun i ->
+              Tel.Metrics.counter i.sink.Tel.Sink.metrics
+                ~help:"Requests received from this client"
+                (Printf.sprintf "server_client_requests_total{client=\"%d\"}"
+                   cid))
+            t.ins
+        in
+        let client = { cid; fd; open_ = true; c_requests } in
+        t.clients <- client :: t.clients;
+        (match t.ins with
+        | Some i ->
+          Tel.Metrics.inc i.clients_total;
+          Tel.Metrics.set i.g_clients_active
+            (float_of_int (List.length t.clients))
+        | None -> ());
+        Mutex.unlock t.mu;
+        ignore (Thread.create (fun () -> reader_loop t client) ())
+      end
+  done
+
+(* ----- lifecycle ------------------------------------------------------- *)
+
+let bind_listen addr =
+  match addr with
+  | Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (inet, port));
+    Unix.listen fd 64;
+    let bound =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (a, p) -> Tcp (Unix.string_of_inet_addr a, p)
+      | Unix.ADDR_UNIX _ -> addr
+    in
+    (fd, bound)
+  | Unix_socket path ->
+    if Sys.file_exists path then Unix.unlink path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    (fd, addr)
+
+let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64) ~net
+    addr =
+  if queue_capacity < 1 then
+    invalid_arg "Server.start: queue_capacity must be >= 1";
+  if batch_limit < 1 then invalid_arg "Server.start: batch_limit must be >= 1";
+  (* a peer that vanishes mid-response must surface as EPIPE on the
+     write, not as a process-killing signal *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listen_fd, bound = bind_listen addr in
+  let t =
+    {
+      net;
+      store;
+      ins = Option.map register_instruments telemetry;
+      listen_fd;
+      bound;
+      queue = Queue.create ();
+      capacity = queue_capacity;
+      batch_limit;
+      mu = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      stopping = false;
+      stopped = false;
+      next_cid = 1;
+      clients = [];
+      served_count = 0;
+      accept_thread = None;
+      admit_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t.admit_thread <- Some (Thread.create (fun () -> admit_loop t) ());
+  t
+
+let address t = t.bound
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Mutex.lock t.mu;
+    t.stopping <- true;
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full;
+    let live = t.clients in
+    Mutex.unlock t.mu;
+    (* Closing the listener does NOT wake a thread already blocked in
+       [accept] on Linux; dial a throwaway connection instead — the
+       accept thread sees [stopping] on the next iteration and exits. *)
+    (try
+       let domain, sockaddr =
+         match t.bound with
+         | Tcp (host, port) ->
+           (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+         | Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+       in
+       let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+       Fun.protect
+         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+         (fun () -> Unix.connect fd sockaddr)
+     with Unix.Unix_error _ | Failure _ -> ());
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.bound with
+    | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ());
+    (* shutting the sockets down wakes blocked readers; they enqueue
+       their final [Gone] items (the capacity bound is waived while
+       stopping) and exit, and the admission thread drains the rest *)
+    List.iter
+      (fun c ->
+        try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      live;
+    Option.iter Thread.join t.admit_thread;
+    List.iter (fun c -> close_client t c) live
+  end
+
+let served t = t.served_count

@@ -1,0 +1,66 @@
+(** The control-plane service: a live {!Wdm_multistage.Network}
+    behind a TCP or Unix-domain socket.
+
+    Concurrency model — single-writer admission: one reader thread per
+    client decodes frames and enqueues requests on a bounded queue;
+    one admission thread drains the queue in batches (up to
+    [batch_limit] at a time) and is the only thread that touches the
+    network, the WAL store, or client sockets' write sides.  The
+    network needs no locks, every client observes its own requests in
+    order, and when the queue is full reader threads block — TCP flow
+    control propagates the backpressure to the clients.
+
+    With [store], every state-changing request is also appended to the
+    WAL after it executes (a refused connect is still recorded — WAL
+    semantics record requests, replay re-derives outcomes), so a served
+    session crash-recovers exactly like a recorded in-process run.
+
+    With [telemetry], the server feeds [server_requests_total] (plus a
+    per-client [server_client_requests_total{client="N"}] family),
+    [server_responses_total], [server_malformed_total],
+    [server_clients_total], [server_clients_active] /
+    [server_queue_depth] gauges, [server_batches_total], and
+    [server_batch_size] / [server_request_latency_seconds] histograms
+    (latency is enqueue to response written, so it includes queueing
+    delay).  The network's own [wdmnet_*] instruments live on whatever
+    sink the network was created with. *)
+
+module Network = Wdm_multistage.Network
+
+type address =
+  | Tcp of string * int  (** host, port; port [0] binds an ephemeral *)
+  | Unix_socket of string  (** path; unlinked stale socket on bind *)
+
+val pp_address : Format.formatter -> address -> unit
+
+type t
+
+val start :
+  ?telemetry:Wdm_telemetry.Sink.t ->
+  ?store:Wdm_persist.Store.t ->
+  ?queue_capacity:int ->
+  ?batch_limit:int ->
+  net:Network.t ->
+  address ->
+  t
+(** Binds, listens and spawns the accept + admission threads.
+    [queue_capacity] (default 256) bounds the admission queue;
+    [batch_limit] (default 64) caps how many requests one drain takes.
+    The caller keeps ownership of [store] (close it after {!stop}).
+    @raise Invalid_argument when [queue_capacity < 1] or
+    [batch_limit < 1].
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val address : t -> address
+(** The actual bound address — with [Tcp (host, 0)] the kernel-chosen
+    port is filled in. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, disconnect clients, drain and
+    answer everything already admitted to the queue, and join all
+    threads.  After [stop] returns no thread touches the network or
+    the store, so the caller can checkpoint and close them safely.
+    Idempotent. *)
+
+val served : t -> int
+(** Requests answered so far (monotone; stable after {!stop}). *)

@@ -13,7 +13,14 @@ let ep port wl = Endpoint.make ~port ~wl
 let conn src dests = Connection.make_exn ~source:src ~destinations:dests
 
 let net ?strategy ?x_limit ~construction ~output_model ~n ~m ~r ~k () =
-  Network.create ?strategy ?x_limit ~construction ~output_model
+  Network.create
+    ~config:
+      {
+        Network.Config.default with
+        strategy = Option.value ~default:Network.Min_intersection strategy;
+        x_limit;
+      }
+    ~construction ~output_model
     (Topology.make_exn ~n ~m ~r ~k)
 
 let check_ok = function

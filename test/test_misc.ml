@@ -65,6 +65,40 @@ let test_conditions_pp () =
   let s = Format.asprintf "%a" Conditions.pp_evaluation (Conditions.msw_dominant ~n:4 ~r:4) in
   Alcotest.(check string) "evaluation" "x=2 bound=12.000 m_min=13" s
 
+(* The deprecated optional-argument constructor must keep routing
+   exactly as the config-record form does until it is dropped.  This is
+   deliberately the only [create_legacy] call site left in the tree:
+   the use below trips the [legacy] alert at compile time, and CI
+   counts those alerts to bound call-site regressions. *)
+let test_create_legacy_compat () =
+  let topo = Topology.make_exn ~n:4 ~m:13 ~r:4 ~k:2 in
+  let legacy =
+    Network.create_legacy ~strategy:Network.First_fit ~x_limit:2
+      ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
+  in
+  let current =
+    Network.create
+      ~config:
+        {
+          Network.Config.default with
+          strategy = Network.First_fit;
+          x_limit = Some 2;
+        }
+      ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
+  in
+  Alcotest.(check int) "x_limit" (Network.x_limit current)
+    (Network.x_limit legacy);
+  Alcotest.(check bool) "strategy" true
+    (Network.strategy legacy = Network.strategy current);
+  let conn =
+    Connection.make_exn ~source:(ep 1 1)
+      ~destinations:[ ep 1 1; ep 5 1; ep 9 1 ]
+  in
+  let ra = Result.get_ok (Network.connect legacy conn)
+  and rb = Result.get_ok (Network.connect current conn) in
+  Alcotest.(check bool) "identical route" true
+    (ra.Network.hops = rb.Network.hops && ra.Network.id = rb.Network.id)
+
 let test_network_pp_state () =
   let t =
     Network.create ~construction:Network.Msw_dominant ~output_model:Model.MSW
@@ -182,6 +216,8 @@ let () =
           Alcotest.test_case "network spec describe" `Quick test_network_spec_describe;
           Alcotest.test_case "topology" `Quick test_topology_pp;
           Alcotest.test_case "conditions" `Quick test_conditions_pp;
+          Alcotest.test_case "create_legacy compat" `Quick
+            test_create_legacy_compat;
           Alcotest.test_case "network state" `Quick test_network_pp_state;
           Alcotest.test_case "churn stats" `Quick test_churn_pp_stats;
           Alcotest.test_case "recursive design" `Quick test_recursive_pp;

@@ -229,8 +229,9 @@ let prop_op_roundtrip =
 
 let make_net ?telemetry ~impl () =
   let topo = Topology.make_exn ~n:3 ~m:8 ~r:3 ~k:2 in
-  Network.create ?telemetry ~link_impl:impl ~construction:Network.Msw_dominant
-    ~output_model:Model.MSW topo
+  Network.create
+    ~config:{ Network.Config.default with telemetry; link_impl = Some impl }
+    ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
 
 let populate net =
   let admitted = ref [] in

@@ -31,8 +31,9 @@ let continuation_ops = 1000
 let ep port wl = Endpoint.make ~port ~wl
 
 let make_net ?telemetry impl =
-  Network.create ?telemetry ~link_impl:impl ~construction:Network.Msw_dominant
-    ~output_model:Model.MSW
+  Network.create
+    ~config:{ Network.Config.default with telemetry; link_impl = Some impl }
+    ~construction:Network.Msw_dominant ~output_model:Model.MSW
     (Topology.make_exn ~n ~m ~r ~k)
 
 (* --- file plumbing ------------------------------------------------------- *)
@@ -165,7 +166,9 @@ let continuation net =
       active := List.filter (fun id -> id <> lowest) !active;
       match Network.disconnect net lowest with
       | Ok route -> checksum := P.Op.route_checksum !checksum route
-      | Error e -> Alcotest.fail ("continuation disconnect failed: " ^ e)
+      | Error e -> Alcotest.fail
+          ("continuation disconnect failed: "
+          ^ Network.Error.disconnect_to_string e)
     end
     else begin
       let wl = (i mod k) + 1 in

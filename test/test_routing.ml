@@ -10,7 +10,14 @@ let ep port wl = Endpoint.make ~port ~wl
 let conn src dests = Connection.make_exn ~source:src ~destinations:dests
 
 let net ?strategy ?x_limit ~construction ~output_model ~n ~m ~r ~k () =
-  Network.create ?strategy ?x_limit ~construction ~output_model
+  Network.create
+    ~config:
+      {
+        Network.Config.default with
+        strategy = Option.value ~default:Network.Min_intersection strategy;
+        x_limit;
+      }
+    ~construction ~output_model
     (Topology.make_exn ~n ~m ~r ~k)
 
 let check_ok = function
@@ -617,7 +624,7 @@ let test_rearrangement_preserves_victim_id () =
   let b = check_ok (Network.connect t (conn (ep 3 1) [ ep 4 1 ])) in
   (match Network.disconnect t tmp.Network.id with
   | Ok _ -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Network.Error.disconnect_to_string e));
   (* probe in-module 1 -> out-module 2: middle 1's stage-1 link is
      held by a, middle 2's stage-2 link by b — order-blocked until one
      victim moves *)
@@ -636,7 +643,7 @@ let test_rearrangement_preserves_victim_id () =
     (* an id-based teardown — what the churn driver does — still works *)
     (match Network.disconnect t a.Network.id with
     | Ok _ -> ()
-    | Error e -> Alcotest.fail e);
+    | Error e -> Alcotest.fail (Network.Error.disconnect_to_string e));
     let remaining =
       List.map (fun (r : Network.route) -> r.Network.id) (Network.active_routes t)
       |> List.sort Int.compare
@@ -709,7 +716,9 @@ let test_scheduler_rejects_unroutable_batch () =
   in
   List.iter
     (fun rearrange ->
-      let t = Network.create ~x_limit:1 ~construction:Network.Msw_dominant
+      let t = Network.create
+          ~config:{ Network.Config.default with x_limit = Some 1 }
+          ~construction:Network.Msw_dominant
           ~output_model:Model.MSW topo in
       (match Scheduler.route_assignment ~max_order_attempts:6 ~rearrange t a with
       | Error (Network.Blocked _) -> ()
@@ -720,7 +729,9 @@ let test_scheduler_rejects_unroutable_batch () =
     [ false; true ];
   (* relaxing the routing strategy to x = 2 makes the same batch
      routable: the probe splits across both middles *)
-  let t = Network.create ~x_limit:2 ~construction:Network.Msw_dominant
+  let t = Network.create
+      ~config:{ Network.Config.default with x_limit = Some 2 }
+      ~construction:Network.Msw_dominant
       ~output_model:Model.MSW topo in
   match Scheduler.route_assignment t a with
   | Ok outcome ->
@@ -735,7 +746,8 @@ let test_scheduler_rearrange_recovers_below_bound () =
   let topo = Topology.make_exn ~n:2 ~m:3 ~r:2 ~k:2 in
   let spec = Topology.spec topo in
   let mk () =
-    Network.create ~strategy:Network.First_fit
+    Network.create
+      ~config:{ Network.Config.default with strategy = Network.First_fit }
       ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
   in
   let fixed_losses = ref 0 and recovered = ref 0 in

@@ -187,11 +187,17 @@ let lockstep_sut ta tb =
 let run_lockstep ~seed ~construction ~output_model ~strategy ~n ~m ~r ~k =
   let topo = Topology.make_exn ~n ~m ~r ~k in
   let ta =
-    Network.create ~strategy ~link_impl:Network.Bitset ~construction
-      ~output_model topo
+    Network.create
+      ~config:
+        { Network.Config.default with strategy;
+          link_impl = Some Network.Bitset }
+      ~construction ~output_model topo
   and tb =
-    Network.create ~strategy ~link_impl:Network.Reference ~construction
-      ~output_model topo
+    Network.create
+      ~config:
+        { Network.Config.default with strategy;
+          link_impl = Some Network.Reference }
+      ~construction ~output_model topo
   in
   Alcotest.(check bool) "impls differ" true
     (Network.link_impl ta <> Network.link_impl tb);
@@ -256,7 +262,9 @@ let test_wide_k_fallback () =
     (Invalid_argument "Network.create: Bitset link state needs k <= 62")
     (fun () ->
       ignore
-        (Network.create ~link_impl:Network.Bitset
+        (Network.create
+           ~config:
+             { Network.Config.default with link_impl = Some Network.Bitset }
            ~construction:Network.Maw_dominant ~output_model:Model.MAW topo))
 
 (* --- fault-counter reconciliation (duplicate injections) ----------------- *)
@@ -285,7 +293,9 @@ let test_duplicate_injection_counters () =
   let sink = Tel.Sink.create () in
   let topo = Topology.make_exn ~n:3 ~m:8 ~r:3 ~k:2 in
   let t =
-    Network.create ~telemetry:sink ~construction:Network.Msw_dominant
+    Network.create
+      ~config:{ Network.Config.default with telemetry = Some sink }
+      ~construction:Network.Msw_dominant
       ~output_model:Model.MSW topo
   in
   (* m1 injected twice, cleared twice; m2 injected twice, never cleared;
@@ -327,7 +337,9 @@ let test_run_timed_gauge_reset () =
   let sink = Tel.Sink.create () in
   let topo = Topology.make_exn ~n:4 ~m:10 ~r:4 ~k:2 in
   let t =
-    Network.create ~telemetry:sink ~construction:Network.Msw_dominant
+    Network.create
+      ~config:{ Network.Config.default with telemetry = Some sink }
+      ~construction:Network.Msw_dominant
       ~output_model:Model.MSW topo
   in
   let sut =

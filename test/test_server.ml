@@ -1,0 +1,406 @@
+(* The control-plane service layer: wire codec roundtrips, and the
+   acceptance criterion for `wdmnet serve` — a seeded churn driven
+   through a loopback server is indistinguishable from the same seed
+   driven in-process: byte-identical routes (hop checksums), the same
+   admission/refusal tallies, the same telemetry counters, and the
+   same whole-state digest, on both link-state implementations. *)
+
+open Wdm_core
+open Wdm_multistage
+module P = Wdm_persist
+module Srv = Wdm_server
+module Tel = Wdm_telemetry
+module Churn = Wdm_traffic.Churn
+
+let ep port wl = Endpoint.make ~port ~wl
+let conn src dests = Connection.make_exn ~source:src ~destinations:dests
+
+(* Undersized below the Theorem-1 minimum so churn produces both
+   admissions and refusals — the refusal path must cross the wire too. *)
+let topo = Topology.make_exn ~n:3 ~m:4 ~r:3 ~k:2
+
+let make_net ?telemetry impl =
+  Network.create
+    ~config:{ Network.Config.default with telemetry; link_impl = Some impl }
+    ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
+
+let socket_path =
+  (* Unix-socket paths are length-limited; keep it in /tmp, unique per
+     test-case invocation *)
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wdmnet_test_%d_%d.sock" (Unix.getpid ()) !counter)
+
+let with_server ?telemetry ?store net f =
+  let srv =
+    Srv.Server.start ?telemetry ?store ~net (Srv.Server.Unix_socket (socket_path ()))
+  in
+  Fun.protect ~finally:(fun () -> Srv.Server.stop srv) (fun () -> f srv)
+
+let with_client srv f =
+  match Srv.Client.connect (Srv.Server.address srv) with
+  | Error e -> Alcotest.fail ("client connect: " ^ e)
+  | Ok c -> Fun.protect ~finally:(fun () -> Srv.Client.close c) (fun () -> f c)
+
+(* --- codec roundtrips ---------------------------------------------------- *)
+
+let roundtrip_request req =
+  let b = Buffer.create 64 in
+  P.Resp.encode_request b req;
+  let r = P.Wire.reader (Buffer.contents b) in
+  let back = P.Resp.decode_request r in
+  P.Wire.expect_end r;
+  back
+
+let test_request_roundtrip () =
+  let c = conn (ep 1 1) [ ep 2 1; ep 5 1 ] in
+  List.iter
+    (fun req ->
+      match (req, roundtrip_request req) with
+      | P.Resp.Admit a, P.Resp.Admit b ->
+        Alcotest.(check bool) "op" true (P.Op.equal a b)
+      | P.Resp.Get_digest, P.Resp.Get_digest
+      | P.Resp.Get_stats, P.Resp.Get_stats -> ()
+      | _ -> Alcotest.fail "request changed shape over the codec")
+    [
+      P.Resp.Admit (P.Op.Connect c);
+      P.Resp.Admit (P.Op.Disconnect 42);
+      P.Resp.Admit (P.Op.Inject_fault (Wdm_faults.Fault.Middle 2));
+      P.Resp.Admit
+        (P.Op.Clear_fault
+           (Wdm_faults.Fault.Stage1_laser { input = 1; middle = 2; wl = 1 }));
+      P.Resp.Admit (P.Op.Repair { connection = c; rehomed = true });
+      P.Resp.Get_digest;
+      P.Resp.Get_stats;
+    ]
+
+let test_response_roundtrip () =
+  let net = make_net Network.Bitset in
+  let route = Result.get_ok (Network.connect net (conn (ep 1 1) [ ep 4 1 ])) in
+  let responses =
+    [
+      P.Resp.Admitted { route; moved = 3 };
+      P.Resp.Refused
+        (Network.Invalid (Assignment.Source_reused (ep 1 1)));
+      P.Resp.Refused
+        (Network.Invalid
+           (Assignment.Model_violation
+              { model = Model.MSW; connection = conn (ep 1 1) [ ep 2 2 ] }));
+      P.Resp.Refused (Network.Source_busy (ep 1 1));
+      P.Resp.Refused (Network.Destination_busy (ep 2 2));
+      P.Resp.Refused (Network.Unserviceable (Wdm_faults.Fault.Middle 1));
+      P.Resp.Refused
+        (Network.Blocked
+           {
+             fanout_switches = [ 1; 3 ];
+             available_middles = [ 2; 4 ];
+             uncovered = [ 3 ];
+           });
+      P.Resp.Released route;
+      P.Resp.Release_failed (Network.Unknown_route 99);
+      P.Resp.Release_failed (Network.Already_released 7);
+      P.Resp.Fault_applied { torn_down = 2 };
+      P.Resp.Fault_cleared;
+      P.Resp.Digest_is 123456789;
+      P.Resp.Stats_json "{\"a\": 1}";
+      P.Resp.Server_error "tea kettle on fire";
+    ]
+  in
+  List.iter
+    (fun resp ->
+      let b = Buffer.create 64 in
+      P.Resp.encode b resp;
+      match P.Resp.decode_string (Buffer.contents b) with
+      | Ok back ->
+        Alcotest.(check bool)
+          (Format.asprintf "%a" P.Resp.pp resp)
+          true (P.Resp.equal resp back)
+      | Error e -> Alcotest.fail e)
+    responses
+
+(* --- basic served requests ----------------------------------------------- *)
+
+let test_serve_basic () =
+  let net = make_net Network.Bitset in
+  with_server net (fun srv ->
+      with_client srv (fun c ->
+          (* connect, disconnect, double-disconnect: typed results *)
+          let route =
+            match
+              Srv.Client.request c
+                (P.Resp.Admit (P.Op.Connect (conn (ep 1 1) [ ep 4 1 ])))
+            with
+            | Ok (P.Resp.Admitted { route; moved = 0 }) -> route
+            | other ->
+              Alcotest.fail
+                (Format.asprintf "connect: %a" Fmt.(result ~ok:P.Resp.pp ~error:string)
+                   other)
+          in
+          (* the served route must equal the one the same request yields
+             in-process on a twin network *)
+          let twin = make_net Network.Bitset in
+          let local =
+            Result.get_ok (Network.connect twin (conn (ep 1 1) [ ep 4 1 ]))
+          in
+          Alcotest.(check bool) "route equals in-process twin" true
+            (route = local);
+          (match
+             Srv.Client.request c
+               (P.Resp.Admit (P.Op.Disconnect route.Network.id))
+           with
+          | Ok (P.Resp.Released r) ->
+            Alcotest.(check int) "released id" route.Network.id r.Network.id
+          | _ -> Alcotest.fail "disconnect");
+          (match
+             Srv.Client.request c
+               (P.Resp.Admit (P.Op.Disconnect route.Network.id))
+           with
+          | Ok (P.Resp.Release_failed (Network.Already_released id)) ->
+            Alcotest.(check int) "already-released id" route.Network.id id
+          | _ -> Alcotest.fail "double disconnect should be Already_released");
+          (match Srv.Client.request c (P.Resp.Admit (P.Op.Disconnect 999)) with
+          | Ok (P.Resp.Release_failed (Network.Unknown_route 999)) -> ()
+          | _ -> Alcotest.fail "unknown id should be Unknown_route");
+          (* fault round trip *)
+          let f = Wdm_faults.Fault.Middle 1 in
+          (match Srv.Client.request c (P.Resp.Admit (P.Op.Inject_fault f)) with
+          | Ok (P.Resp.Fault_applied { torn_down = 0 }) -> ()
+          | _ -> Alcotest.fail "inject");
+          (match Srv.Client.request c (P.Resp.Admit (P.Op.Clear_fault f)) with
+          | Ok P.Resp.Fault_cleared -> ()
+          | _ -> Alcotest.fail "clear");
+          (* out-of-range fault indices answer Server_error, and the
+             connection survives *)
+          (match
+             Srv.Client.request c
+               (P.Resp.Admit (P.Op.Inject_fault (Wdm_faults.Fault.Middle 99)))
+           with
+          | Ok (P.Resp.Server_error _) -> ()
+          | _ -> Alcotest.fail "bad fault should be Server_error");
+          (* digest matches the live network *)
+          match Srv.Client.digest c with
+          | Ok d -> Alcotest.(check int) "digest" (P.Store.digest net) d
+          | Error e -> Alcotest.fail e))
+
+let test_malformed_frame_closes_connection () =
+  let net = make_net Network.Bitset in
+  with_server net (fun srv ->
+      let path =
+        match Srv.Server.address srv with
+        | Srv.Server.Unix_socket p -> p
+        | Srv.Server.Tcp _ -> Alcotest.fail "expected unix socket"
+      in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          Srv.Protocol.write_all fd Srv.Protocol.client_hello;
+          (match Srv.Protocol.read_exactly fd P.Wire.header_len with
+          | Some hello ->
+            Alcotest.(check bool) "server hello" true
+              (Result.is_ok (Srv.Protocol.check_server_hello hello))
+          | None -> Alcotest.fail "no server hello");
+          (* a well-framed but undecodable payload *)
+          Srv.Protocol.send_frame fd "\xEE garbage";
+          (match Srv.Protocol.recv_frame fd with
+          | Srv.Protocol.Frame payload -> (
+            match P.Resp.decode_string payload with
+            | Ok (P.Resp.Server_error _) -> ()
+            | _ -> Alcotest.fail "expected Server_error response")
+          | _ -> Alcotest.fail "expected a response frame");
+          (* ... after which the server hangs up *)
+          match Srv.Protocol.recv_frame fd with
+          | Srv.Protocol.Eof -> ()
+          | _ -> Alcotest.fail "expected EOF after protocol violation"))
+
+(* --- the equivalence criterion ------------------------------------------- *)
+
+let churn_steps = 400
+let seed = 20260805
+
+let counters_with_prefix snapshot prefix =
+  List.filter_map
+    (fun (name, _help, v) ->
+      if String.length name >= String.length prefix
+         && String.sub name 0 (String.length prefix) = prefix
+      then Some (name, v)
+      else None)
+    snapshot.Tel.Metrics.counters
+
+let inproc_sut net checksum =
+  {
+    Churn.connect =
+      (fun c ->
+        match Network.connect net c with
+        | Ok route ->
+          checksum := P.Op.route_checksum !checksum route;
+          Ok route.Network.id
+        | Error e -> Error e);
+    disconnect = (fun id -> ignore (Network.disconnect net id));
+  }
+
+let run_churn ~sink sut =
+  Churn.run ~telemetry:sink
+    (Random.State.make [| seed |])
+    ~spec:(Topology.spec topo) ~model:Model.MSW
+    ~fanout:(Wdm_traffic.Fanout.Zipf { max = 6; s = 1.0 })
+    ~steps:churn_steps ~teardown_bias:0.3 sut
+
+let test_loopback_equivalence impl () =
+  (* in-process reference run *)
+  let net_sink_a = Tel.Sink.create () in
+  let churn_sink_a = Tel.Sink.create () in
+  let net_a = make_net ~telemetry:net_sink_a impl in
+  let sum_a = ref 0 in
+  let stats_a = run_churn ~sink:churn_sink_a (inproc_sut net_a sum_a) in
+  (* same seed, served over the loopback socket *)
+  let net_sink_b = Tel.Sink.create () in
+  let churn_sink_b = Tel.Sink.create () in
+  let net_b = make_net ~telemetry:net_sink_b impl in
+  let sum_b = ref 0 in
+  let stats_b, digest_b =
+    with_server ~telemetry:net_sink_b net_b (fun srv ->
+        with_client srv (fun c ->
+            let sut =
+              Srv.Client.churn_sut
+                ~on_admit:(fun route ->
+                  sum_b := P.Op.route_checksum !sum_b route)
+                c
+            in
+            let stats = run_churn ~sink:churn_sink_b sut in
+            let digest =
+              match Srv.Client.digest c with
+              | Ok d -> d
+              | Error e -> Alcotest.fail e
+            in
+            (stats, digest)))
+  in
+  (* route-level equivalence: every admitted route is byte-identical *)
+  Alcotest.(check int) "route checksums" !sum_a !sum_b;
+  (* driver-level equivalence *)
+  Alcotest.(check int) "attempts" stats_a.Churn.attempts stats_b.Churn.attempts;
+  Alcotest.(check int) "accepted" stats_a.Churn.accepted stats_b.Churn.accepted;
+  Alcotest.(check int) "blocked" stats_a.Churn.blocked stats_b.Churn.blocked;
+  Alcotest.(check bool) "refusals were exercised" true (stats_a.Churn.blocked > 0);
+  Alcotest.(check int) "torn down" stats_a.Churn.torn_down stats_b.Churn.torn_down;
+  (* state-level equivalence *)
+  Alcotest.(check int) "digest" (P.Store.digest net_a) digest_b;
+  (* telemetry equivalence: the network's instruments counted the same
+     through the socket as in-process (the server's own server_* series
+     live in the same sink; the wdmnet_ prefix selects the network's) *)
+  let snap_a = Tel.Sink.snapshot net_sink_a
+  and snap_b = Tel.Sink.snapshot net_sink_b in
+  Alcotest.(check (list (pair string int)))
+    "wdmnet_* counters"
+    (counters_with_prefix snap_a "wdmnet_")
+    (counters_with_prefix snap_b "wdmnet_");
+  let churn_a = Tel.Sink.snapshot churn_sink_a
+  and churn_b = Tel.Sink.snapshot churn_sink_b in
+  Alcotest.(check (list (pair string int)))
+    "churn_* counters"
+    (counters_with_prefix churn_a "churn_")
+    (counters_with_prefix churn_b "churn_")
+
+(* --- WAL-backed serving recovers to the served state ---------------------- *)
+
+let test_served_session_recovers () =
+  let dir = Filename.temp_file "wdmnet_serve_wal" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let wal = Filename.concat dir "serve.wal" in
+  let net = make_net Network.Bitset in
+  let store = P.Store.start ~wal net in
+  let final_digest =
+    with_server ~store net (fun srv ->
+        with_client srv (fun c ->
+            let sut = Srv.Client.churn_sut c in
+            ignore (run_churn ~sink:(Tel.Sink.create ()) sut);
+            match Srv.Client.digest c with
+            | Ok d -> d
+            | Error e -> Alcotest.fail e))
+  in
+  (* server stopped: no thread touches the store anymore *)
+  P.Store.checkpoint store net;
+  P.Store.close store;
+  (match P.Store.recover ~wal () with
+  | Ok r ->
+    Alcotest.(check int) "recovered digest" final_digest
+      (P.Store.digest r.P.Store.network)
+  | Error e -> Alcotest.fail (Format.asprintf "%a" P.Store.pp_recovery_error e));
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Unix.rmdir dir
+
+(* --- server telemetry ----------------------------------------------------- *)
+
+let test_server_instruments () =
+  let sink = Tel.Sink.create () in
+  let net = make_net Network.Bitset in
+  with_server ~telemetry:sink net (fun srv ->
+      with_client srv (fun c ->
+          for i = 1 to 5 do
+            ignore
+              (Srv.Client.request c
+                 (P.Resp.Admit
+                    (P.Op.Connect (conn (ep i 1) [ ep ((i mod 9) + 1) 1 ]))))
+          done;
+          (* the stats request answers this very registry *)
+          let js =
+            match Srv.Client.stats_json c with
+            | Ok s -> s
+            | Error e -> Alcotest.fail e
+          in
+          (match Tel.Json.parse js with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail ("stats is not JSON: " ^ e));
+          Alcotest.(check bool) "stats mentions server_requests_total" true
+            (let needle = "server_requests_total" in
+             let rec go i =
+               i + String.length needle <= String.length js
+               && (String.sub js i (String.length needle) = needle || go (i + 1))
+             in
+             go 0));
+      Alcotest.(check int) "served" 6 (Srv.Server.served srv));
+  let snap = Tel.Sink.snapshot sink in
+  let counter name =
+    Option.value ~default:(-1) (Tel.Metrics.find_counter snap name)
+  in
+  Alcotest.(check int) "requests total" 6 (counter "server_requests_total");
+  Alcotest.(check int) "responses total" 6 (counter "server_responses_total");
+  Alcotest.(check int) "clients total" 1 (counter "server_clients_total");
+  Alcotest.(check int) "per-client family" 6
+    (counter "server_client_requests_total{client=\"1\"}");
+  Alcotest.(check (float 0.01)) "no client left" 0.
+    (Option.value ~default:(-1.)
+       (Tel.Metrics.find_gauge snap "server_clients_active"))
+
+let () =
+  Alcotest.run "wdm_server"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "basic requests" `Quick test_serve_basic;
+          Alcotest.test_case "malformed frame" `Quick
+            test_malformed_frame_closes_connection;
+          Alcotest.test_case "server instruments" `Quick test_server_instruments;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "loopback churn (bitset)" `Quick
+            (test_loopback_equivalence Network.Bitset);
+          Alcotest.test_case "loopback churn (reference)" `Quick
+            (test_loopback_equivalence Network.Reference);
+          Alcotest.test_case "served session recovers" `Quick
+            test_served_session_recovers;
+        ] );
+    ]

@@ -30,7 +30,9 @@ let churn_sut t =
 let undersized_run ?telemetry ~seed ~steps () =
   let topo = Topology.make_exn ~n:3 ~m:4 ~r:3 ~k:2 in
   let net =
-    Network.create ?telemetry ~construction:Network.Msw_dominant
+    Network.create
+      ~config:{ Network.Config.default with telemetry }
+      ~construction:Network.Msw_dominant
       ~output_model:Model.MSW topo
   in
   let stats =
@@ -191,7 +193,9 @@ let traced_run () =
   let sink = Tel.Sink.create ~trace ~clock:(step_clock ()) () in
   let topo = Topology.make_exn ~n:2 ~m:4 ~r:2 ~k:2 in
   let net =
-    Network.create ~telemetry:sink ~construction:Network.Msw_dominant
+    Network.create
+      ~config:{ Network.Config.default with telemetry = Some sink }
+      ~construction:Network.Msw_dominant
       ~output_model:Model.MSW topo
   in
   let r1 = check_ok (Network.connect net (conn (ep 1 1) [ ep 1 1; ep 3 1 ])) in
@@ -330,7 +334,9 @@ let test_utilization_gauges () =
   let sink = Tel.Sink.create () in
   let topo = Topology.make_exn ~n:4 ~m:13 ~r:4 ~k:2 in
   let net =
-    Network.create ~telemetry:sink ~construction:Network.Msw_dominant
+    Network.create
+      ~config:{ Network.Config.default with telemetry = Some sink }
+      ~construction:Network.Msw_dominant
       ~output_model:Model.MSW topo
   in
   (* fanout 3: one busy input endpoint, three busy output endpoints,
