@@ -52,20 +52,30 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
+(* A transport failure mid-exchange (partial send, EOF or a bad frame
+   mid-receive) desynchronizes the byte stream: another request on the
+   same fd could misframe and return garbage.  Close the connection so
+   every subsequent request fails fast instead.  A CRC-valid frame
+   whose payload merely fails to decode leaves the stream aligned, so
+   that case keeps the connection. *)
 let request t req =
   if t.closed then Error "client is closed"
   else
+    let broken msg =
+      close t;
+      Error msg
+    in
     let b = Buffer.create 64 in
     P.Resp.encode_request b req;
     match Protocol.send_frame t.fd (Buffer.contents b) with
     | exception Unix.Unix_error (err, _, _) ->
-      Error ("send failed: " ^ Unix.error_message err)
+      broken ("send failed: " ^ Unix.error_message err)
     | () -> (
       match Protocol.recv_frame t.fd with
       | exception Unix.Unix_error (err, _, _) ->
-        Error ("receive failed: " ^ Unix.error_message err)
-      | Protocol.Eof -> Error "server closed the connection"
-      | Protocol.Bad reason -> Error ("bad response frame: " ^ reason)
+        broken ("receive failed: " ^ Unix.error_message err)
+      | Protocol.Eof -> broken "server closed the connection"
+      | Protocol.Bad reason -> broken ("bad response frame: " ^ reason)
       | Protocol.Frame payload -> P.Resp.decode_string payload)
 
 let digest t =

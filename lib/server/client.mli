@@ -4,7 +4,9 @@
     Transport failures (connection refused, server gone mid-exchange,
     undecodable response) are [Error _]; a request the server
     {e answered} — even with a refusal — is [Ok _] carrying the typed
-    {!Wdm_persist.Resp.t}. *)
+    {!Wdm_persist.Resp.t}.  A transport failure mid-exchange leaves
+    the byte stream unusable, so it also closes the client: every
+    request after it fails fast with ["client is closed"]. *)
 
 module Network = Wdm_multistage.Network
 

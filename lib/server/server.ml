@@ -12,7 +12,8 @@ type client = {
   cid : int;
   fd : Unix.file_descr;
   mutable open_ : bool;  (** guarded by the server mutex *)
-  c_requests : Tel.Metrics.counter option;
+  mutable c_requests : Tel.Metrics.counter option;
+      (** registered after the handshake, guarded by the server mutex *)
 }
 
 type item =
@@ -195,10 +196,19 @@ let stats_renderer t () =
     Tel.Json.to_string (Tel.Metrics.to_json snap)
 
 (* Log after execution so a [Repair] record carries the outcome this
-   server actually produced, keeping WAL divergence detection honest. *)
+   server actually produced, keeping WAL divergence detection honest.
+   Ops that failed to execute are not logged at all: [Store.recover]
+   treats a failing [Op.apply] as corruption, and replaying a refused
+   Disconnect or an out-of-range fault index fails again — one such
+   client request would poison the WAL permanently.  (Refused Connect
+   and Repair are still recorded; replay tolerates those.) *)
 let log_op t req resp =
   match (t.store, req) with
   | None, _ | _, (P.Resp.Get_digest | P.Resp.Get_stats) -> ()
+  | Some _, P.Resp.Admit _
+    when match resp with
+         | P.Resp.Release_failed _ | P.Resp.Server_error _ -> true
+         | _ -> false -> ()
   | Some store, P.Resp.Admit op ->
     let op =
       match (op, resp) with
@@ -256,6 +266,32 @@ let handshake fd =
       | () -> true
       | exception Unix.Unix_error _ -> false))
 
+(* The hello exchange happens on the per-client thread: a peer that
+   connects and then sends nothing must never stall the accept loop
+   (or [stop], which joins it).  The client is registered before the
+   handshake so [stop] can shut its fd down and unblock a read in
+   flight; the telemetry that counts it as a real client is deferred
+   until the handshake succeeds. *)
+let client_loop t client =
+  if not (handshake client.fd) then close_client t client
+  else begin
+    (match t.ins with
+    | Some i ->
+      Mutex.lock t.mu;
+      if client.open_ then begin
+        client.c_requests <-
+          Some
+            (Tel.Metrics.counter i.sink.Tel.Sink.metrics
+               ~help:"Requests received from this client"
+               (Printf.sprintf "server_client_requests_total{client=\"%d\"}"
+                  client.cid));
+        Tel.Metrics.inc i.clients_total
+      end;
+      Mutex.unlock t.mu
+    | None -> ());
+    reader_loop t client
+  end
+
 let accept_loop t =
   let continue = ref true in
   while !continue do
@@ -266,31 +302,19 @@ let accept_loop t =
         (try Unix.close fd with Unix.Unix_error _ -> ());
         continue := false
       end
-      else if not (handshake fd) then (
-        try Unix.close fd with Unix.Unix_error _ -> ())
       else begin
         Mutex.lock t.mu;
         let cid = t.next_cid in
         t.next_cid <- cid + 1;
-        let c_requests =
-          Option.map
-            (fun i ->
-              Tel.Metrics.counter i.sink.Tel.Sink.metrics
-                ~help:"Requests received from this client"
-                (Printf.sprintf "server_client_requests_total{client=\"%d\"}"
-                   cid))
-            t.ins
-        in
-        let client = { cid; fd; open_ = true; c_requests } in
+        let client = { cid; fd; open_ = true; c_requests = None } in
         t.clients <- client :: t.clients;
         (match t.ins with
         | Some i ->
-          Tel.Metrics.inc i.clients_total;
           Tel.Metrics.set i.g_clients_active
             (float_of_int (List.length t.clients))
         | None -> ());
         Mutex.unlock t.mu;
-        ignore (Thread.create (fun () -> reader_loop t client) ())
+        ignore (Thread.create (fun () -> client_loop t client) ())
       end
   done
 
@@ -365,7 +389,6 @@ let stop t =
     t.stopping <- true;
     Condition.broadcast t.not_empty;
     Condition.broadcast t.not_full;
-    let live = t.clients in
     Mutex.unlock t.mu;
     (* Closing the listener does NOT wake a thread already blocked in
        [accept] on Linux; dial a throwaway connection instead — the
@@ -387,9 +410,16 @@ let stop t =
     (match t.bound with
     | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
     | Tcp _ -> ());
-    (* shutting the sockets down wakes blocked readers; they enqueue
-       their final [Gone] items (the capacity bound is waived while
-       stopping) and exit, and the admission thread drains the rest *)
+    (* The accept thread has exited, so the client list is final —
+       capture it only now: a client whose registration was in flight
+       when [stopping] was set is included and gets shut down too.
+       Shutting the sockets down wakes blocked readers (including any
+       still in the handshake); they enqueue their final [Gone] items
+       (the capacity bound is waived while stopping) and exit, and the
+       admission thread drains the rest. *)
+    Mutex.lock t.mu;
+    let live = t.clients in
+    Mutex.unlock t.mu;
     List.iter
       (fun c ->
         try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())

@@ -14,6 +14,10 @@
     WAL after it executes (a refused connect is still recorded — WAL
     semantics record requests, replay re-derives outcomes), so a served
     session crash-recovers exactly like a recorded in-process run.
+    Requests that failed to execute at all — a disconnect of an unknown
+    or already-released route, a fault op with out-of-range indices —
+    are answered but never logged: replaying them would fail and read
+    as WAL corruption on recovery.
 
     With [telemetry], the server feeds [server_requests_total] (plus a
     per-client [server_client_requests_total{client="N"}] family),

@@ -217,6 +217,51 @@ let test_malformed_frame_closes_connection () =
           | Srv.Protocol.Eof -> ()
           | _ -> Alcotest.fail "expected EOF after protocol violation"))
 
+let test_silent_client_does_not_block_accept () =
+  let net = make_net Network.Bitset in
+  with_server net (fun srv ->
+      let path =
+        match Srv.Server.address srv with
+        | Srv.Server.Unix_socket p -> p
+        | Srv.Server.Tcp _ -> Alcotest.fail "expected unix socket"
+      in
+      (* a peer that connects and never says hello must not hold the
+         accept loop hostage: a later, well-behaved client still gets
+         served *)
+      let silent = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close silent with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect silent (Unix.ADDR_UNIX path);
+          with_client srv (fun c ->
+              match Srv.Client.digest c with
+              | Ok d ->
+                Alcotest.(check int) "digest served" (P.Store.digest net) d
+              | Error e -> Alcotest.fail e)))
+(* ... and [with_server]'s finally returning at all is the other half
+   of the regression: [stop] must not hang joining an accept thread
+   stuck in a handshake read. *)
+
+let test_client_fails_fast_after_transport_error () =
+  let net = make_net Network.Bitset in
+  let srv = Srv.Server.start ~net (Srv.Server.Unix_socket (socket_path ())) in
+  let c =
+    match Srv.Client.connect (Srv.Server.address srv) with
+    | Ok c -> c
+    | Error e -> Alcotest.fail ("client connect: " ^ e)
+  in
+  Srv.Server.stop srv;
+  (match Srv.Client.request c P.Resp.Get_digest with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "request against a stopped server should fail");
+  (* the transport error must have closed the client: the next request
+     fails fast instead of misframing against a dead byte stream *)
+  (match Srv.Client.request c P.Resp.Get_digest with
+  | Error "client is closed" -> ()
+  | Error e -> Alcotest.fail ("expected fail-fast, got: " ^ e)
+  | Ok _ -> Alcotest.fail "request after transport error should fail");
+  Srv.Client.close c
+
 (* --- the equivalence criterion ------------------------------------------- *)
 
 let churn_steps = 400
@@ -336,12 +381,74 @@ let test_served_session_recovers () =
     (Sys.readdir dir);
   Unix.rmdir dir
 
+(* A request that fails to execute (refused disconnect, out-of-range
+   fault index) is answered but must never reach the WAL: replaying it
+   fails, and [Store.recover] reads a failing replay as corruption —
+   one such client request would poison the log permanently. *)
+let test_failed_ops_do_not_poison_wal () =
+  let dir = Filename.temp_file "wdmnet_serve_wal" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let wal = Filename.concat dir "serve.wal" in
+  let net = make_net Network.Bitset in
+  let store = P.Store.start ~wal net in
+  let final_digest =
+    with_server ~store net (fun srv ->
+        with_client srv (fun c ->
+            let admit op = Srv.Client.request c (P.Resp.Admit op) in
+            let route =
+              match admit (P.Op.Connect (conn (ep 1 1) [ ep 4 1 ])) with
+              | Ok (P.Resp.Admitted { route; _ }) -> route
+              | _ -> Alcotest.fail "connect"
+            in
+            (match admit (P.Op.Disconnect route.Network.id) with
+            | Ok (P.Resp.Released _) -> ()
+            | _ -> Alcotest.fail "disconnect");
+            (match admit (P.Op.Disconnect route.Network.id) with
+            | Ok (P.Resp.Release_failed (Network.Already_released _)) -> ()
+            | _ -> Alcotest.fail "double disconnect");
+            (match admit (P.Op.Disconnect 999) with
+            | Ok (P.Resp.Release_failed (Network.Unknown_route _)) -> ()
+            | _ -> Alcotest.fail "unknown disconnect");
+            (match admit (P.Op.Inject_fault (Wdm_faults.Fault.Middle 99)) with
+            | Ok (P.Resp.Server_error _) -> ()
+            | _ -> Alcotest.fail "bad inject");
+            (match admit (P.Op.Clear_fault (Wdm_faults.Fault.Middle 99)) with
+            | Ok (P.Resp.Server_error _) -> ()
+            | _ -> Alcotest.fail "bad clear");
+            (match admit (P.Op.Connect (conn (ep 2 1) [ ep 5 1 ])) with
+            | Ok (P.Resp.Admitted _) -> ()
+            | _ -> Alcotest.fail "second connect");
+            match Srv.Client.digest c with
+            | Ok d -> d
+            | Error e -> Alcotest.fail e))
+  in
+  P.Store.close store;
+  (* no checkpoint after serving: recovery must replay the WAL tail,
+     which holds only the three ops that executed *)
+  (match P.Store.recover ~wal () with
+  | Ok r ->
+    Alcotest.(check int) "replayed only executed ops" 3 r.P.Store.replayed;
+    Alcotest.(check int) "recovered digest" final_digest
+      (P.Store.digest r.P.Store.network)
+  | Error e -> Alcotest.fail (Format.asprintf "%a" P.Store.pp_recovery_error e));
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Unix.rmdir dir
+
 (* --- server telemetry ----------------------------------------------------- *)
 
 let test_server_instruments () =
   let sink = Tel.Sink.create () in
   let net = make_net Network.Bitset in
-  with_server ~telemetry:sink net (fun srv ->
+  let srv =
+    Srv.Server.start ~telemetry:sink ~net
+      (Srv.Server.Unix_socket (socket_path ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> Srv.Server.stop srv)
+    (fun () ->
       with_client srv (fun c ->
           for i = 1 to 5 do
             ignore
@@ -364,8 +471,11 @@ let test_server_instruments () =
                i + String.length needle <= String.length js
                && (String.sub js i (String.length needle) = needle || go (i + 1))
              in
-             go 0));
-      Alcotest.(check int) "served" 6 (Srv.Server.served srv));
+             go 0)));
+  (* [served] is only specified stable after [stop]: reading it inside
+     the session races the admission thread, which increments the
+     count just after writing the response the client already saw *)
+  Alcotest.(check int) "served" 6 (Srv.Server.served srv);
   let snap = Tel.Sink.snapshot sink in
   let counter name =
     Option.value ~default:(-1) (Tel.Metrics.find_counter snap name)
@@ -392,6 +502,10 @@ let () =
           Alcotest.test_case "basic requests" `Quick test_serve_basic;
           Alcotest.test_case "malformed frame" `Quick
             test_malformed_frame_closes_connection;
+          Alcotest.test_case "silent client" `Quick
+            test_silent_client_does_not_block_accept;
+          Alcotest.test_case "client fails fast" `Quick
+            test_client_fails_fast_after_transport_error;
           Alcotest.test_case "server instruments" `Quick test_server_instruments;
         ] );
       ( "equivalence",
@@ -402,5 +516,7 @@ let () =
             (test_loopback_equivalence Network.Reference);
           Alcotest.test_case "served session recovers" `Quick
             test_served_session_recovers;
+          Alcotest.test_case "failed ops not WAL-logged" `Quick
+            test_failed_ops_do_not_poison_wal;
         ] );
     ]
