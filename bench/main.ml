@@ -871,7 +871,7 @@ let serving_bench ~topo ~ops ~dt_baseline =
     | Ok c -> c
     | Error e ->
       Server.stop srv;
-      failwith ("serving_bench: " ^ e)
+      failwith ("serving_bench: " ^ Client.error_to_string e)
   in
   let answered = ref 0 in
   let t0 = Unix.gettimeofday () in
@@ -879,13 +879,13 @@ let serving_bench ~topo ~ops ~dt_baseline =
     (fun op ->
       match Client.request client (Resp.Admit op) with
       | Ok _ -> incr answered
-      | Error e -> failwith ("serving_bench: " ^ e))
+      | Error e -> failwith ("serving_bench: " ^ Client.error_to_string e))
     ops;
   let dt = Unix.gettimeofday () -. t0 in
   let digest =
     match Client.digest client with
     | Ok d -> d
-    | Error e -> failwith ("serving_bench: " ^ e)
+    | Error e -> failwith ("serving_bench: " ^ Client.error_to_string e)
   in
   Client.close client;
   Server.stop srv;
@@ -910,6 +910,120 @@ let serving_bench ~topo ~ops ~dt_baseline =
         ("requests_per_s", J.Float rps);
         ("inproc_ops_per_s", J.Float inproc);
         ("slowdown", J.Float (inproc /. rps));
+        ("digest_match", J.Bool digest_match);
+      ] )
+
+(* ----------------------------------------------------------------- *)
+(* Replication: leader throughput with one follower attached          *)
+(* ----------------------------------------------------------------- *)
+
+(* The cost of shipping the committed-op stream: the same request
+   array served by a standalone leader and by a leader with one live
+   follower, plus how far the follower trailed when the last response
+   landed and how long the gap took to drain.  Digest equality across
+   the pair is the correctness gate. *)
+let replication_bench ~topo ~ops =
+  section "Replication (leader + 1 follower, unix sockets)";
+  let make () =
+    Network.create
+      ~config:
+        {
+          Network.Config.default with
+          telemetry = Some (Wdm_telemetry.Sink.create ());
+          link_impl = Some Network.Bitset;
+        }
+      ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
+  in
+  let sock tag =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wdm_bench_%s_%d.sock" tag (Unix.getpid ()))
+  in
+  let drive srv =
+    let client =
+      match Client.connect (Server.address srv) with
+      | Ok c -> c
+      | Error e ->
+        Server.stop srv;
+        failwith ("replication_bench: " ^ Client.error_to_string e)
+    in
+    let answered = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    Array.iter
+      (fun op ->
+        match Client.request client (Resp.Admit op) with
+        | Ok _ -> incr answered
+        | Error e -> failwith ("replication_bench: " ^ Client.error_to_string e))
+      ops;
+    let dt = Unix.gettimeofday () -. t0 in
+    (client, !answered, dt)
+  in
+  let digest_of client =
+    match Client.digest client with
+    | Ok d -> d
+    | Error e -> failwith ("replication_bench: " ^ Client.error_to_string e)
+  in
+  (* standalone baseline *)
+  let alone = Server.start ~net:(make ()) (Server.Unix_socket (sock "alone")) in
+  let c0, answered, dt_alone = drive alone in
+  Client.close c0;
+  Server.stop alone;
+  (* the same stream with a follower subscribed *)
+  let leader =
+    Server.start ~net:(make ()) (Server.Unix_socket (sock "leader"))
+  in
+  let follower =
+    Server.start
+      ~follower:{ Server.leader = Server.address leader; wal = None }
+      ~net:(make ())
+      (Server.Unix_socket (sock "follower"))
+  in
+  let c1, _, dt_repl = drive leader in
+  let target = Server.applied leader in
+  let lag = max 0 (target - Server.applied follower) in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. 30.0 in
+  while Server.applied follower < target && Unix.gettimeofday () < deadline do
+    Thread.delay 0.001
+  done;
+  let catchup = Unix.gettimeofday () -. t0 in
+  if Server.applied follower < target then
+    failwith "replication_bench: follower never caught up";
+  let leader_digest = digest_of c1 in
+  Client.close c1;
+  let follower_digest =
+    match Client.connect (Server.address follower) with
+    | Ok c ->
+      let d = digest_of c in
+      Client.close c;
+      d
+    | Error e -> failwith ("replication_bench: " ^ Client.error_to_string e)
+  in
+  Server.stop leader;
+  Server.stop follower;
+  let digest_match = leader_digest = follower_digest in
+  let rps_alone = float_of_int answered /. dt_alone in
+  let rps_repl = float_of_int answered /. dt_repl in
+  let overhead_pct = (dt_repl -. dt_alone) /. dt_alone *. 100. in
+  Printf.printf
+    "standalone : %d requests in %.3f s  %8.0f requests/s\n" answered dt_alone
+    rps_alone;
+  Printf.printf
+    "replicated : %d requests in %.3f s  %8.0f requests/s  (overhead: %.1f%%)\n"
+    answered dt_repl rps_repl overhead_pct;
+  Printf.printf "follower lag at completion: %d ops, drained in %.3f s\n" lag
+    catchup;
+  Printf.printf "digest match leader vs follower: %b\n\n" digest_match;
+  if not digest_match then
+    failwith "replication_bench: follower state diverged from the leader";
+  ( "replication",
+    J.Obj
+      [
+        ("requests", J.Int answered);
+        ("standalone_requests_per_s", J.Float rps_alone);
+        ("replicated_requests_per_s", J.Float rps_repl);
+        ("overhead_pct", J.Float overhead_pct);
+        ("follower_lag_ops", J.Int lag);
+        ("catchup_s", J.Float catchup);
         ("digest_match", J.Bool digest_match);
       ] )
 
@@ -1205,6 +1319,30 @@ let validate_results path =
         fail "serving.digest_match is false: served state diverged"
       | _ -> fail "serving.digest_match is not a bool"
     in
+    let* repl = require "replication" (J.member "replication" doc) in
+    let* () =
+      List.fold_left
+        (fun acc key ->
+          Result.bind acc (fun () ->
+              match J.member key repl with
+              | Some j -> number (Printf.sprintf "replication.%s" key) j
+              | None -> fail "replication.%s missing" key))
+        (Ok ())
+        [
+          "requests"; "standalone_requests_per_s"; "replicated_requests_per_s";
+          "overhead_pct"; "follower_lag_ops"; "catchup_s";
+        ]
+    in
+    let* rdm =
+      require "replication.digest_match" (J.member "digest_match" repl)
+    in
+    let* () =
+      match rdm with
+      | J.Bool true -> Ok ()
+      | J.Bool false ->
+        fail "replication.digest_match is false: the follower diverged"
+      | _ -> fail "replication.digest_match is not a bool"
+    in
     Ok (List.length benches, List.length impls)
   in
   match result with
@@ -1238,8 +1376,9 @@ let full () =
   let rt, (topo, ops, dt_bit) = routing_throughput ~quick:false () in
   let persist = persistence_bench ~topo ~ops ~dt_baseline:dt_bit in
   let serving = serving_bench ~topo ~ops ~dt_baseline:dt_bit in
+  let repl = replication_bench ~topo ~ops in
   let micro = micro_benchmarks ~quick:false () in
-  write_results [ micro; rt; persist; serving ];
+  write_results [ micro; rt; persist; serving; repl ];
   print_endline "All reproduction sections completed."
 
 (* --quick runs just the machine-readable sections at reduced sizes —
@@ -1249,8 +1388,9 @@ let quick () =
   let rt, (topo, ops, dt_bit) = routing_throughput ~quick:true () in
   let persist = persistence_bench ~topo ~ops ~dt_baseline:dt_bit in
   let serving = serving_bench ~topo ~ops ~dt_baseline:dt_bit in
+  let repl = replication_bench ~topo ~ops in
   let micro = micro_benchmarks ~quick:true () in
-  write_results [ micro; rt; persist; serving ];
+  write_results [ micro; rt; persist; serving; repl ];
   print_endline "Quick bench profile completed."
 
 let () =

@@ -852,6 +852,7 @@ let recover_cmd =
 
 module Server = Wdm_server.Server
 module Client = Wdm_server.Client
+module Resilient = Wdm_server.Resilient
 
 let address_conv =
   let parse s =
@@ -918,8 +919,16 @@ let serve_cmd =
     Arg.(value & opt int 64 & info [ "batch-limit" ] ~docv:"B"
            ~doc:"Requests the admission loop takes per drain.")
   in
+  let follower_arg =
+    Arg.(value & opt (some address_conv) None & info [ "follower" ] ~docv:"LEADER"
+           ~doc:"Run as a follower of the leader at this address: subscribe \
+                 to its committed-op stream, apply it locally (journalled to \
+                 $(b,--wal) when given), serve read-only requests, and \
+                 refuse mutations.  SIGUSR1 or $(b,wdmnet promote) promotes \
+                 this node to leader.")
+  in
   let run n r k m construction model listen wal fsync_every queue_capacity
-      batch_limit =
+      batch_limit follower =
     check_dims n k;
     if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
     if queue_capacity < 1 || batch_limit < 1 then begin
@@ -949,30 +958,54 @@ let serve_cmd =
         ~config:{ Network.Config.default with telemetry = Some sink }
         ~construction ~output_model:model topo
     in
-    let store = Option.map (fun wal -> Persist.Store.start ?policy ~wal net) wal in
+    (* A follower manages its own store (truncated on snapshot install,
+       resumed from the mark on restart); only a leader takes one here. *)
+    let store =
+      match follower with
+      | Some _ -> None
+      | None -> Option.map (fun wal -> Persist.Store.start ?policy ~wal net) wal
+    in
     let srv =
-      Server.start ~telemetry:sink ?store ~queue_capacity ~batch_limit ~net
-        listen
+      Server.start ~telemetry:sink ?store ~queue_capacity ~batch_limit
+        ?follower:
+          (Option.map (fun leader -> { Server.leader; wal }) follower)
+        ~net listen
     in
     Format.printf "topology: %a, model %a@." Topology.pp topo Model.pp model;
     Format.printf "serving on %a@." Server.pp_address (Server.address srv);
+    (match follower with
+    | Some leader -> Format.printf "following %a@." Server.pp_address leader
+    | None -> ());
     Format.print_flush ();
-    (* Park until SIGINT/SIGTERM; the handler only flips the flag — all
-       shutdown work happens back here, outside signal context. *)
+    (* Park until SIGINT/SIGTERM; the handlers only flip flags — all
+       shutdown (and promotion) work happens back here, outside signal
+       context. *)
     let stop_requested = ref false in
+    let promote_requested = ref false in
     let request_stop _ = stop_requested := true in
     List.iter
       (fun s ->
         try Sys.set_signal s (Sys.Signal_handle request_stop)
         with Invalid_argument _ | Sys_error _ -> ())
       [ Sys.sigint; Sys.sigterm ];
+    (try
+       Sys.set_signal Sys.sigusr1
+         (Sys.Signal_handle (fun _ -> promote_requested := true))
+     with Invalid_argument _ | Sys_error _ -> ());
     while not !stop_requested do
+      if !promote_requested then begin
+        promote_requested := false;
+        match Server.promote srv with
+        | Ok seq -> Printf.printf "promoted to leader at seq %d\n%!" seq
+        | Error e -> Printf.eprintf "wdmnet: promote: %s\n%!" e
+      end;
       Thread.delay 0.1
     done;
     prerr_endline "wdmnet: shutting down";
     Server.stop srv;
     Printf.printf "served %d requests\n" (Server.served srv);
-    match store with
+    let net = Server.network srv in
+    match Server.current_store srv with
     | Some store -> finish_store store net
     | None -> Printf.printf "state digest: %d\n" (Persist.Store.digest net)
   in
@@ -980,16 +1013,21 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Serve a live network over a socket: requests are WAL-format \
              ops, admitted by a single writer in batches; with $(b,--wal) \
-             the session crash-recovers like a recorded run.  SIGINT or \
-             SIGTERM shuts down gracefully and prints the state digest.")
+             the session crash-recovers like a recorded run.  With \
+             $(b,--follower) the node replicates a leader instead (SIGUSR1 \
+             promotes it).  SIGINT or SIGTERM shuts down gracefully and \
+             prints the state digest.")
     Term.(const run $ n_local_arg $ r_arg $ k_arg $ m_arg $ construction_arg
           $ model_arg $ listen_arg $ wal_arg $ fsync_every_arg
-          $ queue_capacity_arg $ batch_limit_arg)
+          $ queue_capacity_arg $ batch_limit_arg $ follower_arg)
 
 let client_cmd =
   let connect_arg =
-    Arg.(value & opt address_conv default_address & info [ "connect" ] ~docv:"ADDR"
-           ~doc:"Server address: unix:PATH, tcp:HOST:PORT or HOST:PORT.")
+    Arg.(value & opt_all address_conv [] & info [ "connect" ] ~docv:"ADDR"
+           ~doc:"Server address: unix:PATH, tcp:HOST:PORT or HOST:PORT.  \
+                 Repeatable: with several addresses the client rotates \
+                 through them on failure or $(i,not the leader) answers, \
+                 so a workload survives a leader failover.")
   in
   let churn_flag =
     Arg.(value & flag & info [ "churn" ]
@@ -1025,49 +1063,52 @@ let client_cmd =
       prerr_endline "wdmnet: nothing to do (pass --churn, --digest or --stats)";
       exit 2
     end;
-    match Client.connect connect with
-    | Error e ->
-      prerr_endline ("wdmnet: " ^ e);
+    let addrs = match connect with [] -> [ default_address ] | l -> l in
+    let rc = Resilient.create addrs in
+    Fun.protect ~finally:(fun () -> Resilient.close rc) @@ fun () ->
+    let fail e =
+      prerr_endline ("wdmnet: " ^ Client.error_to_string e);
       exit 1
-    | Ok c ->
-      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
-      let fail e =
+    in
+    if churn then begin
+      check_dims n k;
+      if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
+      if ops < 0 then begin prerr_endline "wdmnet: ops must be >= 0"; exit 2 end;
+      let spec = Network_spec.make_exn ~n:(n * r) ~k in
+      let sum = ref 0 in
+      let sut =
+        Resilient.churn_sut
+          ~on_admit:(fun route -> sum := Persist.Op.route_checksum !sum route)
+          rc
+      in
+      match
+        Wdm_traffic.Churn.run
+          (Random.State.make [| seed |])
+          ~spec ~model
+          ~fanout:(Wdm_traffic.Fanout.Zipf { max = n * r; s = 1.1 })
+          ~steps:ops ~teardown_bias:0.35 sut
+      with
+      | exception Failure e ->
         prerr_endline ("wdmnet: " ^ e);
         exit 1
-      in
-      if churn then begin
-        check_dims n k;
-        if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
-        if ops < 0 then begin prerr_endline "wdmnet: ops must be >= 0"; exit 2 end;
-        let spec = Network_spec.make_exn ~n:(n * r) ~k in
-        let sum = ref 0 in
-        let sut =
-          Client.churn_sut
-            ~on_admit:(fun route -> sum := Persist.Op.route_checksum !sum route)
-            c
-        in
-        match
-          Wdm_traffic.Churn.run
-            (Random.State.make [| seed |])
-            ~spec ~model
-            ~fanout:(Wdm_traffic.Fanout.Zipf { max = n * r; s = 1.1 })
-            ~steps:ops ~teardown_bias:0.35 sut
-        with
-        | exception Failure e -> fail e
-        | stats ->
-          Format.printf "%a@." Wdm_traffic.Churn.pp_stats stats;
-          Printf.printf "route checksum: %d\n" !sum
-      end;
-      if stats then begin
-        match Client.stats_json c with
-        | Ok js -> print_endline js
-        | Error e -> fail e
-      end;
-      if digest then begin
-        match Client.digest c with
-        | Ok d -> Printf.printf "state digest: %d\n" d
-        | Error e -> fail e
-      end
+      | stats ->
+        Format.printf "%a@." Wdm_traffic.Churn.pp_stats stats;
+        Printf.printf "route checksum: %d\n" !sum
+    end;
+    if stats then begin
+      match Resilient.request rc Persist.Resp.Get_stats with
+      | Ok (Persist.Resp.Stats_json js) -> print_endline js
+      | Ok resp ->
+        fail
+          (Client.Protocol
+             (Format.asprintf "unexpected response: %a" Persist.Resp.pp resp))
+      | Error e -> fail e
+    end;
+    if digest then begin
+      match Resilient.digest rc with
+      | Ok d -> Printf.printf "state digest: %d\n" d
+      | Error e -> fail e
+    end
   in
   Cmd.v
     (Cmd.info "client"
@@ -1076,6 +1117,34 @@ let client_cmd =
              ($(b,--digest)) or the telemetry snapshot ($(b,--stats)).")
     Term.(const run $ connect_arg $ churn_flag $ ops_arg $ seed_arg
           $ n_local_arg $ r_arg $ k_arg $ model_arg $ digest_flag $ stats_flag)
+
+(* --- promote ------------------------------------------------------------ *)
+
+let promote_cmd =
+  let connect_arg =
+    Arg.(value & opt address_conv default_address & info [ "connect" ] ~docv:"ADDR"
+           ~doc:"Follower address: unix:PATH, tcp:HOST:PORT or HOST:PORT.")
+  in
+  let run connect =
+    match Client.connect connect with
+    | Error e ->
+      prerr_endline ("wdmnet: " ^ Client.error_to_string e);
+      exit 1
+    | Ok c ->
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      (match Client.promote c with
+      | Ok seq -> Printf.printf "promoted at seq %d\n" seq
+      | Error e ->
+        prerr_endline ("wdmnet: " ^ Client.error_to_string e);
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:"Promote a $(b,wdmnet serve --follower) instance to leader: it \
+             stops replicating, adopts a fresh epoch and starts accepting \
+             mutations.  Equivalent to sending the serving process \
+             $(b,SIGUSR1).")
+    Term.(const run $ connect_arg)
 
 (* --- adversary ----------------------------------------------------------- *)
 
@@ -1179,6 +1248,7 @@ let () =
           [
             capacity_cmd; cost_cmd; design_cmd; tables_cmd; sweep_cmd;
             fig10_cmd; simulate_cmd; faults_cmd; stats_cmd; record_cmd;
-            recover_cmd; serve_cmd; client_cmd; adversary_cmd; figures_cmd;
+            recover_cmd; serve_cmd; client_cmd; promote_cmd; adversary_cmd;
+            figures_cmd;
             deep_cmd;
           ]))

@@ -8,13 +8,15 @@ module Fault = Wdm_faults.Fault
    (tags 1-5) can keep growing underneath them. *)
 let tag_digest = 0xF1
 let tag_stats = 0xF2
+let tag_promote = 0xF3
 
-type request = Admit of Op.t | Get_digest | Get_stats
+type request = Admit of Op.t | Get_digest | Get_stats | Promote
 
 let encode_request b = function
   | Admit op -> Op.encode b op
   | Get_digest -> Wire.put_u8 b tag_digest
   | Get_stats -> Wire.put_u8 b tag_stats
+  | Promote -> Wire.put_u8 b tag_promote
 
 let decode_request r =
   (* peek: ops read their own tag byte *)
@@ -27,6 +29,9 @@ let decode_request r =
   else if tag = tag_stats then (
     r.Wire.pos <- r.Wire.pos + 1;
     Get_stats)
+  else if tag = tag_promote then (
+    r.Wire.pos <- r.Wire.pos + 1;
+    Promote)
   else Admit (Op.decode r)
 
 (* ----- responses ------------------------------------------------------- *)
@@ -41,6 +46,8 @@ type t =
   | Digest_is of int
   | Stats_json of string
   | Server_error of string
+  | Not_leader of { leader : string }
+  | Promoted of { seq : int }
 
 let fail (r : Wire.reader) reason =
   raise (Wire.Decode_error { offset = r.Wire.pos; reason })
@@ -170,6 +177,12 @@ let encode b = function
   | Server_error s ->
     Wire.put_u8 b 9;
     put_string b s
+  | Not_leader { leader } ->
+    Wire.put_u8 b 10;
+    put_string b leader
+  | Promoted { seq } ->
+    Wire.put_u8 b 11;
+    Wire.put_int b seq
 
 let decode r =
   match Wire.get_u8 r with
@@ -189,6 +202,8 @@ let decode r =
   | 7 -> Digest_is (Wire.get_int r)
   | 8 -> Stats_json (get_string r)
   | 9 -> Server_error (get_string r)
+  | 10 -> Not_leader { leader = get_string r }
+  | 11 -> Promoted { seq = Wire.get_int r }
   | tag -> fail r (Printf.sprintf "unknown response tag %d" tag)
 
 let decode_string s =
@@ -212,6 +227,8 @@ let equal a b =
   | Fault_cleared, Fault_cleared -> true
   | Digest_is a, Digest_is b -> a = b
   | Stats_json a, Stats_json b | Server_error a, Server_error b -> a = b
+  | Not_leader a, Not_leader b -> a.leader = b.leader
+  | Promoted a, Promoted b -> a.seq = b.seq
   | _ -> false
 
 let pp ppf = function
@@ -227,12 +244,19 @@ let pp ppf = function
   | Digest_is d -> Format.fprintf ppf "digest %d" d
   | Stats_json s -> Format.fprintf ppf "stats %s" s
   | Server_error s -> Format.fprintf ppf "server error: %s" s
+  | Not_leader { leader } ->
+    Format.fprintf ppf "not the leader%s"
+      (if leader = "" then "" else " (try " ^ leader ^ ")")
+  | Promoted { seq } -> Format.fprintf ppf "promoted at seq %d" seq
 
 (* ----- execution ------------------------------------------------------- *)
 
 let execute ?(stats = fun () -> "{}") net = function
   | Get_digest -> Digest_is (Store.digest net)
   | Get_stats -> Stats_json (stats ())
+  (* Promotion is a server-role concern; a bare network has no role to
+     change, and the server intercepts the request before execute. *)
+  | Promote -> Server_error "promotion is handled by the server"
   | Admit op -> (
     match op with
     | Op.Connect c -> (

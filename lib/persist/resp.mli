@@ -24,6 +24,10 @@ type request =
           network — tag [0xF1] *)
   | Get_stats
       (** server-side telemetry snapshot as JSON — tag [0xF2] *)
+  | Promote
+      (** ask a follower to become the leader — tag [0xF3]; answered
+          with {!t.Promoted} by a follower, [Server_error] by a node
+          that is already the leader *)
 
 val encode_request : Buffer.t -> request -> unit
 
@@ -51,6 +55,13 @@ type t =
       (** the request could not be executed at all (malformed frame,
           out-of-range fault indices, ...); the payload is
           human-readable *)
+  | Not_leader of { leader : string }
+      (** a follower refusing a state-changing request; [leader] is
+          the address to retry against when the follower knows it
+          ([""] otherwise) *)
+  | Promoted of { seq : int }
+      (** a follower accepted {!request.Promote} and now leads, with
+          [seq] ops applied *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
@@ -75,4 +86,7 @@ val execute : ?stats:(unit -> string) -> Network.t -> request -> t
     {!Store.digest}.  [Get_stats] answers with [stats ()] (default:
     ["{}"] — the server passes its metrics renderer).
     [Invalid_argument] from fault validation is caught and answered as
-    [Server_error] — a bad request must not take the server down. *)
+    [Server_error] — a bad request must not take the server down.
+    [Promote] answers [Server_error]: promotion changes a server's
+    role, not network state, so the server intercepts it before this
+    function ever sees it. *)

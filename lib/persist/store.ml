@@ -300,6 +300,7 @@ let log t op = Wal.append t.writer op
 let checkpoint t net = take_snapshot t net
 let wal_records t = Wal.records t.writer
 let wal_offset t = Wal.tell t.writer
+let snapshot_seq t = t.seq
 let close t = Wal.close t.writer
 
 (* ----- recovery -------------------------------------------------------- *)
@@ -430,3 +431,37 @@ let recover ?telemetry ?(truncate = true) ~wal () =
               (Tel.Sink.now sink -. t0)
           | _ -> ());
           Ok { network; snapshot_seq; snapshot_offset; replayed; tear })))
+
+(* ----- resume ---------------------------------------------------------- *)
+
+(* Recover, then continue the same WAL instead of truncating it: the
+   writer reopens in append mode, the snapshot sequence carries on past
+   the newest file on disk, and an immediate checkpoint pins the
+   recovered state at the current offset (also healing the case where
+   the newest snapshot had become inconsistent with the truncated
+   WAL). *)
+let resume ?telemetry ?policy ?(retain = 2) ~wal () =
+  if retain < 1 then invalid_arg "Store.resume: retain must be >= 1";
+  match recover ?telemetry ~truncate:true ~wal () with
+  | Error _ as e -> e
+  | Ok recovery ->
+    let records =
+      match Wal.read wal with
+      | Ok { Wal.ops; _ } -> List.length ops
+      | Error _ -> 0
+    in
+    let writer = Wal.open_append ?telemetry ?policy ~records wal in
+    let seq =
+      match list_snapshots ~wal with (s, _) :: _ -> s + 1 | [] -> 0
+    in
+    let t =
+      {
+        wal_path = wal;
+        writer;
+        retain;
+        seq;
+        instruments = Option.map session_instruments telemetry;
+      }
+    in
+    take_snapshot t recovery.network;
+    Ok (t, recovery)

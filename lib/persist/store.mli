@@ -78,6 +78,9 @@ val wal_records : t -> int
 val wal_offset : t -> int
 (** Current end-of-WAL byte offset (flushes first). *)
 
+val snapshot_seq : t -> int
+(** Sequence number the next {!checkpoint} will write. *)
+
 val close : t -> unit
 
 (** {1 Recovery} *)
@@ -115,3 +118,16 @@ val recover :
     [telemetry] instruments the restored network and feeds
     [persist_recoveries_total] and
     [persist_restore_latency_seconds]. *)
+
+val resume :
+  ?telemetry:Wdm_telemetry.Sink.t ->
+  ?policy:Wal.flush_policy ->
+  ?retain:int ->
+  wal:string ->
+  unit ->
+  (t * recovery, recovery_error) result
+(** {!recover}, then continue the {e same} WAL in append mode instead
+    of starting a fresh one — a restarting service keeps its history.
+    The snapshot sequence continues past the newest file on disk, and
+    an immediate checkpoint pins the recovered state at the current
+    WAL offset.  @raise Invalid_argument when [retain < 1]. *)

@@ -68,6 +68,34 @@ let create ?telemetry ?(policy = Flush_every 1) path =
   (match policy with Buffered -> () | Flush_every _ | Fsync_every _ -> flush oc);
   w
 
+(* Reopen an existing WAL for appending: the header is verified, the
+   channel positioned at end-of-file.  [records] seeds the writer's
+   record count (the caller knows it from scanning the file) so
+   Flush_every cadence and the records counter stay meaningful. *)
+let open_append ?telemetry ?(policy = Flush_every 1) ?(records = 0) path =
+  check_policy policy;
+  let header =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        if in_channel_length ic < Wire.header_len then
+          Error "file shorter than its header"
+        else Ok (really_input_string ic Wire.header_len))
+  in
+  (match Result.bind header (Wire.check_header ~kind:'W') with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Wal.open_append: " ^ e));
+  let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
+  seek_out oc (out_channel_length oc);
+  {
+    oc;
+    policy;
+    records;
+    unsynced = 0;
+    instruments = Option.map instruments_of_sink telemetry;
+  }
+
 let append w op =
   let b = Buffer.create 64 in
   Op.encode b op;
@@ -130,10 +158,24 @@ let read path =
       in
       scan Wire.header_len [])
 
+(* The truncation must itself be durable: without the fsyncs a crash
+   right after recovery can resurrect the torn bytes (the shortened
+   length was only in the page cache), and the next recovery would see
+   a different file than the one this recovery validated.  The
+   directory fsync covers filesystems that journal data and metadata
+   separately. *)
 let truncate_at path offset =
   if offset < Wire.header_len then
     invalid_arg "Wal.truncate_at: offset inside the header";
   let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
   Fun.protect
     ~finally:(fun () -> Unix.close fd)
-    (fun () -> Unix.ftruncate fd offset)
+    (fun () ->
+      Unix.ftruncate fd offset;
+      try Unix.fsync fd with Unix.Unix_error _ -> ());
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dirfd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close dirfd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync dirfd with Unix.Unix_error _ -> ())

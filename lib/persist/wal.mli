@@ -26,6 +26,20 @@ val create : ?telemetry:Wdm_telemetry.Sink.t -> ?policy:flush_policy ->
     [persist_wal_bytes_total] and [persist_fsync_latency_seconds].
     @raise Invalid_argument on a non-positive policy interval. *)
 
+val open_append :
+  ?telemetry:Wdm_telemetry.Sink.t ->
+  ?policy:flush_policy ->
+  ?records:int ->
+  string ->
+  writer
+(** Reopens an existing WAL for appending (header verified, channel
+    positioned at end-of-file) — what {!Store.resume} uses to continue
+    a recovered session instead of truncating its history.  [records]
+    seeds the writer's record count, so {!records} and the
+    [Flush_every] cadence continue where the previous session left
+    off.  @raise Invalid_argument when [path] is not a WAL (missing or
+    bad header) or on a non-positive policy interval. *)
+
 val append : writer -> Op.t -> unit
 val records : writer -> int
 (** Records appended so far. *)
@@ -54,4 +68,7 @@ val read : string -> (read_outcome, string) result
     complete record is an [Error] naming the byte offset. *)
 
 val truncate_at : string -> int -> unit
-(** Cuts the file at a tear offset so a recovered process can append. *)
+(** Cuts the file at a tear offset so a recovered process can append.
+    The shortened file and its directory are both [fsync]ed before
+    returning: a crash immediately after recovery must not resurrect
+    the torn bytes the recovery decided to discard. *)

@@ -43,7 +43,9 @@ val header_len : int
 (** 8 bytes. *)
 
 val header : kind:char -> string
-(** Kinds in use: ['W'] (op WAL), ['S'] (network snapshot). *)
+(** Kinds in use: ['W'] (op WAL), ['S'] (network snapshot), ['M']
+    (follower replication mark), plus the socket hellos ['C'] / ['R'] /
+    ['F'] ({!Wdm_server.Protocol}). *)
 
 val check_header : kind:char -> string -> (unit, string) result
 (** Validates magic, kind and version of a whole-file string. *)

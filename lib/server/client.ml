@@ -1,7 +1,25 @@
 module Network = Wdm_multistage.Network
 module P = Wdm_persist
 
-type t = { fd : Unix.file_descr; mutable closed : bool }
+type error =
+  | Timeout
+  | Closed
+  | Transport of string
+  | Protocol of string
+
+let pp_error ppf = function
+  | Timeout -> Format.pp_print_string ppf "request deadline exceeded"
+  | Closed -> Format.pp_print_string ppf "client is closed"
+  | Transport e -> Format.fprintf ppf "transport: %s" e
+  | Protocol e -> Format.fprintf ppf "protocol: %s" e
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type t = {
+  fd : Unix.file_descr;
+  mutable closed : bool;
+  mutable deadline : float;
+}
 
 let sockaddr_of = function
   | Server.Tcp (host, port) ->
@@ -12,39 +30,73 @@ let sockaddr_of = function
     (Unix.PF_INET, Unix.ADDR_INET (inet, port))
   | Server.Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
 
-let connect addr =
+(* EAGAIN/EWOULDBLOCK out of a socket with SO_RCVTIMEO set is the
+   deadline expiring, not a transport fault. *)
+let error_of_unix = function
+  | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT -> Timeout
+  | err -> Transport (Unix.error_message err)
+
+(* A bounded connect: non-blocking dial, wait for writability, then
+   read the pending error the kernel stored for the attempt. *)
+let dial ~dial_timeout sockaddr domain =
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
   match
-    let domain, sockaddr = sockaddr_of addr in
-    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd sockaddr
-     with e ->
-       (try Unix.close fd with Unix.Unix_error _ -> ());
-       raise e);
+    Unix.set_nonblock fd;
+    (match Unix.connect fd sockaddr with
+    | () -> ()
+    | exception
+        Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+      -> (
+      match Unix.select [] [ fd ] [] dial_timeout with
+      | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+      | _ -> (
+        match Unix.getsockopt_error fd with
+        | None -> ()
+        | Some err -> raise (Unix.Unix_error (err, "connect", "")))));
+    Unix.clear_nonblock fd;
     fd
   with
+  | fd -> Ok fd
   | exception Unix.Unix_error (err, _, _) ->
-    Error
-      (Format.asprintf "cannot connect to %a: %s" Server.pp_address addr
-         (Unix.error_message err))
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (error_of_unix err)
+
+let connect ?(dial_timeout = 5.0) ?(deadline = 30.0) addr =
+  match sockaddr_of addr with
   | exception Not_found ->
-    Error (Format.asprintf "cannot resolve %a" Server.pp_address addr)
-  | fd -> (
-    match
-      Protocol.write_all fd Protocol.client_hello;
-      Protocol.read_exactly fd P.Wire.header_len
-    with
-    | exception (Unix.Unix_error _ | Failure _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error "handshake failed: server closed the connection"
-    | None ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error "handshake failed: no server hello"
-    | Some hello -> (
-      match Protocol.check_server_hello hello with
-      | Ok () -> Ok { fd; closed = false }
-      | Error e ->
+    Error (Transport (Format.asprintf "cannot resolve %a" Server.pp_address addr))
+  | domain, sockaddr -> (
+    match dial ~dial_timeout sockaddr domain with
+    | Error Timeout -> Error Timeout
+    | Error (Transport e) ->
+      Error
+        (Transport
+           (Format.asprintf "cannot connect to %a: %s" Server.pp_address addr e))
+    | Error e -> Error e
+    | Ok fd -> (
+      (* the deadline covers the handshake too: a server that accepts
+         and never answers must not hang the caller *)
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO deadline
+       with Unix.Unix_error _ -> ());
+      match
+        Protocol.write_all fd Protocol.client_hello;
+        Protocol.read_exactly fd P.Wire.header_len
+      with
+      | exception Unix.Unix_error (err, _, _) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
-        Error ("handshake failed: " ^ e)))
+        Error (error_of_unix err)
+      | exception Failure _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Transport "handshake failed: server closed the connection")
+      | None ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Transport "handshake failed: no server hello")
+      | Some hello -> (
+        match Protocol.check_server_hello hello with
+        | Ok () -> Ok { fd; closed = false; deadline }
+        | Error e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (Protocol ("handshake failed: " ^ e)))))
 
 let close t =
   if not t.closed then begin
@@ -52,44 +104,62 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-(* A transport failure mid-exchange (partial send, EOF or a bad frame
-   mid-receive) desynchronizes the byte stream: another request on the
-   same fd could misframe and return garbage.  Close the connection so
-   every subsequent request fails fast instead.  A CRC-valid frame
-   whose payload merely fails to decode leaves the stream aligned, so
-   that case keeps the connection. *)
-let request t req =
-  if t.closed then Error "client is closed"
-  else
-    let broken msg =
+(* A transport failure mid-exchange (partial send, EOF, a bad frame,
+   or a deadline expiring with the response half-read) desynchronizes
+   the byte stream: another request on the same fd could misframe and
+   return garbage.  Close the connection so every subsequent request
+   fails fast instead.  A CRC-valid frame whose payload merely fails
+   to decode leaves the stream aligned, so that case keeps the
+   connection. *)
+let request ?deadline t req =
+  if t.closed then Error Closed
+  else begin
+    (match deadline with
+    | Some d when d <> t.deadline -> (
+      t.deadline <- d;
+      try Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO d
+      with Unix.Unix_error _ -> ())
+    | _ -> ());
+    let broken err =
       close t;
-      Error msg
+      Error err
     in
     let b = Buffer.create 64 in
     P.Resp.encode_request b req;
     match Protocol.send_frame t.fd (Buffer.contents b) with
-    | exception Unix.Unix_error (err, _, _) ->
-      broken ("send failed: " ^ Unix.error_message err)
+    | exception Unix.Unix_error (err, _, _) -> broken (error_of_unix err)
     | () -> (
       match Protocol.recv_frame t.fd with
-      | exception Unix.Unix_error (err, _, _) ->
-        broken ("receive failed: " ^ Unix.error_message err)
-      | Protocol.Eof -> broken "server closed the connection"
-      | Protocol.Bad reason -> broken ("bad response frame: " ^ reason)
-      | Protocol.Frame payload -> P.Resp.decode_string payload)
+      | exception Unix.Unix_error (err, _, _) -> broken (error_of_unix err)
+      | exception Failure _ -> broken (Transport "server closed mid-frame")
+      | Protocol.Eof -> broken (Transport "server closed the connection")
+      | Protocol.Bad reason -> broken (Protocol ("bad response frame: " ^ reason))
+      | Protocol.Frame payload -> (
+        match P.Resp.decode_string payload with
+        | Ok resp -> Ok resp
+        | Error e -> Error (Protocol e)))
+  end
 
 let digest t =
   match request t P.Resp.Get_digest with
   | Ok (P.Resp.Digest_is d) -> Ok d
-  | Ok (P.Resp.Server_error e) -> Error e
-  | Ok resp -> Error (Format.asprintf "unexpected response: %a" P.Resp.pp resp)
+  | Ok resp ->
+    Error (Protocol (Format.asprintf "unexpected response: %a" P.Resp.pp resp))
   | Error _ as e -> e
 
 let stats_json t =
   match request t P.Resp.Get_stats with
   | Ok (P.Resp.Stats_json s) -> Ok s
-  | Ok (P.Resp.Server_error e) -> Error e
-  | Ok resp -> Error (Format.asprintf "unexpected response: %a" P.Resp.pp resp)
+  | Ok resp ->
+    Error (Protocol (Format.asprintf "unexpected response: %a" P.Resp.pp resp))
+  | Error _ as e -> e
+
+let promote t =
+  match request t P.Resp.Promote with
+  | Ok (P.Resp.Promoted { seq }) -> Ok seq
+  | Ok (P.Resp.Server_error e) -> Error (Protocol e)
+  | Ok resp ->
+    Error (Protocol (Format.asprintf "unexpected response: %a" P.Resp.pp resp))
   | Error _ as e -> e
 
 let churn_sut ?(on_admit = fun _ -> ()) t =
@@ -105,7 +175,7 @@ let churn_sut ?(on_admit = fun _ -> ()) t =
           failwith
             (Format.asprintf "Client.churn_sut: unexpected response: %a"
                P.Resp.pp resp)
-        | Error e -> failwith ("Client.churn_sut: " ^ e));
+        | Error e -> failwith ("Client.churn_sut: " ^ error_to_string e));
     disconnect =
       (fun id ->
         match request t (P.Resp.Admit (P.Op.Disconnect id)) with
@@ -114,5 +184,5 @@ let churn_sut ?(on_admit = fun _ -> ()) t =
           failwith
             (Format.asprintf "Client.churn_sut: unexpected response: %a"
                P.Resp.pp resp)
-        | Error e -> failwith ("Client.churn_sut: " ^ e));
+        | Error e -> failwith ("Client.churn_sut: " ^ error_to_string e));
   }

@@ -1,29 +1,58 @@
 (** Synchronous control-plane client: one request, one framed
-    response, in order, over a {!Server.address}.
+    response, in order, over a {!Server.address}, with per-request
+    deadlines.
 
-    Transport failures (connection refused, server gone mid-exchange,
-    undecodable response) are [Error _]; a request the server
-    {e answered} — even with a refusal — is [Ok _] carrying the typed
-    {!Wdm_persist.Resp.t}.  A transport failure mid-exchange leaves
-    the byte stream unusable, so it also closes the client: every
-    request after it fails fast with ["client is closed"]. *)
+    Failures are typed: [Timeout] is a deadline expiring ([SO_RCVTIMEO]
+    on the socket — the dial has its own [dial_timeout]), [Transport]
+    is the connection failing (refused, reset, EOF mid-exchange),
+    [Protocol] is the peer speaking nonsense (bad hello, CRC mismatch,
+    undecodable payload), and [Closed] is a request on a client a
+    previous failure already shut down.  A request the server
+    {e answered} — even with a refusal or [Not_leader] — is [Ok _]
+    carrying the typed {!Wdm_persist.Resp.t}.  A transport failure or
+    timeout mid-exchange leaves the byte stream unusable, so it also
+    closes the client: every request after it fails fast with
+    [Closed].  {!Resilient} wraps this with reconnection and leader
+    redirect; this client stays one-socket, fail-fast. *)
 
 module Network = Wdm_multistage.Network
 
+type error =
+  | Timeout  (** the deadline expired before the response arrived *)
+  | Closed  (** the client was closed (by {!close} or a prior failure) *)
+  | Transport of string  (** the connection failed *)
+  | Protocol of string  (** the peer violated the wire protocol *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
 type t
 
-val connect : Server.address -> (t, string) result
-(** Dials and performs the hello handshake. *)
+val connect :
+  ?dial_timeout:float -> ?deadline:float -> Server.address -> (t, error) result
+(** Dials (bounded by [dial_timeout], default 5s) and performs the
+    hello handshake.  [deadline] (default 30s) becomes the default
+    per-request deadline, and already bounds the handshake read. *)
 
 val close : t -> unit
 
-val request : t -> Wdm_persist.Resp.request -> (Wdm_persist.Resp.t, string) result
+val request :
+  ?deadline:float ->
+  t ->
+  Wdm_persist.Resp.request ->
+  (Wdm_persist.Resp.t, error) result
+(** One request, one response.  [deadline] overrides the connect-time
+    default for this and subsequent requests. *)
 
-val digest : t -> (int, string) result
-(** [request (Get_digest)] narrowed to its payload. *)
+val digest : t -> (int, error) result
+(** [request Get_digest] narrowed to its payload. *)
 
-val stats_json : t -> (string, string) result
-(** [request (Get_stats)] narrowed to its payload. *)
+val stats_json : t -> (string, error) result
+(** [request Get_stats] narrowed to its payload. *)
+
+val promote : t -> (int, error) result
+(** [request Promote] narrowed: [Ok seq] when the follower took over,
+    [Error (Protocol _)] when the node refused (already the leader). *)
 
 val churn_sut :
   ?on_admit:(Network.route -> unit) ->
@@ -38,4 +67,5 @@ val churn_sut :
     observes every admitted route (e.g. to fold
     {!Wdm_persist.Op.route_checksum} for equivalence checks).
     Transport failures and protocol violations raise [Failure] — a
-    loadgen run against a dead server must abort, not tally refusals. *)
+    loadgen run against a dead server must abort, not tally refusals.
+    For a sut that survives failover, see {!Resilient.churn_sut}. *)

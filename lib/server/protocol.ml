@@ -3,8 +3,10 @@ module Crc32 = Wdm_persist.Crc32
 
 let client_hello = Wire.header ~kind:'C'
 let server_hello = Wire.header ~kind:'R'
+let follower_hello = Wire.header ~kind:'F'
 let check_client_hello s = Wire.check_header ~kind:'C' s
 let check_server_hello s = Wire.check_header ~kind:'R' s
+let check_follower_hello s = Wire.check_header ~kind:'F' s
 
 let write_all fd s =
   let n = String.length s in

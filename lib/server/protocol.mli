@@ -11,8 +11,14 @@
 val client_hello : string
 val server_hello : string
 
+val follower_hello : string
+(** Kind ['F']: the connecting peer is a replica asking for the WAL
+    stream ({!Wdm_persist.Repl}), not a request/response client.  The
+    server answers with the same ['R'] hello either way. *)
+
 val check_client_hello : string -> (unit, string) result
 val check_server_hello : string -> (unit, string) result
+val check_follower_hello : string -> (unit, string) result
 
 val write_all : Unix.file_descr -> string -> unit
 (** Loops over short writes.  @raise Unix.Unix_error as [Unix.write]. *)

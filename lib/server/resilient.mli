@@ -1,0 +1,60 @@
+(** A self-healing control-plane client: {!Client} plus reconnection,
+    address rotation and capped exponential backoff, so a caller
+    survives a leader death and lands on the promoted follower.
+
+    Every retryable failure — dial refused, deadline expired,
+    connection reset, or an answered [Not_leader] — drops the
+    connection, rotates to the next address in the list, sleeps the
+    current backoff (doubling from [backoff] up to [backoff_cap]) and
+    tries again, up to [max_attempts] per request.  [Not_leader]
+    backs off too: right after a leader dies the follower answers it
+    until someone promotes it, and hammering doesn't help.
+
+    {b At-least-once caveat}: a request the old leader {e executed}
+    but whose response was lost in the crash is retried against the
+    new leader and executes again.  Deterministic failover tests kill
+    the leader at an op boundary (gracefully, so every executed
+    request was answered) precisely to keep this window shut; code
+    that cannot tolerate a duplicate must not retry blindly. *)
+
+module Network = Wdm_multistage.Network
+
+type t
+
+val create :
+  ?dial_timeout:float ->
+  ?deadline:float ->
+  ?max_attempts:int ->
+  ?backoff:float ->
+  ?backoff_cap:float ->
+  Server.address list ->
+  t
+(** [addrs] are tried in rotation, starting at the head.  Defaults:
+    2s dial timeout, 10s per-request deadline, 12 attempts, backoff
+    50ms doubling to a 2s cap (worst case ≈ 14s of sleeping per
+    request — enough to ride out a kill + promote sequence).
+    Connections are dialed lazily, on the first {!request}.
+    @raise Invalid_argument on an empty address list or
+    [max_attempts < 1]. *)
+
+val request :
+  t -> Wdm_persist.Resp.request -> (Wdm_persist.Resp.t, Client.error) result
+(** Like {!Client.request}, but retrying as described above.  [Error]
+    carries the {e last} failure once attempts are exhausted. *)
+
+val digest : t -> (int, Client.error) result
+
+val churn_sut :
+  ?on_admit:(Network.route -> unit) ->
+  t ->
+  (int, Network.error) Wdm_traffic.Churn.sut
+(** {!Client.churn_sut} over the retrying transport: the sut a
+    failover test drives through a leader kill.  Raises [Failure]
+    only when retries are exhausted. *)
+
+val reconnects : t -> int
+(** Retry transitions performed so far (rotation + backoff events) —
+    observability for tests asserting a failover actually exercised
+    the healing path. *)
+
+val close : t -> unit

@@ -8,6 +8,10 @@ let pp_address ppf = function
   | Tcp (host, port) -> Format.fprintf ppf "tcp:%s:%d" host port
   | Unix_socket path -> Format.fprintf ppf "unix:%s" path
 
+type role = Leader | Follower
+
+type follower_config = { leader : address; wal : string option }
+
 type client = {
   cid : int;
   fd : Unix.file_descr;
@@ -16,10 +20,39 @@ type client = {
       (** registered after the handshake, guarded by the server mutex *)
 }
 
+(* A leader-side replica connection.  The admission thread pushes
+   pre-framed bytes into [outbox]; one sender thread per replica drains
+   it, so a slow replica can never stall admission — when the outbox
+   overflows the replica is evicted instead.  [client.open_] is the
+   single close-once guard, exactly as for ordinary clients. *)
+type replica = {
+  client : client;
+  outbox : string Queue.t;  (** guarded by the server mutex *)
+  fcond : Condition.t;  (** signalled on push / close, waits on the mutex *)
+  mutable closing : bool;  (** drain what is queued, then exit *)
+  mutable outbox_bytes : int;
+  mutable acked_seq : int;
+  mutable pending_digests : (int * int) list;  (** (seq, digest) awaiting ack *)
+  mutable sender : Thread.t option;
+}
+
+(* The follower side's link to its leader.  [alive] lets the admission
+   thread tell frames of the current connection from stragglers of a
+   dead one, and guards ack writes against a closed fd. *)
+type repl_conn = { rfd : Unix.file_descr; mutable alive : bool }
+
+type promote_waiter = {
+  mutable result : (int, string) result option;
+  pcond : Condition.t;
+}
+
 type item =
   | Request of { client : client; req : P.Resp.request; enqueued : float }
   | Malformed of { client : client; reason : string }
   | Gone of client
+  | Attach of { client : client; epoch : int; last_seq : int }
+  | Repl_msg of { conn : repl_conn; msg : P.Repl.to_follower }
+  | Do_promote of promote_waiter
 
 type instruments = {
   sink : Tel.Sink.t;
@@ -28,16 +61,37 @@ type instruments = {
   malformed : Tel.Metrics.counter;
   clients_total : Tel.Metrics.counter;
   batches : Tel.Metrics.counter;
+  accept_errors : Tel.Metrics.counter;
   g_clients_active : Tel.Metrics.gauge;
   g_queue_depth : Tel.Metrics.gauge;
   h_batch_size : Tel.Histogram.t;
   h_latency : Tel.Histogram.t;
+  (* replication, leader side *)
+  r_snapshots_sent : Tel.Metrics.counter;
+  r_resumes : Tel.Metrics.counter;
+  r_ops_sent : Tel.Metrics.counter;
+  r_bytes_sent : Tel.Metrics.counter;
+  r_evictions : Tel.Metrics.counter;
+  r_digest_checks : Tel.Metrics.counter;
+  r_digest_failures : Tel.Metrics.counter;
+  g_followers : Tel.Metrics.gauge;
+  g_lag_ops : Tel.Metrics.gauge;
+  g_lag_bytes : Tel.Metrics.gauge;
+  (* replication, follower side *)
+  r_applied : Tel.Metrics.counter;
+  r_snapshots_recv : Tel.Metrics.counter;
+  r_reconnects : Tel.Metrics.counter;
+  r_digest_mismatch : Tel.Metrics.counter;
 }
 
 type t = {
-  net : Network.t;
-  store : P.Store.t option;
+  mutable net : Network.t;
+      (** replaced when a follower installs a leader snapshot; only the
+          admission thread writes it *)
+  mutable store : P.Store.t option;
+      (** replaced alongside [net] in follower mode *)
   ins : instruments option;
+  tel : Tel.Sink.t option;
   listen_fd : Unix.file_descr;
   mutable bound : address;
   queue : item Queue.t;
@@ -53,11 +107,29 @@ type t = {
   mutable served_count : int;
   mutable accept_thread : Thread.t option;
   mutable admit_thread : Thread.t option;
+  (* replication *)
+  mutable role : role;
+  mutable epoch : int;  (** this leader generation's id *)
+  mutable rep_seq : int;  (** committed ops so far (WAL record stream) *)
+  ring : (int * P.Op.t) Queue.t;  (** recent (seq, op) for replica resume *)
+  resume_window : int;
+  digest_every : int;
+  outbox_capacity : int;
+  follower_sndbuf : int option;
+  mutable last_digest_seq : int;
+  mutable replicas : replica list;  (** guarded by the server mutex *)
+  (* follower role *)
+  follower_cfg : follower_config option;
+  mutable repl_epoch : int;  (** leader generation we last synced to; 0 none *)
+  mutable repl_conn : repl_conn option;  (** guarded by the server mutex *)
+  mutable force_snapshot : bool;  (** next subscribe must ask for a snapshot *)
+  mutable repl_thread : Thread.t option;
 }
 
 let register_instruments sink =
   let reg = sink.Tel.Sink.metrics in
   let c help name = Tel.Metrics.counter reg ~help name in
+  let g help name = Tel.Metrics.gauge reg ~help name in
   {
     sink;
     requests = c "Requests admitted to the queue" "server_requests_total";
@@ -65,12 +137,10 @@ let register_instruments sink =
     malformed = c "Undecodable frames received" "server_malformed_total";
     clients_total = c "Client connections accepted" "server_clients_total";
     batches = c "Admission-loop drains" "server_batches_total";
-    g_clients_active =
-      Tel.Metrics.gauge reg ~help:"Clients currently connected"
-        "server_clients_active";
-    g_queue_depth =
-      Tel.Metrics.gauge reg ~help:"Requests waiting for admission"
-        "server_queue_depth";
+    accept_errors =
+      c "Transient accept(2) failures survived" "server_accept_errors_total";
+    g_clients_active = g "Clients currently connected" "server_clients_active";
+    g_queue_depth = g "Requests waiting for admission" "server_queue_depth";
     h_batch_size =
       Tel.Metrics.histogram reg ~help:"Requests taken per drain"
         ~bounds:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |]
@@ -79,9 +149,47 @@ let register_instruments sink =
       Tel.Metrics.histogram reg
         ~help:"Enqueue-to-response-written latency of one request"
         "server_request_latency_seconds";
+    r_snapshots_sent =
+      c "Full state snapshots sent to attaching followers"
+        "repl_snapshots_sent_total";
+    r_resumes = c "Follower attaches resumed from the ring" "repl_resumes_total";
+    r_ops_sent = c "Replicated ops queued to followers" "repl_ops_sent_total";
+    r_bytes_sent =
+      c "Replication bytes queued to followers (incl. framing)"
+        "repl_bytes_sent_total";
+    r_evictions =
+      c "Followers dropped for falling too far behind" "repl_evictions_total";
+    r_digest_checks =
+      c "Follower digest acknowledgements verified" "repl_digest_checks_total";
+    r_digest_failures =
+      c "Follower digest acknowledgements that disagreed"
+        "repl_digest_failures_total";
+    g_followers = g "Followers currently attached" "repl_followers";
+    g_lag_ops = g "Largest follower outbox backlog, in ops" "repl_lag_ops";
+    g_lag_bytes = g "Largest follower outbox backlog, in bytes" "repl_lag_bytes";
+    r_applied = c "Replicated ops applied locally" "repl_applied_total";
+    r_snapshots_recv =
+      c "Leader snapshots installed" "repl_snapshots_received_total";
+    r_reconnects =
+      c "Replication links re-established after a drop" "repl_reconnects_total";
+    r_digest_mismatch =
+      c "Leader digests that disagreed with local state"
+        "repl_digest_mismatch_total";
   }
 
 let now t = match t.ins with Some i -> Tel.Sink.now i.sink | None -> 0.
+let inc t f = match t.ins with Some i -> Tel.Metrics.inc (f i) | None -> ()
+
+(* Distinct across leader generations on one machine — what guards a
+   follower's resume against replaying into a diverged successor. *)
+let fresh_epoch () =
+  let usec = int_of_float (Unix.gettimeofday () *. 1e6) in
+  max 1 ((usec lxor (Unix.getpid () lsl 44)) land ((1 lsl 54) - 1))
+
+let leader_string t =
+  match t.follower_cfg with
+  | Some { leader; _ } -> Format.asprintf "%a" pp_address leader
+  | None -> ""
 
 (* ----- bounded queue --------------------------------------------------- *)
 
@@ -173,6 +281,472 @@ let reader_loop t client =
         stop_reading := true)
   done
 
+(* ----- leader-side replication ----------------------------------------- *)
+
+let frame_to_follower msg =
+  let b = Buffer.create 256 in
+  P.Repl.encode_to_follower b msg;
+  P.Wire.frame (Buffer.contents b)
+
+let set_follower_gauges t =
+  match t.ins with
+  | None -> ()
+  | Some i ->
+    Tel.Metrics.set i.g_followers (float_of_int (List.length t.replicas));
+    let lag_ops, lag_bytes =
+      List.fold_left
+        (fun (o, b) f -> (max o (Queue.length f.outbox), max b f.outbox_bytes))
+        (0, 0) t.replicas
+    in
+    Tel.Metrics.set i.g_lag_ops (float_of_int lag_ops);
+    Tel.Metrics.set i.g_lag_bytes (float_of_int lag_bytes)
+
+(* Under the mutex: take the replica out of both registries and flag
+   the fd closed-once.  Returns whether the caller must close it. *)
+let unlink_replica t f =
+  t.replicas <- List.filter (fun g -> g.client.cid <> f.client.cid) t.replicas;
+  set_follower_gauges t;
+  Condition.broadcast f.fcond;
+  if f.client.open_ then begin
+    f.client.open_ <- false;
+    t.clients <- List.filter (fun c -> c.cid <> f.client.cid) t.clients;
+    true
+  end
+  else false
+
+let drop_replica t f =
+  Mutex.lock t.mu;
+  let close = unlink_replica t f in
+  Mutex.unlock t.mu;
+  if close then begin
+    (try Unix.shutdown f.client.fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    try Unix.close f.client.fd with Unix.Unix_error _ -> ()
+  end
+
+(* One sender thread per replica: pop, write, repeat.  Exits when the
+   outbox is empty and the replica is closing (graceful stop drained
+   everything) or gone (evicted / connection lost). *)
+let sender_loop t f =
+  let run = ref true in
+  while !run do
+    Mutex.lock t.mu;
+    while Queue.is_empty f.outbox && f.client.open_ && not f.closing do
+      Condition.wait f.fcond t.mu
+    done;
+    if not (Queue.is_empty f.outbox) then begin
+      let frame = Queue.pop f.outbox in
+      f.outbox_bytes <- f.outbox_bytes - String.length frame;
+      Mutex.unlock t.mu;
+      match Protocol.write_all f.client.fd frame with
+      | () -> ()
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+        drop_replica t f;
+        run := false
+    end
+    else begin
+      Mutex.unlock t.mu;
+      run := false (* empty and closing-or-closed *)
+    end
+  done
+
+(* Admission-thread side: queue one frame to every live replica.  A
+   full outbox evicts the replica — admission must never wait for a
+   slow consumer.  Returns the evicted replicas for fd teardown
+   outside the lock. *)
+let offer_frame t frame =
+  let evicted = ref [] in
+  Mutex.lock t.mu;
+  List.iter
+    (fun f ->
+      if f.client.open_ && not f.closing then begin
+        if Queue.length f.outbox >= t.outbox_capacity then
+          evicted := f :: !evicted
+        else begin
+          Queue.add frame f.outbox;
+          f.outbox_bytes <- f.outbox_bytes + String.length frame;
+          (match t.ins with
+          | Some i ->
+            Tel.Metrics.inc i.r_ops_sent;
+            Tel.Metrics.add i.r_bytes_sent (String.length frame)
+          | None -> ());
+          Condition.signal f.fcond
+        end
+      end)
+    t.replicas;
+  set_follower_gauges t;
+  Mutex.unlock t.mu;
+  List.iter
+    (fun f ->
+      inc t (fun i -> i.r_evictions);
+      drop_replica t f)
+    !evicted
+
+let offer_digest t =
+  let digest = P.Store.digest t.net in
+  let seq = t.rep_seq in
+  let frame = frame_to_follower (P.Repl.Rep_digest { seq; digest }) in
+  Mutex.lock t.mu;
+  List.iter
+    (fun f ->
+      if f.client.open_ && not f.closing
+         && Queue.length f.outbox < t.outbox_capacity
+      then begin
+        Queue.add frame f.outbox;
+        f.outbox_bytes <- f.outbox_bytes + String.length frame;
+        f.pending_digests <- (seq, digest) :: f.pending_digests;
+        Condition.signal f.fcond
+      end)
+    t.replicas;
+  Mutex.unlock t.mu
+
+(* Called by the admission thread for every committed op, after the
+   WAL append: the replication stream is the WAL, frame by frame. *)
+let replicate t op =
+  t.rep_seq <- t.rep_seq + 1;
+  Queue.add (t.rep_seq, op) t.ring;
+  if Queue.length t.ring > t.resume_window then ignore (Queue.pop t.ring);
+  let have_replicas =
+    Mutex.lock t.mu;
+    let r = t.replicas <> [] in
+    Mutex.unlock t.mu;
+    r
+  in
+  if have_replicas then begin
+    offer_frame t (frame_to_follower (P.Repl.Rep_op { seq = t.rep_seq; op }));
+    if t.rep_seq - t.last_digest_seq >= t.digest_every then begin
+      t.last_digest_seq <- t.rep_seq;
+      offer_digest t
+    end
+  end
+
+(* Admission-thread handling of a follower's Subscribe: decide resume
+   vs snapshot at a point where no op can slip between the decision
+   and the stream start — the admission thread is the only writer. *)
+let handle_attach t client ~epoch ~last_seq =
+  if t.role <> Leader then begin
+    (try
+       Protocol.write_all client.fd
+         (frame_to_follower (P.Repl.Goodbye { reason = "not the leader" }))
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    close_client t client
+  end
+  else begin
+    Mutex.lock t.mu;
+    let live = client.open_ in
+    let f =
+      if not live then None
+      else begin
+        (* migrate from the client registry to the replica registry:
+           replication connections outlive the client shutdown phase
+           of [stop] so the final ops still reach them *)
+        t.clients <- List.filter (fun c -> c.cid <> client.cid) t.clients;
+        (match t.ins with
+        | Some i ->
+          Tel.Metrics.set i.g_clients_active
+            (float_of_int (List.length t.clients))
+        | None -> ());
+        let f =
+          {
+            client;
+            outbox = Queue.create ();
+            fcond = Condition.create ();
+            closing = false;
+            outbox_bytes = 0;
+            acked_seq = last_seq;
+            pending_digests = [];
+            sender = None;
+          }
+        in
+        t.replicas <- f :: t.replicas;
+        set_follower_gauges t;
+        Some f
+      end
+    in
+    Mutex.unlock t.mu;
+    match f with
+    | None -> ()
+    | Some f ->
+      let ring_floor = t.rep_seq - Queue.length t.ring in
+      let init =
+        if
+          epoch = t.epoch && last_seq >= ring_floor && last_seq <= t.rep_seq
+        then begin
+          inc t (fun i -> i.r_resumes);
+          let backlog =
+            Queue.fold
+              (fun acc (seq, op) ->
+                if seq > last_seq then
+                  frame_to_follower (P.Repl.Rep_op { seq; op }) :: acc
+                else acc)
+              [] t.ring
+          in
+          frame_to_follower (P.Repl.Init_resume { epoch = t.epoch; seq = last_seq })
+          :: List.rev backlog
+        end
+        else begin
+          inc t (fun i -> i.r_snapshots_sent);
+          [
+            frame_to_follower
+              (P.Repl.Init_snapshot
+                 {
+                   epoch = t.epoch;
+                   seq = t.rep_seq;
+                   state = P.Store.encode_state (Network.snapshot t.net);
+                 });
+          ]
+        end
+      in
+      let digest = P.Store.digest t.net in
+      let dig_frame =
+        frame_to_follower (P.Repl.Rep_digest { seq = t.rep_seq; digest })
+      in
+      Mutex.lock t.mu;
+      if f.client.open_ then begin
+        List.iter
+          (fun frame ->
+            Queue.add frame f.outbox;
+            f.outbox_bytes <- f.outbox_bytes + String.length frame)
+          (init @ [ dig_frame ]);
+        f.pending_digests <- [ (t.rep_seq, digest) ];
+        f.sender <- Some (Thread.create (fun () -> sender_loop t f) ());
+        Condition.signal f.fcond
+      end;
+      Mutex.unlock t.mu
+  end
+
+(* Ack handling runs on the replica's reader thread, not admission:
+   it only touches the replica record (under the mutex), never the
+   network.  Returns [false] when the replica was dropped. *)
+let handle_ack t client ~seq ~digest =
+  Mutex.lock t.mu;
+  let f = List.find_opt (fun f -> f.client.cid = client.cid) t.replicas in
+  let verdict =
+    match f with
+    | None -> `Ignore
+    | Some f -> (
+      f.acked_seq <- max f.acked_seq seq;
+      match List.assoc_opt seq f.pending_digests with
+      | None -> `Ignore (* an ack we no longer remember sending *)
+      | Some sent ->
+        f.pending_digests <- List.remove_assoc seq f.pending_digests;
+        if sent = digest then `Ok else `Mismatch f)
+  in
+  Mutex.unlock t.mu;
+  match verdict with
+  | `Ignore -> true
+  | `Ok ->
+    inc t (fun i -> i.r_digest_checks);
+    true
+  | `Mismatch f ->
+    inc t (fun i -> i.r_digest_checks);
+    inc t (fun i -> i.r_digest_failures);
+    inc t (fun i -> i.r_evictions);
+    drop_replica t f;
+    false
+
+(* The per-connection thread of an attached follower, after the
+   Subscribe was queued: consume acks until the link dies. *)
+let replica_reader_loop t client =
+  let run = ref true in
+  while !run do
+    match Protocol.recv_frame client.fd with
+    | exception Unix.Unix_error _ -> run := false
+    | Protocol.Eof | Protocol.Bad _ -> run := false
+    | Protocol.Frame payload -> (
+      match P.Repl.to_leader_of_string payload with
+      | Ok (P.Repl.Ack { seq; digest }) ->
+        if not (handle_ack t client ~seq ~digest) then run := false
+      | Ok (P.Repl.Subscribe _) | Error _ -> run := false)
+  done;
+  Mutex.lock t.mu;
+  let f = List.find_opt (fun f -> f.client.cid = client.cid) t.replicas in
+  Mutex.unlock t.mu;
+  match f with
+  | Some f -> drop_replica t f
+  | None ->
+    (* the Attach may still be queued, or was refused; the admission
+       thread owns the cleanup either way *)
+    push t (Gone client)
+
+(* ----- follower-side replication --------------------------------------- *)
+
+let shutdown_conn conn =
+  conn.alive <- false;
+  try Unix.shutdown conn.rfd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+(* Admission thread, follower role: the replication stream diverged
+   (bad seq, undecodable state, digest mismatch).  Drop the link and
+   make the next subscribe demand a fresh snapshot. *)
+let resync t conn =
+  Mutex.lock t.mu;
+  t.force_snapshot <- true;
+  (match t.repl_conn with
+  | Some c when c == conn -> t.repl_conn <- None
+  | _ -> ());
+  Mutex.unlock t.mu;
+  shutdown_conn conn
+
+let send_ack t conn ~seq ~digest =
+  let b = Buffer.create 32 in
+  P.Repl.encode_to_leader b (P.Repl.Ack { seq; digest });
+  let frame = P.Wire.frame (Buffer.contents b) in
+  Mutex.lock t.mu;
+  (if conn.alive then
+     try Protocol.write_all conn.rfd frame
+     with Unix.Unix_error _ | Sys_error _ -> ());
+  Mutex.unlock t.mu
+
+(* Admission thread: apply one replication message.  Stale frames from
+   a connection the follower already abandoned are dropped — the new
+   subscribe re-fetches whatever they carried. *)
+let handle_repl t conn msg =
+  let current =
+    Mutex.lock t.mu;
+    let c = match t.repl_conn with Some c -> c == conn | None -> false in
+    Mutex.unlock t.mu;
+    c
+  in
+  if current then
+    match msg with
+    | P.Repl.Init_snapshot { epoch; seq; state } -> (
+      match P.Store.decode_state state with
+      | Error _ -> resync t conn
+      | Ok snap -> (
+        match Network.restore ?telemetry:t.tel snap with
+        | exception Invalid_argument _ -> resync t conn
+        | net ->
+          t.net <- net;
+          t.rep_seq <- seq;
+          t.repl_epoch <- epoch;
+          inc t (fun i -> i.r_snapshots_recv);
+          (match t.follower_cfg with
+          | Some { wal = Some wal; _ } ->
+            (match t.store with
+            | Some s -> ( try P.Store.close s with Sys_error _ -> ())
+            | None -> ());
+            t.store <- Some (P.Store.start ?telemetry:t.tel ~wal net);
+            P.Repl.save_mark ~wal { P.Repl.epoch; base_seq = seq }
+          | _ -> ())))
+    | P.Repl.Init_resume { epoch; seq } ->
+      if seq <> t.rep_seq then resync t conn else t.repl_epoch <- epoch
+    | P.Repl.Rep_op { seq; op } ->
+      if seq <> t.rep_seq + 1 then resync t conn
+      else (
+        match P.Op.apply t.net op with
+        | Ok _ ->
+          t.rep_seq <- seq;
+          inc t (fun i -> i.r_applied);
+          Option.iter (fun s -> P.Store.log s op) t.store
+        | Error _ -> resync t conn)
+    | P.Repl.Rep_digest { seq; digest } ->
+      let own = P.Store.digest t.net in
+      if seq <> t.rep_seq || own <> digest then begin
+        inc t (fun i -> i.r_digest_mismatch);
+        resync t conn
+      end
+      else send_ack t conn ~seq ~digest:own
+    | P.Repl.Goodbye _ -> ()
+
+let sockaddr_of_address = function
+  | Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+  | Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+
+(* Sleep in small slices so [stop] never waits out a full backoff. *)
+let nap t seconds =
+  let left = ref seconds in
+  while !left > 0. && not t.stopping do
+    Thread.delay (min 0.05 !left);
+    left := !left -. 0.05
+  done
+
+(* The follower's replication client: dial the leader, subscribe,
+   feed frames into the admission queue, reconnect with capped
+   exponential backoff on any failure.  Runs until the server stops
+   or this node is promoted. *)
+let repl_loop t cfg =
+  let backoff = ref 0.05 in
+  let had_conn = ref false in
+  let running () =
+    Mutex.lock t.mu;
+    let r = (not t.stopping) && t.role = Follower in
+    Mutex.unlock t.mu;
+    r
+  in
+  while running () do
+    let fd =
+      match
+        let domain, sockaddr = sockaddr_of_address cfg.leader in
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd sockaddr
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        Protocol.write_all fd Protocol.follower_hello;
+        match Protocol.read_exactly fd P.Wire.header_len with
+        | Some hello when Protocol.check_server_hello hello = Ok () -> fd
+        | _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          failwith "bad hello"
+      with
+      | fd -> Some fd
+      | exception (Unix.Unix_error _ | Failure _ | Not_found) -> None
+    in
+    match fd with
+    | None ->
+      nap t !backoff;
+      backoff := min 2.0 (!backoff *. 2.)
+    | Some fd ->
+      let conn = { rfd = fd; alive = true } in
+      Mutex.lock t.mu;
+      let go = (not t.stopping) && t.role = Follower in
+      if go then t.repl_conn <- Some conn;
+      let epoch = t.repl_epoch in
+      let last_seq = if t.force_snapshot then -1 else t.rep_seq in
+      Mutex.unlock t.mu;
+      if not go then ( try Unix.close fd with Unix.Unix_error _ -> ())
+      else begin
+        let subscribed =
+          match
+            let b = Buffer.create 32 in
+            P.Repl.encode_to_leader b (P.Repl.Subscribe { epoch; last_seq });
+            Protocol.send_frame fd (Buffer.contents b)
+          with
+          | () -> true
+          | exception (Unix.Unix_error _ | Sys_error _) -> false
+        in
+        if subscribed then begin
+          if !had_conn then inc t (fun i -> i.r_reconnects);
+          had_conn := true;
+          backoff := 0.05;
+          let run = ref true in
+          while !run do
+            match Protocol.recv_frame fd with
+            | exception Unix.Unix_error _ -> run := false
+            | Protocol.Eof | Protocol.Bad _ -> run := false
+            | Protocol.Frame payload -> (
+              match P.Repl.to_follower_of_string payload with
+              | Ok (P.Repl.Goodbye _) -> run := false
+              | Ok msg -> push t (Repl_msg { conn; msg })
+              | Error _ -> run := false)
+          done
+        end;
+        Mutex.lock t.mu;
+        conn.alive <- false;
+        (match t.repl_conn with
+        | Some c when c == conn -> t.repl_conn <- None
+        | _ -> ());
+        Mutex.unlock t.mu;
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        nap t !backoff
+      end
+  done
+
 (* ----- admission loop -------------------------------------------------- *)
 
 let send_response t client resp =
@@ -195,30 +769,76 @@ let stats_renderer t () =
     Mutex.unlock t.mu;
     Tel.Json.to_string (Tel.Metrics.to_json snap)
 
-(* Log after execution so a [Repair] record carries the outcome this
-   server actually produced, keeping WAL divergence detection honest.
-   Ops that failed to execute are not logged at all: [Store.recover]
-   treats a failing [Op.apply] as corruption, and replaying a refused
-   Disconnect or an out-of-range fault index fails again — one such
-   client request would poison the WAL permanently.  (Refused Connect
-   and Repair are still recorded; replay tolerates those.) *)
-let log_op t req resp =
-  match (t.store, req) with
-  | None, _ | _, (P.Resp.Get_digest | P.Resp.Get_stats) -> ()
-  | Some _, P.Resp.Admit _
-    when match resp with
-         | P.Resp.Release_failed _ | P.Resp.Server_error _ -> true
-         | _ -> false -> ()
-  | Some store, P.Resp.Admit op ->
-    let op =
-      match (op, resp) with
-      | P.Op.Repair { connection; _ }, P.Resp.Admitted _ ->
-        P.Op.Repair { connection; rehomed = true }
-      | P.Op.Repair { connection; _ }, _ ->
-        P.Op.Repair { connection; rehomed = false }
-      | _ -> op
-    in
-    P.Store.log store op
+(* The op this request committed, if any — what the WAL records and
+   the replication stream carries.  Ops that failed to execute are
+   excluded: [Store.recover] treats a failing [Op.apply] as
+   corruption, and replaying a refused Disconnect or an out-of-range
+   fault fails again — one such client request would poison the WAL
+   permanently.  (Refused Connect and Repair are still committed;
+   replay tolerates those.)  A [Repair] record carries the outcome
+   this server actually produced, keeping divergence detection
+   honest. *)
+let committed_op req resp =
+  match (req : P.Resp.request) with
+  | P.Resp.Get_digest | P.Resp.Get_stats | P.Resp.Promote -> None
+  | P.Resp.Admit op -> (
+    match (resp : P.Resp.t) with
+    | P.Resp.Release_failed _ | P.Resp.Server_error _ -> None
+    | P.Resp.Admitted _ -> (
+      match op with
+      | P.Op.Repair { connection; _ } ->
+        Some (P.Op.Repair { connection; rehomed = true })
+      | _ -> Some op)
+    | _ -> (
+      match op with
+      | P.Op.Repair { connection; _ } ->
+        Some (P.Op.Repair { connection; rehomed = false })
+      | _ -> Some op))
+
+(* Promotion, on the admission thread: cut the replication link, take
+   a fresh epoch, start leading.  The store and network continue as
+   they are — the newest boundary-consistent state this follower
+   reached is exactly what it starts serving. *)
+let do_promote t =
+  if t.role = Leader then Error "already the leader"
+  else begin
+    Mutex.lock t.mu;
+    t.role <- Leader;
+    t.epoch <- fresh_epoch ();
+    let conn = t.repl_conn in
+    t.repl_conn <- None;
+    Mutex.unlock t.mu;
+    Option.iter shutdown_conn conn;
+    Queue.clear t.ring;
+    t.last_digest_seq <- t.rep_seq;
+    (match t.follower_cfg with
+    | Some { wal = Some wal; _ } -> P.Repl.remove_mark ~wal
+    | _ -> ());
+    Ok t.rep_seq
+  end
+
+let handle_request t client req enqueued =
+  let resp =
+    match (req : P.Resp.request) with
+    | P.Resp.Promote -> (
+      match do_promote t with
+      | Ok seq -> P.Resp.Promoted { seq }
+      | Error e -> P.Resp.Server_error e)
+    | P.Resp.Admit _ when t.role = Follower ->
+      P.Resp.Not_leader { leader = leader_string t }
+    | _ -> P.Resp.execute ~stats:(stats_renderer t) t.net req
+  in
+  (if t.role = Leader then
+     match committed_op req resp with
+     | None -> ()
+     | Some op ->
+       Option.iter (fun s -> P.Store.log s op) t.store;
+       replicate t op);
+  send_response t client resp;
+  t.served_count <- t.served_count + 1;
+  match t.ins with
+  | Some i -> Tel.Histogram.observe i.h_latency (now t -. enqueued)
+  | None -> ()
 
 let admit_loop t =
   let continue = ref true in
@@ -242,29 +862,40 @@ let admit_loop t =
             send_response t client (P.Resp.Server_error reason);
             close_client t client
           | Request { client; req; enqueued } ->
-            let resp = P.Resp.execute ~stats:(stats_renderer t) t.net req in
-            log_op t req resp;
-            send_response t client resp;
-            t.served_count <- t.served_count + 1;
-            (match t.ins with
-            | Some i -> Tel.Histogram.observe i.h_latency (now t -. enqueued)
-            | None -> ()))
+            handle_request t client req enqueued
+          | Attach { client; epoch; last_seq } ->
+            handle_attach t client ~epoch ~last_seq
+          | Repl_msg { conn; msg } -> handle_repl t conn msg
+          | Do_promote w ->
+            let result = do_promote t in
+            Mutex.lock t.mu;
+            w.result <- Some result;
+            Condition.broadcast w.pcond;
+            Mutex.unlock t.mu)
         batch
   done
 
 (* ----- accept loop ----------------------------------------------------- *)
 
+type hello = Hello_client | Hello_follower
+
 let handshake fd =
   match Protocol.read_exactly fd P.Wire.header_len with
-  | None -> false
-  | exception (Unix.Unix_error _ | Failure _) -> false
-  | Some hello -> (
-    match Protocol.check_client_hello hello with
-    | Error _ -> false
-    | Ok () -> (
+  | None -> None
+  | exception (Unix.Unix_error _ | Failure _) -> None
+  | Some hello ->
+    let kind =
+      if Protocol.check_client_hello hello = Ok () then Some Hello_client
+      else if Protocol.check_follower_hello hello = Ok () then
+        Some Hello_follower
+      else None
+    in
+    (match kind with
+    | None -> None
+    | Some k -> (
       match Protocol.write_all fd Protocol.server_hello with
-      | () -> true
-      | exception Unix.Unix_error _ -> false))
+      | () -> Some k
+      | exception Unix.Unix_error _ -> None))
 
 (* The hello exchange happens on the per-client thread: a peer that
    connects and then sends nothing must never stall the accept loop
@@ -273,8 +904,24 @@ let handshake fd =
    flight; the telemetry that counts it as a real client is deferred
    until the handshake succeeds. *)
 let client_loop t client =
-  if not (handshake client.fd) then close_client t client
-  else begin
+  match handshake client.fd with
+  | None -> close_client t client
+  | Some Hello_follower -> (
+    (match t.follower_sndbuf with
+    | Some n -> (
+      try Unix.setsockopt_int client.fd Unix.SO_SNDBUF n
+      with Unix.Unix_error _ -> ())
+    | None -> ());
+    match Protocol.recv_frame client.fd with
+    | exception Unix.Unix_error _ -> close_client t client
+    | Protocol.Eof | Protocol.Bad _ -> close_client t client
+    | Protocol.Frame payload -> (
+      match P.Repl.to_leader_of_string payload with
+      | Ok (P.Repl.Subscribe { epoch; last_seq }) ->
+        push t (Attach { client; epoch; last_seq });
+        replica_reader_loop t client
+      | Ok (P.Repl.Ack _) | Error _ -> close_client t client))
+  | Some Hello_client ->
     (match t.ins with
     | Some i ->
       Mutex.lock t.mu;
@@ -290,13 +937,27 @@ let client_loop t client =
       Mutex.unlock t.mu
     | None -> ());
     reader_loop t client
-  end
+
+(* EMFILE/ENFILE (fd exhaustion), ECONNABORTED (peer gave up while
+   queued) and EINTR are conditions a server rides out, not reasons to
+   die; anything else is still survived with the same short sleep so a
+   persistent error cannot spin the loop hot. *)
+let accept_transient = function
+  | Unix.EMFILE | Unix.ENFILE | Unix.ECONNABORTED | Unix.EINTR -> true
+  | _ -> false
 
 let accept_loop t =
   let continue = ref true in
   while !continue do
     match Unix.accept t.listen_fd with
-    | exception Unix.Unix_error _ -> if t.stopping then continue := false
+    | exception Unix.Unix_error (err, _, _) ->
+      if t.stopping then continue := false
+      else begin
+        (match t.ins with
+        | Some i -> Tel.Metrics.inc i.accept_errors
+        | None -> ());
+        Thread.delay (if accept_transient err then 0.05 else 0.25)
+      end
     | fd, _peer ->
       if t.stopping then begin
         (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -344,21 +1005,52 @@ let bind_listen addr =
     Unix.listen fd 64;
     (fd, addr)
 
-let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64) ~net
-    addr =
+let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64)
+    ?(digest_every = 64) ?(resume_window = 1024) ?(outbox_capacity = 1024)
+    ?follower_sndbuf ?follower ~net addr =
   if queue_capacity < 1 then
     invalid_arg "Server.start: queue_capacity must be >= 1";
   if batch_limit < 1 then invalid_arg "Server.start: batch_limit must be >= 1";
+  if digest_every < 1 then invalid_arg "Server.start: digest_every must be >= 1";
+  if resume_window < 1 then
+    invalid_arg "Server.start: resume_window must be >= 1";
+  if outbox_capacity < 1 then
+    invalid_arg "Server.start: outbox_capacity must be >= 1";
+  if follower <> None && store <> None then
+    invalid_arg "Server.start: a follower manages its own store";
   (* a peer that vanishes mid-response must surface as EPIPE on the
      write, not as a process-killing signal *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
+  (* A restarting follower with a WAL resumes from its own disk: the
+     mark says where in the leader's stream its log began, the local
+     recovery replays what it had applied, and the subscribe asks only
+     for the remainder. *)
+  let net, store, repl_epoch, rep_seq =
+    match follower with
+    | Some { wal = Some wal; _ } -> (
+      match P.Repl.load_mark ~wal with
+      | None -> (net, None, 0, -1)
+      | Some { P.Repl.epoch; base_seq } -> (
+        match P.Store.resume ?telemetry ~wal () with
+        | Error _ -> (net, None, 0, -1)
+        | Ok (store, recovery) ->
+          ( recovery.P.Store.network,
+            Some store,
+            epoch,
+            base_seq + P.Store.wal_records store )))
+    | Some { wal = None; _ } -> (net, None, 0, -1)
+    | None ->
+      let base = match store with Some s -> P.Store.wal_records s | None -> 0 in
+      (net, store, 0, base)
+  in
   let listen_fd, bound = bind_listen addr in
   let t =
     {
       net;
       store;
       ins = Option.map register_instruments telemetry;
+      tel = telemetry;
       listen_fd;
       bound;
       queue = Queue.create ();
@@ -374,13 +1066,48 @@ let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64) ~net
       served_count = 0;
       accept_thread = None;
       admit_thread = None;
+      role = (match follower with Some _ -> Follower | None -> Leader);
+      epoch = fresh_epoch ();
+      rep_seq = max 0 rep_seq;
+      ring = Queue.create ();
+      resume_window;
+      digest_every;
+      outbox_capacity;
+      follower_sndbuf;
+      last_digest_seq = max 0 rep_seq;
+      replicas = [];
+      follower_cfg = follower;
+      repl_epoch;
+      repl_conn = None;
+      force_snapshot = rep_seq < 0;
+      repl_thread = None;
     }
   in
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   t.admit_thread <- Some (Thread.create (fun () -> admit_loop t) ());
+  (match follower with
+  | Some cfg -> t.repl_thread <- Some (Thread.create (fun () -> repl_loop t cfg) ())
+  | None -> ());
   t
 
 let address t = t.bound
+let role t = t.role
+let applied t = t.rep_seq
+let network t = t.net
+let current_store t = t.store
+
+let promote t =
+  if t.stopped then Error "server is stopped"
+  else begin
+    let w = { result = None; pcond = Condition.create () } in
+    push t (Do_promote w);
+    Mutex.lock t.mu;
+    while w.result = None do
+      Condition.wait w.pcond t.mu
+    done;
+    Mutex.unlock t.mu;
+    Option.get w.result
+  end
 
 let stop t =
   if not t.stopped then begin
@@ -413,18 +1140,61 @@ let stop t =
     (* The accept thread has exited, so the client list is final —
        capture it only now: a client whose registration was in flight
        when [stopping] was set is included and gets shut down too.
-       Shutting the sockets down wakes blocked readers (including any
-       still in the handshake); they enqueue their final [Gone] items
-       (the capacity bound is waived while stopping) and exit, and the
-       admission thread drains the rest. *)
+       SHUTDOWN_RECEIVE (not ALL): blocked readers wake on EOF and
+       enqueue their final [Gone] (the capacity bound is waived while
+       stopping), but the write sides stay open so every request
+       already executed still gets its response — an answered request
+       is one the client will not retry against the next leader. *)
     Mutex.lock t.mu;
     let live = t.clients in
     Mutex.unlock t.mu;
     List.iter
       (fun c ->
-        try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
       live;
+    (* Unblock the replication client if this node follows a leader. *)
+    Mutex.lock t.mu;
+    let conn = t.repl_conn in
+    Mutex.unlock t.mu;
+    Option.iter shutdown_conn conn;
     Option.iter Thread.join t.admit_thread;
+    Option.iter Thread.join t.repl_thread;
+    (* The admission thread is done, so the outboxes are final: let
+       each replica's sender drain what is queued (a live follower
+       takes milliseconds; a stuck one is cut off after the grace
+       period), then tear the connections down. *)
+    Mutex.lock t.mu;
+    let reps = t.replicas in
+    let goodbye = frame_to_follower (P.Repl.Goodbye { reason = "shutdown" }) in
+    List.iter
+      (fun f ->
+        if f.client.open_ then begin
+          Queue.add goodbye f.outbox;
+          f.closing <- true;
+          Condition.broadcast f.fcond
+        end)
+      reps;
+    Mutex.unlock t.mu;
+    let deadline = 500 (* x 10ms = 5s *) in
+    let rec wait_drained n =
+      if n < deadline then begin
+        Mutex.lock t.mu;
+        let drained =
+          List.for_all
+            (fun f -> Queue.is_empty f.outbox || not f.client.open_)
+            reps
+        in
+        Mutex.unlock t.mu;
+        if not drained then begin
+          Thread.delay 0.01;
+          wait_drained (n + 1)
+        end
+      end
+    in
+    wait_drained 0;
+    List.iter (fun f -> drop_replica t f) reps;
+    List.iter (fun f -> Option.iter Thread.join f.sender) reps;
     List.iter (fun c -> close_client t c) live
   end
 

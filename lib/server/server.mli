@@ -1,5 +1,6 @@
 (** The control-plane service: a live {!Wdm_multistage.Network}
-    behind a TCP or Unix-domain socket.
+    behind a TCP or Unix-domain socket, optionally replicated to
+    follower nodes.
 
     Concurrency model — single-writer admission: one reader thread per
     client decodes frames and enqueues requests on a bounded queue;
@@ -19,15 +20,39 @@
     are answered but never logged: replaying them would fail and read
     as WAL corruption on recovery.
 
+    {b Replication} (DESIGN.md §10): a peer greeting with the ['F']
+    hello subscribes to the committed-op stream.  The leader answers
+    with a full state snapshot (or a resume point when the follower's
+    position is still inside the in-memory ring) and then ships every
+    committed op, interleaving state digests every [digest_every] ops;
+    the follower acknowledges each digest.  Each follower gets a
+    bounded outbox drained by its own sender thread — a slow follower
+    is {e evicted}, never allowed to stall admission.  A node started
+    with [follower] dials its leader, applies the stream through the
+    same admission queue (the single-writer invariant holds on both
+    roles), persists to its own WAL when [follower.wal] is set, serves
+    read-only requests, refuses mutations with [Not_leader], and
+    reconnects with capped exponential backoff when the link drops.
+    {!promote} (or a wire [Promote] request) turns the follower into a
+    leader from the newest consistent state it reached.
+
     With [telemetry], the server feeds [server_requests_total] (plus a
     per-client [server_client_requests_total{client="N"}] family),
     [server_responses_total], [server_malformed_total],
-    [server_clients_total], [server_clients_active] /
-    [server_queue_depth] gauges, [server_batches_total], and
-    [server_batch_size] / [server_request_latency_seconds] histograms
-    (latency is enqueue to response written, so it includes queueing
-    delay).  The network's own [wdmnet_*] instruments live on whatever
-    sink the network was created with. *)
+    [server_clients_total], [server_accept_errors_total],
+    [server_clients_active] / [server_queue_depth] gauges,
+    [server_batches_total], and [server_batch_size] /
+    [server_request_latency_seconds] histograms (latency is enqueue to
+    response written, so it includes queueing delay).  Replication
+    adds, leader-side, [repl_followers] / [repl_lag_ops] /
+    [repl_lag_bytes] gauges and [repl_snapshots_sent_total],
+    [repl_resumes_total], [repl_ops_sent_total],
+    [repl_bytes_sent_total], [repl_evictions_total],
+    [repl_digest_checks_total], [repl_digest_failures_total] counters;
+    follower-side, [repl_applied_total],
+    [repl_snapshots_received_total], [repl_reconnects_total],
+    [repl_digest_mismatch_total].  The network's own [wdmnet_*]
+    instruments live on whatever sink the network was created with. *)
 
 module Network = Wdm_multistage.Network
 
@@ -37,6 +62,17 @@ type address =
 
 val pp_address : Format.formatter -> address -> unit
 
+type role = Leader | Follower
+
+type follower_config = {
+  leader : address;  (** where to subscribe for the op stream *)
+  wal : string option;
+      (** the follower's own WAL: every replicated op is logged, and a
+          restart resumes from it (plus the [<wal>.repl] mark) instead
+          of refetching a snapshot.  [None] keeps state in memory
+          only. *)
+}
+
 type t
 
 val start :
@@ -44,27 +80,71 @@ val start :
   ?store:Wdm_persist.Store.t ->
   ?queue_capacity:int ->
   ?batch_limit:int ->
+  ?digest_every:int ->
+  ?resume_window:int ->
+  ?outbox_capacity:int ->
+  ?follower_sndbuf:int ->
+  ?follower:follower_config ->
   net:Network.t ->
   address ->
   t
-(** Binds, listens and spawns the accept + admission threads.
+(** Binds, listens and spawns the accept + admission threads (and the
+    replication client thread when [follower] is given).
     [queue_capacity] (default 256) bounds the admission queue;
     [batch_limit] (default 64) caps how many requests one drain takes.
-    The caller keeps ownership of [store] (close it after {!stop}).
-    @raise Invalid_argument when [queue_capacity < 1] or
-    [batch_limit < 1].
+    [digest_every] (default 64) is the committed-op interval between
+    replicated state digests; [resume_window] (default 1024) how many
+    recent ops the leader keeps for follower resume; [outbox_capacity]
+    (default 1024) the per-follower outbox bound past which a slow
+    follower is evicted; [follower_sndbuf] sets [SO_SNDBUF] on
+    follower connections, bounding how much the kernel can buffer on
+    top of the outbox (eviction tests use a tiny value to make "slow"
+    deterministic).  The caller keeps ownership of [store] (close it
+    after {!stop}); a [follower] node instead manages its own store
+    for [follower.wal] — read it back with {!current_store}.
+    @raise Invalid_argument when a numeric option is [< 1], or when
+    both [store] and [follower] are given.
     @raise Unix.Unix_error when the address cannot be bound. *)
 
 val address : t -> address
 (** The actual bound address — with [Tcp (host, 0)] the kernel-chosen
     port is filled in. *)
 
+val role : t -> role
+
+val applied : t -> int
+(** Committed ops so far: ops this node executed as leader plus ops it
+    applied from a leader's stream.  A follower whose [applied] equals
+    the leader's has caught up. *)
+
+val network : t -> Network.t
+(** The live network.  On a follower this is {e replaced} when a
+    snapshot installs, so do not cache it across attaches; reading
+    state through a {!Client} request is always safe, reading it
+    in-process is only safe once the server is stopped or known
+    quiescent. *)
+
+val current_store : t -> Wdm_persist.Store.t option
+(** The store currently in use: the one passed to {!start}, or the one
+    a follower created for its [wal].  After {!stop}, checkpoint and
+    close it here. *)
+
+val promote : t -> (int, string) result
+(** Make this follower the leader: cut the replication link, adopt a
+    fresh epoch, start accepting mutations and follower subscriptions
+    from the newest consistent state.  Returns {!applied} at the
+    moment of promotion.  [Error] when already the leader or stopped.
+    Blocks until the admission thread performs the switch, so on
+    return every subsequent request sees the new role. *)
+
 val stop : t -> unit
-(** Graceful shutdown: stop accepting, disconnect clients, drain and
-    answer everything already admitted to the queue, and join all
-    threads.  After [stop] returns no thread touches the network or
-    the store, so the caller can checkpoint and close them safely.
-    Idempotent. *)
+(** Graceful shutdown: stop accepting, shut client receive sides down
+    (requests already admitted are still answered — an answered
+    request is one a retrying client will not replay against the next
+    leader), drain the queue, let follower outboxes flush (bounded
+    grace), and join all threads.  After [stop] returns no thread
+    touches the network or the store, so the caller can checkpoint and
+    close them safely.  Idempotent. *)
 
 val served : t -> int
 (** Requests answered so far (monotone; stable after {!stop}). *)

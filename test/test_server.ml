@@ -42,7 +42,8 @@ let with_server ?telemetry ?store net f =
 
 let with_client srv f =
   match Srv.Client.connect (Srv.Server.address srv) with
-  | Error e -> Alcotest.fail ("client connect: " ^ e)
+  | Error e ->
+    Alcotest.fail ("client connect: " ^ Srv.Client.error_to_string e)
   | Ok c -> Fun.protect ~finally:(fun () -> Srv.Client.close c) (fun () -> f c)
 
 (* --- codec roundtrips ---------------------------------------------------- *)
@@ -136,7 +137,8 @@ let test_serve_basic () =
             | Ok (P.Resp.Admitted { route; moved = 0 }) -> route
             | other ->
               Alcotest.fail
-                (Format.asprintf "connect: %a" Fmt.(result ~ok:P.Resp.pp ~error:string)
+                (Format.asprintf "connect: %a"
+                   Fmt.(result ~ok:P.Resp.pp ~error:Srv.Client.pp_error)
                    other)
           in
           (* the served route must equal the one the same request yields
@@ -183,7 +185,7 @@ let test_serve_basic () =
           (* digest matches the live network *)
           match Srv.Client.digest c with
           | Ok d -> Alcotest.(check int) "digest" (P.Store.digest net) d
-          | Error e -> Alcotest.fail e))
+          | Error e -> Alcotest.fail (Srv.Client.error_to_string e)))
 
 let test_malformed_frame_closes_connection () =
   let net = make_net Network.Bitset in
@@ -237,7 +239,7 @@ let test_silent_client_does_not_block_accept () =
               match Srv.Client.digest c with
               | Ok d ->
                 Alcotest.(check int) "digest served" (P.Store.digest net) d
-              | Error e -> Alcotest.fail e)))
+              | Error e -> Alcotest.fail (Srv.Client.error_to_string e))))
 (* ... and [with_server]'s finally returning at all is the other half
    of the regression: [stop] must not hang joining an accept thread
    stuck in a handshake read. *)
@@ -248,7 +250,8 @@ let test_client_fails_fast_after_transport_error () =
   let c =
     match Srv.Client.connect (Srv.Server.address srv) with
     | Ok c -> c
-    | Error e -> Alcotest.fail ("client connect: " ^ e)
+    | Error e ->
+      Alcotest.fail ("client connect: " ^ Srv.Client.error_to_string e)
   in
   Srv.Server.stop srv;
   (match Srv.Client.request c P.Resp.Get_digest with
@@ -257,8 +260,9 @@ let test_client_fails_fast_after_transport_error () =
   (* the transport error must have closed the client: the next request
      fails fast instead of misframing against a dead byte stream *)
   (match Srv.Client.request c P.Resp.Get_digest with
-  | Error "client is closed" -> ()
-  | Error e -> Alcotest.fail ("expected fail-fast, got: " ^ e)
+  | Error Srv.Client.Closed -> ()
+  | Error e ->
+    Alcotest.fail ("expected fail-fast, got: " ^ Srv.Client.error_to_string e)
   | Ok _ -> Alcotest.fail "request after transport error should fail");
   Srv.Client.close c
 
@@ -320,7 +324,7 @@ let test_loopback_equivalence impl () =
             let digest =
               match Srv.Client.digest c with
               | Ok d -> d
-              | Error e -> Alcotest.fail e
+              | Error e -> Alcotest.fail (Srv.Client.error_to_string e)
             in
             (stats, digest)))
   in
@@ -366,7 +370,7 @@ let test_served_session_recovers () =
             ignore (run_churn ~sink:(Tel.Sink.create ()) sut);
             match Srv.Client.digest c with
             | Ok d -> d
-            | Error e -> Alcotest.fail e))
+            | Error e -> Alcotest.fail (Srv.Client.error_to_string e)))
   in
   (* server stopped: no thread touches the store anymore *)
   P.Store.checkpoint store net;
@@ -421,7 +425,7 @@ let test_failed_ops_do_not_poison_wal () =
             | _ -> Alcotest.fail "second connect");
             match Srv.Client.digest c with
             | Ok d -> d
-            | Error e -> Alcotest.fail e))
+            | Error e -> Alcotest.fail (Srv.Client.error_to_string e)))
   in
   P.Store.close store;
   (* no checkpoint after serving: recovery must replay the WAL tail,
@@ -460,7 +464,7 @@ let test_server_instruments () =
           let js =
             match Srv.Client.stats_json c with
             | Ok s -> s
-            | Error e -> Alcotest.fail e
+            | Error e -> Alcotest.fail (Srv.Client.error_to_string e)
           in
           (match Tel.Json.parse js with
           | Ok _ -> ()
