@@ -1028,6 +1028,135 @@ let replication_bench ~topo ~ops =
       ] )
 
 (* ----------------------------------------------------------------- *)
+(* Request-stage latency: where a served request spends its time      *)
+(* ----------------------------------------------------------------- *)
+
+(* The serving trace again, but with telemetry attached so every
+   request is decomposed into decode / queue / execute / wal /
+   replicate / respond stage histograms (DESIGN.md §11), reported as
+   p50/p95/p99 per stage.  The same trace also runs with telemetry
+   off: the delta prices what tracing costs when nothing subscribes —
+   the disabled path takes no timestamps at all, so the overhead
+   should vanish into run-to-run noise (gate: <= 3% on the best of
+   [repeats] runs each way). *)
+let stage_latency_bench ~topo ~ops =
+  section "Request-stage latency (traced serving, unix socket)";
+  let module Tel = Wdm_telemetry in
+  let make () =
+    Network.create
+      ~config:
+        {
+          Network.Config.default with
+          telemetry = Some (Tel.Sink.create ());
+          link_impl = Some Network.Bitset;
+        }
+      ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
+  in
+  let sock tag =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wdm_bench_stage_%s_%d.sock" tag (Unix.getpid ()))
+  in
+  let serve_once ?telemetry tag =
+    let srv =
+      Server.start ?telemetry ~net:(make ()) (Server.Unix_socket (sock tag))
+    in
+    let client =
+      match Client.connect (Server.address srv) with
+      | Ok c -> c
+      | Error e ->
+        Server.stop srv;
+        failwith ("stage_latency_bench: " ^ Client.error_to_string e)
+    in
+    let t0 = Unix.gettimeofday () in
+    Array.iter
+      (fun op ->
+        match Client.request client (Resp.Admit op) with
+        | Ok _ -> ()
+        | Error e ->
+          failwith ("stage_latency_bench: " ^ Client.error_to_string e))
+      ops;
+    let dt = Unix.gettimeofday () -. t0 in
+    Client.close client;
+    Server.stop srv;
+    dt
+  in
+  let repeats = 3 in
+  let best f =
+    let rec go n acc = if n = 0 then acc else go (n - 1) (min acc (f ())) in
+    go (repeats - 1) (f ())
+  in
+  let dt_off = best (fun () -> serve_once "off") in
+  (* a fresh sink per traced run so the reported histograms cover
+     exactly one pass of the trace; timing still takes the best run *)
+  let last_sink = ref None in
+  let dt_on =
+    best (fun () ->
+        let sink = Tel.Sink.create () in
+        last_sink := Some sink;
+        serve_once ~telemetry:sink "on")
+  in
+  let snap =
+    match !last_sink with
+    | Some sink -> Tel.Sink.snapshot sink
+    | None -> assert false
+  in
+  let requests = Array.length ops in
+  let overhead_pct = (dt_on -. dt_off) /. dt_off *. 100. in
+  let overhead_ok = overhead_pct <= 3.0 in
+  let stage_names =
+    [ "decode"; "queue"; "execute"; "wal"; "replicate"; "respond" ]
+  in
+  let stage_hist name =
+    let metric =
+      if name = "total" then "server_request_latency_seconds"
+      else Printf.sprintf "server_stage_%s_seconds" name
+    in
+    Tel.Metrics.find_histogram snap metric
+  in
+  Printf.printf "%-10s %8s %12s %12s %12s\n" "stage" "count" "p50" "p95" "p99";
+  let row name =
+    match stage_hist name with
+    | None -> (name, J.Null)
+    | Some h ->
+      let q p = Tel.Histogram.quantile h p in
+      let show = function
+        | Some v -> Printf.sprintf "<=%.1f us" (v *. 1e6)
+        | None -> "n/a"
+      in
+      Printf.printf "%-10s %8d %12s %12s %12s\n" name h.Tel.Histogram.count
+        (show (q 0.5)) (show (q 0.95)) (show (q 0.99));
+      let num = function Some v -> J.Float v | None -> J.Null in
+      ( name,
+        J.Obj
+          [
+            ("count", J.Int h.Tel.Histogram.count);
+            ("p50_s", num (q 0.5));
+            ("p95_s", num (q 0.95));
+            ("p99_s", num (q 0.99));
+          ] )
+  in
+  let stages = List.map row (stage_names @ [ "total" ]) in
+  Printf.printf
+    "\ntraced  : %d requests in %.3f s  %8.0f requests/s\n" requests dt_on
+    (float_of_int requests /. dt_on);
+  Printf.printf
+    "untraced: %d requests in %.3f s  %8.0f requests/s  (tracing overhead: \
+     %.1f%%, best of %d)\n\n"
+    requests dt_off
+    (float_of_int requests /. dt_off)
+    overhead_pct repeats;
+  ( "stage_latency",
+    J.Obj
+      [
+        ("requests", J.Int requests);
+        ("stages", J.Obj stages);
+        ("traced_s", J.Float dt_on);
+        ("untraced_s", J.Float dt_off);
+        ("overhead_pct", J.Float overhead_pct);
+        ("overhead_ok", J.Bool overhead_ok);
+      ] )
+
+(* ----------------------------------------------------------------- *)
 (* bechamel micro-benchmarks                                          *)
 (* ----------------------------------------------------------------- *)
 
@@ -1319,6 +1448,50 @@ let validate_results path =
         fail "serving.digest_match is false: served state diverged"
       | _ -> fail "serving.digest_match is not a bool"
     in
+    let* stages = require "stage_latency" (J.member "stage_latency" doc) in
+    let* () =
+      List.fold_left
+        (fun acc key ->
+          Result.bind acc (fun () ->
+              match J.member key stages with
+              | Some j -> number (Printf.sprintf "stage_latency.%s" key) j
+              | None -> fail "stage_latency.%s missing" key))
+        (Ok ())
+        [ "requests"; "traced_s"; "untraced_s"; "overhead_pct" ]
+    in
+    let* ook =
+      require "stage_latency.overhead_ok" (J.member "overhead_ok" stages)
+    in
+    let* () =
+      match ook with
+      | J.Bool _ -> Ok ()
+      | _ -> fail "stage_latency.overhead_ok is not a bool"
+    in
+    let* sobj = require "stage_latency.stages" (J.member "stages" stages) in
+    let* () =
+      List.fold_left
+        (fun acc stage ->
+          Result.bind acc (fun () ->
+              let ctx = Printf.sprintf "stage_latency.stages.%s" stage in
+              let* s = require ctx (J.member stage sobj) in
+              let* count = require (ctx ^ ".count") (J.member "count" s) in
+              let* () =
+                match J.to_int count with
+                | Some _ -> Ok ()
+                | None -> fail "%s.count is not an int" ctx
+              in
+              List.fold_left
+                (fun acc key ->
+                  Result.bind acc (fun () ->
+                      match J.member key s with
+                      | Some J.Null -> Ok ()  (* empty histogram *)
+                      | Some j -> number (Printf.sprintf "%s.%s" ctx key) j
+                      | None -> fail "%s.%s missing" ctx key))
+                (Ok ())
+                [ "p50_s"; "p95_s"; "p99_s" ]))
+        (Ok ())
+        [ "decode"; "queue"; "execute"; "wal"; "replicate"; "respond"; "total" ]
+    in
     let* repl = require "replication" (J.member "replication" doc) in
     let* () =
       List.fold_left
@@ -1376,9 +1549,10 @@ let full () =
   let rt, (topo, ops, dt_bit) = routing_throughput ~quick:false () in
   let persist = persistence_bench ~topo ~ops ~dt_baseline:dt_bit in
   let serving = serving_bench ~topo ~ops ~dt_baseline:dt_bit in
+  let stages = stage_latency_bench ~topo ~ops in
   let repl = replication_bench ~topo ~ops in
   let micro = micro_benchmarks ~quick:false () in
-  write_results [ micro; rt; persist; serving; repl ];
+  write_results [ micro; rt; persist; serving; stages; repl ];
   print_endline "All reproduction sections completed."
 
 (* --quick runs just the machine-readable sections at reduced sizes —
@@ -1388,9 +1562,10 @@ let quick () =
   let rt, (topo, ops, dt_bit) = routing_throughput ~quick:true () in
   let persist = persistence_bench ~topo ~ops ~dt_baseline:dt_bit in
   let serving = serving_bench ~topo ~ops ~dt_baseline:dt_bit in
+  let stages = stage_latency_bench ~topo ~ops in
   let repl = replication_bench ~topo ~ops in
   let micro = micro_benchmarks ~quick:true () in
-  write_results [ micro; rt; persist; serving; repl ];
+  write_results [ micro; rt; persist; serving; stages; repl ];
   print_endline "Quick bench profile completed."
 
 let () =

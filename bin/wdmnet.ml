@@ -927,8 +927,29 @@ let serve_cmd =
                  refuse mutations.  SIGUSR1 or $(b,wdmnet promote) promotes \
                  this node to leader.")
   in
+  let http_arg =
+    Arg.(value & opt (some address_conv) None & info [ "http" ] ~docv:"ADDR"
+           ~doc:"Serve the observability plane ($(b,/metrics), \
+                 $(b,/healthz), $(b,/readyz), $(b,/spans)) over HTTP 1.0 \
+                 at this address.")
+  in
+  let ready_lag_arg =
+    Arg.(value & opt int 64 & info [ "ready-lag" ] ~docv:"OPS"
+           ~doc:"A follower answers $(b,/readyz) with 200 only while its \
+                 apply lag is within this many ops of the leader.")
+  in
+  let slow_ms_arg =
+    Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"Log every request whose total latency reaches MS \
+                 milliseconds as one JSONL line (span id + per-stage \
+                 breakdown) to $(b,--slow-log) or stderr.")
+  in
+  let slow_log_arg =
+    Arg.(value & opt (some string) None & info [ "slow-log" ] ~docv:"FILE"
+           ~doc:"Destination file for the $(b,--slow-ms) log.")
+  in
   let run n r k m construction model listen wal fsync_every queue_capacity
-      batch_limit follower =
+      batch_limit follower http ready_lag slow_ms slow_log trace_file =
     check_dims n k;
     if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
     if queue_capacity < 1 || batch_limit < 1 then begin
@@ -952,7 +973,8 @@ let serve_cmd =
     in
     let m = Option.value ~default:eval.Conditions.m_min m in
     let topo = Topology.make_exn ~n ~m ~r ~k in
-    let sink = Tel.Sink.create () in
+    let trace = Option.map (fun _ -> Tel.Trace.create ()) trace_file in
+    let sink = Tel.Sink.create ?trace () in
     let net =
       Network.create
         ~config:{ Network.Config.default with telemetry = Some sink }
@@ -969,10 +991,13 @@ let serve_cmd =
       Server.start ~telemetry:sink ?store ~queue_capacity ~batch_limit
         ?follower:
           (Option.map (fun leader -> { Server.leader; wal }) follower)
-        ~net listen
+        ?http ~ready_lag ?slow_ms ?slow_log ~net listen
     in
     Format.printf "topology: %a, model %a@." Topology.pp topo Model.pp model;
     Format.printf "serving on %a@." Server.pp_address (Server.address srv);
+    (match Server.http_address srv with
+    | Some haddr -> Format.printf "observability on %a@." Server.pp_address haddr
+    | None -> ());
     (match follower with
     | Some leader -> Format.printf "following %a@." Server.pp_address leader
     | None -> ());
@@ -1004,6 +1029,7 @@ let serve_cmd =
     prerr_endline "wdmnet: shutting down";
     Server.stop srv;
     Printf.printf "served %d requests\n" (Server.served srv);
+    dump_trace trace trace_file;
     let net = Server.network srv in
     match Server.current_store srv with
     | Some store -> finish_store store net
@@ -1015,11 +1041,14 @@ let serve_cmd =
              ops, admitted by a single writer in batches; with $(b,--wal) \
              the session crash-recovers like a recorded run.  With \
              $(b,--follower) the node replicates a leader instead (SIGUSR1 \
-             promotes it).  SIGINT or SIGTERM shuts down gracefully and \
+             promotes it).  $(b,--http) adds a live observability plane; \
+             $(b,--trace) writes the request-stage spans as a Chrome trace \
+             at shutdown.  SIGINT or SIGTERM shuts down gracefully and \
              prints the state digest.")
     Term.(const run $ n_local_arg $ r_arg $ k_arg $ m_arg $ construction_arg
           $ model_arg $ listen_arg $ wal_arg $ fsync_every_arg
-          $ queue_capacity_arg $ batch_limit_arg $ follower_arg)
+          $ queue_capacity_arg $ batch_limit_arg $ follower_arg $ http_arg
+          $ ready_lag_arg $ slow_ms_arg $ slow_log_arg $ trace_arg)
 
 let client_cmd =
   let connect_arg =
@@ -1146,6 +1175,212 @@ let promote_cmd =
              $(b,SIGUSR1).")
     Term.(const run $ connect_arg)
 
+(* --- top ---------------------------------------------------------------- *)
+
+(* The dashboard is one Get_stats round-trip per refresh: the response
+   carries role/epoch/applied/lag plus the full metrics snapshot, so
+   rates come from counter deltas and stage quantiles from the shipped
+   histogram buckets — no server-side aggregation beyond what /metrics
+   already maintains. *)
+let top_cmd =
+  let connect_arg =
+    Arg.(value & opt_all address_conv [] & info [ "connect" ] ~docv:"ADDR"
+           ~doc:"Server address: unix:PATH, tcp:HOST:PORT or HOST:PORT.  \
+                 Repeatable; rotates on failure like $(b,wdmnet client).")
+  in
+  let interval_arg =
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECONDS"
+           ~doc:"Refresh period.")
+  in
+  let iterations_arg =
+    Arg.(value & opt (some int) None & info [ "iterations" ] ~docv:"N"
+           ~doc:"Stop after N refreshes (default: run until interrupted).")
+  in
+  let no_clear_flag =
+    Arg.(value & flag & info [ "no-clear" ]
+           ~doc:"Append refreshes instead of clearing the terminal (for \
+                 piping or CI capture).")
+  in
+  let run connect interval iterations no_clear =
+    if interval <= 0. then begin
+      prerr_endline "wdmnet: interval must be > 0";
+      exit 2
+    end;
+    let addrs = match connect with [] -> [ default_address ] | l -> l in
+    (* fail fast: a dashboard poll that can't reach anyone should say
+       so and retry on the next refresh, not sit in Resilient's
+       default ~14s failover budget *)
+    let rc =
+      Resilient.create ~dial_timeout:1.0 ~deadline:2.0 ~max_attempts:3
+        ~backoff:0.05 ~backoff_cap:0.25 addrs
+    in
+    Fun.protect ~finally:(fun () -> Resilient.close rc) @@ fun () ->
+    let module J = Tel.Json in
+    let fetch () =
+      match Resilient.request rc Persist.Resp.Get_stats with
+      | Ok (Persist.Resp.Stats_json js) -> Result.to_option (J.parse js)
+      | _ -> None
+    in
+    let num = function
+      | J.Int i -> float_of_int i
+      | J.Float f -> f
+      | _ -> 0.
+    in
+    let obj_members name j =
+      match J.member name j with Some (J.Obj kvs) -> kvs | _ -> []
+    in
+    let counter j name =
+      match List.assoc_opt name (obj_members "counters" j) with
+      | Some v -> int_of_float (num v)
+      | None -> 0
+    in
+    let gauge j name =
+      Option.map num (List.assoc_opt name (obj_members "gauges" j))
+    in
+    let histogram j name =
+      match List.assoc_opt name (obj_members "histograms" j) with
+      | None -> None
+      | Some h ->
+        let floats field =
+          match J.member field h with
+          | Some (J.List l) -> Array.of_list (List.map num l)
+          | _ -> [||]
+        in
+        let bounds = floats "bounds" in
+        let cumulative = Array.map int_of_float (floats "cumulative") in
+        let sum = match J.member "sum" h with Some v -> num v | None -> 0. in
+        let count =
+          match J.member "count" h with Some (J.Int c) -> c | _ -> 0
+        in
+        (* reconstruct a Histogram.snapshot so quantile estimation is
+           the same code the server itself uses *)
+        if Array.length cumulative = Array.length bounds + 1 then
+          Some { Tel.Histogram.bounds; cumulative; sum; count }
+        else None
+    in
+    let stop = ref false in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+     with Invalid_argument _ | Sys_error _ -> ());
+    let prev = ref None in
+    let iter = ref 0 in
+    let continue () =
+      (not !stop)
+      && match iterations with Some limit -> !iter < limit | None -> true
+    in
+    while continue () do
+      incr iter;
+      (match fetch () with
+      | None -> print_endline "wdmnet top: server unreachable"
+      | Some j ->
+        let buf = Buffer.create 1024 in
+        let line fmt =
+          Printf.ksprintf
+            (fun s ->
+              Buffer.add_string buf s;
+              Buffer.add_char buf '\n')
+            fmt
+        in
+        let str name =
+          match J.member name j with Some (J.String s) -> s | _ -> "?"
+        in
+        let top_int name =
+          match J.member name j with Some (J.Int i) -> i | _ -> 0
+        in
+        let requests = counter j "server_requests_total" in
+        let tnow = Unix.gettimeofday () in
+        let rate =
+          match !prev with
+          | Some (r0, t0) when tnow > t0 ->
+            float_of_int (requests - r0) /. (tnow -. t0)
+          | _ -> 0.
+        in
+        prev := Some (requests, tnow);
+        let g name = Option.value ~default:0. (gauge j name) in
+        line "wdmnet top · role %s · epoch %d · applied %d · lag %d"
+          (str "role") (top_int "epoch") (top_int "applied") (top_int "lag");
+        line
+          "requests %d (%.1f/s) · responses %d · clients %.0f active / %d \
+           total · queue %.0f"
+          requests rate
+          (counter j "server_responses_total")
+          (g "server_clients_active")
+          (counter j "server_clients_total")
+          (g "server_queue_depth");
+        line
+          "replication: followers %.0f · outbox lag %.0f ops %.0f B · apply \
+           lag %.0f · evictions %d · slow %d"
+          (g "repl_followers") (g "repl_lag_ops") (g "repl_lag_bytes")
+          (g "repl_follower_lag_ops")
+          (counter j "repl_evictions_total")
+          (counter j "server_slow_requests_total");
+        line "%-10s %12s %12s %12s %12s" "stage" "count" "p50" "p95" "p99";
+        let stage_row label name =
+          match histogram j name with
+          | None -> ()
+          | Some s ->
+            let q p =
+              match Tel.Histogram.quantile s p with
+              | Some v -> Printf.sprintf "<=%.3gms" (v *. 1000.)
+              | None -> "-"
+            in
+            line "%-10s %12d %12s %12s %12s" label s.Tel.Histogram.count
+              (q 0.5) (q 0.95) (q 0.99)
+        in
+        List.iter
+          (fun stage ->
+            stage_row stage (Printf.sprintf "server_stage_%s_seconds" stage))
+          [ "decode"; "queue"; "execute"; "wal"; "replicate"; "respond" ];
+        stage_row "total" "server_request_latency_seconds";
+        (* per-middle first-stage occupancy, in middle order *)
+        let prefix = "wdmnet_stage1_occupancy{middle=\"" in
+        let middles =
+          List.filter_map
+            (fun (name, v) ->
+              if
+                String.length name > String.length prefix
+                && String.sub name 0 (String.length prefix) = prefix
+              then
+                let rest =
+                  String.sub name (String.length prefix)
+                    (String.length name - String.length prefix)
+                in
+                match String.index_opt rest '"' with
+                | Some q -> (
+                  match int_of_string_opt (String.sub rest 0 q) with
+                  | Some m -> Some (m, num v)
+                  | None -> None)
+                | None -> None
+              else None)
+            (obj_members "gauges" j)
+        in
+        (match List.sort compare middles with
+        | [] -> ()
+        | ms ->
+          line "middle occupancy: %s"
+            (String.concat " "
+               (List.map (fun (m, v) -> Printf.sprintf "%d:%.2f" m v) ms)));
+        if not no_clear then print_string "\027[2J\027[H";
+        print_string (Buffer.contents buf);
+        flush stdout);
+      if continue () then begin
+        (* sleep in slices so Ctrl-C lands promptly *)
+        let left = ref interval in
+        while !left > 0. && not !stop do
+          Thread.delay (min 0.1 !left);
+          left := !left -. 0.1
+        done
+      end
+    done
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live dashboard for a $(b,wdmnet serve) instance: polls \
+             $(b,Get_stats) and renders role, req/s, per-stage \
+             p50/p95/p99, queue depth, per-middle occupancy and \
+             replication lag, refreshing every $(b,--interval) seconds.")
+    Term.(const run $ connect_arg $ interval_arg $ iterations_arg
+          $ no_clear_flag)
+
 (* --- adversary ----------------------------------------------------------- *)
 
 let adversary_cmd =
@@ -1248,7 +1483,8 @@ let () =
           [
             capacity_cmd; cost_cmd; design_cmd; tables_cmd; sweep_cmd;
             fig10_cmd; simulate_cmd; faults_cmd; stats_cmd; record_cmd;
-            recover_cmd; serve_cmd; client_cmd; promote_cmd; adversary_cmd;
+            recover_cmd; serve_cmd; client_cmd; promote_cmd; top_cmd;
+            adversary_cmd;
             figures_cmd;
             deep_cmd;
           ]))

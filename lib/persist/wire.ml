@@ -74,6 +74,18 @@ let header_len = 8
 
 let header ~kind = Printf.sprintf "%s%c%c\000\000" magic kind (Char.chr version)
 
+(* Byte 6 of the 8-byte header was reserved-zero from v0; it now
+   carries optional capability flags.  [check_header] never inspects
+   it, so a flagged header is accepted by every deployed decoder and a
+   plain header reads back as flags = 0 — that asymmetry is the whole
+   backward-compatibility story for the span extension. *)
+let header_with_flags ~kind ~flags =
+  if flags < 0 || flags > 0xff then
+    invalid_arg "Wire.header_with_flags: flags outside [0, 255]";
+  Printf.sprintf "%s%c%c%c\000" magic kind (Char.chr version) (Char.chr flags)
+
+let header_flags s = if String.length s >= 7 then Char.code s.[6] else 0
+
 let check_header ~kind s =
   if String.length s < header_len then Error "file shorter than its header"
   else if String.sub s 0 4 <> magic then Error "bad magic"

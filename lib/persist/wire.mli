@@ -47,8 +47,21 @@ val header : kind:char -> string
     (follower replication mark), plus the socket hellos ['C'] / ['R'] /
     ['F'] ({!Wdm_server.Protocol}). *)
 
+val header_with_flags : kind:char -> flags:int -> string
+(** Like {!header} with byte 6 (reserved-zero since v0) carrying a
+    capability bitmap — e.g. the hello span-extension flag
+    ({!Wdm_server.Protocol.flag_spans}).  Decoders that predate flags
+    ignore the byte, so a flagged header is universally accepted.
+    @raise Invalid_argument outside [0, 255]. *)
+
+val header_flags : string -> int
+(** The flags byte of a header string; [0] for a pre-flags header or a
+    string too short to carry one. *)
+
 val check_header : kind:char -> string -> (unit, string) result
-(** Validates magic, kind and version of a whole-file string. *)
+(** Validates magic, kind and version of a whole-file string.  The
+    flags byte is deliberately not validated — unknown flags must not
+    reject a file or a hello. *)
 
 (** {1 Framing} *)
 

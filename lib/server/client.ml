@@ -19,7 +19,24 @@ type t = {
   fd : Unix.file_descr;
   mutable closed : bool;
   mutable deadline : float;
+  spans : bool;  (* both hellos carried Protocol.flag_spans *)
+  span_tag : int;  (* process-unique per connection *)
+  mutable span_seq : int;
+  mutable last_span : int option;
 }
+
+(* Span ids are [tag * 2^32 + seq]: unique within the process without
+   cross-thread coordination on the request path (connects are rare, so
+   they can afford a lock; requests cannot). *)
+let span_tag_counter = ref 0
+let span_tag_mu = Mutex.create ()
+
+let next_span_tag () =
+  Mutex.lock span_tag_mu;
+  incr span_tag_counter;
+  let tag = !span_tag_counter land 0x3fffff in
+  Mutex.unlock span_tag_mu;
+  tag
 
 let sockaddr_of = function
   | Server.Tcp (host, port) ->
@@ -79,7 +96,7 @@ let connect ?(dial_timeout = 5.0) ?(deadline = 30.0) addr =
       (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO deadline
        with Unix.Unix_error _ -> ());
       match
-        Protocol.write_all fd Protocol.client_hello;
+        Protocol.write_all fd Protocol.client_hello_spans;
         Protocol.read_exactly fd P.Wire.header_len
       with
       | exception Unix.Unix_error (err, _, _) ->
@@ -93,10 +110,25 @@ let connect ?(dial_timeout = 5.0) ?(deadline = 30.0) addr =
         Error (Transport "handshake failed: no server hello")
       | Some hello -> (
         match Protocol.check_server_hello hello with
-        | Ok () -> Ok { fd; closed = false; deadline }
+        | Ok () ->
+          (* a pre-flags server replies with zeroed padding, so the
+             connection silently downgrades to span-less framing *)
+          Ok
+            {
+              fd;
+              closed = false;
+              deadline;
+              spans = Protocol.hello_has_spans hello;
+              span_tag = next_span_tag ();
+              span_seq = 0;
+              last_span = None;
+            }
         | Error e ->
           (try Unix.close fd with Unix.Unix_error _ -> ());
           Error (Protocol ("handshake failed: " ^ e)))))
+
+let spans t = t.spans
+let last_span t = t.last_span
 
 let close t =
   if not t.closed then begin
@@ -126,6 +158,12 @@ let request ?deadline t req =
     in
     let b = Buffer.create 64 in
     P.Resp.encode_request b req;
+    if t.spans then begin
+      t.span_seq <- t.span_seq + 1;
+      let span = (t.span_tag * 0x100000000) + t.span_seq in
+      t.last_span <- Some span;
+      P.Wire.put_int b span
+    end;
     match Protocol.send_frame t.fd (Buffer.contents b) with
     | exception Unix.Unix_error (err, _, _) -> broken (error_of_unix err)
     | () -> (

@@ -36,6 +36,16 @@ val connect :
 
 val close : t -> unit
 
+val spans : t -> bool
+(** Whether the span extension was negotiated: both hellos carried
+    {!Protocol.flag_spans}.  When [false] (e.g. a pre-flags server)
+    requests go out without the trailing span id and still work. *)
+
+val last_span : t -> int option
+(** The span id sent with the most recent {!request}; [None] before
+    the first request or when spans are off.  Correlates a response
+    with the server's slow-op log and stage trace. *)
+
 val request :
   ?deadline:float ->
   t ->

@@ -8,6 +8,16 @@ let check_client_hello s = Wire.check_header ~kind:'C' s
 let check_server_hello s = Wire.check_header ~kind:'R' s
 let check_follower_hello s = Wire.check_header ~kind:'F' s
 
+(* Span capability: advertised in the hello's flags byte (reserved-zero
+   padding to pre-flags peers, so either side may be old).  The
+   extension is live on a connection only when BOTH hellos carried the
+   bit; only then does the client append a trailing span id to each
+   request payload. *)
+let flag_spans = 0x01
+let client_hello_spans = Wire.header_with_flags ~kind:'C' ~flags:flag_spans
+let server_hello_spans = Wire.header_with_flags ~kind:'R' ~flags:flag_spans
+let hello_has_spans s = Wire.header_flags s land flag_spans <> 0
+
 let write_all fd s =
   let n = String.length s in
   let written = ref 0 in

@@ -20,6 +20,25 @@ val check_client_hello : string -> (unit, string) result
 val check_server_hello : string -> (unit, string) result
 val check_follower_hello : string -> (unit, string) result
 
+(** {1 Span capability}
+
+    The hello's byte 6 was reserved-zero padding; it now carries
+    capability flags ({!Wdm_persist.Wire.header_with_flags}).
+    [check_*_hello] ignores it, so flagged and plain hellos
+    interoperate in both directions.  When both sides flagged
+    {!flag_spans}, every request payload carries a trailing 8-byte
+    span id minted by the client ({!Client}); a plain peer on either
+    side silently downgrades the connection to span-less framing. *)
+
+val flag_spans : int
+(** Bit [0x01]: the sender can mint / decode trailing span ids. *)
+
+val client_hello_spans : string
+val server_hello_spans : string
+
+val hello_has_spans : string -> bool
+(** Whether a received hello advertised {!flag_spans}. *)
+
 val write_all : Unix.file_descr -> string -> unit
 (** Loops over short writes.  @raise Unix.Unix_error as [Unix.write]. *)
 

@@ -16,6 +16,9 @@ type client = {
   cid : int;
   fd : Unix.file_descr;
   mutable open_ : bool;  (** guarded by the server mutex *)
+  mutable spans : bool;
+      (** the hello negotiated the span extension; written once by the
+          client's own thread before any frame is read *)
   mutable c_requests : Tel.Metrics.counter option;
       (** registered after the handshake, guarded by the server mutex *)
 }
@@ -47,7 +50,13 @@ type promote_waiter = {
 }
 
 type item =
-  | Request of { client : client; req : P.Resp.request; enqueued : float }
+  | Request of {
+      client : client;
+      req : P.Resp.request;
+      enqueued : float;
+      span : int option;  (** client-minted id from the trailing extension *)
+      decode : float;  (** reader-thread decode time, observed at admission *)
+    }
   | Malformed of { client : client; reason : string }
   | Gone of client
   | Attach of { client : client; epoch : int; last_seq : int }
@@ -66,6 +75,14 @@ type instruments = {
   g_queue_depth : Tel.Metrics.gauge;
   h_batch_size : Tel.Histogram.t;
   h_latency : Tel.Histogram.t;
+  (* per-request stage breakdown (tentpole: where a request's time goes) *)
+  h_st_decode : Tel.Histogram.t;
+  h_st_queue : Tel.Histogram.t;
+  h_st_execute : Tel.Histogram.t;
+  h_st_wal : Tel.Histogram.t;
+  h_st_replicate : Tel.Histogram.t;
+  h_st_respond : Tel.Histogram.t;
+  slow_requests : Tel.Metrics.counter;
   (* replication, leader side *)
   r_snapshots_sent : Tel.Metrics.counter;
   r_resumes : Tel.Metrics.counter;
@@ -82,6 +99,19 @@ type instruments = {
   r_snapshots_recv : Tel.Metrics.counter;
   r_reconnects : Tel.Metrics.counter;
   r_digest_mismatch : Tel.Metrics.counter;
+  g_follower_lag : Tel.Metrics.gauge;
+}
+
+(* One served request's timing record: what the span ring holds, what
+   the slow-op log and the Chrome export render.  [sr_start] is the
+   sink-clock instant the reader began decoding the frame; stages are
+   contiguous slices in emission order. *)
+type span_record = {
+  sr_span : int option;
+  sr_cid : int;
+  sr_start : float;
+  sr_total : float;
+  sr_stages : (string * float) list;
 }
 
 type t = {
@@ -124,6 +154,19 @@ type t = {
   mutable repl_conn : repl_conn option;  (** guarded by the server mutex *)
   mutable force_snapshot : bool;  (** next subscribe must ask for a snapshot *)
   mutable repl_thread : Thread.t option;
+  mutable leader_seq : int;
+      (** follower: highest seq the leader has shown us (op or digest);
+          [leader_seq - rep_seq] is the apply lag *)
+  (* observability plane *)
+  span_buffer : int;
+  spans_ring : span_record Queue.t;  (** guarded by the server mutex *)
+  slow_ms : float option;
+  slow_out : out_channel option;  (** admission thread only *)
+  slow_owned : bool;  (** [stop] closes [slow_out] only if we opened it *)
+  ready_lag : int;
+  mutable http_fd : Unix.file_descr option;
+  mutable http_bound : address option;
+  mutable http_thread : Thread.t option;
 }
 
 let register_instruments sink =
@@ -149,6 +192,28 @@ let register_instruments sink =
       Tel.Metrics.histogram reg
         ~help:"Enqueue-to-response-written latency of one request"
         "server_request_latency_seconds";
+    h_st_decode =
+      Tel.Metrics.histogram reg ~help:"Reader-thread frame decode time"
+        "server_stage_decode_seconds";
+    h_st_queue =
+      Tel.Metrics.histogram reg ~help:"Admission-queue wait"
+        "server_stage_queue_seconds";
+    h_st_execute =
+      Tel.Metrics.histogram reg ~help:"Network execute time"
+        "server_stage_execute_seconds";
+    h_st_wal =
+      Tel.Metrics.histogram reg ~help:"WAL append (incl. fsync policy) time"
+        "server_stage_wal_seconds";
+    h_st_replicate =
+      Tel.Metrics.histogram reg
+        ~help:"Replication ship time (outbox enqueue across followers)"
+        "server_stage_replicate_seconds";
+    h_st_respond =
+      Tel.Metrics.histogram reg ~help:"Response frame write time"
+        "server_stage_respond_seconds";
+    slow_requests =
+      c "Requests whose total latency crossed the --slow-ms threshold"
+        "server_slow_requests_total";
     r_snapshots_sent =
       c "Full state snapshots sent to attaching followers"
         "repl_snapshots_sent_total";
@@ -175,6 +240,9 @@ let register_instruments sink =
     r_digest_mismatch =
       c "Leader digests that disagreed with local state"
         "repl_digest_mismatch_total";
+    g_follower_lag =
+      g "Ops the leader has shown that this follower has not yet applied"
+        "repl_follower_lag_ops";
   }
 
 let now t = match t.ins with Some i -> Tel.Sink.now i.sink | None -> 0.
@@ -261,16 +329,21 @@ let reader_loop t client =
       push t (Malformed { client; reason });
       stop_reading := true
     | Protocol.Frame payload -> (
+      let t0 = now t in
       let r = P.Wire.reader payload in
       match
         let req = P.Resp.decode_request r in
+        (* requests are self-delimiting, so the negotiated trailing
+           span id sits cleanly after the request proper *)
+        let span = if client.spans then Some (P.Wire.get_int r) else None in
         P.Wire.expect_end r;
-        req
+        (req, span)
       with
-      | req ->
+      | req, span ->
         Option.iter (fun c -> Tel.Metrics.inc c) client.c_requests;
         (match t.ins with Some i -> Tel.Metrics.inc i.requests | None -> ());
-        push t (Request { client; req; enqueued = now t })
+        let enqueued = now t in
+        push t (Request { client; req; enqueued; span; decode = enqueued -. t0 })
       | exception P.Wire.Decode_error { offset; reason } ->
         push t
           (Malformed
@@ -607,8 +680,17 @@ let handle_repl t conn msg =
     Mutex.unlock t.mu;
     c
   in
-  if current then
-    match msg with
+  if current then begin
+    (* every message that names a leader seq tells us how far ahead the
+       leader is; the gap to [rep_seq] is the apply lag /readyz gates on *)
+    (match msg with
+    | P.Repl.Init_snapshot { seq; _ }
+    | P.Repl.Init_resume { seq; _ }
+    | P.Repl.Rep_op { seq; _ }
+    | P.Repl.Rep_digest { seq; _ } ->
+      if seq > t.leader_seq then t.leader_seq <- seq
+    | P.Repl.Goodbye _ -> ());
+    (match msg with
     | P.Repl.Init_snapshot { epoch; seq; state } -> (
       match P.Store.decode_state state with
       | Error _ -> resync t conn
@@ -646,7 +728,13 @@ let handle_repl t conn msg =
         resync t conn
       end
       else send_ack t conn ~seq ~digest:own
-    | P.Repl.Goodbye _ -> ()
+    | P.Repl.Goodbye _ -> ());
+    match t.ins with
+    | Some i ->
+      Tel.Metrics.set i.g_follower_lag
+        (float_of_int (max 0 (t.leader_seq - t.rep_seq)))
+    | None -> ()
+  end
 
 let sockaddr_of_address = function
   | Tcp (host, port) ->
@@ -758,16 +846,123 @@ let send_response t client resp =
     (* the client is gone; its reader thread will deliver the [Gone] *)
     ()
 
-let stats_renderer t () =
-  match t.ins with
-  | None -> "{}"
-  | Some i ->
-    (* under the server mutex: reader threads may be registering
-       per-client counters in the same registry concurrently *)
+(* How far behind the slowest consumer is: on a follower the gap to
+   the leader's newest shown seq, on a leader the deepest replica
+   outbox.  Admission-thread callers already own the interesting
+   fields; the replica scan still takes the mutex. *)
+let current_lag t =
+  match t.role with
+  | Follower -> max 0 (t.leader_seq - t.rep_seq)
+  | Leader ->
     Mutex.lock t.mu;
-    let snap = Tel.Sink.snapshot i.sink in
+    let lag =
+      List.fold_left (fun acc f -> max acc (Queue.length f.outbox)) 0 t.replicas
+    in
     Mutex.unlock t.mu;
-    Tel.Json.to_string (Tel.Metrics.to_json snap)
+    lag
+
+(* Get_stats runs on the admission thread.  Role, epoch, applied seq
+   and lag ride alongside the metrics so a poller (wdmnet top, the CI
+   smoke) can assert convergence without a digest round-trip; a
+   follower reports the leader generation it synced to. *)
+let stats_renderer t () =
+  let base =
+    match t.ins with
+    | None -> []
+    | Some i -> (
+      (* under the server mutex: reader threads may be registering
+         per-client counters in the same registry concurrently *)
+      Mutex.lock t.mu;
+      let snap = Tel.Sink.snapshot i.sink in
+      Mutex.unlock t.mu;
+      match Tel.Metrics.to_json snap with
+      | Tel.Json.Obj kvs -> kvs
+      | j -> [ ("metrics", j) ])
+  in
+  let role, epoch =
+    match t.role with
+    | Leader -> ("leader", t.epoch)
+    | Follower -> ("follower", t.repl_epoch)
+  in
+  Tel.Json.to_string
+    (Tel.Json.Obj
+       ([
+          ("role", Tel.Json.String role);
+          ("epoch", Tel.Json.Int epoch);
+          ("applied", Tel.Json.Int t.rep_seq);
+          ("lag", Tel.Json.Int (current_lag t));
+        ]
+       @ base))
+
+(* ----- span recording (admission thread) ------------------------------- *)
+
+let slow_line sr =
+  Tel.Json.to_string
+    (Tel.Json.Obj
+       ([ ("ts", Tel.Json.Float sr.sr_start) ]
+       @ (match sr.sr_span with
+         | Some s -> [ ("span", Tel.Json.Int s) ]
+         | None -> [])
+       @ [
+           ("client", Tel.Json.Int sr.sr_cid);
+           ("total_ms", Tel.Json.Float (sr.sr_total *. 1000.));
+           ( "stages_ms",
+             Tel.Json.Obj
+               (List.map
+                  (fun (k, v) -> (k, Tel.Json.Float (v *. 1000.)))
+                  sr.sr_stages) );
+         ]))
+
+(* Ring-buffer the record, mirror it to the trace sink as one Stage
+   slice per stage, and append the slow-op JSONL line when the total
+   crosses the threshold.  Only called when instruments exist — with
+   telemetry off the request path never builds a record at all. *)
+let record_span t i sr =
+  List.iter
+    (fun (name, d) ->
+      let h =
+        match name with
+        | "decode" -> i.h_st_decode
+        | "queue" -> i.h_st_queue
+        | "execute" -> i.h_st_execute
+        | "wal" -> i.h_st_wal
+        | "replicate" -> i.h_st_replicate
+        | _ -> i.h_st_respond
+      in
+      Tel.Histogram.observe h d)
+    sr.sr_stages;
+  Mutex.lock t.mu;
+  Queue.add sr t.spans_ring;
+  if Queue.length t.spans_ring > t.span_buffer then
+    ignore (Queue.pop t.spans_ring);
+  Mutex.unlock t.mu;
+  (match i.sink.Tel.Sink.trace with
+  | None -> ()
+  | Some trace ->
+    let span_detail =
+      (match sr.sr_span with
+      | Some s -> [ ("span", string_of_int s) ]
+      | None -> [])
+      @ [ ("client", string_of_int sr.sr_cid) ]
+    in
+    let ts = ref sr.sr_start in
+    List.iter
+      (fun (name, d) ->
+        Tel.Trace.record trace ~ts:!ts ~dur:d
+          ~detail:(("stage", name) :: span_detail)
+          Tel.Trace.Stage;
+        ts := !ts +. d)
+      sr.sr_stages);
+  match t.slow_ms with
+  | Some threshold when sr.sr_total *. 1000. >= threshold -> (
+    Tel.Metrics.inc i.slow_requests;
+    match t.slow_out with
+    | Some oc ->
+      output_string oc (slow_line sr);
+      output_char oc '\n';
+      flush oc
+    | None -> ())
+  | _ -> ()
 
 (* The op this request committed, if any — what the WAL records and
    the replication stream carries.  Ops that failed to execute are
@@ -817,28 +1012,67 @@ let do_promote t =
     Ok t.rep_seq
   end
 
-let handle_request t client req enqueued =
-  let resp =
-    match (req : P.Resp.request) with
-    | P.Resp.Promote -> (
-      match do_promote t with
-      | Ok seq -> P.Resp.Promoted { seq }
-      | Error e -> P.Resp.Server_error e)
-    | P.Resp.Admit _ when t.role = Follower ->
-      P.Resp.Not_leader { leader = leader_string t }
-    | _ -> P.Resp.execute ~stats:(stats_renderer t) t.net req
-  in
-  (if t.role = Leader then
-     match committed_op req resp with
-     | None -> ()
-     | Some op ->
-       Option.iter (fun s -> P.Store.log s op) t.store;
-       replicate t op);
-  send_response t client resp;
-  t.served_count <- t.served_count + 1;
+let execute_request t req =
+  match (req : P.Resp.request) with
+  | P.Resp.Promote -> (
+    match do_promote t with
+    | Ok seq -> P.Resp.Promoted { seq }
+    | Error e -> P.Resp.Server_error e)
+  | P.Resp.Admit _ when t.role = Follower ->
+    P.Resp.Not_leader { leader = leader_string t }
+  | _ -> P.Resp.execute ~stats:(stats_renderer t) t.net req
+
+let handle_request t client req ~enqueued ~span ~decode =
   match t.ins with
-  | Some i -> Tel.Histogram.observe i.h_latency (now t -. enqueued)
-  | None -> ()
+  | None ->
+    (* untimed path: no clock reads, no record — behaviourally the
+       pre-tracing server *)
+    let resp = execute_request t req in
+    (if t.role = Leader then
+       match committed_op req resp with
+       | None -> ()
+       | Some op ->
+         Option.iter (fun s -> P.Store.log s op) t.store;
+         replicate t op);
+    send_response t client resp;
+    t.served_count <- t.served_count + 1
+  | Some i ->
+    let t_start = now t in
+    let resp = execute_request t req in
+    let t_exec = now t in
+    let wal_dt, repl_dt =
+      if t.role = Leader then (
+        match committed_op req resp with
+        | None -> (0., 0.)
+        | Some op ->
+          Option.iter (fun s -> P.Store.log s op) t.store;
+          let t_wal = now t in
+          replicate t op;
+          (t_wal -. t_exec, now t -. t_wal))
+      else (0., 0.)
+    in
+    let t_repl = now t in
+    send_response t client resp;
+    let t_done = now t in
+    t.served_count <- t.served_count + 1;
+    Tel.Histogram.observe i.h_latency (t_done -. enqueued);
+    let start = enqueued -. decode in
+    record_span t i
+      {
+        sr_span = span;
+        sr_cid = client.cid;
+        sr_start = start;
+        sr_total = t_done -. start;
+        sr_stages =
+          [
+            ("decode", decode);
+            ("queue", max 0. (t_start -. enqueued));
+            ("execute", t_exec -. t_start);
+            ("wal", wal_dt);
+            ("replicate", repl_dt);
+            ("respond", t_done -. t_repl);
+          ];
+      }
 
 let admit_loop t =
   let continue = ref true in
@@ -861,8 +1095,8 @@ let admit_loop t =
             | None -> ());
             send_response t client (P.Resp.Server_error reason);
             close_client t client
-          | Request { client; req; enqueued } ->
-            handle_request t client req enqueued
+          | Request { client; req; enqueued; span; decode } ->
+            handle_request t client req ~enqueued ~span ~decode
           | Attach { client; epoch; last_seq } ->
             handle_attach t client ~epoch ~last_seq
           | Repl_msg { conn; msg } -> handle_repl t conn msg
@@ -893,8 +1127,10 @@ let handshake fd =
     (match kind with
     | None -> None
     | Some k -> (
-      match Protocol.write_all fd Protocol.server_hello with
-      | () -> Some k
+      (* always advertise the span capability; a pre-flags client reads
+         the flag byte as the reserved padding it has always ignored *)
+      match Protocol.write_all fd Protocol.server_hello_spans with
+      | () -> Some (k, Protocol.hello_has_spans hello)
       | exception Unix.Unix_error _ -> None))
 
 (* The hello exchange happens on the per-client thread: a peer that
@@ -906,7 +1142,7 @@ let handshake fd =
 let client_loop t client =
   match handshake client.fd with
   | None -> close_client t client
-  | Some Hello_follower -> (
+  | Some (Hello_follower, _) -> (
     (match t.follower_sndbuf with
     | Some n -> (
       try Unix.setsockopt_int client.fd Unix.SO_SNDBUF n
@@ -921,7 +1157,8 @@ let client_loop t client =
         push t (Attach { client; epoch; last_seq });
         replica_reader_loop t client
       | Ok (P.Repl.Ack _) | Error _ -> close_client t client))
-  | Some Hello_client ->
+  | Some (Hello_client, spans) ->
+    client.spans <- spans;
     (match t.ins with
     | Some i ->
       Mutex.lock t.mu;
@@ -967,7 +1204,9 @@ let accept_loop t =
         Mutex.lock t.mu;
         let cid = t.next_cid in
         t.next_cid <- cid + 1;
-        let client = { cid; fd; open_ = true; c_requests = None } in
+        let client =
+          { cid; fd; open_ = true; spans = false; c_requests = None }
+        in
         t.clients <- client :: t.clients;
         (match t.ins with
         | Some i ->
@@ -977,6 +1216,147 @@ let accept_loop t =
         Mutex.unlock t.mu;
         ignore (Thread.create (fun () -> client_loop t client) ())
       end
+  done
+
+(* ----- observability plane (HTTP 1.0) ---------------------------------- *)
+
+(* Leader: WAL recovery runs synchronously before [start] returns, so a
+   leader that answers at all has recovered.  Follower: ready only once
+   the replication link is live, it has synced to some leader
+   generation, and the apply lag is within [ready_lag]; [promote] flips
+   the role and with it the answer. *)
+let ready t =
+  match t.role with
+  | Leader -> true
+  | Follower ->
+    Mutex.lock t.mu;
+    let linked = t.repl_conn <> None && t.repl_epoch <> 0 in
+    Mutex.unlock t.mu;
+    linked && t.leader_seq - t.rep_seq <= t.ready_lag
+
+(* The span ring rendered as a Chrome trace: each request is its
+   contiguous stage slices, correlated by span id in [args]. *)
+let spans_chrome t =
+  Mutex.lock t.mu;
+  let records = List.of_seq (Queue.to_seq t.spans_ring) in
+  Mutex.unlock t.mu;
+  let trace = Tel.Trace.create () in
+  List.iter
+    (fun sr ->
+      let span_detail =
+        (match sr.sr_span with
+        | Some s -> [ ("span", string_of_int s) ]
+        | None -> [])
+        @ [ ("client", string_of_int sr.sr_cid) ]
+      in
+      let ts = ref sr.sr_start in
+      List.iter
+        (fun (name, d) ->
+          Tel.Trace.record trace ~ts:!ts ~dur:d
+            ~detail:(("stage", name) :: span_detail)
+            Tel.Trace.Stage;
+          ts := !ts +. d)
+        sr.sr_stages)
+    records;
+  Tel.Trace.to_chrome trace
+
+let http_route t path =
+  match path with
+  | "/healthz" -> ("200 OK", "text/plain; charset=utf-8", "ok\n")
+  | "/readyz" ->
+    let body =
+      Printf.sprintf "role=%s applied=%d lag=%d\n"
+        (match t.role with Leader -> "leader" | Follower -> "follower")
+        t.rep_seq
+        (max 0 (t.leader_seq - t.rep_seq))
+    in
+    if ready t then ("200 OK", "text/plain; charset=utf-8", "ready\n" ^ body)
+    else
+      ("503 Service Unavailable", "text/plain; charset=utf-8", "behind\n" ^ body)
+  | "/metrics" ->
+    let body =
+      match t.ins with
+      | None -> ""
+      | Some i ->
+        Mutex.lock t.mu;
+        let snap = Tel.Sink.snapshot i.sink in
+        Mutex.unlock t.mu;
+        Tel.Metrics.to_prometheus snap
+    in
+    ("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
+  | "/spans" -> ("200 OK", "application/json", spans_chrome t)
+  | _ -> ("404 Not Found", "text/plain; charset=utf-8", "not found\n")
+
+(* One connection: read the request head (we only need the request
+   line), answer, close.  HTTP/1.0, Connection: close — a scraper per
+   connection, no keep-alive state to manage. *)
+let http_serve_conn t fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0
+       with Unix.Unix_error _ -> ());
+      let buf = Bytes.create 4096 in
+      let got = ref 0 in
+      let head_done () =
+        let s = Bytes.sub_string buf 0 !got in
+        let has sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        has "\r\n\r\n" || has "\n\n"
+      in
+      (try
+         let eof = ref false in
+         while (not !eof) && (not (head_done ())) && !got < Bytes.length buf do
+           match Unix.read fd buf !got (Bytes.length buf - !got) with
+           | 0 -> eof := true
+           | n -> got := !got + n
+         done
+       with Unix.Unix_error _ -> ());
+      let request = Bytes.sub_string buf 0 !got in
+      let status, ctype, body =
+        match String.split_on_char ' ' request with
+        | "GET" :: path :: _ ->
+          (* strip any query string: /readyz?verbose -> /readyz *)
+          let path =
+            match String.index_opt path '?' with
+            | Some q -> String.sub path 0 q
+            | None -> path
+          in
+          http_route t path
+        | _ ->
+          ( "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "only GET is served here\n" )
+      in
+      let response =
+        Printf.sprintf
+          "HTTP/1.0 %s\r\n\
+           Content-Type: %s\r\n\
+           Content-Length: %d\r\n\
+           Connection: close\r\n\
+           \r\n\
+           %s"
+          status ctype (String.length body) body
+      in
+      try Protocol.write_all fd response with
+      | Unix.Unix_error _ | Sys_error _ -> ())
+
+let http_loop t lfd =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept lfd with
+    | exception Unix.Unix_error (err, _, _) ->
+      if t.stopping then continue := false
+      else Thread.delay (if accept_transient err then 0.05 else 0.25)
+    | fd, _peer ->
+      if t.stopping then begin
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        continue := false
+      end
+      else ignore (Thread.create (fun () -> http_serve_conn t fd) ())
   done
 
 (* ----- lifecycle ------------------------------------------------------- *)
@@ -1007,7 +1387,8 @@ let bind_listen addr =
 
 let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64)
     ?(digest_every = 64) ?(resume_window = 1024) ?(outbox_capacity = 1024)
-    ?follower_sndbuf ?follower ~net addr =
+    ?follower_sndbuf ?follower ?http ?(ready_lag = 64) ?slow_ms ?slow_log
+    ?(span_buffer = 1024) ~net addr =
   if queue_capacity < 1 then
     invalid_arg "Server.start: queue_capacity must be >= 1";
   if batch_limit < 1 then invalid_arg "Server.start: batch_limit must be >= 1";
@@ -1018,6 +1399,11 @@ let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64)
     invalid_arg "Server.start: outbox_capacity must be >= 1";
   if follower <> None && store <> None then
     invalid_arg "Server.start: a follower manages its own store";
+  if ready_lag < 0 then invalid_arg "Server.start: ready_lag must be >= 0";
+  if span_buffer < 1 then invalid_arg "Server.start: span_buffer must be >= 1";
+  (match slow_ms with
+  | Some ms when ms < 0. -> invalid_arg "Server.start: slow_ms must be >= 0"
+  | _ -> ());
   (* a peer that vanishes mid-response must surface as EPIPE on the
      write, not as a process-killing signal *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -1045,6 +1431,21 @@ let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64)
       (net, store, 0, base)
   in
   let listen_fd, bound = bind_listen addr in
+  let http_fd, http_bound =
+    match http with
+    | None -> (None, None)
+    | Some haddr ->
+      let fd, hbound = bind_listen haddr in
+      (Some fd, Some hbound)
+  in
+  let slow_out, slow_owned =
+    match slow_ms with
+    | None -> (None, false)
+    | Some _ -> (
+      match slow_log with
+      | Some path -> (Some (open_out path), true)
+      | None -> (Some stderr, false))
+  in
   let t =
     {
       net;
@@ -1081,6 +1482,16 @@ let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64)
       repl_conn = None;
       force_snapshot = rep_seq < 0;
       repl_thread = None;
+      leader_seq = max 0 rep_seq;
+      span_buffer;
+      spans_ring = Queue.create ();
+      slow_ms;
+      slow_out;
+      slow_owned;
+      ready_lag;
+      http_fd;
+      http_bound;
+      http_thread = None;
     }
   in
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
@@ -1088,13 +1499,25 @@ let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64)
   (match follower with
   | Some cfg -> t.repl_thread <- Some (Thread.create (fun () -> repl_loop t cfg) ())
   | None -> ());
+  (match http_fd with
+  | Some lfd -> t.http_thread <- Some (Thread.create (fun () -> http_loop t lfd) ())
+  | None -> ());
   t
 
 let address t = t.bound
+let http_address t = t.http_bound
 let role t = t.role
 let applied t = t.rep_seq
 let network t = t.net
 let current_store t = t.store
+
+let spans t =
+  Mutex.lock t.mu;
+  let records = List.of_seq (Queue.to_seq t.spans_ring) in
+  Mutex.unlock t.mu;
+  List.map
+    (fun sr -> (sr.sr_span, sr.sr_cid, sr.sr_start, sr.sr_total, sr.sr_stages))
+    records
 
 let promote t =
   if t.stopped then Error "server is stopped"
@@ -1137,6 +1560,24 @@ let stop t =
     (match t.bound with
     | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
     | Tcp _ -> ());
+    (* the observability listener needs the same wake-by-dialing trick *)
+    (match t.http_bound with
+    | None -> ()
+    | Some haddr ->
+      (try
+         let domain, sockaddr = sockaddr_of_address haddr in
+         let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+         Fun.protect
+           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+           (fun () -> Unix.connect fd sockaddr)
+       with Unix.Unix_error _ | Failure _ | Not_found -> ());
+      Option.iter Thread.join t.http_thread;
+      (match t.http_fd with
+      | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ());
+      (match haddr with
+      | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Tcp _ -> ()));
     (* The accept thread has exited, so the client list is final —
        capture it only now: a client whose registration was in flight
        when [stopping] was set is included and gets shut down too.
@@ -1195,7 +1636,12 @@ let stop t =
     wait_drained 0;
     List.iter (fun f -> drop_replica t f) reps;
     List.iter (fun f -> Option.iter Thread.join f.sender) reps;
-    List.iter (fun c -> close_client t c) live
+    List.iter (fun c -> close_client t c) live;
+    match t.slow_out with
+    | Some oc ->
+      (try flush oc with Sys_error _ -> ());
+      if t.slow_owned then ( try close_out oc with Sys_error _ -> ())
+    | None -> ()
   end
 
 let served t = t.served_count

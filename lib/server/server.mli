@@ -51,8 +51,24 @@
     [repl_digest_checks_total], [repl_digest_failures_total] counters;
     follower-side, [repl_applied_total],
     [repl_snapshots_received_total], [repl_reconnects_total],
-    [repl_digest_mismatch_total].  The network's own [wdmnet_*]
-    instruments live on whatever sink the network was created with. *)
+    [repl_digest_mismatch_total] and a [repl_follower_lag_ops] gauge.
+    The network's own [wdmnet_*] instruments live on whatever sink the
+    network was created with.
+
+    {b Observability} (DESIGN.md §11): with [telemetry], every served
+    request is also timed per stage — reader decode, admission-queue
+    wait, execute, WAL append, replication ship, response write — into
+    [server_stage_<stage>_seconds] histograms and a bounded in-memory
+    span ring ([span_buffer] records, exported as Chrome trace events
+    through {!spans} / the [/spans] endpoint, and mirrored to the
+    sink's trace when one is attached).  Clients negotiating the span
+    extension ({!Protocol.flag_spans}) stamp each request with a span
+    id that correlates the server-side record with the caller.  [http]
+    starts a minimal HTTP 1.0 endpoint serving [/metrics] (Prometheus
+    text), [/healthz], a role-aware [/readyz] (see {!ready}) and
+    [/spans]; [slow_ms] enables a JSONL slow-request log (to [slow_log]
+    or stderr) carrying the span id and the per-stage breakdown of
+    every request at or over the threshold. *)
 
 module Network = Wdm_multistage.Network
 
@@ -85,6 +101,11 @@ val start :
   ?outbox_capacity:int ->
   ?follower_sndbuf:int ->
   ?follower:follower_config ->
+  ?http:address ->
+  ?ready_lag:int ->
+  ?slow_ms:float ->
+  ?slow_log:string ->
+  ?span_buffer:int ->
   net:Network.t ->
   address ->
   t
@@ -102,13 +123,23 @@ val start :
     deterministic).  The caller keeps ownership of [store] (close it
     after {!stop}); a [follower] node instead manages its own store
     for [follower.wal] — read it back with {!current_store}.
-    @raise Invalid_argument when a numeric option is [< 1], or when
-    both [store] and [follower] are given.
-    @raise Unix.Unix_error when the address cannot be bound. *)
+
+    Observability: [http] binds a second listener for the [/metrics],
+    [/healthz], [/readyz], [/spans] plane; [ready_lag] (default 64) is
+    the apply-lag bound within which a follower reports ready;
+    [slow_ms] (with optional [slow_log] path) enables the slow-request
+    JSONL log; [span_buffer] (default 1024) bounds the span ring.
+    @raise Invalid_argument when a numeric option is [< 1]
+    ([ready_lag]/[slow_ms]: [< 0]), or when both [store] and
+    [follower] are given.
+    @raise Unix.Unix_error when an address cannot be bound. *)
 
 val address : t -> address
 (** The actual bound address — with [Tcp (host, 0)] the kernel-chosen
     port is filled in. *)
+
+val http_address : t -> address option
+(** The observability endpoint's bound address, when [http] was given. *)
 
 val role : t -> role
 
@@ -148,3 +179,24 @@ val stop : t -> unit
 
 val served : t -> int
 (** Requests answered so far (monotone; stable after {!stop}). *)
+
+val ready : t -> bool
+(** What [/readyz] answers.  A leader is ready as soon as it serves
+    (WAL recovery, when any, completed before {!start} returned).  A
+    follower is ready while its replication link is live, it has
+    synced to a leader generation, and its apply lag — the newest seq
+    the leader has shown minus {!applied} — is within [ready_lag].
+    {!promote} flips a follower to ready-as-leader. *)
+
+val spans :
+  t -> (int option * int * float * float * (string * float) list) list
+(** The span ring, oldest first: [(span id, client id, start, total,
+    stages)] per request, where [stages] are [(name, seconds)] slices
+    in [decode; queue; execute; wal; replicate; respond] order.  Spans
+    are recorded only when the server has [telemetry].  Taken under
+    the server mutex — cheap, but a snapshot, not a live view. *)
+
+val spans_chrome : t -> string
+(** The span ring as Chrome [trace_event] JSON (what [/spans] serves):
+    one [stage] slice per stage, span-id correlated, loadable in
+    [chrome://tracing] / Perfetto. *)

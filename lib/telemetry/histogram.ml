@@ -8,8 +8,8 @@ type t = {
 
 let default_latency_bounds =
   [|
-    2.5e-7; 5e-7; 1e-6; 2.5e-6; 5e-6; 1e-5; 2.5e-5; 5e-5; 1e-4; 2.5e-4; 5e-4;
-    1e-3; 2.5e-3; 5e-3; 1e-2; 1e-1;
+    5e-8; 1e-7; 2.5e-7; 5e-7; 1e-6; 2.5e-6; 5e-6; 1e-5; 2.5e-5; 5e-5; 1e-4;
+    2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 1e-2; 2.5e-2; 5e-2; 1e-1;
   |]
 
 let create ?(bounds = default_latency_bounds) name =

@@ -10,8 +10,11 @@
 type t
 
 val default_latency_bounds : float array
-(** Upper bounds in seconds, roughly logarithmic from 250 ns to 100 ms
-    — sized for the routing operations of a simulated fabric. *)
+(** Upper bounds in seconds, roughly logarithmic from 50 ns to 100 ms
+    — fine enough at the bottom for in-process routing ops (tens to
+    hundreds of ns) and at the top for socket round-trips and fsyncs.
+    Snapshots taken with an older, coarser ladder stay readable: the
+    bounds travel with every {!snapshot}, nothing assumes this array. *)
 
 val create : ?bounds:float array -> string -> t
 (** [create name] makes an empty histogram.  [bounds] (default

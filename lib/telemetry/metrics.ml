@@ -99,46 +99,166 @@ let to_json s =
 
 (* The family name is the part before any baked-in label set; TYPE and
    HELP comments must name the family, while the sample line keeps the
-   labels. *)
-let family name =
+   labels.  Baked-in labels arrive as the raw text between '{' and the final
+   '}'; split it back into (key, value) pairs so exposition can escape
+   the values.  A value is everything between its opening quote and
+   the quote that precedes either ',' + the next key or the end —
+   i.e. raw quotes inside values survive as long as the value does not
+   itself contain the exact sequence '","'. *)
+let parse_labels name =
   match String.index_opt name '{' with
-  | Some i -> String.sub name 0 i
-  | None -> name
+  | None -> (name, [])
+  | Some i ->
+    let fam = String.sub name 0 i in
+    let len = String.length name in
+    let body =
+      if len > i + 1 && name.[len - 1] = '}' then
+        String.sub name (i + 1) (len - i - 2)
+      else String.sub name (i + 1) (len - i - 1)
+    in
+    let pairs = ref [] in
+    let pos = ref 0 in
+    let n = String.length body in
+    (try
+       while !pos < n do
+         let eq =
+           match String.index_from_opt body !pos '=' with
+           | Some e -> e
+           | None -> raise Exit
+         in
+         let key = String.sub body !pos (eq - !pos) in
+         if eq + 1 >= n || body.[eq + 1] <> '"' then raise Exit;
+         (* the value's closing quote is the last '"' before the next
+            '","' separator (or the final one) *)
+         let vstart = eq + 2 in
+         let rec find_close j =
+           if j >= n then n - 1
+           else if body.[j] = '"' && (j + 1 >= n || body.[j + 1] = ',') then j
+           else find_close (j + 1)
+         in
+         let close = find_close vstart in
+         let v =
+           if close >= vstart then String.sub body vstart (close - vstart)
+           else ""
+         in
+         pairs := (key, v) :: !pairs;
+         pos := close + 2 (* skip closing quote + ',' *)
+       done
+     with Exit -> ());
+    (fam, List.rev !pairs)
 
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let escape_help h =
+  let buf = Buffer.create (String.length h) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    h;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | pairs ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           pairs)
+    ^ "}"
+
+type sample =
+  | S_counter of (string * string) list * int
+  | S_gauge of (string * string) list * float
+  | S_hist of (string * string) list * Histogram.snapshot
+
+type fam_entry = {
+  f_kind : string;
+  mutable f_help : string;
+  mutable f_samples : sample list;  (* reverse order *)
+}
+
+(* Exposition-format invariants the naive per-instrument loop broke:
+   all samples of a family are contiguous, # HELP / # TYPE appear
+   exactly once per family (even when members register interleaved
+   with other metrics, or only a later member carries help text), and
+   label values are escaped.  Labeled histograms become
+   [fam_bucket{labels,le="..."}], not [fam{labels}_bucket{...}]. *)
 let to_prometheus s =
-  let buf = Buffer.create 1024 in
-  let seen = Hashtbl.create 16 in
-  let header name help kind =
-    let fam = family name in
-    if not (Hashtbl.mem seen fam) then begin
-      Hashtbl.add seen fam ();
-      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" fam help);
-      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fam kind)
-    end
+  let tbl : (string, fam_entry) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let note name help sample kind =
+    let fam, labels = parse_labels name in
+    let entry =
+      match Hashtbl.find_opt tbl fam with
+      | Some e -> e
+      | None ->
+        let e = { f_kind = kind; f_help = ""; f_samples = [] } in
+        Hashtbl.add tbl fam e;
+        order := fam :: !order;
+        e
+    in
+    if entry.f_help = "" && help <> "" then entry.f_help <- help;
+    entry.f_samples <- sample labels :: entry.f_samples
   in
   List.iter
-    (fun (n, help, v) ->
-      header n help "counter";
-      Buffer.add_string buf (Printf.sprintf "%s %d\n" n v))
+    (fun (n, help, v) -> note n help (fun l -> S_counter (l, v)) "counter")
     s.counters;
   List.iter
-    (fun (n, help, v) ->
-      header n help "gauge";
-      Buffer.add_string buf (Printf.sprintf "%s %g\n" n v))
+    (fun (n, help, v) -> note n help (fun l -> S_gauge (l, v)) "gauge")
     s.gauges;
   List.iter
-    (fun (n, help, (h : Histogram.snapshot)) ->
-      header n help "histogram";
-      Array.iteri
-        (fun i b ->
-          Buffer.add_string buf
-            (Printf.sprintf "%s_bucket{le=\"%g\"} %d\n" n b h.cumulative.(i)))
-        h.bounds;
-      Buffer.add_string buf
-        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.count);
-      Buffer.add_string buf (Printf.sprintf "%s_sum %.9g\n" n h.sum);
-      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.count))
+    (fun (n, help, h) -> note n help (fun l -> S_hist (l, h)) "histogram")
     s.histograms;
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun fam ->
+      let e = Hashtbl.find tbl fam in
+      if e.f_help <> "" then
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" fam (escape_help e.f_help));
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fam e.f_kind);
+      List.iter
+        (fun sample ->
+          match sample with
+          | S_counter (labels, v) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %d\n" fam (render_labels labels) v)
+          | S_gauge (labels, v) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %g\n" fam (render_labels labels) v)
+          | S_hist (labels, h) ->
+            let with_le b = render_labels (labels @ [ ("le", b) ]) in
+            Array.iteri
+              (fun i b ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket%s %d\n" fam
+                     (with_le (Printf.sprintf "%g" b))
+                     h.cumulative.(i)))
+              h.bounds;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" fam (with_le "+Inf") h.count);
+            Buffer.add_string buf
+              (Printf.sprintf "%s_sum%s %.9g\n" fam (render_labels labels)
+                 h.sum);
+            Buffer.add_string buf
+              (Printf.sprintf "%s_count%s %d\n" fam (render_labels labels)
+                 h.count))
+        (List.rev e.f_samples))
+    (List.rev !order);
   Buffer.contents buf
 
 let pp_text ppf s =

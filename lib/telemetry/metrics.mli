@@ -66,8 +66,13 @@ val to_json : snapshot -> Json.t
     "count": n}]. *)
 
 val to_prometheus : snapshot -> string
-(** Prometheus text exposition format (type comments, [_bucket]/
-    [_sum]/[_count] series per histogram with cumulative [le] labels). *)
+(** Prometheus text exposition format: samples grouped by family (the
+    name before any baked-in ["{...}"] label set) in first-registration
+    order, [# HELP] (first non-empty help among members) and [# TYPE]
+    exactly once per family, label values and help text escaped per the
+    exposition spec, and [_bucket]/[_sum]/[_count] series per histogram
+    with cumulative [le] labels — a labeled histogram family emits
+    [fam_bucket{labels,le="..."}]. *)
 
 val pp_text : Format.formatter -> snapshot -> unit
 (** Human-readable aligned table: counters, gauges, then histograms

@@ -6,6 +6,7 @@ type kind =
   | Fault_clear
   | Rearrange
   | Repair
+  | Stage
 
 let kind_to_string = function
   | Connect -> "connect"
@@ -15,6 +16,7 @@ let kind_to_string = function
   | Fault_clear -> "fault-clear"
   | Rearrange -> "rearrange"
   | Repair -> "repair"
+  | Stage -> "stage"
 
 let kind_of_string = function
   | "connect" -> Some Connect
@@ -24,6 +26,7 @@ let kind_of_string = function
   | "fault-clear" -> Some Fault_clear
   | "rearrange" -> Some Rearrange
   | "repair" -> Some Repair
+  | "stage" -> Some Stage
   | _ -> None
 
 type event = {
@@ -148,9 +151,17 @@ let to_chrome t =
     @ List.map (fun (k, v) -> (k, Json.String v)) e.detail
   in
   let trace_event e =
+    let name =
+      (* a server request stage names its slice after the stage, so a
+         span's decode/queue/execute/... slices are distinguishable on
+         the timeline *)
+      match (e.kind, List.assoc_opt "stage" e.detail) with
+      | Stage, Some s -> "stage:" ^ s
+      | _ -> kind_to_string e.kind
+    in
     let common =
       [
-        ("name", Json.String (kind_to_string e.kind));
+        ("name", Json.String name);
         ("cat", Json.String "wdmnet");
         ("pid", Json.Int 1);
         ("tid", Json.Int 1);

@@ -21,6 +21,10 @@ type kind =
   | Fault_clear
   | Rearrange  (** an existing route moved to admit a request *)
   | Repair  (** a fault victim re-homed (or dropped, per [detail]) *)
+  | Stage
+      (** one timed stage of a served request ({!Wdm_server.Server});
+          [detail] carries ["stage"] (decode/queue/execute/wal/
+          replicate/respond), ["span"] and ["client"] for correlation *)
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> kind option

@@ -493,6 +493,354 @@ let test_server_instruments () =
     (Option.value ~default:(-1.)
        (Tel.Metrics.find_gauge snap "server_clients_active"))
 
+(* --- observability -------------------------------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let check_contains what hay needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s contains %S" what needle)
+    true (contains hay needle)
+
+(* A pre-flags client against the new server: bare hello (flags byte
+   zero), no span trailer on requests — the request must decode and be
+   answered exactly as before the extension existed. *)
+let test_old_client_new_server () =
+  let net = make_net Network.Bitset in
+  with_server ~telemetry:(Tel.Sink.create ()) net (fun srv ->
+      let path =
+        match Srv.Server.address srv with
+        | Srv.Server.Unix_socket p -> p
+        | Srv.Server.Tcp _ -> Alcotest.fail "expected unix socket"
+      in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          Srv.Protocol.write_all fd Srv.Protocol.client_hello;
+          (match Srv.Protocol.read_exactly fd P.Wire.header_len with
+          | Some hello ->
+            Alcotest.(check bool) "server hello valid to an old decoder" true
+              (Result.is_ok (Srv.Protocol.check_server_hello hello))
+          | None -> Alcotest.fail "no server hello");
+          let b = Buffer.create 16 in
+          P.Resp.encode_request b P.Resp.Get_digest;
+          Srv.Protocol.send_frame fd (Buffer.contents b);
+          match Srv.Protocol.recv_frame fd with
+          | Srv.Protocol.Frame payload -> (
+            match P.Resp.decode_string payload with
+            | Ok (P.Resp.Digest_is d) ->
+              Alcotest.(check int) "digest over a span-less connection"
+                (P.Store.digest net) d
+            | _ -> Alcotest.fail "expected Digest_is")
+          | _ -> Alcotest.fail "expected a response frame"))
+
+(* The new client against a pre-flags server: the server's bare hello
+   carries no span bit, so the client must not append the trailer —
+   proven by the fake server decoding the request and finding the
+   payload ends exactly where the request does. *)
+let test_new_client_old_server () =
+  let path = socket_path () in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let trailer_clean = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 1;
+  let server =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept lfd in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            match Srv.Protocol.read_exactly fd P.Wire.header_len with
+            | Some hello
+              when Result.is_ok (Srv.Protocol.check_client_hello hello) -> (
+              Srv.Protocol.write_all fd Srv.Protocol.server_hello;
+              match Srv.Protocol.recv_frame fd with
+              | Srv.Protocol.Frame payload ->
+                let r = P.Wire.reader payload in
+                let _req = P.Resp.decode_request r in
+                (match P.Wire.expect_end r with
+                | () -> trailer_clean := true
+                | exception _ -> ());
+                let b = Buffer.create 16 in
+                P.Resp.encode b (P.Resp.Digest_is 7);
+                Srv.Protocol.write_all fd (P.Wire.frame (Buffer.contents b))
+              | _ -> ())
+            | _ -> ()))
+      ()
+  in
+  (match Srv.Client.connect (Srv.Server.Unix_socket path) with
+  | Error e -> Alcotest.fail (Srv.Client.error_to_string e)
+  | Ok c ->
+    Fun.protect
+      ~finally:(fun () -> Srv.Client.close c)
+      (fun () ->
+        Alcotest.(check bool) "spans not negotiated" false (Srv.Client.spans c);
+        (match Srv.Client.digest c with
+        | Ok d -> Alcotest.(check int) "digest answered" 7 d
+        | Error e -> Alcotest.fail (Srv.Client.error_to_string e));
+        Alcotest.(check bool) "no span id minted" true
+          (Srv.Client.last_span c = None)));
+  Thread.join server;
+  Alcotest.(check bool) "request payload ended exactly at the decoder" true
+    !trailer_clean
+
+(* New client, new server: the extension negotiates, the span id the
+   client minted is the one the server's ring recorded, stages come
+   out in pipeline order, and the Chrome export parses. *)
+let test_span_ring_and_chrome () =
+  let sink = Tel.Sink.create () in
+  let net = make_net Network.Bitset in
+  let srv =
+    Srv.Server.start ~telemetry:sink ~net
+      (Srv.Server.Unix_socket (socket_path ()))
+  in
+  let client_span =
+    Fun.protect
+      ~finally:(fun () -> Srv.Server.stop srv)
+      (fun () ->
+        with_client srv (fun c ->
+            Alcotest.(check bool) "spans negotiated" true (Srv.Client.spans c);
+            (match Srv.Client.digest c with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail (Srv.Client.error_to_string e));
+            match Srv.Client.last_span c with
+            | Some s -> s
+            | None -> Alcotest.fail "no span id minted"))
+  in
+  (* stopped: the ring is stable *)
+  (match Srv.Server.spans srv with
+  | [ (Some sid, cid, _start, total, stages) ] ->
+    Alcotest.(check int) "ring span id is the client's" client_span sid;
+    Alcotest.(check int) "client id" 1 cid;
+    Alcotest.(check bool) "total is positive" true (total > 0.);
+    Alcotest.(check (list string))
+      "stage order"
+      [ "decode"; "queue"; "execute"; "wal"; "replicate"; "respond" ]
+      (List.map fst stages)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 span, ring has %d" (List.length l)));
+  match Tel.Json.parse (Srv.Server.spans_chrome srv) with
+  | Ok j ->
+    Alcotest.(check bool) "chrome export has traceEvents" true
+      (Tel.Json.member "traceEvents" j <> None)
+  | Error e -> Alcotest.fail ("chrome trace not JSON: " ^ e)
+
+let http_get addr path =
+  let fd, sockaddr =
+    match addr with
+    | Srv.Server.Tcp (host, port) ->
+      ( Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0,
+        Unix.ADDR_INET (Unix.inet_addr_of_string host, port) )
+    | Srv.Server.Unix_socket p ->
+      (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX p)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd sockaddr;
+      Srv.Protocol.write_all fd (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path);
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+      in
+      drain ();
+      let s = Buffer.contents buf in
+      let status =
+        try int_of_string (String.trim (String.sub s 9 3))
+        with _ -> Alcotest.fail ("unparseable HTTP response: " ^ s)
+      in
+      let body =
+        let sep = "\r\n\r\n" in
+        let rec find i =
+          if i + 4 > String.length s then String.length s
+          else if String.sub s i 4 = sep then i + 4
+          else find (i + 1)
+        in
+        let at = find 0 in
+        String.sub s at (String.length s - at)
+      in
+      (status, body))
+
+(* /healthz answers plainly; /metrics is the same registry the stats
+   request serves, so its counters reconcile exactly with an
+   in-process snapshot taken while the server is quiescent. *)
+let test_http_plane () =
+  let sink = Tel.Sink.create () in
+  let net = make_net Network.Bitset in
+  let srv =
+    Srv.Server.start ~telemetry:sink ~net
+      ~http:(Srv.Server.Tcp ("127.0.0.1", 0))
+      (Srv.Server.Unix_socket (socket_path ()))
+  in
+  Fun.protect ~finally:(fun () -> Srv.Server.stop srv) @@ fun () ->
+  let http =
+    match Srv.Server.http_address srv with
+    | Some a -> a
+    | None -> Alcotest.fail "no http address"
+  in
+  let status, body = http_get http "/healthz" in
+  Alcotest.(check int) "healthz status" 200 status;
+  Alcotest.(check string) "healthz body" "ok\n" body;
+  let status, body = http_get http "/readyz" in
+  Alcotest.(check int) "leader readyz status" 200 status;
+  check_contains "readyz" body "role=leader";
+  with_client srv (fun c ->
+      for i = 1 to 5 do
+        ignore
+          (Srv.Client.request c
+             (P.Resp.Admit
+                (P.Op.Connect (conn (ep i 1) [ ep ((i mod 9) + 1) 1 ]))))
+      done);
+  (* let the admission thread finish post-response bookkeeping *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  while Srv.Server.served srv < 5 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.002
+  done;
+  let status, body = http_get http "/metrics" in
+  Alcotest.(check int) "metrics status" 200 status;
+  let snap = Tel.Sink.snapshot sink in
+  let reconcile name =
+    match Tel.Metrics.find_counter snap name with
+    | Some v -> check_contains "/metrics" body (Printf.sprintf "%s %d" name v)
+    | None -> Alcotest.fail (name ^ " not in the in-process registry")
+  in
+  reconcile "server_requests_total";
+  reconcile "server_responses_total";
+  reconcile "server_clients_total";
+  check_contains "/metrics" body "# TYPE server_stage_execute_seconds histogram";
+  check_contains "/metrics" body "server_stage_execute_seconds_count 5";
+  check_contains "/metrics" body "server_request_latency_seconds_bucket";
+  let status, body = http_get http "/spans" in
+  Alcotest.(check int) "spans status" 200 status;
+  check_contains "/spans" body "traceEvents";
+  let status, _ = http_get http "/nope" in
+  Alcotest.(check int) "unknown path" 404 status
+
+(* /readyz follows the replication life cycle: ready once caught up,
+   behind when the leader disappears, ready again after promotion. *)
+let test_readyz_follows_role () =
+  let leader =
+    Srv.Server.start ~net:(make_net Network.Bitset)
+      (Srv.Server.Unix_socket (socket_path ()))
+  in
+  let leader_stopped = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !leader_stopped then Srv.Server.stop leader)
+  @@ fun () ->
+  with_client leader (fun c ->
+      for i = 1 to 6 do
+        ignore
+          (Srv.Client.request c
+             (P.Resp.Admit
+                (P.Op.Connect (conn (ep i 1) [ ep ((i mod 9) + 1) 1 ]))))
+      done);
+  let follower =
+    Srv.Server.start
+      ~net:(make_net Network.Bitset)
+      ~follower:{ Srv.Server.leader = Srv.Server.address leader; wal = None }
+      ~http:(Srv.Server.Tcp ("127.0.0.1", 0))
+      (Srv.Server.Unix_socket (socket_path ()))
+  in
+  Fun.protect ~finally:(fun () -> Srv.Server.stop follower) @@ fun () ->
+  let http = Option.get (Srv.Server.http_address follower) in
+  let wait_status want =
+    let deadline = Unix.gettimeofday () +. 10. in
+    let rec go last =
+      let status, body = http_get http "/readyz" in
+      if status = want then body
+      else if Unix.gettimeofday () > deadline then
+        Alcotest.fail
+          (Printf.sprintf "readyz never reached %d (last %d: %s)" want last
+             body)
+      else begin
+        Thread.delay 0.01;
+        go status
+      end
+    in
+    go 0
+  in
+  let body = wait_status 200 in
+  check_contains "caught-up readyz" body "role=follower";
+  Alcotest.(check bool) "ready accessor agrees" true (Srv.Server.ready follower);
+  Srv.Server.stop leader;
+  leader_stopped := true;
+  ignore (wait_status 503);
+  Alcotest.(check bool) "ready accessor flips" false
+    (Srv.Server.ready follower);
+  (match Srv.Server.promote follower with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("promote: " ^ e));
+  let body = wait_status 200 in
+  check_contains "promoted readyz" body "role=leader"
+
+(* The slow-request log: threshold 0 captures every request as a
+   parseable JSONL record carrying the span id and the per-stage
+   breakdown; an unreachable threshold captures none. *)
+let test_slow_log () =
+  let run ~slow_ms ~requests =
+    let path = Filename.temp_file "wdmnet_slow" ".jsonl" in
+    let sink = Tel.Sink.create () in
+    let net = make_net Network.Bitset in
+    let srv =
+      Srv.Server.start ~telemetry:sink ~slow_ms ~slow_log:path ~net
+        (Srv.Server.Unix_socket (socket_path ()))
+    in
+    Fun.protect
+      ~finally:(fun () -> Srv.Server.stop srv)
+      (fun () ->
+        with_client srv (fun c ->
+            for i = 1 to requests do
+              ignore
+                (Srv.Client.request c
+                   (P.Resp.Admit
+                      (P.Op.Connect (conn (ep i 1) [ ep ((i mod 9) + 1) 1 ]))))
+            done));
+    (* stop flushed and closed the log *)
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Sys.remove path;
+    List.rev !lines
+  in
+  let all = run ~slow_ms:0. ~requests:4 in
+  Alcotest.(check int) "threshold 0 logs every request" 4 (List.length all);
+  List.iter
+    (fun line ->
+      match Tel.Json.parse line with
+      | Ok j ->
+        List.iter
+          (fun key ->
+            Alcotest.(check bool)
+              (Printf.sprintf "slow line has %s" key)
+              true
+              (Tel.Json.member key j <> None))
+          [ "ts"; "span"; "client"; "total_ms"; "stages_ms" ]
+      | Error e -> Alcotest.fail ("slow line is not JSON: " ^ e))
+    all;
+  let none = run ~slow_ms:60000. ~requests:4 in
+  Alcotest.(check int) "unreachable threshold logs nothing" 0
+    (List.length none)
+
 let () =
   Alcotest.run "wdm_server"
     [
@@ -511,6 +859,19 @@ let () =
           Alcotest.test_case "client fails fast" `Quick
             test_client_fails_fast_after_transport_error;
           Alcotest.test_case "server instruments" `Quick test_server_instruments;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "old client, new server" `Quick
+            test_old_client_new_server;
+          Alcotest.test_case "new client, old server" `Quick
+            test_new_client_old_server;
+          Alcotest.test_case "span ring + chrome export" `Quick
+            test_span_ring_and_chrome;
+          Alcotest.test_case "http plane" `Quick test_http_plane;
+          Alcotest.test_case "readyz follows role" `Quick
+            test_readyz_follows_role;
+          Alcotest.test_case "slow-request log" `Quick test_slow_log;
         ] );
       ( "equivalence",
         [

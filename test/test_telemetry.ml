@@ -385,6 +385,74 @@ let test_prometheus_exposition () =
   has "wdmnet_connect_latency_seconds_count";
   has "wdmnet_connect_blocked_total{cause=\"blocked\"}"
 
+(* Exposition-format conformance on a synthetic registry: all samples
+   of a family contiguous with TYPE/HELP exactly once even when
+   members register interleaved with other metrics (and only a later
+   member carries the help text), label values escaped, labeled
+   histograms exposed as [fam_bucket{labels,le=...}], and the default
+   latency ladder resolving sub-millisecond observations. *)
+let test_prometheus_conformance () =
+  let m = Tel.Metrics.create () in
+  let a1 = Tel.Metrics.counter m "fam_a_total{shard=\"one\"}" in
+  Tel.Metrics.set (Tel.Metrics.gauge m ~help:"a lone gauge" "fam_b") 2.5;
+  let a2 =
+    Tel.Metrics.counter m ~help:"family a help"
+      "fam_a_total{shard=\"two\",path=\"C:\\temp\"}"
+  in
+  Tel.Metrics.inc a1;
+  Tel.Metrics.add a2 2;
+  Tel.Metrics.set (Tel.Metrics.gauge m "fam_c{note=\"a\nb\"}") 1.;
+  let hx =
+    Tel.Metrics.histogram m ~help:"per-op latency" ~bounds:[| 0.1; 1. |]
+      "fam_h_seconds{op=\"x\"}"
+  in
+  let hy =
+    Tel.Metrics.histogram m ~bounds:[| 0.1; 1. |] "fam_h_seconds{op=\"y\"}"
+  in
+  List.iter (Tel.Histogram.observe hx) [ 0.05; 0.5; 5. ];
+  Tel.Histogram.observe hy 0.5;
+  let hd = Tel.Metrics.histogram m "fam_d_seconds" in
+  Tel.Histogram.observe hd 3e-4;
+  let text = Tel.Metrics.to_prometheus (Tel.Metrics.snapshot m) in
+  let occurrences needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec go i acc =
+      if i + nn > nh then acc
+      else if String.sub text i nn = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  let once s =
+    Alcotest.(check int) (Printf.sprintf "exactly one %S" s) 1 (occurrences s)
+  in
+  let has s =
+    Alcotest.(check bool) (Printf.sprintf "contains %S" s) true
+      (occurrences s >= 1)
+  in
+  once "# TYPE fam_a_total counter";
+  once "# HELP fam_a_total family a help";
+  once "# TYPE fam_h_seconds histogram";
+  once "# HELP fam_h_seconds per-op latency";
+  (* contiguous family block despite fam_b registering in between *)
+  has "fam_a_total{shard=\"one\"} 1\nfam_a_total{shard=\"two\",path=\"C:\\\\temp\"} 2\n";
+  has "# HELP fam_b a lone gauge";
+  has "fam_b 2.5";
+  has "fam_c{note=\"a\\nb\"} 1";
+  has "fam_h_seconds_bucket{op=\"x\",le=\"0.1\"} 1";
+  has "fam_h_seconds_bucket{op=\"x\",le=\"+Inf\"} 3";
+  has "fam_h_seconds_sum{op=\"x\"}";
+  has "fam_h_seconds_count{op=\"x\"} 3";
+  has "fam_h_seconds_bucket{op=\"y\",le=\"1\"} 1";
+  has "fam_h_seconds_count{op=\"y\"} 1";
+  (* the two labeled members share one family block: the y samples
+     follow the x samples directly, no comment lines in between *)
+  has "fam_h_seconds_count{op=\"x\"} 3\nfam_h_seconds_bucket{op=\"y\",le=\"0.1\"} 0";
+  (* sub-millisecond ladder: a 300 us observation lands between real buckets *)
+  has "fam_d_seconds_bucket{le=\"0.00025\"} 0";
+  has "fam_d_seconds_bucket{le=\"0.0005\"} 1";
+  has "fam_d_seconds_bucket{le=\"5e-08\"} 0"
+
 let () =
   Alcotest.run "wdm_telemetry"
     [
@@ -417,5 +485,10 @@ let () =
       ( "gauges",
         [ Alcotest.test_case "utilization both sides" `Quick test_utilization_gauges ] );
       ( "prometheus",
-        [ Alcotest.test_case "text exposition" `Quick test_prometheus_exposition ] );
+        [
+          Alcotest.test_case "text exposition" `Quick
+            test_prometheus_exposition;
+          Alcotest.test_case "exposition conformance" `Quick
+            test_prometheus_conformance;
+        ] );
     ]
