@@ -948,14 +948,27 @@ let serve_cmd =
     Arg.(value & opt (some string) None & info [ "slow-log" ] ~docv:"FILE"
            ~doc:"Destination file for the $(b,--slow-ms) log.")
   in
+  let max_conns_arg =
+    Arg.(value & opt (some int) None & info [ "max-conns" ] ~docv:"N"
+           ~doc:"Cap concurrently open request connections; past it, new \
+                 connections are closed at accept (counted in \
+                 $(b,server_accept_errors_total)).  The $(b,--http) plane \
+                 is exempt so health stays scrapable at the cap.")
+  in
   let run n r k m construction model listen wal fsync_every queue_capacity
-      batch_limit follower http ready_lag slow_ms slow_log trace_file =
+      batch_limit follower http ready_lag slow_ms slow_log max_conns
+      trace_file =
     check_dims n k;
     if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
     if queue_capacity < 1 || batch_limit < 1 then begin
       prerr_endline "wdmnet: queue-capacity and batch-limit must be >= 1";
       exit 2
     end;
+    (match max_conns with
+    | Some mc when mc < 1 ->
+      prerr_endline "wdmnet: max-conns must be >= 1";
+      exit 2
+    | _ -> ());
     let policy =
       match fsync_every with
       | None -> None
@@ -991,7 +1004,7 @@ let serve_cmd =
       Server.start ~telemetry:sink ?store ~queue_capacity ~batch_limit
         ?follower:
           (Option.map (fun leader -> { Server.leader; wal }) follower)
-        ?http ~ready_lag ?slow_ms ?slow_log ~net listen
+        ?http ~ready_lag ?slow_ms ?slow_log ?max_conns ~net listen
     in
     Format.printf "topology: %a, model %a@." Topology.pp topo Model.pp model;
     Format.printf "serving on %a@." Server.pp_address (Server.address srv);
@@ -1048,7 +1061,8 @@ let serve_cmd =
     Term.(const run $ n_local_arg $ r_arg $ k_arg $ m_arg $ construction_arg
           $ model_arg $ listen_arg $ wal_arg $ fsync_every_arg
           $ queue_capacity_arg $ batch_limit_arg $ follower_arg $ http_arg
-          $ ready_lag_arg $ slow_ms_arg $ slow_log_arg $ trace_arg)
+          $ ready_lag_arg $ slow_ms_arg $ slow_log_arg $ max_conns_arg
+          $ trace_arg)
 
 let client_cmd =
   let connect_arg =
@@ -1087,7 +1101,15 @@ let client_cmd =
     Arg.(value & flag & info [ "stats" ]
            ~doc:"Print the server's telemetry snapshot as JSON.")
   in
-  let run connect churn ops seed n r k model digest stats =
+  let pipeline_arg =
+    Arg.(value & opt int 0 & info [ "pipeline" ] ~docv:"DEPTH"
+           ~doc:"Pipeline the churn workload: buffer up to DEPTH teardowns \
+                 and ship them in batch frames (0 = one request per \
+                 round-trip).  Op order — and therefore the digest — is \
+                 identical either way.  Uses a single connection, so it \
+                 combines with exactly one $(b,--connect).")
+  in
+  let run connect churn ops seed n r k model digest stats pipeline =
     if not (churn || digest || stats) then begin
       prerr_endline "wdmnet: nothing to do (pass --churn, --digest or --stats)";
       exit 2
@@ -1099,23 +1121,45 @@ let client_cmd =
       prerr_endline ("wdmnet: " ^ Client.error_to_string e);
       exit 1
     in
+    if pipeline < 0 then begin
+      prerr_endline "wdmnet: pipeline must be >= 0";
+      exit 2
+    end;
+    if pipeline > 0 && not churn then begin
+      prerr_endline "wdmnet: --pipeline needs --churn";
+      exit 2
+    end;
+    if pipeline > 0 && List.length addrs > 1 then begin
+      prerr_endline "wdmnet: --pipeline uses a single --connect address";
+      exit 2
+    end;
     if churn then begin
       check_dims n k;
       if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
       if ops < 0 then begin prerr_endline "wdmnet: ops must be >= 0"; exit 2 end;
       let spec = Network_spec.make_exn ~n:(n * r) ~k in
       let sum = ref 0 in
-      let sut =
-        Resilient.churn_sut
-          ~on_admit:(fun route -> sum := Persist.Op.route_checksum !sum route)
-          rc
+      let on_admit route = sum := Persist.Op.route_checksum !sum route in
+      let sut, flush =
+        if pipeline > 0 then begin
+          match Client.connect (List.hd addrs) with
+          | Error e -> fail e
+          | Ok c ->
+            at_exit (fun () -> Client.close c);
+            Client.churn_sut_pipelined ~on_admit ~depth:pipeline c
+        end
+        else (Resilient.churn_sut ~on_admit rc, fun () -> ())
       in
       match
-        Wdm_traffic.Churn.run
-          (Random.State.make [| seed |])
-          ~spec ~model
-          ~fanout:(Wdm_traffic.Fanout.Zipf { max = n * r; s = 1.1 })
-          ~steps:ops ~teardown_bias:0.35 sut
+        let stats =
+          Wdm_traffic.Churn.run
+            (Random.State.make [| seed |])
+            ~spec ~model
+            ~fanout:(Wdm_traffic.Fanout.Zipf { max = n * r; s = 1.1 })
+            ~steps:ops ~teardown_bias:0.35 sut
+        in
+        flush ();
+        stats
       with
       | exception Failure e ->
         prerr_endline ("wdmnet: " ^ e);
@@ -1145,7 +1189,8 @@ let client_cmd =
              workload ($(b,--churn)), fetch the state digest \
              ($(b,--digest)) or the telemetry snapshot ($(b,--stats)).")
     Term.(const run $ connect_arg $ churn_flag $ ops_arg $ seed_arg
-          $ n_local_arg $ r_arg $ k_arg $ model_arg $ digest_flag $ stats_flag)
+          $ n_local_arg $ r_arg $ k_arg $ model_arg $ digest_flag $ stats_flag
+          $ pipeline_arg)
 
 (* --- promote ------------------------------------------------------------ *)
 
@@ -1476,6 +1521,9 @@ let deep_cmd =
     Term.(const run $ stages_arg $ n_arg $ k_arg $ steps_arg)
 
 let () =
+  (* every subcommand that touches a socket must see EPIPE, not die *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let doc = "nonblocking WDM multicast switching networks (Yang-Wang-Qiao reproduction)" in
   exit
     (Cmd.eval

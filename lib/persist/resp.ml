@@ -9,16 +9,34 @@ module Fault = Wdm_faults.Fault
 let tag_digest = 0xF1
 let tag_stats = 0xF2
 let tag_promote = 0xF3
+let tag_batch = 0xF4
+let max_batch = 4096
 
-type request = Admit of Op.t | Get_digest | Get_stats | Promote
+type request =
+  | Admit of Op.t
+  | Get_digest
+  | Get_stats
+  | Promote
+  | Batch of request list
 
-let encode_request b = function
+let rec encode_request b = function
   | Admit op -> Op.encode b op
   | Get_digest -> Wire.put_u8 b tag_digest
   | Get_stats -> Wire.put_u8 b tag_stats
   | Promote -> Wire.put_u8 b tag_promote
+  | Batch reqs ->
+    let n = List.length reqs in
+    if n > max_batch then invalid_arg "Resp.encode_request: batch too large";
+    if List.exists (function Batch _ -> true | _ -> false) reqs then
+      invalid_arg "Resp.encode_request: nested batch";
+    Wire.put_u8 b tag_batch;
+    Wire.put_u32 b n;
+    List.iter (encode_request b) reqs
 
-let decode_request r =
+(* [depth] forbids Batch-in-Batch: one level of pipelining is the whole
+   contract, and rejecting nesting at decode keeps the server's
+   execution loop flat and the response arity obvious. *)
+let rec decode_request_at ~depth r =
   (* peek: ops read their own tag byte *)
   if r.Wire.pos >= String.length r.Wire.src then
     raise (Wire.Decode_error { offset = r.Wire.pos; reason = "empty request" });
@@ -32,7 +50,21 @@ let decode_request r =
   else if tag = tag_promote then (
     r.Wire.pos <- r.Wire.pos + 1;
     Promote)
+  else if tag = tag_batch then begin
+    if depth > 0 then
+      raise (Wire.Decode_error { offset = r.Wire.pos; reason = "nested batch" });
+    r.Wire.pos <- r.Wire.pos + 1;
+    let n = Wire.get_u32 r in
+    if n > max_batch then
+      raise
+        (Wire.Decode_error
+           { offset = r.Wire.pos;
+             reason = Printf.sprintf "implausible batch size %d" n });
+    Batch (List.init n (fun _ -> decode_request_at ~depth:(depth + 1) r))
+  end
   else Admit (Op.decode r)
+
+let decode_request r = decode_request_at ~depth:0 r
 
 (* ----- responses ------------------------------------------------------- *)
 
@@ -48,6 +80,8 @@ type t =
   | Server_error of string
   | Not_leader of { leader : string }
   | Promoted of { seq : int }
+  | Batch_reply of t list
+      (** one response per request of a {!Batch}, in request order *)
 
 let fail (r : Wire.reader) reason =
   raise (Wire.Decode_error { offset = r.Wire.pos; reason })
@@ -144,7 +178,7 @@ let get_error r =
     Network.Blocked { fanout_switches; available_middles; uncovered }
   | tag -> fail r (Printf.sprintf "unknown error tag %d" tag)
 
-let encode b = function
+let rec encode b = function
   | Admitted { route; moved } ->
     Wire.put_u8 b 1;
     Wire.put_u32 b moved;
@@ -183,8 +217,16 @@ let encode b = function
   | Promoted { seq } ->
     Wire.put_u8 b 11;
     Wire.put_int b seq
+  | Batch_reply resps ->
+    let n = List.length resps in
+    if n > max_batch then invalid_arg "Resp.encode: batch reply too large";
+    if List.exists (function Batch_reply _ -> true | _ -> false) resps then
+      invalid_arg "Resp.encode: nested batch reply";
+    Wire.put_u8 b 12;
+    Wire.put_u32 b n;
+    List.iter (encode b) resps
 
-let decode r =
+let rec decode_at ~depth r =
   match Wire.get_u8 r with
   | 1 ->
     let moved = Wire.get_u32 r in
@@ -204,7 +246,14 @@ let decode r =
   | 9 -> Server_error (get_string r)
   | 10 -> Not_leader { leader = get_string r }
   | 11 -> Promoted { seq = Wire.get_int r }
+  | 12 ->
+    if depth > 0 then fail r "nested batch reply";
+    let n = Wire.get_u32 r in
+    if n > max_batch then fail r (Printf.sprintf "implausible batch size %d" n);
+    Batch_reply (List.init n (fun _ -> decode_at ~depth:(depth + 1) r))
   | tag -> fail r (Printf.sprintf "unknown response tag %d" tag)
+
+let decode r = decode_at ~depth:0 r
 
 let decode_string s =
   let r = Wire.reader s in
@@ -217,7 +266,7 @@ let decode_string s =
   | exception Wire.Decode_error { offset; reason } ->
     Error (Printf.sprintf "%s at payload offset %d" reason offset)
 
-let equal a b =
+let rec equal a b =
   match (a, b) with
   | Admitted a, Admitted b -> a.moved = b.moved && a.route = b.route
   | Refused a, Refused b -> a = b
@@ -229,9 +278,11 @@ let equal a b =
   | Stats_json a, Stats_json b | Server_error a, Server_error b -> a = b
   | Not_leader a, Not_leader b -> a.leader = b.leader
   | Promoted a, Promoted b -> a.seq = b.seq
+  | Batch_reply a, Batch_reply b ->
+    List.length a = List.length b && List.for_all2 equal a b
   | _ -> false
 
-let pp ppf = function
+let rec pp ppf = function
   | Admitted { route; moved } ->
     Format.fprintf ppf "admitted(moved %d) %a" moved Network.pp_route route
   | Refused e -> Format.fprintf ppf "refused: %a" Network.pp_error e
@@ -248,10 +299,15 @@ let pp ppf = function
     Format.fprintf ppf "not the leader%s"
       (if leader = "" then "" else " (try " ^ leader ^ ")")
   | Promoted { seq } -> Format.fprintf ppf "promoted at seq %d" seq
+  | Batch_reply resps ->
+    Format.fprintf ppf "batch(%d):@ [%a]" (List.length resps)
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp)
+      resps
 
 (* ----- execution ------------------------------------------------------- *)
 
-let execute ?(stats = fun () -> "{}") net = function
+let rec execute ?(stats = fun () -> "{}") net = function
+  | Batch reqs -> Batch_reply (List.map (execute ~stats net) reqs)
   | Get_digest -> Digest_is (Store.digest net)
   | Get_stats -> Stats_json (stats ())
   (* Promotion is a server-role concern; a bare network has no role to

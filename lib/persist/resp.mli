@@ -28,12 +28,21 @@ type request =
       (** ask a follower to become the leader — tag [0xF3]; answered
           with {!t.Promoted} by a follower, [Server_error] by a node
           that is already the leader *)
+  | Batch of request list
+      (** pipelining: up to {!max_batch} requests carried in one frame
+          — tag [0xF4] — executed in order and answered with a single
+          {!t.Batch_reply} of the same arity.  Nesting is rejected at
+          both encode and decode. *)
+
+val max_batch : int
+(** Upper bound on {!request.Batch} arity (and [Batch_reply]'s). *)
 
 val encode_request : Buffer.t -> request -> unit
+(** @raise Invalid_argument on an oversized or nested [Batch]. *)
 
 val decode_request : Wire.reader -> request
 (** Consumes exactly one request.  @raise Wire.Decode_error on
-    malformed input. *)
+    malformed input, including nested or oversized batches. *)
 
 (** {1 Responses} *)
 
@@ -62,6 +71,9 @@ type t =
   | Promoted of { seq : int }
       (** a follower accepted {!request.Promote} and now leads, with
           [seq] ops applied *)
+  | Batch_reply of t list
+      (** tag [12]: one response per request of a {!request.Batch}, in
+          request order — the pipelined path's single coalesced answer *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
@@ -89,4 +101,7 @@ val execute : ?stats:(unit -> string) -> Network.t -> request -> t
     [Server_error] — a bad request must not take the server down.
     [Promote] answers [Server_error]: promotion changes a server's
     role, not network state, so the server intercepts it before this
-    function ever sees it. *)
+    function ever sees it.  [Batch] maps [execute] over its requests
+    and answers [Batch_reply] — the server instead unrolls batches
+    itself so each sub-op hits the WAL and replication stream
+    individually. *)

@@ -39,16 +39,24 @@ let instruments_of_sink (sink : Tel.Sink.t) =
     sink;
   }
 
+(* A signal landing mid-fsync (SIGTERM grace, SIGUSR1 promote) returns
+   EINTR with the data NOT yet durable — swallowing it silently would
+   void the durability the policy promised, so retry until the kernel
+   answers.  Other errors (e.g. fsync on a pipe in tests) stay
+   best-effort as before. *)
+let rec fsync_retry fd =
+  match Unix.fsync fd with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> fsync_retry fd
+  | exception Unix.Unix_error _ -> ()
+
 let fsync w =
   flush w.oc;
   (match w.instruments with
-  | None -> (
-    try Unix.fsync (Unix.descr_of_out_channel w.oc)
-    with Unix.Unix_error _ -> ())
+  | None -> fsync_retry (Unix.descr_of_out_channel w.oc)
   | Some i ->
     let t0 = Tel.Sink.now i.sink in
-    (try Unix.fsync (Unix.descr_of_out_channel w.oc)
-     with Unix.Unix_error _ -> ());
+    fsync_retry (Unix.descr_of_out_channel w.oc);
     Tel.Histogram.observe i.h_fsync (Tel.Sink.now i.sink -. t0));
   w.unsynced <- 0
 
@@ -172,10 +180,10 @@ let truncate_at path offset =
     ~finally:(fun () -> Unix.close fd)
     (fun () ->
       Unix.ftruncate fd offset;
-      try Unix.fsync fd with Unix.Unix_error _ -> ());
+      fsync_retry fd);
   match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
   | exception Unix.Unix_error _ -> ()
   | dirfd ->
     Fun.protect
       ~finally:(fun () -> try Unix.close dirfd with Unix.Unix_error _ -> ())
-      (fun () -> try Unix.fsync dirfd with Unix.Unix_error _ -> ())
+      (fun () -> fsync_retry dirfd)

@@ -54,22 +54,43 @@ let error_of_unix = function
   | err -> Transport (Unix.error_message err)
 
 (* A bounded connect: non-blocking dial, wait for writability, then
-   read the pending error the kernel stored for the attempt. *)
+   read the pending error the kernel stored for the attempt.  SIGPIPE
+   is ignored first: a server that closes mid-request must surface as
+   EPIPE on the write — a typed [Transport] error — not kill the
+   process. *)
 let dial ~dial_timeout sockaddr domain =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  let give_up = Unix.gettimeofday () +. dial_timeout in
   match
     Unix.set_nonblock fd;
-    (match Unix.connect fd sockaddr with
-    | () -> ()
-    | exception
-        Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
-      -> (
-      match Unix.select [] [ fd ] [] dial_timeout with
-      | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
-      | _ -> (
-        match Unix.getsockopt_error fd with
-        | None -> ()
-        | Some err -> raise (Unix.Unix_error (err, "connect", "")))));
+    (let rec attempt () =
+       match Unix.connect fd sockaddr with
+       | () -> ()
+       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+         when domain = Unix.PF_UNIX ->
+         (* a unix socket answers EAGAIN when the listener's backlog is
+            full, and unlike TCP's EINPROGRESS the attempt was NOT
+            started — waiting for writability would read garbage from
+            getsockopt.  Back off and redial until the timeout. *)
+         if Unix.gettimeofday () >= give_up then
+           raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""));
+         Unix.sleepf 0.005;
+         attempt ()
+       | exception
+           Unix.Unix_error
+             ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+         -> (
+         let left = give_up -. Unix.gettimeofday () in
+         match Unix.select [] [ fd ] [] (Float.max 0.01 left) with
+         | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+         | _ -> (
+           match Unix.getsockopt_error fd with
+           | None -> ()
+           | Some err -> raise (Unix.Unix_error (err, "connect", ""))))
+     in
+     attempt ());
     Unix.clear_nonblock fd;
     fd
   with
@@ -102,13 +123,13 @@ let connect ?(dial_timeout = 5.0) ?(deadline = 30.0) addr =
       | exception Unix.Unix_error (err, _, _) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         Error (error_of_unix err)
-      | exception Failure _ ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        Error (Transport "handshake failed: server closed the connection")
-      | None ->
+      | Protocol.Eof_clean ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         Error (Transport "handshake failed: no server hello")
-      | Some hello -> (
+      | Protocol.Eof_torn _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Transport "handshake failed: server closed mid-hello")
+      | Protocol.Exact hello -> (
         match Protocol.check_server_hello hello with
         | Ok () ->
           (* a pre-flags server replies with zeroed padding, so the
@@ -169,9 +190,13 @@ let request ?deadline t req =
     | () -> (
       match Protocol.recv_frame t.fd with
       | exception Unix.Unix_error (err, _, _) -> broken (error_of_unix err)
-      | exception Failure _ -> broken (Transport "server closed mid-frame")
       | Protocol.Eof -> broken (Transport "server closed the connection")
-      | Protocol.Bad reason -> broken (Protocol ("bad response frame: " ^ reason))
+      | Protocol.Bad reason ->
+        (* a peer dying mid-frame is the connection failing, not the
+           protocol being violated *)
+        if String.length reason >= 11 && String.sub reason 0 11 = "peer closed"
+        then broken (Transport ("server closed mid-frame: " ^ reason))
+        else broken (Protocol ("bad response frame: " ^ reason))
       | Protocol.Frame payload -> (
         match P.Resp.decode_string payload with
         | Ok resp -> Ok resp
@@ -200,6 +225,33 @@ let promote t =
     Error (Protocol (Format.asprintf "unexpected response: %a" P.Resp.pp resp))
   | Error _ as e -> e
 
+(* Pipelining: many requests in one [Batch] frame, one [Batch_reply]
+   back — one syscall round-trip instead of [n].  An answer of the
+   wrong shape or arity desynchronizes request/response pairing the
+   same way a torn frame does, so it closes the client. *)
+let request_batch ?deadline t reqs =
+  match reqs with
+  | [] -> Ok []
+  | _ when List.length reqs > P.Resp.max_batch ->
+    Error
+      (Protocol
+         (Printf.sprintf "batch of %d exceeds the wire limit of %d"
+            (List.length reqs) P.Resp.max_batch))
+  | _ -> (
+    match request ?deadline t (P.Resp.Batch reqs) with
+    | Ok (P.Resp.Batch_reply rs) when List.length rs = List.length reqs -> Ok rs
+    | Ok (P.Resp.Batch_reply rs) ->
+      close t;
+      Error
+        (Protocol
+           (Printf.sprintf "batch reply arity %d for %d requests"
+              (List.length rs) (List.length reqs)))
+    | Ok resp ->
+      close t;
+      Error
+        (Protocol (Format.asprintf "unexpected batch response: %a" P.Resp.pp resp))
+    | Error _ as e -> e)
+
 let churn_sut ?(on_admit = fun _ -> ()) t =
   {
     Wdm_traffic.Churn.connect =
@@ -224,3 +276,59 @@ let churn_sut ?(on_admit = fun _ -> ()) t =
                P.Resp.pp resp)
         | Error e -> failwith ("Client.churn_sut: " ^ error_to_string e));
   }
+
+(* The pipelined sut keeps the op order a sequential client would
+   produce: disconnects are buffered, and any buffered run is flushed
+   in the same [Batch] immediately {e before} the next connect — the
+   server executes sub-requests in order, so state digests come out
+   identical to the one-request-at-a-time path.  Only connects need
+   their answers synchronously (the generator routes future disconnects
+   by the returned id); disconnects' answers are checked at flush. *)
+let churn_sut_pipelined ?(on_admit = fun _ -> ()) ?(depth = 64) t =
+  if depth < 1 then invalid_arg "Client.churn_sut_pipelined: depth must be >= 1";
+  let depth = min depth (P.Resp.max_batch - 1) in
+  let pending = ref [] (* buffered disconnects, newest first *) in
+  let npending = ref 0 in
+  let unexpected resp =
+    failwith
+      (Format.asprintf "Client.churn_sut_pipelined: unexpected response: %a"
+         P.Resp.pp resp)
+  in
+  let flush_with extra =
+    let reqs = List.rev_append !pending extra in
+    pending := [];
+    npending := 0;
+    if reqs = [] then []
+    else
+      match request_batch t reqs with
+      | Ok rs -> rs
+      | Error e -> failwith ("Client.churn_sut_pipelined: " ^ error_to_string e)
+  in
+  let expect_released rs =
+    List.iter (function P.Resp.Released _ -> () | r -> unexpected r) rs
+  in
+  let sut =
+    {
+      Wdm_traffic.Churn.connect =
+        (fun conn ->
+          match
+            List.rev (flush_with [ P.Resp.Admit (P.Op.Connect conn) ])
+          with
+          | [] -> assert false
+          | last :: released_rev ->
+            expect_released released_rev;
+            (match last with
+            | P.Resp.Admitted { route; _ } ->
+              on_admit route;
+              Ok route.Network.id
+            | P.Resp.Refused e -> Error e
+            | r -> unexpected r));
+      disconnect =
+        (fun id ->
+          pending := P.Resp.Admit (P.Op.Disconnect id) :: !pending;
+          incr npending;
+          if !npending >= depth then expect_released (flush_with []));
+    }
+  in
+  let flush () = expect_released (flush_with []) in
+  (sut, flush)

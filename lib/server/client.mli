@@ -54,6 +54,20 @@ val request :
 (** One request, one response.  [deadline] overrides the connect-time
     default for this and subsequent requests. *)
 
+val request_batch :
+  ?deadline:float ->
+  t ->
+  Wdm_persist.Resp.request list ->
+  (Wdm_persist.Resp.t list, error) result
+(** Pipelining: the requests travel in one
+    {!Wdm_persist.Resp.request.Batch} frame and come back as one
+    response list of the same arity, in request order.  [Ok []] for an
+    empty list without touching the wire; [Error (Protocol _)] without
+    sending when the list exceeds {!Wdm_persist.Resp.max_batch}.  A
+    reply of the wrong shape or arity closes the client like a torn
+    frame would — request/response pairing can no longer be trusted.
+    The list must not itself contain a [Batch]. *)
+
 val digest : t -> (int, error) result
 (** [request Get_digest] narrowed to its payload. *)
 
@@ -79,3 +93,18 @@ val churn_sut :
     Transport failures and protocol violations raise [Failure] — a
     loadgen run against a dead server must abort, not tally refusals.
     For a sut that survives failover, see {!Resilient.churn_sut}. *)
+
+val churn_sut_pipelined :
+  ?on_admit:(Network.route -> unit) ->
+  ?depth:int ->
+  t ->
+  (int, Network.error) Wdm_traffic.Churn.sut * (unit -> unit)
+(** {!churn_sut} over {!request_batch}: disconnects are buffered (up
+    to [depth], default 64) and flushed — in issue order, inside the
+    same [Batch], ahead of the next connect — so the server executes
+    exactly the op sequence the sequential sut produces and digests
+    stay comparable, while round-trips collapse by roughly the batch
+    arity.  Connects are answered synchronously (the generator needs
+    the admitted id).  Returns the sut and a [flush] to drain buffered
+    disconnects; call it after {!Wdm_traffic.Churn.run} returns,
+    before comparing digests.  Failure semantics match {!churn_sut}. *)

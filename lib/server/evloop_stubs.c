@@ -1,0 +1,129 @@
+/* Readiness-notification stubs for the event-driven server core.
+ *
+ * On Linux these wrap epoll so one loop thread can watch tens of
+ * thousands of connections — Unix.select tops out at FD_SETSIZE
+ * (1024) descriptors, which the idle-connection target blows through.
+ * Everywhere else every function reports "unavailable" and the OCaml
+ * side (Evloop) falls back to a select-based backend.
+ *
+ * File descriptors cross the boundary as the plain ints they are on
+ * every Unix; all results are immediates, so no GC roots are needed
+ * beyond the one allocation in wdm_epoll_wait.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/threads.h>
+
+#ifndef _WIN32
+#include <sys/resource.h>
+#endif
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+#include <errno.h>
+#include <string.h>
+#include <unistd.h>
+
+#define WDM_EV_MAX 512
+
+CAMLprim value wdm_epoll_create(value unit)
+{
+  (void)unit;
+  return Val_int(epoll_create1(0)); /* -1: kernel refused; caller falls back */
+}
+
+/* op: 0 = add, 1 = modify, 2 = delete */
+CAMLprim value wdm_epoll_ctl(value vep, value vop, value vfd, value vread,
+                             value vwrite)
+{
+  struct epoll_event ev;
+  static const int ops[3] = { EPOLL_CTL_ADD, EPOLL_CTL_MOD, EPOLL_CTL_DEL };
+  memset(&ev, 0, sizeof ev);
+  ev.events = (Bool_val(vread) ? EPOLLIN : 0u)
+            | (Bool_val(vwrite) ? EPOLLOUT : 0u);
+  ev.data.fd = Int_val(vfd);
+  if (epoll_ctl(Int_val(vep), ops[Int_val(vop)], Int_val(vfd), &ev) != 0)
+    return Val_int(-errno);
+  return Val_int(0);
+}
+
+/* Returns a flat int array [fd0; flags0; fd1; flags1; ...] with flags
+ * bit 0 = readable, bit 1 = writable.  ERR/HUP are folded into both
+ * bits: the caller's read/write attempt is what surfaces the error. */
+CAMLprim value wdm_epoll_wait(value vep, value vtimeout_ms)
+{
+  CAMLparam2(vep, vtimeout_ms);
+  CAMLlocal1(res);
+  struct epoll_event evs[WDM_EV_MAX];
+  int ep = Int_val(vep);
+  int timeout = Int_val(vtimeout_ms);
+  int n, i;
+
+  caml_release_runtime_system();
+  n = epoll_wait(ep, evs, WDM_EV_MAX, timeout);
+  caml_acquire_runtime_system();
+
+  if (n <= 0) /* timeout, or EINTR: both mean "nothing this round" */
+    CAMLreturn(Atom(0));
+
+  res = caml_alloc(2 * n, 0);
+  for (i = 0; i < n; i++) {
+    int flags = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) flags |= 1;
+    if (evs[i].events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) flags |= 2;
+    Store_field(res, 2 * i, Val_int(evs[i].data.fd));
+    Store_field(res, 2 * i + 1, Val_int(flags));
+  }
+  CAMLreturn(res);
+}
+
+#else /* !__linux__ */
+
+CAMLprim value wdm_epoll_create(value unit)
+{
+  (void)unit;
+  return Val_int(-1);
+}
+
+CAMLprim value wdm_epoll_ctl(value vep, value vop, value vfd, value vread,
+                             value vwrite)
+{
+  (void)vep; (void)vop; (void)vfd; (void)vread; (void)vwrite;
+  return Val_int(-1);
+}
+
+CAMLprim value wdm_epoll_wait(value vep, value vtimeout_ms)
+{
+  (void)vep; (void)vtimeout_ms;
+  return Atom(0);
+}
+
+#endif /* __linux__ */
+
+/* Raise RLIMIT_NOFILE's soft limit toward [want] (capped at the hard
+ * limit).  Returns the soft limit now in force, or -1 if it cannot
+ * even be read.  Needed by the idle-connection soak and bench: many
+ * distros default the soft limit to 1024. */
+CAMLprim value wdm_raise_nofile(value vwant)
+{
+#ifdef _WIN32
+  (void)vwant;
+  return Val_long(-1);
+#else
+  struct rlimit rl;
+  rlim_t want = (rlim_t)Long_val(vwant);
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return Val_long(-1);
+  if (rl.rlim_cur < want) {
+    struct rlimit bid = rl;
+    bid.rlim_cur = (rl.rlim_max == RLIM_INFINITY || want < rl.rlim_max)
+                     ? want
+                     : rl.rlim_max;
+    if (setrlimit(RLIMIT_NOFILE, &bid) == 0) rl = bid;
+  }
+  if (rl.rlim_cur == RLIM_INFINITY) return Val_long(1 << 24);
+  return Val_long((long)rl.rlim_cur);
+#endif
+}

@@ -18,25 +18,39 @@ let client_hello_spans = Wire.header_with_flags ~kind:'C' ~flags:flag_spans
 let server_hello_spans = Wire.header_with_flags ~kind:'R' ~flags:flag_spans
 let hello_has_spans s = Wire.header_flags s land flag_spans <> 0
 
+(* Every blocking syscall below retries EINTR: a signal landing
+   mid-write (SIGUSR1 promote, SIGTERM's grace window, an interval
+   timer) must not tear down a healthy connection or leave half a
+   frame on the wire. *)
+
 let write_all fd s =
   let n = String.length s in
   let written = ref 0 in
   while !written < n do
-    written := !written + Unix.write_substring fd s !written (n - !written)
+    match Unix.write_substring fd s !written (n - !written) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | w -> written := !written + w
   done
+
+let rec read_retry fd buf off len =
+  match Unix.read fd buf off len with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd buf off len
+  | r -> r
+
+type exactly = Exact of string | Eof_clean | Eof_torn of int
 
 let read_exactly fd n =
   let buf = Bytes.create n in
   let got = ref 0 in
   let eof = ref false in
   while (not !eof) && !got < n do
-    match Unix.read fd buf !got (n - !got) with
+    match read_retry fd buf !got (n - !got) with
     | 0 -> eof := true
     | r -> got := !got + r
   done;
-  if !got = n then Some (Bytes.unsafe_to_string buf)
-  else if !got = 0 then None
-  else failwith "Protocol.read_exactly: EOF mid-value"
+  if !got = n then Exact (Bytes.unsafe_to_string buf)
+  else if !got = 0 then Eof_clean
+  else Eof_torn !got
 
 let send_frame fd payload = write_all fd (Wire.frame payload)
 
@@ -47,9 +61,9 @@ type recv = Frame of string | Eof | Bad of string
    there is no file to truncate, so it is reported as damage. *)
 let recv_frame fd =
   match read_exactly fd 8 with
-  | None -> Eof
-  | exception Failure _ -> Bad "peer closed mid-frame-header"
-  | Some prelude -> (
+  | Eof_clean -> Eof
+  | Eof_torn _ -> Bad "peer closed mid-frame-header"
+  | Exact prelude -> (
     let r = Wire.reader prelude in
     let len = Wire.get_u32 r in
     let crc = Wire.get_u32 r in
@@ -57,6 +71,25 @@ let recv_frame fd =
       Bad (Printf.sprintf "implausible record length %d" len)
     else
       match read_exactly fd len with
-      | None | (exception Failure _) -> Bad "peer closed mid-payload"
-      | Some payload ->
+      | Eof_clean | Eof_torn _ -> Bad "peer closed mid-payload"
+      | Exact payload ->
         if Crc32.string payload <> crc then Bad "CRC mismatch" else Frame payload)
+
+(* Blocking frame reads over a Framebuf that may already hold bytes —
+   the hand-off path when the event loop detaches a replica connection
+   to its own thread after the hello (the loop may have read past the
+   hello into the first Subscribe frame). *)
+let recv_frame_buffered fd fb =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Framebuf.next_frame fb with
+    | Framebuf.Frame p -> Frame p
+    | Framebuf.Bad reason -> Bad reason
+    | Framebuf.Need _ -> (
+      match read_retry fd chunk 0 (Bytes.length chunk) with
+      | 0 -> if Framebuf.length fb = 0 then Eof else Bad "peer closed mid-frame"
+      | n ->
+        Framebuf.add_subbytes fb chunk ~off:0 ~len:n;
+        go ())
+  in
+  go ()

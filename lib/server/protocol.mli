@@ -6,7 +6,11 @@
     carries {!Wdm_persist.Wire} CRC32-framed records.  A request
     payload is one {!Wdm_persist.Resp.request}, a response payload one
     {!Wdm_persist.Resp.t}.  This module only moves and validates
-    frames; what is inside them is {!Wdm_persist.Resp}'s business. *)
+    frames; what is inside them is {!Wdm_persist.Resp}'s business.
+
+    All blocking primitives here retry [EINTR]: a signal mid-syscall
+    (SIGUSR1 promote, SIGTERM's grace window) must neither tear down a
+    healthy connection nor leave half a frame on the wire. *)
 
 val client_hello : string
 val server_hello : string
@@ -40,11 +44,19 @@ val hello_has_spans : string -> bool
 (** Whether a received hello advertised {!flag_spans}. *)
 
 val write_all : Unix.file_descr -> string -> unit
-(** Loops over short writes.  @raise Unix.Unix_error as [Unix.write]. *)
+(** Loops over short writes, retrying [EINTR].
+    @raise Unix.Unix_error as [Unix.write] for every other failure. *)
 
-val read_exactly : Unix.file_descr -> int -> string option
-(** [None] on EOF before any byte arrives; @raise Failure on EOF
-    mid-value (the peer died inside a frame). *)
+type exactly =
+  | Exact of string  (** all [n] bytes arrived *)
+  | Eof_clean  (** EOF before any byte — a clean close *)
+  | Eof_torn of int  (** EOF after [got] bytes — the peer died mid-value *)
+
+val read_exactly : Unix.file_descr -> int -> exactly
+(** Reads exactly [n] bytes, retrying short reads and [EINTR].  A torn
+    tail is an ordinary constructor, not an exception: every caller
+    must classify it, which is how a half-frame-then-close lands in
+    {!recv}'s [Bad] path rather than killing the reader. *)
 
 val send_frame : Unix.file_descr -> string -> unit
 (** Frames ({!Wdm_persist.Wire.frame}) and writes one payload. *)
@@ -55,3 +67,9 @@ val recv_frame : Unix.file_descr -> recv
 (** Reads one frame off the socket: [Eof] at a clean record boundary,
     [Bad] on an implausible length, a CRC mismatch, or a peer that
     died mid-frame — the stream is unrecoverable past a [Bad]. *)
+
+val recv_frame_buffered : Unix.file_descr -> Framebuf.t -> recv
+(** Like {!recv_frame}, but consuming/refilling a {!Framebuf} that may
+    already hold bytes read past a previous boundary.  Used when a
+    connection leaves the event loop for a dedicated thread (replica
+    attach) with loop-buffered bytes still pending. *)

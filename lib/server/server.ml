@@ -12,16 +12,50 @@ type role = Leader | Follower
 
 type follower_config = { leader : address; wal : string option }
 
+(* What the event loop believes a connection is.  Every accepted fd
+   starts as [Chello]; the 8-byte hello routes it to the framed
+   request stream, the observability plane, or out of the loop
+   entirely (followers get a dedicated thread, as before). *)
+type ckind =
+  | Chello  (** awaiting the 8-byte hello *)
+  | Creq  (** framed request stream *)
+  | Chttp  (** observability scraper (/metrics, /healthz, ...) *)
+  | Cdetached  (** handed to a replica thread; the loop forgot it *)
+
 type client = {
   cid : int;
   fd : Unix.file_descr;
   mutable open_ : bool;  (** guarded by the server mutex *)
   mutable spans : bool;
       (** the hello negotiated the span extension; written once by the
-          client's own thread before any frame is read *)
+          loop thread before any frame is read *)
   mutable c_requests : Tel.Metrics.counter option;
       (** registered after the handshake, guarded by the server mutex *)
+  (* --- event-loop connection state.  [kind], [fb], [rd_eof] and
+     [deadline] belong to the loop thread alone; the output queue
+     ([out_head]/[out_off] loop-only, [out_tail]/[out_bytes] shared
+     with the admission thread) and the [want_close]/[kill]/[in_dirty]
+     flags are guarded by the server mutex. *)
+  mutable kind : ckind;
+  fb : Framebuf.t;  (** incremental receive buffer *)
+  mutable out_head : string;  (** bytes being written, from [out_off] *)
+  mutable out_off : int;
+  out_tail : Buffer.t;
+      (** pending appends; coalesced into [out_head] by the loop — this
+          buffer is what turns per-response sends into one write(2) *)
+  mutable out_bytes : int;  (** unwritten output, head remainder + tail *)
+  mutable want_close : bool;  (** close once the output drains *)
+  mutable kill : bool;  (** close now, dropping pending output *)
+  mutable rd_eof : bool;  (** loop: stop reading this connection *)
+  mutable in_dirty : bool;  (** already queued on [t.dirty] *)
+  mutable deadline : float;  (** HTTP head timeout (absolute); 0 = none *)
 }
+
+(* An output queue larger than this means the peer is not reading its
+   responses (or asked for more than it can swallow): cut it loose
+   rather than buffer without bound.  Twice the largest legal frame,
+   so one maximal response always fits. *)
+let out_limit = 2 * P.Wire.max_payload
 
 (* A leader-side replica connection.  The admission thread pushes
    pre-framed bytes into [outbox]; one sender thread per replica drains
@@ -135,8 +169,23 @@ type t = {
   mutable next_cid : int;
   mutable clients : client list;
   mutable served_count : int;
-  mutable accept_thread : Thread.t option;
+  mutable loop_thread : Thread.t option;
   mutable admit_thread : Thread.t option;
+  (* event loop *)
+  ev : Evloop.t;
+  wake_r : Unix.file_descr;  (** loop side of the wake pipe *)
+  wake_w : Unix.file_descr;  (** any thread pokes this to wake the loop *)
+  mutable dirty : client list;
+      (** connections with fresh output / close flags awaiting the
+          loop's attention; guarded by the server mutex *)
+  mutable read_paused : bool;
+      (** loop-written under the mutex: the admission queue is at
+          capacity and the loop is waiting on the wake pipe only *)
+  mutable loop_finish : bool;
+      (** stop(): flush remaining output, close everything, exit *)
+  mutable finish_deadline : float;
+  max_conns : int option;
+  conn_sndbuf : int option;
   (* replication *)
   mutable role : role;
   mutable epoch : int;  (** this leader generation's id *)
@@ -166,7 +215,6 @@ type t = {
   ready_lag : int;
   mutable http_fd : Unix.file_descr option;
   mutable http_bound : address option;
-  mutable http_thread : Thread.t option;
 }
 
 let register_instruments sink =
@@ -181,7 +229,9 @@ let register_instruments sink =
     clients_total = c "Client connections accepted" "server_clients_total";
     batches = c "Admission-loop drains" "server_batches_total";
     accept_errors =
-      c "Transient accept(2) failures survived" "server_accept_errors_total";
+      c "Transient accept(2) failures survived and connections rejected \
+         by the --max-conns gate"
+        "server_accept_errors_total";
     g_clients_active = g "Clients currently connected" "server_clients_active";
     g_queue_depth = g "Requests waiting for admission" "server_queue_depth";
     h_batch_size =
@@ -266,11 +316,18 @@ let set_depth t =
   | Some i -> Tel.Metrics.set i.g_queue_depth (float_of_int (Queue.length t.queue))
   | None -> ()
 
-(* Reader-thread side.  Blocking here when the queue is full is the
-   backpressure mechanism: the reader stops pulling bytes off its
-   socket, the kernel's receive window fills, and the client's sends
-   stall.  During shutdown the capacity check is waived so readers can
-   always deposit their final [Gone] and exit. *)
+(* Poke the event loop's wake pipe.  Unconditional and non-blocking: a
+   full pipe means the loop has wakeups queued already, which is all a
+   wake can ask for. *)
+let wake_byte = Bytes.of_string "!"
+
+let wake t =
+  try ignore (Unix.write t.wake_w wake_byte 0 1) with Unix.Unix_error _ -> ()
+
+(* Replica/follower threads, which may legitimately block.  Blocking
+   here when the queue is full is their backpressure.  During shutdown
+   the capacity check is waived so they can always deposit their final
+   [Gone] and exit. *)
 let push t item =
   Mutex.lock t.mu;
   while Queue.length t.queue >= t.capacity && not t.stopping do
@@ -280,6 +337,23 @@ let push t item =
   set_depth t;
   Condition.signal t.not_empty;
   Mutex.unlock t.mu
+
+(* Event-loop side: the loop must never sleep on [not_full] (the
+   admission thread wakes it through the pipe, not the condition), so
+   it deposits unconditionally and instead stops reading sockets while
+   the queue is over capacity — same backpressure, different valve. *)
+let push_loop t item =
+  Mutex.lock t.mu;
+  Queue.add item t.queue;
+  set_depth t;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.mu
+
+let queue_depth t =
+  Mutex.lock t.mu;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mu;
+  n
 
 (* Admission side: take up to [batch_limit] items in one lock hold. *)
 let drain_batch t =
@@ -295,8 +369,10 @@ let drain_batch t =
   done;
   set_depth t;
   Condition.broadcast t.not_full;
+  let wake_loop = t.read_paused in
   let finished = t.stopping && Queue.is_empty t.queue && !batch = [] in
   Mutex.unlock t.mu;
+  if wake_loop then wake t;
   if finished then None else Some (List.rev !batch)
 
 (* ----- per-client plumbing --------------------------------------------- *)
@@ -315,44 +391,41 @@ let close_client t client =
   Mutex.unlock t.mu;
   if was_open then try Unix.close client.fd with Unix.Unix_error _ -> ()
 
-let reader_loop t client =
-  let stop_reading = ref false in
-  while not !stop_reading do
-    match Protocol.recv_frame client.fd with
-    | exception Unix.Unix_error _ ->
-      push t (Gone client);
-      stop_reading := true
-    | Protocol.Eof ->
-      push t (Gone client);
-      stop_reading := true
-    | Protocol.Bad reason ->
-      push t (Malformed { client; reason });
-      stop_reading := true
-    | Protocol.Frame payload -> (
-      let t0 = now t in
-      let r = P.Wire.reader payload in
-      match
-        let req = P.Resp.decode_request r in
-        (* requests are self-delimiting, so the negotiated trailing
-           span id sits cleanly after the request proper *)
-        let span = if client.spans then Some (P.Wire.get_int r) else None in
-        P.Wire.expect_end r;
-        (req, span)
-      with
-      | req, span ->
-        Option.iter (fun c -> Tel.Metrics.inc c) client.c_requests;
-        (match t.ins with Some i -> Tel.Metrics.inc i.requests | None -> ());
-        let enqueued = now t in
-        push t (Request { client; req; enqueued; span; decode = enqueued -. t0 })
-      | exception P.Wire.Decode_error { offset; reason } ->
-        push t
-          (Malformed
-             {
-               client;
-               reason = Printf.sprintf "%s at payload offset %d" reason offset;
-             });
-        stop_reading := true)
-  done
+(* Append bytes to a connection's output queue (any thread) and flag
+   it for the loop.  Returns whether the bytes were accepted — a
+   closed or closing connection swallows them, exactly as the old
+   direct write swallowed EPIPE. *)
+let enqueue_out t c data =
+  Mutex.lock t.mu;
+  let accepted = c.open_ && (not c.want_close) && not c.kill in
+  if accepted then begin
+    Buffer.add_string c.out_tail data;
+    c.out_bytes <- c.out_bytes + String.length data;
+    if c.out_bytes > out_limit then c.kill <- true;
+    if not c.in_dirty then begin
+      c.in_dirty <- true;
+      t.dirty <- c :: t.dirty
+    end
+  end;
+  Mutex.unlock t.mu;
+  if accepted then wake t;
+  accepted
+
+(* Ask the loop to close an event connection once its queued output has
+   been written — the ordered replacement for closing the fd directly,
+   which would race responses still in flight. *)
+let mark_want_close t c =
+  Mutex.lock t.mu;
+  let flag = c.open_ && not c.want_close in
+  if flag then begin
+    c.want_close <- true;
+    if not c.in_dirty then begin
+      c.in_dirty <- true;
+      t.dirty <- c :: t.dirty
+    end
+  end;
+  Mutex.unlock t.mu;
+  if flag then wake t
 
 (* ----- leader-side replication ----------------------------------------- *)
 
@@ -619,11 +692,13 @@ let handle_ack t client ~seq ~digest =
     false
 
 (* The per-connection thread of an attached follower, after the
-   Subscribe was queued: consume acks until the link dies. *)
+   Subscribe was queued: consume acks until the link dies.  Reads go
+   through the connection's Framebuf — the event loop may have read
+   past the hello before detaching this fd to us. *)
 let replica_reader_loop t client =
   let run = ref true in
   while !run do
-    match Protocol.recv_frame client.fd with
+    match Protocol.recv_frame_buffered client.fd client.fb with
     | exception Unix.Unix_error _ -> run := false
     | Protocol.Eof | Protocol.Bad _ -> run := false
     | Protocol.Frame payload -> (
@@ -633,10 +708,17 @@ let replica_reader_loop t client =
       | Ok (P.Repl.Subscribe _) | Error _ -> run := false)
   done;
   Mutex.lock t.mu;
+  let stopping = t.stopping in
   let f = List.find_opt (fun f -> f.client.cid = client.cid) t.replicas in
   Mutex.unlock t.mu;
   match f with
-  | Some f -> drop_replica t f
+  | Some f ->
+    (* During [stop] this EOF is self-inflicted (the SHUTDOWN_RECEIVE
+       that wakes blocked readers): dropping here would cut the outbox
+       with the tail ops still queued, losing the stream's end.  [stop]
+       drains and tears the replica down itself; a genuinely dead peer
+       is still caught by the sender's own write failure. *)
+    if not stopping then drop_replica t f
   | None ->
     (* the Attach may still be queued, or was refused; the admission
        thread owns the cleanup either way *)
@@ -728,7 +810,15 @@ let handle_repl t conn msg =
         resync t conn
       end
       else send_ack t conn ~seq ~digest:own
-    | P.Repl.Goodbye _ -> ());
+    | P.Repl.Goodbye _ ->
+      (* end of this link's stream (leader goodbye, or the reader's
+         synthetic one after EOF): every earlier message has been
+         applied, so dropping the link reference is now loss-free *)
+      Mutex.lock t.mu;
+      (match t.repl_conn with
+      | Some c when c == conn -> t.repl_conn <- None
+      | _ -> ());
+      Mutex.unlock t.mu);
     match t.ins with
     | Some i ->
       Tel.Metrics.set i.g_follower_lag
@@ -777,7 +867,8 @@ let repl_loop t cfg =
            raise e);
         Protocol.write_all fd Protocol.follower_hello;
         match Protocol.read_exactly fd P.Wire.header_len with
-        | Some hello when Protocol.check_server_hello hello = Ok () -> fd
+        | Protocol.Exact hello when Protocol.check_server_hello hello = Ok () ->
+          fd
         | _ ->
           (try Unix.close fd with Unix.Unix_error _ -> ());
           failwith "bad hello"
@@ -826,10 +917,31 @@ let repl_loop t cfg =
         end;
         Mutex.lock t.mu;
         conn.alive <- false;
-        (match t.repl_conn with
-        | Some c when c == conn -> t.repl_conn <- None
-        | _ -> ());
         Mutex.unlock t.mu;
+        (* The link is down, but the stream's tail may still sit in the
+           admission queue: clearing [repl_conn] here would make
+           [handle_repl] drop those messages as stale and lose the ops
+           for good (a dead leader cannot resend them).  Instead, push
+           a synthetic Goodbye through the same queue — the admission
+           thread clears the link only after applying everything that
+           arrived before it — and wait for that to happen so the next
+           subscribe's [last_seq] counts the whole tail. *)
+        push t (Repl_msg { conn; msg = P.Repl.Goodbye { reason = "link closed" } });
+        let rec wait_cleared n =
+          let cleared =
+            Mutex.lock t.mu;
+            let c =
+              match t.repl_conn with Some c -> not (c == conn) | None -> true
+            in
+            Mutex.unlock t.mu;
+            c
+          in
+          if (not cleared) && n < 500 && not t.stopping then begin
+            Thread.delay 0.01;
+            wait_cleared (n + 1)
+          end
+        in
+        wait_cleared 0;
         (try Unix.close fd with Unix.Unix_error _ -> ());
         nap t !backoff
       end
@@ -837,14 +949,23 @@ let repl_loop t cfg =
 
 (* ----- admission loop -------------------------------------------------- *)
 
+(* Frame a response and hand it to the event loop's output queue: the
+   admission thread never blocks on a peer's socket.  A batch reply
+   counts once per sub-response so the counter reconciles with
+   [server_requests_total] whichever way the ops arrived. *)
 let send_response t client resp =
   let b = Buffer.create 64 in
   P.Resp.encode b resp;
-  match Protocol.send_frame client.fd (Buffer.contents b) with
-  | () -> (match t.ins with Some i -> Tel.Metrics.inc i.responses | None -> ())
-  | exception (Unix.Unix_error _ | Sys_error _) ->
-    (* the client is gone; its reader thread will deliver the [Gone] *)
-    ()
+  if enqueue_out t client (P.Wire.frame (Buffer.contents b)) then
+    match t.ins with
+    | Some i ->
+      let n =
+        match (resp : P.Resp.t) with
+        | P.Resp.Batch_reply rs -> List.length rs
+        | _ -> 1
+      in
+      Tel.Metrics.add i.responses n
+    | None -> ()
 
 (* How far behind the slowest consumer is: on a follower the gap to
    the leader's newest shown seq, on a leader the deepest replica
@@ -870,7 +991,7 @@ let stats_renderer t () =
     match t.ins with
     | None -> []
     | Some i -> (
-      (* under the server mutex: reader threads may be registering
+      (* under the server mutex: the event loop may be registering
          per-client counters in the same registry concurrently *)
       Mutex.lock t.mu;
       let snap = Tel.Sink.snapshot i.sink in
@@ -976,6 +1097,9 @@ let record_span t i sr =
 let committed_op req resp =
   match (req : P.Resp.request) with
   | P.Resp.Get_digest | P.Resp.Get_stats | P.Resp.Promote -> None
+  (* batches are unrolled sub-op by sub-op before commit; a whole
+     batch never reaches the WAL as one record *)
+  | P.Resp.Batch _ -> None
   | P.Resp.Admit op -> (
     match (resp : P.Resp.t) with
     | P.Resp.Release_failed _ | P.Resp.Server_error _ -> None
@@ -1022,39 +1146,79 @@ let execute_request t req =
     P.Resp.Not_leader { leader = leader_string t }
   | _ -> P.Resp.execute ~stats:(stats_renderer t) t.net req
 
+(* Commit one executed request: WAL append, then replication fan-out.
+   Batches unroll here, sub-op by sub-op, so the WAL and the stream
+   see exactly the records a sequential client would have produced. *)
+let commit t req resp =
+  if t.role = Leader then
+    match committed_op req resp with
+    | None -> ()
+    | Some op ->
+      Option.iter (fun s -> P.Store.log s op) t.store;
+      replicate t op
+
+let request_weight (req : P.Resp.request) =
+  match req with P.Resp.Batch subs -> List.length subs | _ -> 1
+
 let handle_request t client req ~enqueued ~span ~decode =
   match t.ins with
   | None ->
     (* untimed path: no clock reads, no record — behaviourally the
        pre-tracing server *)
-    let resp = execute_request t req in
-    (if t.role = Leader then
-       match committed_op req resp with
-       | None -> ()
-       | Some op ->
-         Option.iter (fun s -> P.Store.log s op) t.store;
-         replicate t op);
+    let resp =
+      match (req : P.Resp.request) with
+      | P.Resp.Batch subs ->
+        P.Resp.Batch_reply
+          (List.map
+             (fun sub ->
+               let r = execute_request t sub in
+               commit t sub r;
+               r)
+             subs)
+      | _ ->
+        let r = execute_request t req in
+        commit t req r;
+        r
+    in
     send_response t client resp;
-    t.served_count <- t.served_count + 1
+    t.served_count <- t.served_count + request_weight req
   | Some i ->
     let t_start = now t in
-    let resp = execute_request t req in
-    let t_exec = now t in
-    let wal_dt, repl_dt =
-      if t.role = Leader then (
-        match committed_op req resp with
-        | None -> (0., 0.)
+    (* a batch interleaves execute / wal / replicate per sub-op;
+       accumulate the commit slices so the stage histograms keep their
+       meaning whichever way the ops arrived *)
+    let wal_acc = ref 0. and repl_acc = ref 0. in
+    let commit_timed sub r =
+      if t.role = Leader then
+        match committed_op sub r with
+        | None -> ()
         | Some op ->
+          let t0 = now t in
           Option.iter (fun s -> P.Store.log s op) t.store;
-          let t_wal = now t in
+          let t1 = now t in
           replicate t op;
-          (t_wal -. t_exec, now t -. t_wal))
-      else (0., 0.)
+          wal_acc := !wal_acc +. (t1 -. t0);
+          repl_acc := !repl_acc +. (now t -. t1)
     in
-    let t_repl = now t in
+    let resp =
+      match (req : P.Resp.request) with
+      | P.Resp.Batch subs ->
+        P.Resp.Batch_reply
+          (List.map
+             (fun sub ->
+               let r = execute_request t sub in
+               commit_timed sub r;
+               r)
+             subs)
+      | _ ->
+        let r = execute_request t req in
+        commit_timed req r;
+        r
+    in
+    let t_exec = now t in
     send_response t client resp;
     let t_done = now t in
-    t.served_count <- t.served_count + 1;
+    t.served_count <- t.served_count + request_weight req;
     Tel.Histogram.observe i.h_latency (t_done -. enqueued);
     let start = enqueued -. decode in
     record_span t i
@@ -1067,10 +1231,10 @@ let handle_request t client req ~enqueued ~span ~decode =
           [
             ("decode", decode);
             ("queue", max 0. (t_start -. enqueued));
-            ("execute", t_exec -. t_start);
-            ("wal", wal_dt);
-            ("replicate", repl_dt);
-            ("respond", t_done -. t_repl);
+            ("execute", max 0. (t_exec -. t_start -. !wal_acc -. !repl_acc));
+            ("wal", !wal_acc);
+            ("replicate", !repl_acc);
+            ("respond", t_done -. t_exec);
           ];
       }
 
@@ -1088,13 +1252,18 @@ let admit_loop t =
       List.iter
         (fun item ->
           match item with
-          | Gone client -> close_client t client
+          | Gone client ->
+            (* an event connection closes through the loop so responses
+               already queued ahead of the EOF still go out; a detached
+               (replica-path) fd is ours to close directly *)
+            if client.kind = Cdetached then close_client t client
+            else mark_want_close t client
           | Malformed { client; reason } ->
             (match t.ins with
             | Some i -> Tel.Metrics.inc i.malformed
             | None -> ());
             send_response t client (P.Resp.Server_error reason);
-            close_client t client
+            mark_want_close t client
           | Request { client; req; enqueued; span; decode } ->
             handle_request t client req ~enqueued ~span ~decode
           | Attach { client; epoch; last_seq } ->
@@ -1109,46 +1278,23 @@ let admit_loop t =
         batch
   done
 
-(* ----- accept loop ----------------------------------------------------- *)
+(* ----- follower hand-off ----------------------------------------------- *)
 
-type hello = Hello_client | Hello_follower
-
-let handshake fd =
-  match Protocol.read_exactly fd P.Wire.header_len with
-  | None -> None
-  | exception (Unix.Unix_error _ | Failure _) -> None
-  | Some hello ->
-    let kind =
-      if Protocol.check_client_hello hello = Ok () then Some Hello_client
-      else if Protocol.check_follower_hello hello = Ok () then
-        Some Hello_follower
-      else None
-    in
-    (match kind with
-    | None -> None
-    | Some k -> (
-      (* always advertise the span capability; a pre-flags client reads
-         the flag byte as the reserved padding it has always ignored *)
-      match Protocol.write_all fd Protocol.server_hello_spans with
-      | () -> Some (k, Protocol.hello_has_spans hello)
-      | exception Unix.Unix_error _ -> None))
-
-(* The hello exchange happens on the per-client thread: a peer that
-   connects and then sends nothing must never stall the accept loop
-   (or [stop], which joins it).  The client is registered before the
-   handshake so [stop] can shut its fd down and unblock a read in
-   flight; the telemetry that counts it as a real client is deferred
-   until the handshake succeeds. *)
-let client_loop t client =
-  match handshake client.fd with
-  | None -> close_client t client
-  | Some (Hello_follower, _) -> (
+(* A connection whose hello said 'F' leaves the event loop for a
+   dedicated thread: the replication stream wants blocking writes with
+   its own pacing (sender thread + bounded outbox), and there are only
+   ever a handful of replicas.  The loop cleared O_NONBLOCK before
+   spawning us; any bytes it read past the hello ride in [client.fb]. *)
+let follower_conn_loop t client =
+  match Protocol.write_all client.fd Protocol.server_hello_spans with
+  | exception (Unix.Unix_error _ | Sys_error _) -> close_client t client
+  | () -> (
     (match t.follower_sndbuf with
     | Some n -> (
       try Unix.setsockopt_int client.fd Unix.SO_SNDBUF n
       with Unix.Unix_error _ -> ())
     | None -> ());
-    match Protocol.recv_frame client.fd with
+    match Protocol.recv_frame_buffered client.fd client.fb with
     | exception Unix.Unix_error _ -> close_client t client
     | Protocol.Eof | Protocol.Bad _ -> close_client t client
     | Protocol.Frame payload -> (
@@ -1157,23 +1303,6 @@ let client_loop t client =
         push t (Attach { client; epoch; last_seq });
         replica_reader_loop t client
       | Ok (P.Repl.Ack _) | Error _ -> close_client t client))
-  | Some (Hello_client, spans) ->
-    client.spans <- spans;
-    (match t.ins with
-    | Some i ->
-      Mutex.lock t.mu;
-      if client.open_ then begin
-        client.c_requests <-
-          Some
-            (Tel.Metrics.counter i.sink.Tel.Sink.metrics
-               ~help:"Requests received from this client"
-               (Printf.sprintf "server_client_requests_total{client=\"%d\"}"
-                  client.cid));
-        Tel.Metrics.inc i.clients_total
-      end;
-      Mutex.unlock t.mu
-    | None -> ());
-    reader_loop t client
 
 (* EMFILE/ENFILE (fd exhaustion), ECONNABORTED (peer gave up while
    queued) and EINTR are conditions a server rides out, not reasons to
@@ -1182,41 +1311,6 @@ let client_loop t client =
 let accept_transient = function
   | Unix.EMFILE | Unix.ENFILE | Unix.ECONNABORTED | Unix.EINTR -> true
   | _ -> false
-
-let accept_loop t =
-  let continue = ref true in
-  while !continue do
-    match Unix.accept t.listen_fd with
-    | exception Unix.Unix_error (err, _, _) ->
-      if t.stopping then continue := false
-      else begin
-        (match t.ins with
-        | Some i -> Tel.Metrics.inc i.accept_errors
-        | None -> ());
-        Thread.delay (if accept_transient err then 0.05 else 0.25)
-      end
-    | fd, _peer ->
-      if t.stopping then begin
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        continue := false
-      end
-      else begin
-        Mutex.lock t.mu;
-        let cid = t.next_cid in
-        t.next_cid <- cid + 1;
-        let client =
-          { cid; fd; open_ = true; spans = false; c_requests = None }
-        in
-        t.clients <- client :: t.clients;
-        (match t.ins with
-        | Some i ->
-          Tel.Metrics.set i.g_clients_active
-            (float_of_int (List.length t.clients))
-        | None -> ());
-        Mutex.unlock t.mu;
-        ignore (Thread.create (fun () -> client_loop t client) ())
-      end
-  done
 
 (* ----- observability plane (HTTP 1.0) ---------------------------------- *)
 
@@ -1287,77 +1381,473 @@ let http_route t path =
   | "/spans" -> ("200 OK", "application/json", spans_chrome t)
   | _ -> ("404 Not Found", "text/plain; charset=utf-8", "not found\n")
 
-(* One connection: read the request head (we only need the request
-   line), answer, close.  HTTP/1.0, Connection: close — a scraper per
-   connection, no keep-alive state to manage. *)
-let http_serve_conn t fd =
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0
-       with Unix.Unix_error _ -> ());
-      let buf = Bytes.create 4096 in
-      let got = ref 0 in
-      let head_done () =
-        let s = Bytes.sub_string buf 0 !got in
-        let has sub =
-          let n = String.length s and m = String.length sub in
-          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-          go 0
-        in
-        has "\r\n\r\n" || has "\n\n"
-      in
-      (try
-         let eof = ref false in
-         while (not !eof) && (not (head_done ())) && !got < Bytes.length buf do
-           match Unix.read fd buf !got (Bytes.length buf - !got) with
-           | 0 -> eof := true
-           | n -> got := !got + n
-         done
-       with Unix.Unix_error _ -> ());
-      let request = Bytes.sub_string buf 0 !got in
-      let status, ctype, body =
-        match String.split_on_char ' ' request with
-        | "GET" :: path :: _ ->
-          (* strip any query string: /readyz?verbose -> /readyz *)
-          let path =
-            match String.index_opt path '?' with
-            | Some q -> String.sub path 0 q
-            | None -> path
-          in
-          http_route t path
-        | _ ->
-          ( "400 Bad Request",
-            "text/plain; charset=utf-8",
-            "only GET is served here\n" )
-      in
-      let response =
-        Printf.sprintf
-          "HTTP/1.0 %s\r\n\
-           Content-Type: %s\r\n\
-           Content-Length: %d\r\n\
-           Connection: close\r\n\
-           \r\n\
-           %s"
-          status ctype (String.length body) body
-      in
-      try Protocol.write_all fd response with
-      | Unix.Unix_error _ | Sys_error _ -> ())
+(* ----- event loop ------------------------------------------------------ *)
 
-let http_loop t lfd =
+(* State the loop thread alone owns.  [conns] is keyed by fd; because
+   the kernel recycles fds, every deferred reference to a client is
+   validated by physical equality against this table before use. *)
+type loopstate = {
+  conns : (Unix.file_descr, client) Hashtbl.t;
+  scratch : Bytes.t;  (** shared read buffer; bytes move to [c.fb] *)
+  mutable reads_disabled : bool;  (** [stopping]: drain writes only *)
+  mutable last_sweep : float;
+}
+
+let drain_wake t =
+  let b = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r b 0 (Bytes.length b) with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let loop_close t ls c =
+  (match Hashtbl.find_opt ls.conns c.fd with
+  | Some c' when c' == c ->
+    Hashtbl.remove ls.conns c.fd;
+    Evloop.remove t.ev c.fd
+  | _ -> ());
+  close_client t c
+
+let owned_by_loop ls c =
+  match Hashtbl.find_opt ls.conns c.fd with
+  | Some c' -> c' == c
+  | None -> false
+
+(* Write as much queued output as the kernel will take.  The head is
+   consumed from [out_off]; when it runs out, the shared tail buffer is
+   swapped in whole — that swap is what coalesces any number of
+   admission-thread responses into one write(2). *)
+let conn_flush t ls c =
+  let continue = ref (owned_by_loop ls c) in
+  while !continue do
+    if c.out_off >= String.length c.out_head then begin
+      Mutex.lock t.mu;
+      let tail = Buffer.contents c.out_tail in
+      Buffer.clear c.out_tail;
+      let kill = c.kill and wclose = c.want_close in
+      Mutex.unlock t.mu;
+      c.out_head <- tail;
+      c.out_off <- 0;
+      if kill then begin
+        loop_close t ls c;
+        continue := false
+      end
+      else if tail = "" then begin
+        if wclose then loop_close t ls c
+        else
+          Evloop.modify t.ev c.fd
+            ~read:((not c.rd_eof) && not ls.reads_disabled)
+            ~write:false;
+        continue := false
+      end
+    end;
+    if !continue then begin
+      let len = String.length c.out_head - c.out_off in
+      match Unix.write_substring c.fd c.out_head c.out_off len with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Evloop.modify t.ev c.fd
+          ~read:((not c.rd_eof) && not ls.reads_disabled)
+          ~write:true;
+        continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ ->
+        (* EPIPE/ECONNRESET: the peer is gone; pending output is moot *)
+        loop_close t ls c;
+        continue := false
+      | n ->
+        c.out_off <- c.out_off + n;
+        Mutex.lock t.mu;
+        c.out_bytes <- c.out_bytes - n;
+        Mutex.unlock t.mu
+    end
+  done
+
+(* Serve the connections other threads flagged since the last pass.
+   [in_dirty] is reset under the lock, so a flag raised during the
+   flush re-queues the connection rather than being lost. *)
+let refresh_dirty t ls =
+  Mutex.lock t.mu;
+  let dirty = t.dirty in
+  t.dirty <- [];
+  List.iter (fun c -> c.in_dirty <- false) dirty;
+  Mutex.unlock t.mu;
+  List.iter (fun c -> if owned_by_loop ls c then conn_flush t ls c) dirty
+
+(* Decode every complete frame buffered on a request connection and
+   queue the results for admission.  Mirrors the retired per-client
+   reader thread, minus the blocking. *)
+let process_frames t c =
+  let continue = ref true in
+  while !continue do
+    match Framebuf.next_frame c.fb with
+    | Framebuf.Need _ -> continue := false
+    | Framebuf.Bad reason ->
+      c.rd_eof <- true;
+      push_loop t (Malformed { client = c; reason });
+      continue := false
+    | Framebuf.Frame payload -> (
+      let t0 = now t in
+      let r = P.Wire.reader payload in
+      match
+        let req = P.Resp.decode_request r in
+        (* requests are self-delimiting, so the negotiated trailing
+           span id sits cleanly after the request proper *)
+        let span = if c.spans then Some (P.Wire.get_int r) else None in
+        P.Wire.expect_end r;
+        (req, span)
+      with
+      | req, span ->
+        let w = request_weight req in
+        Option.iter (fun cr -> Tel.Metrics.add cr w) c.c_requests;
+        (match t.ins with
+        | Some i -> Tel.Metrics.add i.requests w
+        | None -> ());
+        let enqueued = now t in
+        push_loop t
+          (Request { client = c; req; enqueued; span; decode = enqueued -. t0 })
+      | exception P.Wire.Decode_error { offset; reason } ->
+        c.rd_eof <- true;
+        push_loop t
+          (Malformed
+             {
+               client = c;
+               reason = Printf.sprintf "%s at payload offset %d" reason offset;
+             });
+        continue := false)
+  done
+
+(* Answer an observability request with whatever head has arrived —
+   the request line is all we parse — and close once it drains.
+   HTTP/1.0, Connection: close: a scraper per connection. *)
+let http_answer t ls c =
+  let request = Framebuf.contents c.fb in
+  let status, ctype, body =
+    match String.split_on_char ' ' request with
+    | "GET" :: path :: _ ->
+      (* strip any query string: /readyz?verbose -> /readyz *)
+      let path =
+        match String.index_opt path '?' with
+        | Some q -> String.sub path 0 q
+        | None -> path
+      in
+      http_route t path
+    | _ ->
+      ( "400 Bad Request",
+        "text/plain; charset=utf-8",
+        "only GET is served here\n" )
+  in
+  let response =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\n\
+       Content-Type: %s\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n\
+       %s"
+      status ctype (String.length body) body
+  in
+  c.rd_eof <- true;
+  c.deadline <- 0.;
+  (* order matters: [enqueue_out] refuses bytes once [want_close] is up *)
+  ignore (enqueue_out t c response);
+  mark_want_close t c;
+  conn_flush t ls c
+
+let http_head_done c =
+  Framebuf.length c.fb >= 4096
+  ||
+  let s = Framebuf.contents c.fb in
+  let has sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  has "\r\n\r\n" || has "\n\n"
+
+(* A follower leaves the loop for a dedicated blocking thread (see
+   [follower_conn_loop]); bytes already buffered ride along in [fb]. *)
+let detach_follower t ls c =
+  Hashtbl.remove ls.conns c.fd;
+  Evloop.remove t.ev c.fd;
+  c.kind <- Cdetached;
+  (try Unix.clear_nonblock c.fd with Unix.Unix_error _ -> ());
+  ignore (Thread.create (fun () -> follower_conn_loop t c) ())
+
+(* Route freshly buffered bytes according to what the connection turned
+   out to be.  Runs after every successful read. *)
+let rec conn_dispatch t ls c =
+  match c.kind with
+  | Cdetached -> ()
+  | Chello ->
+    if Framebuf.length c.fb >= P.Wire.header_len then begin
+      let hello = Framebuf.take c.fb P.Wire.header_len in
+      if Protocol.check_client_hello hello = Ok () then begin
+        c.kind <- Creq;
+        c.spans <- Protocol.hello_has_spans hello;
+        (match t.ins with
+        | Some i ->
+          Mutex.lock t.mu;
+          if c.open_ then begin
+            c.c_requests <-
+              Some
+                (Tel.Metrics.counter i.sink.Tel.Sink.metrics
+                   ~help:"Requests received from this client"
+                   (Printf.sprintf
+                      "server_client_requests_total{client=\"%d\"}" c.cid));
+            Tel.Metrics.inc i.clients_total
+          end;
+          Mutex.unlock t.mu
+        | None -> ());
+        (* always advertise the span capability; a pre-flags client
+           reads the flag byte as the reserved padding it has always
+           ignored *)
+        ignore (enqueue_out t c Protocol.server_hello_spans);
+        conn_dispatch t ls c
+      end
+      else if Protocol.check_follower_hello hello = Ok () then
+        detach_follower t ls c
+      else loop_close t ls c
+    end
+  | Creq -> process_frames t c
+  | Chttp -> if http_head_done c then http_answer t ls c
+
+(* Drain readable bytes into the connection's buffer, a bounded number
+   of chunks per readiness event so one firehose client cannot starve
+   the rest (level-triggered backends re-report the remainder), and
+   never past the admission queue's capacity. *)
+let conn_readable t ls c =
+  let rounds = ref 0 in
+  let continue = ref true in
+  while !continue && not c.rd_eof do
+    if !rounds >= 4 || queue_depth t >= t.capacity then continue := false
+    else begin
+      incr rounds;
+      match Unix.read c.fd ls.scratch 0 (Bytes.length ls.scratch) with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ ->
+        loop_close t ls c;
+        continue := false
+      | 0 ->
+        c.rd_eof <- true;
+        continue := false;
+        (match c.kind with
+        | Chello -> loop_close t ls c
+        | Chttp -> http_answer t ls c
+        | Creq ->
+          (* half a frame followed by EOF is protocol damage, not a
+             clean goodbye; either way the close is ordered through
+             the admission queue so queued responses still go out *)
+          if Framebuf.length c.fb > 0 then
+            push_loop t
+              (Malformed { client = c; reason = "peer closed mid-frame" })
+          else push_loop t (Gone c)
+        | Cdetached -> ())
+      | n ->
+        Framebuf.add_subbytes c.fb ls.scratch ~off:0 ~len:n;
+        conn_dispatch t ls c;
+        if not (owned_by_loop ls c) then continue := false
+    end
+  done;
+  (* a connection we stopped reading keeps only its write interest *)
+  if owned_by_loop ls c && c.rd_eof then
+    match Evloop.interest t.ev c.fd with
+    | Some (true, w) -> Evloop.modify t.ev c.fd ~read:false ~write:w
+    | _ -> ()
+
+let accept_ready t ls lfd ~http =
   let continue = ref true in
   while !continue do
     match Unix.accept lfd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error (err, _, _) ->
-      if t.stopping then continue := false
-      else Thread.delay (if accept_transient err then 0.05 else 0.25)
+      if not t.stopping then begin
+        (match t.ins with
+        | Some i -> Tel.Metrics.inc i.accept_errors
+        | None -> ());
+        Thread.delay (if accept_transient err then 0.05 else 0.25)
+      end;
+      continue := false
     | fd, _peer ->
       if t.stopping then begin
         (try Unix.close fd with Unix.Unix_error _ -> ());
         continue := false
       end
-      else ignore (Thread.create (fun () -> http_serve_conn t fd) ())
+      else begin
+        let over =
+          (* the gate protects the request plane; scrapes stay
+             answerable even at the connection cap *)
+          (not http)
+          &&
+          match t.max_conns with
+          | Some m -> Hashtbl.length ls.conns >= m
+          | None -> false
+        in
+        if over then begin
+          (match t.ins with
+          | Some i -> Tel.Metrics.inc i.accept_errors
+          | None -> ());
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end
+        else begin
+          Unix.set_nonblock fd;
+          (* raises on unix sockets; harmless to skip there *)
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          (match t.conn_sndbuf with
+          | Some n when not http -> (
+            try Unix.setsockopt_int fd Unix.SO_SNDBUF n
+            with Unix.Unix_error _ -> ())
+          | _ -> ());
+          Mutex.lock t.mu;
+          let cid = t.next_cid in
+          t.next_cid <- cid + 1;
+          let c =
+            {
+              cid;
+              fd;
+              open_ = true;
+              spans = false;
+              c_requests = None;
+              kind = (if http then Chttp else Chello);
+              fb = Framebuf.create ();
+              out_head = "";
+              out_off = 0;
+              out_tail = Buffer.create 256;
+              out_bytes = 0;
+              want_close = false;
+              kill = false;
+              rd_eof = false;
+              in_dirty = false;
+              deadline = 0.;
+            }
+          in
+          if not http then begin
+            t.clients <- c :: t.clients;
+            match t.ins with
+            | Some i ->
+              Tel.Metrics.set i.g_clients_active
+                (float_of_int (List.length t.clients))
+            | None -> ()
+          end;
+          Mutex.unlock t.mu;
+          if http then c.deadline <- Unix.gettimeofday () +. 5.0;
+          Hashtbl.replace ls.conns fd c;
+          Evloop.add t.ev fd ~read:(not ls.reads_disabled) ~write:false
+        end
+      end
   done
+
+(* An HTTP peer that never finishes its head gets answered with what
+   arrived once its deadline passes — the event-loop translation of
+   the old per-connection SO_RCVTIMEO. *)
+let sweep t ls nw =
+  if nw -. ls.last_sweep >= 1.0 then begin
+    ls.last_sweep <- nw;
+    let expired =
+      Hashtbl.fold
+        (fun _ c acc ->
+          if c.kind = Chttp && c.deadline > 0. && nw > c.deadline then c :: acc
+          else acc)
+        ls.conns []
+    in
+    List.iter (fun c -> http_answer t ls c) expired
+  end
+
+let handle_event t ls (fd, rd, wr) =
+  if fd = t.wake_r then begin
+    if rd then drain_wake t
+  end
+  else if fd = t.listen_fd then begin
+    if rd && not ls.reads_disabled then accept_ready t ls fd ~http:false
+  end
+  else if match t.http_fd with Some h -> fd = h | None -> false then begin
+    if rd && not ls.reads_disabled then accept_ready t ls fd ~http:true
+  end
+  else
+    match Hashtbl.find_opt ls.conns fd with
+    | None -> ()
+    | Some c ->
+      if wr then conn_flush t ls c;
+      if rd && owned_by_loop ls c then conn_readable t ls c
+
+let loop_run t =
+  let ls =
+    {
+      conns = Hashtbl.create 64;
+      scratch = Bytes.create 65536;
+      reads_disabled = false;
+      last_sweep = 0.;
+    }
+  in
+  Unix.set_nonblock t.listen_fd;
+  Evloop.add t.ev t.wake_r ~read:true ~write:false;
+  Evloop.add t.ev t.listen_fd ~read:true ~write:false;
+  (match t.http_fd with
+  | Some h ->
+    Unix.set_nonblock h;
+    Evloop.add t.ev h ~read:true ~write:false
+  | None -> ());
+  let finished = ref false in
+  while not !finished do
+    Mutex.lock t.mu;
+    let stopping = t.stopping in
+    let finishing = t.loop_finish in
+    let paused = (not stopping) && Queue.length t.queue >= t.capacity in
+    t.read_paused <- paused;
+    Mutex.unlock t.mu;
+    if stopping && not ls.reads_disabled then begin
+      (* no new connections, no new requests; what remains is flushing
+         responses for everything already admitted *)
+      ls.reads_disabled <- true;
+      Evloop.modify t.ev t.listen_fd ~read:false ~write:false;
+      (match t.http_fd with
+      | Some h -> Evloop.modify t.ev h ~read:false ~write:false
+      | None -> ());
+      Hashtbl.iter
+        (fun fd c ->
+          c.rd_eof <- true;
+          match Evloop.interest t.ev fd with
+          | Some (true, w) -> Evloop.modify t.ev fd ~read:false ~write:w
+          | _ -> ())
+        ls.conns
+    end;
+    refresh_dirty t ls;
+    if paused then begin
+      (* admission backpressure: sockets stay unread (their bytes sit
+         in the kernel, which is the peer's backpressure), but response
+         flushing must go on or the queue could never drain *)
+      (try ignore (Unix.select [ t.wake_r ] [] [] 0.05)
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      drain_wake t
+    end
+    else begin
+      let timeout_ms = if finishing then 10 else 100 in
+      let events = Evloop.wait t.ev ~timeout_ms in
+      List.iter (fun ev -> handle_event t ls ev) events
+    end;
+    let nw = Unix.gettimeofday () in
+    sweep t ls nw;
+    if finishing then begin
+      let drained =
+        Hashtbl.fold (fun _ c acc -> acc && c.out_bytes = 0) ls.conns true
+      in
+      if drained || nw > t.finish_deadline then begin
+        let cs = Hashtbl.fold (fun _ c acc -> c :: acc) ls.conns [] in
+        List.iter (fun c -> loop_close t ls c) cs;
+        finished := true
+      end
+    end
+  done;
+  Evloop.close t.ev
 
 (* ----- lifecycle ------------------------------------------------------- *)
 
@@ -1371,7 +1861,7 @@ let bind_listen addr =
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt fd Unix.SO_REUSEADDR true;
     Unix.bind fd (Unix.ADDR_INET (inet, port));
-    Unix.listen fd 64;
+    Unix.listen fd 512;
     let bound =
       match Unix.getsockname fd with
       | Unix.ADDR_INET (a, p) -> Tcp (Unix.string_of_inet_addr a, p)
@@ -1382,15 +1872,18 @@ let bind_listen addr =
     if Sys.file_exists path then Unix.unlink path;
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.bind fd (Unix.ADDR_UNIX path);
-    Unix.listen fd 64;
+    Unix.listen fd 512;
     (fd, addr)
 
 let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64)
     ?(digest_every = 64) ?(resume_window = 1024) ?(outbox_capacity = 1024)
     ?follower_sndbuf ?follower ?http ?(ready_lag = 64) ?slow_ms ?slow_log
-    ?(span_buffer = 1024) ~net addr =
+    ?(span_buffer = 1024) ?max_conns ?conn_sndbuf ~net addr =
   if queue_capacity < 1 then
     invalid_arg "Server.start: queue_capacity must be >= 1";
+  (match max_conns with
+  | Some m when m < 1 -> invalid_arg "Server.start: max_conns must be >= 1"
+  | _ -> ());
   if batch_limit < 1 then invalid_arg "Server.start: batch_limit must be >= 1";
   if digest_every < 1 then invalid_arg "Server.start: digest_every must be >= 1";
   if resume_window < 1 then
@@ -1446,6 +1939,9 @@ let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64)
       | Some path -> (Some (open_out path), true)
       | None -> (Some stderr, false))
   in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
   let t =
     {
       net;
@@ -1465,8 +1961,17 @@ let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64)
       next_cid = 1;
       clients = [];
       served_count = 0;
-      accept_thread = None;
+      loop_thread = None;
       admit_thread = None;
+      ev = Evloop.create ();
+      wake_r;
+      wake_w;
+      dirty = [];
+      read_paused = false;
+      loop_finish = false;
+      finish_deadline = 0.;
+      max_conns;
+      conn_sndbuf;
       role = (match follower with Some _ -> Follower | None -> Leader);
       epoch = fresh_epoch ();
       rep_seq = max 0 rep_seq;
@@ -1491,16 +1996,12 @@ let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64)
       ready_lag;
       http_fd;
       http_bound;
-      http_thread = None;
     }
   in
-  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t.loop_thread <- Some (Thread.create (fun () -> loop_run t) ());
   t.admit_thread <- Some (Thread.create (fun () -> admit_loop t) ());
   (match follower with
   | Some cfg -> t.repl_thread <- Some (Thread.create (fun () -> repl_loop t cfg) ())
-  | None -> ());
-  (match http_fd with
-  | Some lfd -> t.http_thread <- Some (Thread.create (fun () -> http_loop t lfd) ())
   | None -> ());
   t
 
@@ -1540,52 +2041,17 @@ let stop t =
     Condition.broadcast t.not_empty;
     Condition.broadcast t.not_full;
     Mutex.unlock t.mu;
-    (* Closing the listener does NOT wake a thread already blocked in
-       [accept] on Linux; dial a throwaway connection instead — the
-       accept thread sees [stopping] on the next iteration and exits. *)
-    (try
-       let domain, sockaddr =
-         match t.bound with
-         | Tcp (host, port) ->
-           (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-         | Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
-       in
-       let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-       Fun.protect
-         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-         (fun () -> Unix.connect fd sockaddr)
-     with Unix.Unix_error _ | Failure _ -> ());
-    Option.iter Thread.join t.accept_thread;
-    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    (match t.bound with
-    | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-    | Tcp _ -> ());
-    (* the observability listener needs the same wake-by-dialing trick *)
-    (match t.http_bound with
-    | None -> ()
-    | Some haddr ->
-      (try
-         let domain, sockaddr = sockaddr_of_address haddr in
-         let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-         Fun.protect
-           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-           (fun () -> Unix.connect fd sockaddr)
-       with Unix.Unix_error _ | Failure _ | Not_found -> ());
-      Option.iter Thread.join t.http_thread;
-      (match t.http_fd with
-      | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
-      | None -> ());
-      (match haddr with
-      | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-      | Tcp _ -> ()));
-    (* The accept thread has exited, so the client list is final —
-       capture it only now: a client whose registration was in flight
-       when [stopping] was set is included and gets shut down too.
-       SHUTDOWN_RECEIVE (not ALL): blocked readers wake on EOF and
-       enqueue their final [Gone] (the capacity bound is waived while
-       stopping), but the write sides stay open so every request
-       already executed still gets its response — an answered request
-       is one the client will not retry against the next leader. *)
+    (* the loop wakes through its pipe, sees [stopping], and stops
+       accepting and reading on its own — no dial-a-throwaway-
+       connection trick needed any more *)
+    wake t;
+    (* SHUTDOWN_RECEIVE (not ALL) on every connection: a detached
+       (replica-path) reader blocked in recv wakes on EOF and enqueues
+       its final [Gone] (the capacity bound is waived while stopping),
+       and the write sides stay open so every request already executed
+       still gets its response — an answered request is one the client
+       will not retry against the next leader.  For loop-owned
+       connections this merely accelerates EOF detection. *)
     Mutex.lock t.mu;
     let live = t.clients in
     Mutex.unlock t.mu;
@@ -1636,7 +2102,32 @@ let stop t =
     wait_drained 0;
     List.iter (fun f -> drop_replica t f) reps;
     List.iter (fun f -> Option.iter Thread.join f.sender) reps;
-    List.iter (fun c -> close_client t c) live;
+    (* Every response is enqueued by now: tell the loop to flush what
+       remains, close its connections and exit, bounded by a grace
+       deadline so one unreadable peer cannot hold shutdown hostage. *)
+    t.finish_deadline <- Unix.gettimeofday () +. 5.0;
+    t.loop_finish <- true;
+    wake t;
+    Option.iter Thread.join t.loop_thread;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.bound with
+    | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ());
+    (match t.http_fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    (match t.http_bound with
+    | Some (Unix_socket path) -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    | _ -> ());
+    (* stragglers: detached connections whose threads have not closed
+       them yet; [close_client] is a no-op on anything already closed *)
+    Mutex.lock t.mu;
+    let leftover = t.clients in
+    Mutex.unlock t.mu;
+    List.iter (fun c -> close_client t c) leftover;
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
     match t.slow_out with
     | Some oc ->
       (try flush oc with Sys_error _ -> ());

@@ -2,14 +2,25 @@
     behind a TCP or Unix-domain socket, optionally replicated to
     follower nodes.
 
-    Concurrency model — single-writer admission: one reader thread per
-    client decodes frames and enqueues requests on a bounded queue;
-    one admission thread drains the queue in batches (up to
-    [batch_limit] at a time) and is the only thread that touches the
-    network, the WAL store, or client sockets' write sides.  The
-    network needs no locks, every client observes its own requests in
-    order, and when the queue is full reader threads block — TCP flow
-    control propagates the backpressure to the clients.
+    Concurrency model — event loop in front, single-writer admission
+    behind (DESIGN.md §12): one loop thread owns every socket.  It
+    accepts, reads readiness-notified connections into per-connection
+    buffers ({!Framebuf}), decodes complete frames and enqueues
+    requests on a bounded queue; one admission thread drains the queue
+    in batches (up to [batch_limit] at a time) and is the only thread
+    that executes requests or touches the network and the WAL store.
+    Responses travel back through per-connection output queues the
+    loop flushes — consecutive responses coalesce into single writes,
+    which is what makes pipelined ({!Wdm_persist.Resp.request.Batch})
+    clients fast.  The network needs no locks, every client observes
+    its own requests in order, and when the queue is full the loop
+    stops reading sockets — TCP flow control propagates the
+    backpressure to the clients.  Connection count is bounded by
+    [max_conns] (accept-time gate), not by a thread per client: idle
+    connections cost one buffer each, no stack, so thousands can sit
+    idle ({!Evloop} uses [epoll] on Linux, [select] elsewhere).
+    Replica subscriptions are the exception: each detaches from the
+    loop onto a dedicated blocking thread pair, as before.
 
     With [store], every state-changing request is also appended to the
     WAL after it executes (a refused connect is still recorded — WAL
@@ -106,13 +117,21 @@ val start :
   ?slow_ms:float ->
   ?slow_log:string ->
   ?span_buffer:int ->
+  ?max_conns:int ->
+  ?conn_sndbuf:int ->
   net:Network.t ->
   address ->
   t
-(** Binds, listens and spawns the accept + admission threads (and the
-    replication client thread when [follower] is given).
+(** Binds, listens and spawns the event-loop + admission threads (and
+    the replication client thread when [follower] is given).
     [queue_capacity] (default 256) bounds the admission queue;
     [batch_limit] (default 64) caps how many requests one drain takes.
+    [max_conns] caps concurrently open request-plane connections: past
+    it, accepted fds are closed immediately (counted in
+    [server_accept_errors_total]); the observability plane is exempt
+    so health stays scrapable at the cap.  [conn_sndbuf] sets
+    [SO_SNDBUF] on accepted request connections (tests use a tiny
+    value to exercise the loop's partial-write path).
     [digest_every] (default 64) is the committed-op interval between
     replicated state digests; [resume_window] (default 1024) how many
     recent ops the leader keeps for follower resume; [outbox_capacity]
@@ -178,7 +197,9 @@ val stop : t -> unit
     close them safely.  Idempotent. *)
 
 val served : t -> int
-(** Requests answered so far (monotone; stable after {!stop}). *)
+(** Requests answered so far (monotone; stable after {!stop}).  A
+    pipelined [Batch] counts once per sub-request, so the number is
+    the same however the ops were carried. *)
 
 val ready : t -> bool
 (** What [/readyz] answers.  A leader is ready as soon as it serves

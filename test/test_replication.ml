@@ -203,6 +203,12 @@ let test_follower_catches_up () =
     (Srv.Server.role follower = Srv.Server.Follower);
   Alcotest.(check bool) "leader role" true
     (Srv.Server.role leader = Srv.Server.Leader);
+  (* wait for the subscription handshake (snapshot sent) before the
+     churn starts, so every churn op travels the stream — otherwise
+     early ops ride the snapshot and the sent-ops counter undershoots *)
+  Alcotest.(check bool) "follower linked" true
+    (wait_for (fun () ->
+         counter_of leader_sink "repl_snapshots_sent_total" >= 1));
   (* drive a seeded churn against the leader *)
   with_client leader (fun c ->
       ignore (run_churn ~sink:(Tel.Sink.create ()) (Srv.Client.churn_sut c)));
@@ -271,10 +277,11 @@ let test_slow_follower_eviction () =
   Unix.connect fd (Unix.ADDR_UNIX path);
   Srv.Protocol.write_all fd Srv.Protocol.follower_hello;
   (match Srv.Protocol.read_exactly fd P.Wire.header_len with
-  | Some hello ->
+  | Srv.Protocol.Exact hello ->
     Alcotest.(check bool) "server hello" true
       (Result.is_ok (Srv.Protocol.check_server_hello hello))
-  | None -> Alcotest.fail "no server hello");
+  | Srv.Protocol.Eof_clean | Srv.Protocol.Eof_torn _ ->
+    Alcotest.fail "no server hello");
   let b = Buffer.create 32 in
   P.Repl.encode_to_leader b (P.Repl.Subscribe { epoch = 0; last_seq = -1 });
   Srv.Protocol.send_frame fd (Buffer.contents b);
@@ -348,11 +355,11 @@ let test_request_timeout_closes_client () =
       (fun () ->
         let fd, _ = Unix.accept lfd in
         (match Srv.Protocol.read_exactly fd P.Wire.header_len with
-        | Some _ ->
+        | Srv.Protocol.Exact _ ->
           Srv.Protocol.write_all fd Srv.Protocol.server_hello;
           (* hold the connection open well past the client deadline *)
           Thread.delay 0.6
-        | None -> ());
+        | Srv.Protocol.Eof_clean | Srv.Protocol.Eof_torn _ -> ());
         try Unix.close fd with Unix.Unix_error _ -> ())
       ()
   in
@@ -495,7 +502,8 @@ let test_failover_preserves_state () =
     if !calls = kill_at then begin
       Srv.Server.stop leader;
       let target = Srv.Server.applied leader in
-      Alcotest.(check bool) "follower caught up before promotion" true
+      Alcotest.(check bool)
+        "follower caught up before promotion" true
         (wait_for (fun () -> Srv.Server.applied follower >= target));
       match Srv.Server.promote follower with
       | Ok seq -> Alcotest.(check int) "promoted at the leader's seq" target seq

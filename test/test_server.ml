@@ -202,10 +202,11 @@ let test_malformed_frame_closes_connection () =
           Unix.connect fd (Unix.ADDR_UNIX path);
           Srv.Protocol.write_all fd Srv.Protocol.client_hello;
           (match Srv.Protocol.read_exactly fd P.Wire.header_len with
-          | Some hello ->
+          | Srv.Protocol.Exact hello ->
             Alcotest.(check bool) "server hello" true
               (Result.is_ok (Srv.Protocol.check_server_hello hello))
-          | None -> Alcotest.fail "no server hello");
+          | Srv.Protocol.Eof_clean | Srv.Protocol.Eof_torn _ ->
+            Alcotest.fail "no server hello");
           (* a well-framed but undecodable payload *)
           Srv.Protocol.send_frame fd "\xEE garbage";
           (match Srv.Protocol.recv_frame fd with
@@ -265,6 +266,158 @@ let test_client_fails_fast_after_transport_error () =
     Alcotest.fail ("expected fail-fast, got: " ^ Srv.Client.error_to_string e)
   | Ok _ -> Alcotest.fail "request after transport error should fail");
   Srv.Client.close c
+
+(* --- socket hardening ----------------------------------------------------- *)
+
+let unix_path srv =
+  match Srv.Server.address srv with
+  | Srv.Server.Unix_socket p -> p
+  | Srv.Server.Tcp _ -> Alcotest.fail "expected unix socket"
+
+let raw_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Srv.Protocol.write_all fd Srv.Protocol.client_hello;
+  (match Srv.Protocol.read_exactly fd P.Wire.header_len with
+  | Srv.Protocol.Exact hello ->
+    Alcotest.(check bool) "server hello" true
+      (Result.is_ok (Srv.Protocol.check_server_hello hello))
+  | Srv.Protocol.Eof_clean | Srv.Protocol.Eof_torn _ ->
+    Alcotest.fail "no server hello");
+  fd
+
+(* A peer that dies mid-frame — complete header promising a payload,
+   then EOF — must read as a protocol violation ([Bad], counted in
+   [server_malformed_total]), not kill anything server-side: the next
+   client is served as if nothing happened. *)
+let test_half_frame_then_close () =
+  let sink = Tel.Sink.create () in
+  let net = make_net Network.Bitset in
+  with_server ~telemetry:sink net (fun srv ->
+      let fd = raw_connect (unix_path srv) in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* header says 64 payload bytes; send 5 and hang up *)
+          let full = P.Wire.frame (String.make 64 'x') in
+          Srv.Protocol.write_all fd
+            (String.sub full 0 (P.Wire.header_len + 5));
+          Unix.shutdown fd Unix.SHUTDOWN_SEND;
+          (* the violation is answered (best effort) and the conn closed *)
+          (match Srv.Protocol.recv_frame fd with
+          | Srv.Protocol.Frame payload -> (
+            match P.Resp.decode_string payload with
+            | Ok (P.Resp.Server_error _) -> ()
+            | _ -> Alcotest.fail "expected Server_error for the torn frame")
+          | Srv.Protocol.Eof -> () (* response raced the hangup: fine *)
+          | Srv.Protocol.Bad e -> Alcotest.fail ("bad frame back: " ^ e));
+          (* server is alive and clean for the next client *)
+          with_client srv (fun c ->
+              match Srv.Client.digest c with
+              | Ok d -> Alcotest.(check int) "still serving" (P.Store.digest net) d
+              | Error e -> Alcotest.fail (Srv.Client.error_to_string e))));
+  let snap = Tel.Sink.snapshot sink in
+  Alcotest.(check int) "malformed counted" 1
+    (Option.value ~default:(-1)
+       (Tel.Metrics.find_counter snap "server_malformed_total"))
+
+(* The client side of the same coin: a server that closes mid-response
+   must surface as a typed [Transport] error (and [Closed] thereafter),
+   not a SIGPIPE process death or an escaping exception.  The fake
+   server answers the hello, reads the request, then returns half a
+   frame header and hangs up. *)
+let test_peer_close_mid_request () =
+  let path = socket_path () in
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 1;
+  let fake =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept listener in
+        (match Srv.Protocol.read_exactly fd P.Wire.header_len with
+        | Srv.Protocol.Exact _ -> ()
+        | _ -> ());
+        Srv.Protocol.write_all fd Srv.Protocol.server_hello;
+        (* swallow the request frame, then tear the response *)
+        (match Srv.Protocol.recv_frame fd with
+        | Srv.Protocol.Frame _ -> ()
+        | _ -> ());
+        Srv.Protocol.write_all fd (String.make 3 '\x00');
+        Unix.close fd)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join fake;
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let c =
+        match Srv.Client.connect (Srv.Server.Unix_socket path) with
+        | Ok c -> c
+        | Error e ->
+          Alcotest.fail ("client connect: " ^ Srv.Client.error_to_string e)
+      in
+      (match Srv.Client.request c P.Resp.Get_digest with
+      | Error (Srv.Client.Transport _) -> ()
+      | Error e ->
+        Alcotest.fail ("expected Transport, got: " ^ Srv.Client.error_to_string e)
+      | Ok _ -> Alcotest.fail "request against a torn response should fail");
+      (* the tear closed the client; writes after it must fail fast as
+         [Closed], never reach the dead socket (where only the ignored
+         SIGPIPE would answer) *)
+      (match Srv.Client.request c P.Resp.Get_digest with
+      | Error Srv.Client.Closed -> ()
+      | Error e ->
+        Alcotest.fail ("expected Closed, got: " ^ Srv.Client.error_to_string e)
+      | Ok _ -> Alcotest.fail "request after tear should fail");
+      Srv.Client.close c)
+
+(* Partial writes: a tiny [SO_SNDBUF] plus a response far bigger than
+   it forces the loop through the EAGAIN → write-interest → resume
+   cycle, while the client sits on its hands before reading.  The
+   frame must still arrive whole and decode. *)
+let test_partial_writes_tiny_sndbuf () =
+  let net = make_net Network.Bitset in
+  let srv =
+    Srv.Server.start ~conn_sndbuf:2048 ~net
+      (Srv.Server.Unix_socket (socket_path ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> Srv.Server.stop srv)
+    (fun () ->
+      let fd = raw_connect (unix_path srv) in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let arity = 3000 in
+          let b = Buffer.create 1024 in
+          P.Resp.encode_request b
+            (P.Resp.Batch (List.init arity (fun _ -> P.Resp.Get_digest)));
+          Srv.Protocol.send_frame fd (Buffer.contents b);
+          (* let the server fill the send buffer and block on EAGAIN *)
+          Thread.delay 0.15;
+          match Srv.Protocol.recv_frame fd with
+          | Srv.Protocol.Frame payload -> (
+            match P.Resp.decode_string payload with
+            | Ok (P.Resp.Batch_reply rs) ->
+              Alcotest.(check int) "reply arity" arity (List.length rs);
+              let d = P.Store.digest net in
+              List.iter
+                (function
+                  | P.Resp.Digest_is got ->
+                    if got <> d then Alcotest.fail "digest mismatch in batch"
+                  | r ->
+                    Alcotest.fail
+                      (Format.asprintf "unexpected sub-reply %a" P.Resp.pp r))
+                rs
+            | Ok r ->
+              Alcotest.fail
+                (Format.asprintf "expected Batch_reply, got %a" P.Resp.pp r)
+            | Error e -> Alcotest.fail ("reply did not decode: " ^ e))
+          | Srv.Protocol.Eof -> Alcotest.fail "server hung up mid-reply"
+          | Srv.Protocol.Bad e -> Alcotest.fail ("torn reply frame: " ^ e)))
 
 (* --- the equivalence criterion ------------------------------------------- *)
 
@@ -353,6 +506,172 @@ let test_loopback_equivalence impl () =
     "churn_* counters"
     (counters_with_prefix churn_a "churn_")
     (counters_with_prefix churn_b "churn_")
+
+(* Pipelining must be invisible to everything but the clock: the same
+   seed driven through [churn_sut_pipelined] (disconnects batched into
+   the next connect's frame) lands on the same routes, digest, churn
+   stats, and server-side request accounting as one-request-per-round-
+   trip — a [Batch] counts per sub-request, so even the counters are
+   carry-agnostic. *)
+let test_pipelined_equivalence () =
+  let serve ~pipelined =
+    let sink = Tel.Sink.create () in
+    let net = make_net ~telemetry:sink Network.Bitset in
+    let sum = ref 0 in
+    let on_admit route = sum := P.Op.route_checksum !sum route in
+    let srv =
+      Srv.Server.start ~telemetry:sink ~net
+        (Srv.Server.Unix_socket (socket_path ()))
+    in
+    let stats, digest =
+      Fun.protect
+        ~finally:(fun () -> Srv.Server.stop srv)
+        (fun () ->
+          with_client srv (fun c ->
+              let sut, flush =
+                if pipelined then Srv.Client.churn_sut_pipelined ~on_admit c
+                else (Srv.Client.churn_sut ~on_admit c, fun () -> ())
+              in
+              let stats = run_churn ~sink:(Tel.Sink.create ()) sut in
+              flush ();
+              match Srv.Client.digest c with
+              | Ok d -> (stats, d)
+              | Error e -> Alcotest.fail (Srv.Client.error_to_string e)))
+    in
+    (stats, digest, !sum, Srv.Server.served srv, Tel.Sink.snapshot sink)
+  in
+  let stats_s, digest_s, sum_s, served_s, snap_s = serve ~pipelined:false in
+  let stats_p, digest_p, sum_p, served_p, snap_p = serve ~pipelined:true in
+  Alcotest.(check int) "digest" digest_s digest_p;
+  Alcotest.(check int) "route checksums" sum_s sum_p;
+  Alcotest.(check int) "accepted" stats_s.Churn.accepted stats_p.Churn.accepted;
+  Alcotest.(check int) "blocked" stats_s.Churn.blocked stats_p.Churn.blocked;
+  Alcotest.(check int) "torn down" stats_s.Churn.torn_down
+    stats_p.Churn.torn_down;
+  Alcotest.(check int) "served" served_s served_p;
+  let counter snap name =
+    Option.value ~default:(-1) (Tel.Metrics.find_counter snap name)
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check int) name (counter snap_s name) (counter snap_p name))
+    [
+      "server_requests_total";
+      "server_responses_total";
+      "server_clients_total";
+      "server_malformed_total";
+    ];
+  (* the same network-side story, through and through *)
+  Alcotest.(check (list (pair string int)))
+    "wdmnet_* counters"
+    (counters_with_prefix snap_s "wdmnet_")
+    (counters_with_prefix snap_p "wdmnet_")
+
+(* EINTR everywhere: an interval timer peppering the process with
+   SIGALRM while a churn runs through the socket and a WAL.  Without
+   the retry loops in [Protocol.write_all]/[read_exactly] and the WAL
+   fsync path, some syscall eventually surfaces [EINTR] and tears a
+   healthy connection (or worse, a half-written frame). *)
+let test_eintr_storm () =
+  let prev_handler = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  let interval = { Unix.it_interval = 0.002; it_value = 0.002 } in
+  ignore (Unix.setitimer Unix.ITIMER_REAL interval);
+  Fun.protect
+    ~finally:(fun () ->
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_interval = 0.; it_value = 0. });
+      Sys.set_signal Sys.sigalrm prev_handler)
+    (fun () ->
+      let dir = Filename.temp_file "wdmnet_eintr" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o700;
+      let wal = Filename.concat dir "eintr.wal" in
+      let net = make_net Network.Bitset in
+      let store = P.Store.start ~wal net in
+      let digest =
+        with_server ~store net (fun srv ->
+            with_client srv (fun c ->
+                ignore
+                  (run_churn ~sink:(Tel.Sink.create ()) (Srv.Client.churn_sut c));
+                match Srv.Client.digest c with
+                | Ok d -> d
+                | Error e -> Alcotest.fail (Srv.Client.error_to_string e)))
+      in
+      P.Store.close store;
+      (* same seed in-process: the storm changed nothing *)
+      let twin = make_net Network.Bitset in
+      ignore (run_churn ~sink:(Tel.Sink.create ()) (inproc_sut twin (ref 0)));
+      Alcotest.(check int) "digest through the storm" (P.Store.digest twin)
+        digest;
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+
+(* The whole point of the event loop: connections are buffers, not
+   threads.  Park a thousand idle (hello'd, then silent) connections,
+   check the process thread count stayed flat, and serve a request
+   through the crowd. *)
+let threads_now () =
+  (* Linux-only; [None] elsewhere and the assertion is skipped *)
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go () =
+          match input_line ic with
+          | exception End_of_file -> None
+          | line ->
+            if String.length line > 8 && String.sub line 0 8 = "Threads:" then
+              int_of_string_opt
+                (String.trim (String.sub line 8 (String.length line - 8)))
+            else go ()
+        in
+        go ())
+
+let test_idle_connection_soak () =
+  let want = 1024 in
+  let target =
+    if Srv.Evloop.available_backend () <> "epoll" then 128
+      (* select tops out at FD_SETSIZE; the 1k target needs epoll *)
+    else
+      let limit = Srv.Evloop.ensure_fd_capacity (want + 128) in
+      if limit < 0 then want else max 64 (min want (limit - 64))
+  in
+  let baseline = threads_now () in
+  let net = make_net Network.Bitset in
+  with_server net (fun srv ->
+      let path = unix_path srv in
+      let idle = ref [] in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            !idle)
+        (fun () ->
+          for _ = 1 to target do
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            Srv.Protocol.write_all fd Srv.Protocol.client_hello;
+            idle := fd :: !idle
+          done;
+          Alcotest.(check int) "all idle conns held" target
+            (List.length !idle);
+          (match (baseline, threads_now ()) with
+          | Some before, Some after ->
+            Alcotest.(check bool)
+              (Printf.sprintf "threads bounded (%d before, %d after)" before
+                 after)
+              true
+              (after <= before + 4)
+          | _ -> ());
+          (* the crowd does not get between a live client and the loop *)
+          with_client srv (fun c ->
+              match Srv.Client.digest c with
+              | Ok d -> Alcotest.(check int) "served through the crowd"
+                          (P.Store.digest net) d
+              | Error e -> Alcotest.fail (Srv.Client.error_to_string e))))
 
 (* --- WAL-backed serving recovers to the served state ---------------------- *)
 
@@ -523,10 +842,11 @@ let test_old_client_new_server () =
           Unix.connect fd (Unix.ADDR_UNIX path);
           Srv.Protocol.write_all fd Srv.Protocol.client_hello;
           (match Srv.Protocol.read_exactly fd P.Wire.header_len with
-          | Some hello ->
+          | Srv.Protocol.Exact hello ->
             Alcotest.(check bool) "server hello valid to an old decoder" true
               (Result.is_ok (Srv.Protocol.check_server_hello hello))
-          | None -> Alcotest.fail "no server hello");
+          | Srv.Protocol.Eof_clean | Srv.Protocol.Eof_torn _ ->
+            Alcotest.fail "no server hello");
           let b = Buffer.create 16 in
           P.Resp.encode_request b P.Resp.Get_digest;
           Srv.Protocol.send_frame fd (Buffer.contents b);
@@ -562,7 +882,7 @@ let test_new_client_old_server () =
           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
           (fun () ->
             match Srv.Protocol.read_exactly fd P.Wire.header_len with
-            | Some hello
+            | Srv.Protocol.Exact hello
               when Result.is_ok (Srv.Protocol.check_client_hello hello) -> (
               Srv.Protocol.write_all fd Srv.Protocol.server_hello;
               match Srv.Protocol.recv_frame fd with
@@ -860,6 +1180,18 @@ let () =
             test_client_fails_fast_after_transport_error;
           Alcotest.test_case "server instruments" `Quick test_server_instruments;
         ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "half frame then close" `Quick
+            test_half_frame_then_close;
+          Alcotest.test_case "peer close mid-request" `Quick
+            test_peer_close_mid_request;
+          Alcotest.test_case "partial writes (tiny SO_SNDBUF)" `Quick
+            test_partial_writes_tiny_sndbuf;
+          Alcotest.test_case "EINTR storm" `Quick test_eintr_storm;
+          Alcotest.test_case "idle connection soak" `Quick
+            test_idle_connection_soak;
+        ] );
       ( "observability",
         [
           Alcotest.test_case "old client, new server" `Quick
@@ -879,6 +1211,7 @@ let () =
             (test_loopback_equivalence Network.Bitset);
           Alcotest.test_case "loopback churn (reference)" `Quick
             (test_loopback_equivalence Network.Reference);
+          Alcotest.test_case "pipelined churn" `Quick test_pipelined_equivalence;
           Alcotest.test_case "served session recovers" `Quick
             test_served_session_recovers;
           Alcotest.test_case "failed ops not WAL-logged" `Quick
