@@ -854,7 +854,7 @@ let persistence_bench ~topo ~ops ~dt_baseline =
    Two more passes ride on the event-driven server: the same trace
    shipped pipelined (Batch frames of up to 64 ops — one round-trip
    per batch instead of per op), and that pipelined pass repeated with
-   ~1k idle connections parked on the loop, which prices readiness
+   ~10k idle connections parked on the loop, which prices readiness
    notification at scale (each idle conn is a buffer, not a thread). *)
 let batch_chunk = 64
 
@@ -949,14 +949,17 @@ let serving_bench ~topo ~ops ~dt_baseline =
     ops;
   let dt = Unix.gettimeofday () -. t0 in
   let digest = finish srv client in
-  (* pass 2: pipelined, with ~1k idle connections parked on the loop *)
-  let want_idle = 1024 in
+  (* pass 2: pipelined, with up to ~10k idle connections parked on the
+     loop (as many as the fd limit leaves headroom for) *)
+  let want_idle = 10_000 in
   let idle_target =
-    (* select's FD_SETSIZE would overflow; epoll has no such ceiling *)
+    (* select's FD_SETSIZE would overflow; epoll has no such ceiling.
+       Both ends of each parked connection live in this process, so a
+       connection costs two fds against the limit. *)
     if Evloop.available_backend () <> "epoll" then 256
     else
-      let limit = Evloop.ensure_fd_capacity (want_idle + 256) in
-      if limit < 0 then want_idle else max 0 (min want_idle (limit - 128))
+      let limit = Evloop.ensure_fd_capacity ((2 * want_idle) + 256) in
+      if limit < 0 then want_idle else max 0 (min want_idle ((limit - 256) / 2))
   in
   let pipelined_pass () =
     let srv2 = Server.start ~net:(make ()) (Server.Unix_socket sock) in
@@ -1375,6 +1378,51 @@ let micro_benchmarks ~quick () =
              ])
          rows) )
 
+(* ----------------------------------------------------------------- *)
+(* Mesh RWA blocking probability (Erlang campaign)                    *)
+(* ----------------------------------------------------------------- *)
+
+module Campaign = Wdm_mesh.Campaign
+module Assign = Wdm_mesh.Assign
+
+(* The graph-based RWA engine priced under load: blocking probability
+   vs offered Erlangs across topologies and assignment strategies.
+   Cells are seed-reproducible, so the emitted table doubles as a
+   regression anchor for the mesh routing stack. *)
+let mesh_blocking_bench ~quick () =
+  section "Mesh RWA blocking probability (Erlang campaign)";
+  let spec = if quick then Campaign.quick else Campaign.default in
+  match Campaign.run spec with
+  | Error e -> failwith ("mesh_blocking: " ^ e)
+  | Ok cells ->
+    Format.printf "%a@." Campaign.pp_table cells;
+    ( "mesh_blocking",
+      J.Obj
+        [
+          ("seed", J.Int spec.Campaign.seed);
+          ("wavelengths", J.Int spec.Campaign.k);
+          ("arrivals_per_cell", J.Int spec.Campaign.arrivals);
+          ( "cells",
+            J.List
+              (List.map
+                 (fun (c : Campaign.cell) ->
+                   let p = c.Campaign.point in
+                   J.Obj
+                     [
+                       ("topo", J.String c.Campaign.topo);
+                       ( "strategy",
+                         J.String (Assign.strategy_to_string c.Campaign.strategy)
+                       );
+                       ("erlangs", J.Float p.Wdm_traffic.Erlang.offered_erlangs);
+                       ("arrivals", J.Int p.Wdm_traffic.Erlang.arrivals);
+                       ("accepted", J.Int p.Wdm_traffic.Erlang.accepted);
+                       ("blocked", J.Int p.Wdm_traffic.Erlang.blocked);
+                       ("blocking", J.Float p.Wdm_traffic.Erlang.blocking);
+                       ("mean_active", J.Float p.Wdm_traffic.Erlang.mean_active);
+                     ])
+                 cells) );
+        ] )
+
 let write_results fragments =
   let oc = open_out "BENCH_results.json" in
   output_string oc (J.to_string (J.Obj fragments));
@@ -1625,6 +1673,84 @@ let validate_results path =
         fail "replication.digest_match is false: the follower diverged"
       | _ -> fail "replication.digest_match is not a bool"
     in
+    let* mesh = require "mesh_blocking" (J.member "mesh_blocking" doc) in
+    let* () =
+      List.fold_left
+        (fun acc key ->
+          Result.bind acc (fun () ->
+              match Option.bind (J.member key mesh) J.to_int with
+              | Some _ -> Ok ()
+              | None -> fail "mesh_blocking.%s missing" key))
+        (Ok ())
+        [ "seed"; "wavelengths"; "arrivals_per_cell" ]
+    in
+    let* cells = require "mesh_blocking.cells" (J.member "cells" mesh) in
+    let* cells = require "mesh_blocking.cells as a list" (J.to_list cells) in
+    let check_cell i j =
+      let ctx = Printf.sprintf "mesh_blocking.cells[%d]" i in
+      let* () =
+        List.fold_left
+          (fun acc key ->
+            Result.bind acc (fun () ->
+                match Option.bind (J.member key j) J.to_string_opt with
+                | Some _ -> Ok ()
+                | None -> fail "%s.%s is not a string" ctx key))
+          (Ok ())
+          [ "topo"; "strategy" ]
+      in
+      let* () =
+        List.fold_left
+          (fun acc key ->
+            Result.bind acc (fun () ->
+                match Option.bind (J.member key j) J.to_int with
+                | Some _ -> Ok ()
+                | None -> fail "%s.%s is not an int" ctx key))
+          (Ok ())
+          [ "arrivals"; "accepted"; "blocked" ]
+      in
+      let* () =
+        List.fold_left
+          (fun acc key ->
+            Result.bind acc (fun () ->
+                match J.member key j with
+                | Some v -> number (Printf.sprintf "%s.%s" ctx key) v
+                | None -> fail "%s.%s missing" ctx key))
+          (Ok ())
+          [ "erlangs"; "blocking"; "mean_active" ]
+      in
+      let* () =
+        match Option.bind (J.member "blocking" j) J.to_float_opt with
+        | Some pb when pb >= 0. && pb <= 1. -> Ok ()
+        | Some pb -> fail "%s.blocking %.3f outside [0,1]" ctx pb
+        | None -> fail "%s.blocking is not a number" ctx
+      in
+      let geti key = Option.bind (J.member key j) J.to_int in
+      match (geti "arrivals", geti "accepted", geti "blocked") with
+      | Some a, Some ok, Some b when a = ok + b -> Ok ()
+      | Some a, Some ok, Some b ->
+        fail "%s: arrivals %d <> accepted %d + blocked %d" ctx a ok b
+      | _ -> fail "%s: arrival counts are not ints" ctx
+    in
+    let* () =
+      List.fold_left
+        (fun acc (i, j) -> Result.bind acc (fun () -> check_cell i j))
+        (Ok ())
+        (List.mapi (fun i j -> (i, j)) cells)
+    in
+    let distinct key =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun j -> Option.bind (J.member key j) J.to_string_opt)
+           cells)
+    in
+    let* () =
+      if List.length (distinct "topo") >= 2 then Ok ()
+      else fail "mesh_blocking must cover at least 2 topologies"
+    in
+    let* () =
+      if List.length (distinct "strategy") >= 2 then Ok ()
+      else fail "mesh_blocking must cover at least 2 assignment strategies"
+    in
     Ok (List.length benches, List.length impls)
   in
   match result with
@@ -1661,7 +1787,8 @@ let full () =
   let stages = stage_latency_bench ~topo ~ops in
   let repl = replication_bench ~topo ~ops in
   let micro = micro_benchmarks ~quick:false () in
-  write_results [ micro; rt; persist; serving; stages; repl ];
+  let meshb = mesh_blocking_bench ~quick:false () in
+  write_results [ micro; rt; persist; serving; stages; repl; meshb ];
   print_endline "All reproduction sections completed."
 
 (* --quick runs just the machine-readable sections at reduced sizes —
@@ -1674,7 +1801,8 @@ let quick () =
   let stages = stage_latency_bench ~topo ~ops in
   let repl = replication_bench ~topo ~ops in
   let micro = micro_benchmarks ~quick:true () in
-  write_results [ micro; rt; persist; serving; stages; repl ];
+  let meshb = mesh_blocking_bench ~quick:true () in
+  write_results [ micro; rt; persist; serving; stages; repl; meshb ];
   print_endline "Quick bench profile completed."
 
 let () =

@@ -14,6 +14,9 @@ open Wdm_core
 open Wdm_multistage
 module An = Wdm_analysis
 module Tel = Wdm_telemetry
+module Mesh = Wdm_mesh.Mesh_network
+module Mesh_assign = Wdm_mesh.Assign
+module Campaign = Wdm_mesh.Campaign
 
 (* --- shared args ------------------------------------------------------- *)
 
@@ -105,10 +108,12 @@ let persist_hook store net ~snapshot_every =
 
 (* Final checkpoint + digest line; the digest is what `recover
    --expect-digest` (and the CI smoke test) verify against. *)
-let finish_store store net =
-  Persist.Store.checkpoint store net;
-  Printf.printf "state digest: %d\n" (Persist.Store.digest net);
+let finish_store_backend store backend =
+  Persist.Store.checkpoint_backend store backend;
+  Printf.printf "state digest: %d\n" (Persist.Backend.digest backend);
   Persist.Store.close store
+
+let finish_store store net = finish_store_backend store (Persist.Backend.Net net)
 
 let n_arg =
   Arg.(value & opt int 16 & info [ "n"; "ports" ] ~docv:"N" ~doc:"Ports per side.")
@@ -815,24 +820,30 @@ let recover_cmd =
                  instead of truncating it.")
   in
   let run wal expect keep_tear =
-    match Persist.Store.recover ~truncate:(not keep_tear) ~wal () with
+    match Persist.Store.recover_backend ~truncate:(not keep_tear) ~wal () with
     | Error e ->
       Format.eprintf "wdmnet: recovery failed: %a@." Persist.Store.pp_recovery_error e;
       exit 1
     | Ok r ->
       Printf.printf "recovered from snapshot %d (WAL offset %d), replayed %d ops\n"
-        r.Persist.Store.snapshot_seq r.Persist.Store.snapshot_offset
-        r.Persist.Store.replayed;
-      (match r.Persist.Store.tear with
+        r.Persist.Store.b_snapshot_seq r.Persist.Store.b_snapshot_offset
+        r.Persist.Store.b_replayed;
+      (match r.Persist.Store.b_tear with
       | Some at ->
         Printf.printf "torn trailing record at byte %d%s\n" at
           (if keep_tear then " (kept)" else " (truncated)")
       | None -> ());
-      let snap = Network.snapshot r.Persist.Store.network in
-      Printf.printf "active routes: %d, faults in force: %d\n"
-        (List.length snap.Network.s_routes)
-        (List.length snap.Network.s_faults);
-      let digest = Persist.Store.digest r.Persist.Store.network in
+      (match r.Persist.Store.backend with
+      | Persist.Backend.Net net ->
+        let snap = Network.snapshot net in
+        Printf.printf "active routes: %d, faults in force: %d\n"
+          (List.length snap.Network.s_routes)
+          (List.length snap.Network.s_faults)
+      | Persist.Backend.Mesh mesh ->
+        Printf.printf "mesh %s: active routes: %d, utilization: %.3f\n"
+          (Mesh.topology_name mesh) (Mesh.active_count mesh)
+          (Mesh.utilization mesh));
+      let digest = Persist.Backend.digest r.Persist.Store.backend in
       Printf.printf "state digest: %d\n" digest;
       match expect with
       | Some d when d <> digest ->
@@ -955,10 +966,24 @@ let serve_cmd =
                  $(b,server_accept_errors_total)).  The $(b,--http) plane \
                  is exempt so health stays scrapable at the cap.")
   in
+  let mesh_arg =
+    Arg.(value & opt (some string) None & info [ "mesh" ] ~docv:"TOPO"
+           ~doc:"Serve a graph-based mesh RWA network over the named \
+                 topology (nsf14, clara, janet, ringN, torusRxC) instead \
+                 of the three-stage fabric.  $(b,--wavelengths) sets the \
+                 per-fiber count; $(b,--strategy) the wavelength \
+                 assignment.  The wire protocol is unchanged: endpoint \
+                 ports are 1-based node ids and fault ops are refused.")
+  in
+  let strategy_arg =
+    Arg.(value & opt string "first-fit" & info [ "strategy" ] ~docv:"S"
+           ~doc:"Wavelength assignment strategy for $(b,--mesh): \
+                 first-fit, most-used, least-used, random or coloring.")
+  in
   let run n r k m construction model listen wal fsync_every queue_capacity
-      batch_limit follower http ready_lag slow_ms slow_log max_conns
-      trace_file =
-    check_dims n k;
+      batch_limit follower http ready_lag slow_ms slow_log max_conns mesh
+      strategy trace_file =
+    (match mesh with None -> check_dims n k | Some _ -> ());
     if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
     if queue_capacity < 1 || batch_limit < 1 then begin
       prerr_endline "wdmnet: queue-capacity and batch-limit must be >= 1";
@@ -979,34 +1004,70 @@ let serve_cmd =
         end;
         Some (Persist.Wal.Fsync_every fe)
     in
-    let eval =
-      match construction with
-      | Network.Msw_dominant -> Conditions.msw_dominant ~n ~r
-      | Network.Maw_dominant -> Conditions.maw_dominant ~n ~r ~k
-    in
-    let m = Option.value ~default:eval.Conditions.m_min m in
-    let topo = Topology.make_exn ~n ~m ~r ~k in
     let trace = Option.map (fun _ -> Tel.Trace.create ()) trace_file in
     let sink = Tel.Sink.create ?trace () in
-    let net =
-      Network.create
-        ~config:{ Network.Config.default with telemetry = Some sink }
-        ~construction ~output_model:model topo
+    let backend, describe =
+      match mesh with
+      | Some topo_name ->
+        if follower <> None then begin
+          prerr_endline
+            "wdmnet: --mesh does not support --follower (replicate a \
+             multistage fabric, or run the mesh standalone with --wal)";
+          exit 2
+        end;
+        let strat =
+          match Mesh_assign.strategy_of_string strategy with
+          | Ok s -> s
+          | Error e -> prerr_endline ("wdmnet: " ^ e); exit 2
+        in
+        let config =
+          { Mesh.Config.default with Mesh.Config.k; strategy = strat }
+        in
+        (match Mesh.create ~telemetry:sink ~config topo_name with
+        | Error e -> prerr_endline ("wdmnet: " ^ e); exit 2
+        | Ok mesh ->
+          let g = Mesh.graph mesh in
+          ( Persist.Backend.Mesh mesh,
+            fun () ->
+              Format.printf
+                "mesh %s: %d nodes, %d links, %d wavelengths, %s@." topo_name
+                (Wdm_mesh.Graph.n g) (Wdm_mesh.Graph.m g) k
+                (Mesh_assign.strategy_to_string strat) ))
+      | None ->
+        let eval =
+          match construction with
+          | Network.Msw_dominant -> Conditions.msw_dominant ~n ~r
+          | Network.Maw_dominant -> Conditions.maw_dominant ~n ~r ~k
+        in
+        let m = Option.value ~default:eval.Conditions.m_min m in
+        let topo = Topology.make_exn ~n ~m ~r ~k in
+        let net =
+          Network.create
+            ~config:{ Network.Config.default with telemetry = Some sink }
+            ~construction ~output_model:model topo
+        in
+        ( Persist.Backend.Net net,
+          fun () ->
+            Format.printf "topology: %a, model %a@." Topology.pp topo Model.pp
+              model )
     in
     (* A follower manages its own store (truncated on snapshot install,
        resumed from the mark on restart); only a leader takes one here. *)
     let store =
       match follower with
       | Some _ -> None
-      | None -> Option.map (fun wal -> Persist.Store.start ?policy ~wal net) wal
+      | None ->
+        Option.map
+          (fun wal -> Persist.Store.start_backend ?policy ~wal backend)
+          wal
     in
     let srv =
-      Server.start ~telemetry:sink ?store ~queue_capacity ~batch_limit
+      Server.start_backend ~telemetry:sink ?store ~queue_capacity ~batch_limit
         ?follower:
           (Option.map (fun leader -> { Server.leader; wal }) follower)
-        ?http ~ready_lag ?slow_ms ?slow_log ?max_conns ~net listen
+        ?http ~ready_lag ?slow_ms ?slow_log ?max_conns ~backend listen
     in
-    Format.printf "topology: %a, model %a@." Topology.pp topo Model.pp model;
+    describe ();
     Format.printf "serving on %a@." Server.pp_address (Server.address srv);
     (match Server.http_address srv with
     | Some haddr -> Format.printf "observability on %a@." Server.pp_address haddr
@@ -1043,10 +1104,11 @@ let serve_cmd =
     Server.stop srv;
     Printf.printf "served %d requests\n" (Server.served srv);
     dump_trace trace trace_file;
-    let net = Server.network srv in
+    let backend = Server.backend srv in
     match Server.current_store srv with
-    | Some store -> finish_store store net
-    | None -> Printf.printf "state digest: %d\n" (Persist.Store.digest net)
+    | Some store -> finish_store_backend store backend
+    | None ->
+      Printf.printf "state digest: %d\n" (Persist.Backend.digest backend)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1062,7 +1124,7 @@ let serve_cmd =
           $ model_arg $ listen_arg $ wal_arg $ fsync_every_arg
           $ queue_capacity_arg $ batch_limit_arg $ follower_arg $ http_arg
           $ ready_lag_arg $ slow_ms_arg $ slow_log_arg $ max_conns_arg
-          $ trace_arg)
+          $ mesh_arg $ strategy_arg $ trace_arg)
 
 let client_cmd =
   let connect_arg =
@@ -1473,6 +1535,170 @@ let figures_cmd =
   Cmd.v (Cmd.info "figures" ~doc:"Render the construction figures as text.")
     Term.(const run $ n_arg $ k_arg)
 
+(* --- mesh (graph-based RWA blocking campaigns) ----------------------------- *)
+
+let mesh_cmd =
+  let topos_arg =
+    Arg.(value & opt (list string) [ "nsf14"; "janet" ] & info [ "topos" ]
+           ~docv:"T,.." ~doc:"Topologies to sweep: nsf14, clara, janet, \
+                              ringN, torusRxC.")
+  in
+  let strategies_arg =
+    Arg.(value & opt (list string) [ "first-fit"; "coloring" ]
+         & info [ "strategies" ] ~docv:"S,.."
+             ~doc:"Wavelength assignment strategies: first-fit, most-used, \
+                   least-used, random, coloring.")
+  in
+  let loads_arg =
+    Arg.(value & opt (list float) [ 4.; 8.; 12.; 16.; 20.; 24. ]
+         & info [ "loads" ] ~docv:"E,.." ~doc:"Offered loads in Erlangs.")
+  in
+  let arrivals_arg =
+    Arg.(value & opt int 4000 & info [ "arrivals" ] ~docv:"N"
+           ~doc:"Arrivals per campaign cell.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Campaign seed; per-cell RNGs derive from it and the \
+                 cell's coordinates, so tables are reproducible.")
+  in
+  let mesh_k_arg =
+    Arg.(value & opt int 8 & info [ "k"; "wavelengths" ] ~docv:"K"
+           ~doc:"Wavelengths per fiber (1..62).")
+  in
+  let k_paths_arg =
+    Arg.(value & opt int 3 & info [ "k-paths" ] ~docv:"P"
+           ~doc:"Yen candidate paths per unicast request.")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("tree", Wdm_mesh.Light_tree.Tree);
+                    ("hierarchy", Wdm_mesh.Light_tree.Hierarchy) ])
+          Wdm_mesh.Light_tree.Hierarchy
+      & info [ "mode" ] ~docv:"M"
+          ~doc:"Multicast structure: tree (no node revisits) or hierarchy \
+                (revisits through distinct edge pairs, after \
+                Zhou-Molnár-Cousin).")
+  in
+  let splitters_arg =
+    Arg.(value & opt string "all" & info [ "splitters" ] ~docv:"SPL"
+           ~doc:"Which nodes can split light: $(b,all), $(b,none), \
+                 $(b,degree:D) (nodes of degree >= D), or a comma list \
+                 of node ids.")
+  in
+  let fanout_arg =
+    Arg.(value & opt int 4 & info [ "max-fanout" ] ~docv:"F"
+           ~doc:"Zipf fanout ceiling for multicast requests.")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"CI smoke profile: 400 arrivals over loads 4, 12 and 24 \
+                 (overrides $(b,--arrivals) and $(b,--loads)).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the table as a JSON object in the \
+                 $(b,mesh_blocking) schema (EXPERIMENTS.md).")
+  in
+  let parse_splitters s =
+    match s with
+    | "all" -> Ok Mesh.Split_all
+    | "none" -> Ok Mesh.Split_none
+    | s when String.length s > 7 && String.sub s 0 7 = "degree:" -> (
+      match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+      | Some d -> Ok (Mesh.Split_degree_ge d)
+      | None -> Error ("bad degree bound: " ^ s))
+    | s -> (
+      let ids = String.split_on_char ',' s in
+      match
+        List.map
+          (fun id ->
+            match int_of_string_opt (String.trim id) with
+            | Some v -> v
+            | None -> raise Exit)
+          ids
+      with
+      | ids -> Ok (Mesh.Split_nodes ids)
+      | exception Exit ->
+        Error ("bad --splitters (want all, none, degree:D or ids): " ^ s))
+  in
+  let run topos strategies loads arrivals seed k k_paths mode splitters
+      fanout quick json =
+    let strategies =
+      List.map
+        (fun s ->
+          match Mesh_assign.strategy_of_string s with
+          | Ok s -> s
+          | Error e -> prerr_endline ("wdmnet: " ^ e); exit 2)
+        strategies
+    in
+    let splitters =
+      match parse_splitters splitters with
+      | Ok s -> s
+      | Error e -> prerr_endline ("wdmnet: " ^ e); exit 2
+    in
+    let arrivals = if quick then Campaign.quick.Campaign.arrivals else arrivals in
+    let loads = if quick then Campaign.quick.Campaign.loads else loads in
+    let spec =
+      {
+        Campaign.seed; k; mode; splitters; k_paths; topos; strategies; loads;
+        arrivals;
+        fanout = Wdm_traffic.Fanout.Zipf { max = fanout; s = 1.3 };
+      }
+    in
+    match Campaign.run spec with
+    | Error e -> prerr_endline ("wdmnet: " ^ e); exit 2
+    | Ok cells ->
+      Format.printf "%a@." Campaign.pp_table cells;
+      (match json with
+      | None -> ()
+      | Some file ->
+        let module J = Tel.Json in
+        let doc =
+          J.Obj
+            [
+              ("seed", J.Int spec.Campaign.seed);
+              ("wavelengths", J.Int spec.Campaign.k);
+              ("arrivals_per_cell", J.Int spec.Campaign.arrivals);
+              ( "cells",
+                J.List
+                  (List.map
+                     (fun (c : Campaign.cell) ->
+                       let p = c.Campaign.point in
+                       J.Obj
+                         [
+                           ("topo", J.String c.Campaign.topo);
+                           ( "strategy",
+                             J.String
+                               (Mesh_assign.strategy_to_string
+                                  c.Campaign.strategy) );
+                           ( "erlangs",
+                             J.Float p.Wdm_traffic.Erlang.offered_erlangs );
+                           ("arrivals", J.Int p.Wdm_traffic.Erlang.arrivals);
+                           ("accepted", J.Int p.Wdm_traffic.Erlang.accepted);
+                           ("blocked", J.Int p.Wdm_traffic.Erlang.blocked);
+                           ("blocking", J.Float p.Wdm_traffic.Erlang.blocking);
+                           ( "mean_active",
+                             J.Float p.Wdm_traffic.Erlang.mean_active );
+                         ])
+                     cells) );
+            ]
+        in
+        write_file file (J.to_string doc ^ "\n");
+        Printf.printf "wrote %s (%d cells)\n" file (List.length cells))
+  in
+  Cmd.v
+    (Cmd.info "mesh"
+       ~doc:"Run Erlang-load blocking-probability campaigns on graph-based \
+             mesh RWA networks: topologies x assignment strategies x \
+             offered loads, with sparse-splitting multicast \
+             (light-trees or light-hierarchies).  Deterministic per-cell \
+             seeds make every table reproducible.")
+    Term.(const run $ topos_arg $ strategies_arg $ loads_arg $ arrivals_arg
+          $ seed_arg $ mesh_k_arg $ k_paths_arg $ mode_arg $ splitters_arg
+          $ fanout_arg $ quick_arg $ json_arg)
+
 (* --- deep (recursive designs) ---------------------------------------------- *)
 
 let deep_cmd =
@@ -1535,4 +1761,5 @@ let () =
             adversary_cmd;
             figures_cmd;
             deep_cmd;
+            mesh_cmd;
           ]))

@@ -1,0 +1,89 @@
+type strategy = First_fit | Most_used | Least_used | Random | Coloring
+
+let strategy_to_string = function
+  | First_fit -> "first-fit"
+  | Most_used -> "most-used"
+  | Least_used -> "least-used"
+  | Random -> "random"
+  | Coloring -> "coloring"
+
+let strategies = [ First_fit; Most_used; Least_used; Random; Coloring ]
+
+let strategy_of_string s =
+  match
+    List.find_opt (fun st -> strategy_to_string st = s) strategies
+  with
+  | Some st -> Ok st
+  | None ->
+    Error
+      (Printf.sprintf "unknown strategy %S (want %s)" s
+         (String.concat ", " (List.map strategy_to_string strategies)))
+
+let pp_strategy ppf s = Format.pp_print_string ppf (strategy_to_string s)
+
+type t = {
+  k : int;
+  mask : int array; (* edge id -> bitmask, bit (wl-1) set = in use *)
+  counts : int array; (* wl (1-based) -> edges carrying it *)
+  mutable slots : int;
+}
+
+let create ~k ~m =
+  if k < 1 || k > 62 then invalid_arg "Assign.create: k must be in 1..62";
+  if m < 0 then invalid_arg "Assign.create: negative edge count";
+  { k; mask = Array.make m 0; counts = Array.make (k + 1) 0; slots = 0 }
+
+let k t = t.k
+
+let check t ~edge ~wl =
+  if wl < 1 || wl > t.k then invalid_arg "Assign: wavelength out of range";
+  if edge < 0 || edge >= Array.length t.mask then
+    invalid_arg "Assign: edge out of range"
+
+let used t ~edge ~wl =
+  check t ~edge ~wl;
+  t.mask.(edge) land (1 lsl (wl - 1)) <> 0
+
+let free_on t ~edges ~wl = List.for_all (fun e -> not (used t ~edge:e ~wl)) edges
+
+let occupy t ~edges ~wl =
+  if not (free_on t ~edges ~wl) then
+    invalid_arg "Assign.occupy: wavelength already in use on an edge";
+  List.iter
+    (fun e ->
+      t.mask.(e) <- t.mask.(e) lor (1 lsl (wl - 1));
+      t.counts.(wl) <- t.counts.(wl) + 1;
+      t.slots <- t.slots + 1)
+    edges
+
+let release t ~edges ~wl =
+  List.iter
+    (fun e ->
+      if not (used t ~edge:e ~wl) then
+        invalid_arg "Assign.release: wavelength not in use on an edge";
+      t.mask.(e) <- t.mask.(e) land lnot (1 lsl (wl - 1));
+      t.counts.(wl) <- t.counts.(wl) - 1;
+      t.slots <- t.slots - 1)
+    edges
+
+let use_count t ~wl =
+  if wl < 1 || wl > t.k then invalid_arg "Assign.use_count";
+  t.counts.(wl)
+
+let occupied_slots t = t.slots
+
+let order t strategy ~hash =
+  let all = List.init t.k (fun i -> i + 1) in
+  match strategy with
+  | First_fit | Coloring -> all
+  | Most_used ->
+    List.stable_sort
+      (fun a b -> compare (t.counts.(b), a) (t.counts.(a), b))
+      all
+  | Least_used ->
+    List.stable_sort
+      (fun a b -> compare (t.counts.(a), a) (t.counts.(b), b))
+      all
+  | Random ->
+    let start = (hash land max_int) mod t.k in
+    List.init t.k (fun i -> ((start + i) mod t.k) + 1)

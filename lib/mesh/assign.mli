@@ -1,0 +1,52 @@
+(** Per-edge wavelength occupancy and assignment strategies.
+
+    Occupancy is an int bitmask per edge (so [k <= 62]) plus a per-
+    wavelength global use count, giving O(1) occupy/release/test and
+    O(k) strategy ordering.  Strategies only *order* the candidate
+    wavelengths; feasibility (free on every edge of the candidate
+    structure) is checked by the caller, which keeps the ordering
+    reusable for both unicast paths and multicast trees.
+
+    [Random] is a stateless hash rotation: the caller passes a
+    replay-deterministic hash (the network uses its monotonically
+    increasing attempt counter mixed with the request), so a WAL replay
+    reproduces the exact same "random" choices — the determinism
+    contract of DESIGN.md section 6 extends to mesh unchanged.
+
+    [Coloring] orders like first-fit; {!Mesh_network} implements it by
+    greedy coloring of the active-route conflict graph and asserts the
+    two agree — the classic result that incremental greedy coloring of
+    interval-free conflict graphs is exactly first-fit. *)
+
+type strategy = First_fit | Most_used | Least_used | Random | Coloring
+
+val strategy_of_string : string -> (strategy, string) result
+val strategy_to_string : strategy -> string
+val pp_strategy : Format.formatter -> strategy -> unit
+val strategies : strategy list
+
+type t
+
+val create : k:int -> m:int -> t
+(** [k] wavelengths per fiber over [m] edges.
+    @raise Invalid_argument unless [1 <= k <= 62] and [m >= 0]. *)
+
+val k : t -> int
+val used : t -> edge:int -> wl:int -> bool
+val free_on : t -> edges:int list -> wl:int -> bool
+(** Free on {e every} listed edge. *)
+
+val occupy : t -> edges:int list -> wl:int -> unit
+(** @raise Invalid_argument if any edge already carries [wl]. *)
+
+val release : t -> edges:int list -> wl:int -> unit
+(** @raise Invalid_argument if any edge does not carry [wl]. *)
+
+val use_count : t -> wl:int -> int
+(** Edges currently carrying this wavelength. *)
+
+val occupied_slots : t -> int
+(** Total (edge, wavelength) pairs in use. *)
+
+val order : t -> strategy -> hash:int -> int list
+(** Candidate wavelengths [1..k] in strategy preference order. *)

@@ -1,0 +1,65 @@
+type edge = { u : int; v : int; w : float; id : int }
+
+type t = {
+  n : int;
+  edges : edge array;
+  adj : (int * int) list array; (* 1-based node -> (neighbor, edge id) *)
+}
+
+let make ~n links =
+  if n < 1 then invalid_arg "Graph.make: n must be >= 1";
+  let canon (u, v, w) =
+    if u < 1 || u > n || v < 1 || v > n then
+      invalid_arg (Printf.sprintf "Graph.make: endpoint outside 1..%d" n);
+    if u = v then invalid_arg (Printf.sprintf "Graph.make: self-loop at %d" u);
+    if not (w > 0.) then
+      invalid_arg (Printf.sprintf "Graph.make: non-positive weight %d-%d" u v);
+    if u < v then (u, v, w) else (v, u, w)
+  in
+  let links = List.map canon links in
+  let links =
+    List.sort (fun (a, b, _) (c, d, _) -> compare (a, b) (c, d)) links
+  in
+  let rec check_dups = function
+    | (a, b, _) :: ((c, d, _) :: _ as rest) ->
+      if a = c && b = d then
+        invalid_arg (Printf.sprintf "Graph.make: duplicate link %d-%d" a b);
+      check_dups rest
+    | _ -> ()
+  in
+  check_dups links;
+  let edges =
+    Array.of_list (List.mapi (fun id (u, v, w) -> { u; v; w; id }) links)
+  in
+  let adj = Array.make (n + 1) [] in
+  Array.iter
+    (fun e ->
+      adj.(e.u) <- (e.v, e.id) :: adj.(e.u);
+      adj.(e.v) <- (e.u, e.id) :: adj.(e.v))
+    edges;
+  for i = 1 to n do
+    adj.(i) <- List.sort compare adj.(i)
+  done;
+  { n; edges; adj }
+
+let n t = t.n
+let m t = Array.length t.edges
+let edges t = t.edges
+
+let edge t id =
+  if id < 0 || id >= Array.length t.edges then
+    invalid_arg (Printf.sprintf "Graph.edge: no edge %d" id);
+  t.edges.(id)
+
+let adj t v =
+  if v < 1 || v > t.n then invalid_arg (Printf.sprintf "Graph.adj: node %d" v);
+  t.adj.(v)
+
+let edge_between t a b =
+  if a < 1 || a > t.n || b < 1 || b > t.n then None
+  else List.assoc_opt b t.adj.(a)
+
+let degree t v = List.length (adj t v)
+
+let pp ppf t =
+  Format.fprintf ppf "graph(n=%d, m=%d)" t.n (m t)

@@ -1,0 +1,41 @@
+(** Undirected weighted multigraph-free graphs for mesh RWA.
+
+    Nodes are 1-based ints (matching {!Wdm_core.Endpoint.t.port});
+    edges are canonicalized with [u < v] and numbered densely from 0 in
+    a deterministic order (sorted by endpoints), so per-edge wavelength
+    occupancy can live in plain arrays indexed by edge id.  Graphs are
+    immutable; all mutable RWA state lives in {!Assign} and
+    {!Mesh_network}. *)
+
+type edge = private { u : int; v : int; w : float; id : int }
+(** One undirected fiber link, [1 <= u < v <= n], [w > 0]. *)
+
+type t
+
+val make : n:int -> (int * int * float) list -> t
+(** [make ~n links] builds a graph on nodes [1..n].  Links are given as
+    [(u, v, w)] in either endpoint order and are canonicalized,
+    deduplicated checks applied.
+    @raise Invalid_argument on [n < 1], an endpoint outside [1..n], a
+    self-loop, a duplicate link, or a non-positive weight. *)
+
+val n : t -> int
+(** Node count. *)
+
+val m : t -> int
+(** Edge count. *)
+
+val edges : t -> edge array
+(** Indexed by edge id; do not mutate. *)
+
+val edge : t -> int -> edge
+(** By id. @raise Invalid_argument out of range. *)
+
+val adj : t -> int -> (int * int) list
+(** [(neighbor, edge id)] pairs in ascending neighbor order. *)
+
+val edge_between : t -> int -> int -> int option
+(** Edge id joining two nodes, if any (either order). *)
+
+val degree : t -> int -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+type mode = Tree | Hierarchy
+
+let mode_to_string = function Tree -> "tree" | Hierarchy -> "hierarchy"
+
+let mode_of_string = function
+  | "tree" -> Ok Tree
+  | "hierarchy" -> Ok Hierarchy
+  | s -> Error (Printf.sprintf "unknown mode %S (want tree or hierarchy)" s)
+
+type structure = {
+  arcs : (int * int * int) list;
+  cost : float;
+}
+
+let build ~mode ~mc ~use_edge g ~src ~dests =
+  let n = Graph.n g in
+  let in_t = Array.make (n + 1) false in
+  (* ins counts signal arrivals at a node (the source's transmitter
+     counts as one); outs counts departures.  An MI node can grow a new
+     branch only while ins > outs — each arrival forwards at most once
+     (drop-and-continue).  MC nodes split freely. *)
+  let ins = Array.make (n + 1) 0 in
+  let outs = Array.make (n + 1) 0 in
+  let used_here = Hashtbl.create 16 in
+  in_t.(src) <- true;
+  ins.(src) <- 1;
+  let covered = Array.make (n + 1) false in
+  covered.(src) <- true;
+  let uncovered = ref (List.filter (fun d -> d <> src) dests) in
+  let arcs = ref [] in
+  let cost = ref 0. in
+  let can_attach v = in_t.(v) && (mc.(v) || ins.(v) > outs.(v)) in
+  let graft path =
+    let rec go = function
+      | a :: (b :: _ as rest) ->
+        let e =
+          match Graph.edge_between g a b with
+          | Some e -> e
+          | None -> assert false
+        in
+        arcs := (a, b, e) :: !arcs;
+        cost := !cost +. (Graph.edge g e).Graph.w;
+        Hashtbl.replace used_here e ();
+        outs.(a) <- outs.(a) + 1;
+        ins.(b) <- ins.(b) + 1;
+        in_t.(b) <- true;
+        covered.(b) <- true;
+        go rest
+      | _ -> ()
+    in
+    go path
+  in
+  let rec loop () =
+    match !uncovered with
+    | [] -> Ok { arcs = List.rev !arcs; cost = !cost }
+    | pending -> (
+      let sources =
+        List.filter can_attach (List.init n (fun i -> i + 1))
+      in
+      let skip_node v =
+        match mode with
+        | Tree -> in_t.(v) (* node-disjoint grafts: attach only at ends *)
+        | Hierarchy -> false (* edge-disjoint only: cross-pair reuse *)
+      in
+      let use_edge' e = use_edge e && not (Hashtbl.mem used_here e) in
+      let target v = (not covered.(v)) && List.mem v pending in
+      match
+        Shortest.grow ~sources ~skip_node ~use_edge:use_edge' ~target g
+      with
+      | None -> Error (List.sort compare pending)
+      | Some (_, path) ->
+        graft path;
+        uncovered := List.filter (fun d -> not covered.(d)) pending;
+        loop ())
+  in
+  loop ()

@@ -1,0 +1,30 @@
+(** Named mesh topologies and parametric generators.
+
+    The three named networks follow the topologies shipped by the
+    rwa-wdm-sim exemplar (NSFNET T1 backbone, RedCLARA, JANET); edge
+    weights are unit hop costs, so routing minimizes hop count with
+    deterministic tie-breaks.  The generators cover the synthetic
+    shapes the hotspot-ring and torus literature sweeps over. *)
+
+val nsf14 : unit -> Graph.t
+(** The 14-node / 21-link NSFNET T1 backbone. *)
+
+val clara : unit -> Graph.t
+(** The 13-node RedCLARA Latin-American academic backbone. *)
+
+val janet : unit -> Graph.t
+(** The 7-node UK JANET core. *)
+
+val ring : int -> Graph.t
+(** [ring n]: cycle on [n >= 3] nodes. *)
+
+val torus : int -> int -> Graph.t
+(** [torus rows cols]: wrap-around grid, [rows, cols >= 2] and
+    [rows * cols >= 3]; node [(r, c)] (0-based) is [r * cols + c + 1]. *)
+
+val by_name : string -> (Graph.t, string) result
+(** Parses ["nsf14"], ["clara"], ["janet"], ["ringN"] (e.g. ["ring8"])
+    and ["torusRxC"] (e.g. ["torus4x4"]). *)
+
+val names : string list
+(** The named (non-parametric) topologies, for CLI docs. *)

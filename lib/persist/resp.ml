@@ -306,15 +306,39 @@ let rec pp ppf = function
 
 (* ----- execution ------------------------------------------------------- *)
 
-let rec execute ?(stats = fun () -> "{}") net = function
-  | Batch reqs -> Batch_reply (List.map (execute ~stats net) reqs)
-  | Get_digest -> Digest_is (Store.digest net)
+let execute_mesh net = function
+  | Op.Connect c -> (
+    match Backend.Mesh.connect net c with
+    | Ok route -> Admitted { route = Backend.net_route_of_mesh route; moved = 0 }
+    | Error e -> Refused (Backend.net_error_of_mesh e))
+  | Op.Disconnect id -> (
+    match Backend.Mesh.disconnect net id with
+    | Ok route -> Released (Backend.net_route_of_mesh route)
+    | Error e -> Release_failed (Backend.net_disconnect_error_of_mesh e))
+  | Op.Inject_fault _ | Op.Clear_fault _ ->
+    (* answered but never WAL-committed: committed_op drops
+       Server_error responses, so a mesh WAL stays replayable *)
+    Server_error "mesh backend does not support fault ops"
+  | Op.Repair { connection; rehomed = _ } -> (
+    (* no rearrangement pass on a mesh: a repair is a fresh admit *)
+    match Backend.Mesh.connect net connection with
+    | Ok route -> Admitted { route = Backend.net_route_of_mesh route; moved = 0 }
+    | Error e -> Refused (Backend.net_error_of_mesh e))
+
+let rec execute_backend ?(stats = fun () -> "{}") backend = function
+  | Batch reqs -> Batch_reply (List.map (execute_backend ~stats backend) reqs)
+  | Get_digest -> Digest_is (Backend.digest backend)
   | Get_stats -> Stats_json (stats ())
   (* Promotion is a server-role concern; a bare network has no role to
      change, and the server intercepts the request before execute. *)
   | Promote -> Server_error "promotion is handled by the server"
   | Admit op -> (
-    match op with
+    match backend with
+    | Backend.Mesh net -> execute_mesh net op
+    | Backend.Net net -> execute_net net op)
+
+and execute_net net op =
+  (match op with
     | Op.Connect c -> (
       match Network.connect net c with
       | Ok route -> Admitted { route; moved = 0 }
@@ -335,3 +359,5 @@ let rec execute ?(stats = fun () -> "{}") net = function
       match Network.connect_rearrangeable net connection with
       | Ok (route, moved) -> Admitted { route; moved }
       | Error e -> Refused e))
+
+let execute ?stats net req = execute_backend ?stats (Backend.Net net) req

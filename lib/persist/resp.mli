@@ -88,6 +88,15 @@ val decode_string : string -> (t, string) result
 
 (** {1 Execution} *)
 
+val execute_backend :
+  ?stats:(unit -> string) -> Backend.t -> request -> t
+(** {!execute} over either state kind.  A mesh backend answers
+    [Connect] / [Repair] / [Disconnect] through the mesh engine with
+    results mapped onto the multistage route vocabulary
+    ({!Backend.net_route_of_mesh}); fault ops answer [Server_error] —
+    a mesh has no switch fabric to fault — and the server never
+    commits [Server_error] responses, so they cannot reach a WAL. *)
+
 val execute : ?stats:(unit -> string) -> Network.t -> request -> t
 (** The one place request semantics live, shared by the server's
     admission loop and the loopback equivalence tests: [Connect] and

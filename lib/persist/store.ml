@@ -1,164 +1,30 @@
 module Tel = Wdm_telemetry
 module Network = Wdm_multistage.Network
-module Topology = Wdm_multistage.Topology
-module Model = Wdm_core.Model
 
-(* ----- state codec ----------------------------------------------------- *)
+(* ----- state codec -----------------------------------------------------
 
-let construction_tag = function
-  | Network.Msw_dominant -> 0
-  | Network.Maw_dominant -> 1
+   The codec itself lives in Backend (which dispatches between the
+   multistage fabric and the mesh network); these aliases keep the
+   historical Store API stable. *)
 
-let strategy_tag = function
-  | Network.Min_intersection -> 0
-  | Network.First_fit -> 1
-  | Network.Exhaustive -> 2
-
-let link_impl_tag = function Network.Bitset -> 0 | Network.Reference -> 1
-let model_tag = function Model.MSW -> 0 | Model.MSDW -> 1 | Model.MAW -> 2
+let encode_state = Backend.encode_net_state
+let decode_state = Backend.decode_net_state
+let encode_route = Backend.encode_route
+let decode_route = Backend.decode_route
+let digest net = Backend.digest (Backend.Net net)
 
 let fail (r : Wire.reader) reason =
   raise (Wire.Decode_error { offset = r.Wire.pos; reason })
-
-let put_route b (route : Network.route) =
-  Wire.put_int b route.Network.id;
-  Op.encode_connection b route.Network.connection;
-  Wire.put_u32 b route.Network.input_switch;
-  Wire.put_u32 b (List.length route.Network.hops);
-  List.iter
-    (fun (h : Network.hop) ->
-      Wire.put_u32 b h.Network.middle;
-      Wire.put_u32 b h.Network.stage1_wl;
-      Wire.put_u32 b (List.length h.Network.serves);
-      List.iter
-        (fun (o, w) ->
-          Wire.put_u32 b o;
-          Wire.put_u32 b w)
-        h.Network.serves)
-    route.Network.hops
-
-let get_route r : Network.route =
-  let id = Wire.get_int r in
-  if id < 0 then fail r "negative route id";
-  let connection = Op.decode_connection r in
-  let input_switch = Wire.get_u32 r in
-  let nhops = Wire.get_u32 r in
-  if nhops > 0xffff then fail r "implausible hop count";
-  let hops =
-    List.init nhops (fun _ ->
-        let middle = Wire.get_u32 r in
-        let stage1_wl = Wire.get_u32 r in
-        let nserves = Wire.get_u32 r in
-        if nserves > 0xffff then fail r "implausible serve count";
-        let serves =
-          List.init nserves (fun _ ->
-              let o = Wire.get_u32 r in
-              let w = Wire.get_u32 r in
-              (o, w))
-        in
-        { Network.middle; stage1_wl; serves })
-  in
-  { Network.id; connection; input_switch; hops }
-
-let encode_route = put_route
-let decode_route = get_route
-
-let encode_state (s : Network.snapshot) =
-  let b = Buffer.create 4096 in
-  let topo = s.Network.s_topology in
-  Wire.put_u32 b topo.Topology.n;
-  Wire.put_u32 b topo.Topology.m;
-  Wire.put_u32 b topo.Topology.r;
-  Wire.put_u32 b topo.Topology.k;
-  Wire.put_u8 b (construction_tag s.Network.s_construction);
-  Wire.put_u8 b (model_tag s.Network.s_output_model);
-  Wire.put_u32 b s.Network.s_x_limit;
-  Wire.put_u8 b (strategy_tag s.Network.s_strategy);
-  Wire.put_u8 b (link_impl_tag s.Network.s_link_impl);
-  Wire.put_u32 b s.Network.s_rearrange_limit;
-  Wire.put_int b s.Network.s_next_id;
-  Wire.put_u32 b (List.length s.Network.s_routes);
-  List.iter (put_route b) s.Network.s_routes;
-  Wire.put_u32 b (List.length s.Network.s_faults);
-  List.iter (Op.encode_fault b) s.Network.s_faults;
-  Buffer.contents b
-
-let decode_state_reader r : Network.snapshot =
-  let n = Wire.get_u32 r in
-  let m = Wire.get_u32 r in
-  let rr = Wire.get_u32 r in
-  let k = Wire.get_u32 r in
-  let s_topology =
-    match Topology.make ~n ~m ~r:rr ~k with
-    | Ok t -> t
-    | Error e -> fail r (Printf.sprintf "invalid topology: %s" e)
-  in
-  let s_construction =
-    match Wire.get_u8 r with
-    | 0 -> Network.Msw_dominant
-    | 1 -> Network.Maw_dominant
-    | t -> fail r (Printf.sprintf "unknown construction tag %d" t)
-  in
-  let s_output_model =
-    match Wire.get_u8 r with
-    | 0 -> Model.MSW
-    | 1 -> Model.MSDW
-    | 2 -> Model.MAW
-    | t -> fail r (Printf.sprintf "unknown model tag %d" t)
-  in
-  let s_x_limit = Wire.get_u32 r in
-  let s_strategy =
-    match Wire.get_u8 r with
-    | 0 -> Network.Min_intersection
-    | 1 -> Network.First_fit
-    | 2 -> Network.Exhaustive
-    | t -> fail r (Printf.sprintf "unknown strategy tag %d" t)
-  in
-  let s_link_impl =
-    match Wire.get_u8 r with
-    | 0 -> Network.Bitset
-    | 1 -> Network.Reference
-    | t -> fail r (Printf.sprintf "unknown link impl tag %d" t)
-  in
-  let s_rearrange_limit = Wire.get_u32 r in
-  let s_next_id = Wire.get_int r in
-  let nroutes = Wire.get_u32 r in
-  if nroutes > 0xffffff then fail r "implausible route count";
-  let s_routes = List.init nroutes (fun _ -> get_route r) in
-  let nfaults = Wire.get_u32 r in
-  if nfaults > 0xffffff then fail r "implausible fault count";
-  let s_faults = List.init nfaults (fun _ -> Op.decode_fault r) in
-  Wire.expect_end r;
-  {
-    Network.s_topology;
-    s_construction;
-    s_output_model;
-    s_x_limit;
-    s_strategy;
-    s_link_impl;
-    s_rearrange_limit;
-    s_next_id;
-    s_routes;
-    s_faults;
-  }
-
-let decode_state s =
-  match decode_state_reader (Wire.reader s) with
-  | snap -> Ok snap
-  | exception Wire.Decode_error { offset; reason } ->
-    Error (Printf.sprintf "%s at state offset %d" reason offset)
-
-let digest net = Crc32.string (encode_state (Network.snapshot net))
 
 (* ----- snapshot files -------------------------------------------------- *)
 
 let snapshot_path ~wal ~seq = Printf.sprintf "%s.snap.%d" wal seq
 
-let write_snapshot ~path ~seq ~wal_offset snap =
+let write_state ~path ~seq ~wal_offset state =
   let b = Buffer.create 4096 in
   Wire.put_u32 b seq;
   Wire.put_int b wal_offset;
-  Buffer.add_string b (encode_state snap);
+  Buffer.add_string b state;
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -167,7 +33,12 @@ let write_snapshot ~path ~seq ~wal_offset snap =
       output_string oc (Wire.frame (Buffer.contents b));
       flush oc)
 
-let read_snapshot path =
+let write_snapshot ~path ~seq ~wal_offset snap =
+  write_state ~path ~seq ~wal_offset (encode_state snap)
+
+(* Reads the framed (seq, wal_offset, state-bytes) triple without
+   committing to a state kind — recovery dispatches on the bytes. *)
+let read_snapshot_raw path =
   let contents =
     try
       let ic = open_in_bin path in
@@ -201,12 +72,17 @@ let read_snapshot path =
                 (String.length payload - r.Wire.pos) in
             (seq, wal_offset, state)
           with
-          | seq, wal_offset, state -> (
-            match decode_state state with
-            | Ok snap -> Ok (seq, wal_offset, snap)
-            | Error e -> Error e)
+          | triple -> Ok triple
           | exception Wire.Decode_error { offset; reason } ->
             Error (Printf.sprintf "%s at payload offset %d" reason offset))))
+
+let read_snapshot path =
+  match read_snapshot_raw path with
+  | Error _ as e -> e
+  | Ok (seq, wal_offset, state) -> (
+    match decode_state state with
+    | Ok snap -> Ok (seq, wal_offset, snap)
+    | Error e -> Error e)
 
 let list_snapshots ~wal =
   let dir = Filename.dirname wal in
@@ -263,12 +139,13 @@ let session_instruments (sink : Tel.Sink.t) =
     sink;
   }
 
-let take_snapshot t net =
+let take_snapshot t backend =
   let offset = Wal.tell t.writer in
   let write () =
-    write_snapshot
+    write_state
       ~path:(snapshot_path ~wal:t.wal_path ~seq:t.seq)
-      ~seq:t.seq ~wal_offset:offset (Network.snapshot net)
+      ~seq:t.seq ~wal_offset:offset
+      (Backend.encode_state backend)
   in
   (match t.instruments with
   | None -> write ()
@@ -280,7 +157,7 @@ let take_snapshot t net =
   delete_snapshots ~wal:t.wal_path ~keep_above:(t.seq - t.retain + 1);
   t.seq <- t.seq + 1
 
-let start ?telemetry ?policy ?(retain = 2) ~wal net =
+let start_backend ?telemetry ?policy ?(retain = 2) ~wal backend =
   if retain < 1 then invalid_arg "Store.start: retain must be >= 1";
   delete_snapshots ~wal ~keep_above:max_int;
   let writer = Wal.create ?telemetry ?policy wal in
@@ -293,11 +170,15 @@ let start ?telemetry ?policy ?(retain = 2) ~wal net =
       instruments = Option.map session_instruments telemetry;
     }
   in
-  take_snapshot t net;
+  take_snapshot t backend;
   t
 
+let start ?telemetry ?policy ?retain ~wal net =
+  start_backend ?telemetry ?policy ?retain ~wal (Backend.Net net)
+
 let log t op = Wal.append t.writer op
-let checkpoint t net = take_snapshot t net
+let checkpoint_backend t backend = take_snapshot t backend
+let checkpoint t net = take_snapshot t (Backend.Net net)
 let wal_records t = Wal.records t.writer
 let wal_offset t = Wal.tell t.writer
 let snapshot_seq t = t.seq
@@ -311,6 +192,14 @@ type recovery = {
   snapshot_offset : int;
   replayed : int;
   tear : int option;
+}
+
+type backend_recovery = {
+  backend : Backend.t;
+  b_snapshot_seq : int;
+  b_snapshot_offset : int;
+  b_replayed : int;
+  b_tear : int option;
 }
 
 type recovery_error =
@@ -352,7 +241,7 @@ let scan_wal path =
       in
       scan Wire.header_len [])
 
-let recover ?telemetry ?(truncate = true) ~wal () =
+let recover_backend ?telemetry ?(truncate = true) ~wal () =
   match scan_wal wal with
   | Error _ as e -> e
   | Ok (ops, tear, valid_end) ->
@@ -371,9 +260,9 @@ let recover ?telemetry ?(truncate = true) ~wal () =
              | Some e -> e
              | None -> "no snapshot files found"))
       | (seq, path) :: rest -> (
-        match read_snapshot path with
+        match read_snapshot_raw path with
         | Error e -> pick (Some (Printf.sprintf "%s: %s" path e)) rest
-        | Ok (file_seq, wal_off, snap) ->
+        | Ok (file_seq, wal_off, state) ->
           if file_seq <> seq then
             pick
               (Some
@@ -386,35 +275,37 @@ let recover ?telemetry ?(truncate = true) ~wal () =
                  (Printf.sprintf
                     "%s: WAL offset %d is not a record boundary" path wal_off))
               rest
-          else Ok (seq, wal_off, snap))
+          else Ok (seq, wal_off, state))
     in
     (match pick None candidates with
     | Error _ as e -> e
-    | Ok (snapshot_seq, snapshot_offset, snap) -> (
+    | Ok (b_snapshot_seq, b_snapshot_offset, state) -> (
       let t0 = Option.map (fun s -> Tel.Sink.now s) telemetry in
-      match Network.restore ?telemetry snap with
-      | exception Invalid_argument reason ->
+      match Backend.restore ?telemetry state with
+      | Error reason ->
         Error
           (Corrupt
              {
-               path = snapshot_path ~wal ~seq:snapshot_seq;
+               path = snapshot_path ~wal ~seq:b_snapshot_seq;
                offset = Wire.header_len;
                reason;
              })
-      | network ->
-        let tail = List.filter (fun (pos, _) -> pos >= snapshot_offset) ops in
+      | Ok backend ->
+        let tail =
+          List.filter (fun (pos, _) -> pos >= b_snapshot_offset) ops
+        in
         let rec replay count = function
           | [] -> Ok count
           | (pos, op) :: rest -> (
-            match Op.apply network op with
-            | Ok _ -> replay (count + 1) rest
+            match Backend.apply backend op with
+            | Ok () -> replay (count + 1) rest
             | Error reason -> Error (Corrupt { path = wal; offset = pos; reason })
             | exception Invalid_argument reason ->
               Error (Corrupt { path = wal; offset = pos; reason }))
         in
         (match replay 0 tail with
         | Error _ as e -> e
-        | Ok replayed ->
+        | Ok b_replayed ->
           (match (tear, truncate) with
           | Some at, true -> Wal.truncate_at wal at
           | _ -> ());
@@ -430,7 +321,33 @@ let recover ?telemetry ?(truncate = true) ~wal () =
                  "persist_restore_latency_seconds")
               (Tel.Sink.now sink -. t0)
           | _ -> ());
-          Ok { network; snapshot_seq; snapshot_offset; replayed; tear })))
+          Ok
+            {
+              backend;
+              b_snapshot_seq;
+              b_snapshot_offset;
+              b_replayed;
+              b_tear = tear;
+            })))
+
+let recover ?telemetry ?truncate ~wal () =
+  match recover_backend ?telemetry ?truncate ~wal () with
+  | Error _ as e -> e
+  | Ok r -> (
+    match r.backend with
+    | Backend.Net network ->
+      Ok
+        {
+          network;
+          snapshot_seq = r.b_snapshot_seq;
+          snapshot_offset = r.b_snapshot_offset;
+          replayed = r.b_replayed;
+          tear = r.b_tear;
+        }
+    | Backend.Mesh _ ->
+      Error
+        (No_snapshot
+           "the WAL holds a mesh session; recover it with recover_backend"))
 
 (* ----- resume ---------------------------------------------------------- *)
 
@@ -440,9 +357,9 @@ let recover ?telemetry ?(truncate = true) ~wal () =
    recovered state at the current offset (also healing the case where
    the newest snapshot had become inconsistent with the truncated
    WAL). *)
-let resume ?telemetry ?policy ?(retain = 2) ~wal () =
+let resume_backend ?telemetry ?policy ?(retain = 2) ~wal () =
   if retain < 1 then invalid_arg "Store.resume: retain must be >= 1";
-  match recover ?telemetry ~truncate:true ~wal () with
+  match recover_backend ?telemetry ~truncate:true ~wal () with
   | Error _ as e -> e
   | Ok recovery ->
     let records =
@@ -463,5 +380,26 @@ let resume ?telemetry ?policy ?(retain = 2) ~wal () =
         instruments = Option.map session_instruments telemetry;
       }
     in
-    take_snapshot t recovery.network;
+    take_snapshot t recovery.backend;
     Ok (t, recovery)
+
+let resume ?telemetry ?policy ?retain ~wal () =
+  match resume_backend ?telemetry ?policy ?retain ~wal () with
+  | Error _ as e -> e
+  | Ok (t, r) -> (
+    match r.backend with
+    | Backend.Net network ->
+      Ok
+        ( t,
+          {
+            network;
+            snapshot_seq = r.b_snapshot_seq;
+            snapshot_offset = r.b_snapshot_offset;
+            replayed = r.b_replayed;
+            tear = r.b_tear;
+          } )
+    | Backend.Mesh _ ->
+      close t;
+      Error
+        (No_snapshot
+           "the WAL holds a mesh session; resume it with resume_backend"))

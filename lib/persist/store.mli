@@ -54,6 +54,15 @@ val start :
   wal:string ->
   Network.t ->
   t
+(** [start_backend] specialized to the multistage fabric. *)
+
+val start_backend :
+  ?telemetry:Wdm_telemetry.Sink.t ->
+  ?policy:Wal.flush_policy ->
+  ?retain:int ->
+  wal:string ->
+  Backend.t ->
+  t
 (** Begins a fresh recording: truncates [wal], deletes stale
     [<wal>.snap.*] files, and writes snapshot 0 of the network's
     current state.  [retain] (default 2) is how many of the most
@@ -69,6 +78,7 @@ val log : t -> Op.t -> unit
     re-derives outcomes deterministically. *)
 
 val checkpoint : t -> Network.t -> unit
+val checkpoint_backend : t -> Backend.t -> unit
 (** Flushes the WAL and writes the next snapshot at the current WAL
     offset.  The [retain] most recent snapshots are kept (the default
     of 2 means a corrupt newest snapshot still leaves a recovery
@@ -95,6 +105,16 @@ type recovery = {
           (and truncated, unless [~truncate:false]) *)
 }
 
+type backend_recovery = {
+  backend : Backend.t;
+  b_snapshot_seq : int;
+  b_snapshot_offset : int;
+  b_replayed : int;
+  b_tear : int option;
+}
+(** {!recovery} for either state kind; the snapshot's own tag decides
+    whether a multistage fabric or a mesh network comes back. *)
+
 type recovery_error =
   | No_snapshot of string
       (** no usable snapshot file — nothing to seed the state from *)
@@ -117,7 +137,25 @@ val recover :
     An unusable newest snapshot falls back to the previous one.
     [telemetry] instruments the restored network and feeds
     [persist_recoveries_total] and
-    [persist_restore_latency_seconds]. *)
+    [persist_restore_latency_seconds].  Errors with [No_snapshot] if
+    the WAL holds a mesh session — use {!recover_backend}. *)
+
+val recover_backend :
+  ?telemetry:Wdm_telemetry.Sink.t ->
+  ?truncate:bool ->
+  wal:string ->
+  unit ->
+  (backend_recovery, recovery_error) result
+(** {!recover} without committing to a state kind. *)
+
+val resume_backend :
+  ?telemetry:Wdm_telemetry.Sink.t ->
+  ?policy:Wal.flush_policy ->
+  ?retain:int ->
+  wal:string ->
+  unit ->
+  (t * backend_recovery, recovery_error) result
+(** {!resume} without committing to a state kind. *)
 
 val resume :
   ?telemetry:Wdm_telemetry.Sink.t ->

@@ -103,6 +103,59 @@ CAMLprim value wdm_epoll_wait(value vep, value vtimeout_ms)
 
 #endif /* __linux__ */
 
+/* Gather-write a batch of queued frames with one writev(2).  [vstrs]
+ * is an array of OCaml strings (at most WDM_IOV_MAX are sent per
+ * call), [voff] how many bytes of the first one were already written.
+ * Returns bytes written, -1 for EAGAIN/EWOULDBLOCK, -2 for EINTR, -3
+ * for a dead peer (EPIPE/ECONNRESET/...).
+ *
+ * The runtime lock is deliberately NOT released: the iovec bases
+ * point into the OCaml heap, and a GC from another thread could move
+ * the strings mid-syscall.  The fds are nonblocking, so the call
+ * cannot stall the loop. */
+#ifndef _WIN32
+#include <sys/uio.h>
+#include <errno.h>
+
+#define WDM_IOV_MAX 64
+
+CAMLprim value wdm_writev(value vfd, value vstrs, value voff)
+{
+  struct iovec iov[WDM_IOV_MAX];
+  int count = (int)Wosize_val(vstrs);
+  long off = Long_val(voff);
+  int i, used = 0;
+  ssize_t w;
+  if (count > WDM_IOV_MAX) count = WDM_IOV_MAX;
+  for (i = 0; i < count; i++) {
+    value s = Field(vstrs, i);
+    const char *base = String_val(s);
+    size_t len = caml_string_length(s);
+    if (i == 0) {
+      if ((size_t)off >= len) continue; /* defensive: fully-sent head */
+      base += off;
+      len -= (size_t)off;
+    }
+    if (len == 0) continue;
+    iov[used].iov_base = (void *)base;
+    iov[used].iov_len = len;
+    used++;
+  }
+  if (used == 0) return Val_long(0);
+  w = writev(Int_val(vfd), iov, used);
+  if (w >= 0) return Val_long((long)w);
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return Val_long(-1);
+  if (errno == EINTR) return Val_long(-2);
+  return Val_long(-3);
+}
+#else
+CAMLprim value wdm_writev(value vfd, value vstrs, value voff)
+{
+  (void)vfd; (void)vstrs; (void)voff;
+  return Val_long(-3);
+}
+#endif
+
 /* Raise RLIMIT_NOFILE's soft limit toward [want] (capped at the hard
  * limit).  Returns the soft limit now in force, or -1 if it cannot
  * even be read.  Needed by the idle-connection soak and bench: many

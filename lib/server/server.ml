@@ -33,17 +33,17 @@ type client = {
       (** registered after the handshake, guarded by the server mutex *)
   (* --- event-loop connection state.  [kind], [fb], [rd_eof] and
      [deadline] belong to the loop thread alone; the output queue
-     ([out_head]/[out_off] loop-only, [out_tail]/[out_bytes] shared
-     with the admission thread) and the [want_close]/[kill]/[in_dirty]
+     ([out_off] loop-only, [out_q]/[out_bytes] shared with the
+     admission thread) and the [want_close]/[kill]/[in_dirty]
      flags are guarded by the server mutex. *)
   mutable kind : ckind;
   fb : Framebuf.t;  (** incremental receive buffer *)
-  mutable out_head : string;  (** bytes being written, from [out_off] *)
-  mutable out_off : int;
-  out_tail : Buffer.t;
-      (** pending appends; coalesced into [out_head] by the loop — this
-          buffer is what turns per-response sends into one write(2) *)
-  mutable out_bytes : int;  (** unwritten output, head remainder + tail *)
+  out_q : string Queue.t;
+      (** pending response frames, oldest first; the loop gathers a
+          batch of them into one writev(2) instead of copying them
+          through a coalescing buffer *)
+  mutable out_off : int;  (** bytes of the front frame already written *)
+  mutable out_bytes : int;  (** unwritten output across all queued frames *)
   mutable want_close : bool;  (** close once the output drains *)
   mutable kill : bool;  (** close now, dropping pending output *)
   mutable rd_eof : bool;  (** loop: stop reading this connection *)
@@ -149,11 +149,12 @@ type span_record = {
 }
 
 type t = {
-  mutable net : Network.t;
-      (** replaced when a follower installs a leader snapshot; only the
-          admission thread writes it *)
+  mutable backend : P.Backend.t;
+      (** the replicated state machine — multistage fabric or mesh;
+          replaced when a follower installs a leader snapshot; only
+          the admission thread writes it *)
   mutable store : P.Store.t option;
-      (** replaced alongside [net] in follower mode *)
+      (** replaced alongside [backend] in follower mode *)
   ins : instruments option;
   tel : Tel.Sink.t option;
   listen_fd : Unix.file_descr;
@@ -399,7 +400,7 @@ let enqueue_out t c data =
   Mutex.lock t.mu;
   let accepted = c.open_ && (not c.want_close) && not c.kill in
   if accepted then begin
-    Buffer.add_string c.out_tail data;
+    if String.length data > 0 then Queue.add data c.out_q;
     c.out_bytes <- c.out_bytes + String.length data;
     if c.out_bytes > out_limit then c.kill <- true;
     if not c.in_dirty then begin
@@ -529,7 +530,7 @@ let offer_frame t frame =
     !evicted
 
 let offer_digest t =
-  let digest = P.Store.digest t.net in
+  let digest = P.Backend.digest t.backend in
   let seq = t.rep_seq in
   let frame = frame_to_follower (P.Repl.Rep_digest { seq; digest }) in
   Mutex.lock t.mu;
@@ -638,12 +639,12 @@ let handle_attach t client ~epoch ~last_seq =
                  {
                    epoch = t.epoch;
                    seq = t.rep_seq;
-                   state = P.Store.encode_state (Network.snapshot t.net);
+                   state = P.Backend.encode_state t.backend;
                  });
           ]
         end
       in
-      let digest = P.Store.digest t.net in
+      let digest = P.Backend.digest t.backend in
       let dig_frame =
         frame_to_follower (P.Repl.Rep_digest { seq = t.rep_seq; digest })
       in
@@ -774,37 +775,35 @@ let handle_repl t conn msg =
     | P.Repl.Goodbye _ -> ());
     (match msg with
     | P.Repl.Init_snapshot { epoch; seq; state } -> (
-      match P.Store.decode_state state with
+      match P.Backend.restore ?telemetry:t.tel state with
       | Error _ -> resync t conn
-      | Ok snap -> (
-        match Network.restore ?telemetry:t.tel snap with
-        | exception Invalid_argument _ -> resync t conn
-        | net ->
-          t.net <- net;
-          t.rep_seq <- seq;
-          t.repl_epoch <- epoch;
-          inc t (fun i -> i.r_snapshots_recv);
-          (match t.follower_cfg with
-          | Some { wal = Some wal; _ } ->
-            (match t.store with
-            | Some s -> ( try P.Store.close s with Sys_error _ -> ())
-            | None -> ());
-            t.store <- Some (P.Store.start ?telemetry:t.tel ~wal net);
-            P.Repl.save_mark ~wal { P.Repl.epoch; base_seq = seq }
-          | _ -> ())))
+      | exception Invalid_argument _ -> resync t conn
+      | Ok backend ->
+        t.backend <- backend;
+        t.rep_seq <- seq;
+        t.repl_epoch <- epoch;
+        inc t (fun i -> i.r_snapshots_recv);
+        (match t.follower_cfg with
+        | Some { wal = Some wal; _ } ->
+          (match t.store with
+          | Some s -> ( try P.Store.close s with Sys_error _ -> ())
+          | None -> ());
+          t.store <- Some (P.Store.start_backend ?telemetry:t.tel ~wal backend);
+          P.Repl.save_mark ~wal { P.Repl.epoch; base_seq = seq }
+        | _ -> ()))
     | P.Repl.Init_resume { epoch; seq } ->
       if seq <> t.rep_seq then resync t conn else t.repl_epoch <- epoch
     | P.Repl.Rep_op { seq; op } ->
       if seq <> t.rep_seq + 1 then resync t conn
       else (
-        match P.Op.apply t.net op with
+        match P.Backend.apply t.backend op with
         | Ok _ ->
           t.rep_seq <- seq;
           inc t (fun i -> i.r_applied);
           Option.iter (fun s -> P.Store.log s op) t.store
         | Error _ -> resync t conn)
     | P.Repl.Rep_digest { seq; digest } ->
-      let own = P.Store.digest t.net in
+      let own = P.Backend.digest t.backend in
       if seq <> t.rep_seq || own <> digest then begin
         inc t (fun i -> i.r_digest_mismatch);
         resync t conn
@@ -1144,7 +1143,7 @@ let execute_request t req =
     | Error e -> P.Resp.Server_error e)
   | P.Resp.Admit _ when t.role = Follower ->
     P.Resp.Not_leader { leader = leader_string t }
-  | _ -> P.Resp.execute ~stats:(stats_renderer t) t.net req
+  | _ -> P.Resp.execute_backend ~stats:(stats_renderer t) t.backend req
 
 (* Commit one executed request: WAL append, then replication fan-out.
    Batches unroll here, sub-op by sub-op, so the WAL and the stream
@@ -1418,51 +1417,82 @@ let owned_by_loop ls c =
   | Some c' -> c' == c
   | None -> false
 
-(* Write as much queued output as the kernel will take.  The head is
-   consumed from [out_off]; when it runs out, the shared tail buffer is
-   swapped in whole — that swap is what coalesces any number of
-   admission-thread responses into one write(2). *)
+(* Gather-write: bytes written, -1 EAGAIN, -2 EINTR, -3 dead peer.
+   The stub keeps the runtime lock (the iovec points into the heap),
+   which a nonblocking fd makes harmless. *)
+external writev_frames : Unix.file_descr -> string array -> int -> int
+  = "wdm_writev"
+
+(* How many queued frames one writev gathers; must not exceed the
+   stub's WDM_IOV_MAX. *)
+let max_iov = 64
+
+(* Write as much queued output as the kernel will take.  A batch of
+   queued frames is snapshotted under the lock and handed to writev
+   as an iovec — the syscall gathers what the old code achieved by
+   copying every pending response through a coalescing buffer.  Only
+   fully-written frames are popped, so a partial write (tiny
+   SO_SNDBUF) resumes from [out_off] of the front frame. *)
 let conn_flush t ls c =
   let continue = ref (owned_by_loop ls c) in
   while !continue do
-    if c.out_off >= String.length c.out_head then begin
-      Mutex.lock t.mu;
-      let tail = Buffer.contents c.out_tail in
-      Buffer.clear c.out_tail;
-      let kill = c.kill and wclose = c.want_close in
-      Mutex.unlock t.mu;
-      c.out_head <- tail;
-      c.out_off <- 0;
-      if kill then begin
-        loop_close t ls c;
-        continue := false
-      end
-      else if tail = "" then begin
-        if wclose then loop_close t ls c
-        else
-          Evloop.modify t.ev c.fd
-            ~read:((not c.rd_eof) && not ls.reads_disabled)
-            ~write:false;
-        continue := false
-      end
-    end;
-    if !continue then begin
-      let len = String.length c.out_head - c.out_off in
-      match Unix.write_substring c.fd c.out_head c.out_off len with
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    Mutex.lock t.mu;
+    let kill = c.kill and wclose = c.want_close in
+    let nframes = min (Queue.length c.out_q) max_iov in
+    let batch = Array.make nframes "" in
+    let i = ref 0 in
+    (try
+       Queue.iter
+         (fun s ->
+           if !i >= nframes then raise Exit;
+           batch.(!i) <- s;
+           incr i)
+         c.out_q
+     with Exit -> ());
+    Mutex.unlock t.mu;
+    if kill then begin
+      loop_close t ls c;
+      continue := false
+    end
+    else if nframes = 0 then begin
+      if wclose then loop_close t ls c
+      else
+        Evloop.modify t.ev c.fd
+          ~read:((not c.rd_eof) && not ls.reads_disabled)
+          ~write:false;
+      continue := false
+    end
+    else begin
+      match writev_frames c.fd batch c.out_off with
+      | -2 (* EINTR *) -> ()
+      | -1 | 0 (* EAGAIN, or a kernel that took nothing *) ->
         Evloop.modify t.ev c.fd
           ~read:((not c.rd_eof) && not ls.reads_disabled)
           ~write:true;
         continue := false
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | exception Unix.Unix_error _ ->
+      | n when n < 0 ->
         (* EPIPE/ECONNRESET: the peer is gone; pending output is moot *)
         loop_close t ls c;
         continue := false
       | n ->
-        c.out_off <- c.out_off + n;
+        (* pop the frames the kernel swallowed whole; a partial tail
+           frame stays as the new head with its offset advanced *)
         Mutex.lock t.mu;
         c.out_bytes <- c.out_bytes - n;
+        let rem = ref n in
+        while !rem > 0 do
+          let head = Queue.peek c.out_q in
+          let avail = String.length head - c.out_off in
+          if !rem >= avail then begin
+            ignore (Queue.pop c.out_q);
+            c.out_off <- 0;
+            rem := !rem - avail
+          end
+          else begin
+            c.out_off <- c.out_off + !rem;
+            rem := 0
+          end
+        done;
         Mutex.unlock t.mu
     end
   done
@@ -1719,9 +1749,8 @@ let accept_ready t ls lfd ~http =
               c_requests = None;
               kind = (if http then Chttp else Chello);
               fb = Framebuf.create ();
-              out_head = "";
+              out_q = Queue.create ();
               out_off = 0;
-              out_tail = Buffer.create 256;
               out_bytes = 0;
               want_close = false;
               kill = false;
@@ -1875,10 +1904,10 @@ let bind_listen addr =
     Unix.listen fd 512;
     (fd, addr)
 
-let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64)
+let start_backend ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64)
     ?(digest_every = 64) ?(resume_window = 1024) ?(outbox_capacity = 1024)
     ?follower_sndbuf ?follower ?http ?(ready_lag = 64) ?slow_ms ?slow_log
-    ?(span_buffer = 1024) ?max_conns ?conn_sndbuf ~net addr =
+    ?(span_buffer = 1024) ?max_conns ?conn_sndbuf ~backend addr =
   if queue_capacity < 1 then
     invalid_arg "Server.start: queue_capacity must be >= 1";
   (match max_conns with
@@ -1905,23 +1934,23 @@ let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64)
      mark says where in the leader's stream its log began, the local
      recovery replays what it had applied, and the subscribe asks only
      for the remainder. *)
-  let net, store, repl_epoch, rep_seq =
+  let backend, store, repl_epoch, rep_seq =
     match follower with
     | Some { wal = Some wal; _ } -> (
       match P.Repl.load_mark ~wal with
-      | None -> (net, None, 0, -1)
+      | None -> (backend, None, 0, -1)
       | Some { P.Repl.epoch; base_seq } -> (
-        match P.Store.resume ?telemetry ~wal () with
-        | Error _ -> (net, None, 0, -1)
+        match P.Store.resume_backend ?telemetry ~wal () with
+        | Error _ -> (backend, None, 0, -1)
         | Ok (store, recovery) ->
-          ( recovery.P.Store.network,
+          ( recovery.P.Store.backend,
             Some store,
             epoch,
             base_seq + P.Store.wal_records store )))
-    | Some { wal = None; _ } -> (net, None, 0, -1)
+    | Some { wal = None; _ } -> (backend, None, 0, -1)
     | None ->
       let base = match store with Some s -> P.Store.wal_records s | None -> 0 in
-      (net, store, 0, base)
+      (backend, store, 0, base)
   in
   let listen_fd, bound = bind_listen addr in
   let http_fd, http_bound =
@@ -1944,7 +1973,7 @@ let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64)
   Unix.set_nonblock wake_w;
   let t =
     {
-      net;
+      backend;
       store;
       ins = Option.map register_instruments telemetry;
       tel = telemetry;
@@ -2005,11 +2034,26 @@ let start ?telemetry ?store ?(queue_capacity = 256) ?(batch_limit = 64)
   | None -> ());
   t
 
+let start ?telemetry ?store ?queue_capacity ?batch_limit ?digest_every
+    ?resume_window ?outbox_capacity ?follower_sndbuf ?follower ?http
+    ?ready_lag ?slow_ms ?slow_log ?span_buffer ?max_conns ?conn_sndbuf ~net
+    addr =
+  start_backend ?telemetry ?store ?queue_capacity ?batch_limit ?digest_every
+    ?resume_window ?outbox_capacity ?follower_sndbuf ?follower ?http
+    ?ready_lag ?slow_ms ?slow_log ?span_buffer ?max_conns ?conn_sndbuf
+    ~backend:(P.Backend.Net net) addr
+
 let address t = t.bound
 let http_address t = t.http_bound
 let role t = t.role
 let applied t = t.rep_seq
-let network t = t.net
+let backend t = t.backend
+
+let network t =
+  match t.backend with
+  | P.Backend.Net net -> net
+  | P.Backend.Mesh _ -> invalid_arg "Server.network: this server runs a mesh backend"
+
 let current_store t = t.store
 
 let spans t =

@@ -122,7 +122,9 @@ val start :
   net:Network.t ->
   address ->
   t
-(** Binds, listens and spawns the event-loop + admission threads (and
+(** {!start_backend} specialized to the multistage fabric.
+
+    Binds, listens and spawns the event-loop + admission threads (and
     the replication client thread when [follower] is given).
     [queue_capacity] (default 256) bounds the admission queue;
     [batch_limit] (default 64) caps how many requests one drain takes.
@@ -153,6 +155,30 @@ val start :
     [follower] are given.
     @raise Unix.Unix_error when an address cannot be bound. *)
 
+val start_backend :
+  ?telemetry:Wdm_telemetry.Sink.t ->
+  ?store:Wdm_persist.Store.t ->
+  ?queue_capacity:int ->
+  ?batch_limit:int ->
+  ?digest_every:int ->
+  ?resume_window:int ->
+  ?outbox_capacity:int ->
+  ?follower_sndbuf:int ->
+  ?follower:follower_config ->
+  ?http:address ->
+  ?ready_lag:int ->
+  ?slow_ms:float ->
+  ?slow_log:string ->
+  ?span_buffer:int ->
+  ?max_conns:int ->
+  ?conn_sndbuf:int ->
+  backend:Wdm_persist.Backend.t ->
+  address ->
+  t
+(** {!start} for either state kind — a mesh backend serves the same
+    wire protocol (mesh results are mapped onto the multistage route
+    vocabulary; fault ops are refused with [Server_error]). *)
+
 val address : t -> address
 (** The actual bound address — with [Tcp (host, 0)] the kernel-chosen
     port is filled in. *)
@@ -167,12 +193,16 @@ val applied : t -> int
     applied from a leader's stream.  A follower whose [applied] equals
     the leader's has caught up. *)
 
-val network : t -> Network.t
-(** The live network.  On a follower this is {e replaced} when a
+val backend : t -> Wdm_persist.Backend.t
+(** The live state machine.  On a follower this is {e replaced} when a
     snapshot installs, so do not cache it across attaches; reading
     state through a {!Client} request is always safe, reading it
     in-process is only safe once the server is stopped or known
     quiescent. *)
+
+val network : t -> Network.t
+(** {!backend} for servers started with {!start}.
+    @raise Invalid_argument on a mesh backend. *)
 
 val current_store : t -> Wdm_persist.Store.t option
 (** The store currently in use: the one passed to {!start}, or the one

@@ -1,0 +1,103 @@
+open Wdm_core
+
+type point = {
+  offered_erlangs : float;
+  arrivals : int;
+  accepted : int;
+  blocked : int;
+  blocking : float;
+  mean_active : float;
+}
+
+let exponential rng ~rate = -.log1p (-.Random.State.float rng 1.) /. rate
+
+(* distinct uniform draws without replacement, ascending result *)
+let draw_dests rng ~nodes ~src count =
+  let picked = Hashtbl.create 8 in
+  let rec pick remaining acc =
+    if remaining = 0 then List.sort compare acc
+    else begin
+      let v = 1 + Random.State.int rng nodes in
+      if v = src || Hashtbl.mem picked v then pick remaining acc
+      else begin
+        Hashtbl.add picked v ();
+        pick (remaining - 1) (v :: acc)
+      end
+    end
+  in
+  pick count []
+
+let run rng ~nodes ~fanout ~offered ~arrivals (sut : ('id, 'err) Churn.sut) =
+  if nodes < 2 then invalid_arg "Erlang.run: need at least 2 nodes";
+  if not (offered > 0.) then invalid_arg "Erlang.run: offered must be > 0";
+  if arrivals < 1 then invalid_arg "Erlang.run: arrivals must be >= 1";
+  let departures = Event_heap.create () in
+  let now = ref 0. in
+  let active = ref 0 in
+  let accepted = ref 0 in
+  let blocked = ref 0 in
+  let area = ref 0. in
+  let advance t =
+    area := !area +. (float_of_int !active *. (t -. !now));
+    now := t
+  in
+  let depart_until t =
+    let rec drain () =
+      match Event_heap.peek departures with
+      | Some (dt, _) when dt <= t -> (
+        match Event_heap.pop departures with
+        | Some (dt, id) ->
+          advance dt;
+          sut.Churn.disconnect id;
+          decr active;
+          drain ()
+        | None -> ())
+      | _ -> ()
+    in
+    drain ()
+  in
+  for _ = 1 to arrivals do
+    let t = !now +. exponential rng ~rate:offered in
+    depart_until t;
+    advance t;
+    let src = 1 + Random.State.int rng nodes in
+    let f = Fanout.sample rng fanout ~max_available:(nodes - 1) in
+    let dest_nodes = draw_dests rng ~nodes ~src f in
+    let conn =
+      Connection.make_exn
+        ~source:{ Endpoint.port = src; wl = 1 }
+        ~destinations:
+          (List.map (fun p -> { Endpoint.port = p; wl = 1 }) dest_nodes)
+    in
+    match sut.Churn.connect conn with
+    | Ok id ->
+      incr accepted;
+      incr active;
+      Event_heap.push departures ~time:(t +. exponential rng ~rate:1.) id
+    | Error _ -> incr blocked
+  done;
+  (* tear the survivors down so the network ends idle *)
+  let rec drain () =
+    match Event_heap.pop departures with
+    | Some (dt, id) ->
+      advance dt;
+      sut.Churn.disconnect id;
+      decr active;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let span = if !now > 0. then !now else 1. in
+  {
+    offered_erlangs = offered;
+    arrivals;
+    accepted = !accepted;
+    blocked = !blocked;
+    blocking = float_of_int !blocked /. float_of_int arrivals;
+    mean_active = !area /. span;
+  }
+
+let pp_point ppf p =
+  Format.fprintf ppf
+    "%.2f erlangs: %d arrivals, %d blocked (%.4f), mean active %.2f"
+    p.offered_erlangs p.arrivals p.blocked p.blocking p.mean_active

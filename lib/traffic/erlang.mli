@@ -1,0 +1,43 @@
+(** Erlang-load blocking-probability driver for node-addressed
+    networks (mesh RWA).
+
+    {!Churn.run_timed} models the paper's port-exclusive fabric: an
+    endpoint is busy while a call holds it, so request generation
+    draws from free-endpoint pools.  A mesh RWA network has no such
+    exclusivity — any node pair may request a lightpath at any time,
+    and blocking comes only from wavelength contention — so this
+    driver samples sources and destination groups uniformly over the
+    nodes, fires Poisson arrivals with exponential holding times, and
+    reports the blocking probability at a given offered load.
+
+    The whole run is a pure function of the seeded [Random.State.t]
+    and the arguments; drive it over a deterministic network and the
+    resulting table is seed-reproducible. *)
+
+type point = {
+  offered_erlangs : float;  (** [arrival_rate * mean_holding] *)
+  arrivals : int;  (** requests offered *)
+  accepted : int;
+  blocked : int;
+  blocking : float;  (** [blocked / arrivals] *)
+  mean_active : float;  (** time-averaged calls in progress *)
+}
+
+val run :
+  Random.State.t ->
+  nodes:int ->
+  fanout:Fanout.t ->
+  offered:float ->
+  arrivals:int ->
+  ('id, 'err) Churn.sut ->
+  point
+(** Offers [arrivals] calls at [offered] Erlangs (arrival rate
+    [offered] against unit mean holding time).  Each call picks a
+    uniform source node and a sampled fanout of distinct destination
+    nodes (excluding the source; [fanout] is clamped to [nodes - 1]).
+    Calls still in progress when the last arrival has been offered are
+    torn down through the sut before returning.
+    @raise Invalid_argument on [nodes < 2], [offered <= 0] or
+    [arrivals < 1]. *)
+
+val pp_point : Format.formatter -> point -> unit

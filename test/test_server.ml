@@ -608,9 +608,10 @@ let test_eintr_storm () =
       Unix.rmdir dir)
 
 (* The whole point of the event loop: connections are buffers, not
-   threads.  Park a thousand idle (hello'd, then silent) connections,
-   check the process thread count stayed flat, and serve a request
-   through the crowd. *)
+   threads.  Park up to ten thousand idle (hello'd, then silent)
+   connections — as many as the fd limit leaves headroom for — check
+   the process thread count stayed flat, and serve a request through
+   the crowd. *)
 let threads_now () =
   (* Linux-only; [None] elsewhere and the assertion is skipped *)
   match open_in "/proc/self/status" with
@@ -631,13 +632,15 @@ let threads_now () =
         go ())
 
 let test_idle_connection_soak () =
-  let want = 1024 in
+  let want = 10_000 in
   let target =
     if Srv.Evloop.available_backend () <> "epoll" then 128
-      (* select tops out at FD_SETSIZE; the 1k target needs epoll *)
+      (* select tops out at FD_SETSIZE; the 10k target needs epoll *)
     else
-      let limit = Srv.Evloop.ensure_fd_capacity (want + 128) in
-      if limit < 0 then want else max 64 (min want (limit - 64))
+      (* both ends of every parked connection live in this process, so
+         each one costs two fds against the limit *)
+      let limit = Srv.Evloop.ensure_fd_capacity ((2 * want) + 256) in
+      if limit < 0 then 1024 else max 64 (min want ((limit - 256) / 2))
   in
   let baseline = threads_now () in
   let net = make_net Network.Bitset in
