@@ -1423,6 +1423,48 @@ let mesh_blocking_bench ~quick () =
                  cells) );
         ] )
 
+(* ----------------------------------------------------------------- *)
+(* Strategy racing (plug-in lab)                                      *)
+(* ----------------------------------------------------------------- *)
+
+module Lab_compare = Wdm_lab.Compare
+
+(* Every registered lab strategy raced over identical per-workload
+   seeded traffic on both engines — the acceptance table for the
+   routing-strategy plug-in API.  The per-cell RNG never sees the
+   strategy, so any cell reproduces on its own. *)
+let strategy_compare_bench ~quick () =
+  section "Strategy racing (plug-in lab)";
+  let spec = if quick then Lab_compare.quick else Lab_compare.default in
+  match Lab_compare.run spec with
+  | Error e -> failwith ("strategy_compare: " ^ e)
+  | Ok cells ->
+    Format.printf "%a@." Lab_compare.pp_table cells;
+    ( "strategy_compare",
+      J.Obj
+        [
+          ("seed", J.Int spec.Lab_compare.seed);
+          ( "strategies",
+            J.List
+              (List.map (fun s -> J.String s) spec.Lab_compare.strategies) );
+          ( "cells",
+            J.List
+              (List.map
+                 (fun (c : Lab_compare.cell) ->
+                   J.Obj
+                     [
+                       ("engine", J.String c.Lab_compare.engine);
+                       ("workload", J.String c.Lab_compare.workload);
+                       ("strategy", J.String c.Lab_compare.strategy);
+                       ("attempts", J.Int c.Lab_compare.attempts);
+                       ("accepted", J.Int c.Lab_compare.accepted);
+                       ("blocked", J.Int c.Lab_compare.blocked);
+                       ("blocking", J.Float c.Lab_compare.blocking);
+                       ("mean_connect_us", J.Float c.Lab_compare.mean_connect_us);
+                     ])
+                 cells) );
+        ] )
+
 let write_results fragments =
   let oc = open_out "BENCH_results.json" in
   output_string oc (J.to_string (J.Obj fragments));
@@ -1751,6 +1793,71 @@ let validate_results path =
       if List.length (distinct "strategy") >= 2 then Ok ()
       else fail "mesh_blocking must cover at least 2 assignment strategies"
     in
+    let* cmp = require "strategy_compare" (J.member "strategy_compare" doc) in
+    let* () =
+      match Option.bind (J.member "seed" cmp) J.to_int with
+      | Some _ -> Ok ()
+      | None -> fail "strategy_compare.seed missing"
+    in
+    let* ccells = require "strategy_compare.cells" (J.member "cells" cmp) in
+    let* ccells =
+      require "strategy_compare.cells as a list" (J.to_list ccells)
+    in
+    let check_compare_cell i j =
+      let ctx = Printf.sprintf "strategy_compare.cells[%d]" i in
+      let* () =
+        List.fold_left
+          (fun acc key ->
+            Result.bind acc (fun () ->
+                match Option.bind (J.member key j) J.to_string_opt with
+                | Some _ -> Ok ()
+                | None -> fail "%s.%s is not a string" ctx key))
+          (Ok ())
+          [ "engine"; "workload"; "strategy" ]
+      in
+      let* () =
+        match Option.bind (J.member "mean_connect_us" j) J.to_float_opt with
+        | Some us when us >= 0. -> Ok ()
+        | Some us -> fail "%s.mean_connect_us %.1f is negative" ctx us
+        | None -> fail "%s.mean_connect_us is not a number" ctx
+      in
+      let* () =
+        match Option.bind (J.member "blocking" j) J.to_float_opt with
+        | Some pb when pb >= 0. && pb <= 1. -> Ok ()
+        | Some pb -> fail "%s.blocking %.3f outside [0,1]" ctx pb
+        | None -> fail "%s.blocking is not a number" ctx
+      in
+      let geti key = Option.bind (J.member key j) J.to_int in
+      match (geti "attempts", geti "accepted", geti "blocked") with
+      | Some a, Some ok, Some b when a = ok + b -> Ok ()
+      | Some a, Some ok, Some b ->
+        fail "%s: attempts %d <> accepted %d + blocked %d" ctx a ok b
+      | _ -> fail "%s: attempt counts are not ints" ctx
+    in
+    let* () =
+      List.fold_left
+        (fun acc (i, j) -> Result.bind acc (fun () -> check_compare_cell i j))
+        (Ok ())
+        (List.mapi (fun i j -> (i, j)) ccells)
+    in
+    let distinct_cmp key =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun j -> Option.bind (J.member key j) J.to_string_opt)
+           ccells)
+    in
+    let* () =
+      if List.length (distinct_cmp "strategy") >= 2 then Ok ()
+      else fail "strategy_compare must race at least 2 strategies"
+    in
+    let* () =
+      if List.length (distinct_cmp "workload") >= 2 then Ok ()
+      else fail "strategy_compare must cover at least 2 workloads"
+    in
+    let* () =
+      if List.length (distinct_cmp "engine") >= 2 then Ok ()
+      else fail "strategy_compare must exercise both engines"
+    in
     Ok (List.length benches, List.length impls)
   in
   match result with
@@ -1788,7 +1895,8 @@ let full () =
   let repl = replication_bench ~topo ~ops in
   let micro = micro_benchmarks ~quick:false () in
   let meshb = mesh_blocking_bench ~quick:false () in
-  write_results [ micro; rt; persist; serving; stages; repl; meshb ];
+  let cmp = strategy_compare_bench ~quick:false () in
+  write_results [ micro; rt; persist; serving; stages; repl; meshb; cmp ];
   print_endline "All reproduction sections completed."
 
 (* --quick runs just the machine-readable sections at reduced sizes —
@@ -1802,7 +1910,8 @@ let quick () =
   let repl = replication_bench ~topo ~ops in
   let micro = micro_benchmarks ~quick:true () in
   let meshb = mesh_blocking_bench ~quick:true () in
-  write_results [ micro; rt; persist; serving; stages; repl; meshb ];
+  let cmp = strategy_compare_bench ~quick:true () in
+  write_results [ micro; rt; persist; serving; stages; repl; meshb; cmp ];
   print_endline "Quick bench profile completed."
 
 let () =

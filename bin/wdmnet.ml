@@ -18,6 +18,13 @@ module Mesh = Wdm_mesh.Mesh_network
 module Mesh_assign = Wdm_mesh.Assign
 module Campaign = Wdm_mesh.Campaign
 
+(* Both engines expose the same Error surface (cause / to_string /
+   to_json); every single-request refusal wdmnet renders goes through
+   this one function, so the two fabrics read identically. *)
+let refusal_to_string = function
+  | `Multistage e -> Network.Error.to_string e
+  | `Mesh e -> Mesh.Error.to_string e
+
 (* --- shared args ------------------------------------------------------- *)
 
 let write_file path contents =
@@ -242,7 +249,7 @@ let fig10_cmd =
         Format.printf "%-13s: prelude %d/3, probe %s\n" name o.Scenarios.admitted
           (match o.Scenarios.probe_result with
           | Ok r -> Format.asprintf "ROUTED (%a)" Network.pp_route r
-          | Error e -> "BLOCKED (" ^ Network.Error.to_string e ^ ")"))
+          | Error e -> "BLOCKED (" ^ refusal_to_string (`Multistage e) ^ ")"))
       [ (Network.Msw_dominant, "MSW-dominant"); (Network.Maw_dominant, "MAW-dominant") ]
   in
   Cmd.v (Cmd.info "fig10" ~doc:"Play the Fig. 10 blocking scenario.")
@@ -279,11 +286,25 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
            ~doc:"Write the final metrics snapshot as JSON.")
   in
-  let run n r k m construction model steps seed trace_file stats_json wal
-      snapshot_every =
+  let strategy_arg =
+    Arg.(value & opt (some string) None & info [ "strategy" ] ~docv:"S"
+           ~doc:"Routing strategy: min-intersection, first-fit, exhaustive, \
+                 or any registered plug-in (adaptive, annealed, \
+                 crosstalk[:BASE[:DB]]).  Default: min-intersection.")
+  in
+  let run n r k m construction model steps seed strategy trace_file stats_json
+      wal snapshot_every =
     check_dims n k;
     if r < 1 then begin prerr_endline "wdmnet: R must be >= 1"; exit 2 end;
     check_snapshot_every snapshot_every;
+    let strategy =
+      match strategy with
+      | None -> Network.Config.default.Network.Config.strategy
+      | Some s -> (
+        match Network.strategy_of_string s with
+        | Ok s -> s
+        | Error e -> prerr_endline ("wdmnet: " ^ e); exit 2)
+    in
     let eval =
       match construction with
       | Network.Msw_dominant -> Conditions.msw_dominant ~n ~r
@@ -296,9 +317,10 @@ let simulate_cmd =
     let telemetry, trace = make_sink ~want_metrics:(stats_json <> None) trace_file in
     let net =
       Network.create
-        ~config:{ Network.Config.default with telemetry }
+        ~config:{ Network.Config.default with telemetry; strategy }
         ~construction ~output_model:model topo
     in
+    Format.printf "strategy: %a\n" Network.pp_strategy strategy;
     let sut =
       {
         Wdm_traffic.Churn.connect =
@@ -333,8 +355,8 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Churn a three-stage network and report blocking.")
     Term.(const run $ n_local_arg $ r_arg $ k_arg $ m_arg $ construction_arg
-          $ model_arg $ steps_arg $ seed_arg $ trace_arg $ stats_json_arg
-          $ wal_arg $ snapshot_every_arg)
+          $ model_arg $ steps_arg $ seed_arg $ strategy_arg $ trace_arg
+          $ stats_json_arg $ wal_arg $ snapshot_every_arg)
 
 (* --- faults -------------------------------------------------------------- *)
 
@@ -976,9 +998,13 @@ let serve_cmd =
                  ports are 1-based node ids and fault ops are refused.")
   in
   let strategy_arg =
-    Arg.(value & opt string "first-fit" & info [ "strategy" ] ~docv:"S"
-           ~doc:"Wavelength assignment strategy for $(b,--mesh): \
-                 first-fit, most-used, least-used, random or coloring.")
+    Arg.(value & opt (some string) None & info [ "strategy" ] ~docv:"S"
+           ~doc:"Routing strategy.  For $(b,--mesh): first-fit, most-used, \
+                 least-used, random, coloring (default first-fit); for the \
+                 three-stage fabric: min-intersection, first-fit, \
+                 exhaustive (default min-intersection).  Either engine also \
+                 accepts any registered plug-in: adaptive, annealed, \
+                 crosstalk[:BASE[:DB]].")
   in
   let run n r k m construction model listen wal fsync_every queue_capacity
       batch_limit follower http ready_lag slow_ms slow_log max_conns mesh
@@ -1009,14 +1035,11 @@ let serve_cmd =
     let backend, describe =
       match mesh with
       | Some topo_name ->
-        if follower <> None then begin
-          prerr_endline
-            "wdmnet: --mesh does not support --follower (replicate a \
-             multistage fabric, or run the mesh standalone with --wal)";
-          exit 2
-        end;
         let strat =
-          match Mesh_assign.strategy_of_string strategy with
+          match
+            Mesh_assign.strategy_of_string
+              (Option.value ~default:"first-fit" strategy)
+          with
           | Ok s -> s
           | Error e -> prerr_endline ("wdmnet: " ^ e); exit 2
         in
@@ -1041,9 +1064,22 @@ let serve_cmd =
         in
         let m = Option.value ~default:eval.Conditions.m_min m in
         let topo = Topology.make_exn ~n ~m ~r ~k in
+        let strat =
+          match strategy with
+          | None -> Network.Config.default.Network.Config.strategy
+          | Some s -> (
+            match Network.strategy_of_string s with
+            | Ok s -> s
+            | Error e -> prerr_endline ("wdmnet: " ^ e); exit 2)
+        in
         let net =
           Network.create
-            ~config:{ Network.Config.default with telemetry = Some sink }
+            ~config:
+              {
+                Network.Config.default with
+                telemetry = Some sink;
+                strategy = strat;
+              }
             ~construction ~output_model:model topo
         in
         ( Persist.Backend.Net net,
@@ -1171,11 +1207,25 @@ let client_cmd =
                  identical either way.  Uses a single connection, so it \
                  combines with exactly one $(b,--connect).")
   in
-  let run connect churn ops seed n r k model digest stats pipeline =
+  let strategy_arg =
+    Arg.(value & opt (some string) None & info [ "strategy" ] ~docv:"S"
+           ~doc:"Annotate the workload with the routing strategy the server \
+                 was started with.  The name is validated against the \
+                 strategy registries (catching typos before load is \
+                 driven) and echoed in the output; routing itself is \
+                 server-side.")
+  in
+  let run connect churn ops seed n r k model digest stats pipeline strategy =
     if not (churn || digest || stats) then begin
       prerr_endline "wdmnet: nothing to do (pass --churn, --digest or --stats)";
       exit 2
     end;
+    (match strategy with
+    | None -> ()
+    | Some s -> (
+      match (Network.strategy_of_string s, Mesh_assign.strategy_of_string s) with
+      | Error _, Error e -> prerr_endline ("wdmnet: " ^ e); exit 2
+      | _ -> Printf.printf "strategy under test: %s\n" s));
     let addrs = match connect with [] -> [ default_address ] | l -> l in
     let rc = Resilient.create addrs in
     Fun.protect ~finally:(fun () -> Resilient.close rc) @@ fun () ->
@@ -1252,7 +1302,7 @@ let client_cmd =
              ($(b,--digest)) or the telemetry snapshot ($(b,--stats)).")
     Term.(const run $ connect_arg $ churn_flag $ ops_arg $ seed_arg
           $ n_local_arg $ r_arg $ k_arg $ model_arg $ digest_flag $ stats_flag
-          $ pipeline_arg)
+          $ pipeline_arg $ strategy_arg)
 
 (* --- promote ------------------------------------------------------------ *)
 
@@ -1547,7 +1597,19 @@ let mesh_cmd =
     Arg.(value & opt (list string) [ "first-fit"; "coloring" ]
          & info [ "strategies" ] ~docv:"S,.."
              ~doc:"Wavelength assignment strategies: first-fit, most-used, \
-                   least-used, random, coloring.")
+                   least-used, random, coloring, or any registered plug-in \
+                   (adaptive, annealed, crosstalk[:BASE[:DB]]).")
+  in
+  let strategy_arg =
+    Arg.(value & opt (some string) None & info [ "strategy" ] ~docv:"S"
+           ~doc:"Shorthand for $(b,--strategies) with a single entry.")
+  in
+  let probe_arg =
+    Arg.(value & opt (some string) None & info [ "probe" ] ~docv:"SRC:D,..."
+           ~doc:"Instead of a campaign, build one network on the first \
+                 topology and issue a single connect from node SRC to the \
+                 listed destination nodes, printing the route or the typed \
+                 refusal.")
   in
   let loads_arg =
     Arg.(value & opt (list float) [ 4.; 8.; 12.; 16.; 20.; 24. ]
@@ -1623,8 +1685,11 @@ let mesh_cmd =
       | exception Exit ->
         Error ("bad --splitters (want all, none, degree:D or ids): " ^ s))
   in
-  let run topos strategies loads arrivals seed k k_paths mode splitters
-      fanout quick json =
+  let run topos strategies strategy probe loads arrivals seed k k_paths mode
+      splitters fanout quick json =
+    let strategies =
+      match strategy with Some s -> [ s ] | None -> strategies
+    in
     let strategies =
       List.map
         (fun s ->
@@ -1638,6 +1703,46 @@ let mesh_cmd =
       | Ok s -> s
       | Error e -> prerr_endline ("wdmnet: " ^ e); exit 2
     in
+    match probe with
+    | Some spec_str -> (
+      let parse_probe s =
+        match String.split_on_char ':' s with
+        | [ src; dests ] -> (
+          match
+            ( int_of_string_opt (String.trim src),
+              List.map
+                (fun d -> int_of_string_opt (String.trim d))
+                (String.split_on_char ',' dests) )
+          with
+          | Some src, dests when List.for_all Option.is_some dests ->
+            Some (src, List.map Option.get dests)
+          | _ -> None)
+        | _ -> None
+      in
+      match (parse_probe spec_str, topos, strategies) with
+      | None, _, _ ->
+        prerr_endline "wdmnet: bad --probe (want SRC:D1,D2,...)";
+        exit 2
+      | _, [], _ | _, _, [] ->
+        prerr_endline "wdmnet: --probe needs a topology and a strategy";
+        exit 2
+      | Some (src, dests), topo :: _, strategy :: _ ->
+        let config = { Mesh.Config.k; strategy; mode; splitters; k_paths } in
+        (match Mesh.create ~config topo with
+        | Error e -> prerr_endline ("wdmnet: " ^ e); exit 2
+        | Ok net ->
+          let ep p = Endpoint.make ~port:p ~wl:1 in
+          let conn =
+            Connection.make_exn ~source:(ep src)
+              ~destinations:(List.map ep dests)
+          in
+          (* the same refusal path fig10 prints multistage blocks
+             through — satellite: one rendering path for both engines *)
+          (match Mesh.connect net conn with
+          | Ok r -> Format.printf "ROUTED (%a)@." Mesh.pp_route r
+          | Error e ->
+            Format.printf "BLOCKED (%s)@." (refusal_to_string (`Mesh e)))))
+    | None ->
     let arrivals = if quick then Campaign.quick.Campaign.arrivals else arrivals in
     let loads = if quick then Campaign.quick.Campaign.loads else loads in
     let spec =
@@ -1695,9 +1800,92 @@ let mesh_cmd =
              offered loads, with sparse-splitting multicast \
              (light-trees or light-hierarchies).  Deterministic per-cell \
              seeds make every table reproducible.")
-    Term.(const run $ topos_arg $ strategies_arg $ loads_arg $ arrivals_arg
-          $ seed_arg $ mesh_k_arg $ k_paths_arg $ mode_arg $ splitters_arg
-          $ fanout_arg $ quick_arg $ json_arg)
+    Term.(const run $ topos_arg $ strategies_arg $ strategy_arg $ probe_arg
+          $ loads_arg $ arrivals_arg $ seed_arg $ mesh_k_arg $ k_paths_arg
+          $ mode_arg $ splitters_arg $ fanout_arg $ quick_arg $ json_arg)
+
+(* --- compare (strategy racing) ------------------------------------------- *)
+
+let compare_cmd =
+  let module Compare = Wdm_lab.Compare in
+  let strategies_arg =
+    Arg.(value & opt (some (list string)) None & info [ "strategies" ]
+           ~docv:"S,.."
+           ~doc:"Strategies to race (default: first-fit, adaptive, \
+                 annealed, crosstalk).  Every name must resolve on both \
+                 engines.")
+  in
+  let seed_arg =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Campaign seed; per-cell RNGs derive from it and the \
+                 workload index only, so every strategy races the same \
+                 traffic and any cell is reproducible on its own.")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"CI smoke profile: the same workload grid at reduced \
+                 steps/arrivals.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the table as a JSON object in the \
+                 $(b,strategy_compare) schema (EXPERIMENTS.md).")
+  in
+  let run strategies seed quick json =
+    let spec = if quick then Compare.quick else Compare.default in
+    let spec =
+      {
+        spec with
+        Compare.strategies =
+          Option.value ~default:spec.Compare.strategies strategies;
+        seed = Option.value ~default:spec.Compare.seed seed;
+      }
+    in
+    match Compare.run spec with
+    | Error e -> prerr_endline ("wdmnet: " ^ e); exit 2
+    | Ok cells ->
+      Format.printf "%a@." Compare.pp_table cells;
+      (match json with
+      | None -> ()
+      | Some file ->
+        let module J = Tel.Json in
+        let doc =
+          J.Obj
+            [
+              ("seed", J.Int spec.Compare.seed);
+              ( "strategies",
+                J.List
+                  (List.map (fun s -> J.String s) spec.Compare.strategies) );
+              ( "cells",
+                J.List
+                  (List.map
+                     (fun (c : Compare.cell) ->
+                       J.Obj
+                         [
+                           ("engine", J.String c.Compare.engine);
+                           ("workload", J.String c.Compare.workload);
+                           ("strategy", J.String c.Compare.strategy);
+                           ("attempts", J.Int c.Compare.attempts);
+                           ("accepted", J.Int c.Compare.accepted);
+                           ("blocked", J.Int c.Compare.blocked);
+                           ("blocking", J.Float c.Compare.blocking);
+                           ( "mean_connect_us",
+                             J.Float c.Compare.mean_connect_us );
+                         ])
+                     cells) );
+            ]
+        in
+        write_file file (J.to_string doc ^ "\n");
+        Printf.printf "wrote %s (%d cells)\n" file (List.length cells))
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Race routing strategies over identical seeded traffic on both \
+             engines: multistage churn workloads and mesh Erlang workloads, \
+             one blocking/latency row per (workload, strategy) cell.  The \
+             per-cell RNG never sees the strategy, so cells in a row \
+             differ only by the routing decisions under test.")
+    Term.(const run $ strategies_arg $ seed_arg $ quick_arg $ json_arg)
 
 (* --- deep (recursive designs) ---------------------------------------------- *)
 
@@ -1762,4 +1950,5 @@ let () =
             figures_cmd;
             deep_cmd;
             mesh_cmd;
+            compare_cmd;
           ]))

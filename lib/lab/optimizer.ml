@@ -1,0 +1,129 @@
+module Rng = Wdm_core.Strategy.Det_rng
+
+type result = { order : int list; score : int; evaluations : int }
+
+let identity n = Array.init n (fun i -> i)
+
+let swap a i j =
+  let t = a.(i) in
+  a.(i) <- a.(j);
+  a.(j) <- t
+
+let anneal ?(iterations = 400) ~seed ~score n =
+  if n < 0 then invalid_arg "Optimizer.anneal: negative batch size";
+  let rng = Rng.make ~seed in
+  let evals = ref 0 in
+  let eval a =
+    incr evals;
+    score (Array.to_list a)
+  in
+  let current = identity n in
+  let current_score = ref (eval current) in
+  let best = Array.copy current in
+  let best_score = ref !current_score in
+  let temp = ref (float_of_int (max 1 n)) in
+  for _ = 1 to iterations do
+    if n > 1 then begin
+      let i = Rng.int rng n and j = Rng.int rng n in
+      swap current i j;
+      let s = eval current in
+      let accept =
+        s >= !current_score
+        || Rng.float rng < exp (float_of_int (s - !current_score) /. !temp)
+      in
+      if accept then begin
+        current_score := s;
+        if s > !best_score then begin
+          best_score := s;
+          Array.blit current 0 best 0 n
+        end
+      end
+      else swap current i j
+    end;
+    temp := Float.max 0.05 (!temp *. 0.97)
+  done;
+  { order = Array.to_list best; score = !best_score; evaluations = !evals }
+
+(* Order crossover (OX1): copy a slice of parent a, fill the rest in
+   parent b's order — preserves permutation-ness. *)
+let crossover rng a b =
+  let n = Array.length a in
+  let lo = Rng.int rng n in
+  let hi = lo + Rng.int rng (n - lo) in
+  let child = Array.make n (-1) in
+  let taken = Array.make n false in
+  for i = lo to hi do
+    child.(i) <- a.(i);
+    taken.(a.(i)) <- true
+  done;
+  let pos = ref 0 in
+  Array.iter
+    (fun g ->
+      if not taken.(g) then begin
+        while !pos >= lo && !pos <= hi do
+          incr pos
+        done;
+        child.(!pos) <- g;
+        incr pos
+      end)
+    b;
+  child
+
+let evolve ?(generations = 40) ?(population = 24) ~seed ~score n =
+  if n < 0 then invalid_arg "Optimizer.evolve: negative batch size";
+  if population < 2 then invalid_arg "Optimizer.evolve: population < 2";
+  let rng = Rng.make ~seed in
+  let evals = ref 0 in
+  let eval a =
+    incr evals;
+    score (Array.to_list a)
+  in
+  let shuffled () =
+    let a = identity n in
+    for i = n - 1 downto 1 do
+      swap a i (Rng.int rng (i + 1))
+    done;
+    a
+  in
+  (* seed the population with the identity (arrival order) plus
+     shuffles, so the search never does worse than no optimization *)
+  let pop =
+    Array.init population (fun i -> if i = 0 then identity n else shuffled ())
+  in
+  let scores = Array.map eval pop in
+  let best = ref (Array.copy pop.(0)) in
+  let best_score = ref scores.(0) in
+  Array.iteri
+    (fun i s ->
+      if s > !best_score then begin
+        best_score := s;
+        best := Array.copy pop.(i)
+      end)
+    scores;
+  let tournament () =
+    let a = Rng.int rng population and b = Rng.int rng population in
+    if scores.(a) >= scores.(b) then pop.(a) else pop.(b)
+  in
+  for _ = 1 to generations do
+    let next =
+      Array.init population (fun _ ->
+          let child =
+            if n > 1 then crossover rng (tournament ()) (tournament ())
+            else Array.copy (tournament ())
+          in
+          (* swap mutation at a fixed small rate *)
+          if n > 1 && Rng.int rng 4 = 0 then
+            swap child (Rng.int rng n) (Rng.int rng n);
+          child)
+    in
+    Array.iteri
+      (fun i c ->
+        pop.(i) <- c;
+        scores.(i) <- eval c;
+        if scores.(i) > !best_score then begin
+          best_score := scores.(i);
+          best := Array.copy c
+        end)
+      next
+  done;
+  { order = Array.to_list !best; score = !best_score; evaluations = !evals }

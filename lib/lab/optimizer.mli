@@ -1,0 +1,44 @@
+(** Offline batch-assignment optimizers.
+
+    The online strategies route one request at a time; given the whole
+    batch up front, the order requests are admitted in is itself a
+    degree of freedom — a batch that blocks under arrival order often
+    fits completely under another.  This module searches permutation
+    space for an admission order maximizing a caller-supplied score
+    (typically "requests admitted into a fresh network").
+
+    Both searches draw only from {!Wdm_core.Strategy.Det_rng} seeded by
+    the caller, so a run is a pure function of its arguments —
+    rerunnable and replayable like everything else in the tree.
+
+    The evaluator receives the batch in candidate order and returns the
+    score to maximize; it must not mutate shared state (build a fresh
+    network per call). *)
+
+type result = {
+  order : int list;  (** indices into the input batch, best-found order *)
+  score : int;
+  evaluations : int;  (** evaluator calls spent *)
+}
+
+val anneal :
+  ?iterations:int ->
+  seed:int ->
+  score:(int list -> int) ->
+  int ->
+  result
+(** [anneal ~seed ~score n] — simulated annealing over permutations of
+    [0..n-1] by pairwise swaps (400 iterations by default), geometric
+    cooling, Metropolis acceptance.  [score order] evaluates a
+    candidate. *)
+
+val evolve :
+  ?generations:int ->
+  ?population:int ->
+  seed:int ->
+  score:(int list -> int) ->
+  int ->
+  result
+(** [evolve ~seed ~score n] — a small genetic search: tournament
+    selection, order-preserving crossover, swap mutation (40
+    generations of 24 by default).  Same contract as {!anneal}. *)

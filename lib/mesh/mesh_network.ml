@@ -57,6 +57,9 @@ type t = {
   cfg : Config.t;
   mc : bool array;
   assign : Assign.t;
+  plugin : Assign.plugin option;
+      (* resolved once at build time when cfg.strategy is [Named _];
+         plug-ins are pure so sharing the resolution is safe *)
   active : (int, route) Hashtbl.t;
   mutable next_id : int;
   mutable attempts : int;
@@ -118,18 +121,30 @@ let build ?telemetry ~(cfg : Config.t) ~topo_name ~mc graph =
   if cfg.k < 1 || cfg.k > 62 then Error "wavelength count must be in 1..62"
   else if cfg.k_paths < 1 then Error "k_paths must be >= 1"
   else
-    Ok
-      {
-        graph;
-        topo_name;
-        cfg;
-        mc;
-        assign = Assign.create ~k:cfg.k ~m:(Graph.m graph);
-        active = Hashtbl.create 64;
-        next_id = 1;
-        attempts = 0;
-        tel = make_tel telemetry;
-      }
+    let plugin =
+      match cfg.strategy with
+      | Assign.Named name -> (
+        match Assign.resolve_plugin name with
+        | Some _ as p -> Ok p
+        | None -> Error (Printf.sprintf "unknown strategy %S" name))
+      | _ -> Ok None
+    in
+    match plugin with
+    | Error _ as e -> e
+    | Ok plugin ->
+      Ok
+        {
+          graph;
+          topo_name;
+          cfg;
+          mc;
+          assign = Assign.create ~k:cfg.k ~m:(Graph.m graph);
+          plugin;
+          active = Hashtbl.create 64;
+          next_id = 1;
+          attempts = 0;
+          tel = make_tel telemetry;
+        }
 
 let create ?telemetry ?(config = Config.default) name =
   match Zoo.by_name name with
@@ -205,6 +220,21 @@ let coloring_pick t edge_ids =
   in
   first 1
 
+(* Candidate wavelength scan order: the enum strategies dispatch through
+   Assign.order exactly as before the plug-in API; a [Named] strategy
+   uses its resolved plug-in (cached on [t]). *)
+let scan_order t ~hash =
+  match t.plugin with
+  | Some p -> Assign.plugin_order p t.assign ~hash
+  | None -> Assign.order t.assign t.cfg.strategy ~hash
+
+(* A plug-in may additionally veto an otherwise-feasible assignment
+   (e.g. the crosstalk-budget decorator); enum strategies never do. *)
+let admits t ~edges ~wl ~fanout =
+  match t.plugin with
+  | Some p -> Assign.plugin_admits p t.assign ~edges ~wl ~fanout
+  | None -> true
+
 let try_unicast t ~hash ~src ~dst =
   let paths =
     Shortest.k_shortest t.graph ~src ~dst ~k:t.cfg.k_paths
@@ -222,10 +252,12 @@ let try_unicast t ~hash ~src ~dst =
              invariant relating them is broken *)
           assert false
         | None -> None)
-      | s ->
+      | _ ->
         List.find_opt
-          (fun wl -> Assign.free_on t.assign ~edges:edge_ids ~wl)
-          (Assign.order t.assign s ~hash)
+          (fun wl ->
+            Assign.free_on t.assign ~edges:edge_ids ~wl
+            && admits t ~edges:edge_ids ~wl ~fanout:1)
+          (scan_order t ~hash)
     in
     Option.map (fun wl -> (arcs, wl)) chosen
   in
@@ -239,16 +271,23 @@ let try_unicast t ~hash ~src ~dst =
   first paths
 
 let try_multicast t ~hash ~src ~dests =
-  let order = Assign.order t.assign t.cfg.strategy ~hash in
+  let order = scan_order t ~hash in
+  let fanout = List.length dests in
   let rec first worst = function
-    | [] -> Error worst
+    | [] -> Error (match worst with [] -> dests | w -> w)
     | wl :: rest -> (
       let use_edge e = not (Assign.used t.assign ~edge:e ~wl) in
       match
         Light_tree.build ~mode:t.cfg.mode ~mc:t.mc ~use_edge t.graph ~src
           ~dests
       with
-      | Ok s -> Ok (s.Light_tree.arcs, wl, s.Light_tree.cost)
+      | Ok s
+        when admits t ~edges:(arc_edge_ids s.Light_tree.arcs) ~wl ~fanout ->
+        Ok (s.Light_tree.arcs, wl, s.Light_tree.cost)
+      | Ok _ ->
+        (* feasible but vetoed by the plug-in's admission predicate:
+           try the next wavelength, reporting nothing uncovered *)
+        first worst rest
       | Error uncovered ->
         let worst =
           match worst with
@@ -385,6 +424,50 @@ let pp_error ppf = function
          ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
          Format.pp_print_int)
       uncovered
+
+let pp_disconnect_error ppf = function
+  | Unknown_route id -> Format.fprintf ppf "no route %d was ever allocated" id
+  | Already_released id -> Format.fprintf ppf "route %d already released" id
+
+module Error = struct
+  type nonrec t = error
+
+  let cause = function
+    | Source_out_of_range _ -> "source_out_of_range"
+    | Destination_out_of_range _ -> "destination_out_of_range"
+    | Blocked _ -> "blocked"
+
+  let to_string e = Format.asprintf "%a" pp_error e
+
+  let json_endpoint (e : Endpoint.t) =
+    Wdm_telemetry.Json.Obj
+      [
+        ("port", Wdm_telemetry.Json.Int e.Endpoint.port);
+        ("wl", Wdm_telemetry.Json.Int e.Endpoint.wl);
+      ]
+
+  let to_json e =
+    let open Wdm_telemetry.Json in
+    Obj
+      (("cause", String (cause e))
+      ::
+      (match e with
+      | Source_out_of_range ep | Destination_out_of_range ep ->
+        [ ("endpoint", json_endpoint ep) ]
+      | Blocked { uncovered } ->
+        [ ("uncovered", List (List.map (fun i -> Int i) uncovered)) ]))
+
+  let disconnect_cause = function
+    | Unknown_route _ -> "unknown_route"
+    | Already_released _ -> "already_released"
+
+  let disconnect_to_string e = Format.asprintf "%a" pp_disconnect_error e
+
+  let disconnect_to_json e =
+    let open Wdm_telemetry.Json in
+    let id = match e with Unknown_route id | Already_released id -> id in
+    Obj [ ("cause", String (disconnect_cause e)); ("id", Int id) ]
+end
 
 let pp_route ppf r =
   Format.fprintf ppf "route %d wl=%d cost=%.1f arcs=[%a]" r.id r.wl r.cost

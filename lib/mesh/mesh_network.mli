@@ -99,5 +99,27 @@ val restore : ?telemetry:Sink.t -> state -> (t, string) result
     occupancy by re-marking every active route, so a restored network
     is behaviorally indistinguishable from the snapshotted one. *)
 
+(** Refusal rendering, mirroring {!Wdm_multistage.Network.Error} so
+    callers (wdmnet in particular) print both engines' refusals through
+    one code path. *)
+module Error : sig
+  type nonrec t = error
+
+  val cause : t -> string
+  (** Short stable tag ([source_out_of_range],
+      [destination_out_of_range], [blocked]). *)
+
+  val to_string : t -> string
+
+  val to_json : t -> Wdm_telemetry.Json.t
+  (** [{"cause": ..., ...}] with per-constructor fields: the offending
+      endpoint or the uncovered node list. *)
+
+  val disconnect_cause : disconnect_error -> string
+  val disconnect_to_string : disconnect_error -> string
+  val disconnect_to_json : disconnect_error -> Wdm_telemetry.Json.t
+end
+
 val pp_error : Format.formatter -> error -> unit
+val pp_disconnect_error : Format.formatter -> disconnect_error -> unit
 val pp_route : Format.formatter -> route -> unit

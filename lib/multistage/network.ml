@@ -1,7 +1,13 @@
 open Wdm_core
 
 type construction = Msw_dominant | Maw_dominant
-type strategy = Min_intersection | First_fit | Exhaustive
+
+type strategy =
+  | Min_intersection
+  | First_fit
+  | Exhaustive
+  | Named of string  (* a registered strategy plug-in, by registry name *)
+
 type link_impl = Bitset | Reference
 
 type hop = { middle : int; stage1_wl : int; serves : (int * int) list }
@@ -222,7 +228,33 @@ type t = {
      across calls *)
   scratch_uncovered : int array;
   instruments : instruments option;
+  (* the resolved plug-in when [strategy] is [Named]; resolved once at
+     create/restore so the hot path never consults the registry *)
+  plugin : splugin option;
 }
+
+(* The plug-in surface (public as [Network.Strategy]): a selection
+   context bundling the engine state with one request, and the plug-in
+   record itself.  Mutually recursive with [t] so the resolved plug-in
+   can be cached on the network. *)
+and sctx = {
+  net : t;
+  c_input_switch : int;
+  c_src_wl : int;
+  c_fanout : int list;  (* output modules the request must cover *)
+}
+
+and splugin = {
+  name : string;
+  doc : string;
+  select : sctx -> (int * int list) list option;
+}
+
+module Plugin_registry = Wdm_core.Strategy.Registry (struct
+  type t = splugin
+
+  let name p = p.name
+end)
 
 let register_instruments (topo : Topology.t) (sink : Tel.Sink.t) =
   let reg = sink.Tel.Sink.metrics in
@@ -322,6 +354,16 @@ let create ?(config = Config.default) ~construction ~output_model
     | Some impl -> impl
     | None -> if topo.k <= max_packed_k then Bitset else Reference
   in
+  let plugin =
+    match strategy with
+    | Min_intersection | First_fit | Exhaustive -> None
+    | Named name -> (
+      match Plugin_registry.resolve name with
+      | Some _ as p -> p
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Network.create: unknown strategy %S" name))
+  in
   {
     topo;
     construction;
@@ -347,13 +389,8 @@ let create ?(config = Config.default) ~construction ~output_model
     dead_converters = Pset.empty;
     scratch_uncovered = Array.make topo.r 0;
     instruments = Option.map (register_instruments topo) telemetry;
+    plugin;
   }
-
-let create_legacy ?telemetry ?(strategy = Min_intersection) ?x_limit ?link_impl
-    ?(rearrange_limit = 64) ~construction ~output_model topo =
-  create
-    ~config:{ Config.strategy; x_limit; link_impl; rearrange_limit; telemetry }
-    ~construction ~output_model topo
 
 let topology t = t.topo
 let construction t = t.construction
@@ -636,6 +673,84 @@ let select_exhaustive t ~input_switch ~src_wl available fanout =
   in
   go 1
 
+(* ----- strategy plug-ins ----------------------------------------------- *)
+
+module Strategy = struct
+  type ctx = sctx
+  type plan = (int * int list) list
+
+  type t = splugin = {
+    name : string;
+    doc : string;
+    select : ctx -> plan option;
+  }
+
+  let input_switch c = c.c_input_switch
+  let src_wl c = c.c_src_wl
+  let fanout c = c.c_fanout
+  let middles c = c.net.topo.m
+  let x_limit c = c.net.x_limit
+
+  let available c =
+    available_middles c.net ~input_switch:c.c_input_switch ~src_wl:c.c_src_wl
+
+  let covers c ~middle p =
+    middle_covers c.net ~input_switch:c.c_input_switch ~src_wl:c.c_src_wl
+      middle p
+
+  let occupancy c ~middle = c.net.middle_occ.(middle - 1)
+
+  (* A replay-safe per-request seed: a pure fingerprint of the request
+     against the sourcing coordinates, nothing stateful. *)
+  let request_key c =
+    List.fold_left Wdm_core.Strategy.mix
+      (Wdm_core.Strategy.mix3 0x6d73 c.c_input_switch c.c_src_wl)
+      c.c_fanout
+
+  let cover_in_order c order =
+    ref_first_fit c.net ~input_switch:c.c_input_switch ~src_wl:c.c_src_wl
+      order c.c_fanout
+
+  let register = Plugin_registry.register
+  let register_parser = Plugin_registry.register_parser
+  let resolve = Plugin_registry.resolve
+  let names = Plugin_registry.names
+end
+
+(* A plug-in's plan is checked against the engine invariants the
+   built-ins uphold by construction, so a buggy plug-in surfaces as a
+   loud [Invalid_argument] instead of corrupting the link planes. *)
+let check_plan t ~input_switch ~src_wl ~fanout ~name plan =
+  let bad reason =
+    invalid_arg
+      (Printf.sprintf "Network: strategy %S returned an invalid plan (%s)"
+         name reason)
+  in
+  let picks = List.filter (fun (_, serves) -> serves <> []) plan in
+  if List.length picks > t.x_limit then bad "more than x_limit middles";
+  let js = List.map fst plan in
+  if List.length (List.sort_uniq Int.compare js) <> List.length js then
+    bad "repeated middle";
+  List.iter
+    (fun (j, serves) ->
+      if j < 1 || j > t.topo.m then bad "middle out of range";
+      if serves <> [] && not (middle_available t ~input_switch ~src_wl j) then
+        bad "unavailable middle";
+      List.iter
+        (fun p ->
+          if not (List.mem p fanout) then
+            bad "serves a module outside the request";
+          if not (middle_covers t ~input_switch ~src_wl j p) then
+            bad "claims an uncoverable module")
+        serves)
+    plan;
+  let served = List.concat_map snd plan in
+  if List.length (List.sort_uniq Int.compare served) <> List.length served
+  then bad "module served twice";
+  List.iter
+    (fun p -> if not (List.mem p served) then bad "module left uncovered")
+    fanout
+
 let select t ~input_switch ~src_wl fanout =
   let raw =
     match (t.strategy, t.impl) with
@@ -653,9 +768,212 @@ let select t ~input_switch ~src_wl fanout =
       select_exhaustive t ~input_switch ~src_wl
         (available_middles t ~input_switch ~src_wl)
         fanout
+    | Named _, _ -> (
+      let p =
+        match t.plugin with Some p -> p | None -> assert false
+        (* create/restore resolve Named strategies or refuse *)
+      in
+      match
+        p.select
+          { net = t; c_input_switch = input_switch; c_src_wl = src_wl;
+            c_fanout = fanout }
+      with
+      | None -> None
+      | Some plan ->
+        check_plan t ~input_switch ~src_wl ~fanout ~name:p.name plan;
+        Some plan)
   in
   (* Drop members that ended up serving nothing. *)
   Option.map (List.filter (fun (_, serves) -> serves <> [])) raw
+
+(* ----- built-in and lab strategy plug-ins ------------------------------ *)
+
+(* Simulated annealing over the middle scan order: greedy covers under
+   permuted orders are scored by (middles used, their live stage-1
+   occupancy) and explored with a deterministic request-seeded RNG, so
+   replays are byte-exact (see the Wdm_core.Strategy contract). *)
+let annealed_select (c : sctx) =
+  let t = c.net in
+  let module R = Wdm_core.Strategy.Det_rng in
+  let scan order =
+    ref_first_fit t ~input_switch:c.c_input_switch ~src_wl:c.c_src_wl order
+      c.c_fanout
+  in
+  let avail =
+    available_middles t ~input_switch:c.c_input_switch ~src_wl:c.c_src_wl
+  in
+  if avail = [] then None
+  else begin
+    let cost = function
+      | None -> max_int
+      | Some plan ->
+        List.fold_left
+          (fun acc (j, _) -> acc + 1000 + t.middle_occ.(j - 1))
+          0 plan
+    in
+    let rng = R.make ~seed:(Strategy.request_key c) in
+    let order = Array.of_list avail in
+    let n = Array.length order in
+    let current_cost = ref (cost (scan avail)) in
+    let best = ref (scan avail) in
+    let best_cost = ref !current_cost in
+    let temp = ref 2.0 in
+    for _ = 1 to 32 do
+      if n >= 2 then begin
+        let i = R.int rng n and j = R.int rng n in
+        let swap () =
+          let tmp = order.(i) in
+          order.(i) <- order.(j);
+          order.(j) <- tmp
+        in
+        swap ();
+        let cand = scan (Array.to_list order) in
+        let cc = cost cand in
+        let accept =
+          cc <= !current_cost
+          || cc < max_int
+             && R.float rng
+                < exp
+                    (-.float_of_int (cc - !current_cost)
+                    /. (1000. *. !temp))
+        in
+        if accept then current_cost := cc else swap ();
+        if cc < !best_cost then begin
+          best := cand;
+          best_cost := cc
+        end
+      end;
+      temp := !temp *. 0.85
+    done;
+    !best
+  end
+
+(* [crosstalk[:BASE[:DB]]]: decorate BASE (default min-intersection)
+   with a crosstalk budget — reject any plan whose worst-case
+   signal-to-crosstalk margin (Wdm_optics.Crosstalk, co-active stage-1
+   channels on the chosen middles as first-order leakers) falls below
+   DB (default 20 dB). *)
+let crosstalk_parser full_name =
+  match String.split_on_char ':' full_name with
+  | "crosstalk" :: rest -> (
+    let base, threshold =
+      match rest with
+      | [] -> (Some "min-intersection", Some 20.)
+      | [ b ] -> (Some b, Some 20.)
+      | [ b; db ] -> (Some b, float_of_string_opt db)
+      | _ -> (None, None)
+    in
+    match (base, threshold) with
+    | Some base, Some threshold_db ->
+      Option.map
+        (fun (bp : splugin) ->
+          {
+            name = full_name;
+            doc =
+              Printf.sprintf
+                "%s, rejecting routes whose crosstalk margin drops below \
+                 %g dB"
+                base threshold_db;
+            select =
+              (fun c ->
+                match bp.select c with
+                | None -> None
+                | Some plan ->
+                  let sharers =
+                    List.fold_left
+                      (fun acc (j, _) -> acc + c.net.middle_occ.(j - 1))
+                      0 plan
+                  in
+                  let fan =
+                    List.fold_left
+                      (fun acc (_, serves) -> acc + List.length serves)
+                      0 plan
+                  in
+                  if
+                    Wdm_optics.Crosstalk.acceptable ~threshold_db ~sharers
+                      ~fanout:(max 1 fan) ()
+                  then Some plan
+                  else None);
+          })
+        (Plugin_registry.resolve base)
+    | _ -> None)
+  | _ -> None
+
+let () =
+  let reg name doc select = Strategy.register { name; doc; select } in
+  reg "min-intersection"
+    "greedy minimal-residual-intersection cover (Lemma 5); the \
+     Min_intersection built-in"
+    (fun c ->
+      match c.net.impl with
+      | Bitset ->
+        fast_min_intersection c.net ~input_switch:c.c_input_switch
+          ~src_wl:c.c_src_wl c.c_fanout
+      | Reference ->
+        ref_min_intersection c.net ~input_switch:c.c_input_switch
+          ~src_wl:c.c_src_wl
+          (available_middles c.net ~input_switch:c.c_input_switch
+             ~src_wl:c.c_src_wl)
+          c.c_fanout);
+  reg "first-fit"
+    "ascending middle scan keeping any module that covers something new; \
+     the First_fit built-in"
+    (fun c ->
+      match c.net.impl with
+      | Bitset ->
+        fast_first_fit c.net ~input_switch:c.c_input_switch
+          ~src_wl:c.c_src_wl c.c_fanout
+      | Reference ->
+        ref_first_fit c.net ~input_switch:c.c_input_switch ~src_wl:c.c_src_wl
+          (available_middles c.net ~input_switch:c.c_input_switch
+             ~src_wl:c.c_src_wl)
+          c.c_fanout);
+  reg "exhaustive"
+    "smallest-subset search over available middles; the Exhaustive built-in"
+    (fun c ->
+      select_exhaustive c.net ~input_switch:c.c_input_switch
+        ~src_wl:c.c_src_wl
+        (available_middles c.net ~input_switch:c.c_input_switch
+           ~src_wl:c.c_src_wl)
+        c.c_fanout);
+  reg "adaptive"
+    "load-adaptive middle selection: cover using the least-occupied \
+     middles first (live per-middle stage-1 occupancy, ties to the lower \
+     index)"
+    (fun c ->
+      let occ j = c.net.middle_occ.(j - 1) in
+      let order =
+        List.stable_sort
+          (fun a b -> compare (occ a, a) (occ b, b))
+          (available_middles c.net ~input_switch:c.c_input_switch
+             ~src_wl:c.c_src_wl)
+      in
+      Strategy.cover_in_order c order);
+  reg "annealed"
+    "simulated annealing over the middle scan order, seeded by the \
+     request fingerprint (deterministic, replay-safe)"
+    annealed_select;
+  Strategy.register_parser crosstalk_parser
+
+let strategy_to_string = function
+  | Min_intersection -> "min-intersection"
+  | First_fit -> "first-fit"
+  | Exhaustive -> "exhaustive"
+  | Named name -> name
+
+let strategy_of_string = function
+  | "min-intersection" -> Ok Min_intersection
+  | "first-fit" -> Ok First_fit
+  | "exhaustive" -> Ok Exhaustive
+  | s ->
+    if Plugin_registry.mem s then Ok (Named s)
+    else
+      Error
+        (Printf.sprintf
+           "unknown strategy %S (want %s, or crosstalk[:BASE[:DB]])" s
+           (String.concat ", " (Plugin_registry.names ())))
+
+let pp_strategy ppf s = Format.pp_print_string ppf (strategy_to_string s)
 
 (* ----- admission ------------------------------------------------------ *)
 

@@ -52,6 +52,13 @@ type strategy =
       (** Search all subsets of available middles of size [<= x_limit]
           for a cover, smallest first.  Exponential; for ablation and
           small fabrics only. *)
+  | Named of string
+      (** A strategy plug-in by registry name (see {!Strategy}).  The
+          built-ins are themselves registered ([Named "min-intersection"]
+          routes byte-identically to {!Min_intersection}, and likewise
+          for [first-fit]/[exhaustive]); the lab strategies ([adaptive],
+          [annealed], [crosstalk:BASE:DB]) are only reachable this way.
+          {!create}/{!restore} refuse unknown names. *)
 
 type hop = {
   middle : int;  (** middle module index, 1-based *)
@@ -142,25 +149,89 @@ val create :
     {!Wdm_telemetry.Trace.t}, every connect/block/disconnect/
     rearrange/fault event is appended to it. *)
 
-val create_legacy :
-  ?telemetry:Wdm_telemetry.Sink.t ->
-  ?strategy:strategy ->
-  ?x_limit:int ->
-  ?link_impl:link_impl ->
-  ?rearrange_limit:int ->
-  construction:construction ->
-  output_model:Model.t ->
-  Topology.t ->
-  t
-[@@alert
-  legacy
-    "the optional-argument create is deprecated; build a Network.Config.t \
-     and call Network.create ?config instead"]
-(** The pre-{!Config} calling convention, kept for one release so
-    downstream call sites can migrate incrementally.  Equivalent to
-    packing the optional arguments into a {!Config.t}.  Every use
-    trips the [legacy] alert at compile time; CI counts those alerts
-    to bound the remaining call sites. *)
+(** The routing-strategy plug-in API (the engine half of the shared
+    {!Wdm_core.Strategy} contract).
+
+    A plug-in sees one admission attempt as a {!ctx} — the live network
+    plus the request's sourcing coordinates and the output modules it
+    must cover — and answers with a {!plan}: which middle modules to
+    use and which output modules each serves.  The engine validates the
+    plan against its invariants (distinct available middles, exact
+    cover, at most [x_limit] picks) and then allocates wavelengths
+    exactly as it does for the built-ins; a plug-in returning [None]
+    surfaces as an ordinary {!Blocked} refusal.
+
+    Determinism contract (see {!Wdm_core.Strategy}): [select] must be a
+    pure function of the context.  Derive any pseudo-randomness from
+    {!request_key} via {!Wdm_core.Strategy.Det_rng} so WAL replays make
+    identical choices.
+
+    Registered names: [min-intersection], [first-fit], [exhaustive]
+    (the built-ins as plug-ins), [adaptive] (least-occupied middles
+    first, driven by the live per-middle occupancy), [annealed]
+    (simulated annealing over the middle scan order, request-seeded),
+    and the parameterized decorator [crosstalk[:BASE[:DB]]] (reject
+    plans whose worst-case {!Wdm_optics.Crosstalk} margin falls below
+    DB, default base [min-intersection], default budget 20 dB). *)
+module Strategy : sig
+  type ctx
+
+  val input_switch : ctx -> int
+  val src_wl : ctx -> int
+
+  val fanout : ctx -> int list
+  (** Output modules the request spans (ascending, distinct). *)
+
+  val middles : ctx -> int
+  (** [m], the middle-stage width. *)
+
+  val x_limit : ctx -> int
+
+  val available : ctx -> int list
+  (** Middles with a usable first-stage slot for this request,
+      ascending. *)
+
+  val covers : ctx -> middle:int -> int -> bool
+  (** Whether [middle] can currently reach the given output module for
+      this request. *)
+
+  val occupancy : ctx -> middle:int -> int
+  (** Busy first-stage slots into [middle] — the live load signal the
+      adaptive strategy ranks by. *)
+
+  val request_key : ctx -> int
+  (** A deterministic fingerprint of (input switch, source wavelength,
+      fanout): the replay-safe seed for stochastic strategies. *)
+
+  type plan = (int * int list) list
+  (** [(middle, output modules it serves)] — the shape {!select}
+      executes. *)
+
+  type t = { name : string; doc : string; select : ctx -> plan option }
+
+  val register : t -> unit
+  (** Install (or replace) a plug-in under its [name]; reachable as
+      [Named name] afterwards. *)
+
+  val register_parser : (string -> t option) -> unit
+  (** Install a parser for parameterized names such as
+      [crosstalk:first-fit:18]. *)
+
+  val resolve : string -> t option
+  val names : unit -> string list
+
+  val cover_in_order : ctx -> int list -> plan option
+  (** Greedy cover scanning middles in exactly the given order (the
+      first-fit kernel): the building block for ordering-based
+      strategies. *)
+end
+
+val strategy_of_string : string -> (strategy, string) result
+(** Built-in names map to their enum constructors; any other name the
+    {!Strategy} registry resolves maps to [Named]. *)
+
+val strategy_to_string : strategy -> string
+val pp_strategy : Format.formatter -> strategy -> unit
 
 val topology : t -> Topology.t
 val construction : t -> construction

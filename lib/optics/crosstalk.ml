@@ -1,0 +1,12 @@
+let margin_db ?(model = Loss_model.leaky ()) ~sharers ~fanout () =
+  match model.Loss_model.gate_extinction_db with
+  | None -> infinity
+  | Some extinction ->
+    if sharers <= 0 then infinity
+    else
+      extinction
+      -. Loss_model.splitting_loss model ~fanout
+      -. (10. *. log10 (float_of_int sharers))
+
+let acceptable ?model ~threshold_db ~sharers ~fanout () =
+  margin_db ?model ~sharers ~fanout () >= threshold_db

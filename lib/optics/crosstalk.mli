@@ -1,0 +1,32 @@
+(** Closed-form crosstalk margin estimates.
+
+    {!Circuit.propagate} accounts for crosstalk exactly — off gates with
+    finite extinction leak attenuated copies that arrive at sinks marked
+    as noise — but building and propagating a circuit per admission is
+    far too heavy for a routing hot path.  This module gives the
+    closed-form worst case the crosstalk-budget routing strategies gate
+    on: every interferer is assumed to leak through exactly one off gate
+    at the model's extinction, and leaked powers add linearly.
+
+    For a signal split [fanout] ways sharing components with [sharers]
+    co-active channels, the worst-case signal-to-crosstalk ratio at a
+    destination is
+
+    {v margin = extinction - splitting_loss(fanout) - 10 log10 sharers v}
+
+    — the signal pays its own splitting loss while each interferer is
+    assumed unsplit (worst case), and [sharers] equal-power leaks add
+    [10 log10 sharers] dB of noise.  With ideal gates
+    ([gate_extinction_db = None]) or no sharers the margin is
+    [infinity]. *)
+
+val margin_db : ?model:Loss_model.t -> sharers:int -> fanout:int -> unit -> float
+(** Worst-case signal-to-crosstalk ratio in dB.  [model] defaults to
+    [Loss_model.leaky ()] (30 dB extinction).  [sharers] is the number
+    of co-active channels that can each contribute one first-order leak;
+    [fanout] is the multicast fanout of the signal under test. *)
+
+val acceptable :
+  ?model:Loss_model.t -> threshold_db:float -> sharers:int -> fanout:int ->
+  unit -> bool
+(** [margin_db ... >= threshold_db]. *)

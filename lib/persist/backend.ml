@@ -15,16 +15,51 @@ let kind = function Net _ -> "multistage" | Mesh _ -> "mesh"
 let fail (r : Wire.reader) reason =
   raise (Wire.Decode_error { offset = r.Wire.pos; reason })
 
+let put_string b s =
+  Wire.put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let get_string r =
+  let len = Wire.get_u32 r in
+  if len > 0xffff then fail r "implausible string length";
+  if r.Wire.pos + len > String.length r.Wire.src then fail r "truncated string";
+  let s = String.sub r.Wire.src r.Wire.pos len in
+  r.Wire.pos <- r.Wire.pos + len;
+  s
+
 (* ----- multistage state codec (moved verbatim from Store) -------------- *)
 
 let construction_tag = function
   | Network.Msw_dominant -> 0
   | Network.Maw_dominant -> 1
 
-let strategy_tag = function
-  | Network.Min_intersection -> 0
-  | Network.First_fit -> 1
-  | Network.Exhaustive -> 2
+(* [Named] built-ins canonicalize onto the tags their enum twins have
+   carried since v1, so routing through the plug-in API leaves snapshots
+   — and therefore digests — byte-identical; only genuinely new plug-in
+   names take the string-carrying tag 3.  Old WALs never contain tag 3
+   and decode unchanged. *)
+let canonical_strategy = function
+  | Network.Named "min-intersection" -> Network.Min_intersection
+  | Network.Named "first-fit" -> Network.First_fit
+  | Network.Named "exhaustive" -> Network.Exhaustive
+  | s -> s
+
+let put_strategy b s =
+  match canonical_strategy s with
+  | Network.Min_intersection -> Wire.put_u8 b 0
+  | Network.First_fit -> Wire.put_u8 b 1
+  | Network.Exhaustive -> Wire.put_u8 b 2
+  | Network.Named name ->
+    Wire.put_u8 b 3;
+    put_string b name
+
+let get_strategy r =
+  match Wire.get_u8 r with
+  | 0 -> Network.Min_intersection
+  | 1 -> Network.First_fit
+  | 2 -> Network.Exhaustive
+  | 3 -> Network.Named (get_string r)
+  | t -> fail r (Printf.sprintf "unknown strategy tag %d" t)
 
 let link_impl_tag = function Network.Bitset -> 0 | Network.Reference -> 1
 let model_tag = function Model.MSW -> 0 | Model.MSDW -> 1 | Model.MAW -> 2
@@ -82,7 +117,7 @@ let encode_net_state (s : Network.snapshot) =
   Wire.put_u8 b (construction_tag s.Network.s_construction);
   Wire.put_u8 b (model_tag s.Network.s_output_model);
   Wire.put_u32 b s.Network.s_x_limit;
-  Wire.put_u8 b (strategy_tag s.Network.s_strategy);
+  put_strategy b s.Network.s_strategy;
   Wire.put_u8 b (link_impl_tag s.Network.s_link_impl);
   Wire.put_u32 b s.Network.s_rearrange_limit;
   Wire.put_int b s.Network.s_next_id;
@@ -116,13 +151,7 @@ let decode_net_state_reader r : Network.snapshot =
     | t -> fail r (Printf.sprintf "unknown model tag %d" t)
   in
   let s_x_limit = Wire.get_u32 r in
-  let s_strategy =
-    match Wire.get_u8 r with
-    | 0 -> Network.Min_intersection
-    | 1 -> Network.First_fit
-    | 2 -> Network.Exhaustive
-    | t -> fail r (Printf.sprintf "unknown strategy tag %d" t)
-  in
+  let s_strategy = get_strategy r in
   let s_link_impl =
     match Wire.get_u8 r with
     | 0 -> Network.Bitset
@@ -164,26 +193,38 @@ let decode_net_state s =
 let mesh_tag = 0
 let mesh_version = 1
 
-let mesh_strategy_tag = function
-  | Mesh_assign.First_fit -> 0
-  | Mesh_assign.Most_used -> 1
-  | Mesh_assign.Least_used -> 2
-  | Mesh_assign.Random -> 3
-  | Mesh_assign.Coloring -> 4
+(* Same canonicalization as the multistage codec: named classics keep
+   their v1 tags; new plug-in names take the string-carrying tag 5. *)
+let canonical_mesh_strategy = function
+  | Mesh_assign.Named "first-fit" -> Mesh_assign.First_fit
+  | Mesh_assign.Named "most-used" -> Mesh_assign.Most_used
+  | Mesh_assign.Named "least-used" -> Mesh_assign.Least_used
+  | Mesh_assign.Named "random" -> Mesh_assign.Random
+  | Mesh_assign.Named "coloring" -> Mesh_assign.Coloring
+  | s -> s
+
+let put_mesh_strategy b s =
+  match canonical_mesh_strategy s with
+  | Mesh_assign.First_fit -> Wire.put_u8 b 0
+  | Mesh_assign.Most_used -> Wire.put_u8 b 1
+  | Mesh_assign.Least_used -> Wire.put_u8 b 2
+  | Mesh_assign.Random -> Wire.put_u8 b 3
+  | Mesh_assign.Coloring -> Wire.put_u8 b 4
+  | Mesh_assign.Named name ->
+    Wire.put_u8 b 5;
+    put_string b name
+
+let get_mesh_strategy r =
+  match Wire.get_u8 r with
+  | 0 -> Mesh_assign.First_fit
+  | 1 -> Mesh_assign.Most_used
+  | 2 -> Mesh_assign.Least_used
+  | 3 -> Mesh_assign.Random
+  | 4 -> Mesh_assign.Coloring
+  | 5 -> Mesh_assign.Named (get_string r)
+  | t -> fail r (Printf.sprintf "unknown mesh strategy tag %d" t)
 
 let mesh_mode_tag = function Mesh_tree.Tree -> 0 | Mesh_tree.Hierarchy -> 1
-
-let put_string b s =
-  Wire.put_u32 b (String.length s);
-  Buffer.add_string b s
-
-let get_string r =
-  let len = Wire.get_u32 r in
-  if len > 0xffff then fail r "implausible string length";
-  if r.Wire.pos + len > String.length r.Wire.src then fail r "truncated string";
-  let s = String.sub r.Wire.src r.Wire.pos len in
-  r.Wire.pos <- r.Wire.pos + len;
-  s
 
 let encode_mesh_state (s : Mesh.state) =
   let b = Buffer.create 1024 in
@@ -191,7 +232,7 @@ let encode_mesh_state (s : Mesh.state) =
   Wire.put_u8 b mesh_version;
   put_string b s.Mesh.s_topo;
   Wire.put_u8 b s.Mesh.s_k;
-  Wire.put_u8 b (mesh_strategy_tag s.Mesh.s_strategy);
+  put_mesh_strategy b s.Mesh.s_strategy;
   Wire.put_u8 b (mesh_mode_tag s.Mesh.s_mode);
   Wire.put_u32 b s.Mesh.s_k_paths;
   let n = Array.length s.Mesh.s_mc - 1 in
@@ -238,15 +279,7 @@ let decode_mesh_state_reader r : Mesh.state =
     | Error e -> fail r (Printf.sprintf "invalid mesh topology: %s" e)
   in
   let s_k = Wire.get_u8 r in
-  let s_strategy =
-    match Wire.get_u8 r with
-    | 0 -> Mesh_assign.First_fit
-    | 1 -> Mesh_assign.Most_used
-    | 2 -> Mesh_assign.Least_used
-    | 3 -> Mesh_assign.Random
-    | 4 -> Mesh_assign.Coloring
-    | t -> fail r (Printf.sprintf "unknown mesh strategy tag %d" t)
-  in
+  let s_strategy = get_mesh_strategy r in
   let s_mode =
     match Wire.get_u8 r with
     | 0 -> Mesh_tree.Tree

@@ -65,17 +65,21 @@ let test_conditions_pp () =
   let s = Format.asprintf "%a" Conditions.pp_evaluation (Conditions.msw_dominant ~n:4 ~r:4) in
   Alcotest.(check string) "evaluation" "x=2 bound=12.000 m_min=13" s
 
-(* The deprecated optional-argument constructor must keep routing
-   exactly as the config-record form does until it is dropped.  This is
-   deliberately the only [create_legacy] call site left in the tree:
-   the use below trips the [legacy] alert at compile time, and CI
-   counts those alerts to bound call-site regressions. *)
+(* [create_legacy] — the pre-Config optional-argument constructor — is
+   gone.  Its one-release migration window closed: the call below is
+   what the retired compat test exercised, kept as a quoted snippet so
+   the historical calling convention stays greppable:
+
+   {[
+     Network.create_legacy ~strategy:Network.First_fit ~x_limit:2
+       ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
+   ]}
+
+   The equivalence it guarded (optional args = packed Config.t) is now
+   vacuous; what remains worth holding is that the Config form accepts
+   the same fields the legacy form took. *)
 let test_create_legacy_compat () =
   let topo = Topology.make_exn ~n:4 ~m:13 ~r:4 ~k:2 in
-  let legacy =
-    Network.create_legacy ~strategy:Network.First_fit ~x_limit:2
-      ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
-  in
   let current =
     Network.create
       ~config:
@@ -86,18 +90,15 @@ let test_create_legacy_compat () =
         }
       ~construction:Network.Msw_dominant ~output_model:Model.MSW topo
   in
-  Alcotest.(check int) "x_limit" (Network.x_limit current)
-    (Network.x_limit legacy);
+  Alcotest.(check int) "x_limit" 2 (Network.x_limit current);
   Alcotest.(check bool) "strategy" true
-    (Network.strategy legacy = Network.strategy current);
+    (Network.strategy current = Network.First_fit);
   let conn =
     Connection.make_exn ~source:(ep 1 1)
       ~destinations:[ ep 1 1; ep 5 1; ep 9 1 ]
   in
-  let ra = Result.get_ok (Network.connect legacy conn)
-  and rb = Result.get_ok (Network.connect current conn) in
-  Alcotest.(check bool) "identical route" true
-    (ra.Network.hops = rb.Network.hops && ra.Network.id = rb.Network.id)
+  let ra = Result.get_ok (Network.connect current conn) in
+  Alcotest.(check bool) "routes" true (ra.Network.hops <> [])
 
 let test_network_pp_state () =
   let t =
